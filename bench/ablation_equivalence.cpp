@@ -1,0 +1,62 @@
+// Ablation — interaction-point equivalence reduction (future work,
+// Sections 1 and 6): injecting only at one representative per
+// injection-equivalence class must cost fewer runs and find the same
+// violations.
+#include <cstdio>
+
+#include "apps/scenarios.hpp"
+#include "core/equivalence.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ep;
+  std::printf("=== Ablation: equivalence-based injection reduction ===\n\n");
+
+  TextTable t({"target", "points", "classes", "injections full",
+               "injections merged", "violations full", "violations merged",
+               "saved"});
+  int total_full = 0;
+  int total_merged = 0;
+  bool violations_preserved = true;
+  for (auto& scenario : apps::all_scenarios()) {
+    std::string name = scenario.name;
+
+    core::Campaign full_campaign(scenario);
+    auto full = full_campaign.execute();
+
+    core::Campaign merged_campaign(std::move(scenario));
+    core::CampaignOptions opts;
+    opts.merge_equivalent_sites = true;
+    auto merged = merged_campaign.execute(opts);
+
+    auto classes = core::find_equivalence_classes(full.points);
+    total_full += full.n();
+    total_merged += merged.n();
+    if (merged.violation_count() != full.violation_count())
+      violations_preserved = false;
+
+    t.add_row({name, std::to_string(full.points.size()),
+               std::to_string(classes.size()), std::to_string(full.n()),
+               std::to_string(merged.n()),
+               std::to_string(full.violation_count()),
+               std::to_string(merged.violation_count()),
+               std::to_string(full.n() - merged.n())});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("totals: %d -> %d injections (%.1f%% saved); violations "
+              "preserved in every campaign: %s\n",
+              total_full, total_merged,
+              100.0 * (total_full - total_merged) / total_full,
+              violations_preserved ? "YES" : "NO");
+  std::printf("\nexample partition (lpr):\n");
+  {
+    core::Campaign c(apps::lpr_scenario());
+    auto r = c.execute(core::CampaignOptions{});
+    std::printf("%s",
+                core::render_equivalence(
+                    core::find_equivalence_classes(r.points))
+                    .c_str());
+  }
+  return violations_preserved ? 0 : 1;
+}

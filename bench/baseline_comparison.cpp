@@ -1,0 +1,125 @@
+// Related-work comparison (Section 5) — Fuzz and AVA against the EAI
+// methodology on the same targets.
+//
+// The shapes the paper argues:
+//   * Fuzz (Miller et al.): random input crashes 25-40% of utilities with
+//     unchecked parsers, but its oracle is "crash", it never reaches
+//     direct (attribute) faults, and bounded parsers blank it entirely.
+//   * AVA (Ghosh et al.): internal-state perturbation suffers a semantic
+//     gap (random corruption rarely matches attack patterns) and cannot
+//     represent faults that never touch internal state.
+//   * EAI: catalog-guided environment perturbation finds both fault kinds
+//     deterministically.
+#include <cstdio>
+
+#include "apps/lpr.hpp"
+#include "apps/mailer.hpp"
+#include "apps/turnin.hpp"
+#include "baseline/ava.hpp"
+#include "baseline/fuzz.hpp"
+#include "core/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Row {
+  std::string target;
+  int eai_runs, eai_violations;
+  int fuzz_runs, fuzz_crashes;
+  int ava_runs, ava_detections;
+};
+
+Row measure(ep::core::Scenario scenario,
+            const ep::core::CampaignOptions& opts, int trials) {
+  Row row;
+  row.target = scenario.name;
+  {
+    ep::core::Campaign c(scenario);
+    auto r = c.execute(opts);
+    row.eai_runs = r.n();
+    row.eai_violations = r.violation_count();
+  }
+  {
+    ep::baseline::FuzzOptions fo;
+    fo.trials = trials;
+    fo.seed = 1;
+    auto f = run_fuzz(scenario, fo);
+    row.fuzz_runs = f.trials;
+    row.fuzz_crashes = f.crashes;
+  }
+  {
+    ep::baseline::AvaOptions ao;
+    ao.trials = trials;
+    ao.seed = 1;
+    auto a = run_ava(scenario, ao);
+    row.ava_runs = a.trials;
+    row.ava_detections = a.violations + a.crashes;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ep;
+  constexpr int kTrials = 60;
+
+  std::printf("=== Baseline comparison: EAI vs Fuzz vs AVA ===\n\n");
+
+  std::vector<Row> rows;
+  rows.push_back(measure(apps::mailer_scenario(), {}, kTrials));
+  rows.push_back(measure(apps::turnin_scenario(), {}, kTrials));
+  {
+    core::CampaignOptions lpr_opts;
+    lpr_opts.only_sites = {apps::kLprCreateTag};
+    rows.push_back(measure(apps::lpr_scenario(), lpr_opts, kTrials));
+  }
+
+  TextTable t({"target", "EAI: violations/injections",
+               "Fuzz: crashes/trials", "AVA: detections/trials"});
+  for (const auto& r : rows) {
+    t.add_row({r.target,
+               std::to_string(r.eai_violations) + "/" +
+                   std::to_string(r.eai_runs) + " (" +
+                   percent(r.eai_violations, r.eai_runs) + ")",
+               std::to_string(r.fuzz_crashes) + "/" +
+                   std::to_string(r.fuzz_runs) + " (" +
+                   percent(r.fuzz_crashes, r.fuzz_runs) + ")",
+               std::to_string(r.ava_detections) + "/" +
+                   std::to_string(r.ava_runs) + " (" +
+                   percent(r.ava_detections, r.ava_runs) + ")"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const Row& mailer = rows[0];
+  const Row& turnin = rows[1];
+  const Row& lpr = rows[2];
+
+  std::printf("shape checks against the paper's arguments:\n");
+  bool s1 = mailer.fuzz_crashes >= mailer.fuzz_runs / 4;
+  std::printf("  1. Fuzz crashes unchecked parsers at Miller-like rates "
+              "(mailer: %s) -> %s\n",
+              percent(mailer.fuzz_crashes, mailer.fuzz_runs).c_str(),
+              s1 ? "HOLDS" : "FAILS");
+  bool s2 = turnin.fuzz_crashes == 0 && turnin.eai_violations == 9;
+  std::printf("  2. bounded parsers blank Fuzz while EAI still finds 9 "
+              "violations (turnin) -> %s\n",
+              s2 ? "HOLDS" : "FAILS");
+  bool s3 = lpr.ava_detections == 0 && lpr.eai_violations == 4;
+  std::printf("  3. internal-state perturbation is blind to direct faults "
+              "(lpr: AVA 0, EAI 4) -> %s\n",
+              s3 ? "HOLDS" : "FAILS");
+  double eai_yield =
+      static_cast<double>(turnin.eai_violations) / turnin.eai_runs;
+  double ava_yield =
+      static_cast<double>(turnin.ava_detections) / turnin.ava_runs;
+  bool s4 = eai_yield > ava_yield;
+  std::printf("  4. semantic fault patterns out-yield random corruption "
+              "(turnin: EAI %.1f%% vs AVA %.1f%% per run) -> %s\n",
+              100 * eai_yield, 100 * ava_yield, s4 ? "HOLDS" : "FAILS");
+
+  bool all = s1 && s2 && s3 && s4;
+  std::printf("\nreproduction: %s\n", all ? "ALL SHAPES HOLD" : "MISMATCH");
+  return all ? 0 : 1;
+}

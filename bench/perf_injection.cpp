@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark): cost of the substrate and of the
+// interposition machinery. Supports the paper's automation claim — a
+// full per-fault rebuild-and-rerun cycle is cheap enough to sweep entire
+// catalogs.
+#include <benchmark/benchmark.h>
+
+#include "apps/lpr.hpp"
+#include "apps/turnin.hpp"
+#include "core/injector.hpp"
+#include "core/report.hpp"
+#include "os/world.hpp"
+
+namespace {
+
+using namespace ep;
+
+const os::Site kS{"perf.c", 1, "probe"};
+
+void BM_VfsResolveDeepPath(benchmark::State& state) {
+  os::Kernel k;
+  os::world::mkdirs(k, "/a/b/c/d/e/f/g");
+  os::world::put_file(k, "/a/b/c/d/e/f/g/leaf", "x");
+  for (auto _ : state) {
+    auto r = k.vfs().resolve("/a/b/c/d/e/f/g/leaf", "/", os::kRootUid, 0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_VfsResolveDeepPath);
+
+void BM_VfsSymlinkChainResolve(benchmark::State& state) {
+  os::Kernel k;
+  os::world::put_file(k, "/end", "x");
+  std::string prev = "/end";
+  for (int i = 0; i < 6; ++i) {
+    std::string name = "/l" + std::to_string(i);
+    os::world::put_symlink(k, name, prev);
+    prev = name;
+  }
+  for (auto _ : state) {
+    auto r = k.vfs().resolve(prev, "/", os::kRootUid, 0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_VfsSymlinkChainResolve);
+
+void BM_OpenReadClose(benchmark::State& state) {
+  os::Kernel k;
+  os::world::standard_unix(k);
+  os::world::put_file(k, "/data/f", std::string(1024, 'x'), os::kRootUid, 0,
+                      0644);
+  os::Pid pid = k.make_process(os::kRootUid, 0, "/");
+  for (auto _ : state) {
+    auto fd = k.open(kS, pid, "/data/f", os::OpenFlag::rd);
+    auto data = k.read(kS, pid, fd.value());
+    benchmark::DoNotOptimize(data);
+    (void)k.close(pid, fd.value());
+  }
+}
+BENCHMARK(BM_OpenReadClose);
+
+void BM_SyscallNoHooks(benchmark::State& state) {
+  os::Kernel k;
+  os::world::put_file(k, "/f", "x");
+  os::Pid pid = k.make_process(os::kRootUid, 0, "/");
+  for (auto _ : state) {
+    auto r = k.stat(kS, pid, "/f");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SyscallNoHooks);
+
+void BM_SyscallWithHookChain(benchmark::State& state) {
+  os::Kernel k;
+  os::world::put_file(k, "/f", "x");
+  os::Pid pid = k.make_process(os::kRootUid, 0, "/");
+  struct Nop : os::Interposer {};
+  for (int i = 0; i < state.range(0); ++i)
+    k.add_interposer(std::make_shared<Nop>());
+  for (auto _ : state) {
+    auto r = k.stat(kS, pid, "/f");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SyscallWithHookChain)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_WorldBuildLpr(benchmark::State& state) {
+  auto scenario = apps::lpr_scenario();
+  for (auto _ : state) {
+    auto w = scenario.build();
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_WorldBuildLpr);
+
+void BM_WorldBuildTurnin(benchmark::State& state) {
+  auto scenario = apps::turnin_scenario();
+  for (auto _ : state) {
+    auto w = scenario.build();
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_WorldBuildTurnin);
+
+void BM_SingleInjectionRun(benchmark::State& state) {
+  // One complete procedure step 4-8 cycle: fresh world, armed injector,
+  // oracle, target execution.
+  auto scenario = apps::lpr_scenario();
+  core::FaultRef fault;
+  fault.kind = core::FaultKind::direct;
+  fault.direct = core::FaultCatalog::standard().find_direct("symbolic-link");
+  for (auto _ : state) {
+    auto w = scenario.build();
+    auto injector = std::make_shared<core::Injector>(
+        *w, os::Site{"lpr.c", 42, apps::kLprCreateTag}, fault,
+        scenario.hints);
+    auto oracle = std::make_shared<core::SecurityOracle>(scenario.policy);
+    w->kernel.add_interposer(injector);
+    w->kernel.add_interposer(oracle);
+    int rc = scenario.run(*w);
+    benchmark::DoNotOptimize(rc);
+  }
+}
+BENCHMARK(BM_SingleInjectionRun);
+
+void BM_FullTurninCampaign(benchmark::State& state) {
+  // All 41 injections + trace run: the complete Section 4.1 experiment.
+  for (auto _ : state) {
+    core::Campaign c(apps::turnin_scenario());
+    auto r = c.execute();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullTurninCampaign)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,43 @@
+// Table 2 — indirect environment faults that cause security violations.
+//
+// Paper: of 81 indirect faults — 51 user input (63%), 17 environment
+// variable (21%), 5 file system input (6.2%), 8 network input (9.9%),
+// 0 process input.
+#include <cstdio>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "vulndb/classifier.hpp"
+
+int main() {
+  using namespace ep;
+  using IC = core::IndirectCategory;
+  auto c = vulndb::classify_all(vulndb::database());
+
+  std::printf(
+      "=== Table 2: indirect environment faults (total %d) ===\n\n",
+      c.indirect);
+
+  TextTable t({"Categories", "User Input", "Environment Variable",
+               "File System Input", "Network Input", "Process Input"});
+  auto n = [&](IC cat) { return c.indirect_by_category[cat]; };
+  t.add_row({"number", std::to_string(n(IC::user_input)),
+             std::to_string(n(IC::environment_variable)),
+             std::to_string(n(IC::file_system_input)),
+             std::to_string(n(IC::network_input)),
+             std::to_string(n(IC::process_input))});
+  t.add_row({"percent", percent(n(IC::user_input), c.indirect),
+             percent(n(IC::environment_variable), c.indirect),
+             percent(n(IC::file_system_input), c.indirect),
+             percent(n(IC::network_input), c.indirect),
+             percent(n(IC::process_input), c.indirect)});
+  t.add_row({"paper", "51 (63.0%)", "17 (21.0%)", "5 (6.2%)", "8 (9.9%)",
+             "0 (0%)"});
+  std::printf("%s\n", t.render().c_str());
+
+  bool match = n(IC::user_input) == 51 && n(IC::environment_variable) == 17 &&
+               n(IC::file_system_input) == 5 && n(IC::network_input) == 8 &&
+               n(IC::process_input) == 0;
+  std::printf("reproduction: %s\n", match ? "EXACT" : "MISMATCH");
+  return match ? 0 : 1;
+}

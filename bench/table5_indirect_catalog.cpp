@@ -1,0 +1,80 @@
+// Table 5 — the executable catalog of indirect environment faults.
+//
+// Prints every catalog row (internal entity / semantic attribute / fault
+// injections) in the paper's layout, exercises each generator against a
+// representative input, and measures generator throughput.
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "core/catalog.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ep;
+  using core::FaultCatalog;
+  using core::IndirectCategory;
+  using core::InputSemantic;
+  const auto& cat = FaultCatalog::standard();
+
+  std::printf(
+      "=== Table 5: indirect environment faults and perturbations ===\n\n");
+
+  TextTable t({"Internal Entity", "Semantic Attribute", "Fault Injection",
+               "example: original -> injected"});
+  core::ScenarioHints hints;
+  hints.long_length = 64;  // keep examples printable
+
+  std::map<InputSemantic, std::string> sample = {
+      {InputSemantic::file_name, "hw1.c"},
+      {InputSemantic::command, "tar"},
+      {InputSemantic::path_list, "/bin:/usr/bin"},
+      {InputSemantic::permission_mask, "022"},
+      {InputSemantic::file_extension, "report.txt"},
+      {InputSemantic::ip_address, "10.0.0.1"},
+      {InputSemantic::packet, "REQ data"},
+      {InputSemantic::host_name, "fileserver.corp"},
+      {InputSemantic::dns_reply, "10.0.0.7"},
+      {InputSemantic::ipc_message, "job=cleanup"},
+  };
+
+  auto clip = [](std::string s) {
+    for (char& c : s)
+      if (static_cast<unsigned char>(c) < 0x20 ||
+          static_cast<unsigned char>(c) > 0x7e)
+        c = '.';
+    if (s.size() > 36) s = s.substr(0, 33) + "...";
+    return s;
+  };
+
+  for (const auto& f : cat.indirect()) {
+    std::string in = sample[f.semantic];
+    std::string out = f.mutate(in, hints);
+    t.add_row({std::string(to_string(f.category)),
+               std::string(to_string(f.semantic)), f.description,
+               clip(in) + " -> " + clip(out)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("catalog size: %zu indirect fault injections (paper Table 5 "
+              "rows expanded per listed injection)\n\n",
+              cat.indirect().size());
+
+  // Generator throughput: how cheap is computing a perturbed input?
+  hints.long_length = 4096;
+  constexpr int kIters = 20000;
+  auto start = std::chrono::steady_clock::now();
+  std::size_t sink = 0;
+  for (int i = 0; i < kIters; ++i) {
+    const auto& f = cat.indirect()[i % cat.indirect().size()];
+    sink += f.mutate(sample[f.semantic], hints).size();
+  }
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  std::printf("generator throughput: %d mutations in %lld us (%.2f us each,"
+              " checksum %zu)\n",
+              kIters, static_cast<long long>(us),
+              static_cast<double>(us) / kIters, sink);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 6 — the executable catalog of direct environment faults.
+//
+// Prints the entity/attribute/perturbation rows, then applies every
+// perturber against a fresh world and verifies the file system's
+// structural invariants survive each one (the perturbation must damage
+// the *security* of the world, never its consistency).
+#include <chrono>
+#include <cstdio>
+
+#include "core/catalog.hpp"
+#include "os/world.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::unique_ptr<ep::core::TargetWorld> fresh_world() {
+  auto w = std::make_unique<ep::core::TargetWorld>();
+  ep::os::world::standard_unix(w->kernel);
+  w->kernel.add_user(666, "mallory", 666);
+  ep::os::world::mkdirs(w->kernel, "/tmp/attacker", 666, 666, 0755);
+  ep::os::world::put_file(w->kernel, "/app/target", "content",
+                          ep::os::kRootUid, 0, 0644);
+  ep::net::ServiceDef svc;
+  svc.name = "authsvc";
+  svc.handler = [](const ep::net::Message&) { return ep::net::Message{}; };
+  w->network.define_service(svc);
+  ep::reg::Key key;
+  key.path = "HKLM/Key";
+  key.value = "/app/target";
+  key.acl.everyone_write = true;
+  w->registry.define_key(key);
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ep;
+  const auto& cat = core::FaultCatalog::standard();
+
+  std::printf(
+      "=== Table 6: direct environment faults and perturbations ===\n\n");
+
+  TextTable t({"Environment Entity", "Attribute", "Fault Injection"});
+  for (const auto& f : cat.direct()) {
+    if (f.extension) continue;  // registry rows are our extension
+    t.add_row({std::string(to_string(f.entity)),
+               std::string(to_string(f.attribute)), f.description});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("extension rows (Section 4.2 method on registry keys):\n");
+  TextTable ext({"Entity", "Fault", "Perturbation"});
+  for (const auto& f : cat.direct())
+    if (f.extension) ext.add_row({"registry key", f.name, f.description});
+  std::printf("%s\n", ext.render().c_str());
+
+  // Apply every perturber to a fresh world; check invariants.
+  int applied = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& f : cat.direct()) {
+    auto w = fresh_world();
+    os::Pid pid = w->kernel.make_process(1000, 1000, "/");
+    os::SyscallCtx ctx;
+    ctx.site = os::Site{"bench.c", 1, "probe"};
+    ctx.pid = pid;
+    ctx.call = f.extension ? "regread" : "open";
+    ctx.path = f.extension ? "HKLM/Key" : "/app/target";
+    ctx.aux = "r";
+    core::ScenarioHints hints;
+    hints.attacker_uid = 666;
+    hints.attacker_gid = 666;
+    f.perturb(*w, ctx, hints);
+    std::string broken = w->kernel.vfs().check_invariants();
+    if (!broken.empty()) {
+      std::printf("INVARIANT BROKEN by %s: %s\n", f.name.c_str(),
+                  broken.c_str());
+      return 1;
+    }
+    ++applied;
+  }
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  std::printf("applied %d perturbers against fresh worlds in %lld us "
+              "(world build + perturb + invariant check each); "
+              "all invariants hold\n",
+              applied, static_cast<long long>(us));
+  return 0;
+}

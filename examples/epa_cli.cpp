@@ -1,0 +1,197 @@
+// epa — the prototype security-testing tool the paper's future work
+// promises ("we hope to be able to develop a prototype tool for security
+// testing based on this methodology").
+//
+// Drives any packaged scenario through the full methodology from the
+// command line:
+//
+//   epa_cli list                         # what can be audited
+//   epa_cli run turnin                   # full campaign + report
+//   epa_cli run turnin --sites fopen-projlist,arg-filename
+//   epa_cli run logind --coverage 0.5 --seed 7
+//   epa_cli run lpr --merge              # equivalence-reduced campaign
+//   epa_cli trace mailer                 # interaction points only
+//   epa_cli compare turnin turnin-hardened   # did the repair work?
+//   epa_cli db [category]                # browse the vulnerability DB
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/scenarios.hpp"
+#include "core/compare.hpp"
+#include "core/equivalence.hpp"
+#include "core/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "vulndb/classifier.hpp"
+
+using namespace ep;
+
+namespace {
+
+int usage() {
+  std::printf(
+      "epa - environment perturbation analysis (prototype tool)\n\n"
+      "usage:\n"
+      "  epa_cli list\n"
+      "  epa_cli trace <scenario>\n"
+      "  epa_cli run <scenario> [--sites a,b,...] [--coverage F]\n"
+      "                         [--seed N] [--merge] [--json]\n"
+      "  epa_cli compare <before-scenario> <after-scenario>\n"
+      "  epa_cli db [indirect|direct|other|excluded]\n");
+  return 2;
+}
+
+core::Scenario find_scenario(const std::string& name, bool& found) {
+  for (auto& s : apps::all_scenarios()) {
+    if (s.name == name) {
+      found = true;
+      return s;
+    }
+  }
+  found = false;
+  return {};
+}
+
+int cmd_list() {
+  TextTable t({"scenario", "description"});
+  for (const auto& s : apps::all_scenarios())
+    t.add_row({s.name, s.description});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_trace(const std::string& name) {
+  bool found = false;
+  core::Scenario scenario = find_scenario(name, found);
+  if (!found) {
+    std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
+                 name.c_str());
+    return 1;
+  }
+  core::Campaign campaign(std::move(scenario));
+  core::CampaignOptions opts;
+  opts.only_sites = {"--none--"};  // discovery only
+  auto r = campaign.execute(opts);
+
+  std::printf("interaction points of %s:\n\n", name.c_str());
+  TextTable t({"site", "call", "object", "kind", "input"});
+  for (const auto& p : r.points)
+    t.add_row({p.site.tag, p.call, p.object,
+               std::string(to_string(p.kind)), p.has_input ? "yes" : "no"});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("equivalence partition:\n%s",
+              core::render_equivalence(
+                  core::find_equivalence_classes(r.points))
+                  .c_str());
+  return 0;
+}
+
+int cmd_run(const std::string& name, const core::CampaignOptions& opts,
+            bool as_json) {
+  bool found = false;
+  core::Scenario scenario = find_scenario(name, found);
+  if (!found) {
+    std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
+                 name.c_str());
+    return 1;
+  }
+  core::Campaign campaign(std::move(scenario));
+  auto r = campaign.execute(opts);
+  std::printf("%s", (as_json ? core::render_json(r)
+                             : core::render_report(r))
+                        .c_str());
+  return r.exploitable().empty() ? 0 : 3;  // 3 = candidate vulnerabilities
+}
+
+int cmd_compare(const std::string& before_name,
+                const std::string& after_name) {
+  bool found_b = false, found_a = false;
+  core::Scenario before_s = find_scenario(before_name, found_b);
+  core::Scenario after_s = find_scenario(after_name, found_a);
+  if (!found_b || !found_a) {
+    std::fprintf(stderr, "epa: unknown scenario (try: epa_cli list)\n");
+    return 1;
+  }
+  auto before = core::Campaign(std::move(before_s)).execute();
+  auto after = core::Campaign(std::move(after_s)).execute();
+  auto c = core::compare(before, after);
+  std::printf("%s", core::render_comparison(c).c_str());
+  return c.safe() ? 0 : 3;
+}
+
+int cmd_db(const std::string& filter) {
+  const auto& db = vulndb::database();
+  TextTable t({"id", "name", "os", "EAI class", "description"});
+  int shown = 0;
+  for (const auto& r : db) {
+    auto cls = vulndb::classify_record(r);
+    std::string cls_name;
+    switch (cls) {
+      case vulndb::EaiClass::indirect:
+        cls_name = "indirect/" + std::string(to_string(*r.input_origin));
+        break;
+      case vulndb::EaiClass::direct:
+        cls_name = "direct/" + std::string(to_string(*r.entity));
+        break;
+      case vulndb::EaiClass::other: cls_name = "other"; break;
+      default: cls_name = "excluded/" + std::string(to_string(r.cause));
+    }
+    bool matches = filter.empty() ||
+                   (filter == "indirect" &&
+                    cls == vulndb::EaiClass::indirect) ||
+                   (filter == "direct" && cls == vulndb::EaiClass::direct) ||
+                   (filter == "other" && cls == vulndb::EaiClass::other) ||
+                   (filter == "excluded" &&
+                    cls != vulndb::EaiClass::indirect &&
+                    cls != vulndb::EaiClass::direct &&
+                    cls != vulndb::EaiClass::other);
+    if (!matches) continue;
+    ++shown;
+    std::string desc = r.description.size() > 60
+                           ? r.description.substr(0, 57) + "..."
+                           : r.description;
+    t.add_row({std::to_string(r.id), r.name, r.os, cls_name, desc});
+  }
+  std::printf("%s%d of %zu records\n", t.render().c_str(), shown, db.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list();
+  if (cmd == "db") return cmd_db(argc >= 3 ? argv[2] : "");
+  if (argc < 3) return usage();
+  std::string scenario = argv[2];
+  if (cmd == "trace") return cmd_trace(scenario);
+  if (cmd == "compare") {
+    if (argc < 4) return usage();
+    return cmd_compare(scenario, argv[3]);
+  }
+  if (cmd != "run") return usage();
+
+  core::CampaignOptions opts;
+  bool as_json = false;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--merge") {
+      opts.merge_equivalent_sites = true;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--sites" && i + 1 < argc) {
+      opts.only_sites = split(std::string(argv[++i]), ',');
+    } else if (arg == "--coverage" && i + 1 < argc) {
+      opts.target_interaction_coverage = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+  return cmd_run(scenario, opts, as_json);
+}

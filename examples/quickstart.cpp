@@ -1,0 +1,113 @@
+// Quickstart: testing your own program for environment-fault tolerance.
+//
+// The walk-through builds a tiny set-uid "backup" utility, wires it into
+// a simulated world, and runs a full perturbation campaign against it:
+//
+//   1. write the program against the simulated kernel's syscall API,
+//      giving every environment interaction a stable Site;
+//   2. describe the benign world (files, users, the program binary);
+//   3. state the security policy (where may it write? what is secret?);
+//   4. Campaign::execute() does the rest: trace, fault planning per
+//      Table 5/6, one rebuilt world per injection, oracle, metrics.
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "os/world.hpp"
+
+using namespace ep;
+
+// --- 1. the program under test ----------------------------------------------
+// `backup` copies a user-named file into /var/backups. It runs set-uid
+// root so it can write the backup directory. (It has the classic flaws —
+// the campaign will find them.)
+
+namespace sites {
+const os::Site arg_file{"backup.c", 12, "arg-filename"};
+const os::Site open_src{"backup.c", 20, "open-source"};
+const os::Site create_dst{"backup.c", 30, "create-backup"};
+const os::Site status{"backup.c", 40, "status"};
+}  // namespace sites
+
+int backup_main(os::Kernel& k, os::Pid pid) {
+  // User input arrives through the interaction layer (perturbable).
+  std::string name = k.arg(sites::arg_file, pid, 1);
+  if (name.empty()) {
+    k.output(sites::status, pid, "backup: usage: backup <file>");
+    return 1;
+  }
+
+  auto src = k.open(sites::open_src, pid, name, os::OpenFlag::rd);
+  if (!src.ok()) {
+    k.output(sites::status, pid, "backup: cannot read " + name);
+    return 2;
+  }
+  auto content = k.read(sites::open_src, pid, src.value());
+  (void)k.close(pid, src.value());
+
+  // Flaw: the destination is derived from the raw user string, and the
+  // file is created without O_EXCL.
+  auto dst = k.open(sites::create_dst, pid, "/var/backups/" + name,
+                    os::OpenFlag::wr | os::OpenFlag::creat, 0600);
+  if (!dst.ok()) {
+    k.output(sites::status, pid, "backup: cannot store " + name);
+    return 3;
+  }
+  (void)k.write(sites::create_dst, pid, dst.value(), content.value());
+  (void)k.close(pid, dst.value());
+  k.output(sites::status, pid, "backup: stored " + name);
+  return 0;
+}
+
+int main() {
+  core::Scenario scenario;
+  scenario.name = "backup-quickstart";
+  scenario.trace_unit_filter = "backup.c";
+
+  // --- 2. the benign world --------------------------------------------------
+  scenario.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    // Sloppy install: the backup directory is world-writable "so every
+    // user's cron job can drop backups". The campaign will show why that
+    // matters.
+    os::world::mkdirs(k, "/var/backups", os::kRootUid, os::kRootGid, 0777);
+    os::world::mkdirs(k, "/home/alice", 1000, 1000, 0755);
+    os::world::put_file(k, "/home/alice/notes.txt", "my notes\n", 1000, 1000,
+                        0644);
+    k.register_image("backup", backup_main);
+    os::world::put_program(k, "/usr/bin/backup", "backup", os::kRootUid,
+                           os::kRootGid, 0755 | os::kSetUidBit);
+    return w;
+  };
+
+  // The test case: alice backs up one of her files.
+  scenario.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/bin/backup", {"backup", "notes.txt"}, 1000,
+                            1000, {}, "/home/alice");
+    return r.ok() ? r.value() : 255;
+  };
+
+  // --- 3. the security policy ------------------------------------------------
+  scenario.policy.write_sanction_roots = {"/var/backups"};
+  scenario.policy.secret_files = {"/etc/shadow"};
+  scenario.hints.attacker_uid = 666;
+  scenario.hints.attacker_gid = 666;
+
+  // --- 4. run the campaign ----------------------------------------------------
+  core::Campaign campaign(std::move(scenario));
+  auto result = campaign.execute();
+
+  std::printf("%s\n", core::render_report(result).c_str());
+  std::printf("Things to try next:\n"
+              "  * open the destination with OpenFlag::excl | nofollow and\n"
+              "    watch the existence/symlink violations disappear;\n"
+              "  * chmod /var/backups back to 0755 and watch the same\n"
+              "    violations turn into 'assumption reasonable' findings;\n"
+              "  * tighten the policy and see what else surfaces.\n");
+  return 0;
+}

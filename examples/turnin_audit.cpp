@@ -1,0 +1,66 @@
+// The Section 4.1 audit as a user of the library would run it:
+// full campaign over turnin, the assumption analysis, the two exploit
+// replays, and the before/after comparison with the hardened build.
+#include <cstdio>
+
+#include "apps/turnin.hpp"
+#include "core/compare.hpp"
+#include "core/report.hpp"
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+using namespace ep;
+
+int main() {
+  std::printf("############ Auditing turnin with environment perturbation "
+              "############\n\n");
+
+  // Phase 1: the campaign.
+  core::Campaign campaign(apps::turnin_scenario());
+  auto result = campaign.execute();
+  std::printf("%s\n", core::render_report(result).c_str());
+
+  // Phase 2: for each candidate vulnerability the analysis flagged,
+  // demonstrate the attack an actual adversary would run.
+  std::printf("############ Exploit demonstrations ############\n\n");
+
+  {
+    std::printf("[1] A TA reads any file through 'turnin -l':\n");
+    auto s = apps::turnin_scenario();
+    auto w = s.build();
+    const os::Site attack{"ta.sh", 1, "attack"};
+    os::Pid ta = w->kernel.make_process(200, 200, "/home/ta/submit");
+    (void)w->kernel.unlink(attack, ta, "Projlist");
+    (void)w->kernel.symlink(attack, ta, "/etc/shadow", "Projlist");
+    (void)w->kernel.spawn("/usr/bin/turnin", {"turnin", "-c", "cs390", "-l"},
+                          200, 200, {}, "/home/ta");
+    for (const auto& line : ep::split(w->kernel.console(), '\n'))
+      if (!line.empty()) std::printf("    | %s\n", line.c_str());
+    std::printf("\n");
+  }
+
+  {
+    std::printf("[2] A student overwrites the TA's .login:\n");
+    auto s = apps::turnin_scenario();
+    auto w = s.build();
+    os::world::put_file(w->kernel, "/home/alice/.login",
+                        "echo 'you have been had' # evil\n", 1000, 1000,
+                        0644);
+    (void)w->kernel.spawn(
+        "/usr/bin/turnin",
+        {"turnin", "-c", "cs390", "-p", "proj1", "../.login"}, 1000, 1000,
+        {}, "/home/alice");
+    std::printf("    TA's .login now reads: %s\n",
+                ep::trim(w->kernel.peek("/home/ta/.login").value()).c_str());
+    std::printf("\n");
+  }
+
+  // Phase 3: the repaired program, same campaign, diffed.
+  std::printf("############ After hardening ############\n\n");
+  core::Campaign hardened(apps::turnin_hardened_scenario());
+  auto hr = hardened.execute();
+  std::printf("%s\n", core::render_comparison(core::compare(result, hr)).c_str());
+  std::printf("candidate vulnerabilities: %zu -> %zu\n",
+              result.exploitable().size(), hr.exploitable().size());
+  return 0;
+}

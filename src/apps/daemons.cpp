@@ -1,0 +1,528 @@
+#include "apps/daemons.hpp"
+
+#include "apps/fixed_buffer.hpp"
+#include "apps/payloads.hpp"
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::apps {
+
+using os::OpenFlag;
+using os::Site;
+
+namespace {
+
+// ---- logind ----------------------------------------------------------------
+
+const Site kLAccept{"logind.c", 20, kLogindAccept};
+const Site kLRecv{"logind.c", 30, kLogindRecv};
+const Site kLQuery{"logind.c", 60, kLogindQueryAuth};
+const Site kLSend{"logind.c", 90, kLogindSend};
+const Site kLGrant{"logind.c", 95, "grant-login"};
+const Site kLSay{"logind.c", 99, "logind-status"};
+
+int logind_impl(os::Kernel& k, os::Pid pid, net::Network& net,
+                bool hardened) {
+  auto sock = net.accept(k, kLAccept, pid);
+  if (!sock.ok()) return 1;
+  if (hardened && net.socket_shared(sock.value())) {
+    k.output(kLSay, pid, "logind: socket shared with another process");
+    return 1;
+  }
+
+  // Conversation: HELLO, AUTH(user:pass), BYE.
+  const std::vector<std::string> expected = {"HELLO", "AUTH", "BYE"};
+  std::size_t step = 0;
+  std::string creds;
+  for (;;) {
+    auto msg = net.recv(k, kLRecv, pid, sock.value());
+    if (!msg.ok()) break;
+    if (hardened) {
+      if (!msg.value().authentic) {
+        k.output(kLSay, pid, "logind: unauthentic message dropped");
+        return 1;
+      }
+      if (step >= expected.size() || msg.value().type != expected[step]) {
+        k.output(kLSay, pid, "logind: protocol violation");
+        return 1;
+      }
+      ++step;
+      if (!net.peer_trusted(sock.value())) {
+        k.output(kLSay, pid, "logind: untrusted peer");
+        return 1;
+      }
+    }
+    // Parse the payload into the fixed request buffer. The vulnerable
+    // build copies without a bound; the hardened build checks.
+    FixedBuffer buf(k, pid, kLRecv, 256);
+    if (hardened) {
+      if (!buf.copy_checked(msg.value().payload)) {
+        k.output(kLSay, pid, "logind: oversized message dropped");
+        return 1;
+      }
+    } else {
+      buf.copy_unchecked(msg.value().payload);
+    }
+    if (msg.value().type == "AUTH" || ep::contains(buf.str(), ":"))
+      creds = buf.str();
+  }
+  if (creds.empty()) {
+    k.output(kLSay, pid, "logind: no credentials presented");
+    return 1;
+  }
+
+  auto asock = net.connect(k, kLQuery, pid, "authsvc");
+  bool authorized = false;
+  if (!asock.ok()) {
+    if (hardened) {
+      k.output(kLSay, pid, "logind: auth service unavailable, refusing");
+      return 1;
+    }
+    // THE BUG: fail-open when the authority is unreachable.
+    authorized = true;
+  } else {
+    if (hardened && !net.peer_trusted(asock.value())) {
+      k.output(kLSay, pid, "logind: auth service is not trusted, refusing");
+      return 1;
+    }
+    net::Message q;
+    q.type = "AUTH";
+    q.payload = creds;
+    auto reply = net.query(k, kLQuery, pid, asock.value(), q);
+    authorized = reply.ok() && reply.value().type == "AUTH_OK";
+  }
+  if (!authorized) {
+    net::Message deny;
+    deny.type = "DENIED";
+    (void)net.send(k, kLSend, pid, sock.value(), deny);
+    k.output(kLSay, pid, "logind: login denied");
+    return 1;
+  }
+  // Last look before the privileged effect: the socket may have been
+  // shared mid-conversation.
+  if (hardened && net.socket_shared(sock.value())) {
+    k.output(kLSay, pid, "logind: socket no longer exclusive, refusing");
+    return 1;
+  }
+
+  k.privileged_action(kLGrant, pid, "grant-login", true);
+  net::Message okmsg;
+  okmsg.type = "GRANTED";
+  okmsg.payload = "session-token-1";
+  (void)net.send(k, kLSend, pid, sock.value(), okmsg);
+  k.output(kLSay, pid, "logind: login granted");
+  return 0;
+}
+
+// ---- netcpd ----------------------------------------------------------------
+
+const Site kNRecv{"netcpd.c", 20, kNetcpdRecv};
+const Site kNDns{"netcpd.c", 40, kNetcpdDns};
+const Site kNOpen{"netcpd.c", 60, kNetcpdOpenFile};
+const Site kNServe{"netcpd.c", 75, "serve-file"};
+const Site kNSay{"netcpd.c", 90, "netcpd-status"};
+
+int netcpd_impl(os::Kernel& k, os::Pid pid, net::Network& net) {
+  auto sock = net.accept(k, kNRecv, pid);
+  if (!sock.ok()) return 1;
+  auto msg = net.recv(k, kNRecv, pid, sock.value());
+  if (!msg.ok()) {
+    k.output(kNSay, pid, "netcpd: no request");
+    return 1;
+  }
+  // Request "host:file" parsed into a fixed buffer — unchecked.
+  FixedBuffer req(k, pid, kNRecv, 128);
+  req.copy_unchecked(msg.value().payload);
+  auto parts = ep::split(req.str(), ':');
+  if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+    k.output(kNSay, pid, "netcpd: malformed request");
+    return 1;
+  }
+  const std::string& host = parts[0];
+  const std::string& file = parts[1];
+
+  auto ip_r = net.resolve_host(k, kNDns, pid, host);
+  if (!ip_r.ok()) {
+    k.output(kNSay, pid, "netcpd: cannot resolve " + host);
+    return 1;
+  }
+  FixedBuffer ipbuf(k, pid, kNDns, 64);
+  ipbuf.copy_unchecked(ip_r.value());  // DNS replies trusted blindly
+  if (!ep::starts_with(ipbuf.str(), "10.0.")) {
+    k.output(kNSay, pid, "netcpd: foreign address refused");
+    return 1;
+  }
+
+  if (ep::contains(file, "..") || ep::starts_with(file, "/")) {
+    k.output(kNSay, pid, "netcpd: illegal path");
+    return 1;
+  }
+  auto fd = k.open(kNOpen, pid, "/srv/pub/" + file, OpenFlag::rd);
+  if (!fd.ok()) {
+    k.output(kNSay, pid, "netcpd: no such file " + file);
+    return 1;
+  }
+  auto content = k.read(kNOpen, pid, fd.value());
+  (void)k.close(pid, fd.value());
+  if (!content.ok()) return 1;
+
+  k.privileged_action(kNServe, pid, "serve-file", true);
+  net::Message reply;
+  reply.type = "DATA";
+  reply.payload = content.value();
+  (void)net.send(k, kNServe, pid, sock.value(), reply);
+  k.output(kNSay, pid, "netcpd: served " + file);
+  return 0;
+}
+
+// ---- cronhelpd -------------------------------------------------------------
+
+const Site kCRecv{"cronhelpd.c", 20, kCronRecvJob};
+const Site kCQuery{"cronhelpd.c", 40, kCronQueryKey};
+const Site kCApply{"cronhelpd.c", 60, "apply-schedule"};
+const Site kCSay{"cronhelpd.c", 90, "cronhelpd-status"};
+
+int cronhelpd_impl(os::Kernel& k, os::Pid pid, net::Network& net) {
+  auto sock = net.accept(k, kCRecv, pid);
+  if (!sock.ok()) return 1;
+  auto job = net.recv(k, kCRecv, pid, sock.value());
+  if (!job.ok()) {
+    k.output(kCSay, pid, "cronhelpd: no job request");
+    return 1;
+  }
+  FixedBuffer jbuf(k, pid, kCRecv, 256);
+  jbuf.copy_unchecked(job.value().payload);  // no authenticity, no bound
+
+  auto ksock = net.connect(k, kCQuery, pid, "keymaster");
+  bool approved = false;
+  if (!ksock.ok()) {
+    // THE BUG: apply the schedule unsigned when the keymaster is gone.
+    approved = true;
+  } else {
+    net::Message q;
+    q.type = "GET_KEY";
+    q.payload = jbuf.str();
+    auto reply = net.query(k, kCQuery, pid, ksock.value(), q);
+    FixedBuffer kbuf(k, pid, kCQuery, 128);
+    approved = reply.ok() && reply.value().type == "AUTH_OK" &&
+               kbuf.copy_checked(reply.value().payload);
+  }
+  if (!approved) {
+    k.output(kCSay, pid, "cronhelpd: job rejected");
+    return 1;
+  }
+  k.privileged_action(kCApply, pid, "apply-schedule", true);
+  k.output(kCSay, pid, "cronhelpd: schedule applied");
+  return 0;
+}
+
+// ---- rshd ------------------------------------------------------------------
+
+const Site kRHost{"rshd.c", 20, kRshdRecvHost};
+const Site kRCmd{"rshd.c", 30, kRshdRecvCmd};
+const Site kRDns{"rshd.c", 40, kRshdDns};
+const Site kREquiv{"rshd.c", 50, kRshdEquiv};
+const Site kRExec{"rshd.c", 70, kRshdExec};
+const Site kRGrant{"rshd.c", 65, "rshd-grant"};
+const Site kRSay{"rshd.c", 90, "rshd-status"};
+
+bool allowed_command(const std::string& cmd) {
+  return cmd == "ls" || cmd == "who" || cmd == "uptime";
+}
+
+int rshd_impl(os::Kernel& k, os::Pid pid, net::Network& net) {
+  auto sock = net.accept(k, kRHost, pid);
+  if (!sock.ok()) return 1;
+
+  // Message 1: the client's claimed hostname — straight into a fixed
+  // buffer, no bound (Table 5: host name / change length).
+  auto hostmsg = net.recv(k, kRHost, pid, sock.value());
+  if (!hostmsg.ok()) return 1;
+  FixedBuffer hostbuf(k, pid, kRHost, 64);
+  hostbuf.copy_unchecked(hostmsg.value().payload);
+  const std::string host = hostbuf.str();
+
+  // Forward-confirm the hostname; the resolver's answer is trusted
+  // blindly (Table 5: IP address / DNS reply).
+  auto ip = net.resolve_host(k, kRDns, pid, host);
+  if (!ip.ok()) {
+    k.output(kRSay, pid, "rshd: cannot resolve " + host);
+    return 1;
+  }
+  FixedBuffer ipbuf(k, pid, kRDns, 64);
+  ipbuf.copy_unchecked(ip.value());
+  if (!ep::starts_with(ipbuf.str(), "10.0.")) {
+    k.output(kRSay, pid, "rshd: foreign network refused");
+    return 1;
+  }
+
+  // hosts.equiv decides whether the host may run commands here.
+  auto eq = k.open(kREquiv, pid, "/etc/hosts.equiv", os::OpenFlag::rd);
+  if (!eq.ok()) {
+    k.output(kRSay, pid, "rshd: no hosts.equiv, refusing");
+    return 1;
+  }
+  bool equivalent = false;
+  for (;;) {
+    auto line = k.read_line(kREquiv, pid, eq.value());
+    if (!line.ok()) break;
+    if (line.value() == host) equivalent = true;
+  }
+  (void)k.close(pid, eq.value());
+  if (!equivalent) {
+    k.output(kRSay, pid, "rshd: host " + host + " is not equivalent");
+    return 1;
+  }
+
+  // Message 2: the command line. THE BUG: only the first token is held
+  // against the allowlist, but every ';'/newline-separated part runs.
+  auto cmdmsg = net.recv(k, kRCmd, pid, sock.value());
+  if (!cmdmsg.ok()) return 1;
+  FixedBuffer cmdbuf(k, pid, kRCmd, 512);
+  if (!cmdbuf.copy_checked(cmdmsg.value().payload)) {
+    k.output(kRSay, pid, "rshd: command too long");
+    return 1;
+  }
+  std::string cmdline = ep::replace_all(cmdbuf.str(), "\n", ";");
+  auto parts = ep::split_nonempty(cmdline, ';');
+  if (parts.empty() || !allowed_command(ep::trim(parts[0]))) {
+    k.output(kRSay, pid, "rshd: command not permitted");
+    return 1;
+  }
+  k.privileged_action(kRGrant, pid, "run-remote-command", true);
+  for (const auto& part : parts) {
+    std::string cmd = ep::trim(part);
+    if (cmd.empty()) continue;
+    auto rc = k.exec(kRExec, pid, cmd, {cmd});
+    if (!rc.ok())
+      k.output(kRSay, pid, "rshd: " + cmd + " failed to run");
+  }
+  k.output(kRSay, pid, "rshd: done for " + host);
+  return 0;
+}
+
+// ---- shared world pieces -----------------------------------------------------
+
+void daemon_network(net::Network& net) {
+  net::ServiceDef auth;
+  auth.name = "authsvc";
+  auth.kind = net::ChannelKind::network;
+  auth.handler = [](const net::Message& m) {
+    net::Message r;
+    r.type = m.payload == "alice:sesame" ? "AUTH_OK" : "AUTH_FAIL";
+    return r;
+  };
+  net.define_service(auth);
+
+  net::PeerScript script;
+  script.peer = "client-host";
+  script.kind = net::ChannelKind::network;
+  script.expected_protocol = {"HELLO", "AUTH", "BYE"};
+  script.inbound = {
+      {"client-host", "HELLO", "client1", true},
+      {"client-host", "AUTH", "alice:sesame", true},
+      {"client-host", "BYE", "", true},
+  };
+  net.set_client_script(script);
+}
+
+core::Scenario logind_scenario_impl(bool hardened) {
+  core::Scenario s;
+  s.name = hardened ? "logind-hardened" : "logind";
+  s.description =
+      "privileged login daemon: message authenticity, protocol order, "
+      "socket sharing, auth-service availability and trustability";
+  s.trace_unit_filter = "logind.c";
+  s.build = [hardened] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    daemon_network(w->network);
+    net::Network* np = &w->network;
+    k.register_image("logind", [np, hardened](os::Kernel& kk, os::Pid p) {
+      return logind_impl(kk, p, *np, hardened);
+    });
+    register_payload_images(k);
+    os::world::put_program(k, "/usr/sbin/logind", "logind", os::kRootUid,
+                           os::kRootGid, 0755);
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/sbin/logind", {"logind"}, os::kRootUid,
+                            os::kRootGid);
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.watch_all = true;
+  s.policy.require_auth_confirmation = true;
+  s.policy.secret_files = {"/etc/shadow"};
+  return s;
+}
+
+}  // namespace
+
+core::Scenario logind_scenario() { return logind_scenario_impl(false); }
+core::Scenario logind_hardened_scenario() {
+  return logind_scenario_impl(true);
+}
+
+core::Scenario netcpd_scenario() {
+  core::Scenario s;
+  s.name = "netcpd";
+  s.description =
+      "network file server: unchecked request parsing, blind DNS trust, "
+      "symlinkable served files";
+  s.trace_unit_filter = "netcpd.c";
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    os::world::mkdirs(k, "/srv/pub", os::kRootUid, os::kRootGid, 0755);
+    os::world::put_file(k, "/srv/pub/readme.txt",
+                        "public documentation text\n", os::kRootUid,
+                        os::kRootGid, 0644);
+    w->network.add_host("fileserver.corp", "10.0.0.7");
+    net::PeerScript script;
+    script.peer = "10.0.0.5";
+    script.expected_protocol = {"REQ"};
+    script.inbound = {{"10.0.0.5", "REQ", "fileserver.corp:readme.txt", true}};
+    w->network.set_client_script(script);
+    net::Network* np = &w->network;
+    w->kernel.register_image("netcpd", [np](os::Kernel& kk, os::Pid p) {
+      return netcpd_impl(kk, p, *np);
+    });
+    os::world::put_program(k, "/usr/sbin/netcpd", "netcpd", os::kRootUid,
+                           os::kRootGid, 0755);
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/sbin/netcpd", {"netcpd"}, os::kRootUid,
+                            os::kRootGid);
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.watch_all = true;
+  s.policy.secret_files = {"/etc/shadow"};
+  core::SiteSpec dns_spec;
+  dns_spec.faults = {"dns-change-length", "dns-bad-format"};
+  s.sites[kNetcpdDns] = dns_spec;
+  return s;
+}
+
+core::Scenario cronhelpd_scenario() {
+  core::Scenario s;
+  s.name = "cronhelpd";
+  s.description =
+      "privileged scheduler fed over local IPC, signing key fetched from a "
+      "helper process (Table 6 process-entity faults)";
+  s.trace_unit_filter = "cronhelpd.c";
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    net::ServiceDef keymaster;
+    keymaster.name = "keymaster";
+    keymaster.kind = net::ChannelKind::ipc;
+    keymaster.handler = [](const net::Message&) {
+      net::Message r;
+      r.type = "AUTH_OK";
+      r.payload = "signkey-123";
+      return r;
+    };
+    w->network.define_service(keymaster);
+    net::PeerScript script;
+    script.peer = "cronclient";
+    script.kind = net::ChannelKind::ipc;
+    script.expected_protocol = {"JOB"};
+    script.inbound = {{"cronclient", "JOB", "job=cleanup", true}};
+    w->network.set_client_script(script);
+    net::Network* np = &w->network;
+    w->kernel.register_image("cronhelpd", [np](os::Kernel& kk, os::Pid p) {
+      return cronhelpd_impl(kk, p, *np);
+    });
+    os::world::put_program(k, "/usr/sbin/cronhelpd", "cronhelpd",
+                           os::kRootUid, os::kRootGid, 0755);
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/sbin/cronhelpd", {"cronhelpd"},
+                            os::kRootUid, os::kRootGid);
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.watch_all = true;
+  s.policy.require_auth_confirmation = true;
+  return s;
+}
+
+core::Scenario rshd_scenario() {
+  core::Scenario s;
+  s.name = "rshd";
+  s.description =
+      "remote-shell daemon with hostname authentication: unchecked "
+      "hostname/resolver buffers, validate-first-execute-all dispatch";
+  s.trace_unit_filter = "rshd.c";
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    register_payload_images(k);
+    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
+    k.register_image("benign-cmd", [](os::Kernel& kk, os::Pid p) {
+      kk.output(Site{"bin.c", 1, "bin-run"}, p,
+                kk.proc(p).args.empty() ? "ran" : kk.proc(p).args[0] + " ran");
+      return 0;
+    });
+    os::world::put_program(k, "/bin/ls", "benign-cmd");
+    os::world::put_program(k, "/bin/who", "benign-cmd");
+    os::world::put_program(k, "/bin/uptime", "benign-cmd");
+    os::world::put_file(k, "/etc/hosts.equiv",
+                        "trusted.corp\npartner.corp\n", os::kRootUid,
+                        os::kRootGid, 0644);
+    w->network.add_host("trusted.corp", "10.0.0.21");
+    net::PeerScript script;
+    script.peer = "trusted.corp";
+    script.expected_protocol = {"HOST", "CMD"};
+    script.inbound = {{"trusted.corp", "HOST", "trusted.corp", true},
+                      {"trusted.corp", "CMD", "ls", true}};
+    w->network.set_client_script(script);
+    net::Network* np = &w->network;
+    k.register_image("rshd", [np](os::Kernel& kk, os::Pid p) {
+      return rshd_impl(kk, p, *np);
+    });
+    os::world::put_program(k, "/usr/sbin/rshd", "rshd", os::kRootUid,
+                           os::kRootGid, 0755);
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/sbin/rshd", {"rshd"}, os::kRootUid,
+                            os::kRootGid);
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.watch_all = true;
+  s.policy.secret_files = {"/etc/shadow"};
+
+  // Declared semantics: the first message is a hostname, the second a
+  // command, and the resolver's reply is an IP address (Table 5 rows the
+  // default packet inference would miss).
+  core::SiteSpec host_spec;
+  host_spec.semantic = core::InputSemantic::host_name;
+  s.sites[kRshdRecvHost] = host_spec;
+  core::SiteSpec cmd_spec;
+  cmd_spec.semantic = core::InputSemantic::command;
+  s.sites[kRshdRecvCmd] = cmd_spec;
+  core::SiteSpec dns_spec;
+  dns_spec.kind = core::ObjectKind::net_service;
+  dns_spec.semantic = core::InputSemantic::ip_address;
+  dns_spec.faults = {"ip-change-length", "ip-bad-format"};
+  s.sites[kRshdDns] = dns_spec;
+  return s;
+}
+
+}  // namespace ep::apps

@@ -1,0 +1,53 @@
+// Network and IPC daemons exercising Table 6's network and process rows.
+//
+//   * `logind` — a privileged login daemon. The vulnerable build commits
+//     every sin in the catalog: it ignores message authenticity and
+//     protocol order, never checks whether its socket is shared, and
+//     fails *open* when the authentication service is down or replaced.
+//     The hardened build checks all of it.
+//   * `netcpd` — a file server whose request parser copies the peer's
+//     packet into a fixed buffer unchecked (network-input indirect
+//     faults) and which resolves hostnames through perturbable DNS.
+//   * `cronhelpd` — a privileged scheduler that takes job requests over
+//     local IPC and fetches a signing key from a helper process
+//     (process-entity faults); it fails open when the helper is gone.
+//   * `rshd` — a remote-shell daemon authenticating by hostname: it
+//     exercises the host-name, command, and IP-address semantics of
+//     Table 5 (unchecked hostname buffer, validate-first-token-execute-
+//     all command dispatch, blindly trusted resolver answers).
+#pragma once
+
+#include "core/campaign.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+// The daemon bodies are registered as images by their scenarios (they
+// need the scenario's Network), so only the site tags and scenario
+// factories are public.
+
+inline constexpr const char* kLogindAccept = "logind-accept";
+inline constexpr const char* kLogindRecv = "logind-recv";
+inline constexpr const char* kLogindQueryAuth = "logind-query-authsvc";
+inline constexpr const char* kLogindSend = "logind-send-reply";
+
+inline constexpr const char* kNetcpdRecv = "netcpd-recv-request";
+inline constexpr const char* kNetcpdDns = "netcpd-resolve-host";
+inline constexpr const char* kNetcpdOpenFile = "netcpd-open-file";
+
+inline constexpr const char* kCronRecvJob = "cron-recv-job";
+inline constexpr const char* kCronQueryKey = "cron-query-keymaster";
+
+inline constexpr const char* kRshdRecvHost = "rshd-recv-hostname";
+inline constexpr const char* kRshdRecvCmd = "rshd-recv-command";
+inline constexpr const char* kRshdDns = "rshd-resolve-host";
+inline constexpr const char* kRshdEquiv = "rshd-read-hosts-equiv";
+inline constexpr const char* kRshdExec = "rshd-exec-command";
+
+core::Scenario logind_scenario();
+core::Scenario logind_hardened_scenario();
+core::Scenario netcpd_scenario();
+core::Scenario cronhelpd_scenario();
+core::Scenario rshd_scenario();
+
+}  // namespace ep::apps

@@ -1,0 +1,53 @@
+// FixedBuffer: the simulated fixed-size C buffer.
+//
+// Target programs copy environment-derived strings into these. An
+// *unchecked* copy that exceeds capacity is the classic smash: it reports
+// a buffer_overflow app fault through the kernel (so the oracle sees a
+// memory-safety violation if the process is privileged, and the Fuzz
+// baseline sees the subsequent crash) and then aborts the program the way
+// a SIGSEGV would. A *checked* copy models strncpy-style defensive code.
+#pragma once
+
+#include <string>
+
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+class FixedBuffer {
+ public:
+  FixedBuffer(os::Kernel& k, os::Pid pid, os::Site site, std::size_t capacity)
+      : kernel_(k), pid_(pid), site_(std::move(site)), capacity_(capacity) {}
+
+  /// strcpy: no bounds check. Overflow = report + crash.
+  void copy_unchecked(const std::string& s) {
+    if (s.size() >= capacity_) {
+      kernel_.app_fault(site_, pid_, os::AppFault::buffer_overflow,
+                        "copied " + std::to_string(s.size()) +
+                            " bytes into a " + std::to_string(capacity_) +
+                            "-byte buffer");
+      data_ = s.substr(0, capacity_ - 1);
+      throw os::AppCrash{139, "buffer overflow at " + site_.str()};
+    }
+    data_ = s;
+  }
+
+  /// strncpy-with-check: returns false (and copies nothing) if it no fit.
+  [[nodiscard]] bool copy_checked(const std::string& s) {
+    if (s.size() >= capacity_) return false;
+    data_ = s;
+    return true;
+  }
+
+  [[nodiscard]] const std::string& str() const { return data_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  os::Kernel& kernel_;
+  os::Pid pid_;
+  os::Site site_;
+  std::size_t capacity_;
+  std::string data_;
+};
+
+}  // namespace ep::apps

@@ -1,0 +1,84 @@
+#include "apps/journald.hpp"
+
+#include "apps/payloads.hpp"
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::apps {
+
+using os::OpenFlag;
+using os::Site;
+
+namespace {
+
+const Site kGetMask{"journald.c", 15, kJournaldGetMask};
+const Site kCreate{"journald.c", 30, kJournaldCreate};
+const Site kSay{"journald.c", 40, "journald-status"};
+
+unsigned parse_octal(const std::string& s, unsigned fallback) {
+  if (s.empty()) return fallback;
+  unsigned v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '7') return fallback;
+    v = v * 8 + static_cast<unsigned>(c - '0');
+  }
+  return v & 0777;
+}
+
+}  // namespace
+
+int journald_main(os::Kernel& k, os::Pid pid) {
+  // The mask is taken from the environment as-is — the assumption under
+  // test. (A hardened logger would clamp it: umask |= 022.)
+  std::string mask_str = k.getenv(kGetMask, pid, "UMASK").value_or("022");
+  k.proc(pid).umask = parse_octal(mask_str, 022);
+
+  auto fd = k.open(kCreate, pid, kJournaldPath,
+                   OpenFlag::wr | OpenFlag::creat | OpenFlag::append, 0666);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "journald: cannot open journal");
+    return 1;
+  }
+  (void)k.write(kCreate, pid, fd.value(), "audit: session opened by " +
+                                              k.user_name(k.proc(pid).ruid) +
+                                              "\n");
+  (void)k.close(pid, fd.value());
+  k.output(kSay, pid, "journald: entry written");
+  return 0;
+}
+
+core::Scenario journald_scenario() {
+  core::Scenario s;
+  s.name = "journald";
+  s.description =
+      "privileged logger honoring the invoker-supplied creation mask "
+      "(Table 5: permission mask)";
+  s.trace_unit_filter = "journald.c";
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    os::world::mkdirs(k, "/var/log", os::kRootUid, os::kRootGid, 0755);
+    register_payload_images(k);
+    k.register_image("journald", journald_main);
+    os::world::put_program(k, "/usr/sbin/journald", "journald", os::kRootUid,
+                           os::kRootGid, 0755 | os::kSetUidBit);
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    // The invoker's environment carries a sane mask in the benign world.
+    auto r = w.kernel.spawn("/usr/sbin/journald", {"journald"}, 1000, 1000,
+                            {{"UMASK", "022"}}, "/home");
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.write_sanction_roots = {"/var/log"};
+  s.policy.secret_files = {"/etc/shadow"};
+  s.hints.attacker_uid = 666;
+  s.hints.attacker_gid = 666;
+  return s;
+}
+
+}  // namespace ep::apps

@@ -1,0 +1,23 @@
+// `journald`: the permission-mask row of Table 5.
+//
+// A privileged logger that honors the file-creation mask it finds in its
+// environment — an internal entity the operating system initializes and
+// the invoker controls ("change mask to 0 so it will not mask any
+// permission bit"). Under the mask-zero perturbation its journal comes
+// out world-writable, and any local user can rewrite the audit trail.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+int journald_main(os::Kernel& k, os::Pid pid);
+
+inline constexpr const char* kJournaldGetMask = "journald-getenv-umask";
+inline constexpr const char* kJournaldCreate = "journald-create-journal";
+inline constexpr const char* kJournaldPath = "/var/log/journal.log";
+
+core::Scenario journald_scenario();
+
+}  // namespace ep::apps

@@ -1,0 +1,89 @@
+#include "apps/lpr.hpp"
+
+#include "apps/payloads.hpp"
+#include "os/world.hpp"
+
+namespace ep::apps {
+
+using os::OpenFlag;
+using os::Site;
+
+namespace {
+const Site kCreate{"lpr.c", 42, kLprCreateTag};
+const Site kWrite{"lpr.c", 55, kLprWriteTag};
+const Site kSay{"lpr.c", 60, "lpr-status"};
+}  // namespace
+
+int lpr_main(os::Kernel& k, os::Pid pid) {
+  const os::Process& p = k.proc(pid);
+  // f = create(n, 0660); — the paper's fragment. create(2) truncates an
+  // existing file, which is precisely the assumption under test.
+  auto f = k.open(kCreate, pid, kLprSpoolFile,
+                  OpenFlag::wr | OpenFlag::creat | OpenFlag::trunc, 0660);
+  if (!f.ok()) {
+    k.output(kSay, pid, std::string("lpr: cannot create ") + kLprSpoolFile);
+    return 1;
+  }
+  std::string job = "job(" + k.user_name(p.ruid) + "):";
+  for (std::size_t i = 1; i < k.argc(pid); ++i) job += " " + p.args[i];
+  job += "\n";
+  if (!k.write(kWrite, pid, f.value(), job).ok()) {
+    k.output(kSay, pid, "lpr: temp file write error");
+    (void)k.close(pid, f.value());
+    return 1;
+  }
+  (void)k.close(pid, f.value());
+  k.output(kSay, pid, "lpr: job queued");
+  return 0;
+}
+
+core::Scenario lpr_scenario() {
+  core::Scenario s;
+  s.name = "lpr";
+  s.description =
+      "BSD lpr spool-file creation (Section 3.4): perturb the temp file's "
+      "attributes at the create interaction point";
+  s.trace_unit_filter = "lpr.c";
+
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/var/spool/lpd", os::kRootUid, os::kRootGid, 0755);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
+    k.register_image("lpr", lpr_main);
+    register_payload_images(k);
+    os::world::put_program(k, "/usr/bin/lpr", "lpr", os::kRootUid,
+                           os::kRootGid, 0755 | os::kSetUidBit);
+    return w;
+  };
+
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/bin/lpr", {"lpr", "report.txt"}, 1000, 1000);
+    return r.ok() ? r.value() : 255;
+  };
+
+  s.policy.write_sanction_roots = {"/var/spool/lpd"};
+  s.policy.secret_files = {"/etc/shadow"};
+
+  core::SiteSpec create_spec;
+  create_spec.faults = {"file-existence", "file-ownership", "file-permission",
+                        "symbolic-link"};
+  create_spec.not_applicable = {
+      {"content-invariance",
+       "this is supposed to be the first time the file is encountered"},
+      {"name-invariance",
+       "this is supposed to be the first time the file is encountered"},
+      {"working-directory", "lpr names the spool file absolutely"},
+  };
+  s.sites[kLprCreateTag] = create_spec;
+
+  s.hints.attacker_uid = 666;
+  s.hints.attacker_gid = 666;
+  return s;
+}
+
+}  // namespace ep::apps

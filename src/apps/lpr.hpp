@@ -1,0 +1,35 @@
+// The Section 3.4 example: the BSD lpr spool-file flaw.
+//
+// lpr is set-uid root. It creates a temporary spool file with create()
+// and writes the job into it, assuming the file did not exist before the
+// creation (or that it belongs to the invoker). Perturbing the file's
+// existence, ownership, permission, or symbolic-link attribute before the
+// create makes lpr write, with root privilege, to a file the invoking
+// user could not touch — when the file is a link to /etc/passwd, lpr
+// rewrites the password file.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+/// The lpr program image (unit "lpr.c").
+int lpr_main(os::Kernel& k, os::Pid pid);
+
+/// Site tags (stable ids used by scenarios, benches, and tests).
+inline constexpr const char* kLprCreateTag = "create-tempfile";
+inline constexpr const char* kLprWriteTag = "write-tempfile";
+
+/// The deterministic spool path lpr uses.
+inline constexpr const char* kLprSpoolFile = "/var/spool/lpd/tfA123";
+
+/// The Section 3.4 scenario: world (spool dir, users, set-uid lpr),
+/// test case (alice prints a job), policy (spool dir is the sanctioned
+/// output root), and the fault lists of the walkthrough — four attribute
+/// perturbations at the create interaction point, with content/name
+/// invariance and working-directory marked not-applicable exactly as the
+/// paper argues.
+core::Scenario lpr_scenario();
+
+}  // namespace ep::apps

@@ -1,0 +1,116 @@
+#include "apps/mailer.hpp"
+
+#include "apps/fixed_buffer.hpp"
+#include "apps/payloads.hpp"
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::apps {
+
+using os::OpenFlag;
+using os::Site;
+
+namespace {
+const Site kArgRecipient{"mailer.c", 30, kMailerArgRecipient};
+const Site kGetenvPath{"mailer.c", 45, kMailerGetenvPath};
+const Site kCreateSpool{"mailer.c", 60, kMailerCreateSpool};
+const Site kExec{"mailer.c", 80, kMailerExec};
+const Site kSay{"mailer.c", 90, "mailer-status"};
+}  // namespace
+
+int mailer_main(os::Kernel& k, os::Pid pid) {
+  // Recipient straight from argv into a fixed buffer — no length check.
+  std::string recipient_raw = k.arg(kArgRecipient, pid, 1);
+  FixedBuffer rbuf(k, pid, kArgRecipient, 128);
+  rbuf.copy_unchecked(recipient_raw);
+  const std::string recipient = rbuf.str();
+  if (recipient.empty()) {
+    k.output(kSay, pid, "mailer: no recipient");
+    return 1;
+  }
+
+  // Spool path built by concatenation — "../" in the recipient escapes.
+  const std::string spool = "/var/spool/mail/" + recipient;
+  auto fd = k.open(kCreateSpool, pid, spool,
+                   OpenFlag::wr | OpenFlag::creat | OpenFlag::append, 0600);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "mailer: cannot append to " + spool);
+    return 2;
+  }
+  (void)k.write(kCreateSpool, pid, fd.value(),
+                "From " + k.user_name(k.proc(pid).ruid) + "\nmail body\n");
+  (void)k.close(pid, fd.value());
+
+  // $PATH taken at face value; "sendmail" resolved through it.
+  std::string path = k.getenv(kGetenvPath, pid, "PATH").value_or("");
+  if (!path.empty()) k.proc(pid).env["PATH"] = path;
+  auto rc = k.exec(kExec, pid, "sendmail", {"sendmail", recipient});
+  if (!rc.ok()) {
+    k.output(kSay, pid, "mailer: transport agent failed");
+    return 3;
+  }
+  k.output(kSay, pid, "mailer: queued mail for " + recipient);
+  return 0;
+}
+
+core::Scenario mailer_scenario() {
+  core::Scenario s;
+  s.name = "mailer";
+  s.description =
+      "sloppy set-uid mail utility: unchecked argv copy, concatenated "
+      "spool path, unsanitized $PATH exec";
+  s.trace_unit_filter = "mailer.c";
+
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(1001, "bob", 1001);
+    k.add_user(666, "mallory", 666);
+    // The mailbox does not exist yet: delivery creates it fresh in the
+    // sanctioned spool. (Pre-existing-mailbox handling is exactly what the
+    // existence/ownership perturbations probe.)
+    os::world::mkdirs(k, "/var/spool/mail", os::kRootUid, os::kRootGid, 0755);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
+    // The PATH attack needs the payload to answer to the searched name.
+    os::world::put_program(k, "/tmp/attacker/sendmail", "evil", 666, 666,
+                           0755);
+    register_payload_images(k);
+    k.register_image("mailer", mailer_main);
+    os::world::put_program(k, "/bin/sendmail", "sendmail", os::kRootUid,
+                           os::kRootGid, 0755);
+    os::world::put_program(k, "/usr/bin/mailer", "mailer", os::kRootUid,
+                           os::kRootGid, 0755 | os::kSetUidBit);
+    return w;
+  };
+
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/bin/mailer", {"mailer", "bob"}, 1000, 1000,
+                            {}, "/home");
+    return r.ok() ? r.value() : 255;
+  };
+
+  s.policy.write_sanction_roots = {"/var/spool/mail"};
+  s.policy.secret_files = {"/etc/shadow"};
+  s.hints.attacker_uid = 666;
+  s.hints.attacker_gid = 666;
+
+  // arg-recipient / getenv / exec get catalog defaults (the point of this
+  // scenario); the spool-file site mirrors lpr's applicability argument.
+  core::SiteSpec spool_spec;
+  spool_spec.faults = {"file-existence", "file-ownership", "file-permission",
+                       "symbolic-link"};
+  spool_spec.not_applicable = {
+      {"working-directory", "spool path is absolute"}};
+  s.sites[kMailerCreateSpool] = spool_spec;
+
+  core::SiteSpec exec_spec;
+  exec_spec.faults = {"file-existence", "file-ownership", "file-permission",
+                      "symbolic-link", "content-invariance"};
+  s.sites[kMailerExec] = exec_spec;
+  return s;
+}
+
+}  // namespace ep::apps

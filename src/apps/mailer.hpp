@@ -1,0 +1,27 @@
+// `mailer`: a deliberately sloppy set-uid mail submission utility.
+//
+// It exhibits three classic indirect-fault failure modes the vulnerability
+// study (Tables 2/4) says dominate real flaws:
+//   * it copies the recipient into a fixed buffer with no bounds check,
+//   * it builds the spool path from the raw recipient string ("../" walks
+//     out of the spool),
+//   * it locates its transport agent via $PATH without sanitizing it.
+// Used by the Figure 1 bench (indirect vs direct propagation) and the
+// baseline comparison.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+int mailer_main(os::Kernel& k, os::Pid pid);
+
+inline constexpr const char* kMailerArgRecipient = "arg-recipient";
+inline constexpr const char* kMailerGetenvPath = "mailer-getenv-path";
+inline constexpr const char* kMailerCreateSpool = "create-spoolfile";
+inline constexpr const char* kMailerExec = "exec-sendmail";
+
+core::Scenario mailer_scenario();
+
+}  // namespace ep::apps

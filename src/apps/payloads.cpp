@@ -1,0 +1,46 @@
+#include "apps/payloads.hpp"
+
+namespace ep::apps {
+
+namespace {
+const os::Site kTarRun{"tar.c", 10, "tar-run"};
+const os::Site kSendmailRun{"sendmail.c", 10, "sendmail-run"};
+const os::Site kEvilWrite{"evil.c", 10, "evil-write-passwd"};
+const os::Site kEvilSay{"evil.c", 20, "evil-announce"};
+}  // namespace
+
+int tar_main(os::Kernel& k, os::Pid pid) {
+  const os::Process& p = k.proc(pid);
+  k.output(kTarRun, pid,
+           "tar: archived " + std::to_string(p.args.size()) + " arguments");
+  return 0;
+}
+
+int sendmail_main(os::Kernel& k, os::Pid pid) {
+  const os::Process& p = k.proc(pid);
+  std::string to = p.args.size() > 1 ? p.args[1] : "postmaster";
+  k.output(kSendmailRun, pid, "sendmail: delivered to " + to);
+  return 0;
+}
+
+int evil_main(os::Kernel& k, os::Pid pid) {
+  using os::OpenFlag;
+  k.output(kEvilSay, pid, "evil: payload running as euid " +
+                              std::to_string(k.proc(pid).euid));
+  auto fd = k.open(kEvilWrite, pid, "/etc/passwd",
+                   OpenFlag::wr | OpenFlag::append);
+  if (fd.ok()) {
+    (void)k.write(kEvilWrite, pid, fd.value(),
+                  "mallory::0:0:intruder:/:/bin/sh\n");
+    (void)k.close(pid, fd.value());
+  }
+  return 0;
+}
+
+void register_payload_images(os::Kernel& k) {
+  k.register_image("tar", tar_main);
+  k.register_image("sendmail", sendmail_main);
+  k.register_image("evil", evil_main);
+}
+
+}  // namespace ep::apps

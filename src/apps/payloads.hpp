@@ -1,0 +1,25 @@
+// Common auxiliary program images installed into scenario worlds:
+// the benign `tar`/`sendmail`-style helpers and the attacker's payload.
+#pragma once
+
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+/// Benign archiver: validates its arguments and reports success. Runs as
+/// a child of the program under test; its sites live in unit "tar.c".
+int tar_main(os::Kernel& k, os::Pid pid);
+
+/// Benign mail transport; unit "sendmail.c".
+int sendmail_main(os::Kernel& k, os::Pid pid);
+
+/// The attacker's payload: tries to append to /etc/passwd with whatever
+/// privilege it inherited, and announces itself. Executing this at all is
+/// the compromise; the passwd write is the measurable damage.
+int evil_main(os::Kernel& k, os::Pid pid);
+
+/// Register all three images under their conventional names
+/// ("tar", "sendmail", "evil").
+void register_payload_images(os::Kernel& k);
+
+}  // namespace ep::apps

@@ -1,0 +1,391 @@
+#include "apps/registry_modules.hpp"
+
+#include "apps/fixed_buffer.hpp"
+#include "apps/payloads.hpp"
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::apps {
+
+using os::OpenFlag;
+using os::Site;
+
+namespace {
+
+constexpr os::Uid kAdmin = 500;
+constexpr os::Uid kMallory = 666;
+
+// Key paths (stand-ins for the withheld real names).
+constexpr const char* kKeyFontCleanup = "HKLM/Software/FontCleanupList";
+constexpr const char* kKeyLogonProfile = "HKLM/Software/LogonProfileDir";
+constexpr const char* kKeyScreensaver = "HKLM/Software/ScreensaverPath";
+constexpr const char* kKeyHelpViewer = "HKLM/Software/HelpViewerFile";
+constexpr const char* kKeyWallpaper = "HKLM/Software/WallpaperFile";
+constexpr const char* kKeyUpdateLog = "HKLM/Software/UpdateLogPath";
+constexpr const char* kKeySpoolDir = "HKLM/Software/SpoolDirectory";
+constexpr const char* kKeyAeDebug = "HKLM/Software/AeDebugCommand";
+constexpr const char* kKeyTempClean = "HKLM/Software/TempCleanupDir";
+
+// --- the nine module images ---------------------------------------------------
+
+// Each module follows the pattern the paper describes: read a key every
+// user may write, then act on the value with SYSTEM privilege.
+
+int fontcleanup_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"fontcleanup.c", 10, "regread-fontlist"};
+  const Site kDel{"fontcleanup.c", 20, "unlink-fontfile"};
+  const Site kSay{"fontcleanup.c", 30, "fontcleanup-status"};
+  auto v = r.read_value(k, kRead, pid, kKeyFontCleanup);
+  if (!v.ok() || v.value().empty()) {
+    k.output(kSay, pid, "fontcleanup: nothing to clean");
+    return 0;
+  }
+  // "a module in the system that invokes a function call to actually
+  // delete this file" — no check that it still names a font.
+  if (!k.unlink(kDel, pid, v.value()).ok()) {
+    k.output(kSay, pid, "fontcleanup: cannot delete " + v.value());
+    return 1;
+  }
+  k.output(kSay, pid, "fontcleanup: removed " + v.value());
+  return 0;
+}
+
+int logonprofile_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"logonprofile.c", 10, "regread-profiledir"};
+  const Site kIni{"logonprofile.c", 20, "open-profile-ini"};
+  const Site kExec{"logonprofile.c", 40, "exec-logonscript"};
+  const Site kSay{"logonprofile.c", 50, "logonprofile-status"};
+  auto dir = r.read_value(k, kRead, pid, kKeyLogonProfile);
+  if (!dir.ok()) return 1;
+  auto fd = k.open(kIni, pid, dir.value() + "/ntuser.ini", OpenFlag::rd);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "logonprofile: no profile found");
+    return 1;
+  }
+  auto content = k.read(kIni, pid, fd.value());
+  (void)k.close(pid, fd.value());
+  if (!content.ok()) return 1;
+  std::string script;
+  for (const auto& line : ep::split(content.value(), '\n'))
+    if (ep::starts_with(line, "logonscript="))
+      script = line.substr(std::string("logonscript=").size());
+  if (script.empty()) {
+    k.output(kSay, pid, "logonprofile: profile has no logon script");
+    return 1;
+  }
+  // "whenever a user logons, the logon module will go to the ...
+  // directory, and grab a specified profile for you" — and run it.
+  auto rc = k.exec(kExec, pid, script, {script});
+  k.output(kSay, pid, "logonprofile: ran " + script);
+  return rc.ok() ? rc.value() : 1;
+}
+
+int screensaver_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"screensaver.c", 10, "regread-scrpath"};
+  const Site kExec{"screensaver.c", 20, "exec-screensaver"};
+  const Site kSay{"screensaver.c", 30, "screensaver-status"};
+  auto v = r.read_value(k, kRead, pid, kKeyScreensaver);
+  if (!v.ok() || v.value().empty()) return 1;
+  auto rc = k.exec(kExec, pid, v.value(), {v.value()});
+  if (!rc.ok()) {
+    k.output(kSay, pid, "screensaver: cannot start " + v.value());
+    return 1;
+  }
+  return 0;
+}
+
+int helpviewer_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"helpviewer.c", 10, "regread-helpfile"};
+  const Site kOpen{"helpviewer.c", 20, "open-helpfile"};
+  const Site kSay{"helpviewer.c", 30, "helpviewer-status"};
+  auto v = r.read_value(k, kRead, pid, kKeyHelpViewer);
+  if (!v.ok()) return 1;
+  auto fd = k.open(kOpen, pid, v.value(), OpenFlag::rd);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "helpviewer: cannot open " + v.value());
+    return 1;
+  }
+  auto content = k.read(kOpen, pid, fd.value());
+  (void)k.close(pid, fd.value());
+  if (!content.ok()) return 1;
+  // The viewer displays whatever the key names.
+  k.output(kOpen, pid, content.value());
+  return 0;
+}
+
+int wallpaper_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"wallpaper.c", 10, "regread-wallpaper"};
+  const Site kOpen{"wallpaper.c", 20, "open-wallpaper"};
+  const Site kSay{"wallpaper.c", 30, "wallpaper-status"};
+  auto v = r.read_value(k, kRead, pid, kKeyWallpaper);
+  if (!v.ok()) return 1;
+  // Path copied into a fixed name buffer without a bound check.
+  FixedBuffer pathbuf(k, pid, kRead, 256);
+  pathbuf.copy_unchecked(v.value());
+  auto fd = k.open(kOpen, pid, pathbuf.str(), OpenFlag::rd);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "wallpaper: cannot load " + pathbuf.str());
+    return 1;
+  }
+  (void)k.read(kOpen, pid, fd.value());
+  (void)k.close(pid, fd.value());
+  k.output(kSay, pid, "wallpaper: loaded " + pathbuf.str());
+  return 0;
+}
+
+int updater_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"updater.c", 10, "regread-logpath"};
+  const Site kLog{"updater.c", 20, "append-updatelog"};
+  const Site kSay{"updater.c", 30, "updater-status"};
+  auto v = r.read_value(k, kRead, pid, kKeyUpdateLog);
+  if (!v.ok()) return 1;
+  auto fd = k.open(kLog, pid, v.value(),
+                   OpenFlag::wr | OpenFlag::creat | OpenFlag::append, 0644);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "updater: cannot log to " + v.value());
+    return 1;
+  }
+  (void)k.write(kLog, pid, fd.value(), "update check: all components ok\n");
+  (void)k.close(pid, fd.value());
+  return 0;
+}
+
+int spooler_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"spooler.c", 10, "regread-spooldir"};
+  const Site kSpool{"spooler.c", 20, "create-spoolfile"};
+  const Site kSay{"spooler.c", 30, "spooler-status"};
+  auto v = r.read_value(k, kRead, pid, kKeySpoolDir);
+  if (!v.ok()) return 1;
+  auto fd = k.open(kSpool, pid, v.value() + "/spool001.tmp",
+                   OpenFlag::wr | OpenFlag::creat | OpenFlag::trunc, 0600);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "spooler: cannot spool under " + v.value());
+    return 1;
+  }
+  (void)k.write(kSpool, pid, fd.value(), "spooled print job\n");
+  (void)k.close(pid, fd.value());
+  return 0;
+}
+
+int aedebug_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"aedebug.c", 10, "regread-debugger"};
+  const Site kExec{"aedebug.c", 20, "exec-debugger"};
+  const Site kSay{"aedebug.c", 30, "aedebug-status"};
+  auto v = r.read_value(k, kRead, pid, kKeyAeDebug);
+  if (!v.ok() || v.value().empty()) return 1;
+  // A process crashed; launch the configured post-mortem debugger.
+  auto rc = k.exec(kExec, pid, v.value(), {v.value(), "-p", "1234"});
+  if (!rc.ok()) {
+    k.output(kSay, pid, "aedebug: cannot start debugger");
+    return 1;
+  }
+  return 0;
+}
+
+int tempclean_main(os::Kernel& k, os::Pid pid, reg::Registry& r) {
+  const Site kRead{"tempclean.c", 10, "regread-tempdir"};
+  const Site kClean{"tempclean.c", 20, "unlink-tempfiles"};
+  const Site kSay{"tempclean.c", 30, "tempclean-status"};
+  auto v = r.read_value(k, kRead, pid, kKeyTempClean);
+  if (!v.ok()) return 1;
+  auto names = k.readdir(kClean, pid, v.value());
+  if (!names.ok()) {
+    k.output(kSay, pid, "tempclean: cannot list " + v.value());
+    return 1;
+  }
+  int removed = 0;
+  for (const auto& name : names.value())
+    if (k.unlink(kClean, pid, v.value() + "/" + name).ok()) ++removed;
+  k.output(kSay, pid,
+           "tempclean: removed " + std::to_string(removed) + " file(s)");
+  return 0;
+}
+
+}  // namespace
+
+std::vector<NtModuleInfo> nt_modules() {
+  return {
+      {"fontcleanup", kKeyFontCleanup,
+       "deletes the file the key names (the paper's font-file module)"},
+      {"logonprofile", kKeyLogonProfile,
+       "loads the logon profile from the key-named directory (the paper's "
+       "logon module)"},
+      {"screensaver", kKeyScreensaver, "executes the key-named binary"},
+      {"helpviewer", kKeyHelpViewer, "displays the key-named file"},
+      {"wallpaper", kKeyWallpaper,
+       "copies the key value into a fixed buffer and loads the file"},
+      {"updater", kKeyUpdateLog, "appends its log to the key-named path"},
+      {"spooler", kKeySpoolDir, "creates spool files in the key-named dir"},
+      {"aedebug", kKeyAeDebug,
+       "runs the key-named post-mortem debugger on crashes"},
+      {"tempclean", kKeyTempClean,
+       "recursively deletes the key-named directory's entries"},
+  };
+}
+
+std::unique_ptr<core::TargetWorld> nt_registry_world() {
+  auto w = std::make_unique<core::TargetWorld>();
+  os::Kernel& k = w->kernel;
+  k.add_user(os::kRootUid, "SYSTEM", os::kRootGid);
+  k.add_user(kAdmin, "administrator", kAdmin);
+  k.add_user(kMallory, "mallory", kMallory);
+
+  os::world::mkdirs(k, "/winnt/system32/config");
+  os::world::put_file(k, kNtSam,
+                      "SAM-REGISTRY-HIVE administrator:0x1f4:"
+                      "SECRET-NT-PASSWORD-HASHES\n",
+                      os::kRootUid, os::kRootGid, 0600);
+  os::world::put_file(k, kNtCritical,
+                      "[boot]\nshell=explorer.exe\nsecure=yes\n",
+                      os::kRootUid, os::kRootGid, 0644);
+  os::world::mkdirs(k, "/winnt/fonts");
+  os::world::put_file(k, "/winnt/fonts/stale.fon", "old font data",
+                      kAdmin, kAdmin, 0664);
+  os::world::mkdirs(k, "/winnt/help");
+  os::world::put_file(k, "/winnt/help/index.hlp",
+                      "help topics: printing, networking\n", os::kRootUid,
+                      os::kRootGid, 0644);
+  os::world::put_file(k, "/winnt/wall.bmp", "BMPDATA", os::kRootUid,
+                      os::kRootGid, 0644);
+  os::world::mkdirs(k, "/winnt/logs");
+  os::world::put_file(k, "/winnt/logs/update.log", "log start\n",
+                      os::kRootUid, os::kRootGid, 0666);
+  os::world::mkdirs(k, "/winnt/spool", os::kRootUid, os::kRootGid, 0777);
+  os::world::mkdirs(k, "/winnt/temp", os::kRootUid, os::kRootGid, 0777);
+  os::world::put_file(k, "/winnt/temp/scratch1.tmp", "x", kAdmin, kAdmin,
+                      0666);
+  os::world::put_file(k, "/winnt/temp/scratch2.tmp", "y", kAdmin, kAdmin,
+                      0666);
+  os::world::mkdirs(k, "/winnt/profiles/default");
+  os::world::put_file(k, "/winnt/profiles/default/ntuser.ini",
+                      "wallpaper=wall.bmp\nlogonscript=/winnt/system32/"
+                      "logon.cmd\n",
+                      os::kRootUid, os::kRootGid, 0644);
+
+  // Attacker staging (any user can reach /tmp).
+  os::world::mkdirs(k, "/tmp/attacker", kMallory, kMallory, 0755);
+  register_payload_images(k);
+  os::world::put_program(k, "/tmp/attacker/evil", "evil", kMallory, kMallory,
+                         0755);
+  os::world::mkdirs(k, "/tmp/attacker/profile", kMallory, kMallory, 0755);
+  os::world::put_file(k, "/tmp/attacker/profile/ntuser.ini",
+                      "logonscript=/tmp/attacker/evil\n", kMallory, kMallory,
+                      0644);
+
+  // Benign system binaries the modules act on.
+  k.register_image("benign-cmd", [](os::Kernel& kk, os::Pid p) {
+    kk.output(Site{"benign.c", 1, "benign-run"}, p, "benign helper ran");
+    return 0;
+  });
+  os::world::put_program(k, "/winnt/system32/logon.cmd", "benign-cmd");
+  os::world::put_program(k, "/winnt/system32/ssmarquee.scr", "benign-cmd");
+  os::world::put_program(k, "/winnt/system32/drwtsn32.exe", "benign-cmd");
+
+  // Module services: installed set-uid SYSTEM, invoked by the admin.
+  reg::Registry* rp = &w->registry;
+  auto install = [&](const char* name, int (*fn)(os::Kernel&, os::Pid,
+                                                 reg::Registry&)) {
+    k.register_image(name, [rp, fn](os::Kernel& kk, os::Pid p) {
+      return fn(kk, p, *rp);
+    });
+    os::world::put_program(k, std::string("/winnt/system32/") + name + ".exe",
+                           name, os::kRootUid, os::kRootGid,
+                           0755 | os::kSetUidBit);
+  };
+  install("fontcleanup", fontcleanup_main);
+  install("logonprofile", logonprofile_main);
+  install("screensaver", screensaver_main);
+  install("helpviewer", helpviewer_main);
+  install("wallpaper", wallpaper_main);
+  install("updater", updater_main);
+  install("spooler", spooler_main);
+  install("aedebug", aedebug_main);
+  install("tempclean", tempclean_main);
+
+  // The registry: 9 everyone-write keys with known modules, 20 without,
+  // 15 properly protected. 29 unprotected total — the scan result the
+  // paper reports.
+  auto unprotected = [&](const char* path, std::string value,
+                         const char* module) {
+    reg::Key key;
+    key.path = path;
+    key.value = std::move(value);
+    key.acl.owner = kAdmin;
+    key.acl.everyone_write = true;
+    key.used_by_module = module;
+    w->registry.define_key(key);
+  };
+  unprotected(kKeyFontCleanup, "/winnt/fonts/stale.fon", "fontcleanup");
+  unprotected(kKeyLogonProfile, "/winnt/profiles/default", "logonprofile");
+  unprotected(kKeyScreensaver, "/winnt/system32/ssmarquee.scr",
+              "screensaver");
+  unprotected(kKeyHelpViewer, "/winnt/help/index.hlp", "helpviewer");
+  unprotected(kKeyWallpaper, "/winnt/wall.bmp", "wallpaper");
+  unprotected(kKeyUpdateLog, "/winnt/logs/update.log", "updater");
+  unprotected(kKeySpoolDir, "/winnt/spool", "spooler");
+  unprotected(kKeyAeDebug, "/winnt/system32/drwtsn32.exe", "aedebug");
+  unprotected(kKeyTempClean, "/winnt/temp", "tempclean");
+  for (int i = 1; i <= 20; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "HKLM/Software/Unknown%02d", i);
+    unprotected(buf, "opaque-value-" + std::to_string(i), "");
+  }
+  for (int i = 1; i <= 15; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "HKLM/Secure/Protected%02d", i);
+    reg::Key key;
+    key.path = buf;
+    key.value = "locked-down";
+    key.acl.owner = kAdmin;
+    key.acl.everyone_write = false;
+    w->registry.define_key(key);
+  }
+  return w;
+}
+
+core::Scenario nt_module_scenario(const std::string& module) {
+  core::Scenario s;
+  s.name = "nt-" + module;
+  for (const auto& m : nt_modules())
+    if (m.module == module) s.description = m.what;
+  s.trace_unit_filter = module + ".c";
+  s.build = [] { return nt_registry_world(); };
+  s.run = [module](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/winnt/system32/" + module + ".exe", {module},
+                            kAdmin, kAdmin);
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.write_sanction_roots = {"/winnt/spool", "/winnt/logs",
+                                   "/winnt/temp"};
+  s.policy.secret_files = {kNtSam};
+  s.hints.attacker_uid = kMallory;
+  s.hints.attacker_gid = kMallory;
+  s.hints.attacker_dir = "/tmp/attacker";
+  s.hints.symlink_victim = kNtCritical;
+  s.hints.secret_victim = kNtSam;
+  s.hints.evil_program = "/tmp/attacker/evil";
+  s.hints.dir_victim = "/winnt/system32";
+
+  // Key-value tampering payloads: where an attacker would point each key.
+  s.hints.content_payloads["regread-fontlist"] = kNtCritical;
+  s.hints.content_payloads["regread-profiledir"] = "/tmp/attacker/profile";
+  s.hints.content_payloads["regread-scrpath"] = "/tmp/attacker/evil";
+  s.hints.content_payloads["regread-helpfile"] = kNtSam;
+  s.hints.content_payloads["regread-wallpaper"] = kNtSam;
+  s.hints.content_payloads["regread-logpath"] = kNtCritical;
+  s.hints.content_payloads["regread-spooldir"] = "/winnt/system32";
+  s.hints.content_payloads["regread-debugger"] = "/tmp/attacker/evil";
+  s.hints.content_payloads["regread-tempdir"] = "/winnt/system32";
+  // Profile tampering: the ini line that redirects the logon script.
+  s.hints.content_payloads["open-profile-ini"] =
+      "logonscript=/tmp/attacker/evil\n";
+  return s;
+}
+
+std::vector<core::Scenario> nt_module_scenarios() {
+  std::vector<core::Scenario> out;
+  for (const auto& m : nt_modules()) out.push_back(nt_module_scenario(m.module));
+  return out;
+}
+
+}  // namespace ep::apps

@@ -1,0 +1,23 @@
+#include "apps/scenarios.hpp"
+
+namespace ep::apps {
+
+std::vector<core::Scenario> all_scenarios() {
+  std::vector<core::Scenario> out;
+  out.push_back(lpr_scenario());
+  out.push_back(turnin_scenario());
+  out.push_back(turnin_hardened_scenario());
+  out.push_back(mailer_scenario());
+  out.push_back(logind_scenario());
+  out.push_back(logind_hardened_scenario());
+  out.push_back(netcpd_scenario());
+  out.push_back(cronhelpd_scenario());
+  out.push_back(rshd_scenario());
+  out.push_back(journald_scenario());
+  out.push_back(vault_scenario());
+  out.push_back(vault_fixed_scenario());
+  for (auto& s : nt_module_scenarios()) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace ep::apps

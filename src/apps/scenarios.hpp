@@ -1,0 +1,21 @@
+// One-stop access to every packaged scenario, for benches, examples, and
+// integration tests.
+#pragma once
+
+#include <vector>
+
+#include "apps/daemons.hpp"
+#include "apps/lpr.hpp"
+#include "apps/mailer.hpp"
+#include "apps/registry_modules.hpp"
+#include "apps/turnin.hpp"
+#include "apps/journald.hpp"
+#include "apps/vault.hpp"
+
+namespace ep::apps {
+
+/// Every scenario in the suite (lpr, turnin, turnin-hardened, mailer,
+/// logind, logind-hardened, netcpd, cronhelpd, and the 9 NT modules).
+std::vector<core::Scenario> all_scenarios();
+
+}  // namespace ep::apps

@@ -1,0 +1,396 @@
+#include "apps/turnin.hpp"
+
+#include "apps/fixed_buffer.hpp"
+#include "apps/payloads.hpp"
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::apps {
+
+using os::OpenFlag;
+using os::OpenFlags;
+using os::Site;
+
+namespace {
+
+// The 8 interaction points. Lines are stable pseudo-line-numbers in
+// "turnin.c"; tags are the public identifiers.
+const Site kArgCourse{"turnin.c", 80, kTurninArgCourse};
+const Site kOpenConfig{"turnin.c", 102, kTurninOpenConfig};
+const Site kOpenProjlist{"turnin.c", 131, kTurninOpenProjlist};
+const Site kGetenvPath{"turnin.c", 150, kTurninGetenvPath};
+const Site kArgFile{"turnin.c", 210, kTurninArgFile};
+const Site kOpenSource{"turnin.c", 240, kTurninOpenSource};
+const Site kCreateDest{"turnin.c", 260, kTurninCreateDest};
+const Site kExecTar{"turnin.c", 300, kTurninExecTar};
+const Site kSay{"turnin.c", 320, "turnin-status"};
+
+bool all_course_chars(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+/// The validation bug: leading "./" and "../" prefixes are stripped before
+/// the name is checked, but callers keep using the original.
+std::string strip_path_prefixes(std::string name) {
+  for (;;) {
+    if (ep::starts_with(name, "./"))
+      name.erase(0, 2);
+    else if (ep::starts_with(name, "../"))
+      name.erase(0, 3);
+    else
+      break;
+  }
+  return name;
+}
+
+int turnin_impl(os::Kernel& k, os::Pid pid, bool hardened) {
+  const os::Process& p = k.proc(pid);
+
+  // Flag parsing walks the raw argv for dispatch syntax (-c/-l/-p); the
+  // *values* — course name, file names — are fetched through the
+  // interaction layer, because those are what an invoker perturbs.
+  std::size_t course_idx = 0;
+  std::size_t proj_idx = 0;
+  bool list_mode = false;
+  std::size_t first_file_idx = 0;
+  for (std::size_t i = 1; i < p.args.size(); ++i) {
+    if (p.args[i] == "-c" && i + 1 < p.args.size()) {
+      course_idx = ++i;
+    } else if (p.args[i] == "-l") {
+      list_mode = true;
+    } else if (p.args[i] == "-p" && i + 1 < p.args.size()) {
+      proj_idx = ++i;
+      first_file_idx = i + 1;
+    }
+  }
+  if (course_idx == 0 || (!list_mode && proj_idx == 0)) {
+    k.output(kSay, pid, "usage: turnin -c course [-l | -p project files...]");
+    return 1;
+  }
+
+  // --- interaction 1: course name (user input) -----------------------------
+  std::string course_raw = k.arg(kArgCourse, pid, course_idx);
+  FixedBuffer course_buf(k, pid, kArgCourse, 64);
+  if (!course_buf.copy_checked(course_raw)) {
+    k.output(kSay, pid, "turnin: course name too long");
+    return 2;
+  }
+  const std::string course = course_buf.str();
+  if (!all_course_chars(course)) {
+    k.output(kSay, pid, "turnin: illegal course name");
+    return 2;
+  }
+
+  // --- interaction 2: configuration file (file system) ---------------------
+  OpenFlags cfg_flags = OpenFlag::rd;
+  if (hardened) cfg_flags = cfg_flags | OpenFlag::nofollow;
+  auto cfd = k.open(kOpenConfig, pid, kTurninConfigPath, cfg_flags);
+  if (!cfd.ok()) {
+    k.output(kSay, pid, "turnin: cannot open configuration file");
+    return 2;
+  }
+  std::string submitbase;
+  for (;;) {
+    auto line = k.read_line(kOpenConfig, pid, cfd.value());
+    if (!line.ok()) break;
+    auto parts = ep::split(line.value(), ':');
+    if (parts.size() == 2 && parts[0] == course) submitbase = parts[1];
+  }
+  (void)k.close(pid, cfd.value());
+  if (submitbase.empty()) {
+    k.output(kSay, pid, "turnin: unknown course " + course);
+    return 3;
+  }
+
+  // --- interaction 3: Projlist (the paper's first exploited flaw) ----------
+  const std::string pcFile = submitbase + "/Projlist";
+  if (hardened) {
+    // Ask whether the *invoker* may read the list before reading it with
+    // root privilege (access(2) checks the real uid).
+    if (!k.access(kOpenProjlist, pid, pcFile, os::Perm::read).ok()) {
+      k.output(kSay, pid, "can not find project list file");
+      return 9;
+    }
+  }
+  OpenFlags pl_flags = OpenFlag::rd;
+  if (hardened) pl_flags = pl_flags | OpenFlag::nofollow;
+  auto pfd = k.open(kOpenProjlist, pid, pcFile, pl_flags);
+  if (!pfd.ok()) {
+    k.output(kSay, pid, "can not find project list file");
+    return 9;
+  }
+
+  if (list_mode) {
+    k.output(kSay, pid, "Project list for " + course + ":");
+    for (;;) {
+      auto line = k.read_line(kOpenProjlist, pid, pfd.value());
+      if (!line.ok()) break;
+      k.output(kOpenProjlist, pid, line.value());
+    }
+    (void)k.close(pid, pfd.value());
+    return 0;
+  }
+
+  std::vector<std::string> projects;
+  for (;;) {
+    auto line = k.read_line(kOpenProjlist, pid, pfd.value());
+    if (!line.ok()) break;
+    if (!line.value().empty()) projects.push_back(line.value());
+  }
+  (void)k.close(pid, pfd.value());
+  const std::string proj = p.args[proj_idx];
+  bool known = false;
+  for (const auto& pr : projects) known = known || pr == proj;
+  if (!known) {
+    k.output(kSay, pid, "turnin: unknown project " + proj);
+    return 4;
+  }
+
+  // --- interaction 4: $PATH (environment variable) -------------------------
+  // turnin never PATH-searches (it pins /bin/tar by descriptor below), but
+  // it still sanitizes the variable it hands to children.
+  std::string path = k.getenv(kGetenvPath, pid, "PATH").value_or("");
+  bool path_ok = !path.empty();
+  for (const auto& comp : ep::split_nonempty(path, ':'))
+    if (comp != "/bin" && comp != "/usr/bin" && comp != "/usr/local/bin")
+      path_ok = false;
+  if (!path_ok) path = "/bin:/usr/bin";
+  k.proc(pid).env["PATH"] = path;
+
+  // --- interaction 5: the tar binary (checked, then pinned by fd) ----------
+  auto tst = k.stat(kExecTar, pid, "/bin/tar");
+  auto tar_ok = [&](const os::StatInfo& s) {
+    return s.type == os::FileType::regular && s.uid == os::kRootUid &&
+           (s.mode & 0022) == 0 && (s.mode & 0111) != 0 && s.trusted;
+  };
+  if (!tst.ok() || !tar_ok(tst.value())) {
+    k.output(kSay, pid, "turnin: tar binary looks unsafe, aborting");
+    return 5;
+  }
+  auto tfd = k.open(kExecTar, pid, "/bin/tar", OpenFlag::rd);
+  if (!tfd.ok()) {
+    k.output(kSay, pid, "turnin: cannot open tar binary");
+    return 5;
+  }
+  // Re-verify through the descriptor: nothing that happens to the *path*
+  // from here on can swap the binary underneath us.
+  auto tst2 = k.fstat(pid, tfd.value());
+  if (!tst2.ok() || !tar_ok(tst2.value())) {
+    k.output(kSay, pid, "turnin: tar binary changed, aborting");
+    (void)k.close(pid, tfd.value());
+    return 5;
+  }
+
+  // --- interactions 6-8: each submitted file -------------------------------
+  int submitted = 0;
+  for (std::size_t i = first_file_idx; i < p.args.size(); ++i) {
+    std::string name = k.arg(kArgFile, pid, i);
+    FixedBuffer name_buf(k, pid, kArgFile, 256);
+    if (!name_buf.copy_checked(name)) {
+      k.output(kSay, pid, "turnin: file name too long");
+      return 6;
+    }
+    std::string stripped = strip_path_prefixes(name);
+    if (hardened && (ep::contains(name, "..") || ep::contains(name, "/"))) {
+      k.output(kSay, pid, "turnin: illegal file name " + name);
+      return 6;
+    }
+    if (stripped.empty() || ep::contains(stripped, "/")) {
+      k.output(kSay, pid, "turnin: illegal file name " + name);
+      return 6;
+    }
+
+    // Read the student's file — but only if the *invoker* could.
+    if (!k.access(kOpenSource, pid, stripped, os::Perm::read).ok()) {
+      k.output(kSay, pid, "turnin: you cannot read " + stripped);
+      return 7;
+    }
+    auto sfd = k.open(kOpenSource, pid, stripped, OpenFlag::rd);
+    if (!sfd.ok()) {
+      k.output(kSay, pid, "turnin: cannot open " + stripped);
+      return 7;
+    }
+    auto content = k.read(kOpenSource, pid, sfd.value());
+    (void)k.close(pid, sfd.value());
+    if (!content.ok()) {
+      k.output(kSay, pid, "turnin: read error on " + stripped);
+      return 7;
+    }
+
+    // THE BUG: destination uses the original (unstripped) name.
+    const std::string dest =
+        submitbase + "/" + (hardened ? stripped : name);
+    OpenFlags dflags = OpenFlag::wr | OpenFlag::creat | OpenFlag::trunc;
+    if (hardened) dflags = OpenFlag::wr | OpenFlag::creat | OpenFlag::excl;
+    auto dfd = k.open(kCreateDest, pid, dest, dflags, 0600);
+    if (!dfd.ok()) {
+      k.output(kSay, pid, "turnin: cannot store " + name);
+      return 8;
+    }
+    if (!k.write(kCreateDest, pid, dfd.value(), content.value()).ok()) {
+      k.output(kSay, pid, "turnin: write error storing " + name);
+      (void)k.close(pid, dfd.value());
+      return 8;
+    }
+    (void)k.close(pid, dfd.value());
+    ++submitted;
+  }
+
+  // execve(acTar, nargv, environ) — via the pinned descriptor.
+  auto rc = k.fexec(kExecTar, pid, tfd.value(),
+                    {"tar", "cf", submitbase + "/submission.tar"});
+  (void)k.close(pid, tfd.value());
+  if (!rc.ok() || rc.value() != 0) {
+    k.output(kSay, pid, "turnin: tar failed");
+    return 10;
+  }
+  k.output(kSay, pid,
+           "turnin: submitted " + std::to_string(submitted) + " file(s) to " +
+               course + "/" + proj);
+  return 0;
+}
+
+}  // namespace
+
+int turnin_main(os::Kernel& k, os::Pid pid) {
+  return turnin_impl(k, pid, /*hardened=*/false);
+}
+
+int turnin_hardened_main(os::Kernel& k, os::Pid pid) {
+  return turnin_impl(k, pid, /*hardened=*/true);
+}
+
+namespace {
+
+core::Scenario turnin_scenario_impl(bool hardened) {
+  core::Scenario s;
+  s.name = hardened ? "turnin-hardened" : "turnin";
+  s.description =
+      "Purdue turnin (Section 4.1): 8 interaction points, 41 perturbations";
+  s.trace_unit_filter = "turnin.c";
+
+  s.build = [hardened] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(200, "ta", 200);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+
+    os::world::put_file(k, kTurninConfigPath,
+                        "cs390:/home/ta/submit\ncs240:/home/ta/submit\n",
+                        os::kRootUid, os::kRootGid, 0644);
+
+    os::world::mkdirs(k, "/home/ta", 200, 200, 0755);
+    os::world::mkdirs(k, "/home/ta/submit", 200, 200, 0755);
+    os::world::put_file(k, "/home/ta/submit/Projlist",
+                        "proj1\nproj2\nproj3\n", 200, 200, 0644);
+    os::world::put_file(k, "/home/ta/.login", "# ta login script\n", 200, 200,
+                        0644);
+
+    os::world::mkdirs(k, "/home/alice", 1000, 1000, 0755);
+    os::world::put_file(k, "/home/alice/hw1.c",
+                        "int main() { return 42; }\n", 1000, 1000, 0644);
+    os::world::put_file(k, "/home/alice/.login",
+                        "PATH=/home/alice/bin:$PATH  # student login file\n",
+                        1000, 1000, 0644);
+
+    // The attacker's staging area (exists in the benign world; scenario
+    // hints point perturbations at it).
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
+    os::world::put_file(k, "/tmp/attacker/evil-turnin.cf",
+                        "cs390:/tmp/attacker\n", 666, 666, 0644);
+    os::world::put_file(k, "/tmp/attacker/Projlist", "proj1\n", 666, 666,
+                        0644);
+
+    register_payload_images(k);
+    k.register_image("turnin", turnin_main);
+    k.register_image("turnin-hardened", turnin_hardened_main);
+    os::world::put_program(k, "/bin/tar", "tar", os::kRootUid, os::kRootGid,
+                           0755);
+    os::world::put_program(k, "/usr/bin/turnin",
+                           hardened ? "turnin-hardened" : "turnin",
+                           os::kRootUid, os::kRootGid, 0755 | os::kSetUidBit);
+    return w;
+  };
+
+  s.run = [](core::TargetWorld& w) {
+    // The test case: a student lists the projects, then submits one file.
+    (void)w.kernel.spawn("/usr/bin/turnin", {"turnin", "-c", "cs390", "-l"},
+                         1000, 1000, {}, "/home/alice");
+    auto r = w.kernel.spawn(
+        "/usr/bin/turnin",
+        {"turnin", "-c", "cs390", "-p", "proj1", "hw1.c"}, 1000, 1000, {},
+        "/home/alice");
+    return r.ok() ? r.value() : 255;
+  };
+
+  s.policy.write_sanction_roots = {kTurninSubmitDir};
+  s.policy.secret_files = {"/etc/shadow"};
+
+  s.hints.attacker_uid = 666;
+  s.hints.attacker_gid = 666;
+  s.hints.content_payloads[kTurninOpenConfig] = "cs390:/tmp/attacker\n";
+  s.hints.link_victims[kTurninOpenConfig] = "/tmp/attacker/evil-turnin.cf";
+
+  // The per-site fault plans: 41 perturbations over 8 interaction points.
+  auto fs_basic = [](std::initializer_list<const char*> names,
+                     std::map<std::string, std::string> na = {}) {
+    core::SiteSpec spec;
+    for (const char* n : names) spec.faults.emplace_back(n);
+    spec.not_applicable = std::move(na);
+    return spec;
+  };
+
+  s.sites[kTurninOpenConfig] = fs_basic(
+      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
+       "content-invariance"},
+      {{"name-invariance", "covered by file-existence for a fixed path"},
+       {"working-directory", "config path is absolute"}});
+  s.sites[kTurninOpenProjlist] = fs_basic(
+      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
+       "content-invariance", "name-invariance"},
+      {{"working-directory", "Projlist path is absolute"}});
+  s.sites[kTurninGetenvPath] = fs_basic(
+      {"path-change-length", "path-rearrange-order", "path-insert-untrusted",
+       "path-use-incorrect", "path-use-recursive"});
+  s.sites[kTurninArgCourse] = fs_basic(
+      {"change-length", "use-relative-path", "use-absolute-path",
+       "insert-dotdot", "insert-slash"});
+  s.sites[kTurninArgFile] = fs_basic(
+      {"change-length", "use-relative-path", "use-absolute-path",
+       "insert-dotdot", "insert-slash"});
+  s.sites[kTurninOpenSource] = fs_basic(
+      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
+       "content-invariance"},
+      {{"name-invariance", "equivalent to file-existence here"},
+       {"working-directory",
+        "source resolution is the invoker's own responsibility"}});
+  s.sites[kTurninCreateDest] = fs_basic(
+      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
+       "working-directory"},
+      {{"content-invariance",
+        "this is supposed to be the first time the file is encountered"},
+       {"name-invariance",
+        "this is supposed to be the first time the file is encountered"}});
+  s.sites[kTurninExecTar] = fs_basic(
+      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
+       "content-invariance"},
+      {{"name-invariance", "binary is pinned by descriptor after the check"},
+       {"working-directory", "binary path is absolute"}});
+  return s;
+}
+
+}  // namespace
+
+core::Scenario turnin_scenario() { return turnin_scenario_impl(false); }
+
+core::Scenario turnin_hardened_scenario() {
+  return turnin_scenario_impl(true);
+}
+
+}  // namespace ep::apps

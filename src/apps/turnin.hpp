@@ -1,0 +1,49 @@
+// The Section 4.1 case study: Purdue's `turnin`.
+//
+// turnin is set-uid root: it copies a student's files into the teaching
+// assistant's protected submit directory. The reimplementation preserves
+// the interaction structure the paper reports — 8 interaction points, 41
+// perturbations, 9 violations — including the two real vulnerabilities:
+//
+//   1. `fopen(pcFile, "r")` on the Projlist runs with root privilege and
+//      the content is printed back to the invoker; a TA who points
+//      Projlist at /etc/shadow (or makes it unreadable) turns `turnin -l`
+//      into an arbitrary-file reader.
+//   2. File names are validated on a *stripped* copy (leading "./" and
+//      "../" removed) but the *original* name builds the destination
+//      path, so "../.login" escapes the submit directory and overwrites
+//      the TA's .login.
+//
+// The hardened variant closes every hole a non-root actor could exploit:
+// O_NOFOLLOW on config/Projlist, access(2) (real-uid) checks before
+// privileged reads, ".."-free name validation, and O_EXCL creation.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+int turnin_main(os::Kernel& k, os::Pid pid);
+int turnin_hardened_main(os::Kernel& k, os::Pid pid);
+
+// Site tags: the 8 interaction points of Section 4.1.
+inline constexpr const char* kTurninArgCourse = "arg-course";
+inline constexpr const char* kTurninOpenConfig = "open-config";
+inline constexpr const char* kTurninOpenProjlist = "fopen-projlist";
+inline constexpr const char* kTurninGetenvPath = "getenv-path";
+inline constexpr const char* kTurninArgFile = "arg-filename";
+inline constexpr const char* kTurninOpenSource = "open-source";
+inline constexpr const char* kTurninCreateDest = "create-dest";
+inline constexpr const char* kTurninExecTar = "exec-tar";
+
+inline constexpr const char* kTurninConfigPath = "/usr/local/lib/turnin.cf";
+inline constexpr const char* kTurninSubmitDir = "/home/ta/submit";
+
+/// The full Section 4.1 scenario (vulnerable turnin).
+core::Scenario turnin_scenario();
+/// Same world and fault plan, hardened binary — the "faults removed"
+/// program used for the Figure 2 point-2/point-4 campaigns.
+core::Scenario turnin_hardened_scenario();
+
+}  // namespace ep::apps

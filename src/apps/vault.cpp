@@ -1,0 +1,109 @@
+#include "apps/vault.hpp"
+
+#include "apps/payloads.hpp"
+#include "os/world.hpp"
+
+namespace ep::apps {
+
+using os::OpenFlag;
+using os::Site;
+
+namespace {
+
+const Site kArg{"vault.c", 10, "vault-arg-ledger"};
+const Site kCheck{"vault.c", 20, kVaultCheck};
+const Site kUse{"vault.c", 30, kVaultUse};
+const Site kSay{"vault.c", 40, "vault-status"};
+
+int vault_impl(os::Kernel& k, os::Pid pid, bool fixed) {
+  std::string ledger = k.arg(kArg, pid, 1);
+  if (ledger.empty()) {
+    k.output(kSay, pid, "vault: usage: vault <ledger>");
+    return 1;
+  }
+
+  // CHECK: would the *invoker* be allowed to write this file?
+  if (!k.access(kCheck, pid, ledger, os::Perm::write).ok()) {
+    k.output(kSay, pid, "vault: you may not write " + ledger);
+    return 2;
+  }
+
+  // ... the race window ...
+
+  // USE: write with root privilege.
+  auto fd = k.open(kUse, pid, ledger, OpenFlag::wr | OpenFlag::append);
+  if (!fd.ok()) {
+    k.output(kSay, pid, "vault: cannot open " + ledger);
+    return 3;
+  }
+  if (fixed) {
+    // The repair: re-validate the object actually opened. The descriptor
+    // pins the inode, so this check cannot be raced.
+    auto st = k.fstat(pid, fd.value());
+    const os::Process& p = k.proc(pid);
+    if (!st.ok() ||
+        !(st.value().uid == p.ruid ||
+          (st.value().mode & os::kOtherWrite) != 0)) {
+      k.output(kSay, pid, "vault: object changed between check and use");
+      (void)k.close(pid, fd.value());
+      return 4;
+    }
+  }
+  (void)k.write(kUse, pid, fd.value(),
+                "note from " + k.user_name(k.proc(pid).ruid) + "\n");
+  (void)k.close(pid, fd.value());
+  k.output(kSay, pid, "vault: note appended to " + ledger);
+  return 0;
+}
+
+core::Scenario vault_scenario_impl(bool fixed) {
+  core::Scenario s;
+  s.name = fixed ? "vault-fixed" : "vault";
+  s.description =
+      "set-uid ledger writer with an access()/open() TOCTTOU window";
+  s.trace_unit_filter = "vault.c";
+  s.build = [fixed] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
+    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
+    // The ledger lives in world-writable /tmp — the precondition for the
+    // race (Bishop-Dilger's "environmental condition").
+    os::world::put_file(k, "/tmp/ledger", "ledger start\n", 1000, 1000,
+                        0644);
+    register_payload_images(k);
+    k.register_image("vault", vault_main);
+    k.register_image("vault-fixed", vault_fixed_main);
+    os::world::put_program(k, "/usr/bin/vault",
+                           fixed ? "vault-fixed" : "vault", os::kRootUid,
+                           os::kRootGid, 0755 | os::kSetUidBit);
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/bin/vault", {"vault", "/tmp/ledger"},
+                            1000, 1000, {}, "/tmp");
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.secret_files = {"/etc/shadow"};
+  s.hints.attacker_uid = 666;
+  s.hints.attacker_gid = 666;
+  return s;
+}
+
+}  // namespace
+
+int vault_main(os::Kernel& k, os::Pid pid) {
+  return vault_impl(k, pid, /*fixed=*/false);
+}
+
+int vault_fixed_main(os::Kernel& k, os::Pid pid) {
+  return vault_impl(k, pid, /*fixed=*/true);
+}
+
+core::Scenario vault_scenario() { return vault_scenario_impl(false); }
+core::Scenario vault_fixed_scenario() { return vault_scenario_impl(true); }
+
+}  // namespace ep::apps

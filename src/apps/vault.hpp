@@ -1,0 +1,34 @@
+// `vault`: the TOCTTOU (time-of-check-to-time-of-use) demonstration.
+//
+// Bishop and Dilger's race-condition work (Related Work, Section 5)
+// identifies check/use pairs statically but "cannot always determine
+// whether the environmental conditions necessary ... exist"; the paper's
+// answer is to *inject* the dangerous condition between check and use and
+// watch. `vault` is the minimal such program: a set-uid utility that
+// appends a user's note to a user-named ledger file, guarding the
+// privileged write with access(2):
+//
+//     if (access(path, W_OK) == 0)      // check: may the invoker write?
+//         fd = open(path, O_WRONLY);    // use:   write with root privilege
+//
+// The injector fires a symbolic-link perturbation at the *use* site —
+// after the check has passed — which is precisely the race an attacker
+// wins in the wild. The fixed build re-validates through the descriptor
+// it actually opened (fstat), closing the window.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+int vault_main(os::Kernel& k, os::Pid pid);
+int vault_fixed_main(os::Kernel& k, os::Pid pid);
+
+inline constexpr const char* kVaultCheck = "vault-access-check";
+inline constexpr const char* kVaultUse = "vault-open-use";
+
+core::Scenario vault_scenario();
+core::Scenario vault_fixed_scenario();
+
+}  // namespace ep::apps

@@ -1,0 +1,95 @@
+#include "baseline/ava.hpp"
+
+#include <memory>
+
+#include "core/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ep::baseline {
+
+namespace {
+
+enum class Mutation { bit_flip, truncate, duplicate, random_replace };
+
+std::string mutate(const std::string& s, Mutation m, Rng& rng) {
+  switch (m) {
+    case Mutation::bit_flip: {
+      if (s.empty()) return "\x01";
+      std::string out = s;
+      std::size_t i = rng.below(out.size());
+      out[i] = static_cast<char>(out[i] ^ (1 << rng.below(8)));
+      return out;
+    }
+    case Mutation::truncate:
+      return s.substr(0, s.size() / 2);
+    case Mutation::duplicate: {
+      // Length amplification: corrupted length fields make internal
+      // copies balloon, not merely double.
+      std::string out;
+      const std::string unit = s.empty() ? "A" : s;
+      while (out.size() < unit.size() * 64 && out.size() < 8192) out += unit;
+      return out;
+    }
+    case Mutation::random_replace:
+      return rng.printable(s.empty() ? 8 : s.size());
+  }
+  return s;
+}
+
+/// Corrupts the internal entity assigned at one chosen site, once.
+class AvaHook : public os::Interposer {
+ public:
+  AvaHook(os::Site site, Mutation m, Rng& rng)
+      : site_(std::move(site)), mutation_(m), rng_(rng) {}
+
+  void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+    if (fired_ || !(ctx.site == site_)) return;
+    if (!ctx.has_input || ctx.input == nullptr) return;
+    *ctx.input = mutate(*ctx.input, mutation_, rng_);
+    fired_ = true;
+  }
+
+ private:
+  os::Site site_;
+  Mutation mutation_;
+  Rng& rng_;
+  bool fired_ = false;
+};
+
+}  // namespace
+
+AvaResult run_ava(const core::Scenario& scenario, const AvaOptions& opts) {
+  AvaResult result;
+  result.trials = opts.trials;
+  Rng rng(opts.seed);
+
+  // Find the input-bearing interaction points (where internal entities
+  // are assigned from the environment).
+  std::vector<os::Site> input_sites;
+  {
+    auto world = scenario.build();
+    auto recorder =
+        std::make_shared<core::TraceRecorder>(scenario.trace_unit_filter);
+    world->kernel.add_interposer(recorder);
+    (void)scenario.run(*world);
+    for (const auto& p : recorder->points())
+      if (p.has_input) input_sites.push_back(p.site);
+  }
+  if (input_sites.empty()) return result;
+
+  for (int t = 0; t < opts.trials; ++t) {
+    const os::Site& site = input_sites[rng.below(input_sites.size())];
+    auto m = static_cast<Mutation>(rng.below(4));
+    auto world = scenario.build();
+    auto hook = std::make_shared<AvaHook>(site, m, rng);
+    auto oracle = std::make_shared<core::SecurityOracle>(scenario.policy);
+    world->kernel.add_interposer(hook);
+    world->kernel.add_interposer(oracle);
+    (void)scenario.run(*world);
+    if (oracle->violated()) ++result.violations;
+    if (oracle->crash_count() > 0) ++result.crashes;
+  }
+  return result;
+}
+
+}  // namespace ep::baseline

@@ -1,0 +1,41 @@
+// The AVA-style baseline (Ghosh et al., Related Work).
+//
+// Adaptive Vulnerability Analysis perturbs the *internal* state of the
+// executing application — the values program variables hold — rather than
+// the environment. We model it as random corruption of input-derived
+// internal entities at the moment they are assigned: one random mutation
+// (bit flip, truncation, duplication, random replacement) of the value
+// one randomly chosen interaction point delivered.
+//
+// Two properties the paper predicts fall out measurably:
+//   * the semantic gap — random corruption rarely matches the input
+//     patterns real attacks use, so per-trial yield is low;
+//   * blindness to direct faults — no internal-state corruption
+//     corresponds to a symlinked spool file or a dead auth service, so
+//     those flaws cannot surface at all.
+#pragma once
+
+#include <cstdint>
+
+#include "core/campaign.hpp"
+
+namespace ep::baseline {
+
+struct AvaOptions {
+  int trials = 100;
+  std::uint64_t seed = 1;
+};
+
+struct AvaResult {
+  int trials = 0;
+  int violations = 0;  // security oracle flagged the run
+  int crashes = 0;
+
+  [[nodiscard]] double violation_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(violations) / trials;
+  }
+};
+
+AvaResult run_ava(const core::Scenario& scenario, const AvaOptions& opts);
+
+}  // namespace ep::baseline

@@ -1,0 +1,72 @@
+#include "baseline/fuzz.hpp"
+
+#include <memory>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace ep::baseline {
+
+namespace {
+
+/// Rewrites input values with random bytes as they cross the
+/// environment-application boundary.
+class FuzzHook : public os::Interposer {
+ public:
+  FuzzHook(Rng& rng, bool all_inputs, std::size_t max_len)
+      : rng_(rng), all_inputs_(all_inputs), max_len_(max_len) {}
+
+  void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+    if (!ctx.has_input || ctx.input == nullptr) return;
+    if (!all_inputs_ && ctx.call != "arg") return;
+    std::size_t len = rng_.between(1, max_len_);
+    // Miller's streams mixed printable and non-printable characters.
+    *ctx.input = rng_.chance(0.5) ? rng_.printable(len) : rng_.bytes(len);
+  }
+
+ private:
+  Rng& rng_;
+  bool all_inputs_;
+  std::size_t max_len_;
+};
+
+/// Collects crash sites for the distinct-crash metric.
+class CrashCollector : public os::Interposer {
+ public:
+  void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+    if (ctx.call == "app_fault" && ctx.aux == "crash")
+      sites_.insert(ctx.site.str());
+  }
+  [[nodiscard]] const std::set<std::string>& sites() const { return sites_; }
+
+ private:
+  std::set<std::string> sites_;
+};
+
+}  // namespace
+
+FuzzResult run_fuzz(const core::Scenario& scenario, const FuzzOptions& opts) {
+  FuzzResult result;
+  result.trials = opts.trials;
+  Rng rng(opts.seed);
+  std::set<std::string> crash_sites;
+
+  for (int t = 0; t < opts.trials; ++t) {
+    auto world = scenario.build();
+    auto hook =
+        std::make_shared<FuzzHook>(rng, opts.all_inputs, opts.max_len);
+    auto oracle = std::make_shared<core::SecurityOracle>(scenario.policy);
+    auto crashes = std::make_shared<CrashCollector>();
+    world->kernel.add_interposer(hook);
+    world->kernel.add_interposer(oracle);
+    world->kernel.add_interposer(crashes);
+    (void)scenario.run(*world);
+    if (oracle->crash_count() > 0) ++result.crashes;
+    if (oracle->violated()) ++result.violations;
+    for (const auto& s : crashes->sites()) crash_sites.insert(s);
+  }
+  result.distinct_crash_sites = static_cast<int>(crash_sites.size());
+  return result;
+}
+
+}  // namespace ep::baseline

@@ -1,0 +1,43 @@
+// The Fuzz baseline (Miller et al., Related Work).
+//
+// Fuzz feeds programs random input streams and watches for crashes. It
+// has no fault model and no environment control: it can only reach the
+// program through its inputs, and its oracle is "did it crash", not "was
+// a security policy violated". Running it over the same scenarios the
+// EAI campaigns use lets the baseline bench reproduce the comparison the
+// paper argues qualitatively: random input finds the crash-shaped subset
+// of flaws, slowly; semantic environment perturbation finds violations
+// random bytes rarely reach — and direct-fault flaws never surface from
+// input randomization at all.
+#pragma once
+
+#include <cstdint>
+
+#include "core/campaign.hpp"
+
+namespace ep::baseline {
+
+struct FuzzOptions {
+  int trials = 100;
+  std::uint64_t seed = 1;
+  /// false: randomize user inputs (argv) only, as classic Fuzz did;
+  /// true: also randomize environment variables, file reads, packets.
+  bool all_inputs = false;
+  /// Maximum random input length.
+  std::size_t max_len = 6000;
+};
+
+struct FuzzResult {
+  int trials = 0;
+  int crashes = 0;            // runs that crashed (Fuzz's own oracle)
+  int violations = 0;         // runs the security oracle would have flagged
+  int distinct_crash_sites = 0;
+
+  [[nodiscard]] double crash_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(crashes) / trials;
+  }
+};
+
+FuzzResult run_fuzz(const core::Scenario& scenario, const FuzzOptions& opts);
+
+}  // namespace ep::baseline

@@ -1,0 +1,149 @@
+// The testing procedure of Section 3.3, steps 1-10, as an engine.
+//
+// A Scenario packages everything the procedure needs: how to build the
+// benign world, how to run the test case, which security policy defines
+// "violation", and (optionally) per-site fault lists — the analogue of the
+// paper deciding, per interaction point, which Table 5/6 rows apply and
+// which are "not applicable in this case".
+//
+// execute() then:
+//   1. runs the test case once with only the trace recorder attached to
+//      discover interaction points (step 3),
+//   2. plans a fault list per point — both kinds where the point has
+//      input, direct only where it does not (step 3),
+//   3. for each (point, fault): rebuilds the world, arms the injector and
+//      the oracle, reruns the test case, and records whether the fault was
+//      tolerated (steps 4-8),
+//   4. computes fault coverage, interaction coverage, the vulnerability
+//      score rho = count/n, and the Figure 2 adequacy region (steps 9-10),
+//   5. adds the assumption analysis of Section 4.1: who could actually
+//      effect each violating perturbation in the benign world.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/coverage.hpp"
+#include "core/oracle.hpp"
+#include "core/trace.hpp"
+
+namespace ep::core {
+
+/// Per-site overrides: the scenario's judgment about an interaction point.
+struct SiteSpec {
+  /// Override the inferred object kind (ObjectKind::none = infer).
+  ObjectKind kind = ObjectKind::none;
+  std::optional<InputSemantic> semantic;
+  /// Explicit fault list (catalog names). Empty = catalog defaults for the
+  /// object kind / semantic.
+  std::vector<std::string> faults;
+  /// Faults deliberately not injected, with the reason — the paper's
+  /// "attributes 5 and 6 are not applicable in this case". Documentation
+  /// only; they are simply absent from `faults`.
+  std::map<std::string, std::string> not_applicable;
+  /// Exclude the site from perturbation entirely (it still counts as a
+  /// discovered interaction point in the coverage denominator).
+  bool skip = false;
+};
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  /// Build the benign world: file system, users, programs, network,
+  /// registry. Called fresh for every injection run.
+  std::function<std::unique_ptr<TargetWorld>()> build;
+  /// Run the test case (spawn the target program(s)); returns the
+  /// (last) exit code.
+  std::function<int(TargetWorld&)> run;
+  PolicySpec policy;
+  ScenarioHints hints;
+  std::map<std::string, SiteSpec> sites;  // keyed by Site::tag
+  /// Restrict interaction-point discovery to this Site::unit (the program
+  /// under test); empty = record every unit.
+  std::string trace_unit_filter;
+};
+
+/// Could the perturbation that exposed a violation be effected by a real,
+/// unprivileged actor in the benign world? (Section 4.1's "is this
+/// assumption reasonable?")
+struct Exploitability {
+  bool nonroot_feasible = false;
+  std::string actor;  // who could do it: "invoking user", "owner (ta)", ...
+  std::string note;
+};
+
+struct InjectionOutcome {
+  os::Site site;
+  std::string call;
+  std::string object;
+  FaultKind kind = FaultKind::direct;
+  std::string fault_name;
+  std::string fault_description;
+  bool fired = false;     // the planned site executed and the fault applied
+  bool violated = false;  // >= 1 policy violation observed
+  std::vector<Violation> violations;
+  bool crashed = false;
+  int overflows = 0;
+  int exit_code = 0;
+  Exploitability exploit;  // filled only for violated outcomes
+};
+
+struct CampaignResult {
+  std::string scenario_name;
+  std::vector<InteractionPoint> points;       // step 3: discovered
+  std::set<std::string> perturbed_site_tags;  // sites actually perturbed
+  std::vector<InjectionOutcome> injections;
+  std::vector<Violation> benign_violations;  // should be empty
+
+  [[nodiscard]] int n() const { return static_cast<int>(injections.size()); }
+  [[nodiscard]] int violation_count() const;
+  [[nodiscard]] int tolerated_count() const;
+  /// Step 10: rho = count / n, the vulnerability assessment score.
+  [[nodiscard]] double vulnerability_score() const;
+  [[nodiscard]] double fault_coverage() const;  // 1 - rho
+  [[nodiscard]] double interaction_coverage() const;
+  [[nodiscard]] AdequacyPoint adequacy() const;
+  [[nodiscard]] AdequacyRegion region(const AdequacyThresholds& t = {}) const;
+  /// Violating outcomes whose perturbation an unprivileged actor could
+  /// actually effect: candidate real vulnerabilities.
+  [[nodiscard]] std::vector<const InjectionOutcome*> exploitable() const;
+};
+
+struct CampaignOptions {
+  /// Step 9's stopping rule: keep perturbing sites until this fraction of
+  /// interaction points is covered. 1.0 = all.
+  double target_interaction_coverage = 1.0;
+  /// Restrict to specific site tags (Figure 2's partial-coverage points);
+  /// empty = honor target_interaction_coverage.
+  std::vector<std::string> only_sites;
+  std::uint64_t seed = 1;
+  /// The paper's future-work reduction (see core/equivalence.hpp): inject
+  /// only at one representative per injection-equivalence class. The
+  /// other members still count as covered — the equivalence argument is
+  /// precisely that their outcomes are determined by the representative's.
+  bool merge_equivalent_sites = false;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(Scenario scenario);
+
+  [[nodiscard]] CampaignResult execute(const CampaignOptions& opts = {});
+
+ private:
+  std::vector<FaultRef> plan_faults(const InteractionPoint& point) const;
+  Exploitability analyze(const InteractionPoint& point,
+                         const FaultRef& fault) const;
+
+  Scenario scenario_;
+  const FaultCatalog& catalog_;
+};
+
+}  // namespace ep::core

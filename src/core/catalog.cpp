@@ -1,0 +1,657 @@
+#include "core/catalog.hpp"
+
+#include <optional>
+
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+
+namespace {
+
+using os::Ino;
+using os::Kernel;
+using os::ResolvedParent;
+using os::SyscallCtx;
+
+// --- helpers shared by the direct perturbers --------------------------------
+
+/// Locate the object the interaction names, resolving as root relative to
+/// the calling process's cwd. Returns nothing when the interaction has no
+/// path operand (perturber becomes a no-op; the campaign should not have
+/// planned it for such a site).
+std::optional<ResolvedParent> locate(TargetWorld& w, const SyscallCtx& ctx) {
+  if (ctx.path.empty() || ctx.pid < 0 || !w.kernel.has_proc(ctx.pid))
+    return std::nullopt;
+  const os::Process& p = w.kernel.proc(ctx.pid);
+  std::string path = ctx.path;
+  // An exec of a bare command resolves through $PATH; the perturbation
+  // must land on the binary the search would find, not on a file named
+  // like the command in the current directory.
+  if (ctx.call == "exec" && !ep::contains(path, "/")) {
+    std::string search = "/bin:/usr/bin";
+    if (auto it = p.env.find("PATH"); it != p.env.end()) search = it->second;
+    for (const auto& dir : ep::split_nonempty(search, ':')) {
+      std::string candidate = os::path::join(dir, path);
+      auto r = w.kernel.vfs().resolve(candidate, p.cwd, os::kRootUid,
+                                      os::kRootGid);
+      if (r.ok()) {
+        path = candidate;
+        break;
+      }
+    }
+  }
+  auto rp = w.kernel.vfs().resolve_parent(path, p.cwd, os::kRootUid,
+                                          os::kRootGid);
+  if (!rp.ok()) return std::nullopt;
+  return rp.value();
+}
+
+constexpr const char* kPlantedContent =
+    "planted-by-perturbation: pre-existing file\n";
+
+/// The victim a symbolic-link perturbation points at, chosen by what the
+/// program is about to do with the object (Table 6: "change the target it
+/// links to" — an attacker picks the most damaging target).
+std::string pick_link_victim(TargetWorld& w, const SyscallCtx& ctx,
+                             const ScenarioHints& h,
+                             const ResolvedParent& rp) {
+  if (auto it = h.link_victims.find(ctx.site.tag); it != h.link_victims.end())
+    return it->second;
+  if (rp.leaf_ino != os::kNoIno &&
+      w.kernel.vfs().inode(rp.leaf_ino).is_dir())
+    return h.dir_victim;
+  if (ctx.call == "exec") return h.evil_program;
+  // Write-ish opens aim at the integrity victim; read-only opens aim at
+  // the secret (disclosure) victim.
+  if (ctx.call == "open" && ep::contains(ctx.aux, "w")) return h.symlink_victim;
+  if (ctx.call == "open" || ctx.call == "read") return h.secret_victim;
+  return h.symlink_victim;
+}
+
+void perturb_existence(TargetWorld& w, SyscallCtx& ctx,
+                       const ScenarioHints& /*h*/) {
+  auto rp = locate(w, ctx);
+  if (!rp) return;
+  if (rp->leaf_ino != os::kNoIno) {
+    // "delete an existing file"
+    w.kernel.vfs().detach(rp->dir_ino, rp->leaf);
+  } else {
+    // "make a non-existing file exist" — as someone else's file, which is
+    // what an attacker racing the program would leave there.
+    (void)w.kernel.vfs().create_file(rp->dir_ino, rp->leaf, os::kRootUid,
+                                     os::kRootGid, 0600, kPlantedContent);
+  }
+}
+
+void perturb_ownership(TargetWorld& w, SyscallCtx& ctx,
+                       const ScenarioHints& h) {
+  auto rp = locate(w, ctx);
+  if (!rp) return;
+  if (rp->leaf_ino == os::kNoIno) {
+    (void)w.kernel.vfs().create_file(rp->dir_ino, rp->leaf, h.attacker_uid,
+                                     h.attacker_gid, 0600, kPlantedContent);
+    return;
+  }
+  os::Inode& node = w.kernel.vfs().inode(rp->leaf_ino);
+  // "change ownership to the owner of the process, other normal users, or
+  // root" — pick whichever actually changes the situation.
+  if (node.uid == h.attacker_uid) {
+    node.uid = os::kRootUid;
+    node.gid = os::kRootGid;
+  } else {
+    node.uid = h.attacker_uid;
+    node.gid = h.attacker_gid;
+  }
+}
+
+void perturb_permission(TargetWorld& w, SyscallCtx& ctx,
+                        const ScenarioHints& /*h*/) {
+  auto rp = locate(w, ctx);
+  if (!rp) return;
+  if (rp->leaf_ino == os::kNoIno) {
+    (void)w.kernel.vfs().create_file(rp->dir_ino, rp->leaf, os::kRootUid,
+                                     os::kRootGid, 0600, kPlantedContent);
+    return;
+  }
+  os::Inode& node = w.kernel.vfs().inode(rp->leaf_ino);
+  // "flip the permission bit": restrict if the object is accessible to
+  // others, loosen if it is locked down — either direction breaks an
+  // assumption the program may hold.
+  unsigned setuid = node.mode & os::kSetUidBit;
+  if (node.mode & 0066)
+    node.mode = 0600 | setuid;
+  else
+    node.mode = 0666 | setuid;
+}
+
+void perturb_symlink(TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& h) {
+  auto rp = locate(w, ctx);
+  if (!rp) return;
+  std::string victim = pick_link_victim(w, ctx, h, *rp);
+  if (rp->leaf_ino != os::kNoIno &&
+      w.kernel.vfs().inode(rp->leaf_ino).is_symlink()) {
+    // "if the file is a symbolic link, change the target it links to"
+    w.kernel.vfs().inode(rp->leaf_ino).content = victim;
+    return;
+  }
+  // "if the file is not a symbolic link, change it to a symbolic link"
+  w.kernel.vfs().detach(rp->dir_ino, rp->leaf);
+  (void)w.kernel.vfs().create_symlink(rp->dir_ino, rp->leaf, h.attacker_uid,
+                                      h.attacker_gid, victim);
+}
+
+void perturb_content(TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& h) {
+  auto rp = locate(w, ctx);
+  if (!rp || rp->leaf_ino == os::kNoIno) return;
+  os::Inode& node = w.kernel.vfs().inode(rp->leaf_ino);
+  if (!node.is_regular()) return;
+  auto it = h.content_payloads.find(ctx.site.tag);
+  node.content = it != h.content_payloads.end()
+                     ? it->second
+                     : "TAMPERED-BY-ATTACKER\n" + h.attacker_dir + "/loot\n";
+}
+
+void perturb_name(TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& /*h*/) {
+  auto rp = locate(w, ctx);
+  if (!rp || rp->leaf_ino == os::kNoIno) return;
+  (void)w.kernel.vfs().rename_entry(rp->dir_ino, rp->leaf, rp->dir_ino,
+                                    rp->leaf + ".moved");
+}
+
+void perturb_workdir(TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& h) {
+  if (ctx.pid < 0 || !w.kernel.has_proc(ctx.pid)) return;
+  // "start application in different directory" — relocate the process to
+  // attacker-controlled ground so relative paths land there.
+  auto r = w.kernel.vfs().resolve(h.attacker_dir, "/", os::kRootUid,
+                                  os::kRootGid);
+  w.kernel.proc(ctx.pid).cwd = r.ok() ? h.attacker_dir : "/tmp";
+}
+
+// --- indirect payload builders ----------------------------------------------
+
+std::string lengthen(const std::string& s, std::size_t n) {
+  std::string out = s.empty() ? "A" : s;
+  while (out.size() < n) out += out.size() < 64 ? out : std::string(64, 'A');
+  return out.substr(0, n);
+}
+
+std::string badly_formatted(const std::string& tag) {
+  std::string s = tag + ":";
+  s += '\x01';
+  s += '\xff';
+  s += "%n%s%x;`&|";
+  s += '\x00';  // embedded NUL
+  s += "\x7f\x1b[2J";
+  return s;
+}
+
+}  // namespace
+
+// --- catalog construction ----------------------------------------------------
+
+const FaultCatalog& FaultCatalog::standard() {
+  static const FaultCatalog instance = [] {
+    FaultCatalog c;
+    c.build();
+    return c;
+  }();
+  return instance;
+}
+
+void FaultCatalog::build() {
+  using IC = IndirectCategory;
+  using IS = InputSemantic;
+
+  auto add_ind = [&](IC cat, IS sem, std::string name, std::string desc,
+                     std::function<std::string(const std::string&,
+                                               const ScenarioHints&)>
+                         fn) {
+    indirect_.push_back(
+        {cat, sem, std::move(name), std::move(desc), std::move(fn)});
+  };
+
+  // ---- Table 5, User Input / file name + directory name --------------------
+  add_ind(IC::user_input, IS::file_name, "change-length",
+          "change length of the file name",
+          [](const std::string& s, const ScenarioHints& h) {
+            return lengthen(s, h.long_length);
+          });
+  add_ind(IC::user_input, IS::file_name, "use-relative-path",
+          "use relative path in the name",
+          [](const std::string& s, const ScenarioHints&) {
+            if (ep::starts_with(s, "/")) return "." + s;
+            return "./" + s;
+          });
+  add_ind(IC::user_input, IS::file_name, "use-absolute-path",
+          "use absolute path in the name",
+          [](const std::string& s, const ScenarioHints& h) {
+            (void)s;
+            return h.secret_victim;  // the absolute name an attacker submits
+          });
+  add_ind(IC::user_input, IS::file_name, "insert-dotdot",
+          "insert special characters such as \"..\" in the name",
+          [](const std::string& s, const ScenarioHints&) {
+            return "../" + s;
+          });
+  add_ind(IC::user_input, IS::file_name, "insert-slash",
+          "insert special characters such as \"/\" in the name",
+          [](const std::string& s, const ScenarioHints&) {
+            return "sub/" + s;
+          });
+
+  // ---- Table 5, User Input / command ---------------------------------------
+  add_ind(IC::user_input, IS::command, "cmd-change-length",
+          "change length of the command",
+          [](const std::string& s, const ScenarioHints& h) {
+            return lengthen(s, h.long_length);
+          });
+  add_ind(IC::user_input, IS::command, "cmd-use-relative-path",
+          "use relative path for the command",
+          [](const std::string& s, const ScenarioHints&) {
+            return "./" + s;
+          });
+  add_ind(IC::user_input, IS::command, "cmd-use-absolute-path",
+          "use absolute path for the command",
+          [](const std::string& s, const ScenarioHints& h) {
+            (void)s;
+            return h.evil_program;
+          });
+  add_ind(IC::user_input, IS::command, "cmd-insert-shell-meta",
+          "insert special characters such as \";\", \"|\", \"&\"",
+          [](const std::string& s, const ScenarioHints& h) {
+            return s + ";" + h.evil_program;
+          });
+  add_ind(IC::user_input, IS::command, "cmd-insert-newline",
+          "insert newline in the command",
+          [](const std::string& s, const ScenarioHints& h) {
+            return s + "\n" + h.evil_program;
+          });
+
+  // ---- Table 5, Environment Variable / execution + library path ------------
+  add_ind(IC::environment_variable, IS::path_list, "path-change-length",
+          "change length of the path list",
+          [](const std::string& s, const ScenarioHints& h) {
+            std::string out = s;
+            while (out.size() < h.long_length)
+              out += ":/" + std::string(63, 'p');
+            return out;
+          });
+  add_ind(IC::environment_variable, IS::path_list, "path-rearrange-order",
+          "rearrange order of paths",
+          [](const std::string& s, const ScenarioHints&) {
+            auto parts = ep::split_nonempty(s, ':');
+            std::reverse(parts.begin(), parts.end());
+            return ep::join(parts, ":");
+          });
+  add_ind(IC::environment_variable, IS::path_list, "path-insert-untrusted",
+          "insert an untrusted path",
+          [](const std::string& s, const ScenarioHints& h) {
+            return h.attacker_dir + (s.empty() ? "" : ":" + s);
+          });
+  add_ind(IC::environment_variable, IS::path_list, "path-use-incorrect",
+          "use incorrect path",
+          [](const std::string& s, const ScenarioHints&) {
+            (void)s;
+            return "/nonexistent/bin:/no/such/dir";
+          });
+  add_ind(IC::environment_variable, IS::path_list, "path-use-recursive",
+          "use recursive path",
+          [](const std::string& s, const ScenarioHints&) {
+            auto parts = ep::split_nonempty(s, ':');
+            std::vector<std::string> out;
+            for (const auto& p : parts) out.push_back(p + "/../" + p);
+            return ep::join(out, ":");
+          });
+
+  // ---- Table 5, Environment Variable / permission mask ---------------------
+  add_ind(IC::environment_variable, IS::permission_mask, "mask-zero",
+          "change mask to 0 so it will not mask any permission bit",
+          [](const std::string& s, const ScenarioHints&) {
+            (void)s;
+            return "0";
+          });
+
+  // ---- Table 5, File System Input / file name + directory name -------------
+  add_ind(IC::file_system_input, IS::file_name, "fsin-change-length",
+          "change length of the name read from the file system",
+          [](const std::string& s, const ScenarioHints& h) {
+            return lengthen(s, h.long_length);
+          });
+  add_ind(IC::file_system_input, IS::file_name, "fsin-use-relative-path",
+          "use relative path in the name",
+          [](const std::string& s, const ScenarioHints&) {
+            return "../" + s;
+          });
+  add_ind(IC::file_system_input, IS::file_name, "fsin-use-absolute-path",
+          "use absolute path in the name",
+          [](const std::string& s, const ScenarioHints& h) {
+            (void)s;
+            return h.symlink_victim;
+          });
+  add_ind(IC::file_system_input, IS::file_name, "fsin-special-chars",
+          "use special characters such as \";\", \"&\" or \"/\" in the name",
+          [](const std::string& s, const ScenarioHints&) {
+            return s + ";&/";
+          });
+
+  // ---- Table 5, File System Input / file extension --------------------------
+  add_ind(IC::file_system_input, IS::file_extension, "ext-change",
+          "change to other file extensions like \".exe\"",
+          [](const std::string& s, const ScenarioHints&) {
+            auto dot = s.rfind('.');
+            return (dot == std::string::npos ? s : s.substr(0, dot)) + ".exe";
+          });
+  add_ind(IC::file_system_input, IS::file_extension, "ext-change-length",
+          "change length of file extension",
+          [](const std::string& s, const ScenarioHints&) {
+            return s + "." + std::string(300, 'e');
+          });
+
+  // ---- Table 5, Network Input -----------------------------------------------
+  add_ind(IC::network_input, IS::ip_address, "ip-change-length",
+          "change length of the address",
+          [](const std::string& s, const ScenarioHints&) {
+            return s + "." + ep::repeat("999.", 64) + "1";
+          });
+  add_ind(IC::network_input, IS::ip_address, "ip-bad-format",
+          "use bad-formatted address",
+          [](const std::string& s, const ScenarioHints&) {
+            (void)s;
+            return badly_formatted("ip");
+          });
+  add_ind(IC::network_input, IS::packet, "packet-change-size",
+          "change size of the packet",
+          [](const std::string& s, const ScenarioHints& h) {
+            return lengthen(s, h.long_length);
+          });
+  add_ind(IC::network_input, IS::packet, "packet-bad-format",
+          "use bad-formatted packet",
+          [](const std::string& s, const ScenarioHints&) {
+            (void)s;
+            return badly_formatted("packet");
+          });
+  add_ind(IC::network_input, IS::host_name, "host-change-length",
+          "change length of host name",
+          [](const std::string& s, const ScenarioHints& h) {
+            return lengthen(s, h.long_length / 4) + ".evil.example";
+          });
+  add_ind(IC::network_input, IS::host_name, "host-bad-format",
+          "use bad-formatted host name",
+          [](const std::string& s, const ScenarioHints&) {
+            (void)s;
+            return badly_formatted("host") + "..bad..";
+          });
+  add_ind(IC::network_input, IS::dns_reply, "dns-change-length",
+          "change length of the DNS reply",
+          [](const std::string& s, const ScenarioHints& h) {
+            return lengthen(s, h.long_length);
+          });
+  add_ind(IC::network_input, IS::dns_reply, "dns-bad-format",
+          "use bad-formatted reply",
+          [](const std::string& s, const ScenarioHints&) {
+            (void)s;
+            return badly_formatted("dns");
+          });
+
+  // ---- Table 5, Process Input ------------------------------------------------
+  add_ind(IC::process_input, IS::ipc_message, "msg-change-length",
+          "change length of the message",
+          [](const std::string& s, const ScenarioHints& h) {
+            return lengthen(s, h.long_length);
+          });
+  add_ind(IC::process_input, IS::ipc_message, "msg-bad-format",
+          "use bad-formatted message",
+          [](const std::string& s, const ScenarioHints&) {
+            (void)s;
+            return badly_formatted("msg");
+          });
+
+  // ==== Table 6, File System ===================================================
+  using DE = DirectEntity;
+  using EA = EnvAttribute;
+  auto add_dir = [&](DE e, EA a, std::string name, std::string desc,
+                     std::function<void(TargetWorld&, SyscallCtx&,
+                                        const ScenarioHints&)>
+                         fn,
+                     bool extension = false) {
+    direct_.push_back({e, a, std::move(name), std::move(desc), extension,
+                       std::move(fn)});
+  };
+
+  add_dir(DE::file_system, EA::file_existence, "file-existence",
+          "delete an existing file or make a non-existing file exist",
+          perturb_existence);
+  add_dir(DE::file_system, EA::file_ownership, "file-ownership",
+          "change ownership to the owner of the process, other normal "
+          "users, or root",
+          perturb_ownership);
+  add_dir(DE::file_system, EA::file_permission, "file-permission",
+          "flip the permission bit", perturb_permission);
+  add_dir(DE::file_system, EA::symbolic_link, "symbolic-link",
+          "change the symlink target, or turn the file into a symlink",
+          perturb_symlink);
+  add_dir(DE::file_system, EA::file_content_invariance, "content-invariance",
+          "modify file", perturb_content);
+  add_dir(DE::file_system, EA::file_name_invariance, "name-invariance",
+          "change file name", perturb_name);
+  add_dir(DE::file_system, EA::working_directory, "working-directory",
+          "start application in different directory", perturb_workdir);
+
+  // ==== Table 6, Network =======================================================
+  add_dir(DE::network, EA::net_message_authenticity, "message-authenticity",
+          "make the message come from another network entity",
+          [](TargetWorld& w, SyscallCtx&, const ScenarioHints&) {
+            w.network.spoof_next_inbound("attacker-host");
+          });
+  add_dir(DE::network, EA::net_protocol, "protocol-omit-step",
+          "purposely violate the protocol by omitting a step",
+          [](TargetWorld& w, SyscallCtx&, const ScenarioHints&) {
+            w.network.perturb_protocol(net::ProtocolFault::omit_step);
+          });
+  add_dir(DE::network, EA::net_protocol, "protocol-extra-step",
+          "purposely violate the protocol by adding an extra step",
+          [](TargetWorld& w, SyscallCtx&, const ScenarioHints&) {
+            w.network.perturb_protocol(net::ProtocolFault::extra_step);
+          });
+  add_dir(DE::network, EA::net_protocol, "protocol-reorder",
+          "purposely violate the protocol by reordering steps",
+          [](TargetWorld& w, SyscallCtx&, const ScenarioHints&) {
+            w.network.perturb_protocol(net::ProtocolFault::reorder_steps);
+          });
+  add_dir(DE::network, EA::net_socket_share, "socket-share",
+          "share the socket with another process",
+          [](TargetWorld& w, SyscallCtx&, const ScenarioHints&) {
+            w.network.share_inbound_socket();
+          });
+  add_dir(DE::network, EA::net_service_availability, "service-availability",
+          "deny the service that the application is asking for",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints&) {
+            w.network.set_service_available(ctx.path, false);
+          });
+  add_dir(DE::network, EA::net_entity_trustability, "entity-trustability",
+          "change the entity the application interacts with to an "
+          "untrusted one",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints&) {
+            if (ctx.call == "connect" || ctx.call == "query")
+              w.network.set_service_trusted(ctx.path, false);
+            else
+              w.network.distrust_inbound();
+          });
+
+  // ==== Table 6, Process =======================================================
+  add_dir(DE::process, EA::proc_message_authenticity,
+          "proc-message-authenticity",
+          "make the message come from another process than expected",
+          [](TargetWorld& w, SyscallCtx&, const ScenarioHints&) {
+            w.network.spoof_next_inbound("attacker-process");
+          });
+  add_dir(DE::process, EA::proc_trustability, "proc-trustability",
+          "change the process the application interacts with to an "
+          "untrusted one",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints&) {
+            if (ctx.call == "connect" || ctx.call == "query")
+              w.network.set_service_trusted(ctx.path, false);
+            else
+              w.network.distrust_inbound();
+          });
+  add_dir(DE::process, EA::proc_service_availability, "proc-availability",
+          "deny the service the helper process provides",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints&) {
+            w.network.set_service_available(ctx.path, false);
+          });
+
+  // ==== Registry extension (Section 4.2's method on NT keys) ==================
+  add_dir(DE::file_system, EA::file_existence, "regkey-existence",
+          "remove the registry key the module reads",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints&) {
+            w.registry.remove_key(ctx.path);
+          },
+          /*extension=*/true);
+  add_dir(DE::file_system, EA::file_permission, "regkey-acl",
+          "flip the key's everyone-write ACL bit",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints&) {
+            const reg::Key* key = w.registry.find(ctx.path);
+            if (key)
+              w.registry.set_everyone_write(ctx.path,
+                                            !key->acl.everyone_write);
+          },
+          /*extension=*/true);
+  add_dir(DE::file_system, EA::file_content_invariance, "regkey-value-tamper",
+          "set the key's value to an attacker-chosen string (everyone may "
+          "write the key)",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& h) {
+            auto it = h.content_payloads.find(ctx.site.tag);
+            w.registry.set_value(ctx.path, it != h.content_payloads.end()
+                                               ? it->second
+                                               : h.symlink_victim);
+          },
+          /*extension=*/true);
+  add_dir(DE::file_system, EA::net_entity_trustability, "regkey-trustability",
+          "mark the key's origin as untrusted",
+          [](TargetWorld& w, SyscallCtx& ctx, const ScenarioHints&) {
+            w.registry.set_trusted(ctx.path, false);
+          },
+          /*extension=*/true);
+}
+
+std::vector<const IndirectFault*> FaultCatalog::indirect_for(
+    InputSemantic s) const {
+  std::vector<const IndirectFault*> out;
+  for (const auto& f : indirect_)
+    if (f.semantic == s) out.push_back(&f);
+  return out;
+}
+
+std::vector<const DirectFault*> FaultCatalog::direct_for(
+    ObjectKind kind) const {
+  std::vector<const DirectFault*> out;
+  auto push_attrs = [&](std::initializer_list<EnvAttribute> attrs,
+                        bool extensions) {
+    for (const auto& f : direct_) {
+      if (f.extension != extensions) continue;
+      for (EnvAttribute a : attrs)
+        if (f.attribute == a) {
+          out.push_back(&f);
+          break;
+        }
+    }
+  };
+  switch (kind) {
+    case ObjectKind::file:
+    case ObjectKind::directory:
+    case ObjectKind::exec_binary:
+      push_attrs({EnvAttribute::file_existence, EnvAttribute::file_ownership,
+                  EnvAttribute::file_permission, EnvAttribute::symbolic_link,
+                  EnvAttribute::file_content_invariance,
+                  EnvAttribute::file_name_invariance,
+                  EnvAttribute::working_directory},
+                 false);
+      break;
+    case ObjectKind::net_inbound:
+      push_attrs({EnvAttribute::net_message_authenticity,
+                  EnvAttribute::net_protocol, EnvAttribute::net_socket_share,
+                  EnvAttribute::net_entity_trustability},
+                 false);
+      break;
+    case ObjectKind::net_service:
+      push_attrs({EnvAttribute::net_service_availability,
+                  EnvAttribute::net_entity_trustability},
+                 false);
+      break;
+    case ObjectKind::ipc_service:
+      push_attrs({EnvAttribute::proc_message_authenticity,
+                  EnvAttribute::proc_trustability,
+                  EnvAttribute::proc_service_availability},
+                 false);
+      break;
+    case ObjectKind::registry_key:
+      push_attrs({EnvAttribute::file_existence, EnvAttribute::file_permission,
+                  EnvAttribute::file_content_invariance,
+                  EnvAttribute::net_entity_trustability},
+                 true);
+      break;
+    case ObjectKind::user_input:
+    case ObjectKind::env_var:
+    case ObjectKind::none:
+      break;
+  }
+  return out;
+}
+
+const IndirectFault* FaultCatalog::find_indirect(
+    const std::string& name) const {
+  for (const auto& f : indirect_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const DirectFault* FaultCatalog::find_direct(const std::string& name) const {
+  for (const auto& f : direct_)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+ObjectKind infer_object_kind(const os::SyscallCtx& ctx) {
+  const std::string& c = ctx.call;
+  if (c == "open" || c == "read" || c == "write" || c == "stat" ||
+      c == "lstat" || c == "unlink" || c == "readlink" || c == "rename" ||
+      c == "chmod" || c == "chown" || c == "symlink" || c == "access")
+    return ObjectKind::file;
+  if (c == "chdir" || c == "mkdir" || c == "rmdir" || c == "readdir")
+    return ObjectKind::directory;
+  if (c == "exec") return ObjectKind::exec_binary;
+  if (c == "accept" || c == "recv")
+    return ctx.channel_kind == "ipc" ? ObjectKind::ipc_service
+                                     : ObjectKind::net_inbound;
+  if (c == "connect" || c == "query")
+    return ctx.channel_kind == "ipc" ? ObjectKind::ipc_service
+                                     : ObjectKind::net_service;
+  if (c == "regread" || c == "regwrite") return ObjectKind::registry_key;
+  if (c == "arg") return ObjectKind::user_input;
+  if (c == "getenv") return ObjectKind::env_var;
+  if (c == "dns") return ObjectKind::net_service;
+  return ObjectKind::none;
+}
+
+InputSemantic infer_semantic(const os::SyscallCtx& ctx) {
+  const std::string& c = ctx.call;
+  if (c == "getenv") {
+    if (ctx.aux == "PATH" || ep::contains(ctx.aux, "LIBRARY") ||
+        ep::contains(ctx.aux, "LD_"))
+      return InputSemantic::path_list;
+    if (ep::contains(ctx.aux, "MASK")) return InputSemantic::permission_mask;
+    return InputSemantic::file_name;
+  }
+  if (c == "recv")
+    return ctx.channel_kind == "ipc" ? InputSemantic::ipc_message
+                                     : InputSemantic::packet;
+  if (c == "query") return InputSemantic::ipc_message;
+  if (c == "dns") return InputSemantic::dns_reply;
+  if (c == "regread") return InputSemantic::file_name;
+  // argv and file reads default to the file-name semantic; scenarios
+  // override per site when the input means something else.
+  return InputSemantic::file_name;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,103 @@
+// The fault catalog: executable Tables 5 and 6.
+//
+// Each catalog entry couples the paper's description of a perturbation
+// with the code that performs it. Indirect faults are input mutators
+// (applied in an after-hook to the value the program is about to
+// consume); direct faults are environment perturbers (applied in a
+// before-hook to the world the interaction is about to touch).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/fault_model.hpp"
+#include "core/hints.hpp"
+#include "core/target_world.hpp"
+#include "os/hooks.hpp"
+
+namespace ep::core {
+
+/// One row-cell of Table 5: a semantics-aware input mutation.
+struct IndirectFault {
+  IndirectCategory category;
+  InputSemantic semantic;
+  std::string name;         // short stable id, e.g. "change-length"
+  std::string description;  // the Table 5 wording
+  /// Rewrite the input value the program would have received.
+  std::function<std::string(const std::string& original,
+                            const ScenarioHints&)>
+      mutate;
+};
+
+/// One row-cell of Table 6: an environment-attribute perturbation.
+struct DirectFault {
+  DirectEntity entity;
+  EnvAttribute attribute;
+  std::string name;
+  std::string description;  // the Table 6 wording
+  /// Extension entries (registry faults) follow the paper's *method* but
+  /// are not literal Table 6 rows; the Table 6 bench excludes them.
+  bool extension = false;
+  /// Perturb the environment before the interaction proceeds. `ctx` gives
+  /// the interaction about to happen (site, call, object path); perturbers
+  /// mutate world state and may force the call to fail (availability).
+  std::function<void(TargetWorld&, os::SyscallCtx&, const ScenarioHints&)>
+      perturb;
+};
+
+/// A reference to either fault kind, as planned by a campaign.
+struct FaultRef {
+  FaultKind kind = FaultKind::direct;
+  const IndirectFault* indirect = nullptr;
+  const DirectFault* direct = nullptr;
+
+  [[nodiscard]] const std::string& name() const {
+    static const std::string empty;
+    if (kind == FaultKind::indirect)
+      return indirect ? indirect->name : empty;
+    return direct ? direct->name : empty;
+  }
+};
+
+class FaultCatalog {
+ public:
+  /// The full catalog from Tables 5 and 6 plus the registry extension.
+  static const FaultCatalog& standard();
+
+  [[nodiscard]] const std::vector<IndirectFault>& indirect() const {
+    return indirect_;
+  }
+  [[nodiscard]] const std::vector<DirectFault>& direct() const {
+    return direct_;
+  }
+
+  /// Table 5 lookup: which input mutations apply to an input with this
+  /// semantic?
+  [[nodiscard]] std::vector<const IndirectFault*> indirect_for(
+      InputSemantic s) const;
+  /// Table 6 lookup: which attribute perturbations apply to this kind of
+  /// object?
+  [[nodiscard]] std::vector<const DirectFault*> direct_for(
+      ObjectKind kind) const;
+
+  /// Find by stable name (scenario applicability lists use names).
+  [[nodiscard]] const IndirectFault* find_indirect(
+      const std::string& name) const;
+  [[nodiscard]] const DirectFault* find_direct(const std::string& name) const;
+
+ private:
+  std::vector<IndirectFault> indirect_;
+  std::vector<DirectFault> direct_;
+
+  void build();
+};
+
+/// Infer the object kind of an interaction from its syscall, used when the
+/// scenario does not declare one (quickstart-style campaigns).
+ObjectKind infer_object_kind(const os::SyscallCtx& ctx);
+
+/// Infer the input semantic of an interaction with input.
+InputSemantic infer_semantic(const os::SyscallCtx& ctx);
+
+}  // namespace ep::core

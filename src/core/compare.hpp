@@ -1,0 +1,55 @@
+// Campaign comparison: the before/after view of a repair.
+//
+// The methodology's workflow ends with fixing the unreasonable
+// assumptions and re-testing ("we assume that faults found during testing
+// are removed", Section 3.2). compare() diffs two campaign results over
+// the same program pair — typically vulnerable vs hardened — and reports
+// which (site, fault) outcomes improved, regressed, or remain open, plus
+// the movement of the Figure 2 adequacy point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace ep::core {
+
+struct OutcomeDelta {
+  std::string site_tag;
+  std::string fault_name;
+  bool before_violated = false;
+  bool after_violated = false;
+
+  [[nodiscard]] bool improved() const {
+    return before_violated && !after_violated;
+  }
+  [[nodiscard]] bool regressed() const {
+    return !before_violated && after_violated;
+  }
+  [[nodiscard]] bool still_open() const {
+    return before_violated && after_violated;
+  }
+};
+
+struct Comparison {
+  std::vector<OutcomeDelta> deltas;  // every (site, fault) seen in either
+  /// Injections present in only one of the two campaigns (differing
+  /// interaction structure after the repair is worth knowing about).
+  std::vector<std::string> only_before;
+  std::vector<std::string> only_after;
+  AdequacyPoint before;
+  AdequacyPoint after;
+
+  [[nodiscard]] int improved_count() const;
+  [[nodiscard]] int regressed_count() const;
+  [[nodiscard]] int still_open_count() const;
+  /// A repair is acceptable when nothing regressed.
+  [[nodiscard]] bool safe() const { return regressed_count() == 0; }
+};
+
+Comparison compare(const CampaignResult& before, const CampaignResult& after);
+
+std::string render_comparison(const Comparison& c);
+
+}  // namespace ep::core

@@ -1,0 +1,43 @@
+#include "core/coverage.hpp"
+
+namespace ep::core {
+
+AdequacyRegion classify(const AdequacyPoint& p, const AdequacyThresholds& t) {
+  const bool high_ic = p.interaction_coverage >= t.interaction;
+  const bool high_fc = p.fault_coverage >= t.fault;
+  if (!high_ic && !high_fc) return AdequacyRegion::point1_inadequate;
+  if (!high_ic && high_fc) return AdequacyRegion::point2_unexplored;
+  if (high_ic && !high_fc) return AdequacyRegion::point3_insecure;
+  return AdequacyRegion::point4_adequate_secure;
+}
+
+std::string_view to_string(AdequacyRegion r) {
+  switch (r) {
+    case AdequacyRegion::point1_inadequate: return "point-1 (inadequate)";
+    case AdequacyRegion::point2_unexplored:
+      return "point-2 (inadequate: interactions unexplored)";
+    case AdequacyRegion::point3_insecure: return "point-3 (insecure)";
+    case AdequacyRegion::point4_adequate_secure:
+      return "point-4 (adequate and secure)";
+  }
+  return "?";
+}
+
+std::string_view region_meaning(AdequacyRegion r) {
+  switch (r) {
+    case AdequacyRegion::point1_inadequate:
+      return "testing resulted in low interaction and fault coverage; "
+             "testing is inadequate";
+    case AdequacyRegion::point2_unexplored:
+      return "fault coverage is high but only a few interactions were "
+             "perturbed; behavior under other perturbations is unknown";
+    case AdequacyRegion::point3_insecure:
+      return "fault coverage is so low the application is likely "
+             "vulnerable to perturbation of the environment";
+    case AdequacyRegion::point4_adequate_secure:
+      return "high interaction and fault coverage: the safest region";
+  }
+  return "?";
+}
+
+}  // namespace ep::core

@@ -1,0 +1,42 @@
+// The two-dimensional test adequacy metric (Section 3.2, Figure 2).
+//
+//   * interaction coverage — perturbed interaction points / all discovered
+//     interaction points: how much of the environment-application surface
+//     the test explored;
+//   * fault coverage — tolerated faults / injected faults: how much of
+//     what was thrown at the program it withstood.
+//
+// Figure 2 marks four significant regions; classify() reproduces them.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ep::core {
+
+struct AdequacyPoint {
+  double interaction_coverage = 0.0;  // x axis
+  double fault_coverage = 0.0;        // y axis
+};
+
+enum class AdequacyRegion {
+  point1_inadequate,     // low interaction, low fault coverage
+  point2_unexplored,     // high fault coverage but few interactions tested
+  point3_insecure,       // well explored, poorly tolerated
+  point4_adequate_secure  // well explored, well tolerated
+};
+
+struct AdequacyThresholds {
+  double interaction = 0.5;
+  double fault = 0.8;
+};
+
+AdequacyRegion classify(const AdequacyPoint& p,
+                        const AdequacyThresholds& t = {});
+
+std::string_view to_string(AdequacyRegion r);
+
+/// The paper's interpretation of each region, for reports.
+std::string_view region_meaning(AdequacyRegion r);
+
+}  // namespace ep::core

@@ -1,0 +1,61 @@
+#include "core/equivalence.hpp"
+
+namespace ep::core {
+
+namespace {
+
+/// Calls that operate on an already-open descriptor and never re-resolve
+/// a path: the only ones that may fold into an earlier point's class.
+bool descriptor_bound(const InteractionPoint& p) {
+  return p.call == "read" || p.call == "write";
+}
+
+}  // namespace
+
+std::vector<EquivalenceClass> find_equivalence_classes(
+    const std::vector<InteractionPoint>& points) {
+  std::vector<EquivalenceClass> classes;
+  for (const auto& p : points) {
+    EquivalenceClass* home = nullptr;
+    for (auto& c : classes) {
+      if (descriptor_bound(p) && c.object == p.object && c.kind == p.kind &&
+          c.has_input == p.has_input &&
+          (!c.has_input || c.semantic == p.semantic)) {
+        home = &c;
+        break;
+      }
+    }
+    if (home == nullptr) {
+      EquivalenceClass c;
+      c.object = p.object;
+      c.kind = p.kind;
+      c.has_input = p.has_input;
+      c.semantic = p.semantic;
+      classes.push_back(std::move(c));
+      home = &classes.back();
+    }
+    home->members.push_back(&p);
+  }
+  return classes;
+}
+
+std::string render_equivalence(
+    const std::vector<EquivalenceClass>& classes) {
+  std::string out;
+  std::size_t points = 0;
+  for (const auto& c : classes) points += c.members.size();
+  out += std::to_string(points) + " interaction points -> " +
+         std::to_string(classes.size()) + " equivalence classes\n";
+  for (const auto& c : classes) {
+    out += "  [" + std::string(to_string(c.kind)) + "] " + c.object + ": ";
+    for (std::size_t i = 0; i < c.members.size(); ++i) {
+      if (i) out += ", ";
+      out += c.members[i]->site.tag;
+      if (i == 0 && c.members.size() > 1) out += " (representative)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,58 @@
+// Interaction-point equivalence analysis.
+//
+// The paper's stated next step (Sections 1 and 6): "we plan to exploit
+// static analysis to further reduce the number of fault injection
+// locations by finding the equivalence relationship among those
+// locations. The motivation ... is that we can reduce the testing efforts
+// by utilizing static information from the program."
+//
+// Two interaction points are injection-equivalent when a fault injected
+// at one meets the same environment state and the same program handling
+// as at the other. The sound criterion is deliberately narrow: a point
+// may join an earlier point's class only when it (a) names the same
+// object with the same kind, input character, and input semantic, AND
+// (b) is a descriptor-bound continuation — a read()/write() on the handle
+// the representative's call obtained. Descriptor-bound calls never
+// re-resolve the path, so every path-level Table 6 perturbation at them
+// is moot; their outcomes are determined by the representative's.
+//
+// The restriction to descriptor-bound continuations is not pedantry: a
+// check and a use on the same object (vault's access()/open() pair) look
+// equivalent by object identity, but merging them erases exactly the
+// TOCTTOU window the methodology exists to probe — the use re-resolves
+// the path, so faults injected there meet *different* program handling.
+// bench/ablation_equivalence measures the reduction and verifies no
+// violation is lost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace ep::core {
+
+struct EquivalenceClass {
+  /// The grouping key, printable for reports.
+  std::string object;
+  ObjectKind kind = ObjectKind::none;
+  bool has_input = false;
+  InputSemantic semantic = InputSemantic::file_name;
+  /// Members in trace order; front() is the representative (the first
+  /// time the program touched the object — where its assumptions bind).
+  std::vector<const InteractionPoint*> members;
+
+  [[nodiscard]] const InteractionPoint& representative() const {
+    return *members.front();
+  }
+};
+
+/// Partition interaction points into injection-equivalence classes,
+/// preserving trace order of representatives.
+std::vector<EquivalenceClass> find_equivalence_classes(
+    const std::vector<InteractionPoint>& points);
+
+/// Human-readable summary of a partition (for reports and the bench).
+std::string render_equivalence(const std::vector<EquivalenceClass>& classes);
+
+}  // namespace ep::core

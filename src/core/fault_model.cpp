@@ -1,0 +1,88 @@
+#include "core/fault_model.hpp"
+
+namespace ep::core {
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::indirect: return "indirect";
+    case FaultKind::direct: return "direct";
+  }
+  return "?";
+}
+
+std::string_view to_string(IndirectCategory c) {
+  switch (c) {
+    case IndirectCategory::user_input: return "user input";
+    case IndirectCategory::environment_variable: return "environment variable";
+    case IndirectCategory::file_system_input: return "file system input";
+    case IndirectCategory::network_input: return "network input";
+    case IndirectCategory::process_input: return "process input";
+  }
+  return "?";
+}
+
+std::string_view to_string(DirectEntity e) {
+  switch (e) {
+    case DirectEntity::file_system: return "file system";
+    case DirectEntity::network: return "network";
+    case DirectEntity::process: return "process";
+  }
+  return "?";
+}
+
+std::string_view to_string(InputSemantic s) {
+  switch (s) {
+    case InputSemantic::file_name: return "file name + directory name";
+    case InputSemantic::command: return "command";
+    case InputSemantic::path_list: return "execution path + library path";
+    case InputSemantic::permission_mask: return "permission mask";
+    case InputSemantic::file_extension: return "file extension";
+    case InputSemantic::ip_address: return "IP address";
+    case InputSemantic::packet: return "packet";
+    case InputSemantic::host_name: return "host name";
+    case InputSemantic::dns_reply: return "DNS reply";
+    case InputSemantic::ipc_message: return "message";
+  }
+  return "?";
+}
+
+std::string_view to_string(EnvAttribute a) {
+  switch (a) {
+    case EnvAttribute::file_existence: return "file existence";
+    case EnvAttribute::file_ownership: return "file ownership";
+    case EnvAttribute::file_permission: return "file permission";
+    case EnvAttribute::symbolic_link: return "symbolic link";
+    case EnvAttribute::file_content_invariance: return "file content invariance";
+    case EnvAttribute::file_name_invariance: return "file name invariance";
+    case EnvAttribute::working_directory: return "working directory";
+    case EnvAttribute::net_message_authenticity: return "message authenticity";
+    case EnvAttribute::net_protocol: return "protocol";
+    case EnvAttribute::net_socket_share: return "socket";
+    case EnvAttribute::net_service_availability: return "service availability";
+    case EnvAttribute::net_entity_trustability: return "entity trustability";
+    case EnvAttribute::proc_message_authenticity:
+      return "message authenticity (process)";
+    case EnvAttribute::proc_trustability: return "process trustability";
+    case EnvAttribute::proc_service_availability:
+      return "service availability (process)";
+  }
+  return "?";
+}
+
+std::string_view to_string(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::file: return "file";
+    case ObjectKind::directory: return "directory";
+    case ObjectKind::exec_binary: return "exec binary";
+    case ObjectKind::net_inbound: return "inbound connection";
+    case ObjectKind::net_service: return "network service";
+    case ObjectKind::ipc_service: return "ipc service";
+    case ObjectKind::registry_key: return "registry key";
+    case ObjectKind::user_input: return "user input";
+    case ObjectKind::env_var: return "environment variable";
+    case ObjectKind::none: return "none";
+  }
+  return "?";
+}
+
+}  // namespace ep::core

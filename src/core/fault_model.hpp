@@ -1,0 +1,92 @@
+// The Environment-Application Interaction (EAI) fault model (Section 2).
+//
+// Environment faults split by the medium through which they reach the
+// application:
+//
+//   * INDIRECT faults enter as *input* and propagate via internal entities
+//     (Figure 1a). Classified by input origin into five categories
+//     (Section 2.3.1), each with semantics-aware perturbations (Table 5).
+//   * DIRECT faults stay in the *environment entity* whose attributes the
+//     application acts on (Figure 1b). Classified by entity into three
+//     categories (Section 2.3.2), perturbed per attribute (Table 6).
+#pragma once
+
+#include <string_view>
+
+namespace ep::core {
+
+enum class FaultKind { indirect, direct };
+
+/// Table 2 columns: where indirect faults originate.
+enum class IndirectCategory {
+  user_input,
+  environment_variable,
+  file_system_input,
+  network_input,
+  process_input,
+};
+
+/// Table 3 columns: which environment entity direct faults live in.
+enum class DirectEntity { file_system, network, process };
+
+/// The "semantic attribute" column of Table 5: what an input *means*
+/// decides which perturbations are likely to cause security violations.
+enum class InputSemantic {
+  file_name,        // file or directory name
+  command,          // command string to be executed
+  path_list,        // execution path / library path ($PATH and kin)
+  permission_mask,  // umask-style mask
+  file_extension,
+  ip_address,
+  packet,
+  host_name,
+  dns_reply,
+  ipc_message,
+};
+
+/// The "attribute" column of Table 6: which facet of an environment
+/// entity a direct fault perturbs.
+enum class EnvAttribute {
+  // file system entity
+  file_existence,
+  file_ownership,
+  file_permission,
+  symbolic_link,
+  file_content_invariance,
+  file_name_invariance,
+  working_directory,
+  // network entity
+  net_message_authenticity,
+  net_protocol,
+  net_socket_share,
+  net_service_availability,
+  net_entity_trustability,
+  // process entity
+  proc_message_authenticity,
+  proc_trustability,
+  proc_service_availability,
+};
+
+/// What kind of object an interaction point touches; used to select the
+/// applicable direct faults when the scenario does not override.
+enum class ObjectKind {
+  file,
+  directory,
+  exec_binary,
+  net_inbound,   // accepted connection / recv
+  net_service,   // outbound connection to a network service
+  ipc_service,   // helper process / local IPC
+  registry_key,
+  user_input,    // argv access: no direct faults, only indirect
+  env_var,       // getenv: no direct faults, only indirect
+  none,
+};
+
+std::string_view to_string(FaultKind k);
+std::string_view to_string(IndirectCategory c);
+std::string_view to_string(DirectEntity e);
+std::string_view to_string(InputSemantic s);
+std::string_view to_string(EnvAttribute a);
+std::string_view to_string(ObjectKind k);
+
+}  // namespace ep::core

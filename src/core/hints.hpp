@@ -1,0 +1,44 @@
+// Scenario hints: the concrete adversarial values perturbation generators
+// substitute into faults. The catalog describes fault *shapes* ("make the
+// file a symbolic link to a target the attacker chooses"); the hints say
+// what the attacker would choose in this world (which victim file, which
+// directory they control, how long "too long" is).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "os/types.hpp"
+
+namespace ep::core {
+
+struct ScenarioHints {
+  /// The local malicious user of the threat model.
+  os::Uid attacker_uid = 666;
+  os::Gid attacker_gid = 666;
+  /// A directory the attacker controls (exists in the benign world).
+  std::string attacker_dir = "/tmp/attacker";
+  /// Integrity victim: the file a clobbering attack would target.
+  std::string symlink_victim = "/etc/passwd";
+  /// Confidentiality victim: the file a disclosure attack would target.
+  std::string secret_victim = "/etc/shadow";
+  /// Directory victim for perturbations of directory objects.
+  std::string dir_victim = "/etc";
+  /// An attacker-owned executable planted in attacker_dir (used by the
+  /// untrusted-path and symlink-on-binary perturbations).
+  std::string evil_program = "/tmp/attacker/evil";
+  /// Length used by the change-length faults.
+  std::size_t long_length = 4096;
+  /// Per-site payloads for the content-invariance fault: scenarios supply
+  /// the tampered content that is *meaningful* for the file read at that
+  /// site (e.g. a config whose paths now point into attacker_dir). Keyed
+  /// by site tag; absent sites get a generic tamper line.
+  std::map<std::string, std::string> content_payloads;
+  /// Per-site symlink targets for the symbolic-link fault, when the most
+  /// damaging target is scenario-specific (e.g. link the config file to an
+  /// attacker-authored config rather than to a secret). Keyed by site tag.
+  std::map<std::string, std::string> link_victims;
+};
+
+}  // namespace ep::core

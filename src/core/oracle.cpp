@@ -1,0 +1,229 @@
+#include "core/oracle.hpp"
+
+#include "os/path.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+
+std::string_view to_string(Policy p) {
+  switch (p) {
+    case Policy::integrity: return "integrity";
+    case Policy::confidentiality: return "confidentiality";
+    case Policy::untrusted_exec: return "untrusted-exec";
+    case Policy::memory_safety: return "memory-safety";
+    case Policy::trust: return "trust";
+    case Policy::authorization: return "authorization";
+  }
+  return "?";
+}
+
+SecurityOracle::SecurityOracle(PolicySpec spec) : spec_(std::move(spec)) {}
+
+bool SecurityOracle::watched(const os::Process& p) const {
+  if (spec_.watch_all) return true;
+  // The privilege gap of the paper's threat model: the program acts with
+  // an identity its invoker does not hold.
+  return p.euid != p.ruid;
+}
+
+bool SecurityOracle::sanctioned(const std::string& canonical) const {
+  for (const auto& root : spec_.write_sanction_roots)
+    if (os::path::is_under(canonical, root)) return true;
+  return false;
+}
+
+bool SecurityOracle::is_secret_file(const std::string& canonical) const {
+  for (const auto& s : spec_.secret_files)
+    if (s == canonical) return true;
+  return false;
+}
+
+void SecurityOracle::report(Policy policy, const os::SyscallCtx& ctx,
+                            std::string detail) {
+  std::string key = std::string(to_string(policy)) + "|" + ctx.call + "|" +
+                    (ctx.canonical.empty() ? ctx.path : ctx.canonical);
+  if (!dedup_.insert(key).second) return;
+  Violation v;
+  v.policy = policy;
+  v.site = ctx.site;
+  v.call = ctx.call;
+  v.object = ctx.canonical.empty() ? ctx.path : ctx.canonical;
+  v.detail = std::move(detail);
+  violations_.push_back(std::move(v));
+}
+
+void SecurityOracle::after(os::Kernel& k, os::SyscallCtx& ctx, Err result) {
+  if (ctx.pid < 0 || !k.has_proc(ctx.pid)) return;
+  const os::Process& p = k.proc(ctx.pid);
+
+  // Channel ground truth accumulates regardless of result.
+  consumed_unauthentic_ |= ctx.net_unauthentic;
+  protocol_violated_ |= ctx.net_protocol_violation;
+  peer_untrusted_ |= ctx.net_peer_untrusted;
+  socket_shared_ |= ctx.net_socket_shared;
+  auth_confirmed_ |= ctx.net_auth_confirmation;
+
+  if (ctx.call == "app_fault") {
+    if (ctx.aux == "crash") ++crashes_;
+    if (ctx.aux == "buffer_overflow") {
+      ++overflows_;
+      if (watched(p))
+        report(Policy::memory_safety, ctx,
+               "fixed buffer overflowed in privileged process: " + ctx.data);
+    }
+    return;
+  }
+
+  if (!watched(p)) return;
+  if (result != Err::ok && ctx.call != "output") {
+    // A refused interaction cannot violate these policies; the program
+    // tolerated the fault (or the kernel did on its behalf).
+    return;
+  }
+
+  const std::string& obj = ctx.canonical.empty() ? ctx.path : ctx.canonical;
+
+  if (ctx.call == "open") {
+    const bool writing = ep::contains(ctx.aux, "w");
+    if (!ctx.object_preexisting) {
+      created_.insert(ctx.object);
+      // P1 clause (b): creating entries in a directory the invoker could
+      // not write, outside the program's sanctioned output roots.
+      std::string parent = os::path::dirname(ctx.canonical);
+      if (!sanctioned(ctx.canonical) &&
+          !k.uid_can(p.ruid, p.rgid, parent, os::Perm::write)) {
+        report(Policy::integrity, ctx,
+               "privileged process created " + ctx.canonical +
+                   " in a directory the invoker (" + k.user_name(p.ruid) +
+                   ") cannot write");
+      }
+      // P1 clause (c): a privileged process leaving its output writable
+      // by everyone hands the object to any local user — the classic
+      // inherited-umask-zero flaw (mask perturbation, Table 5).
+      auto st = k.vfs().stat_inode(ctx.object);
+      if (st.ok() && (st.value().mode & os::kOtherWrite) != 0) {
+        report(Policy::integrity, ctx,
+               "privileged process created world-writable " + ctx.canonical);
+      }
+    } else if (writing &&
+               (ep::contains(ctx.aux, "t") || ep::contains(ctx.aux, "c")) &&
+               !created_.count(ctx.object) && !ctx.object_ruid_writable) {
+      // P1 clause (a): a truncating/claiming open of a pre-existing
+      // object the invoker could not write is already destructive (lpr's
+      // spool-file flaw). A plain open-for-write only becomes a
+      // violation if a write follows — a program that re-validates
+      // through the descriptor and backs off has tolerated the fault.
+      report(Policy::integrity, ctx,
+             "privileged process opened pre-existing " + ctx.canonical +
+                 " for writing; invoker (" + k.user_name(p.ruid) +
+                 ") lacks write permission");
+    }
+    if (!writing && ctx.object_preexisting &&
+        (is_secret_file(ctx.canonical) || !ctx.object_ruid_readable)) {
+      // Reading will be tracked at the read itself; nothing to do here.
+    }
+    return;
+  }
+
+  if (ctx.call == "mkdir" && result == Err::ok) {
+    created_.insert(ctx.object);
+    std::string parent = os::path::dirname(ctx.canonical);
+    if (!sanctioned(ctx.canonical) &&
+        !k.uid_can(p.ruid, p.rgid, parent, os::Perm::write))
+      report(Policy::integrity, ctx,
+             "privileged process created directory " + ctx.canonical +
+                 " where the invoker cannot write");
+    return;
+  }
+
+  if (ctx.call == "write") {
+    if (!created_.count(ctx.object) && !ctx.object_ruid_writable)
+      report(Policy::integrity, ctx,
+             "privileged process wrote " + obj + "; invoker (" +
+                 k.user_name(p.ruid) + ") lacks write permission");
+    return;
+  }
+
+  if (ctx.call == "unlink" || ctx.call == "rmdir" || ctx.call == "chmod" ||
+      ctx.call == "chown" || ctx.call == "rename") {
+    if (ctx.object_preexisting && !created_.count(ctx.object) &&
+        !ctx.object_ruid_writable)
+      report(Policy::integrity, ctx,
+             "privileged process performed " + ctx.call + " on " + obj +
+                 " which the invoker (" + k.user_name(p.ruid) +
+                 ") cannot write");
+    return;
+  }
+
+  if (ctx.call == "read" || ctx.call == "regread" || ctx.call == "readdir") {
+    if (ctx.object_untrusted)
+      report(Policy::trust, ctx,
+             "privileged process consumed data from untrusted entity " + obj);
+    if (ctx.call == "read" && !ctx.data.empty() &&
+        (is_secret_file(ctx.canonical) || !ctx.object_ruid_readable)) {
+      // Remember the payload; if it surfaces on output, that is P2.
+      secrets_read_.push_back(ctx.data);
+    }
+    return;
+  }
+
+  if (ctx.call == "output" || ctx.call == "send") {
+    // Printing or transmitting are both disclosure channels.
+    for (const auto& secret : secrets_read_) {
+      if (secret.size() >= 4 && ep::contains(ctx.data, secret)) {
+        report(Policy::confidentiality, ctx,
+               (ctx.call == "output" ? "output discloses"
+                                     : "network send discloses") +
+                   std::string(" content the invoker (") +
+                   k.user_name(p.ruid) + ") cannot read");
+        break;
+      }
+    }
+    return;
+  }
+
+  if (ctx.call == "exec") {
+    if (ctx.object_untrusted) {
+      report(Policy::trust, ctx,
+             "privileged process executed binary from untrusted entity " +
+                 obj);
+      return;
+    }
+    auto st = k.vfs().stat_inode(ctx.object);
+    if (!st.ok()) return;
+    const os::StatInfo& s = st.value();
+    if (s.uid != os::kRootUid && s.uid != p.ruid)
+      report(Policy::untrusted_exec, ctx,
+             "privileged process executed " + obj + " owned by third party " +
+                 k.user_name(s.uid));
+    else if ((s.mode & os::kOtherWrite) != 0)
+      report(Policy::untrusted_exec, ctx,
+             "privileged process executed world-writable binary " + obj);
+    else if ((s.mode & os::kGroupWrite) != 0 && s.gid != os::kRootGid)
+      report(Policy::untrusted_exec, ctx,
+             "privileged process executed group-writable binary " + obj);
+    return;
+  }
+
+  if (ctx.call == "privileged_action") {
+    const bool believes_authorized = ctx.data == "authorized";
+    std::string why;
+    if (!believes_authorized)
+      why = "program proceeded although it knew authorization failed";
+    else if (consumed_unauthentic_)
+      why = "authorization rested on an unauthentic message";
+    else if (protocol_violated_)
+      why = "authorization rested on an out-of-protocol exchange";
+    else if (socket_shared_)
+      why = "authorization rested on a socket shared with another process";
+    else if (peer_untrusted_)
+      why = "authorization rested on an untrusted peer";
+    else if (spec_.require_auth_confirmation && !auth_confirmed_)
+      why = "no genuine confirmation from the authority was obtained";
+    if (!why.empty())
+      report(Policy::authorization, ctx, ctx.aux + ": " + why);
+    return;
+  }
+}
+
+}  // namespace ep::core

@@ -1,0 +1,108 @@
+// The security oracle (procedure step 8: "detect if security policy is
+// violated").
+//
+// The oracle is a hook that watches completed interactions of *privileged*
+// processes (euid != ruid, i.e. set-uid programs serving an unprivileged
+// invoker; scenarios may widen this to all processes for daemons) and
+// evaluates six policies:
+//
+//   P1 integrity        — the process mutated or deleted a pre-existing
+//                         object its invoker could not write, or created
+//                         entries in a directory the invoker could not
+//                         write outside the scenario's sanctioned roots.
+//   P2 confidentiality  — content the invoker could not read (or content
+//                         of a declared secret file) appeared on output.
+//   P3 untrusted exec   — the process executed a binary an unprivileged
+//                         third party owns or can rewrite.
+//   P4 memory safety    — a fixed-buffer overflow fired in the process
+//                         (the simulated equivalent of an exploitable
+//                         smash).
+//   P5 trust            — the process consumed data from an entity marked
+//                         untrusted.
+//   P6 authorization    — the process performed its privileged effect
+//                         although ground truth (message authenticity,
+//                         protocol order, socket exclusivity, a live
+//                         trusted authority's confirmation) did not
+//                         support it.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "os/hooks.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::core {
+
+enum class Policy {
+  integrity,
+  confidentiality,
+  untrusted_exec,
+  memory_safety,
+  trust,
+  authorization,
+};
+
+std::string_view to_string(Policy p);
+
+struct Violation {
+  Policy policy;
+  os::Site site;
+  std::string call;
+  std::string object;
+  std::string detail;
+};
+
+struct PolicySpec {
+  /// Canonical directory prefixes where privileged creation of new files
+  /// is the program's sanctioned purpose (lpr's spool, turnin's submit
+  /// directory). Mutating *pre-existing* objects is never sanctioned.
+  std::vector<std::string> write_sanction_roots;
+  /// Files whose content is secret regardless of permission arithmetic.
+  std::vector<std::string> secret_files;
+  /// Watch every process, not only set-uid ones (network daemons run with
+  /// euid == ruid but serve remote principals).
+  bool watch_all = false;
+  /// privileged_action requires a prior genuine AUTH_OK (P6).
+  bool require_auth_confirmation = false;
+};
+
+class SecurityOracle : public os::Interposer {
+ public:
+  explicit SecurityOracle(PolicySpec spec);
+
+  void after(os::Kernel& k, os::SyscallCtx& ctx, Err result) override;
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool violated() const { return !violations_.empty(); }
+  [[nodiscard]] int crash_count() const { return crashes_; }
+  [[nodiscard]] int overflow_count() const { return overflows_; }
+
+ private:
+  [[nodiscard]] bool watched(const os::Process& p) const;
+  [[nodiscard]] bool sanctioned(const std::string& canonical) const;
+  [[nodiscard]] bool is_secret_file(const std::string& canonical) const;
+  void report(Policy policy, const os::SyscallCtx& ctx, std::string detail);
+
+  PolicySpec spec_;
+  std::vector<Violation> violations_;
+  std::set<std::string> dedup_;
+  /// Objects this run's processes created themselves; writing to your own
+  /// fresh file is not a violation.
+  std::set<os::Ino> created_;
+  /// Secret payloads read so far; matched against later output.
+  std::vector<std::string> secrets_read_;
+  // Channel ground truth accumulated across the run (P6).
+  bool consumed_unauthentic_ = false;
+  bool protocol_violated_ = false;
+  bool peer_untrusted_ = false;
+  bool socket_shared_ = false;
+  bool auth_confirmed_ = false;
+  int crashes_ = 0;
+  int overflows_ = 0;
+};
+
+}  // namespace ep::core

@@ -1,0 +1,210 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace ep::core {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jstr(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+std::string jnum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_summary_line(const CampaignResult& r) {
+  return r.scenario_name + ": " + std::to_string(r.points.size()) +
+         " interaction points, " + std::to_string(r.n()) +
+         " perturbations, " + std::to_string(r.violation_count()) +
+         " violations";
+}
+
+std::string render_report(const CampaignResult& r) {
+  std::string out;
+  out += "=== Environment perturbation campaign: " + r.scenario_name +
+         " ===\n\n";
+
+  // Per-site rollup.
+  struct Row {
+    std::string call;
+    std::string object;
+    int injected = 0;
+    int violated = 0;
+    std::vector<std::string> violating_faults;
+  };
+  std::map<std::string, Row> rows;  // keyed by site tag, insertion via map
+  std::vector<std::string> order;
+  for (const auto& p : r.points) {
+    if (!rows.count(p.site.tag)) order.push_back(p.site.tag);
+    Row& row = rows[p.site.tag];
+    row.call = p.call;
+    row.object = p.object;
+  }
+  for (const auto& i : r.injections) {
+    Row& row = rows[i.site.tag];
+    ++row.injected;
+    if (i.violated) {
+      ++row.violated;
+      row.violating_faults.push_back(i.fault_name);
+    }
+  }
+
+  TextTable table({"interaction point", "call", "object", "faults injected",
+                   "violations", "violating faults"});
+  for (const auto& tag : order) {
+    const Row& row = rows[tag];
+    table.add_row({tag, row.call, row.object, std::to_string(row.injected),
+                   std::to_string(row.violated),
+                   ep::join(row.violating_faults, ", ")});
+  }
+  out += table.render();
+
+  if (!r.benign_violations.empty()) {
+    out += "\nWARNING: benign run already violates policy (" +
+           std::to_string(r.benign_violations.size()) +
+           " violations) - scenario misconfigured?\n";
+  }
+
+  out += "\nViolations:\n";
+  for (const auto& i : r.injections) {
+    if (!i.violated) continue;
+    out += "  * " + i.site.tag + " / " + i.fault_name + " (" +
+           std::string(to_string(i.kind)) + ")\n";
+    for (const auto& v : i.violations)
+      out += "      [" + std::string(to_string(v.policy)) + "] " + v.detail +
+             "\n";
+    out += "      assumption analysis: perturbation feasible by " +
+           (i.exploit.actor.empty() ? std::string("?") : i.exploit.actor) +
+           (i.exploit.nonroot_feasible
+                ? " -> UNREASONABLE assumption: candidate vulnerability"
+                : " -> assumption reasonable (protected by default)") +
+           "\n";
+  }
+
+  out += "\nMetrics (Section 3.2/3.3):\n";
+  out += "  interaction points discovered : " +
+         std::to_string(r.points.size()) + "\n";
+  out += "  interaction points perturbed  : " +
+         std::to_string(r.perturbed_site_tags.size()) + "\n";
+  out += "  faults injected (n)           : " + std::to_string(r.n()) + "\n";
+  out += "  faults tolerated              : " +
+         std::to_string(r.tolerated_count()) + "\n";
+  out += "  violations (count)            : " +
+         std::to_string(r.violation_count()) + "\n";
+  out += "  interaction coverage          : " +
+         ep::percent(static_cast<double>(r.perturbed_site_tags.size()),
+                     static_cast<double>(r.points.size())) +
+         "\n";
+  out += "  fault coverage                : " +
+         ep::percent(r.fault_coverage(), 1.0) + "\n";
+  out += "  vulnerability score (rho)     : " +
+         ep::percent(r.vulnerability_score(), 1.0) + "\n";
+  out += "  adequacy region (Figure 2)    : " +
+         std::string(to_string(r.region())) + "\n";
+  out += "    -> " + std::string(region_meaning(r.region())) + "\n";
+
+  auto exploitable = r.exploitable();
+  out += "\nCandidate vulnerabilities (unreasonable assumptions): " +
+         std::to_string(exploitable.size()) + "\n";
+  for (const auto* i : exploitable)
+    out += "  - " + i->site.tag + " / " + i->fault_name + " (by " +
+           i->exploit.actor + "): " + i->exploit.note + "\n";
+  return out;
+}
+
+std::string render_json(const CampaignResult& r) {
+  std::string out = "{\n";
+  out += "  \"scenario\": " + jstr(r.scenario_name) + ",\n";
+
+  out += "  \"interaction_points\": [\n";
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const auto& p = r.points[i];
+    out += "    {\"site\": " + jstr(p.site.tag) +
+           ", \"call\": " + jstr(p.call) +
+           ", \"object\": " + jstr(p.object) +
+           ", \"kind\": " + jstr(std::string(to_string(p.kind))) +
+           ", \"has_input\": " + (p.has_input ? "true" : "false") +
+           ", \"hits\": " + std::to_string(p.hits) + "}";
+    out += i + 1 < r.points.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"injections\": [\n";
+  for (std::size_t i = 0; i < r.injections.size(); ++i) {
+    const auto& inj = r.injections[i];
+    out += "    {\"site\": " + jstr(inj.site.tag) +
+           ", \"fault\": " + jstr(inj.fault_name) +
+           ", \"kind\": " + jstr(std::string(to_string(inj.kind))) +
+           ", \"fired\": " + (inj.fired ? "true" : "false") +
+           ", \"violated\": " + (inj.violated ? "true" : "false") +
+           ", \"crashed\": " + (inj.crashed ? "true" : "false") +
+           ", \"exit_code\": " + std::to_string(inj.exit_code);
+    if (inj.violated) {
+      out += ", \"violations\": [";
+      for (std::size_t v = 0; v < inj.violations.size(); ++v) {
+        const auto& viol = inj.violations[v];
+        out += std::string(v ? ", " : "") + "{\"policy\": " +
+               jstr(std::string(to_string(viol.policy))) +
+               ", \"object\": " + jstr(viol.object) +
+               ", \"detail\": " + jstr(viol.detail) + "}";
+      }
+      out += "], \"exploit\": {\"nonroot_feasible\": " +
+             std::string(inj.exploit.nonroot_feasible ? "true" : "false") +
+             ", \"actor\": " + jstr(inj.exploit.actor) +
+             ", \"note\": " + jstr(inj.exploit.note) + "}";
+    }
+    out += "}";
+    out += i + 1 < r.injections.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"metrics\": {";
+  out += "\"points\": " + std::to_string(r.points.size());
+  out += ", \"perturbed\": " + std::to_string(r.perturbed_site_tags.size());
+  out += ", \"injections\": " + std::to_string(r.n());
+  out += ", \"violations\": " + std::to_string(r.violation_count());
+  out += ", \"tolerated\": " + std::to_string(r.tolerated_count());
+  out += ", \"interaction_coverage\": " + jnum(r.interaction_coverage());
+  out += ", \"fault_coverage\": " + jnum(r.fault_coverage());
+  out += ", \"vulnerability_score\": " + jnum(r.vulnerability_score());
+  out += ", \"adequacy_region\": " +
+         jstr(std::string(to_string(r.region())));
+  out += ", \"benign_violations\": " +
+         std::to_string(r.benign_violations.size());
+  out += "}\n}\n";
+  return out;
+}
+
+}  // namespace ep::core

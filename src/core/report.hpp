@@ -1,0 +1,24 @@
+// Plain-text rendering of campaign results, in the shape of the paper's
+// Section 4 write-ups: interaction points, perturbations, violations,
+// coverage metrics, adequacy region, and the assumption analysis.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace ep::core {
+
+/// Full report: per-site table + violations + metrics.
+std::string render_report(const CampaignResult& r);
+
+/// One summary line, e.g.
+/// "turnin: 8 interaction points, 41 perturbations, 9 violations".
+std::string render_summary_line(const CampaignResult& r);
+
+/// Machine-readable form (JSON) of the complete result: interaction
+/// points, every injection outcome with its violations and assumption
+/// analysis, and the Section 3.2/3.3 metrics. For dashboards and CI.
+std::string render_json(const CampaignResult& r);
+
+}  // namespace ep::core

@@ -1,0 +1,25 @@
+// The complete simulated environment a scenario runs in: one kernel (file
+// system + processes), one network, one registry. Campaign runs construct
+// a fresh TargetWorld per injection, which is what makes runs independent
+// (no perturbation outlives its run).
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "os/kernel.hpp"
+#include "reg/registry.hpp"
+
+namespace ep::core {
+
+struct TargetWorld {
+  os::Kernel kernel;
+  net::Network network;
+  reg::Registry registry;
+
+  TargetWorld() = default;
+  TargetWorld(const TargetWorld&) = delete;
+  TargetWorld& operator=(const TargetWorld&) = delete;
+};
+
+}  // namespace ep::core

@@ -1,0 +1,45 @@
+#include "core/trace.hpp"
+
+#include "core/catalog.hpp"
+
+namespace ep::core {
+
+void TraceRecorder::before(os::Kernel& /*k*/, os::SyscallCtx& ctx) {
+  // Output and fault-report pseudo-syscalls are observations, not
+  // environment interactions; they are not perturbation targets.
+  if (ctx.call == "output" || ctx.call == "app_fault" ||
+      ctx.call == "privileged_action" || ctx.call == "crash")
+    return;
+  if (!unit_filter_.empty() && ctx.site.unit != unit_filter_) return;
+  for (auto& p : points_) {
+    if (p.site == ctx.site) {
+      ++p.hits;
+      // One source region may both open an object and read it (or accept
+      // a connection and receive from it): the interaction point has
+      // input if any of its syscalls deliver input, and the input's
+      // semantic comes from the first input-bearing syscall.
+      if (ctx.has_input && !p.has_input) {
+        p.has_input = true;
+        p.semantic = infer_semantic(ctx);
+      }
+      return;
+    }
+  }
+  InteractionPoint p;
+  p.site = ctx.site;
+  p.call = ctx.call;
+  if (ctx.call == "arg")
+    p.object = "argv[" + ctx.aux + "]";
+  else if (ctx.call == "getenv")
+    p.object = "$" + ctx.aux;
+  else
+    p.object = !ctx.path.empty() ? ctx.path : ctx.aux;
+  p.has_input = ctx.has_input;
+  p.kind = infer_object_kind(ctx);
+  p.semantic = infer_semantic(ctx);
+  p.channel_kind = ctx.channel_kind;
+  p.hits = 1;
+  points_.push_back(std::move(p));
+}
+
+}  // namespace ep::core

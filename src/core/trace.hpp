@@ -1,0 +1,49 @@
+// Interaction-point discovery (procedure step 3).
+//
+// A plain trace run — no faults — with this recorder attached yields the
+// list of environment-application interaction points: the distinct call
+// sites at which the program touched its environment, whether each asks
+// for input, and what object it names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fault_model.hpp"
+#include "os/hooks.hpp"
+
+namespace ep::core {
+
+struct InteractionPoint {
+  os::Site site;
+  std::string call;
+  std::string object;  // path/service/key as first seen
+  bool has_input = false;
+  ObjectKind kind = ObjectKind::none;
+  InputSemantic semantic = InputSemantic::file_name;
+  std::string channel_kind;
+  int hits = 0;  // how many times the site executed during the trace
+};
+
+class TraceRecorder : public os::Interposer {
+ public:
+  TraceRecorder() = default;
+  /// Record only sites whose Site::unit matches: the program under test.
+  /// Children it execs (tar, payloads) still run through the hooks — the
+  /// oracle watches them — but their call sites are not perturbation
+  /// targets of *this* program's campaign.
+  explicit TraceRecorder(std::string unit_filter)
+      : unit_filter_(std::move(unit_filter)) {}
+
+  void before(os::Kernel& k, os::SyscallCtx& ctx) override;
+
+  [[nodiscard]] const std::vector<InteractionPoint>& points() const {
+    return points_;
+  }
+
+ private:
+  std::string unit_filter_;
+  std::vector<InteractionPoint> points_;  // first-seen order
+};
+
+}  // namespace ep::core

@@ -1,0 +1,134 @@
+// Message-level network and IPC substrate.
+//
+// Models exactly the environment entities Table 6's "Network" and
+// "Process" rows perturb: message authenticity, protocol step order,
+// socket sharing, service availability, and entity trustability. Transport
+// details (TCP, name services) are collapsed into scripted conversations —
+// the daemon under test recv()s the next inbound message and send()s
+// replies — because the methodology only interacts with the *attributes*
+// of the exchange, never with wire formats.
+//
+// Every operation is routed through the kernel's interposer chain, so the
+// injector can perturb channels at interaction points and the oracle sees
+// ground truth (authenticity, protocol position) it can hold against the
+// daemon's later privileged actions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "util/result.hpp"
+
+namespace ep::net {
+
+using Sock = int;
+
+/// What kind of peer a channel talks to; only the fault taxonomy differs
+/// (Table 6 classes network peers and local helper processes separately).
+enum class ChannelKind { network, ipc };
+
+struct Message {
+  std::string from;     // sending entity
+  std::string type;     // protocol step, e.g. "HELLO", "AUTH", "CMD"
+  std::string payload;
+  bool authentic = true;  // ground truth: origin is who `from` claims
+};
+
+/// An out-of-process service the daemon can call (auth server, DNS,
+/// helper process). The handler runs the service side of an RPC.
+struct ServiceDef {
+  std::string name;
+  ChannelKind kind = ChannelKind::network;
+  bool available = true;
+  bool trusted = true;
+  std::function<Message(const Message&)> handler;
+};
+
+/// The scripted inbound conversation for a daemon: the client side of the
+/// protocol. `expected_protocol` is the step sequence the protocol
+/// specifies; perturbations reorder/omit/extend `inbound` relative to it.
+struct PeerScript {
+  std::string peer = "client";
+  ChannelKind kind = ChannelKind::network;
+  std::vector<Message> inbound;
+  std::vector<std::string> expected_protocol;
+};
+
+/// Protocol perturbations from Table 6: "omitting a protocol step, adding
+/// an extra step, reordering steps".
+enum class ProtocolFault { omit_step, extra_step, reorder_steps };
+
+class Network {
+ public:
+  // --- scenario setup ------------------------------------------------------
+  void define_service(ServiceDef def);
+  void set_client_script(PeerScript script);
+  void add_host(const std::string& hostname, const std::string& ip);
+  void set_dns_reply(const std::string& hostname, const std::string& reply);
+
+  // --- perturbation surface (used by the Table 6 perturbers) --------------
+  void set_service_available(const std::string& name, bool available);
+  void set_service_trusted(const std::string& name, bool trusted);
+  /// Mark the next not-yet-received inbound message as spoofed.
+  void spoof_next_inbound(const std::string& claimed_peer = {});
+  void perturb_protocol(ProtocolFault fault);
+  /// Socket-share perturbation: the accepted socket is also held by
+  /// another (attacker) process. Applies to the next accept and to any
+  /// already-accepted inbound channel.
+  void share_inbound_socket();
+  /// Entity-trustability perturbation for the inbound peer.
+  void distrust_inbound();
+
+  [[nodiscard]] bool service_exists(const std::string& name) const;
+  [[nodiscard]] bool service_available(const std::string& name) const;
+
+  // --- daemon-side operations (hooked) -------------------------------------
+  /// Accept the scripted inbound connection. Err::conn if no script.
+  SysResult<Sock> accept(os::Kernel& k, const os::Site& site, os::Pid pid);
+  /// Next inbound message. Err::conn when the script is exhausted.
+  SysResult<Message> recv(os::Kernel& k, const os::Site& site, os::Pid pid,
+                          Sock s);
+  SysStatus send(os::Kernel& k, const os::Site& site, os::Pid pid, Sock s,
+                 const Message& msg);
+  /// Connect to a named service. Err::conn when unavailable.
+  SysResult<Sock> connect(os::Kernel& k, const os::Site& site, os::Pid pid,
+                          const std::string& service);
+  /// One-shot RPC on a connected service socket.
+  SysResult<Message> query(os::Kernel& k, const os::Site& site, os::Pid pid,
+                           Sock s, const Message& msg);
+  /// DNS lookup; the canonical "network input" indirect fault target.
+  SysResult<std::string> resolve_host(os::Kernel& k, const os::Site& site,
+                                      os::Pid pid, const std::string& host);
+
+  // --- daemon-visible attribute checks (for hardened programs) ------------
+  [[nodiscard]] bool socket_shared(Sock s) const;
+  [[nodiscard]] bool peer_trusted(Sock s) const;
+
+ private:
+  struct Channel {
+    std::string peer_or_service;
+    ChannelKind kind = ChannelKind::network;
+    bool inbound = false;     // accepted from the client script
+    bool shared = false;
+    bool peer_untrusted = false;
+    std::size_t cursor = 0;        // next script message
+    std::size_t protocol_pos = 0;  // next expected protocol step
+  };
+
+  std::map<std::string, ServiceDef> services_;
+  std::optional<PeerScript> script_;
+  std::map<std::string, std::string> hosts_;  // hostname -> ip
+  std::map<std::string, std::string> dns_override_;
+  std::map<Sock, Channel> channels_;
+  Sock next_sock_ = 1;
+  bool spoof_next_ = false;
+  std::string spoof_claimed_;
+  bool share_next_inbound_ = false;
+  bool distrust_inbound_ = false;
+};
+
+}  // namespace ep::net

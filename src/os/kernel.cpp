@@ -1,0 +1,1034 @@
+#include "os/kernel.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace ep::os {
+
+namespace {
+
+std::string summarize_args(const std::vector<std::string>& args) {
+  return ep::join(args, " ");
+}
+
+/// Restricted deletion (the sticky bit): in a sticky directory only the
+/// entry's owner, the directory's owner, or root may remove or rename an
+/// entry, even when the directory itself is writable.
+bool sticky_denies(const Process& p, const Inode& dir, const Inode& victim) {
+  if ((dir.mode & kStickyBit) == 0) return false;
+  return p.euid != kRootUid && p.euid != dir.uid && p.euid != victim.uid;
+}
+
+}  // namespace
+
+Kernel::Kernel() {
+  users_[kRootUid] = {"root", kRootGid};
+}
+
+void Kernel::add_user(Uid uid, std::string name, Gid gid) {
+  users_[uid] = {std::move(name), gid};
+}
+
+std::string Kernel::user_name(Uid uid) const {
+  auto it = users_.find(uid);
+  return it == users_.end() ? "uid" + std::to_string(uid) : it->second.first;
+}
+
+void Kernel::register_image(const std::string& name, AppImage image) {
+  images_[name] = std::move(image);
+}
+
+bool Kernel::has_image(const std::string& name) const {
+  return images_.count(name) != 0;
+}
+
+Pid Kernel::make_process(Uid ruid, Gid rgid, std::string cwd,
+                         std::map<std::string, std::string> env) {
+  Pid pid = next_pid_++;
+  Process p;
+  p.pid = pid;
+  p.ruid = ruid;
+  p.euid = ruid;
+  p.rgid = rgid;
+  p.egid = rgid;
+  p.cwd = std::move(cwd);
+  p.env = std::move(env);
+  procs_[pid] = std::move(p);
+  return pid;
+}
+
+Process& Kernel::proc(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end())
+    throw std::logic_error("no such process: " + std::to_string(pid));
+  return it->second;
+}
+
+const Process& Kernel::proc(Pid pid) const {
+  auto it = procs_.find(pid);
+  if (it == procs_.end())
+    throw std::logic_error("no such process: " + std::to_string(pid));
+  return it->second;
+}
+
+bool Kernel::has_proc(Pid pid) const { return procs_.count(pid) != 0; }
+
+void Kernel::add_interposer(std::shared_ptr<Interposer> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void Kernel::clear_interposers() { hooks_.clear(); }
+
+void Kernel::dispatch_before(SyscallCtx& ctx) {
+  for (auto& h : hooks_) h->before(*this, ctx);
+}
+
+void Kernel::dispatch_after(SyscallCtx& ctx, Err result) {
+  for (auto& h : hooks_) h->after(*this, ctx, result);
+}
+
+bool Kernel::ancestor_untrusted(Ino ino) const {
+  // Walks from the object to the root via canonical parents; an untrusted
+  // directory taints everything below it (the paper's profile-directory
+  // trustability case).
+  int guard = 0;
+  Ino cur = ino;
+  while (vfs_.exists(cur) && guard++ < 512) {
+    if (!vfs_.inode(cur).trusted) return true;
+    std::string p = vfs_.canonical_path(cur);
+    if (p == "/" || ep::starts_with(p, "<detached")) break;
+    auto up = vfs_.resolve(path::dirname(p), "/", kRootUid, kRootGid);
+    if (!up.ok() || up.value() == cur) break;
+    cur = up.value();
+  }
+  return false;
+}
+
+void Kernel::describe_object(SyscallCtx& ctx, Ino ino) const {
+  ctx.object = ino;
+  if (vfs_.exists(ino)) {
+    ctx.canonical = vfs_.canonical_path(ino);
+    ctx.object_untrusted = ancestor_untrusted(ino);
+    if (ctx.pid >= 0 && has_proc(ctx.pid)) {
+      const Process& p = proc(ctx.pid);
+      const Inode& node = vfs_.inode(ino);
+      ctx.object_ruid_readable =
+          Vfs::permits_with_root(node, p.ruid, p.rgid, Perm::read);
+      ctx.object_ruid_writable =
+          Vfs::permits_with_root(node, p.ruid, p.rgid, Perm::write);
+    }
+  }
+}
+
+bool Kernel::uid_can(Uid uid, Gid gid, const std::string& p, Perm perm) const {
+  auto r = vfs_.resolve(p, "/", kRootUid, kRootGid);
+  if (!r.ok()) return false;
+  return Vfs::permits_with_root(vfs_.inode(r.value()), uid, gid, perm);
+}
+
+SysResult<std::string> Kernel::peek(const std::string& p) const {
+  auto r = vfs_.resolve(p, "/", kRootUid, kRootGid);
+  if (!r.ok()) return r.error();
+  const Inode& n = vfs_.inode(r.value());
+  if (!n.is_regular()) return Err::isdir;
+  return n.content;
+}
+
+// --- open / close / read / write -------------------------------------------
+
+SysResult<Fd> Kernel::open(const Site& site, Pid pid, const std::string& pth,
+                           OpenFlags flags, unsigned create_mode) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "open";
+  ctx.path = pth;
+  // Summarize intent for hooks: perturbers and the oracle distinguish
+  // read-only opens (disclosure risk) from writing/creating opens
+  // (clobbering risk).
+  if (flags.has(OpenFlag::rd)) ctx.aux += "r";
+  if (flags.has(OpenFlag::wr)) ctx.aux += "w";
+  if (flags.has(OpenFlag::creat)) ctx.aux += "c";
+  if (flags.has(OpenFlag::excl)) ctx.aux += "x";
+  if (flags.has(OpenFlag::trunc)) ctx.aux += "t";
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+
+  auto finish = [&](Err e) -> SysResult<Fd> {
+    dispatch_after(ctx, e);
+    return e;
+  };
+
+  auto rp = vfs_.resolve_parent(pth, p.cwd, p.euid, p.egid);
+  if (!rp.ok()) return finish(rp.error());
+  ResolvedParent cur = rp.value();
+
+  // Follow a final-component symlink chain by hand so that O_CREAT can
+  // create *through* a dangling link (the classic spool-file attack) while
+  // O_EXCL and O_NOFOLLOW refuse links outright.
+  int depth = 0;
+  while (cur.leaf_ino != kNoIno && vfs_.inode(cur.leaf_ino).is_symlink()) {
+    if (flags.has(OpenFlag::nofollow)) return finish(Err::loop);
+    if (flags.has(OpenFlag::creat) && flags.has(OpenFlag::excl))
+      return finish(Err::exist);
+    if (++depth > kMaxSymlinkDepth) return finish(Err::loop);
+    const std::string& target = vfs_.inode(cur.leaf_ino).content;
+    std::string base = path::dirname(cur.canonical);
+    std::string next =
+        path::is_absolute(target) ? target : path::join(base, target);
+    auto nrp = vfs_.resolve_parent(next, p.cwd, p.euid, p.egid);
+    if (!nrp.ok()) return finish(nrp.error());
+    cur = nrp.value();
+  }
+
+  Ino file_ino = kNoIno;
+  if (cur.leaf_ino != kNoIno) {
+    if (flags.has(OpenFlag::creat) && flags.has(OpenFlag::excl)) {
+      describe_object(ctx, cur.leaf_ino);
+      ctx.object_preexisting = true;
+      return finish(Err::exist);
+    }
+    Inode& node = vfs_.inode(cur.leaf_ino);
+    if (node.is_dir() && flags.has(OpenFlag::wr)) return finish(Err::isdir);
+    if (flags.has(OpenFlag::rd) &&
+        !Vfs::permits_with_root(node, p.euid, p.egid, Perm::read))
+      return finish(Err::acces);
+    if (flags.has(OpenFlag::wr) &&
+        !Vfs::permits_with_root(node, p.euid, p.egid, Perm::write))
+      return finish(Err::acces);
+    if (flags.has(OpenFlag::trunc) && flags.has(OpenFlag::wr))
+      node.content.clear();
+    file_ino = cur.leaf_ino;
+    ctx.object_preexisting = true;
+  } else {
+    if (!flags.has(OpenFlag::creat)) return finish(Err::noent);
+    const Inode& dir = vfs_.inode(cur.dir_ino);
+    if (!Vfs::permits_with_root(dir, p.euid, p.egid, Perm::write))
+      return finish(Err::acces);
+    unsigned mode = create_mode & ~p.umask & kPermMask;
+    auto created = vfs_.create_file(cur.dir_ino, cur.leaf, p.euid, p.egid, mode);
+    if (!created.ok()) return finish(created.error());
+    file_ino = created.value();
+    ctx.object_preexisting = false;
+  }
+
+  describe_object(ctx, file_ino);
+  OpenFile of;
+  of.ino = file_ino;
+  of.flags = flags;
+  of.opened_path = pth;
+  of.offset = flags.has(OpenFlag::append) ? vfs_.inode(file_ino).content.size()
+                                          : 0;
+  Fd fd = p.next_fd++;
+  p.fds[fd] = of;
+  dispatch_after(ctx, Err::ok);
+  return fd;
+}
+
+SysStatus Kernel::close(Pid pid, Fd fd) {
+  Process& p = proc(pid);
+  if (p.fds.erase(fd) == 0) return Err::badf;
+  return ok_status();
+}
+
+SysResult<std::string> Kernel::read(const Site& site, Pid pid, Fd fd,
+                                    std::size_t n) {
+  Process& p = proc(pid);
+  auto it = p.fds.find(fd);
+  if (it == p.fds.end()) return Err::badf;
+  OpenFile& of = it->second;
+  if (!of.flags.has(OpenFlag::rd)) return Err::badf;
+  if (!vfs_.exists(of.ino)) return Err::io;
+  const Inode& node = vfs_.inode(of.ino);
+
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "read";
+  ctx.path = of.opened_path;
+  ctx.has_input = true;
+  describe_object(ctx, of.ino);
+  ctx.object_preexisting = true;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+
+  std::string chunk;
+  if (of.offset < node.content.size()) {
+    std::size_t take = n == std::string::npos
+                           ? node.content.size() - of.offset
+                           : std::min(n, node.content.size() - of.offset);
+    chunk = node.content.substr(of.offset, take);
+    of.offset += take;
+  }
+  ctx.data = chunk;
+  ctx.input = &ctx.data;
+  dispatch_after(ctx, Err::ok);
+  return ctx.data;  // possibly rewritten by an indirect fault
+}
+
+SysResult<std::string> Kernel::read_line(const Site& site, Pid pid, Fd fd) {
+  Process& p = proc(pid);
+  auto it = p.fds.find(fd);
+  if (it == p.fds.end()) return Err::badf;
+  OpenFile& of = it->second;
+  if (!of.flags.has(OpenFlag::rd)) return Err::badf;
+  if (!vfs_.exists(of.ino)) return Err::io;
+  const Inode& node = vfs_.inode(of.ino);
+  if (of.offset >= node.content.size()) return Err::io;  // EOF
+
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "read";
+  ctx.path = of.opened_path;
+  ctx.has_input = true;
+  describe_object(ctx, of.ino);
+  ctx.object_preexisting = true;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+
+  std::size_t nl = node.content.find('\n', of.offset);
+  std::string line;
+  if (nl == std::string::npos) {
+    line = node.content.substr(of.offset);
+    of.offset = node.content.size();
+  } else {
+    line = node.content.substr(of.offset, nl - of.offset);
+    of.offset = nl + 1;
+  }
+  ctx.data = line;
+  ctx.input = &ctx.data;
+  dispatch_after(ctx, Err::ok);
+  return ctx.data;
+}
+
+SysResult<std::size_t> Kernel::write(const Site& site, Pid pid, Fd fd,
+                                     std::string_view data) {
+  Process& p = proc(pid);
+  auto it = p.fds.find(fd);
+  if (it == p.fds.end()) return Err::badf;
+  OpenFile& of = it->second;
+  if (!of.flags.has(OpenFlag::wr)) return Err::badf;
+  if (!vfs_.exists(of.ino)) return Err::io;
+
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "write";
+  ctx.path = of.opened_path;
+  describe_object(ctx, of.ino);
+  ctx.object_preexisting = true;  // refined by the oracle's created-set
+  ctx.data = std::string(data);
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+
+  Inode& node = vfs_.inode(of.ino);
+  if (of.flags.has(OpenFlag::append)) of.offset = node.content.size();
+  if (node.content.size() < of.offset + data.size())
+    node.content.resize(of.offset + data.size());
+  node.content.replace(of.offset, data.size(), std::string(data));
+  of.offset += data.size();
+  dispatch_after(ctx, Err::ok);
+  return data.size();
+}
+
+// --- stat family ------------------------------------------------------------
+
+SysResult<StatInfo> Kernel::stat(const Site& site, Pid pid,
+                                 const std::string& pth) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "stat";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/true);
+  if (!r.ok()) {
+    dispatch_after(ctx, r.error());
+    return r.error();
+  }
+  describe_object(ctx, r.value());
+  ctx.object_preexisting = true;
+  auto s = vfs_.stat_inode(r.value());
+  dispatch_after(ctx, Err::ok);
+  return s;
+}
+
+SysResult<StatInfo> Kernel::lstat(const Site& site, Pid pid,
+                                  const std::string& pth) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "lstat";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/false);
+  if (!r.ok()) {
+    dispatch_after(ctx, r.error());
+    return r.error();
+  }
+  describe_object(ctx, r.value());
+  ctx.object_preexisting = true;
+  auto s = vfs_.stat_inode(r.value());
+  dispatch_after(ctx, Err::ok);
+  return s;
+}
+
+SysResult<StatInfo> Kernel::fstat(Pid pid, Fd fd) {
+  Process& p = proc(pid);
+  auto it = p.fds.find(fd);
+  if (it == p.fds.end()) return Err::badf;
+  return vfs_.stat_inode(it->second.ino);
+}
+
+SysStatus Kernel::access(const Site& site, Pid pid, const std::string& pth,
+                         Perm perm) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "access";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  // access(2) answers for the *real* uid — the check set-uid programs use
+  // to ask "could my invoker do this?", and the check half of TOCTTOU.
+  auto r = vfs_.resolve(pth, p.cwd, p.ruid, p.rgid, /*follow_final=*/true);
+  Err e = Err::ok;
+  if (!r.ok()) {
+    e = r.error();
+  } else {
+    describe_object(ctx, r.value());
+    ctx.object_preexisting = true;
+    if (!Vfs::permits_with_root(vfs_.inode(r.value()), p.ruid, p.rgid, perm))
+      e = Err::acces;
+  }
+  dispatch_after(ctx, e);
+  if (e != Err::ok) return e;
+  return ok_status();
+}
+
+// --- namespace operations ---------------------------------------------------
+
+SysStatus Kernel::mkdir(const Site& site, Pid pid, const std::string& pth,
+                        unsigned mode) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "mkdir";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto rp = vfs_.resolve_parent(pth, p.cwd, p.euid, p.egid);
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  if (!rp.ok()) return finish(rp.error());
+  if (rp.value().leaf_ino != kNoIno) return finish(Err::exist);
+  const Inode& dir = vfs_.inode(rp.value().dir_ino);
+  if (!Vfs::permits_with_root(dir, p.euid, p.egid, Perm::write))
+    return finish(Err::acces);
+  auto made = vfs_.create_dir(rp.value().dir_ino, rp.value().leaf, p.euid,
+                              p.egid, mode & ~p.umask & kPermMask);
+  if (!made.ok()) return finish(made.error());
+  describe_object(ctx, made.value());
+  ctx.object_preexisting = false;
+  return finish(Err::ok);
+}
+
+SysStatus Kernel::rmdir(const Site& site, Pid pid, const std::string& pth) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "rmdir";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto rp = vfs_.resolve_parent(pth, p.cwd, p.euid, p.egid);
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  if (!rp.ok()) return finish(rp.error());
+  if (rp.value().leaf_ino == kNoIno) return finish(Err::noent);
+  describe_object(ctx, rp.value().leaf_ino);
+  ctx.object_preexisting = true;
+  ctx.canonical = rp.value().canonical;
+  const Inode& dir = vfs_.inode(rp.value().dir_ino);
+  if (!Vfs::permits_with_root(dir, p.euid, p.egid, Perm::write))
+    return finish(Err::acces);
+  if (sticky_denies(p, dir, vfs_.inode(rp.value().leaf_ino)))
+    return finish(Err::perm);
+  auto r = vfs_.remove_dir(rp.value().dir_ino, rp.value().leaf);
+  return finish(r.ok() ? Err::ok : r.error());
+}
+
+
+SysStatus Kernel::unlink(const Site& site, Pid pid, const std::string& pth) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "unlink";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto rp = vfs_.resolve_parent(pth, p.cwd, p.euid, p.egid);
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  if (!rp.ok()) return finish(rp.error());
+  if (rp.value().leaf_ino == kNoIno) return finish(Err::noent);
+  describe_object(ctx, rp.value().leaf_ino);
+  ctx.object_preexisting = true;
+  ctx.canonical = rp.value().canonical;
+  const Inode& dir = vfs_.inode(rp.value().dir_ino);
+  if (!Vfs::permits_with_root(dir, p.euid, p.egid, Perm::write))
+    return finish(Err::acces);
+  if (sticky_denies(p, dir, vfs_.inode(rp.value().leaf_ino)))
+    return finish(Err::perm);
+  auto r = vfs_.remove(rp.value().dir_ino, rp.value().leaf);
+  return finish(r.ok() ? Err::ok : r.error());
+}
+
+SysStatus Kernel::rename(const Site& site, Pid pid, const std::string& from,
+                         const std::string& to) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "rename";
+  ctx.path = from;
+  ctx.aux = to;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  auto rf = vfs_.resolve_parent(from, p.cwd, p.euid, p.egid);
+  if (!rf.ok()) return finish(rf.error());
+  if (rf.value().leaf_ino == kNoIno) return finish(Err::noent);
+  auto rt = vfs_.resolve_parent(to, p.cwd, p.euid, p.egid);
+  if (!rt.ok()) return finish(rt.error());
+  const Inode& fdir = vfs_.inode(rf.value().dir_ino);
+  const Inode& tdir = vfs_.inode(rt.value().dir_ino);
+  if (!Vfs::permits_with_root(fdir, p.euid, p.egid, Perm::write) ||
+      !Vfs::permits_with_root(tdir, p.euid, p.egid, Perm::write))
+    return finish(Err::acces);
+  if (sticky_denies(p, fdir, vfs_.inode(rf.value().leaf_ino)))
+    return finish(Err::perm);
+  if (rt.value().leaf_ino != kNoIno &&
+      sticky_denies(p, tdir, vfs_.inode(rt.value().leaf_ino)))
+    return finish(Err::perm);
+  describe_object(ctx, rf.value().leaf_ino);
+  ctx.object_preexisting = rt.value().leaf_ino != kNoIno;
+  ctx.canonical = rt.value().canonical;
+  auto r = vfs_.rename_entry(rf.value().dir_ino, rf.value().leaf,
+                             rt.value().dir_ino, rt.value().leaf);
+  return finish(r.ok() ? Err::ok : r.error());
+}
+
+SysStatus Kernel::symlink(const Site& site, Pid pid, const std::string& target,
+                          const std::string& linkpath) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "symlink";
+  ctx.path = linkpath;
+  ctx.aux = target;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  auto rp = vfs_.resolve_parent(linkpath, p.cwd, p.euid, p.egid);
+  if (!rp.ok()) return finish(rp.error());
+  if (rp.value().leaf_ino != kNoIno) return finish(Err::exist);
+  const Inode& dir = vfs_.inode(rp.value().dir_ino);
+  if (!Vfs::permits_with_root(dir, p.euid, p.egid, Perm::write))
+    return finish(Err::acces);
+  auto made = vfs_.create_symlink(rp.value().dir_ino, rp.value().leaf, p.euid,
+                                  p.egid, target);
+  if (!made.ok()) return finish(made.error());
+  describe_object(ctx, made.value());
+  return finish(Err::ok);
+}
+
+SysResult<std::string> Kernel::readlink(const Site& site, Pid pid,
+                                        const std::string& pth) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "readlink";
+  ctx.path = pth;
+  ctx.has_input = true;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/false);
+  if (!r.ok()) {
+    dispatch_after(ctx, r.error());
+    return r.error();
+  }
+  const Inode& n = vfs_.inode(r.value());
+  if (!n.is_symlink()) {
+    dispatch_after(ctx, Err::inval);
+    return Err::inval;
+  }
+  describe_object(ctx, r.value());
+  ctx.data = n.content;
+  ctx.input = &ctx.data;
+  dispatch_after(ctx, Err::ok);
+  return ctx.data;
+}
+
+SysResult<std::vector<std::string>> Kernel::readdir(const Site& site, Pid pid,
+                                                    const std::string& pth) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "readdir";
+  ctx.path = pth;
+  ctx.has_input = true;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/true);
+  if (!r.ok()) {
+    dispatch_after(ctx, r.error());
+    return r.error();
+  }
+  const Inode& n = vfs_.inode(r.value());
+  if (!n.is_dir()) {
+    dispatch_after(ctx, Err::notdir);
+    return Err::notdir;
+  }
+  if (!Vfs::permits_with_root(n, p.euid, p.egid, Perm::read)) {
+    dispatch_after(ctx, Err::acces);
+    return Err::acces;
+  }
+  describe_object(ctx, r.value());
+  std::vector<std::string> names;
+  names.reserve(n.entries.size());
+  for (const auto& [name, child] : n.entries) names.push_back(name);
+  // Deliver the listing through ctx.data (newline-joined) so indirect
+  // faults can rewrite it like any other input.
+  ctx.data = ep::join(names, "\n");
+  ctx.input = &ctx.data;
+  dispatch_after(ctx, Err::ok);
+  return ep::split_nonempty(ctx.data, '\n');
+}
+
+SysStatus Kernel::chmod(const Site& site, Pid pid, const std::string& pth,
+                        unsigned mode) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "chmod";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/true);
+  if (!r.ok()) return finish(r.error());
+  Inode& n = vfs_.inode(r.value());
+  describe_object(ctx, r.value());
+  ctx.object_preexisting = true;
+  if (p.euid != kRootUid && p.euid != n.uid) return finish(Err::perm);
+  n.mode = mode & (kPermMask | kSetUidBit | kStickyBit);
+  return finish(Err::ok);
+}
+
+SysStatus Kernel::chown(const Site& site, Pid pid, const std::string& pth,
+                        Uid uid, Gid gid) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "chown";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/true);
+  if (!r.ok()) return finish(r.error());
+  // Classic UNIX: only root may give files away.
+  if (p.euid != kRootUid) return finish(Err::perm);
+  Inode& n = vfs_.inode(r.value());
+  describe_object(ctx, r.value());
+  ctx.object_preexisting = true;
+  n.uid = uid;
+  n.gid = gid;
+  return finish(Err::ok);
+}
+
+SysStatus Kernel::chdir(const Site& site, Pid pid, const std::string& pth) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "chdir";
+  ctx.path = pth;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto finish = [&](Err e) -> SysStatus {
+    dispatch_after(ctx, e);
+    if (e != Err::ok) return e;
+    return ok_status();
+  };
+  auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/true);
+  if (!r.ok()) return finish(r.error());
+  const Inode& n = vfs_.inode(r.value());
+  if (!n.is_dir()) return finish(Err::notdir);
+  if (!Vfs::permits_with_root(n, p.euid, p.egid, Perm::exec))
+    return finish(Err::acces);
+  describe_object(ctx, r.value());
+  p.cwd = vfs_.canonical_path(r.value());
+  return finish(Err::ok);
+}
+
+std::string Kernel::getcwd(Pid pid) const { return proc(pid).cwd; }
+
+// --- input/output pseudo-syscalls -------------------------------------------
+
+SysResult<std::string> Kernel::getenv(const Site& site, Pid pid,
+                                      const std::string& name) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "getenv";
+  ctx.aux = name;
+  ctx.has_input = true;
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto it = p.env.find(name);
+  bool found = it != p.env.end();
+  ctx.data = found ? it->second : std::string{};
+  ctx.input = &ctx.data;
+  dispatch_after(ctx, found ? Err::ok : Err::noent);
+  // An injected value can materialize a variable the OS never set — the
+  // "initialization the programmer never sees" case from Section 2.3.1.
+  if (!found && ctx.data.empty()) return Err::noent;
+  return ctx.data;
+}
+
+std::string Kernel::arg(const Site& site, Pid pid, std::size_t idx) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "arg";
+  ctx.aux = std::to_string(idx);
+  ctx.has_input = true;
+  dispatch_before(ctx);
+  ctx.data = idx < p.args.size() ? p.args[idx] : std::string{};
+  ctx.input = &ctx.data;
+  dispatch_after(ctx, Err::ok);
+  return ctx.data;
+}
+
+std::size_t Kernel::argc(Pid pid) const { return proc(pid).args.size(); }
+
+void Kernel::output(const Site& site, Pid pid, std::string_view text) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "output";
+  ctx.data = std::string(text);
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return;
+  }
+  p.stdout_text += text;
+  p.stdout_text += '\n';
+  dispatch_after(ctx, Err::ok);
+}
+
+void Kernel::app_fault(const Site& site, Pid pid, AppFault kind,
+                       const std::string& detail) {
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "app_fault";
+  switch (kind) {
+    case AppFault::buffer_overflow: ctx.aux = "buffer_overflow"; break;
+    case AppFault::crash: ctx.aux = "crash"; break;
+    case AppFault::assertion: ctx.aux = "assertion"; break;
+  }
+  ctx.data = detail;
+  dispatch_before(ctx);
+  dispatch_after(ctx, Err::ok);
+}
+
+void Kernel::privileged_action(const Site& site, Pid pid,
+                               const std::string& what,
+                               bool believes_authorized) {
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "privileged_action";
+  ctx.aux = what;
+  ctx.data = believes_authorized ? "authorized" : "unauthorized";
+  dispatch_before(ctx);
+  dispatch_after(ctx, Err::ok);
+}
+
+// --- exec -------------------------------------------------------------------
+
+SysResult<Kernel::ExecTarget> Kernel::resolve_exec_target(
+    const Process& p, const std::string& command) {
+  auto try_path = [&](const std::string& candidate) -> SysResult<ExecTarget> {
+    auto r = vfs_.resolve(candidate, p.cwd, p.euid, p.egid,
+                          /*follow_final=*/true);
+    if (!r.ok()) return r.error();
+    ExecTarget t;
+    t.ino = r.value();
+    t.canonical = vfs_.canonical_path(r.value());
+    return t;
+  };
+  if (ep::contains(command, "/")) return try_path(command);
+  // $PATH search: the invisible use of an internal entity Section 2.3.1
+  // warns about — the process's environment decides what runs.
+  std::string search = "/bin:/usr/bin";
+  if (auto it = p.env.find("PATH"); it != p.env.end()) search = it->second;
+  for (const auto& dir : ep::split_nonempty(search, ':')) {
+    auto t = try_path(path::join(dir, command));
+    if (t.ok()) return t;
+  }
+  return Err::noent;
+}
+
+SysResult<int> Kernel::run_image(const Site& site, Pid parent,
+                                 ExecTarget target,
+                                 std::vector<std::string> args,
+                                 const std::string& invoked_as) {
+  Process& p = proc(parent);
+  const Inode& node = vfs_.inode(target.ino);
+  if (!node.is_regular()) return Err::acces;
+  if (!Vfs::permits_with_root(node, p.euid, p.egid, Perm::exec))
+    return Err::acces;
+  if (node.image.empty() || !images_.count(node.image)) return Err::noexec;
+  if (exec_depth_ > 16) return Err::again;
+
+  Pid cpid = next_pid_++;
+  Process c;
+  c.pid = cpid;
+  c.ppid = parent;
+  c.ruid = p.ruid;
+  c.rgid = p.rgid;
+  c.euid = node.setuid() ? node.uid : p.euid;
+  c.egid = p.egid;
+  c.cwd = p.cwd;
+  c.umask = p.umask;
+  c.env = p.env;
+  c.args = std::move(args);
+  c.exe = target.canonical;
+  procs_[cpid] = std::move(c);
+
+  AppImage image = images_.at(node.image);
+  int code = 0;
+  ++exec_depth_;
+  try {
+    code = image(*this, cpid);
+  } catch (const AppCrash& crash) {
+    code = crash.code;
+    procs_.at(cpid).crashed = true;
+    app_fault(site, cpid, AppFault::crash,
+              invoked_as + ": " + crash.reason);
+  }
+  --exec_depth_;
+  procs_.at(cpid).exit_code = code;
+  console_ += procs_.at(cpid).stdout_text;
+  return code;
+}
+
+SysResult<int> Kernel::exec(const Site& site, Pid pid,
+                            const std::string& command,
+                            std::vector<std::string> args) {
+  Process& p = proc(pid);
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "exec";
+  ctx.path = command;
+  ctx.aux = summarize_args(args);
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto target = resolve_exec_target(p, command);
+  if (!target.ok()) {
+    dispatch_after(ctx, target.error());
+    return target.error();
+  }
+  describe_object(ctx, target.value().ino);
+  ctx.object_preexisting = true;
+  auto r = run_image(site, pid, target.value(), std::move(args), command);
+  dispatch_after(ctx, r.ok() ? Err::ok : r.error());
+  return r;
+}
+
+SysResult<int> Kernel::fexec(const Site& site, Pid pid, Fd fd,
+                             std::vector<std::string> args) {
+  Process& p = proc(pid);
+  auto it = p.fds.find(fd);
+  if (it == p.fds.end()) return Err::badf;
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "exec";
+  ctx.path = it->second.opened_path;
+  ctx.aux = summarize_args(args);
+  dispatch_before(ctx);
+  if (ctx.force_fail) {
+    dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  // Note: perturbations that rewired the *path* between the program's
+  // check and this exec do not bite — the descriptor pins the inode.
+  if (!vfs_.exists(it->second.ino)) {
+    dispatch_after(ctx, Err::io);
+    return Err::io;
+  }
+  ExecTarget t;
+  t.ino = it->second.ino;
+  t.canonical = vfs_.canonical_path(t.ino);
+  describe_object(ctx, t.ino);
+  ctx.object_preexisting = true;
+  auto r = run_image(site, pid, t, std::move(args), it->second.opened_path);
+  dispatch_after(ctx, r.ok() ? Err::ok : r.error());
+  return r;
+}
+
+SysResult<int> Kernel::spawn(const std::string& exe_path,
+                             std::vector<std::string> args, Uid ruid, Gid rgid,
+                             std::map<std::string, std::string> env,
+                             std::string cwd) {
+  // The harness invoking the program under test: not an interaction of the
+  // program with its environment, so no hooks fire here.
+  auto r = vfs_.resolve(exe_path, cwd, ruid, rgid, /*follow_final=*/true);
+  if (!r.ok()) return r.error();
+  const Inode& node = vfs_.inode(r.value());
+  if (!node.is_regular()) return Err::acces;
+  if (!Vfs::permits_with_root(node, ruid, rgid, Perm::exec)) return Err::acces;
+  if (node.image.empty() || !images_.count(node.image)) return Err::noexec;
+
+  if (env.find("PATH") == env.end()) env["PATH"] = "/bin:/usr/bin";
+
+  Pid cpid = next_pid_++;
+  Process c;
+  c.pid = cpid;
+  c.ppid = 0;
+  c.ruid = ruid;
+  c.rgid = rgid;
+  c.euid = node.setuid() ? node.uid : ruid;
+  c.egid = rgid;
+  c.cwd = std::move(cwd);
+  c.env = std::move(env);
+  c.args = std::move(args);
+  c.exe = vfs_.canonical_path(r.value());
+  procs_[cpid] = std::move(c);
+
+  AppImage image = images_.at(node.image);
+  int code = 0;
+  ++exec_depth_;
+  try {
+    code = image(*this, cpid);
+  } catch (const AppCrash& crash) {
+    code = crash.code;
+    procs_.at(cpid).crashed = true;
+    app_fault(Site{"kernel", 0, "spawn-crash"}, cpid, AppFault::crash,
+              exe_path + ": " + crash.reason);
+  }
+  --exec_depth_;
+  procs_.at(cpid).exit_code = code;
+  console_ += procs_.at(cpid).stdout_text;
+  return code;
+}
+
+}  // namespace ep::os

@@ -1,0 +1,186 @@
+// The simulated kernel: processes + VFS + syscall layer + hook chain.
+//
+// Every syscall takes a Site (the call-site id in the target program) and
+// flows through the interposer chain (see hooks.hpp). Permission checks
+// use the calling process's *effective* uid, set-uid exec raises
+// privilege, and access(2) checks the *real* uid — the exact semantics the
+// paper's vulnerabilities (lpr, turnin) depend on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/hooks.hpp"
+#include "os/process.hpp"
+#include "os/types.hpp"
+#include "os/vfs.hpp"
+#include "util/result.hpp"
+
+namespace ep::os {
+
+/// Thrown by application images to simulate an abnormal termination
+/// (SIGSEGV after a wild copy, abort, ...). Caught by the kernel's exec
+/// machinery and converted into a crashed process + exit code.
+struct AppCrash {
+  int code = 139;
+  std::string reason;
+};
+
+/// A registered program body. The simulated equivalent of an on-disk
+/// executable: binaries in the VFS name an image (Inode::image); exec
+/// looks the image up and runs it in the context of the child process.
+using AppImage = std::function<int(Kernel&, Pid)>;
+
+class Kernel {
+ public:
+  Kernel();
+
+  Vfs& vfs() { return vfs_; }
+  const Vfs& vfs() const { return vfs_; }
+
+  // --- users ---------------------------------------------------------------
+  void add_user(Uid uid, std::string name, Gid gid);
+  [[nodiscard]] std::string user_name(Uid uid) const;
+  [[nodiscard]] const std::map<Uid, std::pair<std::string, Gid>>& users()
+      const {
+    return users_;
+  }
+
+  // --- images --------------------------------------------------------------
+  void register_image(const std::string& name, AppImage image);
+  [[nodiscard]] bool has_image(const std::string& name) const;
+
+  // --- processes -----------------------------------------------------------
+  /// Create a bare process (scenario setup / tests). Not hooked.
+  Pid make_process(Uid ruid, Gid rgid, std::string cwd = "/",
+                   std::map<std::string, std::string> env = {});
+  [[nodiscard]] Process& proc(Pid pid);
+  [[nodiscard]] const Process& proc(Pid pid) const;
+  [[nodiscard]] bool has_proc(Pid pid) const;
+
+  /// Run the program installed at exe_path as user `ruid` (the paper's
+  /// "user invokes the application"): resolves the binary, applies set-uid
+  /// semantics, runs the image synchronously, returns its exit code.
+  SysResult<int> spawn(const std::string& exe_path,
+                       std::vector<std::string> args, Uid ruid, Gid rgid,
+                       std::map<std::string, std::string> env = {},
+                       std::string cwd = "/");
+
+  /// exec from inside a process: `command` with no '/' is searched along
+  /// the process's $PATH (the interaction the PATH perturbations target).
+  SysResult<int> exec(const Site& site, Pid pid, const std::string& command,
+                      std::vector<std::string> args);
+
+  /// fexecve-style exec through an already-open descriptor: path-based
+  /// perturbations between check and exec cannot bite (used by hardened
+  /// programs to close the TOCTTOU window).
+  SysResult<int> fexec(const Site& site, Pid pid, Fd fd,
+                       std::vector<std::string> args);
+
+  // --- file syscalls ---------------------------------------------------
+  SysResult<Fd> open(const Site& site, Pid pid, const std::string& path,
+                     OpenFlags flags, unsigned create_mode = 0666);
+  SysStatus close(Pid pid, Fd fd);
+  /// Read up to n bytes from the descriptor (default: to EOF).
+  SysResult<std::string> read(const Site& site, Pid pid, Fd fd,
+                              std::size_t n = std::string::npos);
+  /// Read one '\n'-terminated line (newline consumed, not returned);
+  /// Err::io at EOF.
+  SysResult<std::string> read_line(const Site& site, Pid pid, Fd fd);
+  SysResult<std::size_t> write(const Site& site, Pid pid, Fd fd,
+                               std::string_view data);
+  SysResult<StatInfo> stat(const Site& site, Pid pid, const std::string& path);
+  SysResult<StatInfo> lstat(const Site& site, Pid pid,
+                            const std::string& path);
+  /// fstat carries no environment interaction (the inode is pinned), so it
+  /// is not hooked — which is exactly why fd-based re-checks are immune to
+  /// perturbation.
+  SysResult<StatInfo> fstat(Pid pid, Fd fd);
+  /// access(2): checks with the *real* uid.
+  SysStatus access(const Site& site, Pid pid, const std::string& path,
+                   Perm perm);
+  SysStatus mkdir(const Site& site, Pid pid, const std::string& path,
+                  unsigned mode = 0777);
+  SysStatus rmdir(const Site& site, Pid pid, const std::string& path);
+  SysStatus unlink(const Site& site, Pid pid, const std::string& path);
+  SysStatus rename(const Site& site, Pid pid, const std::string& from,
+                   const std::string& to);
+  SysStatus symlink(const Site& site, Pid pid, const std::string& target,
+                    const std::string& linkpath);
+  SysResult<std::string> readlink(const Site& site, Pid pid,
+                                  const std::string& path);
+  SysResult<std::vector<std::string>> readdir(const Site& site, Pid pid,
+                                              const std::string& path);
+  SysStatus chmod(const Site& site, Pid pid, const std::string& path,
+                  unsigned mode);
+  SysStatus chown(const Site& site, Pid pid, const std::string& path, Uid uid,
+                  Gid gid);
+  SysStatus chdir(const Site& site, Pid pid, const std::string& path);
+  [[nodiscard]] std::string getcwd(Pid pid) const;
+
+  // --- input/output pseudo-syscalls -------------------------------------
+  /// Environment-variable input (indirect fault category 2).
+  SysResult<std::string> getenv(const Site& site, Pid pid,
+                                const std::string& name);
+  /// Command-line input (indirect fault category 1). Returns "" past argc.
+  std::string arg(const Site& site, Pid pid, std::size_t idx);
+  [[nodiscard]] std::size_t argc(Pid pid) const;
+  /// Program output; what the confidentiality policy watches.
+  void output(const Site& site, Pid pid, std::string_view text);
+  /// Application-level fault report (buffer overflow, crash, ...).
+  void app_fault(const Site& site, Pid pid, AppFault kind,
+                 const std::string& detail);
+  /// The program is about to perform its security-critical effect (grant a
+  /// login, apply an update...). `believes_authorized` is the program's own
+  /// belief; the oracle holds it against network/IPC ground truth.
+  void privileged_action(const Site& site, Pid pid, const std::string& what,
+                         bool believes_authorized);
+
+  // --- hook chain ------------------------------------------------------
+  void add_interposer(std::shared_ptr<Interposer> hook);
+  void clear_interposers();
+  /// Exposed so sibling substrates (network, registry) can route their
+  /// interactions through the same chain.
+  void dispatch_before(SyscallCtx& ctx);
+  void dispatch_after(SyscallCtx& ctx, Err result);
+
+  // --- queries used by perturbers and the oracle ----------------------
+  /// Would (uid,gid) pass `perm` on the object at canonical path `p`?
+  /// Resolution runs with root privilege so the answer reflects the object
+  /// itself, not search permissions along the way.
+  [[nodiscard]] bool uid_can(Uid uid, Gid gid, const std::string& p,
+                             Perm perm) const;
+  /// Read a file's content with root privilege (oracle/test helper).
+  [[nodiscard]] SysResult<std::string> peek(const std::string& p) const;
+  /// All process output concatenated in spawn order (examples/demos).
+  [[nodiscard]] std::string console() const { return console_; }
+
+ private:
+  struct ExecTarget {
+    Ino ino = kNoIno;
+    std::string canonical;
+  };
+  SysResult<int> run_image(const Site& site, Pid parent, ExecTarget target,
+                           std::vector<std::string> args,
+                           const std::string& invoked_as);
+  SysResult<ExecTarget> resolve_exec_target(const Process& p,
+                                            const std::string& command);
+  /// Fill ctx.canonical/object/object_untrusted from a resolved inode.
+  void describe_object(SyscallCtx& ctx, Ino ino) const;
+  [[nodiscard]] bool ancestor_untrusted(Ino ino) const;
+
+  Vfs vfs_;
+  std::map<Pid, Process> procs_;
+  std::map<Uid, std::pair<std::string, Gid>> users_;
+  std::map<std::string, AppImage> images_;
+  std::vector<std::shared_ptr<Interposer>> hooks_;
+  Pid next_pid_ = 1;
+  std::string console_;
+  int exec_depth_ = 0;
+};
+
+}  // namespace ep::os

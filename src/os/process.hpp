@@ -1,0 +1,70 @@
+// Simulated processes: credentials, environment variables, fd table.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/types.hpp"
+
+namespace ep::os {
+
+enum class OpenFlag : unsigned {
+  rd = 1u << 0,
+  wr = 1u << 1,
+  creat = 1u << 2,
+  excl = 1u << 3,
+  trunc = 1u << 4,
+  append = 1u << 5,
+  nofollow = 1u << 6,  // refuse a final-component symlink, like O_NOFOLLOW
+};
+
+struct OpenFlags {
+  unsigned bits = 0;
+  constexpr OpenFlags() = default;
+  constexpr OpenFlags(OpenFlag f) : bits(static_cast<unsigned>(f)) {}  // NOLINT
+  [[nodiscard]] constexpr bool has(OpenFlag f) const {
+    return (bits & static_cast<unsigned>(f)) != 0;
+  }
+  friend constexpr OpenFlags operator|(OpenFlags a, OpenFlags b) {
+    OpenFlags o;
+    o.bits = a.bits | b.bits;
+    return o;
+  }
+};
+
+constexpr OpenFlags operator|(OpenFlag a, OpenFlag b) {
+  return OpenFlags(a) | OpenFlags(b);
+}
+
+struct OpenFile {
+  Ino ino = kNoIno;
+  std::size_t offset = 0;
+  OpenFlags flags;
+  std::string opened_path;  // as passed to open(); canonical path may differ
+};
+
+struct Process {
+  Pid pid = -1;
+  Pid ppid = -1;
+  Uid ruid = kRootUid;  // real uid: who invoked the program
+  Uid euid = kRootUid;  // effective uid: whose privilege it runs with
+  Gid rgid = kRootGid;
+  Gid egid = kRootGid;
+  std::string cwd = "/";
+  unsigned umask = 022;
+  std::string exe;  // path of the executing binary
+  std::vector<std::string> args;
+  std::map<std::string, std::string> env;
+  std::map<Fd, OpenFile> fds;
+  Fd next_fd = 3;  // 0/1/2 notionally reserved for stdio
+  std::string stdout_text;
+  bool crashed = false;
+  int exit_code = 0;
+
+  /// The privilege gap the paper's threat model cares about: a set-uid
+  /// program running with more privilege than the user who invoked it.
+  [[nodiscard]] bool privileged() const { return euid != ruid; }
+};
+
+}  // namespace ep::os

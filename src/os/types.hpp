@@ -1,0 +1,83 @@
+// Shared identifiers and limits for the simulated operating system.
+//
+// The simulated kernel mirrors the classic UNIX model the paper's target
+// programs (lpr, turnin) ran on: numeric uids/gids, rwx permission bits
+// with a set-uid bit, processes with distinct real and effective ids.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace ep::os {
+
+using Uid = int;
+using Gid = int;
+using Pid = int;
+using Fd = int;
+using Ino = int;
+
+inline constexpr Uid kRootUid = 0;
+inline constexpr Gid kRootGid = 0;
+inline constexpr Ino kNoIno = -1;
+
+/// POSIX-style limits; long-name perturbations bounce off these in the
+/// kernel, while application-level fixed buffers overflow *before* the
+/// syscall — exactly the split real overflows exploit.
+inline constexpr std::size_t kMaxNameLen = 255;
+inline constexpr std::size_t kMaxPathLen = 4096;
+inline constexpr int kMaxSymlinkDepth = 8;
+
+/// Permission bit masks (octal, as in chmod(2)).
+inline constexpr unsigned kSetUidBit = 04000;
+/// Sticky bit on directories: entries may only be removed/renamed by the
+/// entry's owner, the directory's owner, or root (restricted deletion).
+inline constexpr unsigned kStickyBit = 01000;
+inline constexpr unsigned kOwnerRead = 0400;
+inline constexpr unsigned kOwnerWrite = 0200;
+inline constexpr unsigned kOwnerExec = 0100;
+inline constexpr unsigned kGroupRead = 0040;
+inline constexpr unsigned kGroupWrite = 0020;
+inline constexpr unsigned kGroupExec = 0010;
+inline constexpr unsigned kOtherRead = 0004;
+inline constexpr unsigned kOtherWrite = 0002;
+inline constexpr unsigned kOtherExec = 0001;
+inline constexpr unsigned kPermMask = 0777;
+
+enum class Perm { read, write, exec };
+
+/// A stable identifier for one environment-application interaction site in
+/// a target program's source. The methodology's unit of coverage: the
+/// trace of distinct Sites encountered during a run is the set of
+/// interaction points (Section 3.3, step 3), and faults are planned
+/// per-site.
+struct Site {
+  std::string unit;  // source unit of the target program, e.g. "turnin.c"
+  int line = 0;      // line in that unit
+  std::string tag;   // short stable label, e.g. "fopen-projlist"
+
+  [[nodiscard]] std::string str() const {
+    return unit + ":" + std::to_string(line) + " [" + tag + "]";
+  }
+
+  friend bool operator==(const Site& a, const Site& b) {
+    return a.unit == b.unit && a.line == b.line && a.tag == b.tag;
+  }
+  friend bool operator<(const Site& a, const Site& b) {
+    if (a.unit != b.unit) return a.unit < b.unit;
+    if (a.line != b.line) return a.line < b.line;
+    return a.tag < b.tag;
+  }
+};
+
+}  // namespace ep::os
+
+template <>
+struct std::hash<ep::os::Site> {
+  std::size_t operator()(const ep::os::Site& s) const noexcept {
+    std::size_t h = std::hash<std::string>{}(s.unit);
+    h = h * 1315423911u ^ std::hash<int>{}(s.line);
+    h = h * 1315423911u ^ std::hash<std::string>{}(s.tag);
+    return h;
+  }
+};

@@ -1,0 +1,331 @@
+#include "os/vfs.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace ep::os {
+
+Vfs::Vfs() {
+  root_ = alloc(FileType::directory, kRootUid, kRootGid, 0755);
+}
+
+Ino Vfs::alloc(FileType type, Uid uid, Gid gid, unsigned mode) {
+  Ino ino = next_ino_++;
+  Inode node;
+  node.ino = ino;
+  node.type = type;
+  node.uid = uid;
+  node.gid = gid;
+  node.mode = mode;
+  inodes_.emplace(ino, std::move(node));
+  return ino;
+}
+
+bool Vfs::permits(const Inode& node, Uid uid, Gid gid, Perm perm) {
+  unsigned shift = 0;
+  if (node.uid == uid) {
+    shift = 6;
+  } else if (node.gid == gid) {
+    shift = 3;
+  }
+  unsigned bit = 0;
+  switch (perm) {
+    case Perm::read: bit = 04u << shift; break;
+    case Perm::write: bit = 02u << shift; break;
+    case Perm::exec: bit = 01u << shift; break;
+  }
+  return (node.mode & bit) != 0;
+}
+
+bool Vfs::permits_with_root(const Inode& node, Uid uid, Gid gid, Perm perm) {
+  if (uid == kRootUid) {
+    // Root bypasses read/write checks; exec still requires some x bit,
+    // matching UNIX semantics.
+    if (perm != Perm::exec) return true;
+    return (node.mode & (kOwnerExec | kGroupExec | kOtherExec)) != 0;
+  }
+  return permits(node, uid, gid, perm);
+}
+
+SysResult<Ino> Vfs::resolve(std::string_view p, std::string_view cwd, Uid uid,
+                            Gid gid, bool follow_final) const {
+  if (p.empty()) return Err::noent;
+  if (p.size() > kMaxPathLen) return Err::nametoolong;
+
+  std::string abs = path::is_absolute(p) ? std::string(p)
+                                         : path::join(cwd, p);
+  std::vector<std::string> todo = path::components(abs);
+  std::reverse(todo.begin(), todo.end());  // pop from the back
+
+  Ino cur = root_;
+  int link_depth = 0;
+  while (!todo.empty()) {
+    std::string comp = std::move(todo.back());
+    todo.pop_back();
+    if (comp.size() > kMaxNameLen) return Err::nametoolong;
+    if (comp == ".") continue;
+
+    const Inode& dir = inode(cur);
+    if (!dir.is_dir()) return Err::notdir;
+    if (!permits_with_root(dir, uid, gid, Perm::exec)) return Err::acces;
+
+    if (comp == "..") {
+      auto it = parent_.find(cur);
+      cur = it == parent_.end() ? root_ : it->second;
+      continue;
+    }
+
+    auto it = dir.entries.find(comp);
+    if (it == dir.entries.end()) return Err::noent;
+    Ino next = it->second;
+    const Inode& child = inode(next);
+
+    if (child.is_symlink()) {
+      const bool is_final = todo.empty();
+      if (is_final && !follow_final) {
+        cur = next;
+        continue;
+      }
+      if (++link_depth > kMaxSymlinkDepth) return Err::loop;
+      // Push the link target's components; absolute targets restart at /.
+      std::vector<std::string> tgt = path::components(child.content);
+      if (path::is_absolute(child.content)) cur = root_;
+      // else: resolution continues from the directory holding the link.
+      for (auto rit = tgt.rbegin(); rit != tgt.rend(); ++rit)
+        todo.push_back(*rit);
+      continue;
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+SysResult<ResolvedParent> Vfs::resolve_parent(std::string_view p,
+                                              std::string_view cwd, Uid uid,
+                                              Gid gid) const {
+  if (p.empty()) return Err::noent;
+  if (p.size() > kMaxPathLen) return Err::nametoolong;
+
+  std::string abs = path::is_absolute(p) ? std::string(p)
+                                         : path::join(cwd, p);
+  auto comps = path::components(abs);
+  if (comps.empty()) return Err::isdir;  // "/" has no parent entry
+  std::string leaf = comps.back();
+  if (leaf.size() > kMaxNameLen) return Err::nametoolong;
+  comps.pop_back();
+
+  Ino dir = root_;
+  if (!comps.empty()) {
+    std::string dir_path = "/" + ep::join(comps, "/");
+    auto r = resolve(dir_path, cwd, uid, gid, /*follow_final=*/true);
+    if (!r.ok()) return r.error();
+    dir = r.value();
+  }
+  const Inode& d = inode(dir);
+  if (!d.is_dir()) return Err::notdir;
+  if (!permits_with_root(d, uid, gid, Perm::exec)) return Err::acces;
+
+  ResolvedParent out;
+  out.dir_ino = dir;
+  out.leaf = leaf;
+  auto it = d.entries.find(leaf);
+  out.leaf_ino = it == d.entries.end() ? kNoIno : it->second;
+  std::string dir_canon = canonical_path(dir);
+  out.canonical = dir_canon == "/" ? "/" + leaf : dir_canon + "/" + leaf;
+  return out;
+}
+
+std::string Vfs::canonical_path(Ino ino) const {
+  if (ino == root_) return "/";
+  std::vector<std::string> parts;
+  Ino cur = ino;
+  while (cur != root_) {
+    auto nit = name_in_parent_.find(cur);
+    auto pit = parent_.find(cur);
+    if (nit == name_in_parent_.end() || pit == parent_.end())
+      return "<detached:" + std::to_string(ino) + ">";
+    parts.push_back(nit->second);
+    cur = pit->second;
+  }
+  std::reverse(parts.begin(), parts.end());
+  return "/" + ep::join(parts, "/");
+}
+
+SysResult<std::string> Vfs::canonicalize(std::string_view p,
+                                         std::string_view cwd, Uid uid,
+                                         Gid gid) const {
+  auto r = resolve(p, cwd, uid, gid, /*follow_final=*/true);
+  if (!r.ok()) return r.error();
+  return canonical_path(r.value());
+}
+
+SysResult<Ino> Vfs::create_file(Ino dir, const std::string& name, Uid uid,
+                                Gid gid, unsigned mode, std::string content) {
+  Inode& d = inode(dir);
+  if (!d.is_dir()) return Err::notdir;
+  if (name.empty() || name.size() > kMaxNameLen) return Err::nametoolong;
+  if (d.entries.count(name)) return Err::exist;
+  Ino ino = alloc(FileType::regular, uid, gid, mode);
+  inode(ino).content = std::move(content);
+  inode(dir).entries.emplace(name, ino);
+  parent_[ino] = dir;
+  name_in_parent_[ino] = name;
+  return ino;
+}
+
+SysResult<Ino> Vfs::create_dir(Ino dir, const std::string& name, Uid uid,
+                               Gid gid, unsigned mode) {
+  Inode& d = inode(dir);
+  if (!d.is_dir()) return Err::notdir;
+  if (name.empty() || name.size() > kMaxNameLen) return Err::nametoolong;
+  if (d.entries.count(name)) return Err::exist;
+  Ino ino = alloc(FileType::directory, uid, gid, mode);
+  inode(dir).entries.emplace(name, ino);
+  parent_[ino] = dir;
+  name_in_parent_[ino] = name;
+  return ino;
+}
+
+SysResult<Ino> Vfs::create_symlink(Ino dir, const std::string& name, Uid uid,
+                                   Gid gid, std::string target) {
+  Inode& d = inode(dir);
+  if (!d.is_dir()) return Err::notdir;
+  if (name.empty() || name.size() > kMaxNameLen) return Err::nametoolong;
+  if (d.entries.count(name)) return Err::exist;
+  Ino ino = alloc(FileType::symlink, uid, gid, 0777);
+  inode(ino).content = std::move(target);
+  inode(dir).entries.emplace(name, ino);
+  parent_[ino] = dir;
+  name_in_parent_[ino] = name;
+  return ino;
+}
+
+SysStatus Vfs::remove(Ino dir, const std::string& name) {
+  Inode& d = inode(dir);
+  auto it = d.entries.find(name);
+  if (it == d.entries.end()) return Err::noent;
+  if (inode(it->second).is_dir()) return Err::isdir;
+  // The inode is detached, not destroyed: open descriptors keep it alive,
+  // which is what makes fd-based (fexecve-style) checks immune to the
+  // unlink/recreate perturbation.
+  Ino victim = it->second;
+  d.entries.erase(it);
+  parent_.erase(victim);
+  name_in_parent_.erase(victim);
+  return ok_status();
+}
+
+SysStatus Vfs::remove_dir(Ino dir, const std::string& name) {
+  Inode& d = inode(dir);
+  auto it = d.entries.find(name);
+  if (it == d.entries.end()) return Err::noent;
+  Inode& victim = inode(it->second);
+  if (!victim.is_dir()) return Err::notdir;
+  if (!victim.entries.empty()) return Err::notempty;
+  Ino vino = it->second;
+  d.entries.erase(it);
+  parent_.erase(vino);
+  name_in_parent_.erase(vino);
+  return ok_status();
+}
+
+SysStatus Vfs::rename_entry(Ino src_dir, const std::string& src_name,
+                            Ino dst_dir, const std::string& dst_name) {
+  Inode& sd = inode(src_dir);
+  auto it = sd.entries.find(src_name);
+  if (it == sd.entries.end()) return Err::noent;
+  if (dst_name.empty() || dst_name.size() > kMaxNameLen)
+    return Err::nametoolong;
+  Ino moving = it->second;
+  Inode& dd = inode(dst_dir);
+  if (!dd.is_dir()) return Err::notdir;
+  // Replace an existing non-directory target, as rename(2) does.
+  auto dit = dd.entries.find(dst_name);
+  if (dit != dd.entries.end()) {
+    if (dit->second == moving) return ok_status();
+    if (inode(dit->second).is_dir()) return Err::isdir;
+    Ino victim = dit->second;
+    dd.entries.erase(dit);
+    parent_.erase(victim);
+    name_in_parent_.erase(victim);
+  }
+  inode(src_dir).entries.erase(src_name);
+  inode(dst_dir).entries.emplace(dst_name, moving);
+  parent_[moving] = dst_dir;
+  name_in_parent_[moving] = dst_name;
+  return ok_status();
+}
+
+void Vfs::detach(Ino dir, const std::string& name) {
+  Inode& d = inode(dir);
+  auto it = d.entries.find(name);
+  if (it == d.entries.end()) return;
+  Ino victim = it->second;
+  d.entries.erase(it);
+  parent_.erase(victim);
+  name_in_parent_.erase(victim);
+}
+
+SysResult<StatInfo> Vfs::stat_inode(Ino ino) const {
+  if (!exists(ino)) return Err::noent;
+  const Inode& n = inode(ino);
+  StatInfo s;
+  s.ino = n.ino;
+  s.type = n.type;
+  s.uid = n.uid;
+  s.gid = n.gid;
+  s.mode = n.mode;
+  s.size = n.content.size();
+  s.trusted = n.trusted;
+  return s;
+}
+
+std::vector<std::string> Vfs::list_all_paths() const {
+  std::vector<std::string> out;
+  // Depth-first over the namespace.
+  std::vector<Ino> stack{root_};
+  while (!stack.empty()) {
+    Ino cur = stack.back();
+    stack.pop_back();
+    const Inode& n = inode(cur);
+    if (cur != root_) out.push_back(canonical_path(cur));
+    if (n.is_dir())
+      for (const auto& [name, child] : n.entries) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Vfs::check_invariants() const {
+  // Detached (unlinked but still allocated) inodes are legal; the checks
+  // below verify that the *linked* namespace is internally consistent.
+  for (const auto& [ino, node] : inodes_) {
+    if (node.is_dir()) {
+      for (const auto& [name, child] : node.entries) {
+        if (!exists(child))
+          return "dangling entry " + name + " in ino " + std::to_string(ino);
+        auto pit = parent_.find(child);
+        if (pit == parent_.end() || pit->second != ino)
+          return "parent map mismatch for " + name;
+        auto nit = name_in_parent_.find(child);
+        if (nit == name_in_parent_.end() || nit->second != name)
+          return "name map mismatch for " + name;
+      }
+    }
+  }
+  for (const auto& [child, dir] : parent_) {
+    if (!exists(child)) return "parent map entry for dead inode";
+    if (!exists(dir)) return "parent map points at dead dir";
+    auto nit = name_in_parent_.find(child);
+    if (nit == name_in_parent_.end())
+      return "linked inode " + std::to_string(child) + " has no name";
+    const Inode& d = inode(dir);
+    auto eit = d.entries.find(nit->second);
+    if (eit == d.entries.end() || eit->second != child)
+      return "entry/name disagreement for " + std::to_string(child);
+  }
+  return {};
+}
+
+}  // namespace ep::os

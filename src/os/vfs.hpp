@@ -1,0 +1,163 @@
+// Virtual file system: the environment entity store.
+//
+// Everything Table 6 perturbs about the file system is first-class state
+// here: existence (the namespace), ownership (uid/gid), permission (mode
+// bits), symbolic links (link inodes with targets), content and name
+// invariance (data and directory entries), plus a `trusted` attribute used
+// by the entity-trustability perturbation.
+//
+// Vfs is deliberately policy-free: it implements mechanism (resolution,
+// entries, permission *predicates*) and leaves enforcement to the Kernel,
+// which knows the calling process's credentials. This lets perturbers and
+// the oracle query "could uid U write inode I?" without a process.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "os/path.hpp"
+#include "os/types.hpp"
+#include "util/result.hpp"
+
+namespace ep::os {
+
+enum class FileType { regular, directory, symlink };
+
+struct Inode {
+  Ino ino = kNoIno;
+  FileType type = FileType::regular;
+  Uid uid = kRootUid;
+  Gid gid = kRootGid;
+  unsigned mode = 0644;  // permission bits + kSetUidBit
+  /// Regular files: data. Symlinks: link target path.
+  std::string content;
+  /// Directories: name -> child inode.
+  std::map<std::string, Ino> entries;
+  /// Name of the registered application image this file executes as, empty
+  /// for plain data files. The simulated equivalent of an ELF header.
+  std::string image;
+  /// Entity-trustability attribute (Table 6): perturbations may mark an
+  /// entity as originating from an untrusted subject.
+  bool trusted = true;
+
+  [[nodiscard]] bool is_dir() const { return type == FileType::directory; }
+  [[nodiscard]] bool is_symlink() const { return type == FileType::symlink; }
+  [[nodiscard]] bool is_regular() const { return type == FileType::regular; }
+  [[nodiscard]] bool setuid() const { return (mode & kSetUidBit) != 0; }
+};
+
+/// Result of resolving a path down to (but not through) its final
+/// component: the directory that holds the leaf, the leaf name, and the
+/// leaf inode if it exists.
+struct ResolvedParent {
+  Ino dir_ino = kNoIno;
+  std::string leaf;
+  Ino leaf_ino = kNoIno;  // kNoIno if the leaf does not exist
+  /// Canonical absolute path of dir + leaf (symlinks in the *directory*
+  /// part resolved; the leaf itself is not followed).
+  std::string canonical;
+};
+
+struct StatInfo {
+  Ino ino = kNoIno;
+  FileType type = FileType::regular;
+  Uid uid = kRootUid;
+  Gid gid = kRootGid;
+  unsigned mode = 0;
+  std::size_t size = 0;
+  bool trusted = true;
+
+  [[nodiscard]] bool setuid() const { return (mode & kSetUidBit) != 0; }
+};
+
+class Vfs {
+ public:
+  Vfs();
+
+  // --- inode access -------------------------------------------------------
+  [[nodiscard]] Ino root() const { return root_; }
+  [[nodiscard]] bool exists(Ino ino) const { return inodes_.count(ino) != 0; }
+  /// Precondition: exists(ino). Throws std::out_of_range otherwise.
+  [[nodiscard]] const Inode& inode(Ino ino) const { return inodes_.at(ino); }
+  [[nodiscard]] Inode& inode(Ino ino) { return inodes_.at(ino); }
+
+  // --- permission predicates (mechanism only; root bypass is Kernel policy)
+  /// Would credentials (uid, gid) pass the rwx check on `node`?
+  /// No root bypass here: the caller decides whether uid 0 is special.
+  [[nodiscard]] static bool permits(const Inode& node, Uid uid, Gid gid,
+                                    Perm perm);
+  /// Convenience with the kernel's rule: uid 0 passes read/write always and
+  /// exec if any x bit is set.
+  [[nodiscard]] static bool permits_with_root(const Inode& node, Uid uid,
+                                              Gid gid, Perm perm);
+
+  // --- resolution ----------------------------------------------------------
+  /// Full resolution: follow directories and symlinks (including a final
+  /// symlink when follow_final is true). Path may be relative to cwd.
+  /// Errors: noent, notdir, loop, acces (missing search permission; the
+  /// credential pair is used with the root bypass), nametoolong.
+  [[nodiscard]] SysResult<Ino> resolve(std::string_view p,
+                                       std::string_view cwd, Uid uid, Gid gid,
+                                       bool follow_final = true) const;
+
+  /// Resolve the parent directory of p; the final component is looked up
+  /// but never followed. Used by open(O_CREAT), unlink, symlink, rename.
+  [[nodiscard]] SysResult<ResolvedParent> resolve_parent(std::string_view p,
+                                                         std::string_view cwd,
+                                                         Uid uid,
+                                                         Gid gid) const;
+
+  /// Canonical absolute path of an existing inode (walks parent links).
+  /// Directories only know their children, so Vfs maintains a parent map.
+  [[nodiscard]] std::string canonical_path(Ino ino) const;
+
+  /// Resolve fully and return the canonical path, following symlinks.
+  [[nodiscard]] SysResult<std::string> canonicalize(std::string_view p,
+                                                    std::string_view cwd,
+                                                    Uid uid, Gid gid) const;
+
+  // --- namespace mutation (no permission checks; Kernel enforces) ---------
+  /// Create a regular file in directory `dir` under `name`.
+  SysResult<Ino> create_file(Ino dir, const std::string& name, Uid uid,
+                             Gid gid, unsigned mode, std::string content = {});
+  SysResult<Ino> create_dir(Ino dir, const std::string& name, Uid uid, Gid gid,
+                            unsigned mode);
+  SysResult<Ino> create_symlink(Ino dir, const std::string& name, Uid uid,
+                                Gid gid, std::string target);
+  /// Remove `name` from `dir`; the inode is freed when unreferenced.
+  /// Errors: noent, isdir (use remove_dir), notempty.
+  SysStatus remove(Ino dir, const std::string& name);
+  SysStatus remove_dir(Ino dir, const std::string& name);
+  /// Rename within or across directories.
+  SysStatus rename_entry(Ino src_dir, const std::string& src_name, Ino dst_dir,
+                         const std::string& dst_name);
+  /// Unconditionally detach an entry (file, symlink, or whole directory
+  /// subtree). The experimenter's hand: perturbers use this to replace
+  /// objects regardless of type; the detached subtree stays allocated.
+  void detach(Ino dir, const std::string& name);
+
+  [[nodiscard]] SysResult<StatInfo> stat_inode(Ino ino) const;
+
+  /// All canonical paths currently reachable from the root, sorted; handy
+  /// for invariant checks and test assertions.
+  [[nodiscard]] std::vector<std::string> list_all_paths() const;
+
+  /// Structural invariants: every entry points at a live inode, every live
+  /// non-root inode has exactly one parent, parent map matches entries.
+  /// Returns a description of the first violation, or empty if consistent.
+  [[nodiscard]] std::string check_invariants() const;
+
+ private:
+  Ino alloc(FileType type, Uid uid, Gid gid, unsigned mode);
+
+  std::unordered_map<Ino, Inode> inodes_;
+  std::unordered_map<Ino, Ino> parent_;          // child -> containing dir
+  std::unordered_map<Ino, std::string> name_in_parent_;
+  Ino root_ = kNoIno;
+  Ino next_ino_ = 1;
+};
+
+}  // namespace ep::os

@@ -1,0 +1,126 @@
+#include "reg/registry.hpp"
+
+namespace ep::reg {
+
+using os::SyscallCtx;
+
+void Registry::define_key(Key key) { keys_[key.path] = std::move(key); }
+
+const Key* Registry::find(const std::string& path) const {
+  auto it = keys_.find(path);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+SysResult<std::string> Registry::read_value(os::Kernel& k,
+                                            const os::Site& site, os::Pid pid,
+                                            const std::string& path) {
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "regread";
+  ctx.path = path;
+  ctx.has_input = true;
+  k.dispatch_before(ctx);
+  if (ctx.force_fail) {
+    k.dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto it = keys_.find(path);
+  Err e = Err::ok;
+  if (it == keys_.end()) {
+    e = Err::noent;
+  } else {
+    ctx.data = it->second.value;
+    ctx.object_untrusted = !it->second.trusted;
+  }
+  ctx.input = &ctx.data;
+  k.dispatch_after(ctx, e);
+  if (e != Err::ok && ctx.data.empty()) return e;
+  return ctx.data;
+}
+
+SysStatus Registry::write_value(os::Kernel& k, const os::Site& site,
+                                os::Pid pid, const std::string& path,
+                                const std::string& value) {
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "regwrite";
+  ctx.path = path;
+  ctx.data = value;
+  k.dispatch_before(ctx);
+  if (ctx.force_fail) {
+    k.dispatch_after(ctx, ctx.forced_error);
+    return ctx.forced_error;
+  }
+  auto it = keys_.find(path);
+  Err e = Err::ok;
+  if (it == keys_.end()) {
+    e = Err::noent;
+  } else {
+    const os::Process& p = k.proc(pid);
+    if (!it->second.acl.everyone_write && p.euid != os::kRootUid &&
+        p.euid != it->second.acl.owner) {
+      e = Err::acces;
+    } else {
+      it->second.value = value;
+    }
+  }
+  k.dispatch_after(ctx, e);
+  if (e != Err::ok) return e;
+  return ok_status();
+}
+
+bool Registry::attacker_set_value(os::Uid attacker, const std::string& path,
+                                  const std::string& value) {
+  auto it = keys_.find(path);
+  if (it == keys_.end()) return false;
+  if (!it->second.acl.everyone_write && attacker != os::kRootUid &&
+      attacker != it->second.acl.owner)
+    return false;
+  it->second.value = value;
+  return true;
+}
+
+void Registry::set_value(const std::string& path, const std::string& value) {
+  auto it = keys_.find(path);
+  if (it != keys_.end()) it->second.value = value;
+}
+
+void Registry::set_everyone_write(const std::string& path,
+                                  bool everyone_write) {
+  auto it = keys_.find(path);
+  if (it != keys_.end()) it->second.acl.everyone_write = everyone_write;
+}
+
+void Registry::set_trusted(const std::string& path, bool trusted) {
+  auto it = keys_.find(path);
+  if (it != keys_.end()) it->second.trusted = trusted;
+}
+
+void Registry::remove_key(const std::string& path) { keys_.erase(path); }
+
+std::vector<Key> Registry::unprotected_keys() const {
+  std::vector<Key> out;
+  for (const auto& [p, key] : keys_)
+    if (key.acl.everyone_write) out.push_back(key);
+  return out;
+}
+
+std::vector<Key> Registry::unprotected_with_module() const {
+  std::vector<Key> out;
+  for (const auto& [p, key] : keys_)
+    if (key.acl.everyone_write && !key.used_by_module.empty())
+      out.push_back(key);
+  return out;
+}
+
+std::vector<Key> Registry::unprotected_without_module() const {
+  std::vector<Key> out;
+  for (const auto& [p, key] : keys_)
+    if (key.acl.everyone_write && key.used_by_module.empty())
+      out.push_back(key);
+  return out;
+}
+
+}  // namespace ep::reg

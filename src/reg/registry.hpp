@@ -1,0 +1,75 @@
+// NT-style registry substrate for the Section 4.2 case study.
+//
+// The registry is "an organized store for operating system's and
+// application's data which are globally shared" — i.e., an environment
+// entity. The security-relevant attributes are the per-key ACL (the paper
+// scans for keys *everyone* may modify), the value (which modules trust),
+// and existence. Reads by modules under test are routed through the
+// kernel hook chain, so key values are a perturbable input like any other
+// environment input.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "util/result.hpp"
+
+namespace ep::reg {
+
+struct Acl {
+  os::Uid owner = os::kRootUid;  // SYSTEM
+  bool everyone_read = true;
+  /// The misconfiguration Section 4.2 hunts: any user may set the value.
+  bool everyone_write = false;
+};
+
+struct Key {
+  std::string path;  // e.g. "HKLM/Software/FontPath"
+  std::string value;
+  Acl acl;
+  /// Static cross-reference: which module reads this key. Empty when the
+  /// paper's situation applies — "lack of knowledge of how those modules
+  /// work" — and the key cannot be perturb-tested yet.
+  std::string used_by_module;
+  bool trusted = true;
+};
+
+class Registry {
+ public:
+  void define_key(Key key);
+  [[nodiscard]] const Key* find(const std::string& path) const;
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+  // --- module-side operations (hooked) -------------------------------------
+  /// Read a value as the module under test; an interaction point with
+  /// input (the value), so both fault kinds apply here.
+  SysResult<std::string> read_value(os::Kernel& k, const os::Site& site,
+                                    os::Pid pid, const std::string& path);
+  /// Write a value with ACL enforcement (everyone_write or owner/root).
+  SysStatus write_value(os::Kernel& k, const os::Site& site, os::Pid pid,
+                        const std::string& path, const std::string& value);
+
+  // --- perturbation / attacker surface (unhooked, direct state access) ----
+  /// What any user can do to an everyone-write key; returns false (and
+  /// leaves the value) if the ACL actually protects the key.
+  bool attacker_set_value(os::Uid attacker, const std::string& path,
+                          const std::string& value);
+  void set_value(const std::string& path, const std::string& value);
+  void set_everyone_write(const std::string& path, bool everyone_write);
+  void set_trusted(const std::string& path, bool trusted);
+  void remove_key(const std::string& path);
+
+  // --- the static-analysis scan from Section 4.2 ---------------------------
+  /// Keys whose ACL lets everyone write.
+  [[nodiscard]] std::vector<Key> unprotected_keys() const;
+  /// Unprotected keys with a known consuming module (testable) vs not.
+  [[nodiscard]] std::vector<Key> unprotected_with_module() const;
+  [[nodiscard]] std::vector<Key> unprotected_without_module() const;
+
+ private:
+  std::map<std::string, Key> keys_;
+};
+
+}  // namespace ep::reg

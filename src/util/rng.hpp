@@ -1,0 +1,68 @@
+// Deterministic RNG used everywhere randomness is needed (fuzz baseline,
+// sampling campaigns). Campaign runs must be reproducible given a seed —
+// both for the test suite's exact-count assertions and because the paper's
+// methodology is explicitly deterministic (its advantage over penetration
+// testing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ep {
+
+/// SplitMix64: tiny, fast, seedable, platform-stable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  double unit() {  // [0,1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return unit() < p; }
+
+  /// Random byte string of length n (printable and non-printable mix),
+  /// mimicking the Fuzz paper's random character streams.
+  std::string bytes(std::size_t n) {
+    std::string s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      s.push_back(static_cast<char>(between(1, 255)));
+    return s;
+  }
+
+  /// Random printable string of length n.
+  std::string printable(std::size_t n) {
+    std::string s;
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      s.push_back(static_cast<char>(between(0x20, 0x7e)));
+    return s;
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[below(v.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ep

@@ -1,0 +1,26 @@
+// Plain-text table renderer used by the bench harness to print the paper's
+// tables next to our measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ep {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and +---+ rules.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ep

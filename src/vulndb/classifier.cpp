@@ -1,0 +1,72 @@
+#include "vulndb/classifier.hpp"
+
+namespace ep::vulndb {
+
+std::string_view to_string(CauseKind c) {
+  switch (c) {
+    case CauseKind::code: return "code";
+    case CauseKind::design: return "design";
+    case CauseKind::configuration: return "configuration";
+    case CauseKind::insufficient_info: return "insufficient information";
+  }
+  return "?";
+}
+
+std::string_view to_string(FsAttribute a) {
+  switch (a) {
+    case FsAttribute::existence: return "file existence";
+    case FsAttribute::symbolic_link: return "symbolic link";
+    case FsAttribute::permission: return "permission";
+    case FsAttribute::ownership: return "ownership";
+    case FsAttribute::invariance: return "file invariance";
+    case FsAttribute::working_directory: return "working directory";
+  }
+  return "?";
+}
+
+EaiClass classify_record(const Record& r) {
+  // Section 2.4's exclusions first.
+  if (r.cause == CauseKind::insufficient_info)
+    return EaiClass::excluded_insufficient;
+  if (r.cause == CauseKind::design) return EaiClass::excluded_design;
+  if (r.cause == CauseKind::configuration)
+    return EaiClass::excluded_configuration;
+  // Section 2.3: a fault that reaches the program as input propagates via
+  // an internal entity -> indirect; a fault the program meets as an
+  // environment-entity attribute -> direct; anything else is a plain
+  // software fault irrelevant to the environment.
+  if (r.input_origin) return EaiClass::indirect;
+  if (r.entity) return EaiClass::direct;
+  return EaiClass::other;
+}
+
+Classification classify_all(const std::vector<Record>& records) {
+  Classification c;
+  c.total = static_cast<int>(records.size());
+  for (const Record& r : records) {
+    switch (classify_record(r)) {
+      case EaiClass::excluded_insufficient: ++c.insufficient; break;
+      case EaiClass::excluded_design: ++c.design; break;
+      case EaiClass::excluded_configuration: ++c.configuration; break;
+      case EaiClass::indirect:
+        ++c.classified;
+        ++c.indirect;
+        ++c.indirect_by_category[*r.input_origin];
+        break;
+      case EaiClass::direct:
+        ++c.classified;
+        ++c.direct;
+        ++c.direct_by_entity[*r.entity];
+        if (*r.entity == core::DirectEntity::file_system && r.fs_attribute)
+          ++c.fs_by_attribute[*r.fs_attribute];
+        break;
+      case EaiClass::other:
+        ++c.classified;
+        ++c.other;
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace ep::vulndb

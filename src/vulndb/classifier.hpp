@@ -1,0 +1,46 @@
+// The EAI classifier: applies the Section 2.3 decision rules to database
+// records and produces the aggregations behind Tables 1-4.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "vulndb/record.hpp"
+
+namespace ep::vulndb {
+
+/// How one record classifies under EAI.
+enum class EaiClass {
+  excluded_insufficient,  // not enough information
+  excluded_design,        // design error: out of scope
+  excluded_configuration, // configuration error: out of scope
+  indirect,               // environment fault via internal entity
+  direct,                 // environment fault via environment entity
+  other,                  // code fault unrelated to the environment
+};
+
+EaiClass classify_record(const Record& r);
+
+struct Classification {
+  int total = 0;
+  int insufficient = 0;
+  int design = 0;
+  int configuration = 0;
+  /// Records actually classified (total minus the three exclusions) —
+  /// the "142" of Section 2.4.
+  int classified = 0;
+  // Table 1
+  int indirect = 0;
+  int direct = 0;
+  int other = 0;
+  // Table 2
+  std::map<core::IndirectCategory, int> indirect_by_category;
+  // Table 3
+  std::map<core::DirectEntity, int> direct_by_entity;
+  // Table 4
+  std::map<FsAttribute, int> fs_by_attribute;
+};
+
+Classification classify_all(const std::vector<Record>& records);
+
+}  // namespace ep::vulndb

@@ -1,0 +1,56 @@
+// The vulnerability database (Section 2.4).
+//
+// The paper classifies 195 records of the CERIAS vulnerability database
+// under the EAI fault model. That database is private, so we carry a
+// synthesized one of the same size and shape: each record describes a
+// real-world-style flaw with *factual* features (does the flaw enter as
+// input? from where? which entity attribute does it abuse?), and the
+// classifier derives the EAI categories from those features using the
+// Section 2.3 decision rules.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault_model.hpp"
+
+namespace ep::vulndb {
+
+/// Root cause classes. Design and configuration errors are excluded from
+/// the paper's scope; insufficient-info records cannot be classified.
+enum class CauseKind { code, design, configuration, insufficient_info };
+
+/// Table 4's rows (the file-system attribute a direct fault abuses).
+/// "invariance" covers the paper's content/name invariance column.
+enum class FsAttribute {
+  existence,
+  symbolic_link,
+  permission,
+  ownership,
+  invariance,
+  working_directory,
+};
+
+struct Record {
+  int id = 0;
+  std::string name;  // short slug, e.g. "lpr-spool-symlink"
+  std::string os;    // platform the report concerns
+  std::string description;
+  CauseKind cause = CauseKind::code;
+  /// Does the fault reach the program as input (propagating via an
+  /// internal entity)? If set, the record is an indirect-fault candidate.
+  std::optional<core::IndirectCategory> input_origin;
+  /// Otherwise: which environment entity's attribute does it abuse?
+  std::optional<core::DirectEntity> entity;
+  /// For file-system entities: the Table 4 attribute.
+  std::optional<FsAttribute> fs_attribute;
+};
+
+std::string_view to_string(CauseKind c);
+std::string_view to_string(FsAttribute a);
+
+/// The 195-record database.
+const std::vector<Record>& database();
+
+}  // namespace ep::vulndb

@@ -1,0 +1,489 @@
+// The synthesized 195-record vulnerability database.
+//
+// Entries are modeled on the public record of 1990s UNIX / Windows NT
+// vulnerabilities (the same reports behind the taxonomies the paper
+// cites: Aslam, Bishop, Landwehr, Krsul) so that the classifier's
+// aggregation reproduces Section 2.4's Tables 1-4 from record-level
+// facts. Names are slugs, not CVE identifiers.
+#include "vulndb/record.hpp"
+
+namespace ep::vulndb {
+
+namespace {
+
+using core::DirectEntity;
+using core::IndirectCategory;
+
+std::vector<Record> build() {
+  std::vector<Record> db;
+  int next_id = 1;
+
+  auto indirect = [&](const char* name, const char* os,
+                      IndirectCategory origin, const char* desc) {
+    Record r;
+    r.id = next_id++;
+    r.name = name;
+    r.os = os;
+    r.description = desc;
+    r.cause = CauseKind::code;
+    r.input_origin = origin;
+    db.push_back(std::move(r));
+  };
+  auto direct_fs = [&](const char* name, const char* os, FsAttribute attr,
+                       const char* desc) {
+    Record r;
+    r.id = next_id++;
+    r.name = name;
+    r.os = os;
+    r.description = desc;
+    r.cause = CauseKind::code;
+    r.entity = DirectEntity::file_system;
+    r.fs_attribute = attr;
+    db.push_back(std::move(r));
+  };
+  auto direct_other = [&](const char* name, const char* os, DirectEntity e,
+                          const char* desc) {
+    Record r;
+    r.id = next_id++;
+    r.name = name;
+    r.os = os;
+    r.description = desc;
+    r.cause = CauseKind::code;
+    r.entity = e;
+    db.push_back(std::move(r));
+  };
+  auto plain = [&](const char* name, const char* os, CauseKind cause,
+                   const char* desc) {
+    Record r;
+    r.id = next_id++;
+    r.name = name;
+    r.os = os;
+    r.description = desc;
+    r.cause = cause;
+    db.push_back(std::move(r));
+  };
+
+  // ===== Indirect / user input (51) =========================================
+  const IndirectCategory UI = IndirectCategory::user_input;
+  indirect("fingerd-gets-overflow", "BSD", UI,
+           "fingerd reads the request line with gets(); long input smashes "
+           "the stack (Morris worm vector)");
+  indirect("syslog-msg-overflow", "SunOS", UI,
+           "syslog() copies caller-supplied message into fixed buffer");
+  indirect("talkd-username-overflow", "SunOS", UI,
+           "talkd announcement with oversized user name overruns buffer");
+  indirect("eject-arg-overflow", "Solaris", UI,
+           "set-uid eject copies device argument unchecked");
+  indirect("fdformat-arg-overflow", "Solaris", UI,
+           "set-uid fdformat overflows on long device argument");
+  indirect("mount-arg-overflow", "Linux", UI,
+           "set-uid mount trusts argv path length");
+  indirect("lprm-arg-overflow", "BSD", UI,
+           "lprm job id argument overflows request buffer");
+  indirect("login-term-overflow", "AIX", UI,
+           "login copies terminal name argument into fixed array");
+  indirect("passwd-fullname-overflow", "HP-UX", UI,
+           "chfn/passwd gecos field longer than buffer corrupts heap");
+  indirect("rdist-label-overflow", "BSD", UI,
+           "set-uid rdist overflows while expanding command labels");
+  indirect("xterm-font-arg-overflow", "X11", UI,
+           "xterm -fn argument smashes setuid-root font path buffer");
+  indirect("at-time-arg-overflow", "Solaris", UI,
+           "at(1) date argument parser overflows static buffer");
+  indirect("ps-environ-arg-overflow", "Digital UNIX", UI,
+           "ps command-line display code overruns on long argv of inspected "
+           "process");
+  indirect("sendmail-d-option-overflow", "SunOS", UI,
+           "sendmail -d debug level parsing writes past array end");
+  indirect("ffbconfig-arg-overflow", "Solaris", UI,
+           "set-uid ffbconfig -dev argument overflows");
+  indirect("chkey-arg-overflow", "Solaris", UI,
+           "chkey password argument overflows fixed buffer");
+  indirect("df-path-overflow", "Digital UNIX", UI,
+           "set-gid df overflows on long mount point argument");
+  indirect("ordist-arg-overflow", "SunOS", UI,
+           "ordist distfile argument overflow yields root");
+  indirect("pset-arg-overflow", "IRIX", UI,
+           "pset privileged utility overflows parsing processor list");
+  indirect("nt-rasman-phonebook-overflow", "Windows NT", UI,
+           "RAS phonebook entry name from dialog overflows service buffer");
+  indirect("iis-url-overflow", "Windows NT", UI,
+           "IIS .htr request with long URL overruns ISAPI buffer");
+  indirect("netscape-server-method-overflow", "Windows NT", UI,
+           "web server HTTP method token copied unchecked");
+  indirect("pop3-user-overflow", "Linux", UI,
+           "POP3 USER command argument overflows daemon buffer");
+  indirect("imapd-login-overflow", "Linux", UI,
+           "IMAP LOGIN literal longer than parse buffer gives remote root");
+  indirect("ftpd-mkdir-overflow", "BSD", UI,
+           "ftpd MKD path argument overflows while building reply");
+  // Shell metacharacter / unescaped-input family.
+  indirect("phf-cgi-newline", "UNIX", UI,
+           "phf CGI passes user string to popen(); newline smuggles a "
+           "second command");
+  indirect("campas-cgi-metachar", "UNIX", UI,
+           "campas CGI interpolates query into shell without quoting");
+  indirect("majordomo-reply-metachar", "UNIX", UI,
+           "majordomo passes Reply-To into shell command line");
+  indirect("sendmail-pipe-alias", "SunOS", UI,
+           "address of the form |program executed with daemon privilege");
+  indirect("uudecode-target-path", "UNIX", UI,
+           "uudecode writes to arbitrary path named inside the input");
+  indirect("web-cgi-semicolon", "UNIX", UI,
+           "guestbook CGI appends user field to mail command; ';' injects");
+  indirect("nt-batch-caret", "Windows NT", UI,
+           "batch wrapper passes user string to cmd.exe; special chars "
+           "break out of the argument");
+  indirect("formmail-recipient", "UNIX", UI,
+           "formmail recipient field reaches the shell unsanitized");
+  indirect("mailx-tilde-escape", "UNIX", UI,
+           "mailx executes ~! escapes found in piped-in message bodies");
+  indirect("expn-vrfy-pipe", "UNIX", UI,
+           "SMTP VRFY of |program address runs the program");
+  // Path-traversal / name-interpretation family.
+  indirect("wu-ftpd-dotdot-chdir", "Linux", UI,
+           "ftpd follows ../ in user path beyond the anonymous root");
+  indirect("tftpd-absolute-path", "SunOS", UI,
+           "tftpd serves any absolute path the client names");
+  indirect("web-dotdot-url", "Windows NT", UI,
+           "web server canonicalizes %2e%2e after access check");
+  indirect("tar-absolute-extract", "UNIX", UI,
+           "tar extracts archive member with absolute path over system "
+           "file");
+  indirect("turnin-dotdot-filename", "SunOS", UI,
+           "turnin accepts ../ in submitted file names; extraction "
+           "overwrites instructor files (this paper, Section 4.1)");
+  indirect("nt-share-dotdot", "Windows NT", UI,
+           "SMB path with .. escapes the share root");
+  indirect("gopher-selector-path", "UNIX", UI,
+           "gopherd treats selector as path relative to no root");
+  indirect("httpd-null-byte-name", "UNIX", UI,
+           "CGI filename check fooled by embedded NUL byte");
+  indirect("lynx-lynxcgi-path", "UNIX", UI,
+           "lynx trusts lynxcgi: URL path from remote document");
+  indirect("nt-unc-device-name", "Windows NT", UI,
+           "service opens user-named path; AUX/LPT device names hang it");
+  // Format string / numeric interpretation.
+  indirect("setuid-perror-format", "UNIX", UI,
+           "setuid tool passes user string as printf format");
+  indirect("syslog-user-format", "Linux", UI,
+           "daemon logs user name as format string");
+  indirect("nt-event-format", "Windows NT", UI,
+           "event logger formats attacker-controlled insertion string");
+  indirect("rsh-ruserok-username", "BSD", UI,
+           "ruserok() trusts client-supplied remote user string");
+  indirect("xdm-display-arg", "X11", UI,
+           "xdm accepts display argument with shell characters");
+  indirect("cron-jobname-newline", "UNIX", UI,
+           "crontab entry name with newline injects a second job line");
+
+  // ===== Indirect / environment variable (17) ===============================
+  const IndirectCategory EV = IndirectCategory::environment_variable;
+  indirect("path-relative-command", "UNIX", EV,
+           "set-uid script runs bare command; attacker prepends own dir "
+           "to PATH");
+  indirect("path-dot-first", "UNIX", EV,
+           "root tool searched '.' before system dirs via inherited PATH");
+  indirect("ifs-token-split", "SunOS", EV,
+           "IFS=/ makes /bin/sh parse system('/tmp/x') as 'bin sh tmp x'");
+  indirect("ifs-vi-shell", "UNIX", EV,
+           "vi shell escape honors attacker IFS in privileged context");
+  indirect("ld-preload-setuid", "SunOS", EV,
+           "LD_PRELOAD honored by set-uid binary loads attacker library");
+  indirect("ld-library-path-setuid", "Solaris", EV,
+           "LD_LIBRARY_PATH searched for privileged program's libraries");
+  indirect("nlspath-format", "Linux", EV,
+           "NLSPATH names attacker message catalog with format directives");
+  indirect("term-overflow", "BSD", EV,
+           "TERM value copied into fixed termcap buffer");
+  indirect("termcap-entry-overflow", "Linux", EV,
+           "TERMCAP variable parsed into static buffer by privileged "
+           "program");
+  indirect("home-dotfile-trust", "UNIX", EV,
+           "privileged tool reads config from $HOME supplied by invoker");
+  indirect("tz-overflow", "Solaris", EV,
+           "TZ value longer than localtime() buffer");
+  indirect("env-bash-env", "Linux", EV,
+           "BASH_ENV executed by shell spawned from privileged program");
+  indirect("printer-env-overflow", "IRIX", EV,
+           "PRINTER variable overflows lp client buffer");
+  indirect("mail-env-trust", "UNIX", EV,
+           "MAIL variable names the mailbox a privileged reader opens");
+  indirect("umask-inherited-zero", "UNIX", EV,
+           "daemon inherits umask 0 from caller and creates writable "
+           "files (mask is caller-controlled input)");
+  indirect("nt-path-current-dir", "Windows NT", EV,
+           "CreateProcess search order includes current directory from "
+           "inherited environment");
+  indirect("x11-xauthority-env", "X11", EV,
+           "XAUTHORITY names the cookie file a privileged client reads");
+
+  // ===== Indirect / file system input (5) ===================================
+  const IndirectCategory FSI = IndirectCategory::file_system_input;
+  indirect("rhosts-long-line", "BSD", FSI,
+           "rlogind parses ~/.rhosts line into fixed buffer");
+  indirect("ftpusers-parse-overflow", "SunOS", FSI,
+           "ftpd reads oversized line from its own config file");
+  indirect("motd-format", "Linux", FSI,
+           "login prints /etc/motd content through a format function");
+  indirect("queue-control-file-fields", "BSD", FSI,
+           "lpd trusts file names listed inside spool control files");
+  indirect("nt-ini-extension-trust", "Windows NT", FSI,
+           "shell runs file by extension read from a writable .ini entry");
+
+  // ===== Indirect / network input (8) =======================================
+  const IndirectCategory NI = IndirectCategory::network_input;
+  indirect("ping-of-death", "Windows NT", NI,
+           "oversized fragmented ICMP echo crashes the IP stack");
+  indirect("statd-packet-overflow", "SunOS", NI,
+           "rpc.statd request packet overflows hostname field");
+  indirect("dns-reply-long-name", "BSD", NI,
+           "resolver copies over-long name from DNS reply into fixed "
+           "buffer");
+  indirect("nt-oob-nuke", "Windows NT", NI,
+           "out-of-band TCP data with bad URG offset crashes netbios");
+  indirect("talkd-hostname-reply", "Linux", NI,
+           "talkd trusts oversized hostname in reply packet");
+  indirect("snmp-community-overflow", "UNIX", NI,
+           "SNMP agent overflows on long community string");
+  indirect("router-rip-malformed", "UNIX", NI,
+           "routed parses malformed RIP entry past table bounds");
+  indirect("nfs-mount-reply-path", "SunOS", NI,
+           "mount client trusts oversized path in mountd reply");
+
+  // ===== Direct / file system: existence (20) ================================
+  direct_fs("lpr-spool-preexisting", "BSD", FsAttribute::existence,
+            "lpr create()s a spool temp file that an attacker created "
+            "first (this paper, Section 3.4)");
+  direct_fs("gcc-tmp-race", "UNIX", FsAttribute::existence,
+            "cc writes predictable /tmp intermediate an attacker "
+            "pre-creates");
+  direct_fs("vi-recovery-file", "BSD", FsAttribute::existence,
+            "vi -r recovery file in /tmp pre-created by attacker");
+  direct_fs("mail-deadletter-race", "UNIX", FsAttribute::existence,
+            "mail writes dead.letter at a predictable path as root");
+  direct_fs("screen-socket-dir", "Linux", FsAttribute::existence,
+            "screen trusts pre-existing /tmp/screens directory");
+  direct_fs("uucp-lockfile", "UNIX", FsAttribute::existence,
+            "uucico honors attacker-created device lock files");
+  direct_fs("crontab-tmp-edit", "Solaris", FsAttribute::existence,
+            "crontab -e edits predictable temp copy an attacker plants");
+  direct_fs("at-spool-predictable", "Linux", FsAttribute::existence,
+            "at job file name predictable; attacker pre-creates it");
+  direct_fs("xauth-tmp-cookie", "X11", FsAttribute::existence,
+            "xauth merges into pre-created cookie temp file");
+  direct_fs("core-follow-existing", "SunOS", FsAttribute::existence,
+            "kernel dumps core into existing attacker-created file");
+  direct_fs("passwd-lockfile-race", "HP-UX", FsAttribute::existence,
+            "passwd honors stale ptmp lock an attacker creates");
+  direct_fs("lastlog-create-race", "AIX", FsAttribute::existence,
+            "login appends to pre-created lastlog alternative");
+  direct_fs("rdist-tmp-race", "BSD", FsAttribute::existence,
+            "rdist creates predictable temp file without O_EXCL");
+  direct_fs("inn-innd-tmp", "UNIX", FsAttribute::existence,
+            "innd article spool temp pre-created by local user");
+  direct_fs("httpd-upload-tmp", "UNIX", FsAttribute::existence,
+            "web server stages uploads at guessable /tmp names");
+  direct_fs("pppd-pidfile", "Linux", FsAttribute::existence,
+            "pppd writes pid file over pre-existing attacker file");
+  direct_fs("dump-rotate-race", "BSD", FsAttribute::existence,
+            "dump rotates to fixed scratch path without exclusivity");
+  direct_fs("sperl-tmp-mail", "Linux", FsAttribute::existence,
+            "suidperl /tmp mail notification file pre-created");
+  direct_fs("nt-spooler-tmp", "Windows NT", FsAttribute::existence,
+            "print spooler reuses existing temp file in shared dir");
+  direct_fs("admintool-lock-race", "Solaris", FsAttribute::existence,
+            "admintool honors pre-created lock in world-writable dir");
+
+  // ===== Direct / file system: symbolic link (6) =============================
+  direct_fs("xterm-logfile-symlink", "X11", FsAttribute::symbolic_link,
+            "xterm -lf follows symlink; root-owned log lands on "
+            "/etc/passwd");
+  direct_fs("binmail-mbox-symlink", "SunOS", FsAttribute::symbolic_link,
+            "binmail appends as root through symlinked mailbox");
+  direct_fs("ps-data-symlink", "Solaris", FsAttribute::symbolic_link,
+            "ps writes /tmp/ps_data through attacker symlink");
+  direct_fs("ldso-tmp-symlink", "Linux", FsAttribute::symbolic_link,
+            "ld.so debug output follows symlink in /tmp");
+  direct_fs("sendmail-autoreply-symlink", "UNIX", FsAttribute::symbolic_link,
+            "autoreply writes through symlink with root privilege");
+  direct_fs("nt-profile-junction", "Windows NT", FsAttribute::symbolic_link,
+            "service writes through reparse point in shared profile dir");
+
+  // ===== Direct / file system: permission (6) ================================
+  direct_fs("mkdir-chmod-race", "SunOS", FsAttribute::permission,
+            "mkdir/chmod sequence leaves window with writable dir");
+  direct_fs("crontab-world-readable", "UNIX", FsAttribute::permission,
+            "crontab copies installed world-readable exposing commands");
+  direct_fs("savecore-world-writable", "BSD", FsAttribute::permission,
+            "savecore creates dump files mode 666");
+  direct_fs("syslog-socket-perms", "Linux", FsAttribute::permission,
+            "syslog socket created writable by all, accepts forged "
+            "entries");
+  direct_fs("x11-socket-dir-perms", "X11", FsAttribute::permission,
+            "X socket directory permissions allow replacement");
+  direct_fs("nt-everyone-acl-file", "Windows NT", FsAttribute::permission,
+            "service data file installed with Everyone:Full ACL");
+
+  // ===== Direct / file system: ownership (3) =================================
+  direct_fs("chown-after-write-race", "UNIX", FsAttribute::ownership,
+            "daemon writes then chowns; attacker swaps file in between");
+  direct_fs("uucp-owned-config", "UNIX", FsAttribute::ownership,
+            "uucp config owned by uucp user; any uucp-owned process "
+            "rewrites it to get root");
+  direct_fs("mail-spool-chown", "SunOS", FsAttribute::ownership,
+            "mail spool handed to user by chown while still open");
+
+  // ===== Direct / file system: invariance (6) ================================
+  direct_fs("passwd-edit-swap", "UNIX", FsAttribute::invariance,
+            "file swapped between passwd's consistency check and write "
+            "(TOCTTOU)");
+  direct_fs("atrun-job-rename", "BSD", FsAttribute::invariance,
+            "at job renamed after validation, before execution");
+  direct_fs("lpd-control-file-swap", "BSD", FsAttribute::invariance,
+            "print control file replaced between access check and read");
+  direct_fs("ftpd-chroot-content", "UNIX", FsAttribute::invariance,
+            "ftpd re-reads config inside chroot after attacker edits it");
+  direct_fs("quota-file-replace", "SunOS", FsAttribute::invariance,
+            "edquota writes back quota file replaced during edit");
+  direct_fs("inetd-conf-reread", "UNIX", FsAttribute::invariance,
+            "inetd re-reads config mid-update and runs partial line");
+
+  // ===== Direct / file system: working directory (1) =========================
+  direct_fs("relative-exec-cwd", "UNIX", FsAttribute::working_directory,
+            "privileged tool started in attacker directory executes "
+            "./helper relative to it");
+
+  // ===== Direct / network (5) ===============================================
+  direct_other("rlogin-addr-trust", "BSD", DirectEntity::network,
+               "rlogind authenticates by source address; spoofed "
+               "connection accepted (message authenticity)");
+  direct_other("nfs-uid-spoof", "SunOS", DirectEntity::network,
+               "NFS accepts requests with forged AUTH_UNIX credentials");
+  direct_other("x11-open-display", "X11", DirectEntity::network,
+               "X server accepts connections from any host; input snooped "
+               "(entity trustability)");
+  direct_other("dns-cache-poison", "UNIX", DirectEntity::network,
+               "resolver caches unsolicited answer records from any "
+               "responder");
+  direct_other("tcp-seq-hijack-daemon", "BSD", DirectEntity::network,
+               "daemon continues session after counterfeit packets "
+               "violate the protocol exchange");
+
+  // ===== Direct / process (1) ===============================================
+  direct_other("ptrace-setuid-attach", "Linux", DirectEntity::process,
+               "debugger attaches to privileged child; helper process "
+               "trusted without verification");
+
+  // ===== Other code faults, environment-irrelevant (13) ======================
+  plain("kernel-int-overflow-syscall", "Linux", CauseKind::code,
+        "integer overflow in syscall argument size computation");
+  plain("refcount-off-by-one", "BSD", CauseKind::code,
+        "file table reference count off-by-one frees live entry");
+  plain("kernel-uninit-stack-leak", "SunOS", CauseKind::code,
+        "uninitialized kernel stack bytes copied out to user space");
+  plain("uid-compare-typo", "UNIX", CauseKind::code,
+        "if (uid = 0) assignment instead of comparison grants root");
+  plain("rand-seed-pid", "UNIX", CauseKind::code,
+        "session key seeded with pid and time only");
+  plain("crypt-salt-reuse", "UNIX", CauseKind::code,
+        "password change reuses constant salt, weakening hashes");
+  plain("double-free-heap", "Linux", CauseKind::code,
+        "error path frees request buffer twice corrupting heap");
+  plain("signal-handler-reentry", "BSD", CauseKind::code,
+        "SIGCHLD handler calls non-reentrant allocator");
+  plain("missing-setuid-drop", "UNIX", CauseKind::code,
+        "daemon forgets to drop euid before optional feature code");
+  plain("strncpy-no-nul", "UNIX", CauseKind::code,
+        "strncpy fills buffer exactly, later strlen runs off the end");
+  plain("bounds-check-sign", "Windows NT", CauseKind::code,
+        "signed length check bypassed by negative value");
+  plain("fd-leak-to-child", "UNIX", CauseKind::code,
+        "privileged file descriptor left open across exec of user "
+        "program");
+  plain("nt-impersonation-leak", "Windows NT", CauseKind::code,
+        "server thread keeps client token after request completes");
+
+  // ===== Design errors, excluded (22) =======================================
+  plain("telnet-cleartext", "UNIX", CauseKind::design,
+        "telnet transmits credentials in clear text by design");
+  plain("rlogin-trust-model", "BSD", CauseKind::design,
+        "rhosts trust model authenticates hosts, not users");
+  plain("nfs-stateless-auth", "SunOS", CauseKind::design,
+        "NFS v2 trusts client-asserted identity by design");
+  plain("smtp-no-auth", "UNIX", CauseKind::design,
+        "SMTP accepts any envelope sender");
+  plain("finger-info-disclosure", "UNIX", CauseKind::design,
+        "finger exposes account inventory remotely");
+  plain("tftp-no-auth", "UNIX", CauseKind::design,
+        "TFTP requires no authentication at all");
+  plain("x11-host-acl", "X11", CauseKind::design,
+        "xhost grants whole hosts access to the display");
+  plain("ftp-bounce", "UNIX", CauseKind::design,
+        "FTP PORT command relays connections to third parties");
+  plain("ip-source-route", "UNIX", CauseKind::design,
+        "IP source routing lets sender dictate the reply path");
+  plain("tcp-seq-predict", "BSD", CauseKind::design,
+        "predictable initial sequence numbers enable spoofing");
+  plain("icmp-redirect-trust", "UNIX", CauseKind::design,
+        "hosts honor ICMP redirects from anyone");
+  plain("arp-no-auth", "UNIX", CauseKind::design,
+        "ARP replies accepted without any binding to the requester");
+  plain("snmp-public-community", "UNIX", CauseKind::design,
+        "SNMP v1 authentication is a cleartext community string");
+  plain("nis-no-auth", "SunOS", CauseKind::design,
+        "NIS serves maps to any client that knows the domain name");
+  plain("portmapper-forward", "SunOS", CauseKind::design,
+        "portmapper forwards requests, laundering their origin");
+  plain("uucp-trust", "UNIX", CauseKind::design,
+        "UUCP login shares one credential across sites");
+  plain("routed-trust", "BSD", CauseKind::design,
+        "routed accepts routing updates from any neighbor");
+  plain("syslog-remote-no-auth", "UNIX", CauseKind::design,
+        "remote syslog accepts forged log records");
+  plain("dns-no-auth", "UNIX", CauseKind::design,
+        "DNS responses carry no authentication by design");
+  plain("http-basic-cleartext", "UNIX", CauseKind::design,
+        "HTTP basic auth transmits passwords base64 only");
+  plain("ppp-auth-optional", "UNIX", CauseKind::design,
+        "PPP peers may simply decline authentication");
+  plain("nt-lm-hash-weak", "Windows NT", CauseKind::design,
+        "LM hash splits passwords into two 7-char halves");
+
+  // ===== Configuration errors, excluded (5) ==================================
+  plain("anon-ftp-writable-root", "UNIX", CauseKind::configuration,
+        "anonymous FTP root left writable; incoming becomes a drop zone");
+  plain("nis-netgroup-wildcard", "SunOS", CauseKind::configuration,
+        "netgroup wildcard admits every host to rlogin");
+  plain("sendmail-decode-alias", "UNIX", CauseKind::configuration,
+        "decode alias pipes mail into uudecode as daemon");
+  plain("nfs-export-world", "SunOS", CauseKind::configuration,
+        "filesystem exported read-write to the world");
+  plain("guest-default-password", "UNIX", CauseKind::configuration,
+        "vendor ships guest account with documented password");
+
+  // ===== Insufficient information, excluded (26) =============================
+  for (int i = 1; i <= 26; ++i) {
+    std::string name = "advisory-fragment-" + std::to_string(i);
+    Record r;
+    r.id = next_id++;
+    r.name = name;
+    r.os = i % 3 == 0 ? "Windows NT" : "UNIX";
+    r.description =
+        "vendor advisory reports a privilege escalation without "
+        "describing the mechanism; cannot be classified";
+    r.cause = CauseKind::insufficient_info;
+    db.push_back(std::move(r));
+  }
+
+  return db;
+}
+
+}  // namespace
+
+const std::vector<Record>& database() {
+  static const std::vector<Record> db = build();
+  return db;
+}
+
+}  // namespace ep::vulndb

@@ -1,0 +1,108 @@
+// lpr behaviour: benign run, and the Section 3.4 walkthrough fault by
+// fault.
+#include "apps/lpr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/injector.hpp"
+#include "core/report.hpp"
+#include "util/strings.hpp"
+
+namespace ep::apps {
+namespace {
+
+using core::Campaign;
+using core::CampaignOptions;
+
+TEST(Lpr, BenignRunQueuesJob) {
+  auto s = lpr_scenario();
+  auto w = s.build();
+  int rc = s.run(*w);
+  EXPECT_EQ(rc, 0);
+  EXPECT_TRUE(ep::contains(w->kernel.console(), "lpr: job queued"));
+  EXPECT_TRUE(w->kernel.peek(kLprSpoolFile).ok());
+}
+
+TEST(Lpr, BenignSpoolFileContainsJob) {
+  auto s = lpr_scenario();
+  auto w = s.build();
+  (void)s.run(*w);
+  EXPECT_TRUE(ep::contains(w->kernel.peek(kLprSpoolFile).value(),
+                           "job(alice): report.txt"));
+}
+
+TEST(Lpr, ScenarioDocumentsInapplicableFaults) {
+  auto s = lpr_scenario();
+  const auto& spec = s.sites.at(kLprCreateTag);
+  EXPECT_EQ(spec.faults.size(), 4u);
+  EXPECT_EQ(spec.not_applicable.size(), 3u);
+  EXPECT_TRUE(spec.not_applicable.count("content-invariance"));
+}
+
+class LprFaults : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LprFaults, EachAttributePerturbationViolates) {
+  auto s = lpr_scenario();
+  core::SiteSpec one;
+  one.faults = {GetParam()};
+  s.sites[kLprCreateTag] = one;
+  Campaign c(std::move(s));
+  CampaignOptions opts;
+  opts.only_sites = {kLprCreateTag};
+  auto r = c.execute(opts);
+  ASSERT_EQ(r.n(), 1);
+  EXPECT_TRUE(r.injections[0].violated)
+      << GetParam() << "\n" << core::render_report(r);
+  EXPECT_EQ(r.injections[0].violations[0].policy, core::Policy::integrity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Section34, LprFaults,
+                         ::testing::Values("file-existence", "file-ownership",
+                                           "file-permission",
+                                           "symbolic-link"));
+
+TEST(Lpr, SymlinkPerturbationClobbersPasswd) {
+  // One manual injection run so the world can be inspected afterwards.
+  auto s = lpr_scenario();
+  auto w = s.build();
+  core::FaultRef fault;
+  fault.kind = core::FaultKind::direct;
+  fault.direct = core::FaultCatalog::standard().find_direct("symbolic-link");
+  ASSERT_NE(fault.direct, nullptr);
+  os::Site site{"lpr.c", 42, kLprCreateTag};
+  auto injector =
+      std::make_shared<core::Injector>(*w, site, fault, s.hints);
+  auto oracle = std::make_shared<core::SecurityOracle>(s.policy);
+  w->kernel.add_interposer(injector);
+  w->kernel.add_interposer(oracle);
+  (void)s.run(*w);
+  ASSERT_TRUE(injector->fired());
+  ASSERT_TRUE(oracle->violated());
+  // lpr wrote its job into /etc/passwd through the planted link.
+  EXPECT_TRUE(
+      ep::contains(w->kernel.peek("/etc/passwd").value(), "job(alice)"));
+}
+
+TEST(Lpr, WriteSitePerturbationsTolerated) {
+  // The write goes through the already-open descriptor; perturbing the
+  // path at the write site cannot redirect it.
+  Campaign c(lpr_scenario());
+  CampaignOptions opts;
+  opts.only_sites = {kLprWriteTag};
+  auto r = c.execute(opts);
+  EXPECT_GT(r.n(), 0);
+  EXPECT_EQ(r.violation_count(), 0) << core::render_report(r);
+}
+
+TEST(Lpr, FullCampaignMetrics) {
+  Campaign c(lpr_scenario());
+  CampaignOptions opts;
+  opts.only_sites = {kLprCreateTag};
+  auto r = c.execute(opts);
+  EXPECT_DOUBLE_EQ(r.fault_coverage(), 0.0);       // 0 of 4 tolerated
+  EXPECT_DOUBLE_EQ(r.vulnerability_score(), 1.0);  // rho = 4/4
+  EXPECT_EQ(r.region(), core::AdequacyRegion::point3_insecure);
+}
+
+}  // namespace
+}  // namespace ep::apps

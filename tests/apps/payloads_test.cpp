@@ -1,0 +1,67 @@
+#include "apps/payloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::apps {
+namespace {
+
+class PayloadTest : public ::testing::Test {
+ protected:
+  PayloadTest() {
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    register_payload_images(k);
+    os::world::put_program(k, "/bin/tar", "tar");
+    os::world::put_program(k, "/bin/sendmail", "sendmail");
+    os::world::put_program(k, "/tmp/evil", "evil", 666, 666, 0755);
+  }
+  os::Kernel k;
+};
+
+TEST_F(PayloadTest, ImagesRegistered) {
+  EXPECT_TRUE(k.has_image("tar"));
+  EXPECT_TRUE(k.has_image("sendmail"));
+  EXPECT_TRUE(k.has_image("evil"));
+}
+
+TEST_F(PayloadTest, TarReportsArgCount) {
+  auto r = k.spawn("/bin/tar", {"tar", "cf", "x.tar"}, 1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0);
+  EXPECT_TRUE(ep::contains(k.console(), "tar: archived 3 arguments"));
+}
+
+TEST_F(PayloadTest, SendmailNamesRecipient) {
+  auto r = k.spawn("/bin/sendmail", {"sendmail", "bob"}, 1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ep::contains(k.console(), "delivered to bob"));
+}
+
+TEST_F(PayloadTest, SendmailDefaultsToPostmaster) {
+  auto r = k.spawn("/bin/sendmail", {"sendmail"}, 1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ep::contains(k.console(), "delivered to postmaster"));
+}
+
+TEST_F(PayloadTest, EvilWithRootPrivilegeDefacesPasswd) {
+  std::string before = k.peek("/etc/passwd").value();
+  auto r = k.spawn("/tmp/evil", {"evil"}, os::kRootUid, os::kRootGid);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(k.peek("/etc/passwd").value(), before);
+  EXPECT_TRUE(ep::contains(k.console(), "payload running as euid 0"));
+}
+
+TEST_F(PayloadTest, EvilWithoutPrivilegeFailsQuietly) {
+  std::string before = k.peek("/etc/passwd").value();
+  auto r = k.spawn("/tmp/evil", {"evil"}, 1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0);  // runs, but the passwd write bounced
+  EXPECT_EQ(k.peek("/etc/passwd").value(), before);
+  EXPECT_TRUE(ep::contains(k.console(), "payload running as euid 1000"));
+}
+
+}  // namespace
+}  // namespace ep::apps

@@ -1,0 +1,83 @@
+#include "baseline/ava.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/lpr.hpp"
+#include "apps/mailer.hpp"
+#include "apps/turnin.hpp"
+#include "core/campaign.hpp"
+#include "os/world.hpp"
+
+namespace ep::baseline {
+namespace {
+
+TEST(Ava, DeterministicForSeed) {
+  AvaOptions opts;
+  opts.trials = 20;
+  opts.seed = 9;
+  auto r1 = run_ava(apps::mailer_scenario(), opts);
+  auto r2 = run_ava(apps::mailer_scenario(), opts);
+  EXPECT_EQ(r1.violations, r2.violations);
+  EXPECT_EQ(r1.crashes, r2.crashes);
+}
+
+TEST(Ava, RandomInternalCorruptionFindsSomethingOnMailer) {
+  // The duplicate mutation doubles the recipient length and the
+  // random-replace can exceed the buffer — internal-state perturbation
+  // does reach the overflow.
+  AvaOptions opts;
+  opts.trials = 60;
+  opts.seed = 4;
+  auto r = run_ava(apps::mailer_scenario(), opts);
+  EXPECT_GT(r.violations + r.crashes, 0);
+}
+
+TEST(Ava, BlindToDirectFaults) {
+  // lpr's flaw is a file-attribute fault: no internal entity carries it.
+  // AVA-style perturbation cannot surface it, exactly the limitation the
+  // paper argues.
+  AvaOptions opts;
+  opts.trials = 80;
+  opts.seed = 6;
+  auto r = run_ava(apps::lpr_scenario(), opts);
+  EXPECT_EQ(r.violations, 0);
+  // Meanwhile the EAI campaign on the same program finds 4/4.
+  core::Campaign c(apps::lpr_scenario());
+  core::CampaignOptions copts;
+  copts.only_sites = {apps::kLprCreateTag};
+  EXPECT_EQ(c.execute(copts).violation_count(), 4);
+}
+
+TEST(Ava, SemanticGapLowersPerTrialYield) {
+  // Against turnin, random internal corruption finds violations far less
+  // often than the catalog's 9-of-41 (22%) semantic hit rate.
+  AvaOptions opts;
+  opts.trials = 50;
+  opts.seed = 12;
+  auto r = run_ava(apps::turnin_scenario(), opts);
+  EXPECT_LT(r.violation_rate(), 0.22);
+}
+
+TEST(Ava, NoInputSitesMeansNoTrials) {
+  core::Scenario s;
+  s.name = "inputless";
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::world::standard_unix(w->kernel);
+    w->kernel.register_image("noop", [](os::Kernel&, os::Pid) { return 0; });
+    os::world::put_program(w->kernel, "/bin/noop", "noop");
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/bin/noop", {"noop"}, 0, 0);
+    return r.ok() ? r.value() : 255;
+  };
+  AvaOptions opts;
+  opts.trials = 10;
+  auto r = run_ava(s, opts);
+  EXPECT_EQ(r.violations, 0);
+  EXPECT_EQ(r.crashes, 0);
+}
+
+}  // namespace
+}  // namespace ep::baseline

@@ -1,0 +1,74 @@
+#include "baseline/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/mailer.hpp"
+#include "apps/turnin.hpp"
+
+namespace ep::baseline {
+namespace {
+
+TEST(Fuzz, DeterministicForSeed) {
+  FuzzOptions opts;
+  opts.trials = 20;
+  opts.seed = 5;
+  auto r1 = run_fuzz(apps::mailer_scenario(), opts);
+  auto r2 = run_fuzz(apps::mailer_scenario(), opts);
+  EXPECT_EQ(r1.crashes, r2.crashes);
+  EXPECT_EQ(r1.violations, r2.violations);
+}
+
+TEST(Fuzz, FindsTheMailerOverflow) {
+  // mailer copies argv[1] into a 128-byte buffer unchecked; random
+  // oversized inputs crash it readily — the Fuzz result shape.
+  FuzzOptions opts;
+  opts.trials = 40;
+  opts.seed = 1;
+  auto r = run_fuzz(apps::mailer_scenario(), opts);
+  EXPECT_GT(r.crashes, 0);
+  EXPECT_GT(r.crash_rate(), 0.25);  // Miller et al.: 25-40%+
+  EXPECT_GE(r.distinct_crash_sites, 1);
+}
+
+TEST(Fuzz, BoundedInputsDontCrashTurnin) {
+  // turnin length-checks its argv copies; random input is rejected, not
+  // crashed on. Fuzz sees nothing even where EAI finds 9 violations.
+  FuzzOptions opts;
+  opts.trials = 30;
+  opts.seed = 2;
+  auto r = run_fuzz(apps::turnin_scenario(), opts);
+  EXPECT_EQ(r.crashes, 0);
+}
+
+TEST(Fuzz, TrialCountHonored) {
+  FuzzOptions opts;
+  opts.trials = 7;
+  auto r = run_fuzz(apps::mailer_scenario(), opts);
+  EXPECT_EQ(r.trials, 7);
+}
+
+TEST(Fuzz, AllInputsModeReachesMoreSurface) {
+  FuzzOptions argv_only;
+  argv_only.trials = 30;
+  argv_only.seed = 3;
+  FuzzOptions all;
+  all.trials = 30;
+  all.seed = 3;
+  all.all_inputs = true;
+  auto r_argv = run_fuzz(apps::turnin_scenario(), argv_only);
+  auto r_all = run_fuzz(apps::turnin_scenario(), all);
+  // Randomizing file/env inputs perturbs strictly more channels.
+  EXPECT_GE(r_all.crashes + r_all.violations,
+            r_argv.crashes + r_argv.violations);
+}
+
+TEST(Fuzz, ZeroTrials) {
+  FuzzOptions opts;
+  opts.trials = 0;
+  auto r = run_fuzz(apps::mailer_scenario(), opts);
+  EXPECT_EQ(r.trials, 0);
+  EXPECT_DOUBLE_EQ(r.crash_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace ep::baseline

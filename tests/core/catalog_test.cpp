@@ -1,0 +1,232 @@
+// Catalog shape tests: the executable Tables 5 and 6 must carry exactly
+// the paper's rows, and the semantic lookups must partition them.
+#include "core/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ep::core {
+namespace {
+
+const FaultCatalog& cat() { return FaultCatalog::standard(); }
+
+TEST(Catalog, IndirectEntriesPerCategoryMatchTable5) {
+  std::map<IndirectCategory, int> by_cat;
+  for (const auto& f : cat().indirect()) ++by_cat[f.category];
+  EXPECT_EQ(by_cat[IndirectCategory::user_input], 10);  // 5 file-name + 5 cmd
+  EXPECT_EQ(by_cat[IndirectCategory::environment_variable], 6);  // 5 path + 1 mask
+  EXPECT_EQ(by_cat[IndirectCategory::file_system_input], 6);  // 4 name + 2 ext
+  EXPECT_EQ(by_cat[IndirectCategory::network_input], 8);  // ip/packet/host/dns x2
+  EXPECT_EQ(by_cat[IndirectCategory::process_input], 2);  // message x2
+}
+
+TEST(Catalog, IndirectNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& f : cat().indirect())
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate " << f.name;
+}
+
+TEST(Catalog, DirectNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& f : cat().direct())
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate " << f.name;
+}
+
+TEST(Catalog, DirectEntriesPerEntityMatchTable6) {
+  std::map<DirectEntity, int> by_entity;
+  for (const auto& f : cat().direct())
+    if (!f.extension) ++by_entity[f.entity];
+  EXPECT_EQ(by_entity[DirectEntity::file_system], 7);
+  // 5 attribute rows, protocol expanded into its 3 listed violations.
+  EXPECT_EQ(by_entity[DirectEntity::network], 7);
+  EXPECT_EQ(by_entity[DirectEntity::process], 3);
+}
+
+TEST(Catalog, RegistryExtensionMarked) {
+  int extensions = 0;
+  for (const auto& f : cat().direct())
+    if (f.extension) ++extensions;
+  EXPECT_EQ(extensions, 4);
+}
+
+TEST(Catalog, EveryEntryHasCallableAndDescription) {
+  for (const auto& f : cat().indirect()) {
+    EXPECT_TRUE(static_cast<bool>(f.mutate)) << f.name;
+    EXPECT_FALSE(f.description.empty()) << f.name;
+  }
+  for (const auto& f : cat().direct()) {
+    EXPECT_TRUE(static_cast<bool>(f.perturb)) << f.name;
+    EXPECT_FALSE(f.description.empty()) << f.name;
+  }
+}
+
+TEST(Catalog, IndirectForPartitionsBySemantic) {
+  std::size_t total = 0;
+  for (InputSemantic s :
+       {InputSemantic::file_name, InputSemantic::command,
+        InputSemantic::path_list, InputSemantic::permission_mask,
+        InputSemantic::file_extension, InputSemantic::ip_address,
+        InputSemantic::packet, InputSemantic::host_name,
+        InputSemantic::dns_reply, InputSemantic::ipc_message})
+    total += cat().indirect_for(s).size();
+  EXPECT_EQ(total, cat().indirect().size());
+}
+
+TEST(Catalog, DirectForFileKind) {
+  auto faults = cat().direct_for(ObjectKind::file);
+  EXPECT_EQ(faults.size(), 7u);
+  for (const auto* f : faults) {
+    EXPECT_EQ(f->entity, DirectEntity::file_system);
+    EXPECT_FALSE(f->extension);
+  }
+}
+
+TEST(Catalog, DirectForNetworkKinds) {
+  EXPECT_EQ(cat().direct_for(ObjectKind::net_inbound).size(), 6u);
+  EXPECT_EQ(cat().direct_for(ObjectKind::net_service).size(), 2u);
+  EXPECT_EQ(cat().direct_for(ObjectKind::ipc_service).size(), 3u);
+}
+
+TEST(Catalog, DirectForRegistryUsesExtensions) {
+  auto faults = cat().direct_for(ObjectKind::registry_key);
+  EXPECT_EQ(faults.size(), 4u);
+  for (const auto* f : faults) EXPECT_TRUE(f->extension);
+}
+
+TEST(Catalog, InputOnlyKindsHaveNoDirectFaults) {
+  EXPECT_TRUE(cat().direct_for(ObjectKind::user_input).empty());
+  EXPECT_TRUE(cat().direct_for(ObjectKind::env_var).empty());
+  EXPECT_TRUE(cat().direct_for(ObjectKind::none).empty());
+}
+
+TEST(Catalog, FindByName) {
+  EXPECT_NE(cat().find_indirect("change-length"), nullptr);
+  EXPECT_NE(cat().find_direct("symbolic-link"), nullptr);
+  EXPECT_EQ(cat().find_indirect("no-such"), nullptr);
+  EXPECT_EQ(cat().find_direct("no-such"), nullptr);
+}
+
+// --- generator behaviour (parameterized sanity over all of Table 5) --------
+
+class AllGenerators : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllGenerators, ProducesDifferentValueOnTypicalInput) {
+  const IndirectFault& f = cat().indirect()[GetParam()];
+  ScenarioHints hints;
+  std::string original = "sample.txt";
+  if (f.semantic == InputSemantic::path_list) original = "/bin:/usr/bin";
+  if (f.semantic == InputSemantic::permission_mask) original = "022";
+  if (f.semantic == InputSemantic::ip_address) original = "10.0.0.1";
+  std::string mutated = f.mutate(original, hints);
+  EXPECT_NE(mutated, original) << f.name;
+  EXPECT_FALSE(mutated.empty()) << f.name;
+}
+
+TEST_P(AllGenerators, ToleratesEmptyInput) {
+  const IndirectFault& f = cat().indirect()[GetParam()];
+  ScenarioHints hints;
+  // Must not throw on the degenerate input.
+  (void)f.mutate("", hints);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5, AllGenerators,
+    ::testing::Range<std::size_t>(0, FaultCatalog::standard().indirect().size()));
+
+TEST(Generators, ChangeLengthHitsHintLength) {
+  ScenarioHints hints;
+  hints.long_length = 1000;
+  const auto* f = cat().find_indirect("change-length");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->mutate("x", hints).size(), 1000u);
+}
+
+TEST(Generators, InsertDotdotPrefixes) {
+  ScenarioHints hints;
+  const auto* f = cat().find_indirect("insert-dotdot");
+  EXPECT_EQ(f->mutate("hw1.c", hints), "../hw1.c");
+}
+
+TEST(Generators, PathInsertUntrustedPrepends) {
+  ScenarioHints hints;
+  hints.attacker_dir = "/tmp/evil";
+  const auto* f = cat().find_indirect("path-insert-untrusted");
+  EXPECT_EQ(f->mutate("/bin:/usr/bin", hints), "/tmp/evil:/bin:/usr/bin");
+}
+
+TEST(Generators, PathRearrangeReverses) {
+  ScenarioHints hints;
+  const auto* f = cat().find_indirect("path-rearrange-order");
+  EXPECT_EQ(f->mutate("/a:/b:/c", hints), "/c:/b:/a");
+}
+
+TEST(Generators, MaskZero) {
+  ScenarioHints hints;
+  const auto* f = cat().find_indirect("mask-zero");
+  EXPECT_EQ(f->mutate("022", hints), "0");
+}
+
+TEST(Generators, ExtensionChange) {
+  ScenarioHints hints;
+  const auto* f = cat().find_indirect("ext-change");
+  EXPECT_EQ(f->mutate("report.txt", hints), "report.exe");
+  EXPECT_EQ(f->mutate("noext", hints), "noext.exe");
+}
+
+// --- object kind / semantic inference ---------------------------------------
+
+TEST(Inference, ObjectKindFromCall) {
+  os::SyscallCtx ctx;
+  ctx.call = "open";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::file);
+  ctx.call = "exec";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::exec_binary);
+  ctx.call = "arg";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::user_input);
+  ctx.call = "getenv";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::env_var);
+  ctx.call = "regread";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::registry_key);
+  ctx.call = "recv";
+  ctx.channel_kind = "network";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::net_inbound);
+  ctx.channel_kind = "ipc";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::ipc_service);
+  ctx.call = "connect";
+  ctx.channel_kind = "network";
+  EXPECT_EQ(infer_object_kind(ctx), ObjectKind::net_service);
+}
+
+TEST(Inference, SemanticFromCall) {
+  os::SyscallCtx ctx;
+  ctx.call = "getenv";
+  ctx.aux = "PATH";
+  EXPECT_EQ(infer_semantic(ctx), InputSemantic::path_list);
+  ctx.aux = "LD_LIBRARY_PATH";
+  EXPECT_EQ(infer_semantic(ctx), InputSemantic::path_list);
+  ctx.aux = "UMASK";
+  EXPECT_EQ(infer_semantic(ctx), InputSemantic::permission_mask);
+  ctx.aux = "HOME";
+  EXPECT_EQ(infer_semantic(ctx), InputSemantic::file_name);
+  ctx.call = "recv";
+  EXPECT_EQ(infer_semantic(ctx), InputSemantic::packet);
+  ctx.call = "dns";
+  EXPECT_EQ(infer_semantic(ctx), InputSemantic::dns_reply);
+  ctx.call = "arg";
+  EXPECT_EQ(infer_semantic(ctx), InputSemantic::file_name);
+}
+
+TEST(FaultModelNames, AllEnumsPrintable) {
+  EXPECT_EQ(to_string(FaultKind::indirect), "indirect");
+  EXPECT_EQ(to_string(IndirectCategory::user_input), "user input");
+  EXPECT_EQ(to_string(DirectEntity::file_system), "file system");
+  EXPECT_EQ(to_string(InputSemantic::path_list),
+            "execution path + library path");
+  EXPECT_EQ(to_string(EnvAttribute::symbolic_link), "symbolic link");
+  EXPECT_EQ(to_string(ObjectKind::registry_key), "registry key");
+}
+
+}  // namespace
+}  // namespace ep::core

@@ -1,0 +1,74 @@
+#include "core/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/daemons.hpp"
+#include "apps/turnin.hpp"
+#include "apps/vault.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+namespace {
+
+TEST(Compare, TurninHardeningIsSafeAndRepairs8) {
+  auto before = Campaign(apps::turnin_scenario()).execute();
+  auto after = Campaign(apps::turnin_hardened_scenario()).execute();
+  auto c = compare(before, after);
+  EXPECT_EQ(c.improved_count(), 8);    // 9 violations -> 1
+  EXPECT_EQ(c.regressed_count(), 0);
+  EXPECT_EQ(c.still_open_count(), 1);  // root-only config tamper
+  EXPECT_TRUE(c.safe());
+  EXPECT_TRUE(c.only_before.empty());
+  EXPECT_TRUE(c.only_after.empty());
+}
+
+TEST(Compare, LogindHardeningRepairsEverything) {
+  auto before = Campaign(apps::logind_scenario()).execute();
+  auto after = Campaign(apps::logind_hardened_scenario()).execute();
+  auto c = compare(before, after);
+  EXPECT_GT(c.improved_count(), 0);
+  EXPECT_EQ(c.still_open_count(), 0);
+  EXPECT_TRUE(c.safe());
+  EXPECT_EQ(classify(c.after), AdequacyRegion::point4_adequate_secure);
+}
+
+TEST(Compare, VaultFixClosesTocttou) {
+  auto before = Campaign(apps::vault_scenario()).execute();
+  auto after = Campaign(apps::vault_fixed_scenario()).execute();
+  auto c = compare(before, after);
+  EXPECT_GT(c.improved_count(), 0);
+  EXPECT_TRUE(c.safe());
+}
+
+TEST(Compare, IdenticalCampaignsShowNoMovement) {
+  auto r1 = Campaign(apps::turnin_scenario()).execute();
+  auto r2 = Campaign(apps::turnin_scenario()).execute();
+  auto c = compare(r1, r2);
+  EXPECT_EQ(c.improved_count(), 0);
+  EXPECT_EQ(c.regressed_count(), 0);
+  EXPECT_EQ(c.still_open_count(), r1.violation_count());
+}
+
+TEST(Compare, DetectsRegression) {
+  // Swap before/after: the "repair" direction reverses and every turnin
+  // fix shows up as a regression.
+  auto vulnerable = Campaign(apps::turnin_scenario()).execute();
+  auto hardened = Campaign(apps::turnin_hardened_scenario()).execute();
+  auto c = compare(hardened, vulnerable);
+  EXPECT_EQ(c.regressed_count(), 8);
+  EXPECT_FALSE(c.safe());
+}
+
+TEST(Compare, RenderMentionsVerdictAndDeltas) {
+  auto before = Campaign(apps::turnin_scenario()).execute();
+  auto after = Campaign(apps::turnin_hardened_scenario()).execute();
+  std::string text = render_comparison(compare(before, after));
+  EXPECT_TRUE(ep::contains(text, "repaired: 8"));
+  EXPECT_TRUE(ep::contains(text, "still open"));
+  EXPECT_TRUE(ep::contains(text, "repair is safe"));
+  EXPECT_TRUE(ep::contains(text, "point-3"));
+  EXPECT_TRUE(ep::contains(text, "point-4"));
+}
+
+}  // namespace
+}  // namespace ep::core

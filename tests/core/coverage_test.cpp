@@ -1,0 +1,72 @@
+// The Figure 2 adequacy metric: region classification and boundaries.
+#include "core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep::core {
+namespace {
+
+TEST(Adequacy, FourRegions) {
+  EXPECT_EQ(classify({0.2, 0.3}), AdequacyRegion::point1_inadequate);
+  EXPECT_EQ(classify({0.2, 0.95}), AdequacyRegion::point2_unexplored);
+  EXPECT_EQ(classify({0.9, 0.3}), AdequacyRegion::point3_insecure);
+  EXPECT_EQ(classify({0.9, 0.95}), AdequacyRegion::point4_adequate_secure);
+}
+
+TEST(Adequacy, ThresholdBoundariesInclusive) {
+  AdequacyThresholds t;  // 0.5 / 0.8
+  EXPECT_EQ(classify({0.5, 0.8}, t), AdequacyRegion::point4_adequate_secure);
+  EXPECT_EQ(classify({0.4999, 0.8}, t), AdequacyRegion::point2_unexplored);
+  EXPECT_EQ(classify({0.5, 0.7999}, t), AdequacyRegion::point3_insecure);
+}
+
+TEST(Adequacy, CustomThresholds) {
+  AdequacyThresholds t{0.9, 0.99};
+  EXPECT_EQ(classify({0.85, 1.0}, t), AdequacyRegion::point2_unexplored);
+  EXPECT_EQ(classify({0.95, 1.0}, t), AdequacyRegion::point4_adequate_secure);
+}
+
+TEST(Adequacy, CornersOfUnitSquare) {
+  EXPECT_EQ(classify({0.0, 0.0}), AdequacyRegion::point1_inadequate);
+  EXPECT_EQ(classify({1.0, 0.0}), AdequacyRegion::point3_insecure);
+  EXPECT_EQ(classify({0.0, 1.0}), AdequacyRegion::point2_unexplored);
+  EXPECT_EQ(classify({1.0, 1.0}), AdequacyRegion::point4_adequate_secure);
+}
+
+TEST(Adequacy, NamesAndMeaningsNonEmpty) {
+  for (auto r : {AdequacyRegion::point1_inadequate,
+                 AdequacyRegion::point2_unexplored,
+                 AdequacyRegion::point3_insecure,
+                 AdequacyRegion::point4_adequate_secure}) {
+    EXPECT_FALSE(to_string(r).empty());
+    EXPECT_FALSE(region_meaning(r).empty());
+  }
+}
+
+// Property sweep: classification is monotone — increasing either coverage
+// never moves the point to a "worse" region along that axis.
+class AdequacyMonotone
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(AdequacyMonotone, RaisingFaultCoverageNeverIntroducesInsecurity) {
+  auto [ic, fc] = GetParam();
+  AdequacyPoint p{ic, fc};
+  AdequacyPoint up{ic, std::min(1.0, fc + 0.3)};
+  bool was_secure = classify(p) == AdequacyRegion::point4_adequate_secure ||
+                    classify(p) == AdequacyRegion::point2_unexplored;
+  bool now_secure = classify(up) == AdequacyRegion::point4_adequate_secure ||
+                    classify(up) == AdequacyRegion::point2_unexplored;
+  if (was_secure) {
+    EXPECT_TRUE(now_secure);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdequacyMonotone,
+    ::testing::Values(std::make_pair(0.1, 0.1), std::make_pair(0.1, 0.85),
+                      std::make_pair(0.6, 0.1), std::make_pair(0.6, 0.85),
+                      std::make_pair(0.5, 0.8), std::make_pair(1.0, 0.5),
+                      std::make_pair(0.49, 0.79)));
+
+}  // namespace
+}  // namespace ep::core

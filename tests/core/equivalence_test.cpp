@@ -1,0 +1,143 @@
+// Equivalence analysis (the paper's future-work reduction).
+#include "core/equivalence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/lpr.hpp"
+#include "apps/vault.hpp"
+#include "apps/turnin.hpp"
+#include "core/report.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+namespace {
+
+InteractionPoint make_point(const char* tag, const char* object,
+                            ObjectKind kind, const char* call,
+                            bool has_input = false) {
+  InteractionPoint p;
+  p.site = os::Site{"x.c", 1, tag};
+  p.object = object;
+  p.kind = kind;
+  p.call = call;
+  p.has_input = has_input;
+  return p;
+}
+
+TEST(Equivalence, DescriptorBoundContinuationMerges) {
+  std::vector<InteractionPoint> pts = {
+      make_point("a", "/spool/tf", ObjectKind::file, "open"),
+      make_point("b", "/spool/tf", ObjectKind::file, "write"),
+      make_point("c", "/etc/conf", ObjectKind::file, "open"),
+  };
+  auto classes = find_equivalence_classes(pts);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].members.size(), 2u);
+  EXPECT_EQ(classes[0].representative().site.tag, "a");
+  EXPECT_EQ(classes[1].members.size(), 1u);
+}
+
+TEST(Equivalence, CheckUsePairsNeverMerge) {
+  // The vault lesson: access() and open() on the same object are NOT
+  // injection-equivalent — the use re-resolves the path, and merging
+  // would erase the TOCTTOU window.
+  std::vector<InteractionPoint> pts = {
+      make_point("check", "/tmp/ledger", ObjectKind::file, "access"),
+      make_point("use", "/tmp/ledger", ObjectKind::file, "open"),
+  };
+  EXPECT_EQ(find_equivalence_classes(pts).size(), 2u);
+}
+
+TEST(Equivalence, DifferentKindsStaySeparate) {
+  std::vector<InteractionPoint> pts = {
+      make_point("a", "/bin/tar", ObjectKind::file, "open"),
+      make_point("b", "/bin/tar", ObjectKind::exec_binary, "write"),
+  };
+  EXPECT_EQ(find_equivalence_classes(pts).size(), 2u);
+}
+
+TEST(Equivalence, InputBearingPointsSeparateFromInputless) {
+  std::vector<InteractionPoint> pts = {
+      make_point("a", "/etc/conf", ObjectKind::file, "open", false),
+      make_point("b", "/etc/conf", ObjectKind::file, "read", true),
+  };
+  EXPECT_EQ(find_equivalence_classes(pts).size(), 2u);
+}
+
+TEST(Equivalence, SemanticSplitsInputPoints) {
+  auto p1 = make_point("a", "/f", ObjectKind::file, "read", true);
+  p1.semantic = InputSemantic::file_name;
+  auto p2 = make_point("b", "/f", ObjectKind::file, "read", true);
+  p2.semantic = InputSemantic::packet;
+  EXPECT_EQ(find_equivalence_classes({p1, p2}).size(), 2u);
+}
+
+TEST(Equivalence, RenderSummarizes) {
+  std::vector<InteractionPoint> pts = {
+      make_point("a", "/f", ObjectKind::file, "open"),
+      make_point("b", "/f", ObjectKind::file, "write"),
+  };
+  auto classes = find_equivalence_classes(pts);
+  std::string text = render_equivalence(classes);
+  EXPECT_TRUE(ep::contains(text, "2 interaction points -> 1 equivalence"));
+  EXPECT_TRUE(ep::contains(text, "(representative)"));
+}
+
+TEST(Equivalence, VaultSitesNeverMerge) {
+  core::Campaign full_c(apps::vault_scenario());
+  auto full = full_c.execute();
+
+  core::Campaign merged_c(apps::vault_scenario());
+  core::CampaignOptions opts;
+  opts.merge_equivalent_sites = true;
+  auto merged = merged_c.execute(opts);
+
+  // The reduction must not erase the TOCTTOU findings.
+  EXPECT_EQ(merged.violation_count(), full.violation_count());
+}
+
+TEST(Equivalence, LprCreateAndWriteMerge) {
+  // lpr's create and write sites touch the same spool file: one class.
+  core::Campaign c(apps::lpr_scenario());
+  auto full = c.execute();
+  ASSERT_EQ(full.points.size(), 2u);
+  auto classes = find_equivalence_classes(full.points);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0].representative().site.tag, apps::kLprCreateTag);
+}
+
+TEST(Equivalence, MergedLprCampaignKeepsAllViolations) {
+  core::Campaign full_c(apps::lpr_scenario());
+  auto full = full_c.execute();
+
+  core::Campaign merged_c(apps::lpr_scenario());
+  core::CampaignOptions opts;
+  opts.merge_equivalent_sites = true;
+  auto merged = merged_c.execute(opts);
+
+  // Fewer injections (the write site's 7 faults are skipped)...
+  EXPECT_LT(merged.n(), full.n());
+  // ...same violations found...
+  EXPECT_EQ(merged.violation_count(), full.violation_count());
+  // ...and the write site still counts as covered.
+  EXPECT_DOUBLE_EQ(merged.interaction_coverage(), 1.0);
+}
+
+TEST(Equivalence, TurninHasNoMergeableSites) {
+  // Every turnin interaction point touches a distinct object: the
+  // reduction must be a no-op, not an over-merge.
+  core::Campaign c(apps::turnin_scenario());
+  auto full = c.execute();
+  auto classes = find_equivalence_classes(full.points);
+  EXPECT_EQ(classes.size(), full.points.size());
+
+  core::Campaign merged_c(apps::turnin_scenario());
+  core::CampaignOptions opts;
+  opts.merge_equivalent_sites = true;
+  auto merged = merged_c.execute(opts);
+  EXPECT_EQ(merged.n(), full.n());
+  EXPECT_EQ(merged.violation_count(), full.violation_count());
+}
+
+}  // namespace
+}  // namespace ep::core

@@ -1,0 +1,216 @@
+// Direct-perturber behaviour: each Table 6 entry applied against a live
+// world, plus the invariant sweep (no perturbation may corrupt the VFS).
+#include <gtest/gtest.h>
+
+#include "core/catalog.hpp"
+#include "os/world.hpp"
+
+namespace ep::core {
+namespace {
+
+const os::Site kSite{"app.c", 10, "open-config"};
+
+class PerturberTest : public ::testing::Test {
+ protected:
+  PerturberTest() {
+    os::world::standard_unix(w.kernel);
+    w.kernel.add_user(666, "mallory", 666);
+    os::world::mkdirs(w.kernel, "/tmp/attacker", 666, 666, 0755);
+    os::world::put_file(w.kernel, "/app/config", "key=value\n", os::kRootUid,
+                        os::kRootGid, 0644);
+    pid = w.kernel.make_process(1000, 1000, "/");
+    hints.attacker_uid = 666;
+    hints.attacker_gid = 666;
+  }
+
+  os::SyscallCtx ctx_for(const std::string& path,
+                         const std::string& call = "open",
+                         const std::string& aux = "r") {
+    os::SyscallCtx ctx;
+    ctx.site = kSite;
+    ctx.pid = pid;
+    ctx.call = call;
+    ctx.path = path;
+    ctx.aux = aux;
+    return ctx;
+  }
+
+  void apply(const char* fault, os::SyscallCtx ctx) {
+    const DirectFault* f = FaultCatalog::standard().find_direct(fault);
+    ASSERT_NE(f, nullptr) << fault;
+    f->perturb(w, ctx, hints);
+    EXPECT_TRUE(w.kernel.vfs().check_invariants().empty())
+        << fault << ": " << w.kernel.vfs().check_invariants();
+  }
+
+  TargetWorld w;
+  ScenarioHints hints;
+  os::Pid pid = -1;
+};
+
+TEST_F(PerturberTest, ExistenceDeletesExistingFile) {
+  apply("file-existence", ctx_for("/app/config"));
+  EXPECT_EQ(w.kernel.peek("/app/config").error(), Err::noent);
+}
+
+TEST_F(PerturberTest, ExistenceCreatesMissingFile) {
+  apply("file-existence", ctx_for("/app/newfile"));
+  auto content = w.kernel.peek("/app/newfile");
+  ASSERT_TRUE(content.ok());
+  // Planted as a foreign, protected file.
+  EXPECT_FALSE(w.kernel.uid_can(1000, 1000, "/app/newfile", os::Perm::write));
+}
+
+TEST_F(PerturberTest, OwnershipFlipsToAttacker) {
+  apply("file-ownership", ctx_for("/app/config"));
+  auto r = w.kernel.vfs().resolve("/app/config", "/", os::kRootUid, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(w.kernel.vfs().inode(r.value()).uid, 666);
+}
+
+TEST_F(PerturberTest, OwnershipOnAttackerFileFlipsToRoot) {
+  os::world::put_file(w.kernel, "/tmp/attacker/f", "x", 666, 666, 0644);
+  apply("file-ownership", ctx_for("/tmp/attacker/f"));
+  auto r = w.kernel.vfs().resolve("/tmp/attacker/f", "/", os::kRootUid, 0);
+  EXPECT_EQ(w.kernel.vfs().inode(r.value()).uid, os::kRootUid);
+}
+
+TEST_F(PerturberTest, PermissionRestrictsAccessibleFile) {
+  apply("file-permission", ctx_for("/app/config"));  // 0644 -> restricted
+  EXPECT_FALSE(w.kernel.uid_can(1000, 1000, "/app/config", os::Perm::read));
+}
+
+TEST_F(PerturberTest, PermissionLoosensLockedFile) {
+  os::world::put_file(w.kernel, "/app/locked", "x", os::kRootUid, 0, 0600);
+  apply("file-permission", ctx_for("/app/locked"));
+  EXPECT_TRUE(w.kernel.uid_can(1000, 1000, "/app/locked", os::Perm::write));
+}
+
+TEST_F(PerturberTest, PermissionPreservesSetuidBit) {
+  os::world::put_file(w.kernel, "/app/suid", "x", os::kRootUid, 0,
+                      0755 | os::kSetUidBit);
+  apply("file-permission", ctx_for("/app/suid"));
+  auto r = w.kernel.vfs().resolve("/app/suid", "/", os::kRootUid, 0);
+  EXPECT_TRUE(w.kernel.vfs().inode(r.value()).setuid());
+}
+
+TEST_F(PerturberTest, SymlinkTurnsFileIntoLink) {
+  apply("symbolic-link", ctx_for("/app/config"));
+  auto r = w.kernel.vfs().resolve("/app/config", "/", os::kRootUid, 0,
+                                  /*follow_final=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(w.kernel.vfs().inode(r.value()).is_symlink());
+  // Read-only open -> pointed at the disclosure victim.
+  EXPECT_EQ(w.kernel.vfs().inode(r.value()).content, hints.secret_victim);
+}
+
+TEST_F(PerturberTest, SymlinkForWriteOpenTargetsIntegrityVictim) {
+  apply("symbolic-link", ctx_for("/app/out", "open", "wct"));
+  auto r = w.kernel.vfs().resolve("/app/out", "/", os::kRootUid, 0,
+                                  /*follow_final=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(w.kernel.vfs().inode(r.value()).content, hints.symlink_victim);
+}
+
+TEST_F(PerturberTest, SymlinkForExecTargetsEvilProgram) {
+  os::world::put_program(w.kernel, "/bin/tool", "x");
+  apply("symbolic-link", ctx_for("/bin/tool", "exec", ""));
+  auto r = w.kernel.vfs().resolve("/bin/tool", "/", os::kRootUid, 0,
+                                  /*follow_final=*/false);
+  EXPECT_EQ(w.kernel.vfs().inode(r.value()).content, hints.evil_program);
+}
+
+TEST_F(PerturberTest, SymlinkRetargetsExistingLink) {
+  os::world::put_symlink(w.kernel, "/app/link", "/app/config");
+  apply("symbolic-link", ctx_for("/app/link"));
+  auto r = w.kernel.vfs().resolve("/app/link", "/", os::kRootUid, 0,
+                                  /*follow_final=*/false);
+  EXPECT_EQ(w.kernel.vfs().inode(r.value()).content, hints.secret_victim);
+}
+
+TEST_F(PerturberTest, SymlinkHonorsPerSiteVictim) {
+  hints.link_victims[kSite.tag] = "/custom/target";
+  apply("symbolic-link", ctx_for("/app/config"));
+  auto r = w.kernel.vfs().resolve("/app/config", "/", os::kRootUid, 0,
+                                  /*follow_final=*/false);
+  EXPECT_EQ(w.kernel.vfs().inode(r.value()).content, "/custom/target");
+}
+
+TEST_F(PerturberTest, ContentUsesPerSitePayload) {
+  hints.content_payloads[kSite.tag] = "evil-config\n";
+  apply("content-invariance", ctx_for("/app/config"));
+  EXPECT_EQ(w.kernel.peek("/app/config").value(), "evil-config\n");
+}
+
+TEST_F(PerturberTest, ContentDefaultTamper) {
+  apply("content-invariance", ctx_for("/app/config"));
+  EXPECT_NE(w.kernel.peek("/app/config").value(), "key=value\n");
+}
+
+TEST_F(PerturberTest, ContentNoopOnMissingFile) {
+  apply("content-invariance", ctx_for("/app/ghost"));
+  EXPECT_EQ(w.kernel.peek("/app/ghost").error(), Err::noent);
+}
+
+TEST_F(PerturberTest, NameInvarianceRenames) {
+  apply("name-invariance", ctx_for("/app/config"));
+  EXPECT_EQ(w.kernel.peek("/app/config").error(), Err::noent);
+  EXPECT_TRUE(w.kernel.peek("/app/config.moved").ok());
+}
+
+TEST_F(PerturberTest, WorkingDirectoryMovesProcess) {
+  apply("working-directory", ctx_for("/app/config"));
+  EXPECT_EQ(w.kernel.proc(pid).cwd, "/tmp/attacker");
+}
+
+TEST_F(PerturberTest, NetworkPerturbersTouchNetworkState) {
+  net::ServiceDef svc;
+  svc.name = "authsvc";
+  svc.handler = [](const net::Message&) { return net::Message{}; };
+  w.network.define_service(svc);
+  auto ctx = ctx_for("authsvc", "connect", "");
+  apply("service-availability", ctx);
+  EXPECT_FALSE(w.network.service_available("authsvc"));
+  apply("entity-trustability", ctx);
+  os::Pid p = w.kernel.make_process(os::kRootUid, os::kRootGid);
+  auto s = w.network.connect(w.kernel, kSite, p, "authsvc");
+  EXPECT_EQ(s.error(), Err::conn);  // still unavailable from before
+}
+
+TEST_F(PerturberTest, RegistryPerturbers) {
+  reg::Key key;
+  key.path = "HKLM/K";
+  key.value = "orig";
+  key.acl.everyone_write = true;
+  w.registry.define_key(key);
+  auto ctx = ctx_for("HKLM/K", "regread", "");
+
+  apply("regkey-value-tamper", ctx);
+  EXPECT_EQ(w.registry.find("HKLM/K")->value, hints.symlink_victim);
+
+  apply("regkey-acl", ctx);
+  EXPECT_FALSE(w.registry.find("HKLM/K")->acl.everyone_write);
+
+  apply("regkey-trustability", ctx);
+  EXPECT_FALSE(w.registry.find("HKLM/K")->trusted);
+
+  apply("regkey-existence", ctx);
+  EXPECT_EQ(w.registry.find("HKLM/K"), nullptr);
+}
+
+TEST_F(PerturberTest, PerturbersToleratePathlessContext) {
+  // A perturber planned against a site that turns out to have no path
+  // operand must be a no-op, not a crash.
+  for (const char* name :
+       {"file-existence", "file-ownership", "file-permission",
+        "symbolic-link", "content-invariance", "name-invariance"}) {
+    os::SyscallCtx ctx;
+    ctx.site = kSite;
+    ctx.pid = pid;
+    ctx.call = "getenv";
+    apply(name, ctx);
+  }
+}
+
+}  // namespace
+}  // namespace ep::core

@@ -1,0 +1,126 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/lpr.hpp"
+#include "os/world.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+namespace {
+
+CampaignResult lpr_result() {
+  Campaign c(apps::lpr_scenario());
+  CampaignOptions opts;
+  opts.only_sites = {apps::kLprCreateTag};
+  return c.execute(opts);
+}
+
+TEST(Report, SummaryLineShape) {
+  auto r = lpr_result();
+  EXPECT_EQ(render_summary_line(r),
+            "lpr: 2 interaction points, 4 perturbations, 4 violations");
+}
+
+TEST(Report, FullReportMentionsSitesAndMetrics) {
+  auto r = lpr_result();
+  std::string text = render_report(r);
+  EXPECT_TRUE(ep::contains(text, "create-tempfile"));
+  EXPECT_TRUE(ep::contains(text, "fault coverage"));
+  EXPECT_TRUE(ep::contains(text, "interaction coverage"));
+  EXPECT_TRUE(ep::contains(text, "adequacy region"));
+  EXPECT_TRUE(ep::contains(text, "vulnerability score"));
+}
+
+TEST(Report, ListsEachViolationWithPolicy) {
+  auto r = lpr_result();
+  std::string text = render_report(r);
+  EXPECT_TRUE(ep::contains(text, "[integrity]"));
+  EXPECT_TRUE(ep::contains(text, "symbolic-link"));
+  EXPECT_TRUE(ep::contains(text, "file-existence"));
+}
+
+TEST(Report, AssumptionAnalysisRendered) {
+  auto r = lpr_result();
+  std::string text = render_report(r);
+  // lpr's spool dir is root-owned in our world: perturbations there need
+  // root, except nothing — the report must carry the analysis line.
+  EXPECT_TRUE(ep::contains(text, "assumption"));
+}
+
+TEST(Report, JsonCarriesMetricsAndOutcomes) {
+  auto r = lpr_result();
+  std::string json = render_json(r);
+  EXPECT_TRUE(ep::contains(json, "\"scenario\": \"lpr\""));
+  EXPECT_TRUE(ep::contains(json, "\"injections\": 4"));
+  EXPECT_TRUE(ep::contains(json, "\"violations\": 4"));
+  EXPECT_TRUE(ep::contains(json, "\"fault\": \"symbolic-link\""));
+  EXPECT_TRUE(ep::contains(json, "\"policy\": \"integrity\""));
+  EXPECT_TRUE(ep::contains(json, "\"adequacy_region\""));
+  EXPECT_TRUE(ep::contains(json, "\"nonroot_feasible\""));
+}
+
+TEST(Report, JsonBalancedAndEscaped) {
+  auto r = lpr_result();
+  std::string json = render_json(r);
+  int braces = 0, brackets = 0, quotes = 0;
+  bool in_string = false, escaped = false;
+  for (char ch : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string && ch == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (ch == '"') {
+      in_string = !in_string;
+      ++quotes;
+      continue;
+    }
+    if (in_string) continue;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Report, JsonEscapesControlCharacters) {
+  // The badly_formatted payloads carry control bytes and quotes; the
+  // JSON must stay parseable when they end up inside detail strings.
+  core::Campaign c(apps::lpr_scenario());
+  auto r = c.execute();  // full campaign, all faults
+  std::string json = render_json(r);
+  for (char ch : json)
+    EXPECT_TRUE(static_cast<unsigned char>(ch) >= 0x20 || ch == '\n')
+        << "raw control byte in JSON output";
+}
+
+TEST(Report, WarnsOnBenignViolations) {
+  // A scenario whose benign run already violates must be flagged loudly.
+  auto s = apps::lpr_scenario();
+  auto orig_build = s.build;
+  s.build = [orig_build] {
+    auto w = orig_build();
+    // Sabotage: pre-create the spool file as root so even the benign run
+    // trips the integrity policy.
+    os::world::put_file(w->kernel, apps::kLprSpoolFile, "x", os::kRootUid, 0,
+                        0600);
+    return w;
+  };
+  Campaign c(std::move(s));
+  CampaignOptions opts;
+  opts.only_sites = {apps::kLprCreateTag};
+  auto r = c.execute(opts);
+  EXPECT_FALSE(r.benign_violations.empty());
+  EXPECT_TRUE(ep::contains(render_report(r), "WARNING"));
+}
+
+}  // namespace
+}  // namespace ep::core

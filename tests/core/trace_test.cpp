@@ -1,0 +1,87 @@
+// Trace-recorder tests: interaction-point discovery semantics.
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "os/world.hpp"
+
+namespace ep::core {
+namespace {
+
+const os::Site kA{"app.c", 1, "site-a"};
+const os::Site kB{"app.c", 2, "site-b"};
+const os::Site kChild{"child.c", 1, "child-site"};
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() {
+    os::world::standard_unix(k);
+    os::world::put_file(k, "/data/f", "content", os::kRootUid, 0, 0644);
+    pid = k.make_process(os::kRootUid, os::kRootGid, "/");
+  }
+  os::Kernel k;
+  os::Pid pid = -1;
+};
+
+TEST_F(TraceTest, RecordsDistinctSitesInFirstSeenOrder) {
+  auto rec = std::make_shared<TraceRecorder>();
+  k.add_interposer(rec);
+  (void)k.stat(kB, pid, "/data/f");
+  (void)k.stat(kA, pid, "/data/f");
+  (void)k.stat(kB, pid, "/data/f");
+  ASSERT_EQ(rec->points().size(), 2u);
+  EXPECT_EQ(rec->points()[0].site.tag, "site-b");
+  EXPECT_EQ(rec->points()[1].site.tag, "site-a");
+  EXPECT_EQ(rec->points()[0].hits, 2);
+}
+
+TEST_F(TraceTest, HasInputAccumulatesAcrossVisits) {
+  auto rec = std::make_shared<TraceRecorder>();
+  k.add_interposer(rec);
+  // open (no input) then read (input) at the same source region.
+  auto fd = k.open(kA, pid, "/data/f", os::OpenFlag::rd);
+  ASSERT_TRUE(fd.ok());
+  (void)k.read(kA, pid, fd.value());
+  ASSERT_EQ(rec->points().size(), 1u);
+  EXPECT_TRUE(rec->points()[0].has_input);
+  EXPECT_EQ(rec->points()[0].call, "open");  // first-seen call kept
+}
+
+TEST_F(TraceTest, OutputAndFaultEventsAreNotInteractionPoints) {
+  auto rec = std::make_shared<TraceRecorder>();
+  k.add_interposer(rec);
+  k.output(kA, pid, "hello");
+  k.app_fault(kA, pid, os::AppFault::crash, "x");
+  k.privileged_action(kA, pid, "act", true);
+  EXPECT_TRUE(rec->points().empty());
+}
+
+TEST_F(TraceTest, UnitFilterExcludesChildPrograms) {
+  auto rec = std::make_shared<TraceRecorder>("app.c");
+  k.add_interposer(rec);
+  (void)k.stat(kA, pid, "/data/f");
+  (void)k.stat(kChild, pid, "/data/f");
+  ASSERT_EQ(rec->points().size(), 1u);
+  EXPECT_EQ(rec->points()[0].site.unit, "app.c");
+}
+
+TEST_F(TraceTest, RecordsKindAndSemantic) {
+  auto rec = std::make_shared<TraceRecorder>();
+  k.add_interposer(rec);
+  k.proc(pid).env["PATH"] = "/bin";
+  (void)k.getenv(kA, pid, "PATH");
+  ASSERT_EQ(rec->points().size(), 1u);
+  EXPECT_EQ(rec->points()[0].kind, ObjectKind::env_var);
+  EXPECT_EQ(rec->points()[0].semantic, InputSemantic::path_list);
+  EXPECT_EQ(rec->points()[0].object, "$PATH");
+}
+
+TEST_F(TraceTest, FailedCallsStillCountAsInteractionPoints) {
+  auto rec = std::make_shared<TraceRecorder>();
+  k.add_interposer(rec);
+  (void)k.open(kA, pid, "/no/such/file", os::OpenFlag::rd);
+  EXPECT_EQ(rec->points().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ep::core

@@ -1,0 +1,71 @@
+// The Figure 2 experiment: four campaigns landing in the four regions.
+#include <gtest/gtest.h>
+
+#include "apps/turnin.hpp"
+#include "core/report.hpp"
+
+namespace ep {
+namespace {
+
+using core::AdequacyRegion;
+using core::Campaign;
+using core::CampaignOptions;
+
+// Two partially-covered sites with known violations/tolerations chosen so
+// the sample point falls in the intended quadrant.
+const std::vector<std::string> kPartialSites = {
+    apps::kTurninOpenProjlist, apps::kTurninCreateDest};
+
+TEST(Figure2, Point1_LowCoverageVulnerableProgram) {
+  Campaign c(apps::turnin_scenario());
+  CampaignOptions opts;
+  opts.only_sites = kPartialSites;
+  auto r = c.execute(opts);
+  EXPECT_LT(r.interaction_coverage(), 0.5);
+  EXPECT_LT(r.fault_coverage(), 0.8);
+  EXPECT_EQ(r.region(), AdequacyRegion::point1_inadequate);
+}
+
+TEST(Figure2, Point2_LowCoverageHardenedProgram) {
+  Campaign c(apps::turnin_hardened_scenario());
+  CampaignOptions opts;
+  opts.only_sites = kPartialSites;
+  auto r = c.execute(opts);
+  EXPECT_LT(r.interaction_coverage(), 0.5);
+  EXPECT_GE(r.fault_coverage(), 0.8);
+  EXPECT_EQ(r.region(), AdequacyRegion::point2_unexplored);
+}
+
+TEST(Figure2, Point3_FullCoverageVulnerableProgram) {
+  Campaign c(apps::turnin_scenario());
+  auto r = c.execute();
+  EXPECT_DOUBLE_EQ(r.interaction_coverage(), 1.0);
+  // 9 violations out of 41: fault coverage ~0.78, under the 0.8 bar.
+  EXPECT_LT(r.fault_coverage(), 0.8);
+  EXPECT_EQ(r.region(), AdequacyRegion::point3_insecure);
+}
+
+TEST(Figure2, Point4_FullCoverageHardenedProgram) {
+  Campaign c(apps::turnin_hardened_scenario());
+  auto r = c.execute();
+  EXPECT_DOUBLE_EQ(r.interaction_coverage(), 1.0);
+  EXPECT_GE(r.fault_coverage(), 0.8);
+  EXPECT_EQ(r.region(), AdequacyRegion::point4_adequate_secure);
+}
+
+TEST(Figure2, CoverageTargetSweepIsMonotoneInSites) {
+  // Raising the target coverage perturbs at least as many sites.
+  std::size_t prev = 0;
+  for (double target : {0.25, 0.5, 0.75, 1.0}) {
+    Campaign c(apps::turnin_scenario());
+    CampaignOptions opts;
+    opts.target_interaction_coverage = target;
+    opts.seed = 11;
+    auto r = c.execute(opts);
+    EXPECT_GE(r.perturbed_site_tags.size(), prev) << target;
+    prev = r.perturbed_site_tags.size();
+  }
+}
+
+}  // namespace
+}  // namespace ep

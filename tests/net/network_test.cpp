@@ -1,0 +1,263 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep::net {
+namespace {
+
+const os::Site kS{"net_test.c", 1, "net-site"};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() { pid = k.make_process(os::kRootUid, os::kRootGid); }
+
+  void add_auth_service(bool available = true, bool trusted = true) {
+    ServiceDef svc;
+    svc.name = "authsvc";
+    svc.available = available;
+    svc.trusted = trusted;
+    svc.handler = [](const Message& m) {
+      Message r;
+      r.type = m.payload == "good" ? "AUTH_OK" : "AUTH_FAIL";
+      return r;
+    };
+    net.define_service(svc);
+  }
+
+  void add_script() {
+    PeerScript s;
+    s.peer = "client";
+    s.expected_protocol = {"HELLO", "AUTH", "BYE"};
+    s.inbound = {{"client", "HELLO", "hi", true},
+                 {"client", "AUTH", "good", true},
+                 {"client", "BYE", "", true}};
+    net.set_client_script(s);
+  }
+
+  os::Kernel k;
+  Network net;
+  os::Pid pid = -1;
+};
+
+TEST_F(NetworkTest, AcceptWithoutScriptRefused) {
+  EXPECT_EQ(net.accept(k, kS, pid).error(), Err::conn);
+}
+
+TEST_F(NetworkTest, RecvDeliversScriptInOrder) {
+  add_script();
+  auto s = net.accept(k, kS, pid);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).value().type, "HELLO");
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).value().type, "AUTH");
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).value().type, "BYE");
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).error(), Err::conn);  // drained
+}
+
+TEST_F(NetworkTest, SpoofMarksNextMessageUnauthentic) {
+  add_script();
+  net.spoof_next_inbound("evil-host");
+  auto s = net.accept(k, kS, pid);
+  auto m1 = net.recv(k, kS, pid, s.value());
+  ASSERT_TRUE(m1.ok());
+  EXPECT_FALSE(m1.value().authentic);
+  EXPECT_EQ(m1.value().from, "evil-host");
+  auto m2 = net.recv(k, kS, pid, s.value());
+  EXPECT_TRUE(m2.value().authentic);  // only the next one
+}
+
+TEST_F(NetworkTest, ProtocolOmitDropsMiddleStep) {
+  add_script();
+  net.perturb_protocol(ProtocolFault::omit_step);
+  auto s = net.accept(k, kS, pid);
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).value().type, "HELLO");
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).value().type, "BYE");
+}
+
+TEST_F(NetworkTest, ProtocolExtraInsertsStep) {
+  add_script();
+  net.perturb_protocol(ProtocolFault::extra_step);
+  auto s = net.accept(k, kS, pid);
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).value().type, "HELLO");
+  EXPECT_EQ(net.recv(k, kS, pid, s.value()).value().type, "EXTRA");
+}
+
+TEST_F(NetworkTest, ProtocolViolationFlagReachesHooks) {
+  add_script();
+  net.perturb_protocol(ProtocolFault::reorder_steps);
+  struct SeeFlags : os::Interposer {
+    int violations = 0;
+    void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+      if (ctx.call == "recv" && ctx.net_protocol_violation) ++violations;
+    }
+  };
+  auto hook = std::make_shared<SeeFlags>();
+  k.add_interposer(hook);
+  auto s = net.accept(k, kS, pid);
+  while (net.recv(k, kS, pid, s.value()).ok()) {
+  }
+  EXPECT_GT(hook->violations, 0);
+}
+
+TEST_F(NetworkTest, InOrderScriptHasNoProtocolViolation) {
+  add_script();
+  struct SeeFlags : os::Interposer {
+    int violations = 0;
+    void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+      if (ctx.net_protocol_violation) ++violations;
+    }
+  };
+  auto hook = std::make_shared<SeeFlags>();
+  k.add_interposer(hook);
+  auto s = net.accept(k, kS, pid);
+  while (net.recv(k, kS, pid, s.value()).ok()) {
+  }
+  EXPECT_EQ(hook->violations, 0);
+}
+
+TEST_F(NetworkTest, SocketShareFlagsChannel) {
+  add_script();
+  net.share_inbound_socket();
+  auto s = net.accept(k, kS, pid);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(net.socket_shared(s.value()));
+}
+
+TEST_F(NetworkTest, ShareAppliesToAlreadyAcceptedChannel) {
+  add_script();
+  auto s = net.accept(k, kS, pid);
+  EXPECT_FALSE(net.socket_shared(s.value()));
+  net.share_inbound_socket();
+  EXPECT_TRUE(net.socket_shared(s.value()));
+}
+
+TEST_F(NetworkTest, DistrustInboundFlagsPeer) {
+  add_script();
+  auto s = net.accept(k, kS, pid);
+  EXPECT_TRUE(net.peer_trusted(s.value()));
+  net.distrust_inbound();
+  EXPECT_FALSE(net.peer_trusted(s.value()));
+}
+
+TEST_F(NetworkTest, ConnectToService) {
+  add_auth_service();
+  auto s = net.connect(k, kS, pid, "authsvc");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(net.peer_trusted(s.value()));
+}
+
+TEST_F(NetworkTest, ConnectRefusedWhenUnavailable) {
+  add_auth_service(/*available=*/false);
+  EXPECT_EQ(net.connect(k, kS, pid, "authsvc").error(), Err::conn);
+}
+
+TEST_F(NetworkTest, ConnectToUnknownServiceRefused) {
+  EXPECT_EQ(net.connect(k, kS, pid, "ghost").error(), Err::conn);
+}
+
+TEST_F(NetworkTest, QueryRunsHandler) {
+  add_auth_service();
+  auto s = net.connect(k, kS, pid, "authsvc");
+  Message q;
+  q.type = "AUTH";
+  q.payload = "good";
+  auto r = net.query(k, kS, pid, s.value(), q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().type, "AUTH_OK");
+  EXPECT_EQ(r.value().from, "authsvc");
+}
+
+TEST_F(NetworkTest, AuthConfirmationOnlyFromTrustedService) {
+  struct SeeConf : os::Interposer {
+    bool confirmed = false;
+    void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+      confirmed = confirmed || ctx.net_auth_confirmation;
+    }
+  };
+  {
+    add_auth_service(true, /*trusted=*/true);
+    auto hook = std::make_shared<SeeConf>();
+    k.add_interposer(hook);
+    auto s = net.connect(k, kS, pid, "authsvc");
+    Message q;
+    q.payload = "good";
+    ASSERT_TRUE(net.query(k, kS, pid, s.value(), q).ok());
+    EXPECT_TRUE(hook->confirmed);
+  }
+  {
+    // Untrusted service: AUTH_OK no longer counts.
+    os::Kernel k2;
+    os::Pid p2 = k2.make_process(os::kRootUid, os::kRootGid);
+    Network net2;
+    ServiceDef svc;
+    svc.name = "authsvc";
+    svc.trusted = false;
+    svc.handler = [](const Message&) {
+      Message r;
+      r.type = "AUTH_OK";
+      return r;
+    };
+    net2.define_service(svc);
+    auto hook = std::make_shared<SeeConf>();
+    k2.add_interposer(hook);
+    auto s = net2.connect(k2, kS, p2, "authsvc");
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(net2.query(k2, kS, p2, s.value(), Message{}).ok());
+    EXPECT_FALSE(hook->confirmed);
+  }
+}
+
+TEST_F(NetworkTest, QueryFailsWhenServiceGoesDown) {
+  add_auth_service();
+  auto s = net.connect(k, kS, pid, "authsvc");
+  net.set_service_available("authsvc", false);
+  EXPECT_EQ(net.query(k, kS, pid, s.value(), Message{}).error(), Err::conn);
+}
+
+TEST_F(NetworkTest, DnsResolvesAndOverrides) {
+  net.add_host("db.corp", "10.0.0.9");
+  EXPECT_EQ(net.resolve_host(k, kS, pid, "db.corp").value(), "10.0.0.9");
+  net.set_dns_reply("db.corp", "6.6.6.6");
+  EXPECT_EQ(net.resolve_host(k, kS, pid, "db.corp").value(), "6.6.6.6");
+  EXPECT_EQ(net.resolve_host(k, kS, pid, "ghost.corp").error(), Err::noent);
+}
+
+TEST_F(NetworkTest, IndirectFaultRewritesRecvPayload) {
+  add_script();
+  struct Rewriter : os::Interposer {
+    void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+      if (ctx.call == "recv" && ctx.input) *ctx.input = "MUTATED";
+    }
+  };
+  k.add_interposer(std::make_shared<Rewriter>());
+  auto s = net.accept(k, kS, pid);
+  auto m = net.recv(k, kS, pid, s.value());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().payload, "MUTATED");
+}
+
+TEST_F(NetworkTest, ChannelKindPropagatesToCtx) {
+  ServiceDef helper;
+  helper.name = "keymaster";
+  helper.kind = ChannelKind::ipc;
+  helper.handler = [](const Message&) { return Message{}; };
+  net.define_service(helper);
+  struct SeeKind : os::Interposer {
+    std::string kind;
+    void before(os::Kernel&, os::SyscallCtx& ctx) override {
+      if (ctx.call == "connect") kind = ctx.channel_kind;
+    }
+  };
+  auto hook = std::make_shared<SeeKind>();
+  k.add_interposer(hook);
+  ASSERT_TRUE(net.connect(k, kS, pid, "keymaster").ok());
+  EXPECT_EQ(hook->kind, "ipc");
+}
+
+TEST_F(NetworkTest, BadSocketIsBadf) {
+  EXPECT_EQ(net.recv(k, kS, pid, 99).error(), Err::badf);
+  EXPECT_EQ(net.send(k, kS, pid, 99, Message{}).error(), Err::badf);
+  EXPECT_EQ(net.query(k, kS, pid, 99, Message{}).error(), Err::badf);
+}
+
+}  // namespace
+}  // namespace ep::net

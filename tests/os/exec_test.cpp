@@ -1,0 +1,183 @@
+// exec/spawn semantics: set-uid, $PATH search, fd-pinned exec, crashes.
+#include <gtest/gtest.h>
+
+#include "os/kernel.hpp"
+#include "os/world.hpp"
+
+namespace ep::os {
+namespace {
+
+const Site kS{"exec_test.c", 1, "exec-site"};
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() {
+    world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+    k.register_image("whoami", [](Kernel& kk, Pid p) {
+      kk.output(Site{"whoami.c", 1, "say"}, p,
+                "euid=" + std::to_string(kk.proc(p).euid) +
+                    " ruid=" + std::to_string(kk.proc(p).ruid));
+      return 0;
+    });
+    k.register_image("fail7", [](Kernel&, Pid) { return 7; });
+    k.register_image("crasher", [](Kernel&, Pid) -> int {
+      throw AppCrash{139, "simulated wild pointer"};
+    });
+  }
+  Kernel k;
+};
+
+TEST_F(ExecTest, SpawnRunsImageAndReturnsExit) {
+  world::put_program(k, "/bin/fail7", "fail7");
+  auto r = k.spawn("/bin/fail7", {"fail7"}, 1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+}
+
+TEST_F(ExecTest, SetuidBitRaisesEffectiveUid) {
+  world::put_program(k, "/bin/whoami", "whoami", kRootUid, kRootGid,
+                     0755 | kSetUidBit);
+  ASSERT_TRUE(k.spawn("/bin/whoami", {"whoami"}, 1000, 1000).ok());
+  EXPECT_NE(k.console().find("euid=0 ruid=1000"), std::string::npos);
+}
+
+TEST_F(ExecTest, NoSetuidBitKeepsInvokerUid) {
+  world::put_program(k, "/bin/whoami", "whoami", kRootUid, kRootGid, 0755);
+  ASSERT_TRUE(k.spawn("/bin/whoami", {"whoami"}, 1000, 1000).ok());
+  EXPECT_NE(k.console().find("euid=1000 ruid=1000"), std::string::npos);
+}
+
+TEST_F(ExecTest, SpawnNeedsExecPermission) {
+  world::put_program(k, "/bin/whoami", "whoami", kRootUid, kRootGid, 0700);
+  EXPECT_EQ(k.spawn("/bin/whoami", {"x"}, 1000, 1000).error(), Err::acces);
+}
+
+TEST_F(ExecTest, SpawnOfPlainFileIsNoexec) {
+  world::put_file(k, "/bin/data", "not a program", kRootUid, kRootGid, 0755);
+  EXPECT_EQ(k.spawn("/bin/data", {"x"}, 1000, 1000).error(), Err::noexec);
+}
+
+TEST_F(ExecTest, ExecSearchesPath) {
+  world::put_program(k, "/usr/bin/whoami", "whoami");
+  Pid p = k.make_process(1000, 1000, "/");
+  k.proc(p).env["PATH"] = "/bin:/usr/bin";
+  auto r = k.exec(kS, p, "whoami", {"whoami"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0);
+}
+
+TEST_F(ExecTest, ExecPathOrderMatters) {
+  // Same name in two dirs; the earlier PATH entry wins.
+  k.register_image("first", [](Kernel& kk, Pid p) {
+    kk.output(Site{"first.c", 1, "say"}, p, "FIRST");
+    return 0;
+  });
+  k.register_image("second", [](Kernel& kk, Pid p) {
+    kk.output(Site{"second.c", 1, "say"}, p, "SECOND");
+    return 0;
+  });
+  world::mkdirs(k, "/opt/a");
+  world::mkdirs(k, "/opt/b");
+  world::put_program(k, "/opt/a/tool", "first");
+  world::put_program(k, "/opt/b/tool", "second");
+  Pid p = k.make_process(1000, 1000, "/");
+  k.proc(p).env["PATH"] = "/opt/b:/opt/a";
+  ASSERT_TRUE(k.exec(kS, p, "tool", {"tool"}).ok());
+  EXPECT_NE(k.console().find("SECOND"), std::string::npos);
+}
+
+TEST_F(ExecTest, ExecAbsolutePathSkipsSearch) {
+  world::put_program(k, "/bin/whoami", "whoami");
+  Pid p = k.make_process(1000, 1000, "/");
+  k.proc(p).env["PATH"] = "/nonexistent";
+  EXPECT_TRUE(k.exec(kS, p, "/bin/whoami", {"whoami"}).ok());
+}
+
+TEST_F(ExecTest, ExecMissingCommandIsNoent) {
+  Pid p = k.make_process(1000, 1000, "/");
+  EXPECT_EQ(k.exec(kS, p, "ghost", {"ghost"}).error(), Err::noent);
+}
+
+TEST_F(ExecTest, ChildInheritsRealUidAndEnv) {
+  world::put_program(k, "/bin/whoami", "whoami", kRootUid, kRootGid,
+                     0755 | kSetUidBit);
+  Pid p = k.make_process(1000, 1000, "/home");
+  k.proc(p).env["PATH"] = "/bin";
+  k.proc(p).env["MARK"] = "42";
+  ASSERT_TRUE(k.exec(kS, p, "whoami", {"whoami"}).ok());
+  // Child ran with ruid 1000 even though euid became 0.
+  EXPECT_NE(k.console().find("euid=0 ruid=1000"), std::string::npos);
+}
+
+TEST_F(ExecTest, FexecRunsPinnedInodeAfterUnlink) {
+  world::put_program(k, "/bin/whoami", "whoami");
+  Pid p = k.make_process(kRootUid, kRootGid, "/");
+  auto fd = k.open(kS, p, "/bin/whoami", OpenFlag::rd);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k.unlink(kS, p, "/bin/whoami").ok());
+  auto r = k.fexec(kS, p, fd.value(), {"whoami"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0);
+}
+
+TEST_F(ExecTest, FexecImmuneToPathSwap) {
+  world::put_program(k, "/bin/tool", "whoami");
+  k.register_image("impostor", [](Kernel& kk, Pid p) {
+    kk.output(Site{"impostor.c", 1, "say"}, p, "IMPOSTOR");
+    return 0;
+  });
+  Pid p = k.make_process(kRootUid, kRootGid, "/");
+  auto fd = k.open(kS, p, "/bin/tool", OpenFlag::rd);
+  ASSERT_TRUE(fd.ok());
+  // Swap the path out from under the program.
+  ASSERT_TRUE(k.unlink(kS, p, "/bin/tool").ok());
+  world::put_program(k, "/bin/tool", "impostor");
+  ASSERT_TRUE(k.fexec(kS, p, fd.value(), {"tool"}).ok());
+  EXPECT_EQ(k.console().find("IMPOSTOR"), std::string::npos);
+  EXPECT_NE(k.console().find("euid=0"), std::string::npos);
+}
+
+TEST_F(ExecTest, CrashingImageReportsCrashAndExitCode) {
+  world::put_program(k, "/bin/crasher", "crasher");
+  auto r = k.spawn("/bin/crasher", {"crasher"}, 1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 139);
+  // Find the crashed child process.
+  bool found = false;
+  for (Pid pid = 1; pid < 10; ++pid)
+    if (k.has_proc(pid) && k.proc(pid).crashed) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExecTest, NestedExecDepthBounded) {
+  // A program that execs itself recurses until the kernel stops it.
+  k.register_image("forkbomb", [](Kernel& kk, Pid p) {
+    auto r = kk.exec(Site{"forkbomb.c", 1, "again"}, p, "/bin/forkbomb",
+                     {"forkbomb"});
+    return r.ok() ? r.value() : 99;
+  });
+  world::put_program(k, "/bin/forkbomb", "forkbomb");
+  auto r = k.spawn("/bin/forkbomb", {"forkbomb"}, 1000, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 99);  // the innermost exec refused
+}
+
+TEST_F(ExecTest, ExecEventVisibleToHooks) {
+  world::put_program(k, "/bin/whoami", "whoami");
+  struct SeeExec : Interposer {
+    std::string canonical;
+    void after(Kernel&, SyscallCtx& ctx, Err e) override {
+      if (ctx.call == "exec" && e == Err::ok) canonical = ctx.canonical;
+    }
+  };
+  auto hook = std::make_shared<SeeExec>();
+  k.add_interposer(hook);
+  Pid p = k.make_process(1000, 1000, "/");
+  ASSERT_TRUE(k.exec(kS, p, "whoami", {"whoami"}).ok());
+  EXPECT_EQ(hook->canonical, "/bin/whoami");
+}
+
+}  // namespace
+}  // namespace ep::os

@@ -1,0 +1,82 @@
+#include "os/path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep::os::path {
+namespace {
+
+TEST(PathNormalize, CollapsesSlashesAndDots) {
+  EXPECT_EQ(normalize("/a//b/./c"), "/a/b/c");
+  EXPECT_EQ(normalize("//"), "/");
+  EXPECT_EQ(normalize("/."), "/");
+}
+
+TEST(PathNormalize, DotDotAgainstComponents) {
+  EXPECT_EQ(normalize("/a/b/../c"), "/a/c");
+  EXPECT_EQ(normalize("/a/../../b"), "/b");  // .. at root dropped
+  EXPECT_EQ(normalize("/.."), "/");
+}
+
+TEST(PathNormalize, RelativeKeepsLeadingDotDot) {
+  EXPECT_EQ(normalize("a/../b"), "b");
+  EXPECT_EQ(normalize("../a"), "../a");
+  EXPECT_EQ(normalize("../../a/.."), "../..");
+  EXPECT_EQ(normalize("a/.."), ".");
+}
+
+TEST(PathNormalize, Idempotent) {
+  const char* cases[] = {"/a/b/../c", "a/./b", "../x/../y", "/", ".", "a//b"};
+  for (const char* c : cases) {
+    std::string once = normalize(c);
+    EXPECT_EQ(normalize(once), once) << c;
+  }
+}
+
+TEST(PathJoin, RelativeAndAbsolute) {
+  EXPECT_EQ(join("/a", "b"), "/a/b");
+  EXPECT_EQ(join("/a/", "b"), "/a/b");
+  EXPECT_EQ(join("/a", "/b"), "/b");  // absolute rhs wins
+  EXPECT_EQ(join("", "b"), "b");
+  EXPECT_EQ(join("/a", ""), "/a");
+}
+
+TEST(PathAbsolutize, AgainstCwd) {
+  EXPECT_EQ(absolutize("x", "/home/alice"), "/home/alice/x");
+  EXPECT_EQ(absolutize("../x", "/home/alice"), "/home/x");
+  EXPECT_EQ(absolutize("/x", "/home/alice"), "/x");
+}
+
+TEST(PathBasenameDirname, Pairs) {
+  EXPECT_EQ(basename("/a/b"), "b");
+  EXPECT_EQ(dirname("/a/b"), "/a");
+  EXPECT_EQ(basename("/a"), "a");
+  EXPECT_EQ(dirname("/a"), "/");
+  EXPECT_EQ(basename("/"), "/");
+  EXPECT_EQ(dirname("/"), "/");
+  EXPECT_EQ(basename("b"), "b");
+  EXPECT_EQ(dirname("b"), ".");
+}
+
+TEST(PathIsUnder, PrefixSemantics) {
+  EXPECT_TRUE(is_under("/a/b/c", "/a/b"));
+  EXPECT_TRUE(is_under("/a/b", "/a/b"));
+  EXPECT_FALSE(is_under("/a/bc", "/a/b"));  // not a component boundary
+  EXPECT_FALSE(is_under("/a", "/a/b"));
+  EXPECT_TRUE(is_under("/anything", "/"));
+}
+
+TEST(PathComponents, DropsEmpty) {
+  auto c = components("//a///b/");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], "a");
+  EXPECT_EQ(c[1], "b");
+}
+
+TEST(PathIsAbsolute, Basics) {
+  EXPECT_TRUE(is_absolute("/x"));
+  EXPECT_FALSE(is_absolute("x"));
+  EXPECT_FALSE(is_absolute(""));
+}
+
+}  // namespace
+}  // namespace ep::os::path

@@ -1,0 +1,77 @@
+#include "os/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "os/process.hpp"
+
+namespace ep::os {
+namespace {
+
+TEST(Site, EqualityAndOrdering) {
+  Site a{"f.c", 1, "x"};
+  Site b{"f.c", 1, "x"};
+  Site c{"f.c", 2, "x"};
+  Site d{"g.c", 1, "x"};
+  Site e{"f.c", 1, "y"};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  EXPECT_FALSE(a == e);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(a < d);
+  EXPECT_TRUE(a < e);
+}
+
+TEST(Site, StrFormatsLocation) {
+  Site s{"turnin.c", 131, "fopen-projlist"};
+  EXPECT_EQ(s.str(), "turnin.c:131 [fopen-projlist]");
+}
+
+TEST(Site, HashDistinguishes) {
+  std::unordered_set<Site> set;
+  set.insert(Site{"f.c", 1, "x"});
+  set.insert(Site{"f.c", 1, "x"});  // duplicate
+  set.insert(Site{"f.c", 2, "x"});
+  set.insert(Site{"g.c", 1, "x"});
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(OpenFlags, HasAndOr) {
+  OpenFlags f = OpenFlag::rd | OpenFlag::nofollow;
+  EXPECT_TRUE(f.has(OpenFlag::rd));
+  EXPECT_TRUE(f.has(OpenFlag::nofollow));
+  EXPECT_FALSE(f.has(OpenFlag::wr));
+  OpenFlags g = f | OpenFlag::creat;
+  EXPECT_TRUE(g.has(OpenFlag::creat));
+  EXPECT_TRUE(g.has(OpenFlag::rd));  // original bits preserved
+}
+
+TEST(OpenFlags, SingleFlagImplicitConversion) {
+  OpenFlags f = OpenFlag::wr;
+  EXPECT_TRUE(f.has(OpenFlag::wr));
+  EXPECT_FALSE(f.has(OpenFlag::rd));
+}
+
+TEST(Process, PrivilegedMeansEuidGap) {
+  Process p;
+  p.ruid = 1000;
+  p.euid = 0;
+  EXPECT_TRUE(p.privileged());
+  p.euid = 1000;
+  EXPECT_FALSE(p.privileged());
+  p.ruid = 0;
+  p.euid = 0;
+  EXPECT_FALSE(p.privileged());  // root running root: no gap
+}
+
+TEST(PermissionBits, OctalValues) {
+  EXPECT_EQ(kSetUidBit, 04000u);
+  EXPECT_EQ(kStickyBit, 01000u);
+  EXPECT_EQ(kOwnerRead | kOwnerWrite | kOwnerExec, 0700u);
+  EXPECT_EQ(kPermMask, 0777u);
+}
+
+}  // namespace
+}  // namespace ep::os

@@ -1,0 +1,80 @@
+#include "os/world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep::os::world {
+namespace {
+
+TEST(World, MkdirsCreatesChain) {
+  Kernel k;
+  Ino d = mkdirs(k, "/a/b/c");
+  EXPECT_EQ(k.vfs().canonical_path(d), "/a/b/c");
+  EXPECT_TRUE(k.vfs().check_invariants().empty());
+}
+
+TEST(World, MkdirsIdempotent) {
+  Kernel k;
+  Ino d1 = mkdirs(k, "/a/b");
+  Ino d2 = mkdirs(k, "/a/b");
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(World, MkdirsThroughFileThrows) {
+  Kernel k;
+  put_file(k, "/a", "file");
+  EXPECT_THROW(mkdirs(k, "/a/b"), std::logic_error);
+}
+
+TEST(World, PutFileCreatesParentsAndOverwrites) {
+  Kernel k;
+  Ino f = put_file(k, "/x/y/file.txt", "one", 1000, 1000, 0640);
+  EXPECT_EQ(k.vfs().inode(f).content, "one");
+  EXPECT_EQ(k.vfs().inode(f).uid, 1000);
+  Ino f2 = put_file(k, "/x/y/file.txt", "two");
+  EXPECT_EQ(f, f2);
+  EXPECT_EQ(k.vfs().inode(f2).content, "two");
+}
+
+TEST(World, PutProgramRegistersImageName) {
+  Kernel k;
+  Ino p = put_program(k, "/bin/tool", "tool-image", kRootUid, kRootGid,
+                      0755 | kSetUidBit);
+  EXPECT_EQ(k.vfs().inode(p).image, "tool-image");
+  EXPECT_TRUE(k.vfs().inode(p).setuid());
+}
+
+TEST(World, PutSymlinkReplacesExisting) {
+  Kernel k;
+  put_file(k, "/etc/target", "x");
+  put_symlink(k, "/etc/alias", "/etc/target");
+  put_symlink(k, "/etc/alias", "/etc/other");
+  auto r = k.vfs().resolve("/etc/alias", "/", kRootUid, kRootGid,
+                           /*follow_final=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(k.vfs().inode(r.value()).content, "/etc/other");
+}
+
+TEST(World, ForceRemoveQuietOnMissing) {
+  Kernel k;
+  force_remove(k, "/no/such/file");  // must not throw
+  put_file(k, "/a/f", "x");
+  force_remove(k, "/a/f");
+  EXPECT_EQ(k.vfs().resolve("/a/f", "/", kRootUid, kRootGid).error(),
+            Err::noent);
+}
+
+TEST(World, StandardUnixLayout) {
+  Kernel k;
+  standard_unix(k);
+  for (const char* p : {"/etc", "/bin", "/usr/bin", "/tmp", "/home", "/var"}) {
+    auto r = k.vfs().resolve(p, "/", kRootUid, kRootGid);
+    EXPECT_TRUE(r.ok()) << p;
+  }
+  EXPECT_EQ(k.peek("/etc/shadow").value(), kShadowContent);
+  // /tmp is world-writable; /etc/shadow is root-only.
+  EXPECT_TRUE(k.uid_can(999, 999, "/tmp", Perm::write));
+  EXPECT_FALSE(k.uid_can(999, 999, "/etc/shadow", Perm::read));
+}
+
+}  // namespace
+}  // namespace ep::os::world

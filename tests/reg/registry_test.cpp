@@ -1,0 +1,126 @@
+#include "reg/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep::reg {
+namespace {
+
+const os::Site kS{"reg_test.c", 1, "reg-site"};
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() {
+    admin = k.make_process(500, 500);
+    user = k.make_process(1000, 1000);
+    systemp = k.make_process(os::kRootUid, os::kRootGid);
+
+    Key open_key;
+    open_key.path = "HKLM/Open";
+    open_key.value = "v1";
+    open_key.acl.owner = 500;
+    open_key.acl.everyone_write = true;
+    open_key.used_by_module = "modA";
+    r.define_key(open_key);
+
+    Key locked;
+    locked.path = "HKLM/Locked";
+    locked.value = "v2";
+    locked.acl.owner = 500;
+    locked.acl.everyone_write = false;
+    r.define_key(locked);
+  }
+  os::Kernel k;
+  Registry r;
+  os::Pid admin = -1, user = -1, systemp = -1;
+};
+
+TEST_F(RegistryTest, ReadValue) {
+  EXPECT_EQ(r.read_value(k, kS, admin, "HKLM/Open").value(), "v1");
+  EXPECT_EQ(r.read_value(k, kS, admin, "HKLM/Missing").error(), Err::noent);
+}
+
+TEST_F(RegistryTest, EveryoneWriteAllowsAnyUser) {
+  ASSERT_TRUE(r.write_value(k, kS, user, "HKLM/Open", "evil").ok());
+  EXPECT_EQ(r.find("HKLM/Open")->value, "evil");
+}
+
+TEST_F(RegistryTest, ProtectedKeyRefusesNonOwner) {
+  EXPECT_EQ(r.write_value(k, kS, user, "HKLM/Locked", "evil").error(),
+            Err::acces);
+  EXPECT_EQ(r.find("HKLM/Locked")->value, "v2");
+}
+
+TEST_F(RegistryTest, OwnerAndSystemMayWriteProtectedKey) {
+  EXPECT_TRUE(r.write_value(k, kS, admin, "HKLM/Locked", "a").ok());
+  EXPECT_TRUE(r.write_value(k, kS, systemp, "HKLM/Locked", "b").ok());
+  EXPECT_EQ(r.find("HKLM/Locked")->value, "b");
+}
+
+TEST_F(RegistryTest, AttackerSetValueRespectsAcl) {
+  EXPECT_TRUE(r.attacker_set_value(1000, "HKLM/Open", "pwn"));
+  EXPECT_FALSE(r.attacker_set_value(1000, "HKLM/Locked", "pwn"));
+  EXPECT_EQ(r.find("HKLM/Locked")->value, "v2");
+}
+
+TEST_F(RegistryTest, ScannerFindsUnprotectedKeys) {
+  auto open_keys = r.unprotected_keys();
+  ASSERT_EQ(open_keys.size(), 1u);
+  EXPECT_EQ(open_keys[0].path, "HKLM/Open");
+  EXPECT_EQ(r.unprotected_with_module().size(), 1u);
+  EXPECT_TRUE(r.unprotected_without_module().empty());
+}
+
+TEST_F(RegistryTest, ScannerSeparatesUnknownModules) {
+  Key orphan;
+  orphan.path = "HKLM/Orphan";
+  orphan.acl.everyone_write = true;
+  r.define_key(orphan);
+  EXPECT_EQ(r.unprotected_keys().size(), 2u);
+  EXPECT_EQ(r.unprotected_with_module().size(), 1u);
+  EXPECT_EQ(r.unprotected_without_module().size(), 1u);
+}
+
+TEST_F(RegistryTest, PerturbationSurface) {
+  r.set_value("HKLM/Open", "tampered");
+  EXPECT_EQ(r.find("HKLM/Open")->value, "tampered");
+  r.set_everyone_write("HKLM/Locked", true);
+  EXPECT_TRUE(r.find("HKLM/Locked")->acl.everyone_write);
+  r.set_trusted("HKLM/Open", false);
+  EXPECT_FALSE(r.find("HKLM/Open")->trusted);
+  r.remove_key("HKLM/Open");
+  EXPECT_EQ(r.find("HKLM/Open"), nullptr);
+}
+
+TEST_F(RegistryTest, ReadRoutesThroughHooks) {
+  struct SeeRead : os::Interposer {
+    std::string path;
+    bool untrusted = false;
+    void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+      if (ctx.call == "regread") {
+        path = ctx.path;
+        untrusted = ctx.object_untrusted;
+      }
+    }
+  };
+  auto hook = std::make_shared<SeeRead>();
+  k.add_interposer(hook);
+  r.set_trusted("HKLM/Open", false);
+  ASSERT_TRUE(r.read_value(k, kS, admin, "HKLM/Open").ok());
+  EXPECT_EQ(hook->path, "HKLM/Open");
+  EXPECT_TRUE(hook->untrusted);
+}
+
+TEST_F(RegistryTest, IndirectFaultRewritesValueDelivery) {
+  struct Rewriter : os::Interposer {
+    void after(os::Kernel&, os::SyscallCtx& ctx, Err) override {
+      if (ctx.call == "regread" && ctx.input) *ctx.input = "INJECTED";
+    }
+  };
+  k.add_interposer(std::make_shared<Rewriter>());
+  EXPECT_EQ(r.read_value(k, kS, admin, "HKLM/Open").value(), "INJECTED");
+  // The stored value is untouched.
+  EXPECT_EQ(r.find("HKLM/Open")->value, "v1");
+}
+
+}  // namespace
+}  // namespace ep::reg

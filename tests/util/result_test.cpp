@@ -1,0 +1,65 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep {
+namespace {
+
+TEST(SysResult, HoldsValue) {
+  SysResult<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.error(), Err::ok);
+}
+
+TEST(SysResult, HoldsError) {
+  SysResult<int> r(Err::acces);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error(), Err::acces);
+}
+
+TEST(SysResult, ValueOnErrorThrows) {
+  SysResult<int> r(Err::noent);
+  EXPECT_THROW((void)r.value(), BadResultAccess);
+}
+
+TEST(SysResult, ValueOr) {
+  SysResult<int> ok(7);
+  SysResult<int> bad(Err::io);
+  EXPECT_EQ(ok.value_or(9), 7);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(SysResult, MoveOutValue) {
+  SysResult<std::string> r(std::string(1000, 'x'));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(SysResult, StatusHelpers) {
+  SysStatus ok = ok_status();
+  EXPECT_TRUE(ok.ok());
+  SysStatus bad = Err::perm;
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Err::perm);
+}
+
+TEST(ErrNames, CoverAllCodes) {
+  // Every code must have a distinct errno-style name and a message.
+  for (int i = 0; i <= static_cast<int>(Err::notempty); ++i) {
+    auto e = static_cast<Err>(i);
+    EXPECT_FALSE(err_name(e).empty());
+    EXPECT_NE(err_name(e), "E?");
+    EXPECT_FALSE(err_message(e).empty());
+  }
+}
+
+TEST(ErrNames, Spot) {
+  EXPECT_EQ(err_name(Err::acces), "EACCES");
+  EXPECT_EQ(err_name(Err::noent), "ENOENT");
+  EXPECT_EQ(err_message(Err::loop), "too many levels of symbolic links");
+}
+
+}  // namespace
+}  // namespace ep

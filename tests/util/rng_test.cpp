@@ -1,0 +1,81 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ep {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    auto v = r.between(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values reached
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, BytesLengthAndNonZero) {
+  Rng r(13);
+  auto s = r.bytes(256);
+  EXPECT_EQ(s.size(), 256u);
+  for (char c : s) EXPECT_NE(c, '\0');  // bytes() avoids NUL by contract
+}
+
+TEST(Rng, PrintableIsPrintable) {
+  Rng r(17);
+  for (char c : r.printable(512)) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+    EXPECT_LE(static_cast<unsigned char>(c), 0x7e);
+  }
+}
+
+TEST(Rng, PickCoversVector) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.pick(v));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ep

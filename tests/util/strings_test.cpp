@@ -1,0 +1,93 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  auto v = split("a::b", ':');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField) {
+  auto v = split("", ':');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "");
+}
+
+TEST(Split, TrailingSeparator) {
+  auto v = split("a:b:", ':');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], "");
+}
+
+TEST(SplitNonempty, DropsEmpties) {
+  auto v = split_nonempty("/a//b/", '/');
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+}
+
+TEST(SplitNonempty, AllSeparators) {
+  EXPECT_TRUE(split_nonempty("///", '/').empty());
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ":"), "x:y:z");
+  EXPECT_EQ(split("x:y:z", ':'), parts);
+}
+
+TEST(Join, EmptyVector) { EXPECT_EQ(join({}, ":"), ""); }
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("../x", "../"));
+  EXPECT_FALSE(starts_with("..", "../"));
+  EXPECT_TRUE(ends_with("file.exe", ".exe"));
+  EXPECT_FALSE(ends_with("exe", ".exe"));
+}
+
+TEST(Contains, Basics) {
+  EXPECT_TRUE(contains("a;b", ";"));
+  EXPECT_FALSE(contains("ab", ";"));
+  EXPECT_TRUE(contains("abc", ""));
+}
+
+TEST(ToLower, MixedCase) { EXPECT_EQ(to_lower("AbC-01"), "abc-01"); }
+
+TEST(ReplaceAll, Multiple) {
+  EXPECT_EQ(replace_all("a..b..c", "..", "/"), "a/b/c");
+}
+
+TEST(ReplaceAll, EmptyNeedleIsIdentity) {
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(ReplaceAll, ReplacementContainsNeedle) {
+  // Must not loop forever or re-replace.
+  EXPECT_EQ(replace_all("aa", "a", "aa"), "aaaa");
+}
+
+TEST(Trim, WhitespaceBothEnds) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Percent, Formatting) {
+  EXPECT_EQ(percent(81, 142), "57.0%");
+  EXPECT_EQ(percent(1, 3, 0), "33%");
+  EXPECT_EQ(percent(1, 0), "n/a");
+}
+
+TEST(Repeat, Basics) {
+  EXPECT_EQ(repeat("ab", 3), "ababab");
+  EXPECT_EQ(repeat("ab", 0), "");
+}
+
+}  // namespace
+}  // namespace ep

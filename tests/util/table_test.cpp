@@ -1,0 +1,46 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace ep {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  std::string out = t.render();
+  EXPECT_TRUE(contains(out, "name"));
+  EXPECT_TRUE(contains(out, "alpha"));
+  EXPECT_TRUE(contains(out, "22"));
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::string out = t.render();
+  // Renders without crashing and keeps column rules aligned.
+  auto lines = split_nonempty(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  for (const auto& l : lines) EXPECT_EQ(l.size(), lines[0].size());
+}
+
+TEST(TextTable, ColumnWidthTracksWidestCell) {
+  TextTable t({"x"});
+  t.add_row({"wiiiiiiide"});
+  std::string out = t.render();
+  EXPECT_TRUE(contains(out, "wiiiiiiide"));
+}
+
+TEST(TextTable, EmptyTableStillRenders) {
+  TextTable t({"h1", "h2"});
+  std::string out = t.render();
+  EXPECT_TRUE(contains(out, "h1"));
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace ep

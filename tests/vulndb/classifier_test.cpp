@@ -1,0 +1,88 @@
+#include "vulndb/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ep::vulndb {
+namespace {
+
+Record code_record() {
+  Record r;
+  r.cause = CauseKind::code;
+  return r;
+}
+
+TEST(ClassifyRecord, ExclusionsFirst) {
+  Record r;
+  r.cause = CauseKind::insufficient_info;
+  EXPECT_EQ(classify_record(r), EaiClass::excluded_insufficient);
+  r.cause = CauseKind::design;
+  EXPECT_EQ(classify_record(r), EaiClass::excluded_design);
+  r.cause = CauseKind::configuration;
+  EXPECT_EQ(classify_record(r), EaiClass::excluded_configuration);
+}
+
+TEST(ClassifyRecord, InputOriginMeansIndirect) {
+  Record r = code_record();
+  r.input_origin = core::IndirectCategory::user_input;
+  EXPECT_EQ(classify_record(r), EaiClass::indirect);
+}
+
+TEST(ClassifyRecord, EntityMeansDirect) {
+  Record r = code_record();
+  r.entity = core::DirectEntity::network;
+  EXPECT_EQ(classify_record(r), EaiClass::direct);
+}
+
+TEST(ClassifyRecord, NeitherMeansOther) {
+  EXPECT_EQ(classify_record(code_record()), EaiClass::other);
+}
+
+TEST(ClassifyAll, PartitionIsComplete) {
+  auto c = classify_all(database());
+  EXPECT_EQ(c.total, 195);
+  EXPECT_EQ(c.insufficient + c.design + c.configuration + c.classified,
+            c.total);
+  EXPECT_EQ(c.indirect + c.direct + c.other, c.classified);
+}
+
+TEST(ClassifyAll, Table2SumsToIndirectTotal) {
+  auto c = classify_all(database());
+  int sum = 0;
+  for (const auto& [cat, n] : c.indirect_by_category) sum += n;
+  EXPECT_EQ(sum, c.indirect);
+}
+
+TEST(ClassifyAll, Table3SumsToDirectTotal) {
+  auto c = classify_all(database());
+  int sum = 0;
+  for (const auto& [e, n] : c.direct_by_entity) sum += n;
+  EXPECT_EQ(sum, c.direct);
+}
+
+TEST(ClassifyAll, Table4SumsToFileSystemCount) {
+  auto c = classify_all(database());
+  int sum = 0;
+  for (const auto& [a, n] : c.fs_by_attribute) sum += n;
+  EXPECT_EQ(sum, c.direct_by_entity[core::DirectEntity::file_system]);
+}
+
+TEST(ClassifyAll, PaperPercentagesHold) {
+  // Table 1 percentages as printed: 57% / 34% / 9%.
+  auto c = classify_all(database());
+  EXPECT_NEAR(100.0 * c.indirect / c.classified, 57.0, 0.5);
+  EXPECT_NEAR(100.0 * c.direct / c.classified, 33.8, 0.5);
+  EXPECT_NEAR(100.0 * c.other / c.classified, 9.2, 0.5);
+  // Table 3: file system dominates direct faults (87.5%).
+  EXPECT_NEAR(100.0 * c.direct_by_entity[core::DirectEntity::file_system] /
+                  c.direct,
+              87.5, 0.1);
+}
+
+TEST(ClassifyAll, EmptyDatabase) {
+  auto c = classify_all({});
+  EXPECT_EQ(c.total, 0);
+  EXPECT_EQ(c.classified, 0);
+}
+
+}  // namespace
+}  // namespace ep::vulndb

@@ -1,0 +1,74 @@
+// Database integrity checks: 195 records, unique ids/names, well-formed
+// feature combinations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vulndb/record.hpp"
+
+namespace ep::vulndb {
+namespace {
+
+TEST(Database, Has195Records) { EXPECT_EQ(database().size(), 195u); }
+
+TEST(Database, IdsAreUniqueAndDense) {
+  std::set<int> ids;
+  for (const auto& r : database()) EXPECT_TRUE(ids.insert(r.id).second);
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), 195);
+}
+
+TEST(Database, NamesAreUniqueNonEmpty) {
+  std::set<std::string> names;
+  for (const auto& r : database()) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_TRUE(names.insert(r.name).second) << "duplicate " << r.name;
+  }
+}
+
+TEST(Database, EveryRecordHasDescriptionAndOs) {
+  for (const auto& r : database()) {
+    EXPECT_FALSE(r.description.empty()) << r.name;
+    EXPECT_FALSE(r.os.empty()) << r.name;
+  }
+}
+
+TEST(Database, FeatureCombinationsWellFormed) {
+  for (const auto& r : database()) {
+    // A record is at most one of: indirect (input_origin), direct (entity).
+    EXPECT_FALSE(r.input_origin && r.entity) << r.name;
+    // fs_attribute only meaningful for file-system entities.
+    if (r.fs_attribute) {
+      ASSERT_TRUE(r.entity.has_value()) << r.name;
+      EXPECT_EQ(*r.entity, core::DirectEntity::file_system) << r.name;
+    }
+    // Every file-system direct record carries its Table 4 attribute.
+    if (r.entity && *r.entity == core::DirectEntity::file_system) {
+      EXPECT_TRUE(r.fs_attribute.has_value()) << r.name;
+    }
+    // Excluded causes carry no EAI features.
+    if (r.cause != CauseKind::code) {
+      EXPECT_FALSE(r.input_origin) << r.name;
+      EXPECT_FALSE(r.entity) << r.name;
+    }
+  }
+}
+
+TEST(Database, ContainsThePapersOwnCaseStudies) {
+  bool turnin = false, lpr = false;
+  for (const auto& r : database()) {
+    if (r.name == "turnin-dotdot-filename") turnin = true;
+    if (r.name == "lpr-spool-preexisting") lpr = true;
+  }
+  EXPECT_TRUE(turnin);
+  EXPECT_TRUE(lpr);
+}
+
+TEST(Database, EnumPrinters) {
+  EXPECT_EQ(to_string(CauseKind::design), "design");
+  EXPECT_EQ(to_string(FsAttribute::symbolic_link), "symbolic link");
+  EXPECT_EQ(to_string(FsAttribute::working_directory), "working directory");
+}
+
+}  // namespace
+}  // namespace ep::vulndb
