@@ -2,12 +2,28 @@
 // interposition machinery. Supports the paper's automation claim — a
 // full per-fault rebuild-and-rerun cycle is cheap enough to sweep entire
 // catalogs.
+//
+// Besides the google-benchmark micro benches, main() times the full
+// scenario suite through the MultiCampaign scheduler serially and in
+// parallel and writes BENCH_perf_injection.json, so the runs/sec
+// trajectory (and the serial-vs-parallel speedup) is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+#include <thread>
+
 #include "apps/lpr.hpp"
+#include "apps/scenarios.hpp"
 #include "apps/turnin.hpp"
+#include "core/executor.hpp"
 #include "core/injector.hpp"
+#include "core/planner.hpp"
 #include "core/report.hpp"
+#include "core/scheduler.hpp"
 #include "os/world.hpp"
 
 namespace {
@@ -132,4 +148,111 @@ void BM_FullTurninCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTurninCampaign)->Unit(benchmark::kMillisecond);
 
+void BM_ExecutorDrainTurnin(benchmark::State& state) {
+  // Steps 4-8 only (plan prepared once): the parallel engine's hot loop.
+  auto scenario = apps::turnin_scenario();
+  auto plan = core::Planner(scenario).plan();
+  core::Executor executor(scenario);
+  core::ExecutorOptions opts;
+  opts.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = executor.execute(plan, opts);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(plan.items.size()));
+}
+BENCHMARK(BM_ExecutorDrainTurnin)
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// --- serial vs parallel sweep: the tracked perf number ----------------------
+
+double sweep_seconds(const core::MultiCampaign& suite, int jobs,
+                     int* out_runs) {
+  core::SweepOptions opts;
+  opts.jobs = jobs;
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = suite.run(opts);
+    auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(r);
+    *out_runs = r.total_injections();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void write_sweep_json(const char* path) {
+  core::MultiCampaign suite;
+  for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
+
+  constexpr int kJobs = 4;
+  int runs = 0;
+  double serial_s = sweep_seconds(suite, 1, &runs);
+  double parallel_s = sweep_seconds(suite, kJobs, &runs);
+  double serial_rps = runs / serial_s;
+  double parallel_rps = runs / parallel_s;
+
+  // On a machine with fewer cores than kJobs the parallel sweep is pure
+  // thread overhead; flag the artifact so a sub-kJobs speedup reads as a
+  // hardware limit, not an engine regression.
+  unsigned hw = std::thread::hardware_concurrency();
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_injection: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"scenarios\": %zu,\n"
+               "  \"injection_runs\": %d,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"core_starved\": %s,\n"
+               "  \"jobs\": %d,\n"
+               "  \"serial_seconds\": %.6f,\n"
+               "  \"parallel_seconds\": %.6f,\n"
+               "  \"serial_runs_per_sec\": %.1f,\n"
+               "  \"parallel_runs_per_sec\": %.1f,\n"
+               "  \"speedup\": %.2f\n"
+               "}\n",
+               suite.size(), runs, hw,
+               hw < static_cast<unsigned>(kJobs) ? "true" : "false",
+               kJobs, serial_s, parallel_s, serial_rps, parallel_rps,
+               parallel_rps / serial_rps);
+  std::fclose(f);
+  std::printf(
+      "\nsweep: %d injection runs across %zu scenarios\n"
+      "  serial   : %8.1f runs/sec\n"
+      "  jobs=%d   : %8.1f runs/sec  (%.2fx)\n"
+      "  -> %s\n",
+      runs, suite.size(), serial_rps, kJobs, parallel_rps,
+      parallel_rps / serial_rps, path);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // The sweep is expensive (6 full suite runs), so it runs on a plain
+  // invocation — the tracked-artifact path — or when asked for with
+  // --sweep-json; a filtered/listing micro-bench run skips it.
+  bool sweep = argc == 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--sweep-json") {
+      sweep = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (sweep) write_sweep_json("BENCH_perf_injection.json");
+  return 0;
+}

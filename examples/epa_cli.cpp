@@ -10,6 +10,8 @@
 //   epa_cli run turnin --sites fopen-projlist,arg-filename
 //   epa_cli run logind --coverage 0.5 --seed 7
 //   epa_cli run lpr --merge              # equivalence-reduced campaign
+//   epa_cli run turnin --jobs 4          # parallel injection engine
+//   epa_cli sweep --jobs 8               # every scenario, one shared pool
 //   epa_cli trace mailer                 # interaction points only
 //   epa_cli compare turnin turnin-hardened   # did the repair work?
 //   epa_cli db [category]                # browse the vulnerability DB
@@ -22,6 +24,7 @@
 #include "core/compare.hpp"
 #include "core/equivalence.hpp"
 #include "core/report.hpp"
+#include "core/scheduler.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "vulndb/classifier.hpp"
@@ -37,7 +40,8 @@ int usage() {
       "  epa_cli list\n"
       "  epa_cli trace <scenario>\n"
       "  epa_cli run <scenario> [--sites a,b,...] [--coverage F]\n"
-      "                         [--seed N] [--merge] [--json]\n"
+      "                         [--seed N] [--merge] [--json] [--jobs N]\n"
+      "  epa_cli sweep [--jobs N] [--seed N] [--merge] [--json]\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
   return 2;
@@ -121,6 +125,43 @@ int cmd_compare(const std::string& before_name,
   return c.safe() ? 0 : 3;
 }
 
+int cmd_sweep(const core::SweepOptions& opts, bool as_json) {
+  core::MultiCampaign suite;
+  for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
+  auto sweep = suite.run(opts);
+
+  if (as_json) {
+    std::printf("{\n\"scenarios\": [\n");
+    for (std::size_t i = 0; i < sweep.results.size(); ++i)
+      std::printf("%s%s", core::render_json(sweep.results[i]).c_str(),
+                  i + 1 < sweep.results.size() ? ",\n" : "\n");
+    std::printf(
+        "],\n\"totals\": {\"points\": %d, \"injections\": %d, "
+        "\"violations\": %d, \"exploitable\": %d, "
+        "\"mean_vulnerability_score\": %.6f}\n}\n",
+        sweep.total_points(), sweep.total_injections(),
+        sweep.total_violations(), sweep.total_exploitable(),
+        sweep.mean_vulnerability_score());
+  } else {
+    TextTable t({"scenario", "points", "injections", "violations", "rho",
+                 "region", "exploitable"});
+    for (const auto& r : sweep.results) {
+      char rho[16];
+      std::snprintf(rho, sizeof rho, "%.3f", r.vulnerability_score());
+      t.add_row({r.scenario_name, std::to_string(r.points.size()),
+                 std::to_string(r.n()), std::to_string(r.violation_count()),
+                 rho, std::string(to_string(r.region())),
+                 std::to_string(r.exploitable().size())});
+    }
+    std::printf("%s\n%d scenarios, %d injection runs, %d violations, "
+                "%d exploitable (mean rho %.3f)\n",
+                t.render().c_str(), static_cast<int>(sweep.results.size()),
+                sweep.total_injections(), sweep.total_violations(),
+                sweep.total_exploitable(), sweep.mean_vulnerability_score());
+  }
+  return sweep.total_exploitable() == 0 ? 0 : 3;
+}
+
 int cmd_db(const std::string& filter) {
   const auto& db = vulndb::database();
   TextTable t({"id", "name", "os", "EAI class", "description"});
@@ -165,6 +206,26 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
   if (cmd == "db") return cmd_db(argc >= 3 ? argv[2] : "");
+  if (cmd == "sweep") {
+    core::SweepOptions opts;
+    bool as_json = false;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        as_json = true;
+      } else if (arg == "--merge") {
+        opts.campaign.merge_equivalent_sites = true;
+      } else if (arg == "--jobs" && i + 1 < argc) {
+        opts.jobs = std::atoi(argv[++i]);
+      } else if (arg == "--seed" && i + 1 < argc) {
+        opts.campaign.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    return cmd_sweep(opts, as_json);
+  }
   if (argc < 3) return usage();
   std::string scenario = argv[2];
   if (cmd == "trace") return cmd_trace(scenario);
@@ -188,6 +249,8 @@ int main(int argc, char** argv) {
       opts.target_interaction_coverage = std::atof(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
       return usage();

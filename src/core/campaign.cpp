@@ -1,14 +1,9 @@
 #include "core/campaign.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
-#include "core/equivalence.hpp"
-#include "core/injector.hpp"
-
-#include "os/path.hpp"
-#include "util/rng.hpp"
-#include "util/strings.hpp"
+#include "core/executor.hpp"
+#include "core/planner.hpp"
 
 namespace ep::core {
 
@@ -50,307 +45,16 @@ std::vector<const InjectionOutcome*> CampaignResult::exploitable() const {
   return out;
 }
 
-Campaign::Campaign(Scenario scenario)
-    : scenario_(std::move(scenario)), catalog_(FaultCatalog::standard()) {
+Campaign::Campaign(Scenario scenario) : scenario_(std::move(scenario)) {
   if (!scenario_.build || !scenario_.run)
     throw std::logic_error("Campaign: scenario must define build and run");
 }
 
-std::vector<FaultRef> Campaign::plan_faults(
-    const InteractionPoint& point) const {
-  std::vector<FaultRef> plan;
-  auto spec_it = scenario_.sites.find(point.site.tag);
-  if (spec_it != scenario_.sites.end() && spec_it->second.skip) return plan;
-
-  if (spec_it != scenario_.sites.end() && !spec_it->second.faults.empty()) {
-    for (const auto& name : spec_it->second.faults) {
-      if (const IndirectFault* f = catalog_.find_indirect(name)) {
-        FaultRef r;
-        r.kind = FaultKind::indirect;
-        r.indirect = f;
-        plan.push_back(r);
-      } else if (const DirectFault* f2 = catalog_.find_direct(name)) {
-        FaultRef r;
-        r.kind = FaultKind::direct;
-        r.direct = f2;
-        plan.push_back(r);
-      } else {
-        throw std::logic_error("Campaign: unknown fault name '" + name +
-                               "' at site " + point.site.tag);
-      }
-    }
-    return plan;
-  }
-
-  ObjectKind kind = point.kind;
-  InputSemantic semantic = point.semantic;
-  if (spec_it != scenario_.sites.end()) {
-    if (spec_it->second.kind != ObjectKind::none)
-      kind = spec_it->second.kind;
-    if (spec_it->second.semantic) semantic = *spec_it->second.semantic;
-  }
-
-  // Step 3: no input -> only direct faults; input -> both kinds.
-  for (const DirectFault* f : catalog_.direct_for(kind)) {
-    FaultRef r;
-    r.kind = FaultKind::direct;
-    r.direct = f;
-    plan.push_back(r);
-  }
-  if (point.has_input) {
-    for (const IndirectFault* f : catalog_.indirect_for(semantic)) {
-      FaultRef r;
-      r.kind = FaultKind::indirect;
-      r.indirect = f;
-      plan.push_back(r);
-    }
-  }
-  return plan;
-}
-
-Exploitability Campaign::analyze(const InteractionPoint& point,
-                                 const FaultRef& fault) const {
-  Exploitability e;
-  auto world = scenario_.build();  // judge against the *benign* world
-  os::Kernel& k = world->kernel;
-
-  auto nonroot_user_who_can = [&](const std::string& p,
-                                  os::Perm perm) -> std::string {
-    for (const auto& [uid, info] : k.users()) {
-      if (uid == os::kRootUid) continue;
-      if (k.uid_can(uid, info.second, p, perm)) return info.first;
-    }
-    return {};
-  };
-
-  if (fault.kind == FaultKind::indirect) {
-    switch (fault.indirect->category) {
-      case IndirectCategory::user_input:
-        e.nonroot_feasible = true;
-        e.actor = "invoking user";
-        e.note = "argument values are chosen by whoever runs the program";
-        break;
-      case IndirectCategory::environment_variable:
-        e.nonroot_feasible = true;
-        e.actor = "invoking user";
-        e.note = "the invoker controls the process environment";
-        break;
-      case IndirectCategory::file_system_input: {
-        std::string who = nonroot_user_who_can(point.object, os::Perm::write);
-        e.nonroot_feasible = !who.empty();
-        e.actor = who.empty() ? "root only" : who + " (writer of the input)";
-        e.note = who.empty()
-                     ? "the input file is protected; only root can seed it"
-                     : "whoever writes the input file controls the value";
-        break;
-      }
-      case IndirectCategory::network_input:
-        e.nonroot_feasible = true;
-        e.actor = "remote peer";
-        e.note = "network input is attacker-supplied by definition";
-        break;
-      case IndirectCategory::process_input:
-        e.nonroot_feasible = true;
-        e.actor = "local peer process";
-        e.note = "IPC input comes from another local process";
-        break;
-    }
-    return e;
-  }
-
-  const DirectFault& f = *fault.direct;
-  const std::string& obj = point.object;
-  std::string parent = os::path::dirname(obj);
-
-  switch (f.attribute) {
-    case EnvAttribute::file_existence:
-    case EnvAttribute::symbolic_link:
-    case EnvAttribute::file_name_invariance: {
-      if (point.call == "regread" || point.call == "regwrite") {
-        const reg::Key* key = world->registry.find(obj);
-        e.nonroot_feasible = key && key->acl.everyone_write;
-        e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
-        e.note = "registry key ACL decides who can replace the value";
-        break;
-      }
-      std::string who = nonroot_user_who_can(parent, os::Perm::write);
-      e.nonroot_feasible = !who.empty();
-      e.actor = who.empty() ? "root only" : who;
-      e.note = who.empty()
-                   ? "requires write access to " + parent +
-                         ", which only root has"
-                   : who + " can manipulate directory entries in " + parent;
-      break;
-    }
-    case EnvAttribute::file_content_invariance: {
-      if (point.call == "regread" || point.call == "regwrite") {
-        const reg::Key* key = world->registry.find(obj);
-        e.nonroot_feasible = key && key->acl.everyone_write;
-        e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
-        e.note = "everyone-write ACL lets any user set the value";
-        break;
-      }
-      std::string who = nonroot_user_who_can(obj, os::Perm::write);
-      if (who.empty()) who = nonroot_user_who_can(parent, os::Perm::write);
-      e.nonroot_feasible = !who.empty();
-      e.actor = who.empty() ? "root only" : who;
-      e.note = who.empty() ? "the file and its directory are protected"
-                           : who + " can rewrite the content";
-      break;
-    }
-    case EnvAttribute::file_permission: {
-      auto r = k.vfs().resolve(obj, "/", os::kRootUid, os::kRootGid);
-      if (r.ok()) {
-        const os::Inode& node = k.vfs().inode(r.value());
-        e.nonroot_feasible = node.uid != os::kRootUid;
-        e.actor = e.nonroot_feasible ? "owner (" + k.user_name(node.uid) + ")"
-                                     : "root only";
-        e.note = "chmod requires ownership";
-      } else {
-        e.actor = "root only";
-        e.note = "object absent in the benign world";
-      }
-      break;
-    }
-    case EnvAttribute::file_ownership:
-      e.actor = "root only";
-      e.note = "chown requires root privilege";
-      break;
-    case EnvAttribute::working_directory:
-      e.nonroot_feasible = true;
-      e.actor = "invoking user";
-      e.note = "the invoker chooses the starting directory";
-      break;
-    case EnvAttribute::net_message_authenticity:
-    case EnvAttribute::net_protocol:
-    case EnvAttribute::net_socket_share:
-    case EnvAttribute::net_service_availability:
-    case EnvAttribute::net_entity_trustability:
-      // The regkey-trustability extension reuses this attribute id.
-      if (point.call == "regread" || point.call == "regwrite") {
-        const reg::Key* key = world->registry.find(obj);
-        e.nonroot_feasible = key && key->acl.everyone_write;
-        e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
-        e.note = "whoever may write the key controls where it points";
-      } else {
-        e.nonroot_feasible = true;
-        e.actor = "remote peer";
-        e.note = "network conditions are attacker-influenced";
-      }
-      break;
-    case EnvAttribute::proc_message_authenticity:
-    case EnvAttribute::proc_trustability:
-    case EnvAttribute::proc_service_availability:
-      e.nonroot_feasible = true;
-      e.actor = "local peer process";
-      e.note = "helper-process conditions are controlled by its owner";
-      break;
-  }
-  return e;
-}
-
 CampaignResult Campaign::execute(const CampaignOptions& opts) {
-  CampaignResult result;
-  result.scenario_name = scenario_.name;
-
-  // ---- Step 3: discover interaction points with a clean trace run --------
-  {
-    auto world = scenario_.build();
-    auto recorder = std::make_shared<TraceRecorder>(scenario_.trace_unit_filter);
-    auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
-    world->kernel.add_interposer(recorder);
-    world->kernel.add_interposer(oracle);
-    (void)scenario_.run(*world);
-    result.points = recorder->points();
-    result.benign_violations = oracle->violations();
-  }
-
-  // ---- Site selection (step 9's coverage target / Figure 2 subsets) ------
-  std::vector<const InteractionPoint*> selected;
-  if (!opts.only_sites.empty()) {
-    for (const auto& p : result.points)
-      if (std::find(opts.only_sites.begin(), opts.only_sites.end(),
-                    p.site.tag) != opts.only_sites.end())
-        selected.push_back(&p);
-  } else if (opts.target_interaction_coverage >= 1.0) {
-    for (const auto& p : result.points) selected.push_back(&p);
-  } else {
-    std::size_t want = static_cast<std::size_t>(
-        opts.target_interaction_coverage * result.points.size() + 0.5);
-    want = std::max<std::size_t>(want, 1);
-    want = std::min(want, result.points.size());
-    // Deterministic sample without replacement.
-    std::vector<std::size_t> idx(result.points.size());
-    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-    Rng rng(opts.seed);
-    for (std::size_t i = 0; i < idx.size(); ++i)
-      std::swap(idx[i], idx[i + rng.below(idx.size() - i)]);
-    idx.resize(want);
-    std::sort(idx.begin(), idx.end());  // keep trace order
-    for (auto i : idx) selected.push_back(&result.points[i]);
-  }
-
-  // ---- Optional future-work reduction: equivalence merging ---------------
-  // Injecting only at each class representative; co-members count as
-  // covered because their injections would meet the same environment
-  // state and program handling.
-  std::map<std::string, std::vector<std::string>> covered_with;  // rep -> members
-  if (opts.merge_equivalent_sites) {
-    auto classes = find_equivalence_classes(result.points);
-    std::vector<const InteractionPoint*> reduced;
-    for (const InteractionPoint* point : selected) {
-      for (const auto& c : classes) {
-        if (!(c.representative().site == point->site)) continue;
-        reduced.push_back(point);
-        for (const auto* member : c.members)
-          covered_with[point->site.tag].push_back(member->site.tag);
-      }
-    }
-    selected = std::move(reduced);
-  }
-
-  // ---- Steps 4-8: one rebuilt world per (site, fault) --------------------
-  for (const InteractionPoint* point : selected) {
-    std::vector<FaultRef> plan = plan_faults(*point);
-    if (plan.empty()) continue;
-    result.perturbed_site_tags.insert(point->site.tag);
-    for (const auto& member : covered_with[point->site.tag])
-      result.perturbed_site_tags.insert(member);
-
-    for (const FaultRef& fault : plan) {
-      auto world = scenario_.build();
-      auto injector = std::make_shared<Injector>(*world, point->site, fault,
-                                                 scenario_.hints);
-      auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
-      world->kernel.add_interposer(injector);
-      world->kernel.add_interposer(oracle);
-
-      InjectionOutcome out;
-      out.site = point->site;
-      out.call = point->call;
-      out.object = point->object;
-      out.kind = fault.kind;
-      out.fault_name = fault.name();
-      out.fault_description = fault.kind == FaultKind::indirect
-                                  ? fault.indirect->description
-                                  : fault.direct->description;
-      out.exit_code = scenario_.run(*world);
-      out.fired = injector->fired();
-      out.violations = oracle->violations();
-      out.violated = !out.violations.empty();
-      out.crashed = oracle->crash_count() > 0;
-      out.overflows = oracle->overflow_count();
-
-      std::string broken = world->kernel.vfs().check_invariants();
-      if (!broken.empty())
-        throw std::logic_error("VFS invariant broken after injection '" +
-                               out.fault_name + "': " + broken);
-
-      if (out.violated) out.exploit = analyze(*point, fault);
-      result.injections.push_back(std::move(out));
-    }
-  }
-  return result;
+  InjectionPlan plan = Planner(scenario_).plan(opts);
+  ExecutorOptions eopts;
+  eopts.jobs = opts.jobs;
+  return Executor(scenario_).execute(plan, eopts);
 }
 
 }  // namespace ep::core

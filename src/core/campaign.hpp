@@ -6,18 +6,22 @@
 // paper deciding, per interaction point, which Table 5/6 rows apply and
 // which are "not applicable in this case".
 //
-// execute() then:
-//   1. runs the test case once with only the trace recorder attached to
-//      discover interaction points (step 3),
-//   2. plans a fault list per point — both kinds where the point has
-//      input, direct only where it does not (step 3),
-//   3. for each (point, fault): rebuilds the world, arms the injector and
-//      the oracle, reruns the test case, and records whether the fault was
-//      tolerated (steps 4-8),
-//   4. computes fault coverage, interaction coverage, the vulnerability
-//      score rho = count/n, and the Figure 2 adequacy region (steps 9-10),
-//   5. adds the assumption analysis of Section 4.1: who could actually
-//      effect each violating perturbation in the benign world.
+// The engine is split into three layers (see planner.hpp, executor.hpp,
+// scheduler.hpp):
+//
+//   * the Planner runs the trace-discovery pass and plans a fault list
+//     per interaction point (steps 1-3), emitting a serializable
+//     InjectionPlan of (site, fault) work items;
+//   * the Executor drains the plan — one fresh TargetWorld per item —
+//     across a configurable worker pool (steps 4-8), plus the Section 4.1
+//     assumption analysis for each violating outcome;
+//   * the MultiCampaign scheduler fans whole scenario suites through one
+//     shared pool.
+//
+// Campaign is the single-scenario facade over the first two: execute()
+// plans, then drains with CampaignOptions::jobs workers, and the result —
+// fault coverage, interaction coverage, rho = count/n, the Figure 2
+// adequacy region (steps 9-10) — is bit-identical for any worker count.
 #pragma once
 
 #include <cstdint>
@@ -129,6 +133,9 @@ struct CampaignOptions {
   /// other members still count as covered — the equivalence argument is
   /// precisely that their outcomes are determined by the representative's.
   bool merge_equivalent_sites = false;
+  /// Worker threads draining the injection plan (see executor.hpp).
+  /// 1 = serial. Any value yields the identical CampaignResult.
+  int jobs = 1;
 };
 
 class Campaign {
@@ -138,12 +145,7 @@ class Campaign {
   [[nodiscard]] CampaignResult execute(const CampaignOptions& opts = {});
 
  private:
-  std::vector<FaultRef> plan_faults(const InteractionPoint& point) const;
-  Exploitability analyze(const InteractionPoint& point,
-                         const FaultRef& fault) const;
-
   Scenario scenario_;
-  const FaultCatalog& catalog_;
 };
 
 }  // namespace ep::core

@@ -191,11 +191,9 @@ std::string badly_formatted(const std::string& tag) {
 // --- catalog construction ----------------------------------------------------
 
 const FaultCatalog& FaultCatalog::standard() {
-  static const FaultCatalog instance = [] {
-    FaultCatalog c;
-    c.build();
-    return c;
-  }();
+  // Magic-static: initialization is thread-safe, and the instance is
+  // const — no mutation path exists after this returns.
+  static const FaultCatalog instance;
   return instance;
 }
 

@@ -60,10 +60,19 @@ struct FaultRef {
   }
 };
 
+/// Thread-safety contract (the parallel executor depends on it): the
+/// catalog is built once, inside standard()'s first call, and is
+/// immutable afterwards — every public accessor is const and no lookup
+/// caches or mutates state. Campaign/Planner/MultiCampaign resolve the
+/// singleton before any worker thread is spawned, so workers only ever
+/// read the completed catalog.
 class FaultCatalog {
  public:
   /// The full catalog from Tables 5 and 6 plus the registry extension.
   static const FaultCatalog& standard();
+
+  FaultCatalog(const FaultCatalog&) = delete;
+  FaultCatalog& operator=(const FaultCatalog&) = delete;
 
   [[nodiscard]] const std::vector<IndirectFault>& indirect() const {
     return indirect_;
@@ -87,6 +96,10 @@ class FaultCatalog {
   [[nodiscard]] const DirectFault* find_direct(const std::string& name) const;
 
  private:
+  /// Only standard() constructs a catalog; it is complete before the
+  /// reference escapes.
+  FaultCatalog() { build(); }
+
   std::vector<IndirectFault> indirect_;
   std::vector<DirectFault> direct_;
 

@@ -1,0 +1,274 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/injector.hpp"
+#include "core/oracle.hpp"
+#include "os/path.hpp"
+
+namespace ep::core {
+
+Exploitability analyze_exploitability(const Scenario& scenario,
+                                      const InteractionPoint& point,
+                                      const FaultRef& fault) {
+  Exploitability e;
+  auto world = scenario.build();  // judge against the *benign* world
+  os::Kernel& k = world->kernel;
+
+  auto nonroot_user_who_can = [&](const std::string& p,
+                                  os::Perm perm) -> std::string {
+    for (const auto& [uid, info] : k.users()) {
+      if (uid == os::kRootUid) continue;
+      if (k.uid_can(uid, info.second, p, perm)) return info.first;
+    }
+    return {};
+  };
+
+  if (fault.kind == FaultKind::indirect) {
+    switch (fault.indirect->category) {
+      case IndirectCategory::user_input:
+        e.nonroot_feasible = true;
+        e.actor = "invoking user";
+        e.note = "argument values are chosen by whoever runs the program";
+        break;
+      case IndirectCategory::environment_variable:
+        e.nonroot_feasible = true;
+        e.actor = "invoking user";
+        e.note = "the invoker controls the process environment";
+        break;
+      case IndirectCategory::file_system_input: {
+        std::string who = nonroot_user_who_can(point.object, os::Perm::write);
+        e.nonroot_feasible = !who.empty();
+        e.actor = who.empty() ? "root only" : who + " (writer of the input)";
+        e.note = who.empty()
+                     ? "the input file is protected; only root can seed it"
+                     : "whoever writes the input file controls the value";
+        break;
+      }
+      case IndirectCategory::network_input:
+        e.nonroot_feasible = true;
+        e.actor = "remote peer";
+        e.note = "network input is attacker-supplied by definition";
+        break;
+      case IndirectCategory::process_input:
+        e.nonroot_feasible = true;
+        e.actor = "local peer process";
+        e.note = "IPC input comes from another local process";
+        break;
+    }
+    return e;
+  }
+
+  const DirectFault& f = *fault.direct;
+  const std::string& obj = point.object;
+  std::string parent = os::path::dirname(obj);
+
+  switch (f.attribute) {
+    case EnvAttribute::file_existence:
+    case EnvAttribute::symbolic_link:
+    case EnvAttribute::file_name_invariance: {
+      if (point.call == "regread" || point.call == "regwrite") {
+        const reg::Key* key = world->registry.find(obj);
+        e.nonroot_feasible = key && key->acl.everyone_write;
+        e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
+        e.note = "registry key ACL decides who can replace the value";
+        break;
+      }
+      std::string who = nonroot_user_who_can(parent, os::Perm::write);
+      e.nonroot_feasible = !who.empty();
+      e.actor = who.empty() ? "root only" : who;
+      e.note = who.empty()
+                   ? "requires write access to " + parent +
+                         ", which only root has"
+                   : who + " can manipulate directory entries in " + parent;
+      break;
+    }
+    case EnvAttribute::file_content_invariance: {
+      if (point.call == "regread" || point.call == "regwrite") {
+        const reg::Key* key = world->registry.find(obj);
+        e.nonroot_feasible = key && key->acl.everyone_write;
+        e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
+        e.note = "everyone-write ACL lets any user set the value";
+        break;
+      }
+      std::string who = nonroot_user_who_can(obj, os::Perm::write);
+      if (who.empty()) who = nonroot_user_who_can(parent, os::Perm::write);
+      e.nonroot_feasible = !who.empty();
+      e.actor = who.empty() ? "root only" : who;
+      e.note = who.empty() ? "the file and its directory are protected"
+                           : who + " can rewrite the content";
+      break;
+    }
+    case EnvAttribute::file_permission: {
+      auto r = k.vfs().resolve(obj, "/", os::kRootUid, os::kRootGid);
+      if (r.ok()) {
+        const os::Inode& node = k.vfs().inode(r.value());
+        e.nonroot_feasible = node.uid != os::kRootUid;
+        e.actor = e.nonroot_feasible ? "owner (" + k.user_name(node.uid) + ")"
+                                     : "root only";
+        e.note = "chmod requires ownership";
+      } else {
+        e.actor = "root only";
+        e.note = "object absent in the benign world";
+      }
+      break;
+    }
+    case EnvAttribute::file_ownership:
+      e.actor = "root only";
+      e.note = "chown requires root privilege";
+      break;
+    case EnvAttribute::working_directory:
+      e.nonroot_feasible = true;
+      e.actor = "invoking user";
+      e.note = "the invoker chooses the starting directory";
+      break;
+    case EnvAttribute::net_message_authenticity:
+    case EnvAttribute::net_protocol:
+    case EnvAttribute::net_socket_share:
+    case EnvAttribute::net_service_availability:
+    case EnvAttribute::net_entity_trustability:
+      // The regkey-trustability extension reuses this attribute id.
+      if (point.call == "regread" || point.call == "regwrite") {
+        const reg::Key* key = world->registry.find(obj);
+        e.nonroot_feasible = key && key->acl.everyone_write;
+        e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
+        e.note = "whoever may write the key controls where it points";
+      } else {
+        e.nonroot_feasible = true;
+        e.actor = "remote peer";
+        e.note = "network conditions are attacker-influenced";
+      }
+      break;
+    case EnvAttribute::proc_message_authenticity:
+    case EnvAttribute::proc_trustability:
+    case EnvAttribute::proc_service_availability:
+      e.nonroot_feasible = true;
+      e.actor = "local peer process";
+      e.note = "helper-process conditions are controlled by its owner";
+      break;
+  }
+  return e;
+}
+
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  std::size_t workers =
+      jobs < 1 ? 1 : std::min<std::size_t>(static_cast<std::size_t>(jobs),
+                                           count);
+  std::vector<std::exception_ptr> errors(count);
+  if (workers <= 1) {
+    // Same contract as the threaded path: every index is attempted, then
+    // the lowest-index failure is rethrown.
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  try {
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(drain);
+  } catch (...) {
+    // Thread-resource exhaustion: let the already-spawned workers finish
+    // the queue (destroying a joinable thread would terminate). A
+    // collected per-index failure still wins over the transient spawn
+    // error, keeping failure behavior deterministic.
+    drain();
+    for (auto& t : pool) t.join();
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+    throw;
+  }
+  drain();
+  for (auto& t : pool) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+Executor::Executor(const Scenario& scenario) : scenario_(scenario) {
+  if (!scenario_.build || !scenario_.run)
+    throw std::logic_error("Executor: scenario must define build and run");
+}
+
+InjectionOutcome Executor::run_item(const InjectionPlan& plan,
+                                    const WorkItem& item) const {
+  const InteractionPoint& point = plan.point_of(item);
+  auto world = scenario_.build();
+  auto injector = std::make_shared<Injector>(*world, point.site, item.fault,
+                                             scenario_.hints);
+  auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
+  world->kernel.add_interposer(injector);
+  world->kernel.add_interposer(oracle);
+
+  InjectionOutcome out;
+  out.site = point.site;
+  out.call = point.call;
+  out.object = point.object;
+  out.kind = item.fault.kind;
+  out.fault_name = item.fault.name();
+  out.fault_description = item.fault.kind == FaultKind::indirect
+                              ? item.fault.indirect->description
+                              : item.fault.direct->description;
+  out.exit_code = scenario_.run(*world);
+  out.fired = injector->fired();
+  out.violations = oracle->violations();
+  out.violated = !out.violations.empty();
+  out.crashed = oracle->crash_count() > 0;
+  out.overflows = oracle->overflow_count();
+
+  std::string broken = world->kernel.vfs().check_invariants();
+  if (!broken.empty())
+    throw std::logic_error("VFS invariant broken after injection '" +
+                           out.fault_name + "': " + broken);
+
+  if (out.violated) out.exploit = analyze_exploitability(scenario_, point,
+                                                         item.fault);
+  return out;
+}
+
+CampaignResult result_skeleton(const InjectionPlan& plan) {
+  CampaignResult result;
+  result.scenario_name = plan.scenario_name;
+  result.points = plan.points;
+  result.benign_violations = plan.benign_violations;
+  result.perturbed_site_tags = plan.perturbed_site_tags;
+  result.injections.resize(plan.items.size());
+  return result;
+}
+
+CampaignResult Executor::execute(const InjectionPlan& plan,
+                                 const ExecutorOptions& opts) const {
+  CampaignResult result = result_skeleton(plan);
+  parallel_for(plan.items.size(), opts.jobs, [&](std::size_t i) {
+    result.injections[i] = run_item(plan, plan.items[i]);
+  });
+  return result;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,67 @@
+// Procedure steps 4-8 as a parallel engine.
+//
+// The Executor drains an InjectionPlan across a pool of worker threads.
+// Each work item is one full rebuild-and-rerun cycle, and each cycle runs
+// in its own fresh TargetWorld built by the scenario's `build` callback —
+// the thread-confinement rule: kernel, VFS, network, and registry state
+// are owned by exactly one run and never shared. The only state workers
+// share is immutable (the plan, the scenario definition, the fault
+// catalog), so outcome i is independent of scheduling and is written to
+// result slot i — the result is bit-identical for any worker count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/planner.hpp"
+
+namespace ep::core {
+
+struct ExecutorOptions {
+  /// Worker threads draining the plan. 1 = run serially on the calling
+  /// thread (no threads spawned); n > 1 spawns n-1 helpers plus the
+  /// calling thread.
+  int jobs = 1;
+};
+
+/// Section 4.1's assumption analysis for one violating outcome, judged
+/// against a fresh *benign* world (who could actually effect the
+/// perturbation there?).
+[[nodiscard]] Exploitability analyze_exploitability(
+    const Scenario& scenario, const InteractionPoint& point,
+    const FaultRef& fault);
+
+/// Run fn(0) ... fn(count-1) across `jobs` threads via a shared work
+/// queue. Call order across threads is unspecified; exceptions are
+/// collected per index and the lowest-index one is rethrown after all
+/// workers finish, so failure behavior is deterministic too.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// The CampaignResult a drained plan fills in: every plan-derived field
+/// copied over and `injections` sized one slot per work item. Both
+/// Executor::execute and the MultiCampaign scheduler assemble results
+/// through this, so the plan-to-result mapping lives in one place.
+[[nodiscard]] CampaignResult result_skeleton(const InjectionPlan& plan);
+
+class Executor {
+ public:
+  /// `scenario` must outlive the executor (the campaign owns it).
+  explicit Executor(const Scenario& scenario);
+
+  /// Drain the plan and assemble the CampaignResult. Injection outcomes
+  /// appear in plan-item order regardless of `jobs`.
+  [[nodiscard]] CampaignResult execute(const InjectionPlan& plan,
+                                       const ExecutorOptions& opts = {}) const;
+
+  /// One rebuild-and-rerun cycle (steps 4-8) for a single work item.
+  /// Thread-safe: touches only the fresh world it builds. The scheduler's
+  /// shared pool calls this directly.
+  [[nodiscard]] InjectionOutcome run_item(const InjectionPlan& plan,
+                                          const WorkItem& item) const;
+
+ private:
+  const Scenario& scenario_;
+};
+
+}  // namespace ep::core

@@ -1,0 +1,181 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/equivalence.hpp"
+#include "core/oracle.hpp"
+#include "core/trace.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+
+std::string InjectionPlan::to_json() const {
+  std::string out = "{\n";
+  out += "  \"scenario\": " + json_quote(scenario_name) + ",\n";
+
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out += "    {\"site\": " + json_quote(p.site.tag) +
+           ", \"call\": " + json_quote(p.call) +
+           ", \"object\": " + json_quote(p.object) +
+           ", \"kind\": " + json_quote(std::string(to_string(p.kind))) +
+           ", \"has_input\": " + (p.has_input ? "true" : "false") + "}";
+    out += i + 1 < points.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"items\": [\n";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& w = items[i];
+    const auto& p = points[w.point_index];
+    out += "    {\"point\": " + std::to_string(w.point_index) +
+           ", \"site\": " + json_quote(p.site.tag) +
+           ", \"kind\": " +
+           json_quote(std::string(to_string(w.fault.kind))) +
+           ", \"fault\": " + json_quote(w.fault.name()) + "}";
+    out += i + 1 < items.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Planner::Planner(const Scenario& scenario)
+    : scenario_(scenario), catalog_(FaultCatalog::standard()) {
+  if (!scenario_.build || !scenario_.run)
+    throw std::logic_error("Planner: scenario must define build and run");
+}
+
+std::vector<FaultRef> Planner::plan_faults(
+    const InteractionPoint& point) const {
+  std::vector<FaultRef> plan;
+  auto spec_it = scenario_.sites.find(point.site.tag);
+  if (spec_it != scenario_.sites.end() && spec_it->second.skip) return plan;
+
+  if (spec_it != scenario_.sites.end() && !spec_it->second.faults.empty()) {
+    for (const auto& name : spec_it->second.faults) {
+      if (const IndirectFault* f = catalog_.find_indirect(name)) {
+        FaultRef r;
+        r.kind = FaultKind::indirect;
+        r.indirect = f;
+        plan.push_back(r);
+      } else if (const DirectFault* f2 = catalog_.find_direct(name)) {
+        FaultRef r;
+        r.kind = FaultKind::direct;
+        r.direct = f2;
+        plan.push_back(r);
+      } else {
+        throw std::logic_error("Planner: unknown fault name '" + name +
+                               "' at site " + point.site.tag);
+      }
+    }
+    return plan;
+  }
+
+  ObjectKind kind = point.kind;
+  InputSemantic semantic = point.semantic;
+  if (spec_it != scenario_.sites.end()) {
+    if (spec_it->second.kind != ObjectKind::none)
+      kind = spec_it->second.kind;
+    if (spec_it->second.semantic) semantic = *spec_it->second.semantic;
+  }
+
+  // Step 3: no input -> only direct faults; input -> both kinds.
+  for (const DirectFault* f : catalog_.direct_for(kind)) {
+    FaultRef r;
+    r.kind = FaultKind::direct;
+    r.direct = f;
+    plan.push_back(r);
+  }
+  if (point.has_input) {
+    for (const IndirectFault* f : catalog_.indirect_for(semantic)) {
+      FaultRef r;
+      r.kind = FaultKind::indirect;
+      r.indirect = f;
+      plan.push_back(r);
+    }
+  }
+  return plan;
+}
+
+InjectionPlan Planner::plan(const CampaignOptions& opts) const {
+  InjectionPlan plan;
+  plan.scenario_name = scenario_.name;
+
+  // ---- Step 3: discover interaction points with a clean trace run --------
+  {
+    auto world = scenario_.build();
+    auto recorder =
+        std::make_shared<TraceRecorder>(scenario_.trace_unit_filter);
+    auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
+    world->kernel.add_interposer(recorder);
+    world->kernel.add_interposer(oracle);
+    (void)scenario_.run(*world);
+    plan.points = recorder->points();
+    plan.benign_violations = oracle->violations();
+  }
+
+  // ---- Site selection (step 9's coverage target / Figure 2 subsets) ------
+  std::vector<std::size_t> selected;
+  if (!opts.only_sites.empty()) {
+    for (std::size_t i = 0; i < plan.points.size(); ++i)
+      if (std::find(opts.only_sites.begin(), opts.only_sites.end(),
+                    plan.points[i].site.tag) != opts.only_sites.end())
+        selected.push_back(i);
+  } else if (opts.target_interaction_coverage >= 1.0) {
+    for (std::size_t i = 0; i < plan.points.size(); ++i)
+      selected.push_back(i);
+  } else {
+    std::size_t want = static_cast<std::size_t>(
+        opts.target_interaction_coverage * plan.points.size() + 0.5);
+    want = std::max<std::size_t>(want, 1);
+    want = std::min(want, plan.points.size());
+    // Deterministic sample without replacement.
+    std::vector<std::size_t> idx(plan.points.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    Rng rng(opts.seed);
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      std::swap(idx[i], idx[i + rng.below(idx.size() - i)]);
+    idx.resize(want);
+    std::sort(idx.begin(), idx.end());  // keep trace order
+    selected = std::move(idx);
+  }
+
+  // ---- Optional future-work reduction: equivalence merging ---------------
+  // Injecting only at each class representative; co-members count as
+  // covered because their injections would meet the same environment
+  // state and program handling.
+  std::map<std::string, std::vector<std::string>> covered_with;
+  if (opts.merge_equivalent_sites) {
+    auto classes = find_equivalence_classes(plan.points);
+    std::vector<std::size_t> reduced;
+    for (std::size_t i : selected) {
+      const InteractionPoint& point = plan.points[i];
+      for (const auto& c : classes) {
+        if (!(c.representative().site == point.site)) continue;
+        reduced.push_back(i);
+        for (const auto* member : c.members)
+          covered_with[point.site.tag].push_back(member->site.tag);
+      }
+    }
+    selected = std::move(reduced);
+  }
+
+  // ---- Plan one work item per (site, fault) ------------------------------
+  for (std::size_t i : selected) {
+    const InteractionPoint& point = plan.points[i];
+    std::vector<FaultRef> faults = plan_faults(point);
+    if (faults.empty()) continue;
+    plan.perturbed_site_tags.insert(point.site.tag);
+    for (const auto& member : covered_with[point.site.tag])
+      plan.perturbed_site_tags.insert(member);
+    for (const FaultRef& fault : faults)
+      plan.items.push_back({i, fault});
+  }
+  return plan;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,71 @@
+// Procedure steps 1-3 as a standalone layer.
+//
+// The Planner performs the trace-discovery run (step 3), applies the
+// scenario's site judgments and step 9's coverage target, and plans the
+// fault list per interaction point — emitting an InjectionPlan: an
+// ordered, immutable list of (site, fault) work items. Everything that
+// consults shared state (the fault catalog, the scenario's SiteSpec map,
+// the sampling RNG) happens here, on one thread, before any injection
+// runs; the Executor then drains the plan with no planning decisions left
+// to make. That split is what allows the drain to be parallel.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace ep::core {
+
+/// One (interaction point, fault) pair: exactly one rebuild-and-rerun
+/// cycle of procedure steps 4-8.
+struct WorkItem {
+  std::size_t point_index = 0;  // into InjectionPlan::points
+  FaultRef fault;
+};
+
+/// The planner's output: everything an executor needs to run the campaign,
+/// with no further decisions to make. Work items are in plan order —
+/// selected points in trace order, faults in catalog order — and executor
+/// output order equals item order regardless of how many workers drain it.
+struct InjectionPlan {
+  std::string scenario_name;
+  std::vector<InteractionPoint> points;  // step 3: all discovered
+  std::vector<Violation> benign_violations;
+  /// Sites that count as perturbed once the plan is drained (includes
+  /// equivalence-class co-members when merging was requested).
+  std::set<std::string> perturbed_site_tags;
+  std::vector<WorkItem> items;
+
+  [[nodiscard]] const InteractionPoint& point_of(const WorkItem& w) const {
+    return points[w.point_index];
+  }
+  /// Machine-readable form of the plan. The plan is the engine's unit of
+  /// distribution: a serialized plan can be split across processes or
+  /// machines and each shard drained independently.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Planner {
+ public:
+  /// `scenario` must outlive the planner (the campaign owns it). The
+  /// catalog reference is resolved once here, so no worker thread ever
+  /// touches the singleton accessor.
+  explicit Planner(const Scenario& scenario);
+
+  [[nodiscard]] InjectionPlan plan(const CampaignOptions& opts = {}) const;
+
+  /// Step 3's per-point fault decision — both kinds where the point has
+  /// input, direct only where it does not, honoring the scenario's
+  /// explicit fault lists and not-applicable judgments.
+  [[nodiscard]] std::vector<FaultRef> plan_faults(
+      const InteractionPoint& point) const;
+
+ private:
+  const Scenario& scenario_;
+  const FaultCatalog& catalog_;
+};
+
+}  // namespace ep::core

@@ -1,0 +1,77 @@
+#include "core/scheduler.hpp"
+
+namespace ep::core {
+
+int SweepResult::total_points() const {
+  int c = 0;
+  for (const auto& r : results) c += static_cast<int>(r.points.size());
+  return c;
+}
+
+int SweepResult::total_injections() const {
+  int c = 0;
+  for (const auto& r : results) c += r.n();
+  return c;
+}
+
+int SweepResult::total_violations() const {
+  int c = 0;
+  for (const auto& r : results) c += r.violation_count();
+  return c;
+}
+
+int SweepResult::total_exploitable() const {
+  int c = 0;
+  for (const auto& r : results) c += static_cast<int>(r.exploitable().size());
+  return c;
+}
+
+double SweepResult::mean_vulnerability_score() const {
+  int n = total_injections();
+  return n == 0 ? 0.0 : static_cast<double>(total_violations()) / n;
+}
+
+void MultiCampaign::add(Scenario scenario) {
+  scenarios_.push_back(std::move(scenario));
+}
+
+SweepResult MultiCampaign::run(const SweepOptions& opts) const {
+  // Resolve the catalog singleton once, before any worker thread exists;
+  // after this line every thread sees only the completed, immutable
+  // catalog.
+  (void)FaultCatalog::standard();
+
+  SweepResult sweep;
+  const std::size_t n = scenarios_.size();
+
+  // ---- Phase 1: plan every scenario (one trace run each) -----------------
+  std::vector<InjectionPlan> plans(n);
+  parallel_for(n, opts.jobs, [&](std::size_t i) {
+    plans[i] = Planner(scenarios_[i]).plan(opts.campaign);
+  });
+
+  // ---- Phase 2: drain one global queue of (scenario, item) ---------------
+  std::vector<Executor> executors;
+  executors.reserve(n);
+  sweep.results.resize(n);
+  struct Slot {
+    std::size_t scenario;
+    std::size_t item;
+  };
+  std::vector<Slot> queue;
+  for (std::size_t si = 0; si < n; ++si) {
+    executors.emplace_back(scenarios_[si]);
+    sweep.results[si] = result_skeleton(plans[si]);
+    for (std::size_t ii = 0; ii < plans[si].items.size(); ++ii)
+      queue.push_back({si, ii});
+  }
+  parallel_for(queue.size(), opts.jobs, [&](std::size_t q) {
+    const Slot& s = queue[q];
+    sweep.results[s.scenario].injections[s.item] =
+        executors[s.scenario].run_item(plans[s.scenario],
+                                       plans[s.scenario].items[s.item]);
+  });
+  return sweep;
+}
+
+}  // namespace ep::core

@@ -3,6 +3,14 @@
 // both for the test suite's exact-count assertions and because the paper's
 // methodology is explicitly deterministic (its advantage over penetration
 // testing).
+//
+// Thread-confinement rule: there is deliberately no process-global RNG in
+// this codebase. Every engine that needs randomness owns a seeded Rng
+// instance (per campaign, per baseline run), and an instance must never
+// be shared across threads — the parallel executor keeps all sampling in
+// the single-threaded Planner, so worker threads draw no random numbers
+// at all. Use fork() to derive an independent, deterministic stream when
+// a sub-task needs its own generator.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +68,11 @@ class Rng {
   const T& pick(const std::vector<T>& v) {
     return v[below(v.size())];
   }
+
+  /// Derive an independent, deterministic child stream (seeded from this
+  /// stream's next output). Hand the child to a sub-task instead of
+  /// sharing `this` across threads.
+  Rng fork() { return Rng(next_u64()); }
 
  private:
   std::uint64_t state_;

@@ -33,4 +33,11 @@ std::string percent(double numerator, double denominator, int decimals = 1);
 /// Repeat a string n times.
 std::string repeat(std::string_view s, std::size_t n);
 
+/// Escape for embedding inside a JSON string literal (quotes, backslash,
+/// control characters).
+std::string json_escape(const std::string& s);
+
+/// `s` as a quoted JSON string: json_quote("a\"b") -> "\"a\\\"b\"".
+std::string json_quote(const std::string& s);
+
 }  // namespace ep

@@ -1,0 +1,105 @@
+// MultiCampaign scheduler tests: many scenarios through one shared pool,
+// aggregated in add() order with seed-stable, interleaving-independent
+// results.
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/campaign_fixtures.hpp"
+
+namespace ep::core {
+namespace {
+
+TEST(MultiCampaign, AggregatesInAddOrder) {
+  MultiCampaign suite;
+  suite.add(toy_scenario("toy-a", false));
+  suite.add(toy_scenario("toy-b", true));
+  suite.add(toy_scenario("toy-c", false));
+  ASSERT_EQ(suite.size(), 3u);
+
+  SweepOptions opts;
+  opts.jobs = 4;
+  SweepResult sweep = suite.run(opts);
+  ASSERT_EQ(sweep.results.size(), 3u);
+  EXPECT_EQ(sweep.results[0].scenario_name, "toy-a");
+  EXPECT_EQ(sweep.results[1].scenario_name, "toy-b");
+  EXPECT_EQ(sweep.results[2].scenario_name, "toy-c");
+}
+
+TEST(MultiCampaign, MatchesStandaloneCampaigns) {
+  MultiCampaign suite;
+  suite.add(toy_scenario("toy-a", false));
+  suite.add(toy_scenario("toy-b", true));
+
+  SweepOptions opts;
+  opts.jobs = 4;
+  SweepResult sweep = suite.run(opts);
+
+  expect_identical(sweep.results[0],
+                   Campaign(toy_scenario("toy-a", false)).execute());
+  expect_identical(sweep.results[1],
+                   Campaign(toy_scenario("toy-b", true)).execute());
+}
+
+TEST(MultiCampaign, SharedPoolResultEqualsSerial) {
+  for (int jobs : {1, 4, 9}) {
+    MultiCampaign suite;
+    suite.add(toy_scenario("toy-a", false));
+    suite.add(toy_scenario("toy-b", true));
+    SweepOptions opts;
+    opts.jobs = jobs;
+    SweepResult sweep = suite.run(opts);
+
+    MultiCampaign again;
+    again.add(toy_scenario("toy-a", false));
+    again.add(toy_scenario("toy-b", true));
+    SweepResult serial = again.run({});
+    ASSERT_EQ(sweep.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < sweep.results.size(); ++i)
+      expect_identical(sweep.results[i], serial.results[i]);
+  }
+}
+
+TEST(MultiCampaign, TotalsSumOverScenarios) {
+  MultiCampaign suite;
+  suite.add(toy_scenario("toy-a", false));
+  suite.add(toy_scenario("toy-b", true));
+  SweepResult sweep = suite.run({});
+
+  int points = 0, injections = 0, violations = 0, exploitable = 0;
+  for (const auto& r : sweep.results) {
+    points += static_cast<int>(r.points.size());
+    injections += r.n();
+    violations += r.violation_count();
+    exploitable += static_cast<int>(r.exploitable().size());
+  }
+  EXPECT_EQ(sweep.total_points(), points);
+  EXPECT_EQ(sweep.total_injections(), injections);
+  EXPECT_EQ(sweep.total_violations(), violations);
+  EXPECT_EQ(sweep.total_exploitable(), exploitable);
+  ASSERT_GT(injections, 0);
+  EXPECT_DOUBLE_EQ(sweep.mean_vulnerability_score(),
+                   static_cast<double>(violations) / injections);
+}
+
+TEST(MultiCampaign, HardeningShowsUpInTheAggregate) {
+  // The hardened variant locks mallory out of /toy, so its rho must not
+  // exceed the open variant's.
+  MultiCampaign suite;
+  suite.add(toy_scenario("toy-open", false));
+  suite.add(toy_scenario("toy-hard", true));
+  SweepResult sweep = suite.run({});
+  EXPECT_LE(sweep.results[1].vulnerability_score(),
+            sweep.results[0].vulnerability_score());
+}
+
+TEST(MultiCampaign, EmptySuiteRunsToEmptyResult) {
+  MultiCampaign suite;
+  SweepResult sweep = suite.run({});
+  EXPECT_TRUE(sweep.results.empty());
+  EXPECT_EQ(sweep.total_injections(), 0);
+  EXPECT_DOUBLE_EQ(sweep.mean_vulnerability_score(), 0.0);
+}
+
+}  // namespace
+}  // namespace ep::core

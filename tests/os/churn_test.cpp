@@ -6,6 +6,7 @@
 
 #include "os/vfs.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace ep::os {
 namespace {
@@ -48,7 +49,7 @@ class ChurnMachine {
       Ino d = dirs_[i];
       if (vfs_.exists(d) && vfs_.inode(d).is_dir() &&
           (d == vfs_.root() ||
-           !vfs_.canonical_path(d).starts_with("<detached"))) {
+           !ep::starts_with(vfs_.canonical_path(d), "<detached"))) {
         return d;
       }
       dirs_.erase(dirs_.begin() + static_cast<long>(i));

@@ -69,6 +69,26 @@ TEST(Rng, PrintableIsPrintable) {
   }
 }
 
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng a(42), b(42);
+  Rng fa = a.fork(), fb = b.fork();
+  // Same parent seed -> same child stream.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // Child diverges from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == fa.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkAdvancesParent) {
+  Rng forked(42), plain(42);
+  (void)forked.fork();
+  // Forking consumes one draw, so the parent stream moves on — two
+  // sub-tasks forked in sequence get distinct streams.
+  EXPECT_NE(forked.next_u64(), plain.next_u64());
+}
+
 TEST(Rng, PickCoversVector) {
   Rng r(19);
   std::vector<int> v{1, 2, 3};
