@@ -41,7 +41,9 @@ int usage() {
       "  epa_cli trace <scenario>\n"
       "  epa_cli run <scenario> [--sites a,b,...] [--coverage F]\n"
       "                         [--seed N] [--merge] [--json] [--jobs N]\n"
+      "                         [--no-world-cache]\n"
       "  epa_cli sweep [--jobs N] [--seed N] [--merge] [--json]\n"
+      "                [--no-world-cache]\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
   return 2;
@@ -219,6 +221,8 @@ int main(int argc, char** argv) {
         opts.jobs = std::atoi(argv[++i]);
       } else if (arg == "--seed" && i + 1 < argc) {
         opts.campaign.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (arg == "--no-world-cache") {
+        opts.campaign.use_world_cache = false;
       } else {
         std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
         return usage();
@@ -251,6 +255,8 @@ int main(int argc, char** argv) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "--jobs" && i + 1 < argc) {
       opts.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--no-world-cache") {
+      opts.use_world_cache = false;
     } else {
       std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
       return usage();

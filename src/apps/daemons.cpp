@@ -333,6 +333,9 @@ core::Scenario logind_scenario_impl(bool hardened) {
       "privileged login daemon: message authenticity, protocol order, "
       "socket sharing, auth-service availability and trustability";
   s.trace_unit_filter = "logind.c";
+  // All daemon builds are deterministic with stateless service handlers:
+  // snapshot-safe (see core/snapshot.hpp).
+  s.snapshot_safe = true;
   s.build = [hardened] {
     auto w = std::make_unique<core::TargetWorld>();
     os::Kernel& k = w->kernel;
@@ -341,9 +344,11 @@ core::Scenario logind_scenario_impl(bool hardened) {
     k.add_user(666, "mallory", 666);
     os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
     daemon_network(w->network);
-    net::Network* np = &w->network;
-    k.register_image("logind", [np, hardened](os::Kernel& kk, os::Pid p) {
-      return logind_impl(kk, p, *np, hardened);
+    // The image reaches the network through the kernel it is handed, so
+    // it always talks to the world it runs in (clone-safe; see
+    // Kernel::attach_substrates).
+    k.register_image("logind", [hardened](os::Kernel& kk, os::Pid p) {
+      return logind_impl(kk, p, *kk.network(), hardened);
     });
     register_payload_images(k);
     os::world::put_program(k, "/usr/sbin/logind", "logind", os::kRootUid,
@@ -375,6 +380,7 @@ core::Scenario netcpd_scenario() {
       "network file server: unchecked request parsing, blind DNS trust, "
       "symlinkable served files";
   s.trace_unit_filter = "netcpd.c";
+  s.snapshot_safe = true;
   s.build = [] {
     auto w = std::make_unique<core::TargetWorld>();
     os::Kernel& k = w->kernel;
@@ -391,9 +397,8 @@ core::Scenario netcpd_scenario() {
     script.expected_protocol = {"REQ"};
     script.inbound = {{"10.0.0.5", "REQ", "fileserver.corp:readme.txt", true}};
     w->network.set_client_script(script);
-    net::Network* np = &w->network;
-    w->kernel.register_image("netcpd", [np](os::Kernel& kk, os::Pid p) {
-      return netcpd_impl(kk, p, *np);
+    w->kernel.register_image("netcpd", [](os::Kernel& kk, os::Pid p) {
+      return netcpd_impl(kk, p, *kk.network());
     });
     os::world::put_program(k, "/usr/sbin/netcpd", "netcpd", os::kRootUid,
                            os::kRootGid, 0755);
@@ -419,6 +424,7 @@ core::Scenario cronhelpd_scenario() {
       "privileged scheduler fed over local IPC, signing key fetched from a "
       "helper process (Table 6 process-entity faults)";
   s.trace_unit_filter = "cronhelpd.c";
+  s.snapshot_safe = true;
   s.build = [] {
     auto w = std::make_unique<core::TargetWorld>();
     os::Kernel& k = w->kernel;
@@ -441,9 +447,8 @@ core::Scenario cronhelpd_scenario() {
     script.expected_protocol = {"JOB"};
     script.inbound = {{"cronclient", "JOB", "job=cleanup", true}};
     w->network.set_client_script(script);
-    net::Network* np = &w->network;
-    w->kernel.register_image("cronhelpd", [np](os::Kernel& kk, os::Pid p) {
-      return cronhelpd_impl(kk, p, *np);
+    w->kernel.register_image("cronhelpd", [](os::Kernel& kk, os::Pid p) {
+      return cronhelpd_impl(kk, p, *kk.network());
     });
     os::world::put_program(k, "/usr/sbin/cronhelpd", "cronhelpd",
                            os::kRootUid, os::kRootGid, 0755);
@@ -466,6 +471,7 @@ core::Scenario rshd_scenario() {
       "remote-shell daemon with hostname authentication: unchecked "
       "hostname/resolver buffers, validate-first-execute-all dispatch";
   s.trace_unit_filter = "rshd.c";
+  s.snapshot_safe = true;
   s.build = [] {
     auto w = std::make_unique<core::TargetWorld>();
     os::Kernel& k = w->kernel;
@@ -492,9 +498,8 @@ core::Scenario rshd_scenario() {
     script.inbound = {{"trusted.corp", "HOST", "trusted.corp", true},
                       {"trusted.corp", "CMD", "ls", true}};
     w->network.set_client_script(script);
-    net::Network* np = &w->network;
-    k.register_image("rshd", [np](os::Kernel& kk, os::Pid p) {
-      return rshd_impl(kk, p, *np);
+    k.register_image("rshd", [](os::Kernel& kk, os::Pid p) {
+      return rshd_impl(kk, p, *kk.network());
     });
     os::world::put_program(k, "/usr/sbin/rshd", "rshd", os::kRootUid,
                            os::kRootGid, 0755);

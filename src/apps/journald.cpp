@@ -54,6 +54,7 @@ core::Scenario journald_scenario() {
       "privileged logger honoring the invoker-supplied creation mask "
       "(Table 5: permission mask)";
   s.trace_unit_filter = "journald.c";
+  s.snapshot_safe = true;
   s.build = [] {
     auto w = std::make_unique<core::TargetWorld>();
     os::Kernel& k = w->kernel;

@@ -44,6 +44,9 @@ core::Scenario lpr_scenario() {
       "BSD lpr spool-file creation (Section 3.4): perturb the temp file's "
       "attributes at the create interaction point";
   s.trace_unit_filter = "lpr.c";
+  // build() is deterministic and self-contained: one frozen prototype
+  // world may be cloned per run (see core/snapshot.hpp).
+  s.snapshot_safe = true;
 
   s.build = [] {
     auto w = std::make_unique<core::TargetWorld>();

@@ -60,6 +60,7 @@ core::Scenario mailer_scenario() {
       "sloppy set-uid mail utility: unchecked argv copy, concatenated "
       "spool path, unsanitized $PATH exec";
   s.trace_unit_filter = "mailer.c";
+  s.snapshot_safe = true;
 
   s.build = [] {
     auto w = std::make_unique<core::TargetWorld>();

@@ -281,12 +281,13 @@ std::unique_ptr<core::TargetWorld> nt_registry_world() {
   os::world::put_program(k, "/winnt/system32/ssmarquee.scr", "benign-cmd");
   os::world::put_program(k, "/winnt/system32/drwtsn32.exe", "benign-cmd");
 
-  // Module services: installed set-uid SYSTEM, invoked by the admin.
-  reg::Registry* rp = &w->registry;
+  // Module services: installed set-uid SYSTEM, invoked by the admin. The
+  // image looks the registry up through its own kernel (clone-safe; see
+  // Kernel::attach_substrates).
   auto install = [&](const char* name, int (*fn)(os::Kernel&, os::Pid,
                                                  reg::Registry&)) {
-    k.register_image(name, [rp, fn](os::Kernel& kk, os::Pid p) {
-      return fn(kk, p, *rp);
+    k.register_image(name, [fn](os::Kernel& kk, os::Pid p) {
+      return fn(kk, p, *kk.registry());
     });
     os::world::put_program(k, std::string("/winnt/system32/") + name + ".exe",
                            name, os::kRootUid, os::kRootGid,
@@ -349,6 +350,7 @@ core::Scenario nt_module_scenario(const std::string& module) {
   for (const auto& m : nt_modules())
     if (m.module == module) s.description = m.what;
   s.trace_unit_filter = module + ".c";
+  s.snapshot_safe = true;
   s.build = [] { return nt_registry_world(); };
   s.run = [module](core::TargetWorld& w) {
     auto r = w.kernel.spawn("/winnt/system32/" + module + ".exe", {module},

@@ -271,6 +271,7 @@ core::Scenario turnin_scenario_impl(bool hardened) {
   s.description =
       "Purdue turnin (Section 4.1): 8 interaction points, 41 perturbations";
   s.trace_unit_filter = "turnin.c";
+  s.snapshot_safe = true;
 
   s.build = [hardened] {
     auto w = std::make_unique<core::TargetWorld>();

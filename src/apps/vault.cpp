@@ -62,6 +62,7 @@ core::Scenario vault_scenario_impl(bool fixed) {
   s.description =
       "set-uid ledger writer with an access()/open() TOCTTOU window";
   s.trace_unit_filter = "vault.c";
+  s.snapshot_safe = true;
   s.build = [fixed] {
     auto w = std::make_unique<core::TargetWorld>();
     os::Kernel& k = w->kernel;

@@ -54,6 +54,7 @@ CampaignResult Campaign::execute(const CampaignOptions& opts) {
   InjectionPlan plan = Planner(scenario_).plan(opts);
   ExecutorOptions eopts;
   eopts.jobs = opts.jobs;
+  eopts.use_world_cache = opts.use_world_cache;
   return Executor(scenario_).execute(plan, eopts);
 }
 

@@ -61,8 +61,15 @@ struct Scenario {
   std::string name;
   std::string description;
   /// Build the benign world: file system, users, programs, network,
-  /// registry. Called fresh for every injection run.
+  /// registry. Called fresh for every injection run — unless the scenario
+  /// declares snapshot_safe, in which case the engine may call it once
+  /// and clone the frozen result per run.
   std::function<std::unique_ptr<TargetWorld>()> build;
+  /// Scenario author's declaration that build() meets the snapshot-safety
+  /// contract (see core/snapshot.hpp): deterministic, self-contained, no
+  /// interposers. Opt-in — the engine only reuses worlds across runs when
+  /// this is set, so an unsafe build() merely forfeits the speedup.
+  bool snapshot_safe = false;
   /// Run the test case (spawn the target program(s)); returns the
   /// (last) exit code.
   std::function<int(TargetWorld&)> run;
@@ -136,6 +143,12 @@ struct CampaignOptions {
   /// Worker threads draining the injection plan (see executor.hpp).
   /// 1 = serial. Any value yields the identical CampaignResult.
   int jobs = 1;
+  /// Amortize world builds: plan a frozen prototype world for
+  /// snapshot-safe scenarios and clone it per run (see core/snapshot.hpp).
+  /// Off = the paper's original rebuild-per-run procedure (the CLI's
+  /// --no-world-cache escape hatch). Either setting yields the identical
+  /// CampaignResult; this only trades build time for clone time.
+  bool use_world_cache = true;
 };
 
 class Campaign {

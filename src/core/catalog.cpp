@@ -93,7 +93,7 @@ void perturb_ownership(TargetWorld& w, SyscallCtx& ctx,
                                      h.attacker_gid, 0600, kPlantedContent);
     return;
   }
-  os::Inode& node = w.kernel.vfs().inode(rp->leaf_ino);
+  os::Inode& node = w.kernel.vfs().mutate(rp->leaf_ino);
   // "change ownership to the owner of the process, other normal users, or
   // root" — pick whichever actually changes the situation.
   if (node.uid == h.attacker_uid) {
@@ -114,7 +114,7 @@ void perturb_permission(TargetWorld& w, SyscallCtx& ctx,
                                      os::kRootGid, 0600, kPlantedContent);
     return;
   }
-  os::Inode& node = w.kernel.vfs().inode(rp->leaf_ino);
+  os::Inode& node = w.kernel.vfs().mutate(rp->leaf_ino);
   // "flip the permission bit": restrict if the object is accessible to
   // others, loosen if it is locked down — either direction breaks an
   // assumption the program may hold.
@@ -132,7 +132,7 @@ void perturb_symlink(TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& h) {
   if (rp->leaf_ino != os::kNoIno &&
       w.kernel.vfs().inode(rp->leaf_ino).is_symlink()) {
     // "if the file is a symbolic link, change the target it links to"
-    w.kernel.vfs().inode(rp->leaf_ino).content = victim;
+    w.kernel.vfs().mutate(rp->leaf_ino).content = victim;
     return;
   }
   // "if the file is not a symbolic link, change it to a symbolic link"
@@ -144,8 +144,8 @@ void perturb_symlink(TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& h) {
 void perturb_content(TargetWorld& w, SyscallCtx& ctx, const ScenarioHints& h) {
   auto rp = locate(w, ctx);
   if (!rp || rp->leaf_ino == os::kNoIno) return;
-  os::Inode& node = w.kernel.vfs().inode(rp->leaf_ino);
-  if (!node.is_regular()) return;
+  if (!w.kernel.vfs().inode(rp->leaf_ino).is_regular()) return;
+  os::Inode& node = w.kernel.vfs().mutate(rp->leaf_ino);
   auto it = h.content_payloads.find(ctx.site.tag);
   node.content = it != h.content_payloads.end()
                      ? it->second

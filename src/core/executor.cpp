@@ -16,9 +16,15 @@ namespace ep::core {
 Exploitability analyze_exploitability(const Scenario& scenario,
                                       const InteractionPoint& point,
                                       const FaultRef& fault) {
-  Exploitability e;
   auto world = scenario.build();  // judge against the *benign* world
-  os::Kernel& k = world->kernel;
+  return analyze_exploitability(*world, point, fault);
+}
+
+Exploitability analyze_exploitability(const TargetWorld& world,
+                                      const InteractionPoint& point,
+                                      const FaultRef& fault) {
+  Exploitability e;
+  const os::Kernel& k = world.kernel;
 
   auto nonroot_user_who_can = [&](const std::string& p,
                                   os::Perm perm) -> std::string {
@@ -73,7 +79,7 @@ Exploitability analyze_exploitability(const Scenario& scenario,
     case EnvAttribute::symbolic_link:
     case EnvAttribute::file_name_invariance: {
       if (point.call == "regread" || point.call == "regwrite") {
-        const reg::Key* key = world->registry.find(obj);
+        const reg::Key* key = world.registry.find(obj);
         e.nonroot_feasible = key && key->acl.everyone_write;
         e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
         e.note = "registry key ACL decides who can replace the value";
@@ -90,7 +96,7 @@ Exploitability analyze_exploitability(const Scenario& scenario,
     }
     case EnvAttribute::file_content_invariance: {
       if (point.call == "regread" || point.call == "regwrite") {
-        const reg::Key* key = world->registry.find(obj);
+        const reg::Key* key = world.registry.find(obj);
         e.nonroot_feasible = key && key->acl.everyone_write;
         e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
         e.note = "everyone-write ACL lets any user set the value";
@@ -134,7 +140,7 @@ Exploitability analyze_exploitability(const Scenario& scenario,
     case EnvAttribute::net_entity_trustability:
       // The regkey-trustability extension reuses this attribute id.
       if (point.call == "regread" || point.call == "regwrite") {
-        const reg::Key* key = world->registry.find(obj);
+        const reg::Key* key = world.registry.find(obj);
         e.nonroot_feasible = key && key->acl.everyone_write;
         e.actor = e.nonroot_feasible ? "any local user" : "administrator only";
         e.note = "whoever may write the key controls where it points";
@@ -217,9 +223,11 @@ Executor::Executor(const Scenario& scenario) : scenario_(scenario) {
 }
 
 InjectionOutcome Executor::run_item(const InjectionPlan& plan,
-                                    const WorkItem& item) const {
+                                    const WorkItem& item,
+                                    bool use_world_cache) const {
   const InteractionPoint& point = plan.point_of(item);
-  auto world = scenario_.build();
+  const WorldSnapshot* snap = use_world_cache ? plan.snapshot.get() : nullptr;
+  auto world = snap ? snap->instantiate() : scenario_.build();
   auto injector = std::make_shared<Injector>(*world, point.site, item.fault,
                                              scenario_.hints);
   auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
@@ -247,8 +255,13 @@ InjectionOutcome Executor::run_item(const InjectionPlan& plan,
     throw std::logic_error("VFS invariant broken after injection '" +
                            out.fault_name + "': " + broken);
 
-  if (out.violated) out.exploit = analyze_exploitability(scenario_, point,
-                                                         item.fault);
+  if (out.violated)
+    // The frozen prototype *is* the benign world, so the cached path
+    // answers "who could effect this perturbation?" without a build.
+    out.exploit = snap
+                      ? analyze_exploitability(snap->prototype(), point,
+                                               item.fault)
+                      : analyze_exploitability(scenario_, point, item.fault);
   return out;
 }
 
@@ -266,7 +279,8 @@ CampaignResult Executor::execute(const InjectionPlan& plan,
                                  const ExecutorOptions& opts) const {
   CampaignResult result = result_skeleton(plan);
   parallel_for(plan.items.size(), opts.jobs, [&](std::size_t i) {
-    result.injections[i] = run_item(plan, plan.items[i]);
+    result.injections[i] = run_item(plan, plan.items[i],
+                                    opts.use_world_cache);
   });
   return result;
 }

@@ -2,12 +2,15 @@
 //
 // The Executor drains an InjectionPlan across a pool of worker threads.
 // Each work item is one full rebuild-and-rerun cycle, and each cycle runs
-// in its own fresh TargetWorld built by the scenario's `build` callback —
-// the thread-confinement rule: kernel, VFS, network, and registry state
-// are owned by exactly one run and never shared. The only state workers
-// share is immutable (the plan, the scenario definition, the fault
-// catalog), so outcome i is independent of scheduling and is written to
-// result slot i — the result is bit-identical for any worker count.
+// in its own fresh TargetWorld — built by the scenario's `build` callback,
+// or cloned copy-on-write from the plan's frozen prototype when the
+// scenario is snapshot-safe (see core/snapshot.hpp) — the
+// thread-confinement rule: kernel, VFS, network, and registry state are
+// owned by exactly one run and never shared mutably. The only state
+// workers share is immutable (the plan, the scenario definition, the
+// fault catalog, the frozen prototype), so outcome i is independent of
+// scheduling and is written to result slot i — the result is
+// bit-identical for any worker count, cached or not.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +25,10 @@ struct ExecutorOptions {
   /// thread (no threads spawned); n > 1 spawns n-1 helpers plus the
   /// calling thread.
   int jobs = 1;
+  /// Clone the plan's frozen prototype world per run instead of calling
+  /// scenario.build(). No effect on plans without a snapshot (scenario
+  /// not snapshot-safe, or planned with caching off).
+  bool use_world_cache = true;
 };
 
 /// Section 4.1's assumption analysis for one violating outcome, judged
@@ -29,6 +36,13 @@ struct ExecutorOptions {
 /// perturbation there?).
 [[nodiscard]] Exploitability analyze_exploitability(
     const Scenario& scenario, const InteractionPoint& point,
+    const FaultRef& fault);
+
+/// Same analysis against an already-built benign world (read-only): the
+/// cached path judges against the frozen prototype without building or
+/// even cloning.
+[[nodiscard]] Exploitability analyze_exploitability(
+    const TargetWorld& benign, const InteractionPoint& point,
     const FaultRef& fault);
 
 /// Run fn(0) ... fn(count-1) across `jobs` threads via a shared work
@@ -55,10 +69,11 @@ class Executor {
                                        const ExecutorOptions& opts = {}) const;
 
   /// One rebuild-and-rerun cycle (steps 4-8) for a single work item.
-  /// Thread-safe: touches only the fresh world it builds. The scheduler's
-  /// shared pool calls this directly.
+  /// Thread-safe: touches only the fresh world it builds or clones. The
+  /// scheduler's shared pool calls this directly.
   [[nodiscard]] InjectionOutcome run_item(const InjectionPlan& plan,
-                                          const WorkItem& item) const;
+                                          const WorkItem& item,
+                                          bool use_world_cache = true) const;
 
  private:
   const Scenario& scenario_;

@@ -175,6 +175,13 @@ InjectionPlan Planner::plan(const CampaignOptions& opts) const {
     for (const FaultRef& fault : faults)
       plan.items.push_back({i, fault});
   }
+
+  // ---- World-build caching -----------------------------------------------
+  // One more build, frozen as the prototype every run clones. Planned
+  // here, on the planning thread, so the executor's workers share only
+  // immutable state (the same rule as the catalog and the plan itself).
+  if (opts.use_world_cache && scenario_.snapshot_safe && !plan.items.empty())
+    plan.snapshot = WorldSnapshot::freeze(scenario_.build());
   return plan;
 }
 

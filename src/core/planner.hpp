@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "core/snapshot.hpp"
 
 namespace ep::core {
 
@@ -38,6 +40,13 @@ struct InjectionPlan {
   /// equivalence-class co-members when merging was requested).
   std::set<std::string> perturbed_site_tags;
   std::vector<WorkItem> items;
+  /// Frozen prototype world, set when the scenario is snapshot-safe and
+  /// the campaign asked for world caching: the executor clones it per run
+  /// instead of calling scenario.build(). Not serialized — a plan shard
+  /// rebuilt from JSON on another machine simply falls back to
+  /// build-per-run (the snapshot is a local amortization, not plan
+  /// semantics).
+  std::shared_ptr<const WorldSnapshot> snapshot;
 
   [[nodiscard]] const InteractionPoint& point_of(const WorkItem& w) const {
     return points[w.point_index];

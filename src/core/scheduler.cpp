@@ -69,7 +69,8 @@ SweepResult MultiCampaign::run(const SweepOptions& opts) const {
     const Slot& s = queue[q];
     sweep.results[s.scenario].injections[s.item] =
         executors[s.scenario].run_item(plans[s.scenario],
-                                       plans[s.scenario].items[s.item]);
+                                       plans[s.scenario].items[s.item],
+                                       opts.campaign.use_world_cache);
   });
   return sweep;
 }

@@ -1,0 +1,18 @@
+#include "core/snapshot.hpp"
+
+#include <stdexcept>
+
+namespace ep::core {
+
+std::shared_ptr<const WorldSnapshot> WorldSnapshot::freeze(
+    std::unique_ptr<TargetWorld> prototype) {
+  if (!prototype) throw std::logic_error("WorldSnapshot: null prototype");
+  if (prototype->kernel.interposer_count() != 0)
+    throw std::logic_error(
+        "WorldSnapshot: prototype has interposers installed; hooks are "
+        "per-run and are not cloned — freeze the world before arming it");
+  return std::shared_ptr<const WorldSnapshot>(
+      new WorldSnapshot(std::move(prototype)));
+}
+
+}  // namespace ep::core

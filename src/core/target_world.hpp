@@ -2,6 +2,15 @@
 // system + processes), one network, one registry. Campaign runs construct
 // a fresh TargetWorld per injection, which is what makes runs independent
 // (no perturbation outlives its run).
+//
+// clone() produces that fresh world from an already-built one at a
+// fraction of the build cost: the kernel copy shares VFS inodes
+// copy-on-write (see os/vfs.hpp), and the network/registry substrates are
+// small value-copied state. A run's perturbations unshare only the nodes
+// they touch, so a clone is observably identical to a fresh build of the
+// same world while never leaking writes back into its source. The
+// interposer chain is never cloned (hooks are per-run); clone the world
+// first, then arm injector and oracle.
 #pragma once
 
 #include <memory>
@@ -17,9 +26,29 @@ struct TargetWorld {
   net::Network network;
   reg::Registry registry;
 
-  TargetWorld() = default;
-  TargetWorld(const TargetWorld&) = delete;
+  TargetWorld() { wire(); }
   TargetWorld& operator=(const TargetWorld&) = delete;
+
+  /// Cheap copy-on-write copy of this world. Worlds with interposers
+  /// installed must not be cloned (the chain is deliberately dropped —
+  /// cloning one would silently un-arm it); see WorldSnapshot::freeze,
+  /// which enforces this.
+  [[nodiscard]] std::unique_ptr<TargetWorld> clone() const {
+    return std::unique_ptr<TargetWorld>(new TargetWorld(*this));
+  }
+
+ private:
+  TargetWorld(const TargetWorld& other)
+      : kernel(other.kernel),
+        network(other.network),
+        registry(other.registry) {
+    wire();
+  }
+
+  /// Point the kernel at *this* world's substrates, so app images reach
+  /// the network/registry of the world they are running in — never the
+  /// prototype a clone was made from.
+  void wire() { kernel.attach_substrates(&network, &registry); }
 };
 
 }  // namespace ep::core

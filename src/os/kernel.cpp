@@ -75,17 +75,17 @@ const Process& Kernel::proc(Pid pid) const {
 bool Kernel::has_proc(Pid pid) const { return procs_.count(pid) != 0; }
 
 void Kernel::add_interposer(std::shared_ptr<Interposer> hook) {
-  hooks_.push_back(std::move(hook));
+  run_.hooks.push_back(std::move(hook));
 }
 
-void Kernel::clear_interposers() { hooks_.clear(); }
+void Kernel::clear_interposers() { run_.hooks.clear(); }
 
 void Kernel::dispatch_before(SyscallCtx& ctx) {
-  for (auto& h : hooks_) h->before(*this, ctx);
+  for (auto& h : run_.hooks) h->before(*this, ctx);
 }
 
 void Kernel::dispatch_after(SyscallCtx& ctx, Err result) {
-  for (auto& h : hooks_) h->after(*this, ctx, result);
+  for (auto& h : run_.hooks) h->after(*this, ctx, result);
 }
 
 bool Kernel::ancestor_untrusted(Ino ino) const {
@@ -193,7 +193,7 @@ SysResult<Fd> Kernel::open(const Site& site, Pid pid, const std::string& pth,
       ctx.object_preexisting = true;
       return finish(Err::exist);
     }
-    Inode& node = vfs_.inode(cur.leaf_ino);
+    const Inode& node = vfs_.inode(cur.leaf_ino);
     if (node.is_dir() && flags.has(OpenFlag::wr)) return finish(Err::isdir);
     if (flags.has(OpenFlag::rd) &&
         !Vfs::permits_with_root(node, p.euid, p.egid, Perm::read))
@@ -202,7 +202,7 @@ SysResult<Fd> Kernel::open(const Site& site, Pid pid, const std::string& pth,
         !Vfs::permits_with_root(node, p.euid, p.egid, Perm::write))
       return finish(Err::acces);
     if (flags.has(OpenFlag::trunc) && flags.has(OpenFlag::wr))
-      node.content.clear();
+      vfs_.mutate(cur.leaf_ino).content.clear();
     file_ino = cur.leaf_ino;
     ctx.object_preexisting = true;
   } else {
@@ -244,7 +244,6 @@ SysResult<std::string> Kernel::read(const Site& site, Pid pid, Fd fd,
   OpenFile& of = it->second;
   if (!of.flags.has(OpenFlag::rd)) return Err::badf;
   if (!vfs_.exists(of.ino)) return Err::io;
-  const Inode& node = vfs_.inode(of.ino);
 
   SyscallCtx ctx;
   ctx.site = site;
@@ -260,6 +259,10 @@ SysResult<std::string> Kernel::read(const Site& site, Pid pid, Fd fd,
     return ctx.forced_error;
   }
 
+  // Fetched only after the hooks ran: a perturber may have rewritten the
+  // node, and under copy-on-write a reference taken earlier could still
+  // point at the shared pre-perturbation copy.
+  const Inode& node = vfs_.inode(of.ino);
   std::string chunk;
   if (of.offset < node.content.size()) {
     std::size_t take = n == std::string::npos
@@ -281,8 +284,7 @@ SysResult<std::string> Kernel::read_line(const Site& site, Pid pid, Fd fd) {
   OpenFile& of = it->second;
   if (!of.flags.has(OpenFlag::rd)) return Err::badf;
   if (!vfs_.exists(of.ino)) return Err::io;
-  const Inode& node = vfs_.inode(of.ino);
-  if (of.offset >= node.content.size()) return Err::io;  // EOF
+  if (of.offset >= vfs_.inode(of.ino).content.size()) return Err::io;  // EOF
 
   SyscallCtx ctx;
   ctx.site = site;
@@ -298,6 +300,15 @@ SysResult<std::string> Kernel::read_line(const Site& site, Pid pid, Fd fd) {
     return ctx.forced_error;
   }
 
+  // Re-fetched after the hooks: see read() — a stale reference would miss
+  // a content perturbation under copy-on-write.
+  const Inode& node = vfs_.inode(of.ino);
+  if (of.offset >= node.content.size()) {
+    // A hook shrank the file below our offset: EOF, like read()'s guard.
+    of.offset = node.content.size();
+    dispatch_after(ctx, Err::io);
+    return Err::io;
+  }
   std::size_t nl = node.content.find('\n', of.offset);
   std::string line;
   if (nl == std::string::npos) {
@@ -336,7 +347,7 @@ SysResult<std::size_t> Kernel::write(const Site& site, Pid pid, Fd fd,
     return ctx.forced_error;
   }
 
-  Inode& node = vfs_.inode(of.ino);
+  Inode& node = vfs_.mutate(of.ino);
   if (of.flags.has(OpenFlag::append)) of.offset = node.content.size();
   if (node.content.size() < of.offset + data.size())
     node.content.resize(of.offset + data.size());
@@ -699,11 +710,11 @@ SysStatus Kernel::chmod(const Site& site, Pid pid, const std::string& pth,
   };
   auto r = vfs_.resolve(pth, p.cwd, p.euid, p.egid, /*follow_final=*/true);
   if (!r.ok()) return finish(r.error());
-  Inode& n = vfs_.inode(r.value());
+  const Inode& n = vfs_.inode(r.value());
   describe_object(ctx, r.value());
   ctx.object_preexisting = true;
   if (p.euid != kRootUid && p.euid != n.uid) return finish(Err::perm);
-  n.mode = mode & (kPermMask | kSetUidBit | kStickyBit);
+  vfs_.mutate(r.value()).mode = mode & (kPermMask | kSetUidBit | kStickyBit);
   return finish(Err::ok);
 }
 
@@ -729,9 +740,9 @@ SysStatus Kernel::chown(const Site& site, Pid pid, const std::string& pth,
   if (!r.ok()) return finish(r.error());
   // Classic UNIX: only root may give files away.
   if (p.euid != kRootUid) return finish(Err::perm);
-  Inode& n = vfs_.inode(r.value());
   describe_object(ctx, r.value());
   ctx.object_preexisting = true;
+  Inode& n = vfs_.mutate(r.value());
   n.uid = uid;
   n.gid = gid;
   return finish(Err::ok);

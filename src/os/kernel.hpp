@@ -20,6 +20,13 @@
 #include "os/vfs.hpp"
 #include "util/result.hpp"
 
+namespace ep::net {
+class Network;
+}
+namespace ep::reg {
+class Registry;
+}
+
 namespace ep::os {
 
 /// Thrown by application images to simulate an abnormal termination
@@ -39,8 +46,32 @@ class Kernel {
  public:
   Kernel();
 
+  /// Copying a kernel is the world-snapshot operation: the VFS copy
+  /// shares inodes copy-on-write (see vfs.hpp), users/images/processes
+  /// are value-copied, and the RunOnlyState sub-struct (interposer
+  /// chain, substrate back-pointers) deliberately copies to fresh —
+  /// hooks (injector, oracle, recorder) are per-run state, and sharing
+  /// live hook objects across runs would couple them. Default-generated
+  /// so a member added to Kernel later is copied by construction.
+  Kernel(const Kernel& other) = default;
+  Kernel& operator=(const Kernel&) = delete;
+
   Vfs& vfs() { return vfs_; }
   const Vfs& vfs() const { return vfs_; }
+
+  // --- sibling substrates --------------------------------------------------
+  /// Wired by TargetWorld to its own network/registry (and re-wired on
+  /// every clone). App images must reach the substrates through these
+  /// instead of capturing pointers at build time: a captured pointer
+  /// would still aim at the prototype's substrate after a clone, leaking
+  /// one run's perturbations into another world. Null for standalone
+  /// kernels (unit tests, micro-benches).
+  void attach_substrates(net::Network* network, reg::Registry* registry) {
+    run_.net = network;
+    run_.reg = registry;
+  }
+  [[nodiscard]] net::Network* network() const { return run_.net; }
+  [[nodiscard]] reg::Registry* registry() const { return run_.reg; }
 
   // --- users ---------------------------------------------------------------
   void add_user(Uid uid, std::string name, Gid gid);
@@ -143,6 +174,9 @@ class Kernel {
   // --- hook chain ------------------------------------------------------
   void add_interposer(std::shared_ptr<Interposer> hook);
   void clear_interposers();
+  [[nodiscard]] std::size_t interposer_count() const {
+    return run_.hooks.size();
+  }
   /// Exposed so sibling substrates (network, registry) can route their
   /// interactions through the same chain.
   void dispatch_before(SyscallCtx& ctx);
@@ -173,11 +207,25 @@ class Kernel {
   void describe_object(SyscallCtx& ctx, Ino ino) const;
   [[nodiscard]] bool ancestor_untrusted(Ino ino) const;
 
+  /// Per-run, never-snapshot state: the interposer chain and the
+  /// substrate back-pointers. Its copy constructor is a deliberate no-op
+  /// (fresh chain, unwired substrates — the owning TargetWorld re-wires),
+  /// which is what lets Kernel's copy constructor stay defaulted.
+  struct RunOnlyState {
+    std::vector<std::shared_ptr<Interposer>> hooks;
+    net::Network* net = nullptr;
+    reg::Registry* reg = nullptr;
+
+    RunOnlyState() = default;
+    RunOnlyState(const RunOnlyState& /*other*/) {}
+    RunOnlyState& operator=(const RunOnlyState&) = delete;
+  };
+
   Vfs vfs_;
   std::map<Pid, Process> procs_;
   std::map<Uid, std::pair<std::string, Gid>> users_;
   std::map<std::string, AppImage> images_;
-  std::vector<std::shared_ptr<Interposer>> hooks_;
+  RunOnlyState run_;
   Pid next_pid_ = 1;
   std::string console_;
   int exec_depth_ = 0;

@@ -12,14 +12,25 @@ Vfs::Vfs() {
 
 Ino Vfs::alloc(FileType type, Uid uid, Gid gid, unsigned mode) {
   Ino ino = next_ino_++;
-  Inode node;
-  node.ino = ino;
-  node.type = type;
-  node.uid = uid;
-  node.gid = gid;
-  node.mode = mode;
+  auto node = std::make_shared<Inode>();
+  node->ino = ino;
+  node->type = type;
+  node->uid = uid;
+  node->gid = gid;
+  node->mode = mode;
   inodes_.emplace(ino, std::move(node));
   return ino;
+}
+
+Inode& Vfs::mutate(Ino ino) {
+  std::shared_ptr<Inode>& slot = inodes_.at(ino);
+  // use_count()==1 means this Vfs holds the only reference: nothing to
+  // unshare, and no other thread can race us (references into this Vfs's
+  // maps are confined to the thread that owns the world). A shared node
+  // is still alive in the prototype after the swap, so previously taken
+  // const references stay valid — they just see the pre-write state.
+  if (slot.use_count() > 1) slot = std::make_shared<Inode>(*slot);
+  return *slot;
 }
 
 bool Vfs::permits(const Inode& node, Uid uid, Gid gid, Perm perm) {
@@ -162,13 +173,13 @@ SysResult<std::string> Vfs::canonicalize(std::string_view p,
 
 SysResult<Ino> Vfs::create_file(Ino dir, const std::string& name, Uid uid,
                                 Gid gid, unsigned mode, std::string content) {
-  Inode& d = inode(dir);
+  const Inode& d = inode(dir);
   if (!d.is_dir()) return Err::notdir;
   if (name.empty() || name.size() > kMaxNameLen) return Err::nametoolong;
   if (d.entries.count(name)) return Err::exist;
   Ino ino = alloc(FileType::regular, uid, gid, mode);
-  inode(ino).content = std::move(content);
-  inode(dir).entries.emplace(name, ino);
+  mutate(ino).content = std::move(content);
+  mutate(dir).entries.emplace(name, ino);
   parent_[ino] = dir;
   name_in_parent_[ino] = name;
   return ino;
@@ -176,12 +187,12 @@ SysResult<Ino> Vfs::create_file(Ino dir, const std::string& name, Uid uid,
 
 SysResult<Ino> Vfs::create_dir(Ino dir, const std::string& name, Uid uid,
                                Gid gid, unsigned mode) {
-  Inode& d = inode(dir);
+  const Inode& d = inode(dir);
   if (!d.is_dir()) return Err::notdir;
   if (name.empty() || name.size() > kMaxNameLen) return Err::nametoolong;
   if (d.entries.count(name)) return Err::exist;
   Ino ino = alloc(FileType::directory, uid, gid, mode);
-  inode(dir).entries.emplace(name, ino);
+  mutate(dir).entries.emplace(name, ino);
   parent_[ino] = dir;
   name_in_parent_[ino] = name;
   return ino;
@@ -189,20 +200,20 @@ SysResult<Ino> Vfs::create_dir(Ino dir, const std::string& name, Uid uid,
 
 SysResult<Ino> Vfs::create_symlink(Ino dir, const std::string& name, Uid uid,
                                    Gid gid, std::string target) {
-  Inode& d = inode(dir);
+  const Inode& d = inode(dir);
   if (!d.is_dir()) return Err::notdir;
   if (name.empty() || name.size() > kMaxNameLen) return Err::nametoolong;
   if (d.entries.count(name)) return Err::exist;
   Ino ino = alloc(FileType::symlink, uid, gid, 0777);
-  inode(ino).content = std::move(target);
-  inode(dir).entries.emplace(name, ino);
+  mutate(ino).content = std::move(target);
+  mutate(dir).entries.emplace(name, ino);
   parent_[ino] = dir;
   name_in_parent_[ino] = name;
   return ino;
 }
 
 SysStatus Vfs::remove(Ino dir, const std::string& name) {
-  Inode& d = inode(dir);
+  const Inode& d = inode(dir);
   auto it = d.entries.find(name);
   if (it == d.entries.end()) return Err::noent;
   if (inode(it->second).is_dir()) return Err::isdir;
@@ -210,21 +221,21 @@ SysStatus Vfs::remove(Ino dir, const std::string& name) {
   // which is what makes fd-based (fexecve-style) checks immune to the
   // unlink/recreate perturbation.
   Ino victim = it->second;
-  d.entries.erase(it);
+  mutate(dir).entries.erase(name);  // by key: `it` dies with the unshare
   parent_.erase(victim);
   name_in_parent_.erase(victim);
   return ok_status();
 }
 
 SysStatus Vfs::remove_dir(Ino dir, const std::string& name) {
-  Inode& d = inode(dir);
+  const Inode& d = inode(dir);
   auto it = d.entries.find(name);
   if (it == d.entries.end()) return Err::noent;
-  Inode& victim = inode(it->second);
+  const Inode& victim = inode(it->second);
   if (!victim.is_dir()) return Err::notdir;
   if (!victim.entries.empty()) return Err::notempty;
   Ino vino = it->second;
-  d.entries.erase(it);
+  mutate(dir).entries.erase(name);
   parent_.erase(vino);
   name_in_parent_.erase(vino);
   return ok_status();
@@ -232,13 +243,13 @@ SysStatus Vfs::remove_dir(Ino dir, const std::string& name) {
 
 SysStatus Vfs::rename_entry(Ino src_dir, const std::string& src_name,
                             Ino dst_dir, const std::string& dst_name) {
-  Inode& sd = inode(src_dir);
+  const Inode& sd = inode(src_dir);
   auto it = sd.entries.find(src_name);
   if (it == sd.entries.end()) return Err::noent;
   if (dst_name.empty() || dst_name.size() > kMaxNameLen)
     return Err::nametoolong;
   Ino moving = it->second;
-  Inode& dd = inode(dst_dir);
+  const Inode& dd = inode(dst_dir);
   if (!dd.is_dir()) return Err::notdir;
   // Replace an existing non-directory target, as rename(2) does.
   auto dit = dd.entries.find(dst_name);
@@ -246,23 +257,23 @@ SysStatus Vfs::rename_entry(Ino src_dir, const std::string& src_name,
     if (dit->second == moving) return ok_status();
     if (inode(dit->second).is_dir()) return Err::isdir;
     Ino victim = dit->second;
-    dd.entries.erase(dit);
+    mutate(dst_dir).entries.erase(dst_name);
     parent_.erase(victim);
     name_in_parent_.erase(victim);
   }
-  inode(src_dir).entries.erase(src_name);
-  inode(dst_dir).entries.emplace(dst_name, moving);
+  mutate(src_dir).entries.erase(src_name);
+  mutate(dst_dir).entries.emplace(dst_name, moving);
   parent_[moving] = dst_dir;
   name_in_parent_[moving] = dst_name;
   return ok_status();
 }
 
 void Vfs::detach(Ino dir, const std::string& name) {
-  Inode& d = inode(dir);
+  const Inode& d = inode(dir);
   auto it = d.entries.find(name);
   if (it == d.entries.end()) return;
   Ino victim = it->second;
-  d.entries.erase(it);
+  mutate(dir).entries.erase(name);
   parent_.erase(victim);
   name_in_parent_.erase(victim);
 }
@@ -301,8 +312,8 @@ std::string Vfs::check_invariants() const {
   // Detached (unlinked but still allocated) inodes are legal; the checks
   // below verify that the *linked* namespace is internally consistent.
   for (const auto& [ino, node] : inodes_) {
-    if (node.is_dir()) {
-      for (const auto& [name, child] : node.entries) {
+    if (node->is_dir()) {
+      for (const auto& [name, child] : node->entries) {
         if (!exists(child))
           return "dangling entry " + name + " in ino " + std::to_string(ino);
         auto pit = parent_.find(child);

@@ -10,9 +10,22 @@
 // entries, permission *predicates*) and leaves enforcement to the Kernel,
 // which knows the calling process's credentials. This lets perturbers and
 // the oracle query "could uid U write inode I?" without a process.
+//
+// Copy-on-write: inodes are held through shared_ptr, so copying a Vfs
+// copies only the maps — every node is *shared* with the original. All
+// mutation goes through mutate(), which unshares a node the first time a
+// given Vfs writes it. That makes Vfs copies cheap world snapshots (see
+// core/snapshot.hpp): a frozen prototype built once can be cloned per
+// injection run, and a run's perturbations only ever touch that run's
+// private copies. Sharing is thread-safe as long as the prototype is
+// never mutated while clones exist: clones on different threads only read
+// shared nodes (unsharing copies from them) and only write nodes they
+// alone own — use_count()==1 proves sole ownership because no other
+// thread can hold a reference into this Vfs's maps.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -81,8 +94,20 @@ class Vfs {
   [[nodiscard]] Ino root() const { return root_; }
   [[nodiscard]] bool exists(Ino ino) const { return inodes_.count(ino) != 0; }
   /// Precondition: exists(ino). Throws std::out_of_range otherwise.
-  [[nodiscard]] const Inode& inode(Ino ino) const { return inodes_.at(ino); }
-  [[nodiscard]] Inode& inode(Ino ino) { return inodes_.at(ino); }
+  /// The returned reference may go stale for *this* Vfs if the node is
+  /// later mutate()d while still shared with a copy; re-fetch after any
+  /// call that can mutate (in the kernel: after dispatching hooks).
+  [[nodiscard]] const Inode& inode(Ino ino) const { return *inodes_.at(ino); }
+  /// Writable access with copy-on-write: unshares the node if any Vfs
+  /// copy still shares it, so the write never leaks into the prototype or
+  /// sibling clones. Precondition: exists(ino).
+  [[nodiscard]] Inode& mutate(Ino ino);
+  /// True when the node is still shared with another Vfs copy (test/debug
+  /// introspection for the snapshot layer).
+  [[nodiscard]] bool shares_node(Ino ino) const {
+    auto it = inodes_.find(ino);
+    return it != inodes_.end() && it->second.use_count() > 1;
+  }
 
   // --- permission predicates (mechanism only; root bypass is Kernel policy)
   /// Would credentials (uid, gid) pass the rwx check on `node`?
@@ -153,7 +178,10 @@ class Vfs {
  private:
   Ino alloc(FileType type, Uid uid, Gid gid, unsigned mode);
 
-  std::unordered_map<Ino, Inode> inodes_;
+  /// Nodes are shared across Vfs copies until first write (see mutate()).
+  /// A side effect worth knowing: map rehashing moves only the pointers,
+  /// so inode references stay valid across alloc().
+  std::unordered_map<Ino, std::shared_ptr<Inode>> inodes_;
   std::unordered_map<Ino, Ino> parent_;          // child -> containing dir
   std::unordered_map<Ino, std::string> name_in_parent_;
   Ino root_ = kNoIno;

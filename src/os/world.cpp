@@ -51,7 +51,7 @@ Ino put_file(Kernel& k, const std::string& p, std::string content, Uid uid,
   const Inode& d = k.vfs().inode(dino);
   auto it = d.entries.find(leaf);
   if (it != d.entries.end()) {
-    Inode& existing = k.vfs().inode(it->second);
+    Inode& existing = k.vfs().mutate(it->second);
     existing.content = std::move(content);
     existing.uid = uid;
     existing.gid = gid;
@@ -79,7 +79,7 @@ Ino put_symlink(Kernel& k, const std::string& linkpath, std::string target,
 Ino put_program(Kernel& k, const std::string& p, const std::string& image,
                 Uid uid, Gid gid, unsigned mode) {
   Ino ino = put_file(k, p, "#!image " + image + "\n", uid, gid, mode);
-  k.vfs().inode(ino).image = image;
+  k.vfs().mutate(ino).image = image;
   return ino;
 }
 

@@ -44,6 +44,7 @@ inline Scenario toy_scenario(const std::string& name = "toy",
   Scenario s;
   s.name = name;
   s.trace_unit_filter = "toy.c";
+  s.snapshot_safe = true;  // engine tests exercise the cached path too
   s.build = [hardened] {
     auto w = std::make_unique<TargetWorld>();
     os::world::standard_unix(w->kernel);

@@ -201,7 +201,7 @@ TEST_F(OracleTest, CrashCountedButNotAViolation) {
 TEST_F(OracleTest, UntrustedReadViolatesTrust) {
   os::world::put_file(k, "/data/profile", "x", os::kRootUid, 0, 0644);
   auto r = k.vfs().resolve("/data", "/", os::kRootUid, 0);
-  k.vfs().inode(r.value()).trusted = false;
+  k.vfs().mutate(r.value()).trusted = false;
   auto oracle = attach();
   auto fd = k.open(kS, suid, "/data/profile", os::OpenFlag::rd);
   ASSERT_TRUE(fd.ok());

@@ -1,0 +1,97 @@
+// The ISSUE's determinism criterion for the world cache: for every
+// packaged scenario, a campaign drained from cloned prototype worlds must
+// reproduce the rebuild-per-run campaign exactly — same injections, same
+// order, same rho — at any worker count. World caching is an
+// amortization, never a semantic.
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.hpp"
+#include "core/campaign_fixtures.hpp"
+#include "core/scheduler.hpp"
+
+namespace ep {
+namespace {
+
+using core::Campaign;
+using core::CampaignOptions;
+using core::CampaignResult;
+using core::expect_identical;
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  for (const auto& s : apps::all_scenarios()) names.push_back(s.name);
+  return names;
+}
+
+core::Scenario scenario_by_name(const std::string& name) {
+  for (auto& s : apps::all_scenarios())
+    if (s.name == name) return s;
+  throw std::logic_error("no scenario " + name);
+}
+
+class EveryScenarioCached : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryScenarioCached, ClonedRunsReproduceFreshBuildsAtAnyJobCount) {
+  core::Scenario probe = scenario_by_name(GetParam());
+  ASSERT_TRUE(probe.snapshot_safe)
+      << "every packaged scenario is expected to opt into world caching";
+
+  CampaignOptions uncached;
+  uncached.seed = 7;
+  uncached.use_world_cache = false;
+  CampaignResult reference =
+      Campaign(scenario_by_name(GetParam())).execute(uncached);
+
+  for (int jobs : {1, 4}) {
+    CampaignOptions cached;
+    cached.seed = 7;
+    cached.jobs = jobs;
+    cached.use_world_cache = true;
+    CampaignResult r = Campaign(scenario_by_name(GetParam())).execute(cached);
+    expect_identical(reference, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryScenarioCached,
+                         ::testing::ValuesIn(scenario_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(CachedSweep, SchedulerHonorsTheEscapeHatch) {
+  core::MultiCampaign cached_suite;
+  core::MultiCampaign uncached_suite;
+  for (auto& s : apps::all_scenarios()) cached_suite.add(std::move(s));
+  for (auto& s : apps::all_scenarios()) uncached_suite.add(std::move(s));
+
+  core::SweepOptions cached;
+  cached.jobs = 4;
+  core::SweepOptions uncached;
+  uncached.jobs = 4;
+  uncached.campaign.use_world_cache = false;
+
+  auto a = cached_suite.run(cached);
+  auto b = uncached_suite.run(uncached);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i)
+    expect_identical(a.results[i], b.results[i]);
+}
+
+TEST(CachedPlan, SnapshotFollowsScenarioDeclarationAndOptions) {
+  core::Scenario s = core::toy_scenario();
+  core::CampaignOptions opts;
+  EXPECT_NE(core::Planner(s).plan(opts).snapshot, nullptr);
+
+  opts.use_world_cache = false;
+  EXPECT_EQ(core::Planner(s).plan(opts).snapshot, nullptr);
+
+  opts.use_world_cache = true;
+  s.snapshot_safe = false;  // scenario never opted in: no snapshot planned
+  EXPECT_EQ(core::Planner(s).plan(opts).snapshot, nullptr);
+}
+
+}  // namespace
+}  // namespace ep

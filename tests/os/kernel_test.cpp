@@ -326,6 +326,29 @@ TEST_F(KernelTest, AfterHookCanRewriteInput) {
   EXPECT_EQ(k.peek("/home/alice/f").value(), "original");
 }
 
+TEST_F(KernelTest, HookShrinkingContentMidReadIsEofNotCrash) {
+  // A content perturbation can replace the file with a shorter payload
+  // between dispatch_before and the actual read; an advanced descriptor
+  // offset must degrade to EOF, never out-of-range.
+  struct Shrink : Interposer {
+    void before(Kernel& kk, SyscallCtx& ctx) override {
+      if (ctx.call != "read" || ctx.object == kNoIno) return;
+      kk.vfs().mutate(ctx.object).content = "x";
+    }
+  };
+  world::put_file(k, "/home/alice/log", "line one is quite long\nline two\n",
+                  1000, 1000, 0644);
+  auto fd = k.open(kS, alice, "/home/alice/log", OpenFlag::rd);
+  ASSERT_TRUE(fd.ok());
+  // Advance the offset past what the shrunk file will hold.
+  EXPECT_EQ(k.read_line(kS, alice, fd.value()).value(),
+            "line one is quite long");
+  k.add_interposer(std::make_shared<Shrink>());
+  // The EOF pre-check passes against the original content, the hook then
+  // shrinks it below the offset; the read must answer EOF.
+  EXPECT_EQ(k.read_line(kS, alice, fd.value()).error(), Err::io);
+}
+
 TEST_F(KernelTest, DescribeObjectRecordsRuidAccess) {
   world::put_file(k, "/etc/secret", "x", kRootUid, kRootGid, 0600);
   struct Capture : Interposer {
