@@ -25,6 +25,7 @@
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "core/snapshot.hpp"
+#include "core/wire.hpp"
 #include "os/world.hpp"
 
 namespace {
@@ -240,6 +241,49 @@ double drain_rps(const core::Scenario& scenario, bool use_world_cache) {
   return static_cast<double>(plan.items.size()) / best;
 }
 
+/// The sharded dimension: the whole suite drained as `shard_count`
+/// sequential shard pipelines. Each simulated shard process pays what a
+/// real one pays — plan parsed from JSON, prototype re-frozen (a full
+/// scenario.build()), its item subset drained, report serialized — and
+/// the merge coordinator pays its own plan parse, report parses, and
+/// merge. Serial, so the delta against the cached serial sweep is the
+/// full distribution tax of an N-process campaign on one machine.
+double sharded_sweep_seconds(int shard_count, int* out_runs) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto scenarios = apps::all_scenarios();
+    int runs = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto& scenario : scenarios) {
+      core::CampaignOptions popts;
+      popts.use_world_cache = false;  // the plan file carries no snapshot
+      std::string plan_json = core::Planner(scenario).plan(popts).to_json();
+      core::Executor executor(scenario);
+      std::vector<std::string> shard_jsons;
+      for (int k = 0; k < shard_count; ++k) {
+        core::InjectionPlan plan = core::plan_from_json(plan_json);
+        core::refreeze_snapshot(plan, scenario);
+        shard_jsons.push_back(
+            core::run_shard(executor, plan, static_cast<std::size_t>(k),
+                            static_cast<std::size_t>(shard_count))
+                .to_json());
+      }
+      core::InjectionPlan merge_plan = core::plan_from_json(plan_json);
+      std::vector<core::ShardReport> shards;
+      for (const auto& json : shard_jsons)
+        shards.push_back(core::shard_report_from_json(json));
+      auto merged = core::merge_shard_reports(merge_plan, shards);
+      runs += merged.n();
+      benchmark::DoNotOptimize(merged);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    *out_runs = runs;
+    best = std::min(best,
+                    std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
 void write_sweep_json(const char* path) {
   core::MultiCampaign suite;
   for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
@@ -265,6 +309,15 @@ void write_sweep_json(const char* path) {
   core::Scenario heavy = apps::nt_module_scenarios().front();
   double heavy_uncached_rps = drain_rps(heavy, false);
   double heavy_cached_rps = drain_rps(heavy, true);
+
+  // The distribution tax: same suite, drained as 3 serial shard
+  // pipelines with every byte passing through the wire format.
+  constexpr int kShards = 3;
+  int sharded_runs = 0;
+  double sharded_s = sharded_sweep_seconds(kShards, &sharded_runs);
+  double sharded_rps = sharded_runs / sharded_s;
+  double shard_overhead_pct =
+      (cached_serial_s > 0 ? sharded_s / cached_serial_s - 1.0 : 0.0) * 100.0;
 
   // On a machine with fewer cores than kJobs the parallel sweep is pure
   // thread overhead; flag the artifact so a sub-kJobs speedup reads as a
@@ -296,7 +349,10 @@ void write_sweep_json(const char* path) {
                "  \"build_heavy_scenario\": \"%s\",\n"
                "  \"build_heavy_uncached_runs_per_sec\": %.1f,\n"
                "  \"build_heavy_cached_runs_per_sec\": %.1f,\n"
-               "  \"build_heavy_cache_speedup\": %.2f\n"
+               "  \"build_heavy_cache_speedup\": %.2f,\n"
+               "  \"shards\": %d,\n"
+               "  \"sharded_serial_runs_per_sec\": %.1f,\n"
+               "  \"shard_wire_overhead_pct\": %.1f\n"
                "}\n",
                suite.size(), runs, hw, core_starved ? "true" : "false",
                kJobs, serial_s, parallel_s, serial_rps, parallel_rps,
@@ -304,7 +360,8 @@ void write_sweep_json(const char* path) {
                cached_parallel_rps, cached_serial_rps / serial_rps,
                cached_parallel_rps / parallel_rps, heavy.name.c_str(),
                heavy_uncached_rps, heavy_cached_rps,
-               heavy_cached_rps / heavy_uncached_rps);
+               heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
+               shard_overhead_pct);
   std::fclose(f);
   std::printf(
       "\nsweep: %d injection runs across %zu scenarios\n"
@@ -312,13 +369,16 @@ void write_sweep_json(const char* path) {
       "  jobs=%d            : %8.1f runs/sec  (%.2fx)\n"
       "  cached serial     : %8.1f runs/sec  (%.2fx vs serial)\n"
       "  cached jobs=%d     : %8.1f runs/sec  (%.2fx vs jobs=%d)\n"
-      "  build-heavy %-6s: %8.1f -> %8.1f runs/sec  (%.2fx cached)\n",
+      "  build-heavy %-6s: %8.1f -> %8.1f runs/sec  (%.2fx cached)\n"
+      "  sharded %dx serial : %8.1f runs/sec  (wire+merge overhead "
+      "%+.1f%% vs cached serial)\n",
       runs, suite.size(), serial_rps, kJobs, parallel_rps,
       parallel_rps / serial_rps, cached_serial_rps,
       cached_serial_rps / serial_rps, kJobs, cached_parallel_rps,
       cached_parallel_rps / parallel_rps, kJobs, heavy.name.c_str(),
       heavy_uncached_rps, heavy_cached_rps,
-      heavy_cached_rps / heavy_uncached_rps);
+      heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
+      shard_overhead_pct);
   if (core_starved)
     std::printf(
         "  !! core-starved (%u hardware thread%s < %d jobs): the parallel "

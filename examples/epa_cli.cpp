@@ -15,16 +15,32 @@
 //   epa_cli trace mailer                 # interaction points only
 //   epa_cli compare turnin turnin-hardened   # did the repair work?
 //   epa_cli db [category]                # browse the vulnerability DB
+//
+// Sharded execution (docs/WIRE_FORMAT.md, scripts/shard_local.sh):
+//
+//   epa_cli plan turnin --out turnin.plan.json
+//   epa_cli run-shard turnin.plan.json --shard 1/3 --out shard1.json  # x3
+//   epa_cli merge turnin.plan.json shard1.json shard2.json shard3.json
+//
+// merge output is bit-identical to `epa_cli run turnin` for any shard
+// count: work items carry stable ids and outcomes land by id.
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "apps/scenarios.hpp"
 #include "core/compare.hpp"
 #include "core/equivalence.hpp"
+#include "core/planner.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "core/wire.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "vulndb/classifier.hpp"
@@ -44,9 +60,81 @@ int usage() {
       "                         [--no-world-cache]\n"
       "  epa_cli sweep [--jobs N] [--seed N] [--merge] [--json]\n"
       "                [--no-world-cache]\n"
+      "  epa_cli plan <scenario> [--out FILE] [--sites a,b,...]\n"
+      "                [--coverage F] [--seed N] [--merge]\n"
+      "  epa_cli plan --all [--out-dir DIR] [--seed N] [--merge] [--jobs N]\n"
+      "  epa_cli run-shard <plan-file> --shard K/N [--out FILE] [--jobs N]\n"
+      "                [--no-world-cache]\n"
+      "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
   return 2;
+}
+
+// --- sharded execution (docs/WIRE_FORMAT.md) --------------------------------
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f)
+    throw std::runtime_error("cannot read '" + path +
+                             "': " + std::strerror(errno));
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad)
+    throw std::runtime_error("error while reading '" + path + "'");
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f)
+    throw std::runtime_error("cannot write '" + path +
+                             "': " + std::strerror(errno));
+  bool bad = std::fwrite(content.data(), 1, content.size(), f) !=
+             content.size();
+  bad |= std::fclose(f) != 0;
+  if (bad) throw std::runtime_error("error while writing '" + path + "'");
+}
+
+/// "K/N" with 1 <= K <= N (1-based on the command line, 0-based inside).
+void parse_shard_spec(const std::string& spec, std::size_t* index,
+                      std::size_t* count) {
+  auto bad = [&]() -> std::runtime_error {
+    return std::runtime_error("invalid --shard '" + spec +
+                              "' (expected K/N with 1 <= K <= N)");
+  };
+  // strtoll, not sscanf: overflow must be a rejected spec, not UB.
+  errno = 0;
+  char* slash = nullptr;
+  long long k = std::strtoll(spec.c_str(), &slash, 10);
+  if (errno == ERANGE || slash == spec.c_str() || *slash != '/') throw bad();
+  char* end = nullptr;
+  long long n = std::strtoll(slash + 1, &end, 10);
+  if (errno == ERANGE || end == slash + 1 || *end != '\0') throw bad();
+  if (k < 1 || n < 1 || k > n) throw bad();
+  *index = static_cast<std::size_t>(k - 1);
+  *count = static_cast<std::size_t>(n);
+}
+
+/// Load + validate a plan file, naming the file in any failure.
+core::InjectionPlan load_plan(const std::string& path) {
+  try {
+    return core::plan_from_json(read_file(path));
+  } catch (const core::WireError& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+core::ShardReport load_shard_report(const std::string& path) {
+  try {
+    return core::shard_report_from_json(read_file(path));
+  } catch (const core::WireError& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
 }
 
 core::Scenario find_scenario(const std::string& name, bool& found) {
@@ -201,6 +289,111 @@ int cmd_db(const std::string& filter) {
   return 0;
 }
 
+int cmd_plan(const std::string& name, core::CampaignOptions opts,
+             const std::string& out_path) {
+  bool found = false;
+  core::Scenario scenario = find_scenario(name, found);
+  if (!found) {
+    std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
+                 name.c_str());
+    return 1;
+  }
+  // The plan file never carries the world snapshot; don't build one.
+  opts.use_world_cache = false;
+  core::InjectionPlan plan = core::Planner(scenario).plan(opts);
+  std::string json = plan.to_json();
+  if (out_path.empty()) {
+    std::printf("%s", json.c_str());
+    return 0;
+  }
+  write_file(out_path, json);
+  std::printf("%s: %zu interaction points, %zu work items -> %s\n",
+              name.c_str(), plan.points.size(), plan.items.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_plan_all(const core::SweepOptions& opts, const std::string& out_dir) {
+  // Create the output directory up front: planning every scenario only
+  // to fail on the first write would discard all of that work.
+  if (::mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST)
+    throw std::runtime_error("cannot create '" + out_dir +
+                             "': " + std::strerror(errno));
+  core::MultiCampaign suite;
+  for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
+  core::SweepOptions plan_opts = opts;
+  plan_opts.campaign.use_world_cache = false;  // plan files carry no snapshot
+  auto plans = suite.plan_all(plan_opts);
+  for (const auto& plan : plans) {
+    std::string path = out_dir + "/" + plan.scenario_name + ".plan.json";
+    write_file(path, plan.to_json());
+    std::printf("%s: %zu interaction points, %zu work items -> %s\n",
+                plan.scenario_name.c_str(), plan.points.size(),
+                plan.items.size(), path.c_str());
+  }
+  return 0;
+}
+
+int cmd_run_shard(const std::string& plan_path, const std::string& shard_spec,
+                  const std::string& out_path, int jobs,
+                  bool use_world_cache) {
+  std::size_t shard_index = 0, shard_count = 0;
+  parse_shard_spec(shard_spec, &shard_index, &shard_count);
+  core::InjectionPlan plan = load_plan(plan_path);
+
+  bool found = false;
+  core::Scenario scenario = find_scenario(plan.scenario_name, found);
+  if (!found)
+    throw std::runtime_error(plan_path + ": plan names unknown scenario '" +
+                             plan.scenario_name +
+                             "' (written by a different scenario set?)");
+  // The wire never carries the snapshot; re-freeze a local prototype so
+  // the shard drains through the same COW clone path as a local run.
+  if (use_world_cache) core::refreeze_snapshot(plan, scenario);
+
+  core::Executor executor(scenario);
+  core::ExecutorOptions opts;
+  opts.jobs = jobs;
+  opts.use_world_cache = use_world_cache;
+  core::ShardReport report =
+      core::run_shard(executor, plan, shard_index, shard_count, opts);
+  std::string json = report.to_json();
+  if (out_path.empty()) {
+    std::printf("%s", json.c_str());
+    return 0;
+  }
+  write_file(out_path, json);
+  std::printf("%s -> %s\n", core::render_shard_summary(report).c_str(),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_merge(const std::string& plan_path,
+              const std::vector<std::string>& shard_paths, bool as_json) {
+  core::InjectionPlan plan = load_plan(plan_path);
+  std::vector<core::ShardReport> shards;
+  shards.reserve(shard_paths.size());
+  for (const auto& path : shard_paths)
+    shards.push_back(load_shard_report(path));
+  core::CampaignResult r = core::merge_shard_reports(plan, shards);
+  std::printf("%s", (as_json ? core::render_json(r)
+                             : core::render_report(r))
+                        .c_str());
+  return r.exploitable().empty() ? 0 : 3;  // same contract as `run`
+}
+
+/// Malformed or partial wire files must exit non-zero with a clear
+/// message, never let an exception escape main.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "epa: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +422,118 @@ int main(int argc, char** argv) {
       }
     }
     return cmd_sweep(opts, as_json);
+  }
+  if (cmd == "plan") {
+    core::CampaignOptions opts;
+    core::SweepOptions sweep_opts;
+    bool all = false, saw_out_dir = false, saw_jobs = false;
+    bool saw_sites = false, saw_coverage = false;
+    std::string scenario_name, out_path, out_dir = ".";
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--all") {
+        all = true;
+      } else if (arg == "--merge") {
+        opts.merge_equivalent_sites = true;
+      } else if (arg == "--sites" && i + 1 < argc) {
+        opts.only_sites = split(std::string(argv[++i]), ',');
+        saw_sites = true;
+      } else if (arg == "--coverage" && i + 1 < argc) {
+        opts.target_interaction_coverage = std::atof(argv[++i]);
+        saw_coverage = true;
+      } else if (arg == "--seed" && i + 1 < argc) {
+        opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (arg == "--jobs" && i + 1 < argc) {
+        sweep_opts.jobs = std::atoi(argv[++i]);
+        saw_jobs = true;
+      } else if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--out-dir" && i + 1 < argc) {
+        out_dir = argv[++i];
+        saw_out_dir = true;
+      } else if (!starts_with(arg, "--") && scenario_name.empty()) {
+        scenario_name = arg;
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    // Exactly one of --all / <scenario> must be given, and flags must
+    // match the mode — a silently ignored flag hides a typo'd command.
+    if (all ? !scenario_name.empty() : scenario_name.empty()) return usage();
+    if (all && !out_path.empty()) {
+      std::fprintf(stderr,
+                   "epa: --out applies to single-scenario plan only "
+                   "(use --out-dir with --all)\n");
+      return usage();
+    }
+    if (all && (saw_sites || saw_coverage)) {
+      // Site tags are per-scenario: a typo'd --sites under --all would
+      // silently plan zero work items for every scenario.
+      std::fprintf(stderr,
+                   "epa: %s applies to single-scenario plan only\n",
+                   saw_sites ? "--sites" : "--coverage");
+      return usage();
+    }
+    if (!all && (saw_out_dir || saw_jobs)) {
+      std::fprintf(stderr,
+                   "epa: %s applies to plan --all only\n",
+                   saw_out_dir ? "--out-dir" : "--jobs");
+      return usage();
+    }
+    sweep_opts.campaign = opts;
+    return guarded([&] {
+      return all ? cmd_plan_all(sweep_opts, out_dir)
+                 : cmd_plan(scenario_name, opts, out_path);
+    });
+  }
+  if (cmd == "run-shard") {
+    std::string plan_path, shard_spec, out_path;
+    int jobs = 1;
+    bool use_world_cache = true;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--shard" && i + 1 < argc) {
+        shard_spec = argv[++i];
+      } else if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--jobs" && i + 1 < argc) {
+        jobs = std::atoi(argv[++i]);
+      } else if (arg == "--no-world-cache") {
+        use_world_cache = false;
+      } else if (!starts_with(arg, "--") && plan_path.empty()) {
+        plan_path = arg;
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    if (plan_path.empty() || shard_spec.empty()) return usage();
+    return guarded([&] {
+      return cmd_run_shard(plan_path, shard_spec, out_path, jobs,
+                           use_world_cache);
+    });
+  }
+  if (cmd == "merge") {
+    std::string plan_path;
+    std::vector<std::string> shard_paths;
+    bool as_json = false;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        as_json = true;
+      } else if (!starts_with(arg, "--")) {
+        if (plan_path.empty())
+          plan_path = arg;
+        else
+          shard_paths.push_back(arg);
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    if (plan_path.empty() || shard_paths.empty()) return usage();
+    return guarded([&] { return cmd_merge(plan_path, shard_paths, as_json); });
   }
   if (argc < 3) return usage();
   std::string scenario = argv[2];

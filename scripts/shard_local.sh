@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Fan one scenario's campaign across N worker processes on this machine:
+#
+#   scripts/shard_local.sh [-n SHARDS] [-b EPA_CLI] [-o OUTDIR] [-j] SCENARIO
+#
+#   -n SHARDS   worker process count (default 4)
+#   -b EPA_CLI  path to the epa_cli binary (default ./build/epa_cli)
+#   -o OUTDIR   where plan/shard files go (default: a fresh temp dir)
+#   -j          print the merged report as JSON
+#
+# plan -> N x run-shard (parallel processes) -> merge. The merged report
+# is bit-identical to a single-process `epa_cli run SCENARIO` for any N
+# (docs/WIRE_FORMAT.md); exit status is merge's: 0 clean, 3 candidate
+# vulnerabilities found, 1 on any malformed input or worker failure.
+set -euo pipefail
+
+shards=4
+epa_cli=./build/epa_cli
+outdir=
+json_flag=
+
+usage() {
+  sed -n '2,12p' "$0" >&2
+  exit 2
+}
+
+while getopts 'n:b:o:jh' opt; do
+  case "$opt" in
+    n) shards=$OPTARG ;;
+    b) epa_cli=$OPTARG ;;
+    o) outdir=$OPTARG ;;
+    j) json_flag=--json ;;
+    *) usage ;;
+  esac
+done
+shift $((OPTIND - 1))
+[ $# -eq 1 ] || usage
+scenario=$1
+
+case "$shards" in
+  ''|*[!0-9]*|0) echo "shard_local: -n must be a positive integer" >&2; exit 2 ;;
+esac
+[ -x "$epa_cli" ] || { echo "shard_local: no epa_cli at '$epa_cli' (build first, or pass -b)" >&2; exit 2; }
+if [ -z "$outdir" ]; then
+  outdir=$(mktemp -d "${TMPDIR:-/tmp}/epa-shard.XXXXXX")
+else
+  mkdir -p "$outdir"
+fi
+
+# Progress goes to stderr: stdout carries only the merged report, so
+# `shard_local.sh -j NAME > report.json` stays clean.
+plan="$outdir/$scenario.plan.json"
+"$epa_cli" plan "$scenario" --out "$plan" >&2
+
+pids=()
+for k in $(seq 1 "$shards"); do
+  "$epa_cli" run-shard "$plan" --shard "$k/$shards" \
+    --out "$outdir/$scenario.shard$k.json" >&2 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || { echo "shard_local: a shard worker failed" >&2; exit 1; }
+done
+
+shard_files=()
+for k in $(seq 1 "$shards"); do
+  shard_files+=("$outdir/$scenario.shard$k.json")
+done
+rc=0
+"$epa_cli" merge "$plan" "${shard_files[@]}" $json_flag || rc=$?
+# 3 = candidate vulnerabilities: a finding, not a failure of the pipeline.
+[ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || exit "$rc"
+echo "shard files in $outdir" >&2
+exit "$rc"

@@ -285,4 +285,15 @@ CampaignResult Executor::execute(const InjectionPlan& plan,
   return result;
 }
 
+std::vector<InjectionOutcome> Executor::execute_subset(
+    const InjectionPlan& plan, const std::vector<std::size_t>& item_ids,
+    const ExecutorOptions& opts) const {
+  std::vector<InjectionOutcome> outcomes(item_ids.size());
+  parallel_for(item_ids.size(), opts.jobs, [&](std::size_t i) {
+    outcomes[i] = run_item(plan, plan.items.at(item_ids[i]),
+                           opts.use_world_cache);
+  });
+  return outcomes;
+}
+
 }  // namespace ep::core

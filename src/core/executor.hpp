@@ -68,6 +68,15 @@ class Executor {
   [[nodiscard]] CampaignResult execute(const InjectionPlan& plan,
                                        const ExecutorOptions& opts = {}) const;
 
+  /// Drain only the given plan items (by stable id = plan index), across
+  /// the same worker pool; outcome i corresponds to item_ids[i]. This is
+  /// the sharded-execution drain (core/wire.hpp): a shard process runs
+  /// exactly its subset and outcomes later merge back by id. Ids must be
+  /// in range; duplicates are allowed but wasteful.
+  [[nodiscard]] std::vector<InjectionOutcome> execute_subset(
+      const InjectionPlan& plan, const std::vector<std::size_t>& item_ids,
+      const ExecutorOptions& opts = {}) const;
+
   /// One rebuild-and-rerun cycle (steps 4-8) for a single work item.
   /// Thread-safe: touches only the fresh world it builds or clones. The
   /// scheduler's shared pool calls this directly.

@@ -7,32 +7,74 @@
 #include "core/equivalence.hpp"
 #include "core/oracle.hpp"
 #include "core/trace.hpp"
+#include "core/wire.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace ep::core {
 
 std::string InjectionPlan::to_json() const {
+  // Canonical form: every field the executor and the report need, so a
+  // shard process reconstructs the exact plan from bytes alone, and
+  // parse -> re-serialize reproduces the input verbatim (the docs/
+  // WIRE_FORMAT.md examples are enforced against this output).
   std::string out = "{\n";
+  out += "  \"schema_version\": " + std::to_string(kPlanSchemaVersion) +
+         ",\n";
+  out += "  \"kind\": \"injection-plan\",\n";
   out += "  \"scenario\": " + json_quote(scenario_name) + ",\n";
 
-  out += "  \"points\": [\n";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& p = points[i];
-    out += "    {\"site\": " + json_quote(p.site.tag) +
-           ", \"call\": " + json_quote(p.call) +
-           ", \"object\": " + json_quote(p.object) +
-           ", \"kind\": " + json_quote(std::string(to_string(p.kind))) +
-           ", \"has_input\": " + (p.has_input ? "true" : "false") + "}";
-    out += i + 1 < points.size() ? ",\n" : "\n";
+  if (points.empty()) {
+    out += "  \"points\": [],\n";
+  } else {
+    out += "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      out += "    {\"site\": " + json_site(p.site) +
+             ", \"call\": " + json_quote(p.call) +
+             ", \"object\": " + json_quote(p.object) +
+             ", \"kind\": " + json_quote(std::string(to_string(p.kind))) +
+             ", \"semantic\": " +
+             json_quote(std::string(to_string(p.semantic))) +
+             ", \"channel\": " + json_quote(p.channel_kind) +
+             ", \"has_input\": " + (p.has_input ? "true" : "false") +
+             ", \"hits\": " + std::to_string(p.hits) + "}";
+      out += i + 1 < points.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
   }
-  out += "  ],\n";
 
+  if (benign_violations.empty()) {
+    out += "  \"benign_violations\": [],\n";
+  } else {
+    out += "  \"benign_violations\": [\n";
+    for (std::size_t i = 0; i < benign_violations.size(); ++i) {
+      out += "    " + json_violation(benign_violations[i]);
+      out += i + 1 < benign_violations.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
+
+  if (perturbed_site_tags.empty()) {
+    out += "  \"perturbed_sites\": [],\n";
+  } else {
+    out += "  \"perturbed_sites\": [";
+    std::size_t i = 0;
+    for (const auto& tag : perturbed_site_tags)
+      out += (i++ ? ", " : "") + json_quote(tag);
+    out += "],\n";
+  }
+
+  if (items.empty()) {
+    out += "  \"items\": []\n}\n";
+    return out;
+  }
   out += "  \"items\": [\n";
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto& w = items[i];
     const auto& p = points[w.point_index];
-    out += "    {\"point\": " + std::to_string(w.point_index) +
+    out += "    {\"id\": " + std::to_string(i) +
+           ", \"point\": " + std::to_string(w.point_index) +
            ", \"site\": " + json_quote(p.site.tag) +
            ", \"kind\": " +
            json_quote(std::string(to_string(w.fault.kind))) +

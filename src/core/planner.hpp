@@ -21,6 +21,12 @@
 
 namespace ep::core {
 
+/// Version of the plan/shard-report wire format (docs/WIRE_FORMAT.md).
+/// Bumped whenever a serialized field changes meaning, is removed, or a
+/// new required field appears; readers reject any other version rather
+/// than guess.
+inline constexpr int kPlanSchemaVersion = 1;
+
 /// One (interaction point, fault) pair: exactly one rebuild-and-rerun
 /// cycle of procedure steps 4-8.
 struct WorkItem {
@@ -42,18 +48,23 @@ struct InjectionPlan {
   std::vector<WorkItem> items;
   /// Frozen prototype world, set when the scenario is snapshot-safe and
   /// the campaign asked for world caching: the executor clones it per run
-  /// instead of calling scenario.build(). Not serialized — a plan shard
-  /// rebuilt from JSON on another machine simply falls back to
-  /// build-per-run (the snapshot is a local amortization, not plan
-  /// semantics).
+  /// instead of calling scenario.build(). Not serialized — a plan rebuilt
+  /// from JSON on another machine re-freezes its own prototype from the
+  /// local Scenario (see refreeze_snapshot in core/wire.hpp); the
+  /// snapshot is a local amortization, not plan semantics.
   std::shared_ptr<const WorldSnapshot> snapshot;
 
   [[nodiscard]] const InteractionPoint& point_of(const WorkItem& w) const {
     return points[w.point_index];
   }
-  /// Machine-readable form of the plan. The plan is the engine's unit of
-  /// distribution: a serialized plan can be split across processes or
-  /// machines and each shard drained independently.
+  /// Machine-readable form of the plan (docs/WIRE_FORMAT.md). The plan is
+  /// the engine's unit of distribution: a serialized plan can be split
+  /// across processes or machines and each shard drained independently.
+  /// Work item i carries the stable id i (dense, in plan order); shard
+  /// K/N (1-based, as on the CLI) owns the items with id % N == K-1.
+  /// Canonical output: parsing with
+  /// plan_from_json (core/wire.hpp) and re-serializing reproduces the
+  /// bytes verbatim.
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <map>
 
+#include "core/wire.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +26,16 @@ std::string render_summary_line(const CampaignResult& r) {
          " interaction points, " + std::to_string(r.n()) +
          " perturbations, " + std::to_string(r.violation_count()) +
          " violations";
+}
+
+std::string render_shard_summary(const ShardReport& s) {
+  int violated = 0;
+  for (const auto& o : s.outcomes) violated += o.violated ? 1 : 0;
+  return s.scenario_name + " shard " + std::to_string(s.shard_index + 1) +
+         "/" + std::to_string(s.shard_count) + ": " +
+         std::to_string(s.outcomes.size()) + " of " +
+         std::to_string(s.plan_items) + " work items, " +
+         std::to_string(violated) + " violations";
 }
 
 std::string render_report(const CampaignResult& r) {
@@ -122,6 +133,8 @@ std::string render_report(const CampaignResult& r) {
 
 std::string render_json(const CampaignResult& r) {
   std::string out = "{\n";
+  out += "  \"schema_version\": " + std::to_string(kPlanSchemaVersion) +
+         ",\n";
   out += "  \"scenario\": " + jstr(r.scenario_name) + ",\n";
 
   out += "  \"interaction_points\": [\n";
@@ -149,13 +162,10 @@ std::string render_json(const CampaignResult& r) {
            ", \"exit_code\": " + std::to_string(inj.exit_code);
     if (inj.violated) {
       out += ", \"violations\": [";
-      for (std::size_t v = 0; v < inj.violations.size(); ++v) {
-        const auto& viol = inj.violations[v];
-        out += std::string(v ? ", " : "") + "{\"policy\": " +
-               jstr(std::string(to_string(viol.policy))) +
-               ", \"object\": " + jstr(viol.object) +
-               ", \"detail\": " + jstr(viol.detail) + "}";
-      }
+      // Canonical violation objects (core/wire.hpp): the same shape the
+      // shard-report wire format uses, so dashboards parse one schema.
+      for (std::size_t v = 0; v < inj.violations.size(); ++v)
+        out += std::string(v ? ", " : "") + json_violation(inj.violations[v]);
       out += "], \"exploit\": {\"nonroot_feasible\": " +
              std::string(inj.exploit.nonroot_feasible ? "true" : "false") +
              ", \"actor\": " + jstr(inj.exploit.actor) +

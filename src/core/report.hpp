@@ -9,6 +9,8 @@
 
 namespace ep::core {
 
+struct ShardReport;
+
 /// Full report: per-site table + violations + metrics.
 std::string render_report(const CampaignResult& r);
 
@@ -16,9 +18,15 @@ std::string render_report(const CampaignResult& r);
 /// "turnin: 8 interaction points, 41 perturbations, 9 violations".
 std::string render_summary_line(const CampaignResult& r);
 
+/// One summary line for a drained shard (core/wire.hpp), e.g.
+/// "turnin shard 2/3: 14 of 41 work items, 3 violations".
+std::string render_shard_summary(const ShardReport& s);
+
 /// Machine-readable form (JSON) of the complete result: interaction
 /// points, every injection outcome with its violations and assumption
-/// analysis, and the Section 3.2/3.3 metrics. For dashboards and CI.
+/// analysis, and the Section 3.2/3.3 metrics, stamped with the wire
+/// format's schema_version. For dashboards and CI; `epa_cli merge --json`
+/// emits exactly this, so merged and single-process JSON diff cleanly.
 std::string render_json(const CampaignResult& r);
 
 }  // namespace ep::core

@@ -35,20 +35,26 @@ void MultiCampaign::add(Scenario scenario) {
   scenarios_.push_back(std::move(scenario));
 }
 
-SweepResult MultiCampaign::run(const SweepOptions& opts) const {
+std::vector<InjectionPlan> MultiCampaign::plan_all(
+    const SweepOptions& opts) const {
   // Resolve the catalog singleton once, before any worker thread exists;
   // after this line every thread sees only the completed, immutable
   // catalog.
   (void)FaultCatalog::standard();
 
+  std::vector<InjectionPlan> plans(scenarios_.size());
+  parallel_for(scenarios_.size(), opts.jobs, [&](std::size_t i) {
+    plans[i] = Planner(scenarios_[i]).plan(opts.campaign);
+  });
+  return plans;
+}
+
+SweepResult MultiCampaign::run(const SweepOptions& opts) const {
   SweepResult sweep;
   const std::size_t n = scenarios_.size();
 
   // ---- Phase 1: plan every scenario (one trace run each) -----------------
-  std::vector<InjectionPlan> plans(n);
-  parallel_for(n, opts.jobs, [&](std::size_t i) {
-    plans[i] = Planner(scenarios_[i]).plan(opts.campaign);
-  });
+  std::vector<InjectionPlan> plans = plan_all(opts);
 
   // ---- Phase 2: drain one global queue of (scenario, item) ---------------
   std::vector<Executor> executors;

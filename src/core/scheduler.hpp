@@ -50,6 +50,13 @@ class MultiCampaign {
 
   [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
 
+  /// Phase 1 of run(), exposed for distribution: plan every registered
+  /// scenario across the pool (one trace run each), returned in add()
+  /// order. `epa_cli plan --all` serializes these, one plan file per
+  /// scenario, for sharded execution (core/wire.hpp).
+  [[nodiscard]] std::vector<InjectionPlan> plan_all(
+      const SweepOptions& opts = {}) const;
+
   [[nodiscard]] SweepResult run(const SweepOptions& opts = {}) const;
 
  private:

@@ -1,0 +1,484 @@
+#include "core/wire.hpp"
+
+#include <climits>
+#include <set>
+#include <utility>
+
+#include "core/catalog.hpp"
+#include "core/snapshot.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+
+std::string json_site(const os::Site& s) {
+  return "{\"unit\": " + json_quote(s.unit) +
+         ", \"line\": " + std::to_string(s.line) +
+         ", \"tag\": " + json_quote(s.tag) + "}";
+}
+
+std::string json_violation(const Violation& v) {
+  return "{\"policy\": " + json_quote(std::string(to_string(v.policy))) +
+         ", \"site\": " + json_site(v.site) +
+         ", \"call\": " + json_quote(v.call) +
+         ", \"object\": " + json_quote(v.object) +
+         ", \"detail\": " + json_quote(v.detail) + "}";
+}
+
+namespace {
+
+/// Run `f`, prefixing any failure — JSON access or wire validation —
+/// with where in the document it happened, so "missing key 'call'"
+/// becomes "plan: points[3]: missing key 'call'" and "unknown direct
+/// fault 'x'" names the item that referenced it. Use one level deep —
+/// nesting would stack prefixes.
+template <typename F>
+auto with_ctx(const std::string& where, F&& f) -> decltype(f()) {
+  try {
+    return f();
+  } catch (const std::exception& e) {
+    throw WireError(where + ": " + e.what());
+  }
+}
+
+[[noreturn]] void fail(const std::string& where, const std::string& msg) {
+  throw WireError(where + ": " + msg);
+}
+
+JsonValue parse_document(const std::string& text, const char* what) {
+  try {
+    return json_parse(text);
+  } catch (const JsonError& e) {
+    throw WireError(std::string(what) + " is not valid JSON: " + e.what());
+  }
+}
+
+/// Shared header validation: wire files self-describe with
+/// schema_version + kind so a plan handed to merge (or vice versa) fails
+/// with "kind 'injection-plan' where 'shard-report' was expected", not a
+/// missing-field puzzle.
+void check_header(const JsonValue& doc, const char* expected_kind,
+                  const char* what) {
+  if (!doc.is_object())
+    fail(what, "top-level value must be an object");
+  const JsonValue* ver = doc.find("schema_version");
+  if (!ver)
+    fail(what, "missing 'schema_version' (not a wire-format file?)");
+  long long v = with_ctx(std::string(what) + ": schema_version",
+                         [&] { return ver->as_int(); });
+  if (v != kPlanSchemaVersion)
+    fail(what, "unsupported schema_version " + std::to_string(v) +
+                   " (this build reads version " +
+                   std::to_string(kPlanSchemaVersion) + ")");
+  std::string kind = with_ctx(std::string(what) + ": kind",
+                              [&] { return doc.at("kind").as_string(); });
+  if (kind != expected_kind)
+    fail(what, "kind '" + kind + "' where '" + expected_kind +
+                   "' was expected");
+}
+
+FaultKind fault_kind_from(const std::string& s) {
+  for (FaultKind k : {FaultKind::indirect, FaultKind::direct})
+    if (to_string(k) == s) return k;
+  throw WireError("unknown fault kind '" + s + "'");
+}
+
+ObjectKind object_kind_from(const std::string& s) {
+  for (ObjectKind k :
+       {ObjectKind::file, ObjectKind::directory, ObjectKind::exec_binary,
+        ObjectKind::net_inbound, ObjectKind::net_service,
+        ObjectKind::ipc_service, ObjectKind::registry_key,
+        ObjectKind::user_input, ObjectKind::env_var, ObjectKind::none})
+    if (to_string(k) == s) return k;
+  throw WireError("unknown object kind '" + s + "'");
+}
+
+InputSemantic semantic_from(const std::string& s) {
+  for (InputSemantic k :
+       {InputSemantic::file_name, InputSemantic::command,
+        InputSemantic::path_list, InputSemantic::permission_mask,
+        InputSemantic::file_extension, InputSemantic::ip_address,
+        InputSemantic::packet, InputSemantic::host_name,
+        InputSemantic::dns_reply, InputSemantic::ipc_message})
+    if (to_string(k) == s) return k;
+  throw WireError("unknown input semantic '" + s + "'");
+}
+
+Policy policy_from(const std::string& s) {
+  for (Policy p : {Policy::integrity, Policy::confidentiality,
+                   Policy::untrusted_exec, Policy::memory_safety,
+                   Policy::trust, Policy::authorization})
+    if (to_string(p) == s) return p;
+  throw WireError("unknown policy '" + s + "'");
+}
+
+/// An int-typed wire field: silently wrapping a long long would break
+/// both validation ("reject what you cannot represent") and the
+/// parse -> re-serialize byte-identity contract.
+int parse_int32(const JsonValue& v, const char* key) {
+  long long n = v.at(key).as_int();
+  if (n < INT_MIN || n > INT_MAX)
+    throw WireError(std::string(key) + " " + std::to_string(n) +
+                    " does not fit a 32-bit int");
+  return static_cast<int>(n);
+}
+
+os::Site parse_site(const JsonValue& v) {
+  os::Site s;
+  s.unit = v.at("unit").as_string();
+  s.line = parse_int32(v, "line");
+  s.tag = v.at("tag").as_string();
+  return s;
+}
+
+Violation parse_violation(const JsonValue& v) {
+  Violation out;
+  out.policy = policy_from(v.at("policy").as_string());
+  out.site = parse_site(v.at("site"));
+  out.call = v.at("call").as_string();
+  out.object = v.at("object").as_string();
+  out.detail = v.at("detail").as_string();
+  return out;
+}
+
+/// Resolve a (kind, name) fault reference against this build's catalog.
+FaultRef parse_fault(FaultKind kind, const std::string& name) {
+  const FaultCatalog& cat = FaultCatalog::standard();
+  FaultRef r;
+  r.kind = kind;
+  if (kind == FaultKind::indirect) {
+    r.indirect = cat.find_indirect(name);
+    if (!r.indirect)
+      throw WireError("unknown indirect fault '" + name +
+                      "' (plan written by a build with a different fault "
+                      "catalog?)");
+  } else {
+    r.direct = cat.find_direct(name);
+    if (!r.direct)
+      throw WireError("unknown direct fault '" + name +
+                      "' (plan written by a build with a different fault "
+                      "catalog?)");
+  }
+  return r;
+}
+
+std::string json_outcome(std::size_t id, const InjectionOutcome& o) {
+  std::string out = "{\"id\": " + std::to_string(id) +
+                    ", \"site\": " + json_site(o.site) +
+                    ", \"call\": " + json_quote(o.call) +
+                    ", \"object\": " + json_quote(o.object) +
+                    ", \"kind\": " +
+                    json_quote(std::string(to_string(o.kind))) +
+                    ", \"fault\": " + json_quote(o.fault_name) +
+                    ", \"fault_description\": " +
+                    json_quote(o.fault_description) +
+                    std::string(", \"fired\": ") +
+                    (o.fired ? "true" : "false") +
+                    ", \"violated\": " + (o.violated ? "true" : "false") +
+                    ", \"crashed\": " + (o.crashed ? "true" : "false") +
+                    ", \"overflows\": " + std::to_string(o.overflows) +
+                    ", \"exit_code\": " + std::to_string(o.exit_code) +
+                    ", \"violations\": [";
+  for (std::size_t i = 0; i < o.violations.size(); ++i)
+    out += std::string(i ? ", " : "") + json_violation(o.violations[i]);
+  out += std::string("], \"exploit\": {\"nonroot_feasible\": ") +
+         (o.exploit.nonroot_feasible ? "true" : "false") +
+         ", \"actor\": " + json_quote(o.exploit.actor) +
+         ", \"note\": " + json_quote(o.exploit.note) + "}}";
+  return out;
+}
+
+InjectionOutcome parse_outcome(const JsonValue& v) {
+  InjectionOutcome o;
+  o.site = parse_site(v.at("site"));
+  o.call = v.at("call").as_string();
+  o.object = v.at("object").as_string();
+  o.kind = fault_kind_from(v.at("kind").as_string());
+  o.fault_name = v.at("fault").as_string();
+  o.fault_description = v.at("fault_description").as_string();
+  o.fired = v.at("fired").as_bool();
+  o.violated = v.at("violated").as_bool();
+  o.crashed = v.at("crashed").as_bool();
+  o.overflows = parse_int32(v, "overflows");
+  o.exit_code = parse_int32(v, "exit_code");
+  for (const JsonValue& viol : v.at("violations").items())
+    o.violations.push_back(parse_violation(viol));
+  const JsonValue& e = v.at("exploit");
+  o.exploit.nonroot_feasible = e.at("nonroot_feasible").as_bool();
+  o.exploit.actor = e.at("actor").as_string();
+  o.exploit.note = e.at("note").as_string();
+  return o;
+}
+
+std::size_t parse_count(const JsonValue& doc, const char* key,
+                        const char* what) {
+  long long v = with_ctx(std::string(what) + ": " + key,
+                         [&] { return doc.at(key).as_int(); });
+  if (v < 0) fail(what, std::string(key) + " must be >= 0");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+InjectionPlan plan_from_json(const std::string& text) {
+  JsonValue doc = parse_document(text, "plan");
+  check_header(doc, "injection-plan", "plan");
+
+  InjectionPlan plan;
+  plan.scenario_name =
+      with_ctx("plan: scenario", [&] { return doc.at("scenario").as_string(); });
+  if (plan.scenario_name.empty()) fail("plan", "scenario name is empty");
+
+  const auto& points = with_ctx("plan: points", [&]() -> decltype(auto) {
+    return doc.at("points").items();
+  });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    with_ctx("plan: points[" + std::to_string(i) + "]", [&] {
+      const JsonValue& p = points[i];
+      InteractionPoint point;
+      point.site = parse_site(p.at("site"));
+      point.call = p.at("call").as_string();
+      point.object = p.at("object").as_string();
+      point.kind = object_kind_from(p.at("kind").as_string());
+      point.semantic = semantic_from(p.at("semantic").as_string());
+      point.channel_kind = p.at("channel").as_string();
+      point.has_input = p.at("has_input").as_bool();
+      point.hits = parse_int32(p, "hits");
+      plan.points.push_back(std::move(point));
+    });
+  }
+
+  const auto& benign =
+      with_ctx("plan: benign_violations", [&]() -> decltype(auto) {
+        return doc.at("benign_violations").items();
+      });
+  for (std::size_t i = 0; i < benign.size(); ++i) {
+    with_ctx("plan: benign_violations[" + std::to_string(i) + "]",
+             [&] { plan.benign_violations.push_back(parse_violation(benign[i])); });
+  }
+
+  const auto& perturbed =
+      with_ctx("plan: perturbed_sites", [&]() -> decltype(auto) {
+        return doc.at("perturbed_sites").items();
+      });
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    with_ctx("plan: perturbed_sites[" + std::to_string(i) + "]", [&] {
+      plan.perturbed_site_tags.insert(perturbed[i].as_string());
+    });
+  }
+
+  const auto& items = with_ctx("plan: items", [&]() -> decltype(auto) {
+    return doc.at("items").items();
+  });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::string where = "plan: items[" + std::to_string(i) + "]";
+    with_ctx(where, [&] {
+      const JsonValue& w = items[i];
+      long long id = w.at("id").as_int();
+      if (id != static_cast<long long>(i))
+        throw WireError("stable id " + std::to_string(id) +
+                        " out of order (expected " + std::to_string(i) + ")");
+      long long point = w.at("point").as_int();
+      if (point < 0 || point >= static_cast<long long>(plan.points.size()))
+        throw WireError("point index " + std::to_string(point) +
+                        " out of range (plan has " +
+                        std::to_string(plan.points.size()) + " points)");
+      const std::string& tag =
+          plan.points[static_cast<std::size_t>(point)].site.tag;
+      std::string site = w.at("site").as_string();
+      if (site != tag)
+        throw WireError("site '" + site + "' does not match point " +
+                        std::to_string(point) + "'s site '" + tag + "'");
+      FaultKind kind = fault_kind_from(w.at("kind").as_string());
+      plan.items.push_back({static_cast<std::size_t>(point),
+                            parse_fault(kind, w.at("fault").as_string())});
+    });
+  }
+  return plan;
+}
+
+void refreeze_snapshot(InjectionPlan& plan, const Scenario& scenario) {
+  if (scenario.snapshot_safe && !plan.items.empty() && !plan.snapshot)
+    plan.snapshot = WorldSnapshot::freeze(scenario.build());
+}
+
+std::vector<std::size_t> shard_item_ids(std::size_t total_items,
+                                        std::size_t shard_index,
+                                        std::size_t shard_count) {
+  if (shard_count == 0) throw WireError("shard count must be >= 1");
+  if (shard_index >= shard_count)
+    throw WireError("shard index " + std::to_string(shard_index + 1) +
+                    " out of range for " + std::to_string(shard_count) +
+                    " shards");
+  std::vector<std::size_t> ids;
+  ids.reserve(total_items / shard_count + 1);
+  for (std::size_t i = shard_index; i < total_items; i += shard_count)
+    ids.push_back(i);
+  return ids;
+}
+
+std::string ShardReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema_version\": " + std::to_string(schema_version) + ",\n";
+  out += "  \"kind\": \"shard-report\",\n";
+  out += "  \"scenario\": " + json_quote(scenario_name) + ",\n";
+  out += "  \"shard_index\": " + std::to_string(shard_index) + ",\n";
+  out += "  \"shard_count\": " + std::to_string(shard_count) + ",\n";
+  out += "  \"plan_items\": " + std::to_string(plan_items) + ",\n";
+  if (outcomes.empty()) {
+    out += "  \"outcomes\": []\n}\n";
+    return out;
+  }
+  out += "  \"outcomes\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    out += "    " + json_outcome(item_ids[i], outcomes[i]);
+    out += i + 1 < outcomes.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+ShardReport shard_report_from_json(const std::string& text) {
+  JsonValue doc = parse_document(text, "shard report");
+  check_header(doc, "shard-report", "shard report");
+
+  ShardReport report;
+  report.scenario_name = with_ctx(
+      "shard report: scenario", [&] { return doc.at("scenario").as_string(); });
+  if (report.scenario_name.empty())
+    fail("shard report", "scenario name is empty");
+  report.shard_index = parse_count(doc, "shard_index", "shard report");
+  report.shard_count = parse_count(doc, "shard_count", "shard report");
+  report.plan_items = parse_count(doc, "plan_items", "shard report");
+  if (report.shard_count == 0)
+    fail("shard report", "shard_count must be >= 1");
+  if (report.shard_index >= report.shard_count)
+    fail("shard report",
+         "shard_index " + std::to_string(report.shard_index) +
+             " out of range for shard_count " +
+             std::to_string(report.shard_count));
+
+  const auto& outcomes =
+      with_ctx("shard report: outcomes", [&]() -> decltype(auto) {
+        return doc.at("outcomes").items();
+      });
+  // A set, not a plan_items-sized bitmap: plan_items is untrusted input
+  // and must not size an allocation.
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    with_ctx("shard report: outcomes[" + std::to_string(i) + "]", [&] {
+      const JsonValue& o = outcomes[i];
+      long long id = o.at("id").as_int();
+      if (id < 0 || id >= static_cast<long long>(report.plan_items))
+        throw WireError("work-item id " + std::to_string(id) +
+                        " out of range (plan has " +
+                        std::to_string(report.plan_items) + " items)");
+      auto uid = static_cast<std::size_t>(id);
+      if (uid % report.shard_count != report.shard_index)
+        throw WireError("work-item id " + std::to_string(id) +
+                        " belongs to shard " +
+                        std::to_string(uid % report.shard_count + 1) + "/" +
+                        std::to_string(report.shard_count) + ", not shard " +
+                        std::to_string(report.shard_index + 1) + "/" +
+                        std::to_string(report.shard_count));
+      if (!seen.insert(uid).second)
+        throw WireError("duplicate outcome for work item " +
+                        std::to_string(id));
+      report.item_ids.push_back(uid);
+      report.outcomes.push_back(parse_outcome(o));
+    });
+  }
+  return report;
+}
+
+ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
+                      std::size_t shard_index, std::size_t shard_count,
+                      const ExecutorOptions& opts) {
+  ShardReport report;
+  report.scenario_name = plan.scenario_name;
+  report.shard_index = shard_index;
+  report.shard_count = shard_count;
+  report.plan_items = plan.items.size();
+  report.item_ids = shard_item_ids(plan.items.size(), shard_index,
+                                   shard_count);  // validates the pair
+  report.outcomes = executor.execute_subset(plan, report.item_ids, opts);
+  return report;
+}
+
+CampaignResult merge_shard_reports(const InjectionPlan& plan,
+                                   const std::vector<ShardReport>& shards) {
+  if (shards.empty()) throw WireError("merge: no shard reports given");
+  const std::size_t n = plan.items.size();
+  const std::size_t shard_count = shards.front().shard_count;
+  // shard_count is untrusted input and must not size an allocation until
+  // it is bounded by something we were actually handed. A complete merge
+  // has exactly one report per shard, so any mismatch is an error anyway
+  // — and with counts equal, a missing shard implies a duplicate one.
+  if (shard_count != shards.size())
+    throw WireError("merge: got " + std::to_string(shards.size()) +
+                    " shard report(s) but shard_count is " +
+                    std::to_string(shard_count) +
+                    "; every shard must be present exactly once");
+
+  CampaignResult result = result_skeleton(plan);
+  std::vector<bool> shard_seen(shard_count, false);
+  std::vector<bool> id_seen(n, false);
+
+  for (const auto& s : shards) {
+    std::string who = "shard " + std::to_string(s.shard_index + 1) + "/" +
+                      std::to_string(s.shard_count);
+    if (s.scenario_name != plan.scenario_name)
+      throw WireError(who + ": scenario '" + s.scenario_name +
+                      "' does not match the plan's '" + plan.scenario_name +
+                      "'");
+    if (s.plan_items != n)
+      throw WireError(who + ": written against a plan with " +
+                      std::to_string(s.plan_items) +
+                      " work items; this plan has " + std::to_string(n));
+    if (s.shard_count != shard_count)
+      throw WireError(who + ": shard_count " + std::to_string(s.shard_count) +
+                      " disagrees with the first report's " +
+                      std::to_string(shard_count));
+    if (s.shard_index >= shard_count)
+      throw WireError(who + ": shard_index out of range");
+    if (shard_seen[s.shard_index])
+      throw WireError("duplicate report for " + who);
+    shard_seen[s.shard_index] = true;
+    if (s.item_ids.size() != s.outcomes.size())
+      throw WireError(who + ": item id / outcome count mismatch");
+
+    for (std::size_t i = 0; i < s.item_ids.size(); ++i) {
+      std::size_t id = s.item_ids[i];
+      if (id >= n)
+        throw WireError(who + ": work-item id " + std::to_string(id) +
+                        " out of range (plan has " + std::to_string(n) +
+                        " items)");
+      if (id_seen[id])
+        throw WireError(who + ": duplicate outcome for work item " +
+                        std::to_string(id));
+      const WorkItem& item = plan.items[id];
+      const InjectionOutcome& o = s.outcomes[i];
+      if (o.fault_name != item.fault.name() ||
+          !(o.site == plan.point_of(item).site))
+        throw WireError(who + ": outcome for work item " + std::to_string(id) +
+                        " is fault '" + o.fault_name + "' at " + o.site.str() +
+                        " but the plan's item " + std::to_string(id) +
+                        " is '" + item.fault.name() + "' at " +
+                        plan.point_of(item).site.str() +
+                        " (report from a different plan?)");
+      id_seen[id] = true;
+      result.injections[id] = o;
+    }
+  }
+
+  // All shard_count indices are in range and duplicate-free, and exactly
+  // shard_count reports arrived — so every shard is present; only
+  // per-item completeness (partial files) can still fail.
+  for (std::size_t id = 0; id < n; ++id)
+    if (!id_seen[id])
+      throw WireError("work item " + std::to_string(id) +
+                      " has no outcome (partial shard file?)");
+  return result;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,100 @@
+// The distribution wire format (docs/WIRE_FORMAT.md): serialized
+// InjectionPlans and per-shard campaign reports.
+//
+// The plan is the engine's unit of distribution. `epa_cli plan` writes
+// InjectionPlan::to_json() to a file; any number of processes — on one
+// machine or many — each read the same plan, drain only their shard's
+// work items (stable id % shard_count == shard_index), and write a
+// ShardReport. merge_shard_reports() recombines the shard files into the
+// exact CampaignResult a single process would have produced: outcomes go
+// to their plan-order slot by stable id, so the merge is deterministic
+// regardless of shard count, arrival order, or how long each shard took.
+//
+// Everything here validates before it trusts: a malformed, truncated,
+// version-skewed, or foreign file raises WireError with a message naming
+// the field (and, for syntax errors, the line/column) that broke —
+// callers turn that into a clean non-zero exit, never a raw terminate.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace ep::core {
+
+/// A plan or shard-report file that cannot be trusted: syntactically
+/// malformed, wrong schema version, wrong kind, missing or inconsistent
+/// fields, or shard sets that do not add back up to the plan.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Canonical JSON fragment helpers shared by every serializer so site and
+/// violation objects look the same in plans, shard reports, and docs.
+std::string json_site(const os::Site& s);
+std::string json_violation(const Violation& v);
+
+/// Parse and validate a serialized plan (the inverse of
+/// InjectionPlan::to_json). Faults are re-resolved by name against this
+/// build's FaultCatalog; the returned plan carries no world snapshot —
+/// call refreeze_snapshot() to re-create the local COW prototype.
+/// Throws WireError on any malformed or unsupported input.
+InjectionPlan plan_from_json(const std::string& text);
+
+/// Re-freeze the local COW prototype for a plan rebuilt from JSON (the
+/// snapshot is never serialized — it is a per-process amortization, not
+/// plan semantics). No-op when the scenario is not snapshot-safe, the
+/// plan is empty, or a snapshot is already attached.
+void refreeze_snapshot(InjectionPlan& plan, const Scenario& scenario);
+
+/// The stable work-item ids shard `shard_index` (0-based) owns out of
+/// `shard_count`: { id | id % shard_count == shard_index }, ascending.
+/// Uneven divisions simply give the low-index shards one extra item.
+std::vector<std::size_t> shard_item_ids(std::size_t total_items,
+                                        std::size_t shard_index,
+                                        std::size_t shard_count);
+
+/// One shard's campaign output: the injection outcomes of exactly the
+/// work items the shard owns, keyed by their stable plan ids.
+struct ShardReport {
+  int schema_version = kPlanSchemaVersion;
+  std::string scenario_name;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Total items in the *whole* plan (not this shard) — merge uses it to
+  /// reject shard files produced against a different plan.
+  std::size_t plan_items = 0;
+  std::vector<std::size_t> item_ids;  // parallel to outcomes
+  std::vector<InjectionOutcome> outcomes;
+
+  /// Canonical JSON (docs/WIRE_FORMAT.md): parse -> re-serialize
+  /// reproduces the bytes verbatim.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Parse and validate a serialized shard report. Throws WireError on
+/// malformed input, a foreign kind/version, ids outside the plan, ids
+/// that belong to a different shard, or duplicate ids.
+ShardReport shard_report_from_json(const std::string& text);
+
+/// Drain one shard of the plan through the executor (worker pool and COW
+/// snapshot path included) and package the outcomes as a ShardReport.
+ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
+                      std::size_t shard_index, std::size_t shard_count,
+                      const ExecutorOptions& opts = {});
+
+/// Recombine shard reports into the CampaignResult a single process would
+/// have produced from this plan: outcome with id i lands in slot i, so
+/// the result is bit-identical to a local `--jobs N` drain for any shard
+/// count and any shard file order. Throws WireError unless the shard set
+/// is complete and consistent: all shard_count shards present exactly
+/// once, every report matching this plan's scenario and item count, and
+/// the union of outcome ids covering every work item exactly once.
+CampaignResult merge_shard_reports(const InjectionPlan& plan,
+                                   const std::vector<ShardReport>& shards);
+
+}  // namespace ep::core

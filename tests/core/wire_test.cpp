@@ -1,0 +1,424 @@
+// The distribution wire format (core/wire.hpp, docs/WIRE_FORMAT.md):
+// canonical plan/shard-report round trips, the shard partition, the
+// deterministic merge, and one test per validation error path — a
+// malformed or partial file must raise WireError naming what broke.
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/campaign_fixtures.hpp"
+#include "core/report.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+namespace {
+
+InjectionPlan toy_plan(bool with_snapshot = false) {
+  Scenario s = toy_scenario();
+  CampaignOptions opts;
+  opts.use_world_cache = with_snapshot;
+  return Planner(s).plan(opts);
+}
+
+/// The message of the WireError `fn` must throw.
+template <typename Fn>
+std::string wire_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const WireError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected WireError";
+  return {};
+}
+
+void expect_plans_equal(const InjectionPlan& a, const InjectionPlan& b) {
+  EXPECT_EQ(a.scenario_name, b.scenario_name);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].site, b.points[i].site) << i;
+    EXPECT_EQ(a.points[i].call, b.points[i].call) << i;
+    EXPECT_EQ(a.points[i].object, b.points[i].object) << i;
+    EXPECT_EQ(a.points[i].kind, b.points[i].kind) << i;
+    EXPECT_EQ(a.points[i].semantic, b.points[i].semantic) << i;
+    EXPECT_EQ(a.points[i].channel_kind, b.points[i].channel_kind) << i;
+    EXPECT_EQ(a.points[i].has_input, b.points[i].has_input) << i;
+    EXPECT_EQ(a.points[i].hits, b.points[i].hits) << i;
+  }
+  ASSERT_EQ(a.benign_violations.size(), b.benign_violations.size());
+  EXPECT_EQ(a.perturbed_site_tags, b.perturbed_site_tags);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].point_index, b.items[i].point_index) << i;
+    EXPECT_EQ(a.items[i].fault.kind, b.items[i].fault.kind) << i;
+    EXPECT_EQ(a.items[i].fault.name(), b.items[i].fault.name()) << i;
+  }
+}
+
+TEST(Wire, PlanRoundTripsThroughJson) {
+  InjectionPlan plan = toy_plan();
+  std::string json = plan.to_json();
+  EXPECT_TRUE(contains(json, "\"schema_version\": 1"));
+  EXPECT_TRUE(contains(json, "\"kind\": \"injection-plan\""));
+
+  InjectionPlan parsed = plan_from_json(json);
+  expect_plans_equal(plan, parsed);
+  EXPECT_EQ(parsed.snapshot, nullptr);  // never on the wire
+
+  // Canonical form: parse -> re-serialize reproduces the bytes verbatim
+  // (what lets docs/WIRE_FORMAT.md pin the example literally).
+  EXPECT_EQ(parsed.to_json(), json);
+}
+
+TEST(Wire, RoundTrippedPlanExecutesIdentically) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  InjectionPlan parsed = plan_from_json(plan.to_json());
+  Executor ex(s);
+  ExecutorOptions opts;
+  opts.use_world_cache = false;
+  expect_identical(ex.execute(plan, opts), ex.execute(parsed, opts));
+}
+
+TEST(Wire, RefreezeRestoresTheCowPath) {
+  Scenario s = toy_scenario();
+  InjectionPlan parsed = plan_from_json(toy_plan().to_json());
+  ASSERT_EQ(parsed.snapshot, nullptr);
+  refreeze_snapshot(parsed, s);
+  ASSERT_NE(parsed.snapshot, nullptr);
+  // Re-freezing is idempotent, and cached == uncached still holds for the
+  // rebuilt plan.
+  auto snap = parsed.snapshot;
+  refreeze_snapshot(parsed, s);
+  EXPECT_EQ(parsed.snapshot, snap);
+  Executor ex(s);
+  ExecutorOptions cached, uncached;
+  uncached.use_world_cache = false;
+  expect_identical(ex.execute(parsed, cached), ex.execute(parsed, uncached));
+}
+
+TEST(Wire, ShardItemIdsPartitionThePlan) {
+  EXPECT_EQ(shard_item_ids(10, 0, 3),
+            (std::vector<std::size_t>{0, 3, 6, 9}));
+  EXPECT_EQ(shard_item_ids(10, 1, 3), (std::vector<std::size_t>{1, 4, 7}));
+  EXPECT_EQ(shard_item_ids(10, 2, 3), (std::vector<std::size_t>{2, 5, 8}));
+  // More shards than items: trailing shards legitimately drain nothing.
+  EXPECT_EQ(shard_item_ids(2, 2, 5), std::vector<std::size_t>{});
+  // Every id lands in exactly one shard for any count.
+  for (std::size_t n = 1; n <= 8; ++n) {
+    std::vector<std::size_t> all;
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t id : shard_item_ids(41, k, n)) all.push_back(id);
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), 41u) << n;
+    for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+  }
+  EXPECT_THROW((void)shard_item_ids(10, 3, 3), WireError);
+  EXPECT_THROW((void)shard_item_ids(10, 0, 0), WireError);
+}
+
+TEST(Wire, ShardReportRoundTripsThroughJson) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  ShardReport report = run_shard(Executor(s), plan, 1, 3);
+  EXPECT_EQ(report.scenario_name, "toy");
+  EXPECT_EQ(report.plan_items, plan.items.size());
+  EXPECT_EQ(report.item_ids, shard_item_ids(plan.items.size(), 1, 3));
+
+  std::string json = report.to_json();
+  ShardReport parsed = shard_report_from_json(json);
+  EXPECT_EQ(parsed.scenario_name, report.scenario_name);
+  EXPECT_EQ(parsed.shard_index, report.shard_index);
+  EXPECT_EQ(parsed.shard_count, report.shard_count);
+  EXPECT_EQ(parsed.plan_items, report.plan_items);
+  EXPECT_EQ(parsed.item_ids, report.item_ids);
+  ASSERT_EQ(parsed.outcomes.size(), report.outcomes.size());
+  EXPECT_EQ(parsed.to_json(), json);  // canonical round trip
+}
+
+TEST(Wire, MergeReassemblesThePlanOrderResult) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  Executor ex(s);
+  CampaignResult single = ex.execute(plan);
+
+  for (std::size_t n : {2u, 3u, 7u}) {
+    std::vector<ShardReport> shards;
+    for (std::size_t k = 0; k < n; ++k)
+      shards.push_back(run_shard(ex, plan, k, n));
+    // Arrival order must not matter.
+    std::reverse(shards.begin(), shards.end());
+    CampaignResult merged = merge_shard_reports(plan, shards);
+    expect_identical(single, merged);
+    EXPECT_EQ(render_report(single), render_report(merged)) << n;
+    EXPECT_EQ(render_json(single), render_json(merged)) << n;
+  }
+}
+
+TEST(Wire, MergeSurvivesTheWireRoundTrip) {
+  // The full cross-process pipeline in miniature: every byte of shard
+  // state passes through JSON, and the merged report still matches the
+  // in-process drain bit for bit.
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  InjectionPlan parsed = plan_from_json(plan.to_json());
+  refreeze_snapshot(parsed, s);
+  Executor ex(s);
+  std::vector<ShardReport> shards;
+  for (std::size_t k = 0; k < 3; ++k)
+    shards.push_back(shard_report_from_json(
+        run_shard(ex, parsed, k, 3).to_json()));
+  CampaignResult merged = merge_shard_reports(parsed, shards);
+  ExecutorOptions opts;
+  opts.jobs = 4;
+  expect_identical(ex.execute(plan, opts), merged);
+}
+
+// --- plan_from_json error paths ---------------------------------------------
+
+TEST(WireErrors, PlanRejectsMalformedJson) {
+  EXPECT_TRUE(contains(
+      wire_error_of([] { (void)plan_from_json("{\"schema_version\": 1,"); }),
+      "not valid JSON"));
+}
+
+TEST(WireErrors, PlanRejectsNonObject) {
+  EXPECT_TRUE(contains(wire_error_of([] { (void)plan_from_json("[]"); }),
+                       "must be an object"));
+}
+
+TEST(WireErrors, PlanRejectsMissingSchemaVersion) {
+  EXPECT_TRUE(contains(wire_error_of([] { (void)plan_from_json("{}"); }),
+                       "schema_version"));
+}
+
+TEST(WireErrors, PlanRejectsFutureSchemaVersion) {
+  std::string msg = wire_error_of([] {
+    (void)plan_from_json("{\"schema_version\": 99, \"kind\": "
+                         "\"injection-plan\"}");
+  });
+  EXPECT_TRUE(contains(msg, "unsupported schema_version 99"));
+  EXPECT_TRUE(contains(msg, "version 1"));
+}
+
+TEST(WireErrors, PlanRejectsForeignKind) {
+  Scenario s = toy_scenario();
+  ShardReport report = run_shard(Executor(s), toy_plan(), 0, 2);
+  std::string msg =
+      wire_error_of([&] { (void)plan_from_json(report.to_json()); });
+  EXPECT_TRUE(contains(msg, "'shard-report'"));
+  EXPECT_TRUE(contains(msg, "'injection-plan'"));
+}
+
+TEST(WireErrors, PlanRejectsMissingFieldWithContext) {
+  std::string json =
+      replace_all(toy_plan().to_json(), "\"call\": \"open\", ", "");
+  std::string msg = wire_error_of([&] { (void)plan_from_json(json); });
+  EXPECT_TRUE(contains(msg, "points["));
+  EXPECT_TRUE(contains(msg, "missing key 'call'"));
+}
+
+TEST(WireErrors, PlanRejectsUnknownEnumString) {
+  std::string json = replace_all(toy_plan().to_json(), "\"kind\": \"file\"",
+                                 "\"kind\": \"flurb\"");
+  EXPECT_TRUE(contains(wire_error_of([&] { (void)plan_from_json(json); }),
+                       "unknown object kind 'flurb'"));
+}
+
+TEST(WireErrors, PlanRejectsOutOfOrderIds) {
+  std::string json =
+      replace_all(toy_plan().to_json(), "{\"id\": 1, ", "{\"id\": 41, ");
+  EXPECT_TRUE(contains(wire_error_of([&] { (void)plan_from_json(json); }),
+                       "stable id 41 out of order (expected 1)"));
+}
+
+TEST(WireErrors, PlanRejectsPointIndexOutOfRange) {
+  std::string json = replace_all(toy_plan().to_json(), "\"point\": 0,",
+                                 "\"point\": 99,");
+  EXPECT_TRUE(contains(wire_error_of([&] { (void)plan_from_json(json); }),
+                       "point index 99 out of range"));
+}
+
+TEST(WireErrors, PlanRejectsSitePointMismatch) {
+  InjectionPlan plan = toy_plan();
+  const std::string& tag0 = plan.points[0].site.tag;
+  // Repoint every item naming site tag0 at point 1: tag and index now
+  // disagree.
+  std::string json = replace_all(
+      plan.to_json(), "\"point\": 0, \"site\": " + json_quote(tag0),
+      "\"point\": 1, \"site\": " + json_quote(tag0));
+  EXPECT_TRUE(contains(wire_error_of([&] { (void)plan_from_json(json); }),
+                       "does not match point 1's site"));
+}
+
+TEST(WireErrors, PlanRejectsUnknownFault) {
+  std::string json = replace_all(toy_plan().to_json(),
+                                 "\"fault\": \"file-existence\"",
+                                 "\"fault\": \"quantum-flip\"");
+  std::string msg = wire_error_of([&] { (void)plan_from_json(json); });
+  EXPECT_TRUE(contains(msg, "unknown direct fault 'quantum-flip'"));
+  // The error names the item that referenced the fault, not just the
+  // fault — a plan has hundreds of items.
+  EXPECT_TRUE(contains(msg, "items["));
+}
+
+TEST(WireErrors, PlanRejectsIntFieldBeyondInt32) {
+  // Silent long-long -> int truncation would accept a corrupt file and
+  // break the verbatim re-serialization contract.
+  std::string json = replace_all(toy_plan().to_json(), "\"line\": 10",
+                                 "\"line\": 21474836480000");
+  std::string msg = wire_error_of([&] { (void)plan_from_json(json); });
+  EXPECT_TRUE(contains(msg, "does not fit a 32-bit int"));
+  EXPECT_TRUE(contains(msg, "points[0]"));
+}
+
+TEST(WireErrors, PlanRejectsEmptyScenarioName) {
+  std::string json = replace_all(toy_plan().to_json(),
+                                 "\"scenario\": \"toy\"",
+                                 "\"scenario\": \"\"");
+  EXPECT_TRUE(contains(wire_error_of([&] { (void)plan_from_json(json); }),
+                       "scenario name is empty"));
+}
+
+// --- shard_report_from_json error paths -------------------------------------
+
+TEST(WireErrors, ShardReportRejectsForeignKind) {
+  std::string msg = wire_error_of(
+      [] { (void)shard_report_from_json(toy_plan().to_json()); });
+  EXPECT_TRUE(contains(msg, "'injection-plan'"));
+  EXPECT_TRUE(contains(msg, "'shard-report'"));
+}
+
+TEST(WireErrors, ShardReportRejectsIndexOutOfRange) {
+  Scenario s = toy_scenario();
+  std::string json =
+      replace_all(run_shard(Executor(s), toy_plan(), 2, 3).to_json(),
+                  "\"shard_index\": 2", "\"shard_index\": 3");
+  EXPECT_TRUE(
+      contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
+               "shard_index 3 out of range"));
+}
+
+TEST(WireErrors, ShardReportRejectsForeignItemId) {
+  Scenario s = toy_scenario();
+  // Shard 0 of 3 owns ids 0, 3, 6, ...; retagging the first outcome as
+  // id 1 hands it an item of shard 2/3.
+  std::string json =
+      replace_all(run_shard(Executor(s), toy_plan(), 0, 3).to_json(),
+                  "{\"id\": 0, ", "{\"id\": 1, ");
+  EXPECT_TRUE(
+      contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
+               "belongs to shard 2/3, not shard 1/3"));
+}
+
+TEST(WireErrors, ShardReportRejectsIdBeyondPlan) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  std::size_t last =
+      shard_item_ids(plan.items.size(), 0, 1).back();
+  std::string json = replace_all(
+      run_shard(Executor(s), plan, 0, 1).to_json(),
+      "{\"id\": " + std::to_string(last) + ", ",
+      "{\"id\": " + std::to_string(plan.items.size()) + ", ");
+  EXPECT_TRUE(
+      contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
+               "out of range"));
+}
+
+TEST(WireErrors, ShardReportRejectsDuplicateIds) {
+  Scenario s = toy_scenario();
+  // Both of shard 1/2's first two outcomes claim id 1.
+  std::string json =
+      replace_all(run_shard(Executor(s), toy_plan(), 1, 2).to_json(),
+                  "{\"id\": 3, ", "{\"id\": 1, ");
+  EXPECT_TRUE(
+      contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
+               "duplicate outcome for work item 1"));
+}
+
+// --- merge_shard_reports error paths ----------------------------------------
+
+class WireMergeErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scenario_ = toy_scenario();
+    plan_ = Planner(scenario_).plan();
+    Executor ex(scenario_);
+    for (std::size_t k = 0; k < 3; ++k)
+      shards_.push_back(run_shard(ex, plan_, k, 3));
+  }
+
+  Scenario scenario_;
+  InjectionPlan plan_;
+  std::vector<ShardReport> shards_;
+};
+
+TEST_F(WireMergeErrors, RejectsEmptyShardList) {
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, {}); }),
+      "no shard reports"));
+}
+
+TEST_F(WireMergeErrors, RejectsMissingShard) {
+  shards_.pop_back();
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "got 2 shard report(s) but shard_count is 3"));
+}
+
+TEST_F(WireMergeErrors, RejectsImplausibleShardCountWithoutAllocating) {
+  // shard_count is untrusted: a crafted value must fail fast, never size
+  // an allocation (a 7e11 count once zero-filled ~87GB here).
+  for (auto& s : shards_) s.shard_count = 700000000000ull;
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "shard_count is 700000000000"));
+}
+
+TEST_F(WireMergeErrors, RejectsDuplicateShard) {
+  shards_[2] = shards_[0];
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "duplicate report for shard 1/3"));
+}
+
+TEST_F(WireMergeErrors, RejectsForeignScenario) {
+  shards_[1].scenario_name = "other";
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "scenario 'other' does not match the plan's 'toy'"));
+}
+
+TEST_F(WireMergeErrors, RejectsForeignPlanSize) {
+  shards_[1].plan_items = plan_.items.size() + 5;
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "written against a plan with"));
+}
+
+TEST_F(WireMergeErrors, RejectsInconsistentShardCounts) {
+  shards_[1].shard_count = 4;
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "disagrees"));
+}
+
+TEST_F(WireMergeErrors, RejectsPartialShardFile) {
+  shards_[1].item_ids.pop_back();
+  shards_[1].outcomes.pop_back();
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "has no outcome"));
+}
+
+TEST_F(WireMergeErrors, RejectsOutcomeFromAnotherPlan) {
+  shards_[1].outcomes[0].fault_name = "quantum-flip";
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
+      "different plan"));
+}
+
+}  // namespace
+}  // namespace ep::core

@@ -1,0 +1,74 @@
+// Docs-freshness guard: the JSON examples in docs/WIRE_FORMAT.md are
+// real serializer output and must stay that way. Each marked example is
+// parsed with the real reader and re-serialized; the bytes must match the
+// document verbatim, so any wire-format change that forgets to update the
+// spec fails CI here.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/planner.hpp"
+#include "core/wire.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+namespace {
+
+std::string read_doc() {
+  std::ifstream in(std::string(EP_SOURCE_DIR) + "/docs/WIRE_FORMAT.md");
+  EXPECT_TRUE(in.good()) << "docs/WIRE_FORMAT.md is missing";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The fenced ```json block following `<!-- wire-format-example: NAME -->`.
+std::string example_block(const std::string& doc, const std::string& name) {
+  std::string marker = "<!-- wire-format-example: " + name + " -->";
+  std::size_t at = doc.find(marker);
+  EXPECT_NE(at, std::string::npos) << "marker not found: " << marker;
+  if (at == std::string::npos) return {};
+  std::size_t open = doc.find("```json\n", at);
+  EXPECT_NE(open, std::string::npos) << "no ```json fence after " << marker;
+  if (open == std::string::npos) return {};
+  open += std::string("```json\n").size();
+  std::size_t close = doc.find("```", open);
+  EXPECT_NE(close, std::string::npos) << "unterminated fence after "
+                                      << marker;
+  if (close == std::string::npos) return {};
+  return doc.substr(open, close - open);
+}
+
+TEST(WireFormatDoc, PlanExampleRoundTripsVerbatim) {
+  std::string example = example_block(read_doc(), "plan");
+  ASSERT_FALSE(example.empty());
+  InjectionPlan plan = plan_from_json(example);
+  EXPECT_EQ(plan.to_json(), example)
+      << "docs/WIRE_FORMAT.md plan example is no longer canonical "
+         "serializer output — regenerate it (see the doc's 'Regenerating "
+         "the examples' section)";
+}
+
+TEST(WireFormatDoc, ShardReportExampleRoundTripsVerbatim) {
+  std::string example = example_block(read_doc(), "shard-report");
+  ASSERT_FALSE(example.empty());
+  ShardReport report = shard_report_from_json(example);
+  EXPECT_EQ(report.to_json(), example)
+      << "docs/WIRE_FORMAT.md shard-report example is no longer canonical "
+         "serializer output — regenerate it (see the doc's 'Regenerating "
+         "the examples' section)";
+}
+
+TEST(WireFormatDoc, DocumentsTheCurrentSchemaVersion) {
+  std::string doc = read_doc();
+  // The prose must pin the version the code actually writes.
+  EXPECT_TRUE(contains(doc, "`schema_version` is currently `" +
+                                std::to_string(kPlanSchemaVersion) + "`"))
+      << "docs/WIRE_FORMAT.md does not document schema_version "
+      << kPlanSchemaVersion;
+}
+
+}  // namespace
+}  // namespace ep::core

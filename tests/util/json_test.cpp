@@ -1,0 +1,119 @@
+// The wire-format parser: strictness and error positions are part of the
+// contract (docs/WIRE_FORMAT.md) — a malformed shard file must fail with
+// a message naming what broke, never parse into something half-valid.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace ep {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("42").as_number(), 42.0);
+  EXPECT_EQ(json_parse("42").as_int(), 42);
+  EXPECT_EQ(json_parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(json_parse("2.5e2").as_number(), 250.0);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesContainersInDocumentOrder) {
+  JsonValue v = json_parse(R"({"b": [1, 2, {"x": true}], "a": null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "b");  // document order, not sorted
+  EXPECT_EQ(v.members()[1].first, "a");
+  const auto& arr = v.at("b").items();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[1].as_int(), 2);
+  EXPECT_TRUE(arr[2].at("x").as_bool());
+  EXPECT_TRUE(v.at("a").is_null());
+  EXPECT_EQ(v.find("zzz"), nullptr);
+}
+
+TEST(Json, UnescapesStrings) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(json_parse(R"("\n\t\r\b\f")").as_string(), "\n\t\r\b\f");
+  EXPECT_EQ(json_parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(json_parse(R"("\u00e9")").as_string(), "\xc3\xa9");       // é
+  EXPECT_EQ(json_parse(R"("\u20ac")").as_string(), "\xe2\x82\xac");   // €
+  EXPECT_EQ(json_parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");  // surrogate pair (emoji)
+}
+
+TEST(Json, RoundTripsJsonQuoteOutput) {
+  // The serializers emit through json_quote; whatever it produces, the
+  // parser must read back verbatim.
+  std::string nasty = "path \"x\"\\with\nnewline\ttab\x01zero";
+  EXPECT_EQ(json_parse(json_quote(nasty)).as_string(), nasty);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), JsonError);
+  EXPECT_THROW(json_parse("{"), JsonError);
+  EXPECT_THROW(json_parse("[1, 2"), JsonError);
+  EXPECT_THROW(json_parse("{\"a\": }"), JsonError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonError);
+  EXPECT_THROW(json_parse("\"bad \\x escape\""), JsonError);
+  EXPECT_THROW(json_parse("tru"), JsonError);
+  EXPECT_THROW(json_parse("01"), JsonError);  // leading zero -> garbage
+  EXPECT_THROW(json_parse("1 2"), JsonError);
+  EXPECT_THROW(json_parse("{\"a\": 1} extra"), JsonError);
+  EXPECT_THROW(json_parse(R"("\ud800 unpaired")"), JsonError);
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  try {
+    json_parse(R"({"id": 1, "id": 2})");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_TRUE(contains(e.what(), "duplicate object key 'id'"));
+  }
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  try {
+    json_parse("{\n  \"a\": 1,\n  \"b\": oops\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_TRUE(contains(e.what(), "line 3"));
+  }
+}
+
+TEST(Json, RejectsDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(json_parse(deep), JsonError);
+}
+
+TEST(Json, TypedAccessorsNameTheMismatch) {
+  try {
+    (void)json_parse("[1]").at("key");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_TRUE(contains(e.what(), "key"));
+    EXPECT_TRUE(contains(e.what(), "array"));
+  }
+  try {
+    (void)json_parse("{\"n\": 1.5}").at("n").as_int();
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_TRUE(contains(e.what(), "integer"));
+  }
+}
+
+TEST(Json, AsIntRejectsValuesBeyondLongLong) {
+  // The double -> long long cast would be UB out of range; wire files
+  // are untrusted, so this must be a clean error.
+  EXPECT_THROW((void)json_parse("1e19").as_int(), JsonError);
+  EXPECT_THROW((void)json_parse("-1e19").as_int(), JsonError);
+  EXPECT_EQ(json_parse("9007199254740992").as_int(), 9007199254740992LL);
+}
+
+}  // namespace
+}  // namespace ep
