@@ -248,11 +248,13 @@ double drain_rps(const core::Scenario& scenario, bool use_world_cache) {
 /// the merge coordinator pays its own plan parse, report parses, and
 /// merge. Serial, so the delta against the cached serial sweep is the
 /// full distribution tax of an N-process campaign on one machine.
-double sharded_sweep_seconds(int shard_count, int* out_runs) {
+double sharded_sweep_seconds(int shard_count, int* out_runs,
+                             std::size_t* out_wire_bytes) {
   double best = 1e300;
   for (int rep = 0; rep < 3; ++rep) {
     auto scenarios = apps::all_scenarios();
     int runs = 0;
+    std::size_t wire_bytes = 0;
     auto t0 = std::chrono::steady_clock::now();
     for (auto& scenario : scenarios) {
       core::CampaignOptions popts;
@@ -267,6 +269,7 @@ double sharded_sweep_seconds(int shard_count, int* out_runs) {
             core::run_shard(executor, plan, static_cast<std::size_t>(k),
                             static_cast<std::size_t>(shard_count))
                 .to_json());
+        wire_bytes += shard_jsons.back().size();
       }
       core::InjectionPlan merge_plan = core::plan_from_json(plan_json);
       std::vector<core::ShardReport> shards;
@@ -278,6 +281,7 @@ double sharded_sweep_seconds(int shard_count, int* out_runs) {
     }
     auto t1 = std::chrono::steady_clock::now();
     *out_runs = runs;
+    *out_wire_bytes = wire_bytes;
     best = std::min(best,
                     std::chrono::duration<double>(t1 - t0).count());
   }
@@ -314,7 +318,9 @@ void write_sweep_json(const char* path) {
   // pipelines with every byte passing through the wire format.
   constexpr int kShards = 3;
   int sharded_runs = 0;
-  double sharded_s = sharded_sweep_seconds(kShards, &sharded_runs);
+  std::size_t shard_wire_bytes = 0;
+  double sharded_s =
+      sharded_sweep_seconds(kShards, &sharded_runs, &shard_wire_bytes);
   double sharded_rps = sharded_runs / sharded_s;
   double shard_overhead_pct =
       (cached_serial_s > 0 ? sharded_s / cached_serial_s - 1.0 : 0.0) * 100.0;
@@ -352,7 +358,8 @@ void write_sweep_json(const char* path) {
                "  \"build_heavy_cache_speedup\": %.2f,\n"
                "  \"shards\": %d,\n"
                "  \"sharded_serial_runs_per_sec\": %.1f,\n"
-               "  \"shard_wire_overhead_pct\": %.1f\n"
+               "  \"shard_wire_overhead_pct\": %.1f,\n"
+               "  \"shard_wire_bytes\": %zu\n"
                "}\n",
                suite.size(), runs, hw, core_starved ? "true" : "false",
                kJobs, serial_s, parallel_s, serial_rps, parallel_rps,
@@ -361,7 +368,7 @@ void write_sweep_json(const char* path) {
                cached_parallel_rps / parallel_rps, heavy.name.c_str(),
                heavy_uncached_rps, heavy_cached_rps,
                heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
-               shard_overhead_pct);
+               shard_overhead_pct, shard_wire_bytes);
   std::fclose(f);
   std::printf(
       "\nsweep: %d injection runs across %zu scenarios\n"
@@ -371,14 +378,14 @@ void write_sweep_json(const char* path) {
       "  cached jobs=%d     : %8.1f runs/sec  (%.2fx vs jobs=%d)\n"
       "  build-heavy %-6s: %8.1f -> %8.1f runs/sec  (%.2fx cached)\n"
       "  sharded %dx serial : %8.1f runs/sec  (wire+merge overhead "
-      "%+.1f%% vs cached serial)\n",
+      "%+.1f%% vs cached serial; %zu report bytes)\n",
       runs, suite.size(), serial_rps, kJobs, parallel_rps,
       parallel_rps / serial_rps, cached_serial_rps,
       cached_serial_rps / serial_rps, kJobs, cached_parallel_rps,
       cached_parallel_rps / parallel_rps, kJobs, heavy.name.c_str(),
       heavy_uncached_rps, heavy_cached_rps,
       heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
-      shard_overhead_pct);
+      shard_overhead_pct, shard_wire_bytes);
   if (core_starved)
     std::printf(
         "  !! core-starved (%u hardware thread%s < %d jobs): the parallel "

@@ -27,6 +27,8 @@
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,7 +66,10 @@ int usage() {
       "                [--coverage F] [--seed N] [--merge]\n"
       "  epa_cli plan --all [--out-dir DIR] [--seed N] [--merge] [--jobs N]\n"
       "  epa_cli run-shard <plan-file> --shard K/N [--out FILE] [--jobs N]\n"
-      "                [--no-world-cache]\n"
+      "                [--no-world-cache] [--checkpoint K]\n"
+      "                [--preempt-after N]\n"
+      "  epa_cli run-shard <plan-file> --resume <shard-file> [--out FILE]\n"
+      "                [--jobs N] [--no-world-cache] [--checkpoint K]\n"
       "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
@@ -98,6 +103,77 @@ void write_file(const std::string& path, const std::string& content) {
              content.size();
   bad |= std::fclose(f) != 0;
   if (bad) throw std::runtime_error("error while writing '" + path + "'");
+}
+
+/// Write-temp-then-rename, so a reader (or a resume after a kill) never
+/// sees a torn file: the path holds either the previous checkpoint or the
+/// new one, never half of each.
+void write_file_atomic(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp";
+  write_file(tmp, content);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path +
+                             "': " + std::strerror(errno));
+}
+
+// --- numeric flag parsing ---------------------------------------------------
+// Every numeric option goes through strtoll/strtod with full validation
+// (the parse_shard_spec style): `--jobs garbage` or a flag with no value
+// must exit 1 with an epa: diagnostic, never silently become 0 (atoi) or
+// fall through to "unknown option".
+
+[[noreturn]] void flag_fail(const std::string& flag, const std::string& why) {
+  std::fprintf(stderr, "epa: %s %s\n", flag.c_str(), why.c_str());
+  std::exit(1);
+}
+
+/// The value argv slot of `flag`, advancing *i past it.
+const char* flag_value(const std::string& flag, int argc, char** argv,
+                       int* i) {
+  if (*i + 1 >= argc) flag_fail(flag, "requires a value");
+  return argv[++*i];
+}
+
+long long int_flag(const std::string& flag, int argc, char** argv, int* i,
+                   long long min, long long max) {
+  const char* text = flag_value(flag, argc, argv, i);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0')
+    flag_fail(flag, "value '" + std::string(text) +
+                        "' is not an integer");
+  if (errno == ERANGE || v < min || v > max)
+    flag_fail(flag, "value " + std::string(text) + " out of range [" +
+                        std::to_string(min) + ", " + std::to_string(max) +
+                        "]");
+  return v;
+}
+
+std::uint64_t uint64_flag(const std::string& flag, int argc, char** argv,
+                          int* i) {
+  const char* text = flag_value(flag, argc, argv, i);
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0' || text[0] == '-')
+    flag_fail(flag, "value '" + std::string(text) +
+                        "' is not an unsigned integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+double unit_interval_flag(const std::string& flag, int argc, char** argv,
+                          int* i) {
+  const char* text = flag_value(flag, argc, argv, i);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text, &end);
+  if (errno == ERANGE || end == text || *end != '\0')
+    flag_fail(flag, "value '" + std::string(text) + "' is not a number");
+  if (!(v >= 0.0 && v <= 1.0))
+    flag_fail(flag, "value " + std::string(text) +
+                        " out of range [0, 1]");
+  return v;
 }
 
 /// "K/N" with 1 <= K <= N (1-based on the command line, 0-based inside).
@@ -334,37 +410,104 @@ int cmd_plan_all(const core::SweepOptions& opts, const std::string& out_dir) {
   return 0;
 }
 
-int cmd_run_shard(const std::string& plan_path, const std::string& shard_spec,
-                  const std::string& out_path, int jobs,
-                  bool use_world_cache) {
+/// Set by the SIGTERM handler; run-shard's drain polls it between
+/// checkpoint chunks, flushes the partial report, and exits 4 — a
+/// preempted worker loses at most one chunk, never the shard.
+volatile std::sig_atomic_t g_preempted = 0;
+
+extern "C" void on_sigterm(int) { g_preempted = 1; }
+
+struct RunShardArgs {
+  std::string plan_path;
+  std::string shard_spec;    // --shard K/N
+  std::string resume_path;   // --resume FILE
+  std::string out_path;      // --out FILE
+  int jobs = 1;
+  bool use_world_cache = true;
+  std::size_t checkpoint = 0;     // --checkpoint K: flush every K outcomes
+  long long preempt_after = 0;    // --preempt-after N: self-SIGTERM (CI)
+};
+
+int cmd_run_shard(RunShardArgs a) {
+  core::InjectionPlan plan = load_plan(a.plan_path);
+
   std::size_t shard_index = 0, shard_count = 0;
-  parse_shard_spec(shard_spec, &shard_index, &shard_count);
-  core::InjectionPlan plan = load_plan(plan_path);
+  core::ShardReport partial;
+  const bool resuming = !a.resume_path.empty();
+  if (resuming) {
+    partial = load_shard_report(a.resume_path);
+    shard_index = partial.shard_index;
+    shard_count = partial.shard_count;
+    if (!a.shard_spec.empty()) {
+      std::size_t want_index = 0, want_count = 0;
+      parse_shard_spec(a.shard_spec, &want_index, &want_count);
+      if (want_index != shard_index || want_count != shard_count)
+        throw std::runtime_error(
+            a.resume_path + ": holds shard " +
+            std::to_string(shard_index + 1) + "/" +
+            std::to_string(shard_count) + " but --shard asked for " +
+            a.shard_spec);
+    }
+    // Completing in place is the natural resume: the partial file becomes
+    // the finished report unless --out redirects it.
+    if (a.out_path.empty()) a.out_path = a.resume_path;
+  } else {
+    parse_shard_spec(a.shard_spec, &shard_index, &shard_count);
+  }
 
   bool found = false;
   core::Scenario scenario = find_scenario(plan.scenario_name, found);
   if (!found)
-    throw std::runtime_error(plan_path + ": plan names unknown scenario '" +
+    throw std::runtime_error(a.plan_path + ": plan names unknown scenario '" +
                              plan.scenario_name +
                              "' (written by a different scenario set?)");
   // The wire never carries the snapshot; re-freeze a local prototype so
   // the shard drains through the same COW clone path as a local run.
-  if (use_world_cache) core::refreeze_snapshot(plan, scenario);
+  if (a.use_world_cache) core::refreeze_snapshot(plan, scenario);
 
   core::Executor executor(scenario);
   core::ExecutorOptions opts;
-  opts.jobs = jobs;
-  opts.use_world_cache = use_world_cache;
-  core::ShardReport report =
-      core::run_shard(executor, plan, shard_index, shard_count, opts);
-  std::string json = report.to_json();
-  if (out_path.empty()) {
-    std::printf("%s", json.c_str());
-    return 0;
+  opts.jobs = a.jobs;
+  opts.use_world_cache = a.use_world_cache;
+
+  long long flushes = 0;
+  core::ShardDrainHooks hooks;
+  if (a.checkpoint > 0) {
+    // Catch SIGTERM only when the drain can actually act on it (the stop
+    // flag is polled between checkpoint chunks). Without --checkpoint
+    // the drain is one uninterruptible chunk and the default disposition
+    // — terminate — is the right behavior, not a swallowed signal.
+    std::signal(SIGTERM, on_sigterm);
+    hooks.checkpoint_every = a.checkpoint;
+    hooks.interrupted = [] { return g_preempted != 0; };
+    hooks.on_checkpoint = [&](const core::ShardReport& r) {
+      write_file_atomic(a.out_path, r.to_json());
+      // The CI determinism hook: deliver the preemption signal to
+      // ourselves after N flushes, through the real handler.
+      if (a.preempt_after > 0 && ++flushes >= a.preempt_after)
+        (void)std::raise(SIGTERM);
+    };
   }
-  write_file(out_path, json);
+
+  core::ShardReport report =
+      resuming ? core::resume_shard(executor, plan, partial, opts, hooks)
+               : core::run_shard(executor, plan, shard_index, shard_count,
+                                 opts, hooks);
+  std::string json = report.to_json();
+  if (a.out_path.empty()) {
+    std::printf("%s", json.c_str());
+    return report.complete ? 0 : 4;
+  }
+  write_file_atomic(a.out_path, json);
   std::printf("%s -> %s\n", core::render_shard_summary(report).c_str(),
-              out_path.c_str());
+              a.out_path.c_str());
+  if (!report.complete) {
+    std::fprintf(stderr,
+                 "epa: preempted; partial report flushed to %s "
+                 "(complete it with run-shard --resume)\n",
+                 a.out_path.c_str());
+    return 4;  // 4 = preempted, valid partial report on disk
+  }
   return 0;
 }
 
@@ -373,9 +516,13 @@ int cmd_merge(const std::string& plan_path,
   core::InjectionPlan plan = load_plan(plan_path);
   std::vector<core::ShardReport> shards;
   shards.reserve(shard_paths.size());
+  // load_shard_report prefixes per-file failures with the path; the
+  // paths double as labels so cross-shard validation failures (duplicate
+  // shard, partial file, foreign plan) also name the offending file.
   for (const auto& path : shard_paths)
     shards.push_back(load_shard_report(path));
-  core::CampaignResult r = core::merge_shard_reports(plan, shards);
+  core::CampaignResult r = core::merge_shard_reports(plan, shards,
+                                                     shard_paths);
   std::printf("%s", (as_json ? core::render_json(r)
                              : core::render_report(r))
                         .c_str());
@@ -410,10 +557,10 @@ int main(int argc, char** argv) {
         as_json = true;
       } else if (arg == "--merge") {
         opts.campaign.merge_equivalent_sites = true;
-      } else if (arg == "--jobs" && i + 1 < argc) {
-        opts.jobs = std::atoi(argv[++i]);
-      } else if (arg == "--seed" && i + 1 < argc) {
-        opts.campaign.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (arg == "--jobs") {
+        opts.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
+      } else if (arg == "--seed") {
+        opts.campaign.seed = uint64_flag(arg, argc, argv, &i);
       } else if (arg == "--no-world-cache") {
         opts.campaign.use_world_cache = false;
       } else {
@@ -438,13 +585,15 @@ int main(int argc, char** argv) {
       } else if (arg == "--sites" && i + 1 < argc) {
         opts.only_sites = split(std::string(argv[++i]), ',');
         saw_sites = true;
-      } else if (arg == "--coverage" && i + 1 < argc) {
-        opts.target_interaction_coverage = std::atof(argv[++i]);
+      } else if (arg == "--coverage") {
+        opts.target_interaction_coverage =
+            unit_interval_flag(arg, argc, argv, &i);
         saw_coverage = true;
-      } else if (arg == "--seed" && i + 1 < argc) {
-        opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-      } else if (arg == "--jobs" && i + 1 < argc) {
-        sweep_opts.jobs = std::atoi(argv[++i]);
+      } else if (arg == "--seed") {
+        opts.seed = uint64_flag(arg, argc, argv, &i);
+      } else if (arg == "--jobs") {
+        sweep_opts.jobs =
+            static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
         saw_jobs = true;
       } else if (arg == "--out" && i + 1 < argc) {
         out_path = argv[++i];
@@ -488,31 +637,46 @@ int main(int argc, char** argv) {
     });
   }
   if (cmd == "run-shard") {
-    std::string plan_path, shard_spec, out_path;
-    int jobs = 1;
-    bool use_world_cache = true;
+    RunShardArgs a;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--shard" && i + 1 < argc) {
-        shard_spec = argv[++i];
+        a.shard_spec = argv[++i];
+      } else if (arg == "--resume" && i + 1 < argc) {
+        a.resume_path = argv[++i];
       } else if (arg == "--out" && i + 1 < argc) {
-        out_path = argv[++i];
-      } else if (arg == "--jobs" && i + 1 < argc) {
-        jobs = std::atoi(argv[++i]);
+        a.out_path = argv[++i];
+      } else if (arg == "--jobs") {
+        a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
+      } else if (arg == "--checkpoint") {
+        a.checkpoint = static_cast<std::size_t>(
+            int_flag(arg, argc, argv, &i, 1, 1LL << 30));
+      } else if (arg == "--preempt-after") {
+        a.preempt_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
       } else if (arg == "--no-world-cache") {
-        use_world_cache = false;
-      } else if (!starts_with(arg, "--") && plan_path.empty()) {
-        plan_path = arg;
+        a.use_world_cache = false;
+      } else if (!starts_with(arg, "--") && a.plan_path.empty()) {
+        a.plan_path = arg;
       } else {
         std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
         return usage();
       }
     }
-    if (plan_path.empty() || shard_spec.empty()) return usage();
-    return guarded([&] {
-      return cmd_run_shard(plan_path, shard_spec, out_path, jobs,
-                           use_world_cache);
-    });
+    if (a.plan_path.empty()) return usage();
+    if (a.shard_spec.empty() && a.resume_path.empty()) return usage();
+    if (a.checkpoint > 0 && a.out_path.empty() && a.resume_path.empty()) {
+      std::fprintf(stderr,
+                   "epa: --checkpoint needs --out (checkpoints are flushed "
+                   "to the report file)\n");
+      return 1;
+    }
+    if (a.preempt_after > 0 && a.checkpoint == 0) {
+      std::fprintf(stderr,
+                   "epa: --preempt-after needs --checkpoint (preemption is "
+                   "delivered at a checkpoint flush)\n");
+      return 1;
+    }
+    return guarded([&] { return cmd_run_shard(std::move(a)); });
   }
   if (cmd == "merge") {
     std::string plan_path;
@@ -554,12 +718,13 @@ int main(int argc, char** argv) {
       as_json = true;
     } else if (arg == "--sites" && i + 1 < argc) {
       opts.only_sites = split(std::string(argv[++i]), ',');
-    } else if (arg == "--coverage" && i + 1 < argc) {
-      opts.target_interaction_coverage = std::atof(argv[++i]);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      opts.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      opts.jobs = std::atoi(argv[++i]);
+    } else if (arg == "--coverage") {
+      opts.target_interaction_coverage =
+          unit_interval_flag(arg, argc, argv, &i);
+    } else if (arg == "--seed") {
+      opts.seed = uint64_flag(arg, argc, argv, &i);
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
     } else if (arg == "--no-world-cache") {
       opts.use_world_cache = false;
     } else {

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Fan one scenario's campaign across N worker processes on this machine:
 #
-#   scripts/shard_local.sh [-n SHARDS] [-b EPA_CLI] [-o OUTDIR] [-j] SCENARIO
+#   scripts/shard_local.sh [-n SHARDS] [-b EPA_CLI] [-o OUTDIR] [-j]
+#                          [-c CHECKPOINT] [-P PREEMPT_AFTER] SCENARIO
 #
-#   -n SHARDS   worker process count (default 4)
-#   -b EPA_CLI  path to the epa_cli binary (default ./build/epa_cli)
-#   -o OUTDIR   where plan/shard files go (default: a fresh temp dir)
-#   -j          print the merged report as JSON
+#   -n SHARDS       worker process count (default 4)
+#   -b EPA_CLI      path to the epa_cli binary (default ./build/epa_cli)
+#   -o OUTDIR       where plan/shard files go (default: a fresh temp dir)
+#   -j              print the merged report as JSON
+#   -c CHECKPOINT   flush a resumable partial report every K outcomes; a
+#                   worker that exits 4 (preempted, e.g. SIGTERM) is
+#                   automatically completed with run-shard --resume
+#   -P PREEMPT      self-preempt each worker after N checkpoint flushes
+#                   (testing hook for the resume path; needs -c)
 #
 # plan -> N x run-shard (parallel processes) -> merge. The merged report
 # is bit-identical to a single-process `epa_cli run SCENARIO` for any N
@@ -18,18 +24,22 @@ shards=4
 epa_cli=./build/epa_cli
 outdir=
 json_flag=
+checkpoint=
+preempt=
 
 usage() {
-  sed -n '2,12p' "$0" >&2
+  sed -n '2,19p' "$0" >&2
   exit 2
 }
 
-while getopts 'n:b:o:jh' opt; do
+while getopts 'n:b:o:jc:P:h' opt; do
   case "$opt" in
     n) shards=$OPTARG ;;
     b) epa_cli=$OPTARG ;;
     o) outdir=$OPTARG ;;
     j) json_flag=--json ;;
+    c) checkpoint=$OPTARG ;;
+    P) preempt=$OPTARG ;;
     *) usage ;;
   esac
 done
@@ -40,12 +50,26 @@ scenario=$1
 case "$shards" in
   ''|*[!0-9]*|0) echo "shard_local: -n must be a positive integer" >&2; exit 2 ;;
 esac
+case "${checkpoint:-1}" in
+  ''|*[!0-9]*|0) echo "shard_local: -c must be a positive integer" >&2; exit 2 ;;
+esac
+case "${preempt:-1}" in
+  ''|*[!0-9]*|0) echo "shard_local: -P must be a positive integer" >&2; exit 2 ;;
+esac
+if [ -n "$preempt" ] && [ -z "$checkpoint" ]; then
+  echo "shard_local: -P needs -c (preemption is delivered at a checkpoint flush)" >&2
+  exit 2
+fi
 [ -x "$epa_cli" ] || { echo "shard_local: no epa_cli at '$epa_cli' (build first, or pass -b)" >&2; exit 2; }
 if [ -z "$outdir" ]; then
   outdir=$(mktemp -d "${TMPDIR:-/tmp}/epa-shard.XXXXXX")
 else
   mkdir -p "$outdir"
 fi
+
+worker_flags=()
+[ -n "$checkpoint" ] && worker_flags+=(--checkpoint "$checkpoint")
+[ -n "$preempt" ] && worker_flags+=(--preempt-after "$preempt")
 
 # Progress goes to stderr: stdout carries only the merged report, so
 # `shard_local.sh -j NAME > report.json` stays clean.
@@ -55,11 +79,31 @@ plan="$outdir/$scenario.plan.json"
 pids=()
 for k in $(seq 1 "$shards"); do
   "$epa_cli" run-shard "$plan" --shard "$k/$shards" \
-    --out "$outdir/$scenario.shard$k.json" >&2 &
+    --out "$outdir/$scenario.shard$k.json" "${worker_flags[@]}" >&2 &
   pids+=($!)
 done
+k=0
 for pid in "${pids[@]}"; do
-  wait "$pid" || { echo "shard_local: a shard worker failed" >&2; exit 1; }
+  k=$((k + 1))
+  rc=0
+  wait "$pid" || rc=$?
+  # Preempted worker (exit 4): a valid partial report is on disk —
+  # resume it (--resume re-drains only the missing ids and completes in
+  # place). A resume can itself be preempted, so loop; each round makes
+  # progress (at least one checkpoint interval), so this terminates.
+  resume_flags=()
+  [ -n "$checkpoint" ] && resume_flags+=(--checkpoint "$checkpoint")
+  while [ "$rc" -eq 4 ]; do
+    echo "shard_local: shard $k/$shards preempted; resuming" >&2
+    rc=0
+    "$epa_cli" run-shard "$plan" \
+      --resume "$outdir/$scenario.shard$k.json" "${resume_flags[@]}" >&2 \
+      || rc=$?
+  done
+  if [ "$rc" -ne 0 ]; then
+    echo "shard_local: a shard worker failed" >&2
+    exit 1
+  fi
 done
 
 shard_files=()

@@ -288,11 +288,31 @@ CampaignResult Executor::execute(const InjectionPlan& plan,
 std::vector<InjectionOutcome> Executor::execute_subset(
     const InjectionPlan& plan, const std::vector<std::size_t>& item_ids,
     const ExecutorOptions& opts) const {
-  std::vector<InjectionOutcome> outcomes(item_ids.size());
-  parallel_for(item_ids.size(), opts.jobs, [&](std::size_t i) {
-    outcomes[i] = run_item(plan, plan.items.at(item_ids[i]),
-                           opts.use_world_cache);
-  });
+  return execute_subset_checkpointed(plan, item_ids, 0, nullptr, nullptr,
+                                     opts);
+}
+
+std::vector<InjectionOutcome> Executor::execute_subset_checkpointed(
+    const InjectionPlan& plan, const std::vector<std::size_t>& item_ids,
+    std::size_t checkpoint_every,
+    const std::function<void(const std::vector<InjectionOutcome>&)>&
+        on_checkpoint,
+    const std::function<bool()>& stop, const ExecutorOptions& opts) const {
+  const std::size_t total = item_ids.size();
+  const std::size_t chunk = checkpoint_every ? checkpoint_every : total;
+  std::vector<InjectionOutcome> outcomes;
+  outcomes.reserve(total);
+  for (std::size_t off = 0; off < total; off += chunk) {
+    if (stop && stop()) break;  // preempted: keep the completed prefix
+    const std::size_t n = std::min(chunk, total - off);
+    std::vector<InjectionOutcome> part(n);
+    parallel_for(n, opts.jobs, [&](std::size_t i) {
+      part[i] = run_item(plan, plan.items.at(item_ids[off + i]),
+                         opts.use_world_cache);
+    });
+    for (auto& o : part) outcomes.push_back(std::move(o));
+    if (on_checkpoint && outcomes.size() < total) on_checkpoint(outcomes);
+  }
   return outcomes;
 }
 

@@ -77,6 +77,23 @@ class Executor {
       const InjectionPlan& plan, const std::vector<std::size_t>& item_ids,
       const ExecutorOptions& opts = {}) const;
 
+  /// The checkpointed form of execute_subset: the subset is drained in
+  /// chunks of `checkpoint_every` items (0 = one chunk), `on_checkpoint`
+  /// is invoked with the completed prefix (parallel to the first
+  /// completed.size() item_ids) after each chunk except the last, and
+  /// `stop` is polled before each chunk — returning true ends the drain
+  /// early. The returned outcomes are the completed prefix, so a
+  /// preempted shard keeps everything it finished. Equal prefixes are
+  /// bit-identical to an uninterrupted drain for any chunk size or job
+  /// count.
+  [[nodiscard]] std::vector<InjectionOutcome> execute_subset_checkpointed(
+      const InjectionPlan& plan, const std::vector<std::size_t>& item_ids,
+      std::size_t checkpoint_every,
+      const std::function<void(const std::vector<InjectionOutcome>&)>&
+          on_checkpoint,
+      const std::function<bool()>& stop,
+      const ExecutorOptions& opts = {}) const;
+
   /// One rebuild-and-rerun cycle (steps 4-8) for a single work item.
   /// Thread-safe: touches only the fresh world it builds or clones. The
   /// scheduler's shared pool calls this directly.

@@ -35,7 +35,8 @@ std::string render_shard_summary(const ShardReport& s) {
          "/" + std::to_string(s.shard_count) + ": " +
          std::to_string(s.outcomes.size()) + " of " +
          std::to_string(s.plan_items) + " work items, " +
-         std::to_string(violated) + " violations";
+         std::to_string(violated) + " violations" +
+         (s.complete ? "" : " [partial]");
 }
 
 std::string render_report(const CampaignResult& r) {

@@ -1,5 +1,6 @@
 #include "core/wire.hpp"
 
+#include <algorithm>
 #include <climits>
 #include <set>
 #include <utility>
@@ -56,25 +57,36 @@ JsonValue parse_document(const std::string& text, const char* what) {
 /// Shared header validation: wire files self-describe with
 /// schema_version + kind so a plan handed to merge (or vice versa) fails
 /// with "kind 'injection-plan' where 'shard-report' was expected", not a
-/// missing-field puzzle.
-void check_header(const JsonValue& doc, const char* expected_kind,
-                  const char* what) {
+/// missing-field puzzle. Each kind carries its own supported version
+/// range (plans: exactly kPlanSchemaVersion; shard reports: 1 through
+/// kShardSchemaVersion); the accepted version is returned so the caller
+/// can pick the matching body parser.
+int check_header(const JsonValue& doc, const char* expected_kind,
+                 const char* what, int min_version, int max_version) {
   if (!doc.is_object())
     fail(what, "top-level value must be an object");
   const JsonValue* ver = doc.find("schema_version");
   if (!ver)
     fail(what, "missing 'schema_version' (not a wire-format file?)");
-  long long v = with_ctx(std::string(what) + ": schema_version",
-                         [&] { return ver->as_int(); });
-  if (v != kPlanSchemaVersion)
-    fail(what, "unsupported schema_version " + std::to_string(v) +
-                   " (this build reads version " +
-                   std::to_string(kPlanSchemaVersion) + ")");
+  // Kind before version: each kind has its own version range now, and a
+  // plan handed to merge should say "wrong kind", not "wrong version".
   std::string kind = with_ctx(std::string(what) + ": kind",
                               [&] { return doc.at("kind").as_string(); });
   if (kind != expected_kind)
     fail(what, "kind '" + kind + "' where '" + expected_kind +
                    "' was expected");
+  long long v = with_ctx(std::string(what) + ": schema_version",
+                         [&] { return ver->as_int(); });
+  if (v < min_version || v > max_version) {
+    std::string supported =
+        min_version == max_version
+            ? "version " + std::to_string(min_version)
+            : "versions " + std::to_string(min_version) + " through " +
+                  std::to_string(max_version);
+    fail(what, "unsupported schema_version " + std::to_string(v) +
+                   " (this build reads " + supported + ")");
+  }
+  return static_cast<int>(v);
 }
 
 FaultKind fault_kind_from(const std::string& s) {
@@ -112,15 +124,19 @@ Policy policy_from(const std::string& s) {
   throw WireError("unknown policy '" + s + "'");
 }
 
-/// An int-typed wire field: silently wrapping a long long would break
+/// An int-typed wire value: silently wrapping a long long would break
 /// both validation ("reject what you cannot represent") and the
 /// parse -> re-serialize byte-identity contract.
-int parse_int32(const JsonValue& v, const char* key) {
-  long long n = v.at(key).as_int();
+int parse_int32_value(const JsonValue& v, const std::string& what) {
+  long long n = v.as_int();
   if (n < INT_MIN || n > INT_MAX)
-    throw WireError(std::string(key) + " " + std::to_string(n) +
+    throw WireError(what + " " + std::to_string(n) +
                     " does not fit a 32-bit int");
   return static_cast<int>(n);
+}
+
+int parse_int32(const JsonValue& v, const char* key) {
+  return parse_int32_value(v.at(key), key);
 }
 
 os::Site parse_site(const JsonValue& v) {
@@ -162,32 +178,16 @@ FaultRef parse_fault(FaultKind kind, const std::string& name) {
   return r;
 }
 
-std::string json_outcome(std::size_t id, const InjectionOutcome& o) {
-  std::string out = "{\"id\": " + std::to_string(id) +
-                    ", \"site\": " + json_site(o.site) +
-                    ", \"call\": " + json_quote(o.call) +
-                    ", \"object\": " + json_quote(o.object) +
-                    ", \"kind\": " +
-                    json_quote(std::string(to_string(o.kind))) +
-                    ", \"fault\": " + json_quote(o.fault_name) +
-                    ", \"fault_description\": " +
-                    json_quote(o.fault_description) +
-                    std::string(", \"fired\": ") +
-                    (o.fired ? "true" : "false") +
-                    ", \"violated\": " + (o.violated ? "true" : "false") +
-                    ", \"crashed\": " + (o.crashed ? "true" : "false") +
-                    ", \"overflows\": " + std::to_string(o.overflows) +
-                    ", \"exit_code\": " + std::to_string(o.exit_code) +
-                    ", \"violations\": [";
-  for (std::size_t i = 0; i < o.violations.size(); ++i)
-    out += std::string(i ? ", " : "") + json_violation(o.violations[i]);
-  out += std::string("], \"exploit\": {\"nonroot_feasible\": ") +
-         (o.exploit.nonroot_feasible ? "true" : "false") +
-         ", \"actor\": " + json_quote(o.exploit.actor) +
-         ", \"note\": " + json_quote(o.exploit.note) + "}}";
-  return out;
+/// The exploit object, shared by the v1 and v2 encodings.
+std::string json_exploit(const Exploitability& e) {
+  return std::string("{\"nonroot_feasible\": ") +
+         (e.nonroot_feasible ? "true" : "false") +
+         ", \"actor\": " + json_quote(e.actor) +
+         ", \"note\": " + json_quote(e.note) + "}";
 }
 
+/// A version-1 (row-oriented) outcome object — read path only; the
+/// serializer writes the columnar version-2 encoding.
 InjectionOutcome parse_outcome(const JsonValue& v) {
   InjectionOutcome o;
   o.site = parse_site(v.at("site"));
@@ -203,6 +203,16 @@ InjectionOutcome parse_outcome(const JsonValue& v) {
   o.exit_code = parse_int32(v, "exit_code");
   for (const JsonValue& viol : v.at("violations").items())
     o.violations.push_back(parse_violation(viol));
+  // v1 carried `violated` as its own field, but the serializer always
+  // kept it equal to "violations is non-empty" — and the v2 encoding
+  // derives it, so a disagreeing file could not re-serialize
+  // canonically. Reject it here the way the v2 parser rejects a
+  // mismatched exploit null.
+  if (o.violated != !o.violations.empty())
+    throw WireError(std::string("'violated' is ") +
+                    (o.violated ? "true" : "false") +
+                    " but 'violations' is " +
+                    (o.violations.empty() ? "empty" : "non-empty"));
   const JsonValue& e = v.at("exploit");
   o.exploit.nonroot_feasible = e.at("nonroot_feasible").as_bool();
   o.exploit.actor = e.at("actor").as_string();
@@ -218,11 +228,187 @@ std::size_t parse_count(const JsonValue& doc, const char* key,
   return static_cast<std::size_t>(v);
 }
 
+/// How many of `total_items` ids shard (index, count) owns — arithmetic
+/// only, because `total_items` is untrusted wire input and must never
+/// size an allocation (unlike shard_item_ids, which materializes the
+/// ids).
+std::size_t owned_id_count(std::size_t total_items, std::size_t shard_index,
+                           std::size_t shard_count) {
+  return total_items > shard_index
+             ? (total_items - shard_index - 1) / shard_count + 1
+             : 0;
+}
+
+/// Validate one completed id against the report header and the ids seen
+/// so far (ascending), mirroring the v1 checks plus v2's canonical-order
+/// requirement.
+void check_completed_id(const ShardReport& report, long long id,
+                        bool require_ascending) {
+  if (id < 0 || id >= static_cast<long long>(report.plan_items))
+    throw WireError("work-item id " + std::to_string(id) +
+                    " out of range (plan has " +
+                    std::to_string(report.plan_items) + " items)");
+  auto uid = static_cast<std::size_t>(id);
+  if (uid % report.shard_count != report.shard_index)
+    throw WireError("work-item id " + std::to_string(id) +
+                    " belongs to shard " +
+                    std::to_string(uid % report.shard_count + 1) + "/" +
+                    std::to_string(report.shard_count) + ", not shard " +
+                    std::to_string(report.shard_index + 1) + "/" +
+                    std::to_string(report.shard_count));
+  if (!report.item_ids.empty()) {
+    std::size_t prev = report.item_ids.back();
+    if (uid == prev)
+      throw WireError("duplicate outcome for work item " +
+                      std::to_string(id));
+    if (require_ascending && uid < prev)
+      throw WireError("completed_ids out of order (" + std::to_string(id) +
+                      " after " + std::to_string(prev) + ")");
+  }
+}
+
+/// The shared shard-report header fields (both schema versions).
+ShardReport parse_shard_header(const JsonValue& doc, int version) {
+  ShardReport report;
+  report.schema_version = version;
+  report.scenario_name = with_ctx(
+      "shard report: scenario", [&] { return doc.at("scenario").as_string(); });
+  if (report.scenario_name.empty())
+    fail("shard report", "scenario name is empty");
+  report.shard_index = parse_count(doc, "shard_index", "shard report");
+  report.shard_count = parse_count(doc, "shard_count", "shard report");
+  report.plan_items = parse_count(doc, "plan_items", "shard report");
+  if (report.shard_count == 0)
+    fail("shard report", "shard_count must be >= 1");
+  if (report.shard_index >= report.shard_count)
+    fail("shard report",
+         "shard_index " + std::to_string(report.shard_index) +
+             " out of range for shard_count " +
+             std::to_string(report.shard_count));
+  return report;
+}
+
+/// Version 1: one object per outcome, every field on the wire. Duplicate
+/// ids were rejected but ordering was not canonical, and the format
+/// predates partial reports — completeness is inferred from coverage.
+void parse_shard_outcomes_v1(const JsonValue& doc, ShardReport& report) {
+  const auto& outcomes =
+      with_ctx("shard report: outcomes", [&]() -> decltype(auto) {
+        return doc.at("outcomes").items();
+      });
+  // A set, not a plan_items-sized bitmap: plan_items is untrusted input
+  // and must not size an allocation.
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    with_ctx("shard report: outcomes[" + std::to_string(i) + "]", [&] {
+      const JsonValue& o = outcomes[i];
+      long long id = o.at("id").as_int();
+      check_completed_id(report, id, /*require_ascending=*/false);
+      auto uid = static_cast<std::size_t>(id);
+      if (!seen.insert(uid).second)
+        throw WireError("duplicate outcome for work item " +
+                        std::to_string(id));
+      report.item_ids.push_back(uid);
+      report.outcomes.push_back(parse_outcome(o));
+    });
+  }
+  // v1 never promised an ordering; the in-memory report (and its v2
+  // re-serialization, whose completed_ids must ascend) does. Sort the
+  // pairs by id — ids are already unique.
+  std::vector<std::size_t> order(report.item_ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return report.item_ids[a] < report.item_ids[b];
+  });
+  std::vector<std::size_t> sorted_ids;
+  std::vector<InjectionOutcome> sorted_outcomes;
+  sorted_ids.reserve(order.size());
+  sorted_outcomes.reserve(order.size());
+  for (std::size_t i : order) {
+    sorted_ids.push_back(report.item_ids[i]);
+    sorted_outcomes.push_back(std::move(report.outcomes[i]));
+  }
+  report.item_ids = std::move(sorted_ids);
+  report.outcomes = std::move(sorted_outcomes);
+}
+
+/// Version 2: `completed_ids` plus one column array per run-dependent
+/// field. The plan-derivable fields (site, call, object, fault, ...) are
+/// not on the wire — merge_shard_reports re-derives them by id.
+void parse_shard_outcomes_v2(const JsonValue& doc, ShardReport& report) {
+  const auto& ids =
+      with_ctx("shard report: completed_ids", [&]() -> decltype(auto) {
+        return doc.at("completed_ids").items();
+      });
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    with_ctx("shard report: completed_ids[" + std::to_string(i) + "]", [&] {
+      long long id = ids[i].as_int();
+      check_completed_id(report, id, /*require_ascending=*/true);
+      report.item_ids.push_back(static_cast<std::size_t>(id));
+    });
+  }
+
+  const JsonValue& cols = with_ctx(
+      "shard report: outcomes",
+      [&]() -> decltype(auto) { return doc.at("outcomes"); });
+  if (!cols.is_object())
+    fail("shard report",
+         "outcomes must be an object of column arrays (schema_version 2)");
+  auto column = [&](const char* name) -> const std::vector<JsonValue>& {
+    const auto& items =
+        with_ctx("shard report: outcomes." + std::string(name),
+                 [&]() -> decltype(auto) { return cols.at(name).items(); });
+    if (items.size() != report.item_ids.size())
+      fail("shard report",
+           "outcomes." + std::string(name) + " has " +
+               std::to_string(items.size()) + " entries for " +
+               std::to_string(report.item_ids.size()) + " completed ids");
+    return items;
+  };
+  const auto& fired = column("fired");
+  const auto& crashed = column("crashed");
+  const auto& overflows = column("overflows");
+  const auto& exit_code = column("exit_code");
+  const auto& violations = column("violations");
+  const auto& exploit = column("exploit");
+
+  for (std::size_t i = 0; i < report.item_ids.size(); ++i) {
+    std::string where = "shard report: outcomes[" + std::to_string(i) + "]";
+    with_ctx(where, [&] {
+      InjectionOutcome o;
+      o.fired = fired[i].as_bool();
+      o.crashed = crashed[i].as_bool();
+      o.overflows = parse_int32_value(overflows[i], "overflows");
+      o.exit_code = parse_int32_value(exit_code[i], "exit_code");
+      for (const JsonValue& viol : violations[i].items())
+        o.violations.push_back(parse_violation(viol));
+      o.violated = !o.violations.empty();
+      // Canonical form: the exploit analysis exists exactly for violated
+      // outcomes, so null-vs-object must agree with the violations column
+      // or parse -> re-serialize would not reproduce the bytes.
+      if (exploit[i].is_null()) {
+        if (o.violated)
+          throw WireError("exploit is null for a violated outcome");
+      } else {
+        if (!o.violated)
+          throw WireError("exploit present for an outcome with no "
+                          "violations");
+        const JsonValue& e = exploit[i];
+        o.exploit.nonroot_feasible = e.at("nonroot_feasible").as_bool();
+        o.exploit.actor = e.at("actor").as_string();
+        o.exploit.note = e.at("note").as_string();
+      }
+      report.outcomes.push_back(std::move(o));
+    });
+  }
+}
+
 }  // namespace
 
 InjectionPlan plan_from_json(const std::string& text) {
   JsonValue doc = parse_document(text, "plan");
-  check_header(doc, "injection-plan", "plan");
+  check_header(doc, "injection-plan", "plan", kPlanSchemaVersion,
+               kPlanSchemaVersion);
 
   InjectionPlan plan;
   plan.scenario_name =
@@ -318,96 +504,210 @@ std::vector<std::size_t> shard_item_ids(std::size_t total_items,
 }
 
 std::string ShardReport::to_json() const {
+  // The columnar version-2 encoding: `completed_ids` names the ids this
+  // file actually holds (the resume key), and only the run-dependent
+  // outcome fields are serialized — one array per field, so the per-
+  // outcome framing and the plan-redundant strings of version 1 are gone.
   std::string out = "{\n";
-  out += "  \"schema_version\": " + std::to_string(schema_version) + ",\n";
+  out += "  \"schema_version\": " + std::to_string(kShardSchemaVersion) +
+         ",\n";
   out += "  \"kind\": \"shard-report\",\n";
   out += "  \"scenario\": " + json_quote(scenario_name) + ",\n";
   out += "  \"shard_index\": " + std::to_string(shard_index) + ",\n";
   out += "  \"shard_count\": " + std::to_string(shard_count) + ",\n";
   out += "  \"plan_items\": " + std::to_string(plan_items) + ",\n";
-  if (outcomes.empty()) {
-    out += "  \"outcomes\": []\n}\n";
-    return out;
-  }
-  out += "  \"outcomes\": [\n";
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    out += "    " + json_outcome(item_ids[i], outcomes[i]);
-    out += i + 1 < outcomes.size() ? ",\n" : "\n";
-  }
-  out += "  ]\n}\n";
+  out += std::string("  \"complete\": ") + (complete ? "true" : "false") +
+         ",\n";
+  out += "  \"completed_ids\": [";
+  for (std::size_t i = 0; i < item_ids.size(); ++i)
+    out += (i ? ", " : "") + std::to_string(item_ids[i]);
+  out += "],\n";
+
+  const std::size_t n = outcomes.size();
+  auto col = [&](const char* name, auto cell, bool last = false) {
+    out += "    \"" + std::string(name) + "\": [";
+    for (std::size_t i = 0; i < n; ++i)
+      out += (i ? ", " : "") + cell(outcomes[i]);
+    out += last ? "]\n" : "],\n";
+  };
+  out += "  \"outcomes\": {\n";
+  col("fired", [](const InjectionOutcome& o) {
+    return std::string(o.fired ? "true" : "false");
+  });
+  col("crashed", [](const InjectionOutcome& o) {
+    return std::string(o.crashed ? "true" : "false");
+  });
+  col("overflows",
+      [](const InjectionOutcome& o) { return std::to_string(o.overflows); });
+  col("exit_code",
+      [](const InjectionOutcome& o) { return std::to_string(o.exit_code); });
+  col("violations", [](const InjectionOutcome& o) {
+    std::string cell = "[";
+    for (std::size_t v = 0; v < o.violations.size(); ++v)
+      cell += std::string(v ? ", " : "") + json_violation(o.violations[v]);
+    return cell + "]";
+  });
+  col("exploit",
+      [](const InjectionOutcome& o) {
+        return o.violated ? json_exploit(o.exploit) : std::string("null");
+      },
+      /*last=*/true);
+  out += "  }\n}\n";
   return out;
 }
 
 ShardReport shard_report_from_json(const std::string& text) {
   JsonValue doc = parse_document(text, "shard report");
-  check_header(doc, "shard-report", "shard report");
-
-  ShardReport report;
-  report.scenario_name = with_ctx(
-      "shard report: scenario", [&] { return doc.at("scenario").as_string(); });
-  if (report.scenario_name.empty())
-    fail("shard report", "scenario name is empty");
-  report.shard_index = parse_count(doc, "shard_index", "shard report");
-  report.shard_count = parse_count(doc, "shard_count", "shard report");
-  report.plan_items = parse_count(doc, "plan_items", "shard report");
-  if (report.shard_count == 0)
-    fail("shard report", "shard_count must be >= 1");
-  if (report.shard_index >= report.shard_count)
-    fail("shard report",
-         "shard_index " + std::to_string(report.shard_index) +
-             " out of range for shard_count " +
-             std::to_string(report.shard_count));
-
-  const auto& outcomes =
-      with_ctx("shard report: outcomes", [&]() -> decltype(auto) {
-        return doc.at("outcomes").items();
-      });
-  // A set, not a plan_items-sized bitmap: plan_items is untrusted input
-  // and must not size an allocation.
-  std::set<std::size_t> seen;
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    with_ctx("shard report: outcomes[" + std::to_string(i) + "]", [&] {
-      const JsonValue& o = outcomes[i];
-      long long id = o.at("id").as_int();
-      if (id < 0 || id >= static_cast<long long>(report.plan_items))
-        throw WireError("work-item id " + std::to_string(id) +
-                        " out of range (plan has " +
-                        std::to_string(report.plan_items) + " items)");
-      auto uid = static_cast<std::size_t>(id);
-      if (uid % report.shard_count != report.shard_index)
-        throw WireError("work-item id " + std::to_string(id) +
-                        " belongs to shard " +
-                        std::to_string(uid % report.shard_count + 1) + "/" +
-                        std::to_string(report.shard_count) + ", not shard " +
-                        std::to_string(report.shard_index + 1) + "/" +
-                        std::to_string(report.shard_count));
-      if (!seen.insert(uid).second)
-        throw WireError("duplicate outcome for work item " +
-                        std::to_string(id));
-      report.item_ids.push_back(uid);
-      report.outcomes.push_back(parse_outcome(o));
-    });
+  int version = check_header(doc, "shard-report", "shard report", 1,
+                             kShardSchemaVersion);
+  ShardReport report = parse_shard_header(doc, version);
+  if (version >= 2) {
+    report.complete = with_ctx("shard report: complete",
+                               [&] { return doc.at("complete").as_bool(); });
+    parse_shard_outcomes_v2(doc, report);
+  } else {
+    parse_shard_outcomes_v1(doc, report);
   }
+
+  // `complete` is derived state: the ids are each owned and unique, so
+  // coverage is a count comparison. Version 1 files predate the flag and
+  // infer it; a version-2 flag that disagrees is a corrupt file.
+  std::size_t owned = owned_id_count(report.plan_items, report.shard_index,
+                                     report.shard_count);
+  bool covered = report.item_ids.size() == owned;
+  if (version >= 2 && report.complete != covered)
+    fail("shard report",
+         report.complete
+             ? "'complete' is true but completed_ids covers " +
+                   std::to_string(report.item_ids.size()) + " of the " +
+                   std::to_string(owned) + " ids this shard owns"
+             : "'complete' is false but completed_ids covers every id "
+               "this shard owns");
+  report.complete = covered;
   return report;
 }
+
+namespace {
+
+/// The shared drain behind run_shard and resume_shard: execute the owned
+/// ids not already in (done_ids, done_outcomes), optionally flushing a
+/// valid partial report after every checkpoint chunk, and assemble the
+/// combined report ascending by id. Preemption (hooks.interrupted) stops
+/// between chunks and yields complete == false.
+ShardReport drain_shard(const Executor& executor, const InjectionPlan& plan,
+                        std::size_t shard_index, std::size_t shard_count,
+                        const std::vector<std::size_t>& done_ids,
+                        const std::vector<InjectionOutcome>& done_outcomes,
+                        const ExecutorOptions& opts,
+                        const ShardDrainHooks& hooks) {
+  ShardReport header;
+  header.scenario_name = plan.scenario_name;
+  header.shard_index = shard_index;
+  header.shard_count = shard_count;
+  header.plan_items = plan.items.size();
+
+  const std::vector<std::size_t> owned =
+      shard_item_ids(plan.items.size(), shard_index, shard_count);
+  std::vector<std::size_t> todo;  // owned minus done, ascending
+  {
+    std::size_t d = 0;
+    for (std::size_t id : owned) {
+      while (d < done_ids.size() && done_ids[d] < id) ++d;
+      if (d < done_ids.size() && done_ids[d] == id) continue;
+      todo.push_back(id);
+    }
+  }
+
+  // Merge the prior outcomes and the drained prefix ascending by id —
+  // the serialized bytes must match an uninterrupted run no matter where
+  // (or whether) the drain was cut.
+  auto assemble = [&](const std::vector<InjectionOutcome>& drained) {
+    ShardReport r = header;
+    r.item_ids.reserve(done_ids.size() + drained.size());
+    r.outcomes.reserve(done_ids.size() + drained.size());
+    std::size_t a = 0, b = 0;
+    while (a < done_ids.size() || b < drained.size()) {
+      if (b >= drained.size() ||
+          (a < done_ids.size() && done_ids[a] < todo[b])) {
+        r.item_ids.push_back(done_ids[a]);
+        r.outcomes.push_back(done_outcomes[a]);
+        ++a;
+      } else {
+        r.item_ids.push_back(todo[b]);
+        r.outcomes.push_back(drained[b]);
+        ++b;
+      }
+    }
+    r.complete = r.item_ids.size() == owned.size();
+    return r;
+  };
+
+  std::function<void(const std::vector<InjectionOutcome>&)> flush;
+  if (hooks.on_checkpoint)
+    flush = [&](const std::vector<InjectionOutcome>& prefix) {
+      hooks.on_checkpoint(assemble(prefix));
+    };
+  return assemble(executor.execute_subset_checkpointed(
+      plan, todo, hooks.checkpoint_every, flush, hooks.interrupted, opts));
+}
+
+}  // namespace
 
 ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
                       std::size_t shard_index, std::size_t shard_count,
-                      const ExecutorOptions& opts) {
-  ShardReport report;
-  report.scenario_name = plan.scenario_name;
-  report.shard_index = shard_index;
-  report.shard_count = shard_count;
-  report.plan_items = plan.items.size();
-  report.item_ids = shard_item_ids(plan.items.size(), shard_index,
-                                   shard_count);  // validates the pair
-  report.outcomes = executor.execute_subset(plan, report.item_ids, opts);
-  return report;
+                      const ExecutorOptions& opts,
+                      const ShardDrainHooks& hooks) {
+  return drain_shard(executor, plan, shard_index, shard_count, {}, {}, opts,
+                     hooks);
+}
+
+ShardReport resume_shard(const Executor& executor, const InjectionPlan& plan,
+                         const ShardReport& partial,
+                         const ExecutorOptions& opts,
+                         const ShardDrainHooks& hooks) {
+  // The parser already held wire files to the shard-level invariants;
+  // re-check here so in-memory callers get the same guarantees, plus the
+  // plan-level matches only resume can check.
+  if (partial.scenario_name != plan.scenario_name)
+    throw WireError("resume: report's scenario '" + partial.scenario_name +
+                    "' does not match the plan's '" + plan.scenario_name +
+                    "'");
+  if (partial.plan_items != plan.items.size())
+    throw WireError("resume: report written against a plan with " +
+                    std::to_string(partial.plan_items) +
+                    " work items; this plan has " +
+                    std::to_string(plan.items.size()));
+  if (partial.shard_count == 0)
+    throw WireError("resume: shard_count must be >= 1");
+  if (partial.shard_index >= partial.shard_count)
+    throw WireError("resume: shard_index " +
+                    std::to_string(partial.shard_index) +
+                    " out of range for shard_count " +
+                    std::to_string(partial.shard_count));
+  if (partial.item_ids.size() != partial.outcomes.size())
+    throw WireError("resume: item id / outcome count mismatch");
+  ShardReport checked;
+  checked.shard_index = partial.shard_index;
+  checked.shard_count = partial.shard_count;
+  checked.plan_items = partial.plan_items;
+  for (std::size_t id : partial.item_ids) {
+    check_completed_id(checked, static_cast<long long>(id),
+                       /*require_ascending=*/true);
+    checked.item_ids.push_back(id);
+  }
+  return drain_shard(executor, plan, partial.shard_index,
+                     partial.shard_count, partial.item_ids, partial.outcomes,
+                     opts, hooks);
 }
 
 CampaignResult merge_shard_reports(const InjectionPlan& plan,
-                                   const std::vector<ShardReport>& shards) {
+                                   const std::vector<ShardReport>& shards,
+                                   const std::vector<std::string>& labels) {
   if (shards.empty()) throw WireError("merge: no shard reports given");
+  if (!labels.empty() && labels.size() != shards.size())
+    throw WireError("merge: got " + std::to_string(shards.size()) +
+                    " shard report(s) but " + std::to_string(labels.size()) +
+                    " label(s)");
   const std::size_t n = plan.items.size();
   const std::size_t shard_count = shards.front().shard_count;
   // shard_count is untrusted input and must not size an allocation until
@@ -420,13 +720,25 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
                     std::to_string(shard_count) +
                     "; every shard must be present exactly once");
 
-  CampaignResult result = result_skeleton(plan);
-  std::vector<bool> shard_seen(shard_count, false);
-  std::vector<bool> id_seen(n, false);
-
-  for (const auto& s : shards) {
+  // Attribute every diagnostic to its source file when the caller named
+  // one — "shard 3/7" alone does not say which of seven paths to fix.
+  auto who_of = [&](std::size_t si) {
+    const ShardReport& s = shards[si];
     std::string who = "shard " + std::to_string(s.shard_index + 1) + "/" +
                       std::to_string(s.shard_count);
+    if (si < labels.size() && !labels[si].empty())
+      who += " (" + labels[si] + ")";
+    return who;
+  };
+
+  CampaignResult result = result_skeleton(plan);
+  std::vector<bool> shard_seen(shard_count, false);
+  std::vector<std::size_t> seen_by(shard_count, 0);  // report index per shard
+  std::vector<bool> id_seen(n, false);
+
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    const ShardReport& s = shards[si];
+    std::string who = who_of(si);
     if (s.scenario_name != plan.scenario_name)
       throw WireError(who + ": scenario '" + s.scenario_name +
                       "' does not match the plan's '" + plan.scenario_name +
@@ -442,8 +754,10 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
     if (s.shard_index >= shard_count)
       throw WireError(who + ": shard_index out of range");
     if (shard_seen[s.shard_index])
-      throw WireError("duplicate report for " + who);
+      throw WireError("duplicate report for " + who + " (also " +
+                      who_of(seen_by[s.shard_index]) + ")");
     shard_seen[s.shard_index] = true;
+    seen_by[s.shard_index] = si;
     if (s.item_ids.size() != s.outcomes.size())
       throw WireError(who + ": item id / outcome count mismatch");
 
@@ -457,27 +771,46 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
         throw WireError(who + ": duplicate outcome for work item " +
                         std::to_string(id));
       const WorkItem& item = plan.items[id];
-      const InjectionOutcome& o = s.outcomes[i];
-      if (o.fault_name != item.fault.name() ||
-          !(o.site == plan.point_of(item).site))
+      const InteractionPoint& point = plan.point_of(item);
+      InjectionOutcome o = s.outcomes[i];
+      // Version-1 reports (and in-process ones) carry the plan-keyed
+      // fields; hold them to the plan. Version-2 reports do not put them
+      // on the wire at all (fault_name is empty after parse).
+      if (!o.fault_name.empty() &&
+          (o.fault_name != item.fault.name() || !(o.site == point.site)))
         throw WireError(who + ": outcome for work item " + std::to_string(id) +
                         " is fault '" + o.fault_name + "' at " + o.site.str() +
                         " but the plan's item " + std::to_string(id) +
                         " is '" + item.fault.name() + "' at " +
-                        plan.point_of(item).site.str() +
-                        " (report from a different plan?)");
+                        point.site.str() + " (report from a different plan?)");
+      // Re-derive them from the plan by stable id, the single source of
+      // truth — the merged result is field-identical to a local drain.
+      o.site = point.site;
+      o.call = point.call;
+      o.object = point.object;
+      o.kind = item.fault.kind;
+      o.fault_name = item.fault.name();
+      o.fault_description = item.fault.kind == FaultKind::indirect
+                                ? item.fault.indirect->description
+                                : item.fault.direct->description;
       id_seen[id] = true;
-      result.injections[id] = o;
+      result.injections[id] = std::move(o);
     }
   }
 
   // All shard_count indices are in range and duplicate-free, and exactly
   // shard_count reports arrived — so every shard is present; only
-  // per-item completeness (partial files) can still fail.
+  // per-item completeness (an unresumed partial file) can still fail.
   for (std::size_t id = 0; id < n; ++id)
-    if (!id_seen[id])
+    if (!id_seen[id]) {
+      std::size_t owner = 0;
+      for (std::size_t si = 0; si < shards.size(); ++si)
+        if (shards[si].shard_index == id % shard_count) owner = si;
       throw WireError("work item " + std::to_string(id) +
-                      " has no outcome (partial shard file?)");
+                      " has no outcome — " + who_of(owner) +
+                      " is a partial report (complete it with run-shard "
+                      "--resume)");
+    }
   return result;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -24,6 +25,14 @@
 #include "core/executor.hpp"
 
 namespace ep::core {
+
+/// Version of the shard-report wire format. Version 2 is the compact
+/// columnar encoding (one array per run-dependent field instead of one
+/// object per outcome) with the `complete`/`completed_ids` partial-report
+/// notion; the serializer always writes version 2, and the reader still
+/// accepts version 1 files (the row-oriented PR 3 format). Plans are
+/// versioned separately by kPlanSchemaVersion.
+inline constexpr int kShardSchemaVersion = 2;
 
 /// A plan or shard-report file that cannot be trusted: syntactically
 /// malformed, wrong schema version, wrong kind, missing or inconsistent
@@ -58,34 +67,73 @@ std::vector<std::size_t> shard_item_ids(std::size_t total_items,
                                         std::size_t shard_index,
                                         std::size_t shard_count);
 
-/// One shard's campaign output: the injection outcomes of exactly the
-/// work items the shard owns, keyed by their stable plan ids.
+/// One shard's campaign output: the injection outcomes of the work items
+/// the shard owns, keyed by their stable plan ids. A report may be
+/// *partial* (`complete == false`): a preempted `run-shard` flushes the
+/// outcomes it finished, and resume_shard() later drains only the missing
+/// ids — the completed report is byte-identical to an uninterrupted run.
 struct ShardReport {
-  int schema_version = kPlanSchemaVersion;
+  int schema_version = kShardSchemaVersion;
   std::string scenario_name;
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
   /// Total items in the *whole* plan (not this shard) — merge uses it to
   /// reject shard files produced against a different plan.
   std::size_t plan_items = 0;
-  std::vector<std::size_t> item_ids;  // parallel to outcomes
+  /// True iff item_ids covers every id the shard owns. Derived, never
+  /// free-floating: the serializer computes it and the parser rejects a
+  /// file whose flag contradicts its completed_ids.
+  bool complete = true;
+  std::vector<std::size_t> item_ids;  // ascending; parallel to outcomes
   std::vector<InjectionOutcome> outcomes;
 
-  /// Canonical JSON (docs/WIRE_FORMAT.md): parse -> re-serialize
-  /// reproduces the bytes verbatim.
+  /// Canonical JSON (docs/WIRE_FORMAT.md), always schema_version 2:
+  /// parse -> re-serialize reproduces the bytes verbatim. Only the
+  /// run-dependent outcome fields go on the wire (fired, crashed,
+  /// overflows, exit_code, violations, exploit) — site/call/object/fault
+  /// are already in the plan, keyed by id, and merge re-derives them.
   [[nodiscard]] std::string to_json() const;
 };
 
-/// Parse and validate a serialized shard report. Throws WireError on
-/// malformed input, a foreign kind/version, ids outside the plan, ids
-/// that belong to a different shard, or duplicate ids.
+/// Parse and validate a serialized shard report (version 2, or the
+/// row-oriented version 1). Throws WireError on malformed input, a
+/// foreign kind/version, ids outside the plan, ids that belong to a
+/// different shard, duplicate or out-of-order ids, or a `complete` flag
+/// that contradicts the ids actually present.
 ShardReport shard_report_from_json(const std::string& text);
+
+/// Progress hooks for a preemptible shard drain. With checkpoint_every ==
+/// 0 the drain is one uninterruptible pass and no intermediate flush
+/// happens; with K > 0 the drain proceeds in ascending chunks of K items,
+/// flushing the partial report after each chunk and polling `interrupted`
+/// between chunks — a preempted drain returns a valid partial report
+/// (complete == false) instead of losing the shard.
+struct ShardDrainHooks {
+  std::size_t checkpoint_every = 0;
+  /// Called with the partial report after each completed chunk (not after
+  /// the final one — the caller writes the returned report itself).
+  std::function<void(const ShardReport&)> on_checkpoint;
+  /// Polled before each chunk; returning true stops the drain early.
+  std::function<bool()> interrupted;
+};
 
 /// Drain one shard of the plan through the executor (worker pool and COW
 /// snapshot path included) and package the outcomes as a ShardReport.
 ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
                       std::size_t shard_index, std::size_t shard_count,
-                      const ExecutorOptions& opts = {});
+                      const ExecutorOptions& opts = {},
+                      const ShardDrainHooks& hooks = {});
+
+/// Complete a partial report: re-drain only the ids the shard owns but
+/// `partial` lacks, and return the combined report — byte-identical to an
+/// uninterrupted run_shard (outcomes are deterministic per item). Throws
+/// WireError when the partial report does not belong to this plan
+/// (scenario or item-count mismatch, ids outside the shard). A resumed
+/// drain can itself be preempted again via `hooks`.
+ShardReport resume_shard(const Executor& executor, const InjectionPlan& plan,
+                         const ShardReport& partial,
+                         const ExecutorOptions& opts = {},
+                         const ShardDrainHooks& hooks = {});
 
 /// Recombine shard reports into the CampaignResult a single process would
 /// have produced from this plan: outcome with id i lands in slot i, so
@@ -93,8 +141,14 @@ ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
 /// count and any shard file order. Throws WireError unless the shard set
 /// is complete and consistent: all shard_count shards present exactly
 /// once, every report matching this plan's scenario and item count, and
-/// the union of outcome ids covering every work item exactly once.
+/// the union of outcome ids covering every work item exactly once — any
+/// mix of v1, v2, and resumed reports merges, but genuinely missing
+/// outcomes (an unresumed partial file) are still rejected.
+/// `labels`, when given, is parallel to `shards` and names each report's
+/// source (its file path on the CLI) in every diagnostic, so a failing
+/// 7-shard merge is attributable to the offending file.
 CampaignResult merge_shard_reports(const InjectionPlan& plan,
-                                   const std::vector<ShardReport>& shards);
+                                   const std::vector<ShardReport>& shards,
+                                   const std::vector<std::string>& labels = {});
 
 }  // namespace ep::core

@@ -284,6 +284,20 @@ class Parser {
     expect('"', "string");
     std::string out;
     for (;;) {
+      // Bulk-copy the run of plain characters up to the next quote,
+      // escape, or control byte: wire files are mostly paths and
+      // descriptions, and appending them per character dominated the
+      // parse profile.
+      std::size_t run = pos_;
+      while (run < text_.size()) {
+        unsigned char c = static_cast<unsigned char>(text_[run]);
+        if (c == '"' || c == '\\' || c < 0x20) break;
+        ++run;
+      }
+      if (run > pos_) {
+        out.append(text_.data() + pos_, run - pos_);
+        pos_ = run;
+      }
       if (eof()) fail("unterminated string");
       char c = peek();
       ++pos_;
@@ -309,14 +323,19 @@ class Parser {
         case 'u': {
           unsigned cp = parse_hex4();
           if (cp >= 0xD800 && cp <= 0xDBFF) {
-            // Surrogate pair: a second \uXXXX must follow.
-            if (!consume_literal("\\u")) fail("unpaired UTF-16 surrogate");
+            // A high surrogate is only half a code point: the very next
+            // characters must be the `\u` of its low half. Anything else
+            // — the closing quote, literal text, another escape, or end
+            // of input — leaves it unpaired.
+            if (!consume_literal("\\u"))
+              fail("unpaired high surrogate (\\u low-surrogate escape "
+                   "must follow)");
             unsigned lo = parse_hex4();
             if (lo < 0xDC00 || lo > 0xDFFF)
               fail("invalid low surrogate in \\u pair");
             cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
           } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
-            fail("unpaired UTF-16 surrogate");
+            fail("lone low surrogate (no preceding high surrogate)");
           }
           append_utf8(out, cp);
           break;
@@ -334,6 +353,7 @@ class Parser {
     while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
     if (leading_zero && pos_ - start > (text_[start] == '-' ? 2u : 1u))
       fail("leading zero in number");
+    bool integral = eof() || (peek() != '.' && peek() != 'e' && peek() != 'E');
     if (!eof() && peek() == '.') {
       ++pos_;
       if (eof() || peek() < '0' || peek() > '9')
@@ -346,6 +366,18 @@ class Parser {
       if (eof() || peek() < '0' || peek() > '9')
         fail("digit expected in exponent");
       while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    // Fast path: wire files are overwhelmingly small integers (ids,
+    // counts, lines); 15 digits always fit a double exactly, so no
+    // strtod round trip (which needs a heap slice for NUL termination).
+    std::size_t digits_at = start + (text_[start] == '-' ? 1 : 0);
+    if (integral && pos_ - digits_at <= 15) {
+      long long v = 0;
+      for (std::size_t i = digits_at; i < pos_; ++i)
+        v = v * 10 + (text_[i] - '0');
+      return JsonValue::make_number(
+          text_[start] == '-' ? -static_cast<double>(v)
+                              : static_cast<double>(v));
     }
     std::string slice(text_.substr(start, pos_ - start));
     errno = 0;

@@ -126,16 +126,140 @@ TEST(Wire, ShardReportRoundTripsThroughJson) {
   EXPECT_EQ(report.scenario_name, "toy");
   EXPECT_EQ(report.plan_items, plan.items.size());
   EXPECT_EQ(report.item_ids, shard_item_ids(plan.items.size(), 1, 3));
+  EXPECT_TRUE(report.complete);
 
   std::string json = report.to_json();
+  EXPECT_TRUE(contains(json, "\"schema_version\": 2"));
+  EXPECT_TRUE(contains(json, "\"complete\": true"));
+  EXPECT_TRUE(contains(json, "\"completed_ids\": ["));
+  // The compact columnar promise: plan-derivable strings stay off the
+  // wire entirely (violation objects still carry their own sites — those
+  // are run output, not plan echo).
+  EXPECT_FALSE(contains(json, "fault_description"));
+  EXPECT_FALSE(contains(json, "\"fault\":"));
+
   ShardReport parsed = shard_report_from_json(json);
   EXPECT_EQ(parsed.scenario_name, report.scenario_name);
   EXPECT_EQ(parsed.shard_index, report.shard_index);
   EXPECT_EQ(parsed.shard_count, report.shard_count);
   EXPECT_EQ(parsed.plan_items, report.plan_items);
   EXPECT_EQ(parsed.item_ids, report.item_ids);
+  EXPECT_TRUE(parsed.complete);
   ASSERT_EQ(parsed.outcomes.size(), report.outcomes.size());
+  for (std::size_t i = 0; i < parsed.outcomes.size(); ++i) {
+    // Run-dependent fields survive the wire; plan-keyed ones are merge's
+    // job (merge re-derives them by id).
+    EXPECT_EQ(parsed.outcomes[i].fired, report.outcomes[i].fired) << i;
+    EXPECT_EQ(parsed.outcomes[i].violated, report.outcomes[i].violated) << i;
+    EXPECT_EQ(parsed.outcomes[i].crashed, report.outcomes[i].crashed) << i;
+    EXPECT_EQ(parsed.outcomes[i].exit_code, report.outcomes[i].exit_code)
+        << i;
+    ASSERT_EQ(parsed.outcomes[i].violations.size(),
+              report.outcomes[i].violations.size())
+        << i;
+    EXPECT_EQ(parsed.outcomes[i].exploit.actor,
+              report.outcomes[i].exploit.actor)
+        << i;
+  }
   EXPECT_EQ(parsed.to_json(), json);  // canonical round trip
+}
+
+TEST(Wire, PartialShardReportRoundTripsThroughJson) {
+  // A preempted drain's flush: a strict subset of the owned ids, marked
+  // complete=false, is a valid wire file that parses and round-trips.
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  ShardReport full = run_shard(Executor(s), plan, 0, 2);
+  ASSERT_GE(full.item_ids.size(), 2u);
+
+  ShardReport partial = full;
+  partial.item_ids.resize(2);
+  partial.outcomes.resize(2);
+  partial.complete = false;
+  std::string json = partial.to_json();
+  EXPECT_TRUE(contains(json, "\"complete\": false"));
+
+  ShardReport parsed = shard_report_from_json(json);
+  EXPECT_FALSE(parsed.complete);
+  EXPECT_EQ(parsed.item_ids, partial.item_ids);
+  EXPECT_EQ(parsed.to_json(), json);
+}
+
+TEST(Wire, ShardReportReadsVersion1Files) {
+  // The row-oriented PR 3 format stays readable: all plan-redundant
+  // fields present per outcome, no complete/completed_ids. Completeness
+  // is inferred from id coverage.
+  std::string v1 =
+      "{\"schema_version\": 1, \"kind\": \"shard-report\", "
+      "\"scenario\": \"toy\", \"shard_index\": 1, \"shard_count\": 2, "
+      "\"plan_items\": 4, \"outcomes\": ["
+      "{\"id\": 1, \"site\": {\"unit\": \"toy.c\", \"line\": 10, "
+      "\"tag\": \"toy-read-config\"}, \"call\": \"open\", "
+      "\"object\": \"/toy/config\", \"kind\": \"direct\", "
+      "\"fault\": \"file-existence\", \"fault_description\": \"gone\", "
+      "\"fired\": true, \"violated\": false, \"crashed\": false, "
+      "\"overflows\": 0, \"exit_code\": 1, \"violations\": [], "
+      "\"exploit\": {\"nonroot_feasible\": false, \"actor\": \"\", "
+      "\"note\": \"\"}}]}";
+  ShardReport r = shard_report_from_json(v1);
+  EXPECT_EQ(r.schema_version, 1);
+  EXPECT_EQ(r.item_ids, std::vector<std::size_t>{1});
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].fault_name, "file-existence");
+  EXPECT_EQ(r.outcomes[0].exit_code, 1);
+  EXPECT_FALSE(r.complete);  // shard 2/2 of 4 items owns ids 1 and 3
+
+  // Re-serializing a v1 read emits the canonical v2 encoding.
+  std::string v2 = r.to_json();
+  EXPECT_TRUE(contains(v2, "\"schema_version\": 2"));
+  EXPECT_TRUE(contains(v2, "\"completed_ids\": [1]"));
+  EXPECT_EQ(shard_report_from_json(v2).to_json(), v2);
+}
+
+TEST(Wire, Version1OutcomesAreSortedById) {
+  // v1 never promised an ordering, but the in-memory report (and its v2
+  // re-serialization) must ascend — a file-order v1 report sorts on read.
+  auto outcome = [](int id, int exit_code) {
+    return "{\"id\": " + std::to_string(id) +
+           ", \"site\": {\"unit\": \"t.c\", \"line\": 1, \"tag\": \"x\"}, "
+           "\"call\": \"open\", \"object\": \"/f\", \"kind\": \"direct\", "
+           "\"fault\": \"file-existence\", \"fault_description\": \"d\", "
+           "\"fired\": true, \"violated\": false, \"crashed\": false, "
+           "\"overflows\": 0, \"exit_code\": " + std::to_string(exit_code) +
+           ", \"violations\": [], \"exploit\": {\"nonroot_feasible\": "
+           "false, \"actor\": \"\", \"note\": \"\"}}";
+  };
+  std::string v1 =
+      "{\"schema_version\": 1, \"kind\": \"shard-report\", "
+      "\"scenario\": \"toy\", \"shard_index\": 1, \"shard_count\": 2, "
+      "\"plan_items\": 4, \"outcomes\": [" +
+      outcome(3, 33) + ", " + outcome(1, 11) + "]}";
+  ShardReport r = shard_report_from_json(v1);
+  EXPECT_EQ(r.item_ids, (std::vector<std::size_t>{1, 3}));
+  ASSERT_EQ(r.outcomes.size(), 2u);
+  EXPECT_EQ(r.outcomes[0].exit_code, 11);  // outcome followed its id
+  EXPECT_EQ(r.outcomes[1].exit_code, 33);
+  EXPECT_TRUE(r.complete);  // shard 2/2 of 4 items owns exactly {1, 3}
+  EXPECT_EQ(shard_report_from_json(r.to_json()).to_json(), r.to_json());
+}
+
+TEST(WireErrors, Version1RejectsViolatedFlagContradictingViolations) {
+  // The serializer always kept `violated` == "violations non-empty";
+  // a disagreeing v1 file could not re-serialize canonically as v2.
+  std::string v1 =
+      "{\"schema_version\": 1, \"kind\": \"shard-report\", "
+      "\"scenario\": \"toy\", \"shard_index\": 0, \"shard_count\": 2, "
+      "\"plan_items\": 4, \"outcomes\": ["
+      "{\"id\": 0, \"site\": {\"unit\": \"t.c\", \"line\": 1, "
+      "\"tag\": \"x\"}, \"call\": \"open\", \"object\": \"/f\", "
+      "\"kind\": \"direct\", \"fault\": \"file-existence\", "
+      "\"fault_description\": \"d\", \"fired\": true, \"violated\": true, "
+      "\"crashed\": false, \"overflows\": 0, \"exit_code\": 0, "
+      "\"violations\": [], \"exploit\": {\"nonroot_feasible\": false, "
+      "\"actor\": \"\", \"note\": \"\"}}]}";
+  std::string msg =
+      wire_error_of([&] { (void)shard_report_from_json(v1); });
+  EXPECT_TRUE(contains(msg, "'violated' is true but 'violations' is empty"));
 }
 
 TEST(Wire, MergeReassemblesThePlanOrderResult) {
@@ -303,11 +427,11 @@ TEST(WireErrors, ShardReportRejectsIndexOutOfRange) {
 
 TEST(WireErrors, ShardReportRejectsForeignItemId) {
   Scenario s = toy_scenario();
-  // Shard 0 of 3 owns ids 0, 3, 6, ...; retagging the first outcome as
-  // id 1 hands it an item of shard 2/3.
+  // Shard 0 of 3 owns ids 0, 3, 6, ...; retagging the first completed id
+  // as 1 hands it an item of shard 2/3.
   std::string json =
       replace_all(run_shard(Executor(s), toy_plan(), 0, 3).to_json(),
-                  "{\"id\": 0, ", "{\"id\": 1, ");
+                  "\"completed_ids\": [0, ", "\"completed_ids\": [1, ");
   EXPECT_TRUE(
       contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
                "belongs to shard 2/3, not shard 1/3"));
@@ -316,12 +440,13 @@ TEST(WireErrors, ShardReportRejectsForeignItemId) {
 TEST(WireErrors, ShardReportRejectsIdBeyondPlan) {
   Scenario s = toy_scenario();
   InjectionPlan plan = toy_plan();
-  std::size_t last =
-      shard_item_ids(plan.items.size(), 0, 1).back();
+  std::size_t last = shard_item_ids(plan.items.size(), 0, 1).back();
+  // Anchor on the "outcomes" key that follows so a small column value
+  // equal to `last` cannot match.
   std::string json = replace_all(
       run_shard(Executor(s), plan, 0, 1).to_json(),
-      "{\"id\": " + std::to_string(last) + ", ",
-      "{\"id\": " + std::to_string(plan.items.size()) + ", ");
+      ", " + std::to_string(last) + "],\n  \"outcomes\"",
+      ", " + std::to_string(plan.items.size()) + "],\n  \"outcomes\"");
   EXPECT_TRUE(
       contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
                "out of range"));
@@ -329,13 +454,83 @@ TEST(WireErrors, ShardReportRejectsIdBeyondPlan) {
 
 TEST(WireErrors, ShardReportRejectsDuplicateIds) {
   Scenario s = toy_scenario();
-  // Both of shard 1/2's first two outcomes claim id 1.
+  // Shard 2/2 owns ids 1, 3, 5, ...; its first two completed ids both
+  // claiming 1 is a duplicate.
   std::string json =
       replace_all(run_shard(Executor(s), toy_plan(), 1, 2).to_json(),
-                  "{\"id\": 3, ", "{\"id\": 1, ");
+                  "\"completed_ids\": [1, 3", "\"completed_ids\": [1, 1");
   EXPECT_TRUE(
       contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
                "duplicate outcome for work item 1"));
+}
+
+TEST(WireErrors, ShardReportRejectsOutOfOrderIds) {
+  Scenario s = toy_scenario();
+  // Version 2 is canonical: completed_ids must ascend, or the resumed
+  // report could not be byte-identical to an uninterrupted run.
+  std::string json =
+      replace_all(run_shard(Executor(s), toy_plan(), 1, 2).to_json(),
+                  "\"completed_ids\": [1, 3", "\"completed_ids\": [3, 1");
+  EXPECT_TRUE(
+      contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
+               "completed_ids out of order (1 after 3)"));
+}
+
+TEST(WireErrors, ShardReportRejectsCompleteFlagContradictions) {
+  Scenario s = toy_scenario();
+  std::string json = run_shard(Executor(s), toy_plan(), 0, 2).to_json();
+  // A full report claiming to be partial...
+  EXPECT_TRUE(contains(
+      wire_error_of([&] {
+        (void)shard_report_from_json(replace_all(
+            json, "\"complete\": true", "\"complete\": false"));
+      }),
+      "'complete' is false but completed_ids covers every id"));
+  // ...and a truncated one claiming to be complete. Drop the first id and
+  // the first entry of every column.
+  ShardReport full = shard_report_from_json(json);
+  ShardReport truncated = full;
+  truncated.item_ids.erase(truncated.item_ids.begin());
+  truncated.outcomes.erase(truncated.outcomes.begin());
+  truncated.complete = false;  // to_json writes the stored flag
+  std::string lying = replace_all(truncated.to_json(), "\"complete\": false",
+                                  "\"complete\": true");
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)shard_report_from_json(lying); }),
+      "'complete' is true but completed_ids covers"));
+}
+
+TEST(WireErrors, ShardReportRejectsColumnLengthMismatch) {
+  Scenario s = toy_scenario();
+  std::string json = run_shard(Executor(s), toy_plan(), 0, 3).to_json();
+  // Empty out the fired column: its length no longer matches the ids.
+  std::size_t at = json.find("\"fired\": [");
+  ASSERT_NE(at, std::string::npos);
+  std::size_t close = json.find(']', at);
+  std::string doctored = json.substr(0, at + 10) + json.substr(close);
+  std::string msg =
+      wire_error_of([&] { (void)shard_report_from_json(doctored); });
+  EXPECT_TRUE(contains(msg, "outcomes.fired has 0 entries"));
+}
+
+TEST(WireErrors, ShardReportRejectsExploitViolationsDisagreement) {
+  // Canonical form: the exploit analysis exists exactly for violated
+  // outcomes. The toy scenario has at least one of each, so flipping one
+  // side of the pairing must fail.
+  Scenario s = toy_scenario();
+  std::string json = run_shard(Executor(s), toy_plan(), 0, 1).to_json();
+  ASSERT_TRUE(contains(json, "null"));  // at least one non-violated outcome
+  std::size_t at = json.find("\"exploit\": [");
+  ASSERT_NE(at, std::string::npos);
+  std::size_t null_at = json.find("null", at);
+  ASSERT_NE(null_at, std::string::npos);
+  std::string doctored =
+      json.substr(0, null_at) +
+      "{\"nonroot_feasible\": true, \"actor\": \"x\", \"note\": \"y\"}" +
+      json.substr(null_at + 4);
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)shard_report_from_json(doctored); }),
+      "exploit present for an outcome with no violations"));
 }
 
 // --- merge_shard_reports error paths ----------------------------------------
@@ -418,6 +613,141 @@ TEST_F(WireMergeErrors, RejectsOutcomeFromAnotherPlan) {
   EXPECT_TRUE(contains(
       wire_error_of([&] { (void)merge_shard_reports(plan_, shards_); }),
       "different plan"));
+}
+
+TEST_F(WireMergeErrors, NamesTheOffendingFileWhenLabelsAreGiven) {
+  // The CLI passes shard file paths as labels: a 7-shard failure must
+  // name the file to fix, not just "shard 2/3".
+  std::vector<std::string> labels = {"a.json", "b.json", "c.json"};
+  shards_[1].scenario_name = "other";
+  std::string msg = wire_error_of(
+      [&] { (void)merge_shard_reports(plan_, shards_, labels); });
+  EXPECT_TRUE(contains(msg, "shard 2/3 (b.json)"));
+
+  shards_.clear();
+  SetUp();  // fresh shards
+  shards_[2] = shards_[0];
+  msg = wire_error_of(
+      [&] { (void)merge_shard_reports(plan_, shards_, labels); });
+  // Both claimants named: the duplicate and the report it collides with.
+  EXPECT_TRUE(contains(msg, "shard 1/3 (c.json)"));
+  EXPECT_TRUE(contains(msg, "(a.json)"));
+}
+
+TEST_F(WireMergeErrors, AttributesPartialFileToItsShard) {
+  shards_[1].item_ids.pop_back();
+  shards_[1].outcomes.pop_back();
+  std::string msg = wire_error_of([&] {
+    (void)merge_shard_reports(plan_, shards_,
+                              {"a.json", "b.json", "c.json"});
+  });
+  EXPECT_TRUE(contains(msg, "has no outcome"));
+  EXPECT_TRUE(contains(msg, "(b.json)"));
+  EXPECT_TRUE(contains(msg, "--resume"));
+}
+
+// --- checkpointed drains and resume -----------------------------------------
+
+TEST(WireResume, MergeAcceptsAMixOfWireVersionsAndResumedShards) {
+  // One shard straight from memory, one through the v2 wire, one
+  // preempted + resumed through the wire: the merge must not care.
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  Executor ex(s);
+  CampaignResult single = ex.execute(plan);
+
+  std::vector<ShardReport> shards;
+  shards.push_back(run_shard(ex, plan, 0, 3));
+  shards.push_back(
+      shard_report_from_json(run_shard(ex, plan, 1, 3).to_json()));
+
+  ShardDrainHooks hooks;
+  hooks.checkpoint_every = 1;
+  std::string last_flush;
+  hooks.on_checkpoint = [&](const ShardReport& r) {
+    EXPECT_FALSE(r.complete);
+    last_flush = r.to_json();
+  };
+  int polls = 0;
+  hooks.interrupted = [&] { return ++polls > 2; };  // stop after 2 items
+  ShardReport preempted = run_shard(ex, plan, 2, 3, {}, hooks);
+  EXPECT_FALSE(preempted.complete);
+  EXPECT_FALSE(last_flush.empty());
+
+  ShardReport resumed = resume_shard(
+      ex, plan, shard_report_from_json(preempted.to_json()));
+  EXPECT_TRUE(resumed.complete);
+  // Byte-identical to a never-preempted drain of the same shard.
+  EXPECT_EQ(resumed.to_json(), run_shard(ex, plan, 2, 3).to_json());
+
+  shards.push_back(shard_report_from_json(resumed.to_json()));
+  expect_identical(single, merge_shard_reports(plan, shards));
+}
+
+TEST(WireResume, ResumeOfACompleteReportDrainsNothing) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  Executor ex(s);
+  ShardReport full = run_shard(ex, plan, 0, 2);
+  ShardReport resumed = resume_shard(ex, plan, full);
+  EXPECT_EQ(resumed.to_json(), full.to_json());
+}
+
+TEST(WireResume, ResumeRejectsAForeignPartialReport) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  Executor ex(s);
+  ShardReport partial = run_shard(ex, plan, 0, 2);
+  partial.item_ids.resize(1);
+  partial.outcomes.resize(1);
+  partial.complete = false;
+
+  ShardReport foreign = partial;
+  foreign.scenario_name = "other";
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)resume_shard(ex, plan, foreign); }),
+      "scenario 'other' does not match"));
+
+  foreign = partial;
+  foreign.plan_items = plan.items.size() + 1;
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)resume_shard(ex, plan, foreign); }),
+      "written against a plan with"));
+
+  foreign = partial;
+  foreign.item_ids[0] = 1;  // shard 1/2 owns id 1, not shard 0/2
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)resume_shard(ex, plan, foreign); }),
+      "belongs to shard 2/2"));
+}
+
+TEST(WireResume, CheckpointedSubsetDrainMatchesPlainDrain) {
+  // The executor-level contract: any chunk size, any job count, same
+  // prefix bytes; stop() keeps exactly the completed chunks.
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  Executor ex(s);
+  std::vector<std::size_t> ids = shard_item_ids(plan.items.size(), 0, 1);
+  auto plain = ex.execute_subset(plan, ids);
+  for (int jobs : {1, 2}) {
+    ExecutorOptions opts;
+    opts.jobs = jobs;
+    for (std::size_t every : {1u, 2u, 5u}) {
+      std::size_t checkpoints = 0;
+      auto chunked = ex.execute_subset_checkpointed(
+          plan, ids, every,
+          [&](const std::vector<InjectionOutcome>& prefix) {
+            ++checkpoints;
+            EXPECT_LT(prefix.size(), ids.size());
+            EXPECT_EQ(prefix.size() % every, 0u);
+          },
+          nullptr, opts);
+      ASSERT_EQ(chunked.size(), plain.size()) << every;
+      for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_EQ(chunked[i].fault_name, plain[i].fault_name) << i;
+      EXPECT_EQ(checkpoints, (ids.size() - 1) / every);
+    }
+  }
 }
 
 }  // namespace

@@ -55,19 +55,42 @@ TEST(WireFormatDoc, ShardReportExampleRoundTripsVerbatim) {
   std::string example = example_block(read_doc(), "shard-report");
   ASSERT_FALSE(example.empty());
   ShardReport report = shard_report_from_json(example);
+  EXPECT_TRUE(report.complete);
   EXPECT_EQ(report.to_json(), example)
       << "docs/WIRE_FORMAT.md shard-report example is no longer canonical "
          "serializer output — regenerate it (see the doc's 'Regenerating "
          "the examples' section)";
 }
 
-TEST(WireFormatDoc, DocumentsTheCurrentSchemaVersion) {
+TEST(WireFormatDoc, LegacyShardReportExampleReadsAsTheV2Example) {
+  // The documented version-1 file must stay parseable, and its canonical
+  // re-serialization must be exactly the documented version-2 example —
+  // the two blocks describe the same drain in both encodings.
   std::string doc = read_doc();
-  // The prose must pin the version the code actually writes.
-  EXPECT_TRUE(contains(doc, "`schema_version` is currently `" +
-                                std::to_string(kPlanSchemaVersion) + "`"))
-      << "docs/WIRE_FORMAT.md does not document schema_version "
+  std::string v1 = example_block(doc, "shard-report-v1");
+  std::string v2 = example_block(doc, "shard-report");
+  ASSERT_FALSE(v1.empty());
+  ASSERT_FALSE(v2.empty());
+  ShardReport report = shard_report_from_json(v1);
+  EXPECT_EQ(report.schema_version, 1);
+  EXPECT_EQ(report.to_json(), v2)
+      << "docs/WIRE_FORMAT.md v1 legacy example no longer re-serializes "
+         "into the v2 example";
+}
+
+TEST(WireFormatDoc, DocumentsTheCurrentSchemaVersions) {
+  std::string doc = read_doc();
+  // The prose must pin the versions the code actually writes: plans and
+  // shard reports are versioned independently.
+  EXPECT_TRUE(contains(doc, "currently `" +
+                                std::to_string(kPlanSchemaVersion) +
+                                "` (`core::kPlanSchemaVersion`)"))
+      << "docs/WIRE_FORMAT.md does not document plan schema_version "
       << kPlanSchemaVersion;
+  EXPECT_TRUE(contains(doc, "`" + std::to_string(kShardSchemaVersion) +
+                                "` (`core::kShardSchemaVersion`)"))
+      << "docs/WIRE_FORMAT.md does not document shard schema_version "
+      << kShardSchemaVersion;
 }
 
 }  // namespace

@@ -66,6 +66,53 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(json_parse(R"("\ud800 unpaired")"), JsonError);
 }
 
+TEST(Json, RejectsBrokenSurrogatePairs) {
+  // The three half-pair shapes, each with its own diagnostic and a
+  // line/column position (the ISSUE's surrogate-decoding audit).
+  auto error_of = [](const char* text) -> JsonError {
+    try {
+      json_parse(text);
+    } catch (const JsonError& e) {
+      return e;
+    }
+    ADD_FAILURE() << "expected JsonError for " << text;
+    return JsonError("none");
+  };
+
+  // 1. An unpaired high surrogate at end-of-string.
+  JsonError e = error_of(R"("\uD834")");
+  EXPECT_TRUE(contains(e.what(), "unpaired high surrogate"));
+  EXPECT_EQ(e.line(), 1u);
+  EXPECT_EQ(e.column(), 8u);  // just past the six escape characters
+
+  // ... including one truncated at end of input.
+  EXPECT_TRUE(contains(error_of("\"\\uD834").what(),
+                       "unpaired high surrogate"));
+
+  // 2. A high surrogate followed by a non-\u escape or by literal text.
+  EXPECT_TRUE(contains(error_of(R"("\uD834\n")").what(),
+                       "unpaired high surrogate"));
+  EXPECT_TRUE(contains(error_of(R"("\uD834abc")").what(),
+                       "unpaired high surrogate"));
+  // An escaped backslash is NOT the \u of a low half, even though the
+  // bytes start with a backslash and a 'u' follows.
+  EXPECT_TRUE(contains(error_of(R"("\uD834\\u0041")").what(),
+                       "unpaired high surrogate"));
+
+  // 3. A lone low surrogate.
+  e = error_of("{\n  \"k\": \"\\uDC00\"\n}");
+  EXPECT_TRUE(contains(e.what(), "lone low surrogate"));
+  EXPECT_EQ(e.line(), 2u);
+
+  // A high surrogate paired with another high one is still wrong.
+  EXPECT_TRUE(contains(error_of(R"("\uD834\uD834")").what(),
+                       "invalid low surrogate"));
+
+  // Boundary sanity: the planes around the surrogate range stay legal.
+  EXPECT_EQ(json_parse(R"("\uD7FF")").as_string(), "\xed\x9f\xbf");
+  EXPECT_EQ(json_parse(R"("\uE000")").as_string(), "\xee\x80\x80");
+}
+
 TEST(Json, RejectsDuplicateKeys) {
   try {
     json_parse(R"({"id": 1, "id": 2})");
