@@ -288,6 +288,72 @@ double sharded_sweep_seconds(int shard_count, int* out_runs,
   return best;
 }
 
+/// The orchestrated dimension: the suite drained as `workers` simulated
+/// *persistent* worker processes serving fine-grained dynamic leases
+/// (core/orchestrator.hpp). Each worker pays the per-process tax exactly
+/// once — plan parsed from JSON, prototype re-frozen — then drains many
+/// leases, every lease report passing through the wire format. The
+/// coordinator merges against the plan it already holds in memory (it
+/// planned it), so unlike the static-shard path there is no merge-side
+/// plan re-parse. Serial like sharded_sweep_seconds, so the delta against
+/// the cached serial sweep is the full orchestration tax — and the delta
+/// against the sharded number is what persistence amortizes at equal
+/// process count and finer work granularity.
+double orchestrated_sweep_seconds(int workers, int leases_per_worker,
+                                  int* out_runs,
+                                  std::size_t* out_wire_bytes,
+                                  int* out_leases) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto scenarios = apps::all_scenarios();
+    int runs = 0;
+    int leases_total = 0;
+    std::size_t wire_bytes = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (auto& scenario : scenarios) {
+      core::CampaignOptions popts;
+      popts.use_world_cache = false;  // the plan file carries no snapshot
+      core::InjectionPlan plan = core::Planner(scenario).plan(popts);
+      std::string plan_json = plan.to_json();
+      core::Executor executor(scenario);
+      // One parse + one re-freeze per persistent worker, not per lease.
+      std::vector<core::InjectionPlan> worker_plans;
+      for (int w = 0; w < workers; ++w) {
+        worker_plans.push_back(core::plan_from_json(plan_json));
+        core::refreeze_snapshot(worker_plans.back(), scenario);
+      }
+      const std::size_t n = plan.items.size();
+      const std::size_t lease_items = std::max<std::size_t>(
+          1, n / static_cast<std::size_t>(workers * leases_per_worker));
+      std::vector<std::string> lease_jsons;
+      std::size_t lease_seq = 0;
+      for (std::size_t begin = 0; begin < n;
+           begin += lease_items, ++lease_seq) {
+        int w = static_cast<int>(lease_seq) % workers;
+        lease_jsons.push_back(
+            core::run_lease(executor, worker_plans[w], begin,
+                            std::min(begin + lease_items, n))
+                .to_json());
+        wire_bytes += lease_jsons.back().size();
+      }
+      leases_total += static_cast<int>(lease_seq);
+      std::vector<core::ShardReport> leases;
+      for (const auto& json : lease_jsons)
+        leases.push_back(core::shard_report_from_json(json));
+      auto merged = core::merge_shard_reports(plan, leases);
+      runs += merged.n();
+      benchmark::DoNotOptimize(merged);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    *out_runs = runs;
+    *out_wire_bytes = wire_bytes;
+    *out_leases = leases_total;
+    best = std::min(best,
+                    std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
 void write_sweep_json(const char* path) {
   core::MultiCampaign suite;
   for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
@@ -325,6 +391,20 @@ void write_sweep_json(const char* path) {
   double shard_overhead_pct =
       (cached_serial_s > 0 ? sharded_s / cached_serial_s - 1.0 : 0.0) * 100.0;
 
+  // The orchestrated dimension: same process count as the sharded
+  // number, but persistent workers amortize the plan parse + re-freeze
+  // across ~4 leases each, and the coordinator never re-parses the plan.
+  constexpr int kOrchLeasesPerWorker = 4;
+  int orch_runs = 0;
+  int orch_leases = 0;
+  std::size_t orch_wire_bytes = 0;
+  double orch_s = orchestrated_sweep_seconds(
+      kShards, kOrchLeasesPerWorker, &orch_runs, &orch_wire_bytes,
+      &orch_leases);
+  double orch_rps = orch_runs / orch_s;
+  double orch_overhead_pct =
+      (cached_serial_s > 0 ? orch_s / cached_serial_s - 1.0 : 0.0) * 100.0;
+
   // On a machine with fewer cores than kJobs the parallel sweep is pure
   // thread overhead; flag the artifact so a sub-kJobs speedup reads as a
   // hardware limit, not an engine regression.
@@ -359,7 +439,12 @@ void write_sweep_json(const char* path) {
                "  \"shards\": %d,\n"
                "  \"sharded_serial_runs_per_sec\": %.1f,\n"
                "  \"shard_wire_overhead_pct\": %.1f,\n"
-               "  \"shard_wire_bytes\": %zu\n"
+               "  \"shard_wire_bytes\": %zu,\n"
+               "  \"orchestrated_workers\": %d,\n"
+               "  \"orchestrated_leases\": %d,\n"
+               "  \"orchestrated_serial_runs_per_sec\": %.1f,\n"
+               "  \"orchestrated_overhead_pct\": %.1f,\n"
+               "  \"orchestrated_wire_bytes\": %zu\n"
                "}\n",
                suite.size(), runs, hw, core_starved ? "true" : "false",
                kJobs, serial_s, parallel_s, serial_rps, parallel_rps,
@@ -368,7 +453,8 @@ void write_sweep_json(const char* path) {
                cached_parallel_rps / parallel_rps, heavy.name.c_str(),
                heavy_uncached_rps, heavy_cached_rps,
                heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
-               shard_overhead_pct, shard_wire_bytes);
+               shard_overhead_pct, shard_wire_bytes, kShards, orch_leases,
+               orch_rps, orch_overhead_pct, orch_wire_bytes);
   std::fclose(f);
   std::printf(
       "\nsweep: %d injection runs across %zu scenarios\n"
@@ -378,14 +464,18 @@ void write_sweep_json(const char* path) {
       "  cached jobs=%d     : %8.1f runs/sec  (%.2fx vs jobs=%d)\n"
       "  build-heavy %-6s: %8.1f -> %8.1f runs/sec  (%.2fx cached)\n"
       "  sharded %dx serial : %8.1f runs/sec  (wire+merge overhead "
-      "%+.1f%% vs cached serial; %zu report bytes)\n",
+      "%+.1f%% vs cached serial; %zu report bytes)\n"
+      "  orchestrated %dx%-2d : %8.1f runs/sec  (overhead %+.1f%% vs "
+      "cached serial; %d leases, %zu report bytes; persistent workers "
+      "parse+refreeze once)\n",
       runs, suite.size(), serial_rps, kJobs, parallel_rps,
       parallel_rps / serial_rps, cached_serial_rps,
       cached_serial_rps / serial_rps, kJobs, cached_parallel_rps,
       cached_parallel_rps / parallel_rps, kJobs, heavy.name.c_str(),
       heavy_uncached_rps, heavy_cached_rps,
       heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
-      shard_overhead_pct, shard_wire_bytes);
+      shard_overhead_pct, shard_wire_bytes, kShards, kOrchLeasesPerWorker,
+      orch_rps, orch_overhead_pct, orch_leases, orch_wire_bytes);
   if (core_starved)
     std::printf(
         "  !! core-starved (%u hardware thread%s < %d jobs): the parallel "

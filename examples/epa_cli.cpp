@@ -24,7 +24,19 @@
 //
 // merge output is bit-identical to `epa_cli run turnin` for any shard
 // count: work items carry stable ids and outcomes land by id.
+//
+// Orchestrated execution (docs/ARCHITECTURE.md, core/orchestrator.hpp):
+//
+//   epa_cli orchestrate turnin --workers 3    # dynamic leases, persistent
+//   epa_cli orchestrate --all --workers 4     # workers, auto re-lease on
+//                                             # preemption (exit 4)
+//
+// `epa_cli worker PLAN` is the orchestrator's worker half: it parses the
+// plan and re-freezes the COW prototype once, then serves LEASE commands
+// from stdin until EXIT/EOF — the per-process costs are paid per worker,
+// not per work slice. Orchestrated output is bit-identical to `run`.
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <climits>
@@ -39,9 +51,11 @@
 #include "apps/scenarios.hpp"
 #include "core/compare.hpp"
 #include "core/equivalence.hpp"
+#include "core/orchestrator.hpp"
 #include "core/planner.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "core/transport.hpp"
 #include "core/wire.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -71,6 +85,13 @@ int usage() {
       "  epa_cli run-shard <plan-file> --resume <shard-file> [--out FILE]\n"
       "                [--jobs N] [--no-world-cache] [--checkpoint K]\n"
       "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
+      "  epa_cli orchestrate <scenario> [--workers N] [--lease K]\n"
+      "                [--jobs N] [--preempt-after N] [--dir DIR]\n"
+      "                [--json] [--no-world-cache]\n"
+      "  epa_cli orchestrate --all [same flags]\n"
+      "  epa_cli worker <plan-file> [--jobs N] [--no-world-cache]\n"
+      "                [--preempt-after N]   (LEASE/DONE protocol on\n"
+      "                stdin/stdout; spawned by orchestrate)\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
   return 2;
@@ -107,13 +128,23 @@ void write_file(const std::string& path, const std::string& content) {
 
 /// Write-temp-then-rename, so a reader (or a resume after a kill) never
 /// sees a torn file: the path holds either the previous checkpoint or the
-/// new one, never half of each.
+/// new one, never half of each. The temp name is pid-unique — two
+/// processes pointed at the same --out must never share one (a fixed
+/// ".tmp" let them interleave writes and rename each other's half-written
+/// bytes into place) — and is unlinked when the write or rename fails,
+/// never left behind.
 void write_file_atomic(const std::string& path, const std::string& content) {
-  std::string tmp = path + ".tmp";
-  write_file(tmp, content);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw std::runtime_error("cannot rename '" + tmp + "' to '" + path +
-                             "': " + std::strerror(errno));
+  std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  try {
+    write_file(tmp, content);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+      throw std::runtime_error("cannot rename '" + tmp + "' to '" + path +
+                               "': " + std::strerror(errno));
+  } catch (...) {
+    (void)std::remove(tmp.c_str());
+    throw;
+  }
 }
 
 // --- numeric flag parsing ---------------------------------------------------
@@ -291,11 +322,9 @@ int cmd_compare(const std::string& before_name,
   return c.safe() ? 0 : 3;
 }
 
-int cmd_sweep(const core::SweepOptions& opts, bool as_json) {
-  core::MultiCampaign suite;
-  for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
-  auto sweep = suite.run(opts);
-
+/// Render a whole-suite result (sweep or orchestrate --all) and return
+/// the run/sweep exit contract: 0 clean, 3 candidate vulnerabilities.
+int print_sweep(const core::SweepResult& sweep, bool as_json) {
   if (as_json) {
     std::printf("{\n\"scenarios\": [\n");
     for (std::size_t i = 0; i < sweep.results.size(); ++i)
@@ -326,6 +355,12 @@ int cmd_sweep(const core::SweepOptions& opts, bool as_json) {
                 sweep.total_exploitable(), sweep.mean_vulnerability_score());
   }
   return sweep.total_exploitable() == 0 ? 0 : 3;
+}
+
+int cmd_sweep(const core::SweepOptions& opts, bool as_json) {
+  core::MultiCampaign suite;
+  for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
+  return print_sweep(suite.run(opts), as_json);
 }
 
 int cmd_db(const std::string& filter) {
@@ -529,6 +564,188 @@ int cmd_merge(const std::string& plan_path,
   return r.exploitable().empty() ? 0 : 3;  // same contract as `run`
 }
 
+// --- orchestrated execution (core/orchestrator.hpp) -------------------------
+
+struct WorkerArgs {
+  std::string plan_path;
+  int jobs = 1;
+  bool use_world_cache = true;
+  long long preempt_after = 0;  // self-preempt after N leases (CI hook)
+};
+
+/// The persistent worker half of the orchestrator: parse the plan and
+/// re-freeze the COW prototype exactly once, then serve LEASE commands
+/// from stdin until EXIT/EOF (the LocalProcessTransport protocol,
+/// core/transport.hpp). Stdout carries protocol lines only; everything
+/// human-facing goes to stderr. SIGTERM is graceful preemption: the
+/// in-flight lease finishes (its report is already worth keeping), the
+/// next one is refused with exit 4 so the orchestrator re-leases it.
+int cmd_worker(const WorkerArgs& a) {
+  core::InjectionPlan plan = load_plan(a.plan_path);
+  bool found = false;
+  core::Scenario scenario = find_scenario(plan.scenario_name, found);
+  if (!found)
+    throw std::runtime_error(a.plan_path + ": plan names unknown scenario '" +
+                             plan.scenario_name +
+                             "' (written by a different scenario set?)");
+  if (a.use_world_cache) core::refreeze_snapshot(plan, scenario);
+  core::Executor executor(scenario);
+  core::ExecutorOptions opts;
+  opts.jobs = a.jobs;
+  opts.use_world_cache = a.use_world_cache;
+  std::signal(SIGTERM, on_sigterm);
+  // One line per process by design: the ctest worker-protocol check
+  // counts these to pin "parse + re-freeze happen once, not per lease".
+  std::fprintf(stderr,
+               "epa worker: parsed %s (%zu items), prototype %s; serving\n",
+               a.plan_path.c_str(), plan.items.size(),
+               plan.snapshot ? "frozen" : "uncached");
+
+  long long done = 0;
+  char line[4096];
+  while (std::fgets(line, sizeof line, stdin)) {
+    std::string cmd(line);
+    // A fill without a newline is a truncated command (an over-long
+    // report path, say): parsing the fragment would drain the lease and
+    // write the report to the wrong, truncated path. Fail fast instead.
+    if (!cmd.empty() && cmd.back() != '\n' && cmd.size() + 1 >= sizeof line) {
+      std::fprintf(stderr,
+                   "epa: worker: command line exceeds %zu bytes\n",
+                   sizeof line - 1);
+      return 1;
+    }
+    while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == '\r'))
+      cmd.pop_back();
+    if (cmd == "EXIT") break;
+    // LEASE <begin> <end> <report-path>
+    const char* rest = cmd.c_str();
+    auto parse_num = [&](std::size_t* out) {
+      errno = 0;
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(rest, &end, 10);
+      if (errno == ERANGE || end == rest || *end != ' ') return false;
+      *out = static_cast<std::size_t>(v);
+      rest = end + 1;
+      return true;
+    };
+    std::size_t begin = 0, end = 0;
+    bool ok = std::strncmp(rest, "LEASE ", 6) == 0;
+    if (ok) rest += 6;
+    ok = ok && parse_num(&begin) && parse_num(&end) && *rest != '\0';
+    if (!ok) {
+      std::fprintf(stderr, "epa: worker: malformed command '%s'\n",
+                   cmd.c_str());
+      return 1;
+    }
+    std::string out_path = rest;
+    if (g_preempted) {
+      std::fprintf(stderr,
+                   "epa: worker preempted; lease [%zu, %zu) not drained\n",
+                   begin, end);
+      return 4;  // the orchestrator re-leases [begin, end)
+    }
+    core::ShardReport report = core::run_lease(executor, plan, begin, end,
+                                               opts);
+    // Atomic write *before* DONE: a DONE line always names a readable,
+    // complete report, even if this worker dies right after.
+    write_file_atomic(out_path, report.to_json());
+    std::printf("DONE %zu %zu\n", begin, end);
+    std::fflush(stdout);
+    ++done;
+    // CI determinism hook: deliver the preemption signal to ourselves
+    // after N served leases, through the real handler.
+    if (a.preempt_after > 0 && done >= a.preempt_after)
+      (void)std::raise(SIGTERM);
+  }
+  std::fprintf(stderr, "epa worker: served %lld lease(s), exiting\n", done);
+  return 0;
+}
+
+struct OrchestrateArgs {
+  std::string scenario;
+  bool all = false;
+  int workers = 2;
+  long long lease = 0;          // items per lease; 0 = auto
+  int jobs = 1;                 // per-worker --jobs
+  long long preempt_after = 0;  // forwarded to workers (CI hook)
+  bool as_json = false;
+  bool use_world_cache = true;
+  std::string dir;  // plan + lease files; empty = fresh temp dir
+};
+
+int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
+  std::string dir = a.dir;
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") +
+                       "/epa-orch.XXXXXX";
+    if (!::mkdtemp(tmpl.data()))
+      throw std::runtime_error(std::string("cannot create temp dir: ") +
+                               std::strerror(errno));
+    dir = tmpl;
+  } else if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create '" + dir +
+                             "': " + std::strerror(errno));
+  }
+
+  std::vector<core::Scenario> scenarios;
+  if (a.all) {
+    scenarios = apps::all_scenarios();
+  } else {
+    bool found = false;
+    core::Scenario s = find_scenario(a.scenario, found);
+    if (!found) {
+      std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
+                   a.scenario.c_str());
+      return 1;
+    }
+    scenarios.push_back(std::move(s));
+  }
+
+  core::SweepResult sweep;
+  for (const core::Scenario& scenario : scenarios) {
+    // The coordinator plans in-process and keeps the plan in memory for
+    // the merge; only workers pay a plan parse (once per process).
+    core::CampaignOptions popts;
+    popts.use_world_cache = false;  // the plan file carries no snapshot
+    core::InjectionPlan plan = core::Planner(scenario).plan(popts);
+    std::string plan_path = dir + "/" + scenario.name + ".plan.json";
+    write_file(plan_path, plan.to_json());
+
+    core::LocalProcessConfig cfg;
+    cfg.epa_cli = core::LocalProcessTransport::self_exe(argv0);
+    cfg.plan_path = plan_path;
+    cfg.out_dir = dir;
+    cfg.file_prefix = scenario.name;
+    cfg.jobs = a.jobs;
+    cfg.use_world_cache = a.use_world_cache;
+    cfg.preempt_after = a.preempt_after;
+    core::LocalProcessTransport transport(cfg);
+
+    core::OrchestratorOptions oopts;
+    oopts.workers = a.workers;
+    oopts.lease_items = static_cast<std::size_t>(a.lease);
+    core::OrchestratorStats stats;
+    sweep.results.push_back(
+        core::orchestrate(plan, transport, oopts, &stats));
+    std::fprintf(stderr,
+                 "epa orchestrate: %s: %zu leases across %zu worker(s) "
+                 "(%zu re-leased, %zu preempted, %zu spawned)\n",
+                 scenario.name.c_str(), stats.leases_total,
+                 static_cast<std::size_t>(a.workers), stats.leases_released,
+                 stats.workers_preempted, stats.workers_spawned);
+  }
+  std::fprintf(stderr, "epa orchestrate: plan and lease files in %s\n",
+               dir.c_str());
+
+  if (a.all) return print_sweep(sweep, a.as_json);
+  const core::CampaignResult& r = sweep.results.front();
+  std::printf("%s", (a.as_json ? core::render_json(r)
+                               : core::render_report(r))
+                        .c_str());
+  return r.exploitable().empty() ? 0 : 3;  // same contract as `run`
+}
+
 /// Malformed or partial wire files must exit non-zero with a clear
 /// message, never let an exception escape main.
 template <typename Fn>
@@ -677,6 +894,57 @@ int main(int argc, char** argv) {
       return 1;
     }
     return guarded([&] { return cmd_run_shard(std::move(a)); });
+  }
+  if (cmd == "worker") {
+    WorkerArgs a;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--jobs") {
+        a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
+      } else if (arg == "--preempt-after") {
+        a.preempt_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--no-world-cache") {
+        a.use_world_cache = false;
+      } else if (!starts_with(arg, "--") && a.plan_path.empty()) {
+        a.plan_path = arg;
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    if (a.plan_path.empty()) return usage();
+    return guarded([&] { return cmd_worker(a); });
+  }
+  if (cmd == "orchestrate") {
+    OrchestrateArgs a;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--all") {
+        a.all = true;
+      } else if (arg == "--workers") {
+        a.workers = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 1024));
+      } else if (arg == "--lease") {
+        a.lease = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--jobs") {
+        a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
+      } else if (arg == "--preempt-after") {
+        a.preempt_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--json") {
+        a.as_json = true;
+      } else if (arg == "--no-world-cache") {
+        a.use_world_cache = false;
+      } else if (arg == "--dir") {
+        a.dir = flag_value(arg, argc, argv, &i);
+      } else if (!starts_with(arg, "--") && a.scenario.empty()) {
+        a.scenario = arg;
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    // Exactly one of --all / <scenario>, like `plan`.
+    if (a.all ? !a.scenario.empty() : a.scenario.empty()) return usage();
+    return guarded([&] { return cmd_orchestrate(a, argv[0]); });
   }
   if (cmd == "merge") {
     std::string plan_path;

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Fan one scenario's campaign across N worker processes on this machine:
 #
-#   scripts/shard_local.sh [-n SHARDS] [-b EPA_CLI] [-o OUTDIR] [-j]
+#   scripts/shard_local.sh [-n SHARDS] [-b EPA_CLI] [-o OUTDIR] [-j] [-O]
 #                          [-c CHECKPOINT] [-P PREEMPT_AFTER] SCENARIO
 #
 #   -n SHARDS       worker process count (default 4)
 #   -b EPA_CLI      path to the epa_cli binary (default ./build/epa_cli)
 #   -o OUTDIR       where plan/shard files go (default: a fresh temp dir)
 #   -j              print the merged report as JSON
+#   -O              drive the campaign through `epa_cli orchestrate`
+#                   (dynamic leases, persistent workers, automatic
+#                   re-lease of preempted work) instead of the static
+#                   K/N run-shard fan-out; -c does not apply
 #   -c CHECKPOINT   flush a resumable partial report every K outcomes; a
 #                   worker that exits 4 (preempted, e.g. SIGTERM) is
 #                   automatically completed with run-shard --resume
 #   -P PREEMPT      self-preempt each worker after N checkpoint flushes
-#                   (testing hook for the resume path; needs -c)
+#                   (with -O: after N served leases; testing hook)
 #
 # plan -> N x run-shard (parallel processes) -> merge. The merged report
 # is bit-identical to a single-process `epa_cli run SCENARIO` for any N
@@ -24,20 +28,22 @@ shards=4
 epa_cli=./build/epa_cli
 outdir=
 json_flag=
+orchestrate=
 checkpoint=
 preempt=
 
 usage() {
-  sed -n '2,19p' "$0" >&2
+  sed -n '2,23p' "$0" >&2
   exit 2
 }
 
-while getopts 'n:b:o:jc:P:h' opt; do
+while getopts 'n:b:o:jOc:P:h' opt; do
   case "$opt" in
     n) shards=$OPTARG ;;
     b) epa_cli=$OPTARG ;;
     o) outdir=$OPTARG ;;
     j) json_flag=--json ;;
+    O) orchestrate=1 ;;
     c) checkpoint=$OPTARG ;;
     P) preempt=$OPTARG ;;
     *) usage ;;
@@ -56,7 +62,11 @@ esac
 case "${preempt:-1}" in
   ''|*[!0-9]*|0) echo "shard_local: -P must be a positive integer" >&2; exit 2 ;;
 esac
-if [ -n "$preempt" ] && [ -z "$checkpoint" ]; then
+if [ -n "$orchestrate" ] && [ -n "$checkpoint" ]; then
+  echo "shard_local: -c does not apply with -O (leases are re-drained whole)" >&2
+  exit 2
+fi
+if [ -n "$preempt" ] && [ -z "$checkpoint" ] && [ -z "$orchestrate" ]; then
   echo "shard_local: -P needs -c (preemption is delivered at a checkpoint flush)" >&2
   exit 2
 fi
@@ -67,26 +77,59 @@ else
   mkdir -p "$outdir"
 fi
 
+# -O: hand the whole pipeline to the orchestrator — dynamic id-range
+# leases over persistent workers, preempted leases re-leased
+# automatically. -n is the worker count; plan and lease files land in
+# OUTDIR like the shard files below would.
+if [ -n "$orchestrate" ]; then
+  orch_flags=()
+  [ -n "$preempt" ] && orch_flags+=(--preempt-after "$preempt")
+  [ -n "$json_flag" ] && orch_flags+=("$json_flag")
+  rc=0
+  "$epa_cli" orchestrate "$scenario" --workers "$shards" --dir "$outdir" \
+    "${orch_flags[@]}" || rc=$?
+  # 3 = candidate vulnerabilities: a finding, not a pipeline failure.
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || exit "$rc"
+  echo "lease files in $outdir" >&2
+  exit "$rc"
+fi
+
 worker_flags=()
 [ -n "$checkpoint" ] && worker_flags+=(--checkpoint "$checkpoint")
 [ -n "$preempt" ] && worker_flags+=(--preempt-after "$preempt")
+
+# Any exit — success, a failed worker, set -e on a bad merge — must kill
+# and reap whatever background workers are still running: without this, a
+# first-worker failure left the rest writing into $outdir after the
+# script had already reported failure. Reaped pids are cleared from the
+# array so the trap never signals a recycled pid.
+pids=()
+cleanup() {
+  local pid
+  for pid in "${pids[@]}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${pids[@]}"; do
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
 
 # Progress goes to stderr: stdout carries only the merged report, so
 # `shard_local.sh -j NAME > report.json` stays clean.
 plan="$outdir/$scenario.plan.json"
 "$epa_cli" plan "$scenario" --out "$plan" >&2
 
-pids=()
 for k in $(seq 1 "$shards"); do
   "$epa_cli" run-shard "$plan" --shard "$k/$shards" \
     --out "$outdir/$scenario.shard$k.json" "${worker_flags[@]}" >&2 &
   pids+=($!)
 done
-k=0
-for pid in "${pids[@]}"; do
-  k=$((k + 1))
+for idx in "${!pids[@]}"; do
+  k=$((idx + 1))
   rc=0
-  wait "$pid" || rc=$?
+  wait "${pids[$idx]}" || rc=$?
+  pids[$idx]=  # reaped: the trap must not kill a recycled pid
   # Preempted worker (exit 4): a valid partial report is on disk —
   # resume it (--resume re-drains only the missing ids and completes in
   # place). A resume can itself be preempted, so loop; each round makes

@@ -1,0 +1,174 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace ep::core {
+
+namespace {
+
+std::string describe_exit(const WorkerEvent& ev) {
+  return ev.status < 0
+             ? "killed by signal " + std::to_string(-ev.status)
+             : "exit status " + std::to_string(ev.status);
+}
+
+}  // namespace
+
+CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
+                           const OrchestratorOptions& opts,
+                           OrchestratorStats* stats) {
+  OrchestratorStats local_stats;
+  OrchestratorStats& st = stats ? *stats : local_stats;
+  st = {};
+  if (opts.workers < 1)
+    throw OrchestratorError("orchestrate: workers must be >= 1");
+  const auto workers = static_cast<std::size_t>(opts.workers);
+  const std::size_t n = plan.items.size();
+  if (n == 0) return result_skeleton(plan);  // nothing to lease out
+
+  // The fixed lease partition: contiguous ranges, ascending. Scheduling
+  // is dynamic; the partition is not, so the merged set is always "every
+  // lease exactly once" regardless of who drained what.
+  std::size_t lease_items = opts.lease_items;
+  if (lease_items == 0)
+    lease_items = std::max<std::size_t>(1, n / (workers * 4));
+  std::deque<Lease> pending;
+  for (std::size_t begin = 0; begin < n; begin += lease_items)
+    pending.push_back(
+        {pending.size(), begin, std::min(begin + lease_items, n)});
+  st.leases_total = pending.size();
+  const std::size_t respawn_budget =
+      opts.max_respawns ? opts.max_respawns
+                        : st.leases_total + 2 * workers;
+
+  struct Slot {
+    bool live = false;
+    bool busy = false;
+    Lease lease;  // valid while busy
+  };
+  std::map<std::size_t, Slot> slots;
+  std::size_t live = 0;
+  auto spawn_one = [&] {
+    std::size_t w = transport.spawn();
+    if (!slots.emplace(w, Slot{true, false, {}}).second)
+      throw OrchestratorError("orchestrate: transport reused worker id " +
+                              std::to_string(w));
+    ++st.workers_spawned;
+    ++live;
+  };
+  for (std::size_t i = 0; i < std::min(workers, pending.size()); ++i)
+    spawn_one();
+
+  std::vector<ShardReport> reports(st.leases_total);
+  std::vector<std::string> labels(st.leases_total);
+  std::size_t completed = 0;
+  std::size_t respawns_used = 0;
+
+  while (completed < st.leases_total) {
+    // Keep every idle live worker fed before blocking for events.
+    for (auto& [w, slot] : slots) {
+      if (pending.empty()) break;
+      if (!slot.live || slot.busy) continue;
+      slot.busy = true;
+      slot.lease = pending.front();
+      pending.pop_front();
+      ++st.leases_granted;
+      transport.submit(w, slot.lease);
+    }
+
+    WorkerEvent ev = transport.wait_any();
+    auto it = slots.find(ev.worker);
+    if (it == slots.end() || !it->second.live)
+      throw OrchestratorError("orchestrate: event from unknown worker " +
+                              std::to_string(ev.worker));
+    Slot& slot = it->second;
+
+    if (ev.kind == WorkerEvent::Kind::lease_done) {
+      if (!slot.busy || slot.lease.seq != ev.lease.seq)
+        throw OrchestratorError(
+            "orchestrate: worker " + std::to_string(ev.worker) +
+            " reported a lease it was not granted");
+      // Light shape check here; the merge re-validates everything. A
+      // report that is not the lease it claims means a broken worker,
+      // and failing now names it.
+      const ShardReport& r = ev.report;
+      if (!r.leased || !r.complete ||
+          r.assigned_ids.size() != ev.lease.end - ev.lease.begin ||
+          (!r.assigned_ids.empty() &&
+           (r.assigned_ids.front() != ev.lease.begin ||
+            r.assigned_ids.back() + 1 != ev.lease.end)))
+        throw OrchestratorError(
+            "orchestrate: worker " + std::to_string(ev.worker) +
+            "'s report does not match lease [" +
+            std::to_string(ev.lease.begin) + ", " +
+            std::to_string(ev.lease.end) + ")" +
+            (ev.label.empty() ? "" : " (" + ev.label + ")"));
+      reports[ev.lease.seq] = std::move(ev.report);
+      labels[ev.lease.seq] = ev.label;
+      slot.busy = false;
+      ++completed;
+      continue;
+    }
+
+    // Worker gone. Its unfinished lease (if any) goes back to the front
+    // of the queue — finish what was started before opening new ranges.
+    slot.live = false;
+    --live;
+    if (slot.busy) {
+      pending.push_front(slot.lease);
+      slot.busy = false;
+      ++st.leases_released;
+    }
+    if (!ev.preempted)
+      throw OrchestratorError("orchestrate: worker " +
+                              std::to_string(ev.worker) + " failed (" +
+                              describe_exit(ev) +
+                              "); a deterministic failure would only "
+                              "repeat, not re-leasing");
+    ++st.workers_preempted;
+
+    // Refill the fleet while there is more work than live workers can
+    // hold, within the respawn budget. Budget exhausted with no workers
+    // left is fatal; with some left, the fleet just runs smaller.
+    const std::size_t remaining = st.leases_total - completed;
+    while (live < std::min(workers, remaining)) {
+      if (respawns_used >= respawn_budget) {
+        if (live == 0)
+          throw OrchestratorError(
+              "orchestrate: worker respawn budget (" +
+              std::to_string(respawn_budget) + ") exhausted with " +
+              std::to_string(remaining) +
+              " lease(s) outstanding — workers are being preempted "
+              "faster than they drain");
+        break;
+      }
+      ++respawns_used;
+      spawn_one();
+    }
+  }
+
+  // All leases collected: release the fleet and reap every exit. A
+  // worker may exit 4 here (preempted while idle) — harmless now.
+  for (auto& [w, slot] : slots)
+    if (slot.live) transport.shutdown(w);
+  while (live > 0) {
+    WorkerEvent ev = transport.wait_any();
+    if (ev.kind != WorkerEvent::Kind::exited)
+      throw OrchestratorError(
+          "orchestrate: worker " + std::to_string(ev.worker) +
+          " reported a lease after every lease was collected");
+    auto it = slots.find(ev.worker);
+    if (it != slots.end() && it->second.live) {
+      it->second.live = false;
+      --live;
+    }
+  }
+
+  return merge_shard_reports(plan, reports, labels);
+}
+
+}  // namespace ep::core

@@ -1,0 +1,127 @@
+// Dynamic-lease orchestration: one coordinator, N persistent workers.
+//
+// PR 3/4 distributed a campaign as a *static* partition — shard K/N owns
+// the ids with id % N == K-1, fixed before any worker starts. The
+// orchestrator replaces that with dynamic **leases**: contiguous id
+// ranges handed out from the front of the plan as workers become idle,
+// so a slow worker holds up one lease, not 1/N of the campaign, and a
+// preempted worker's unfinished lease is simply re-leased to whoever is
+// alive. Workers are *persistent*: they parse the plan and re-freeze the
+// COW prototype once per process, then drain any number of leases — the
+// per-process costs that dominate the static-shard overhead
+// (BENCH_perf_injection.json's shard_wire_overhead_pct) are paid once,
+// not once per work slice.
+//
+// The orchestrator talks to workers through the Transport interface and
+// is itself single-threaded and deterministic in its *output*: leases
+// are fixed by (plan size, lease_items), every lease is drained
+// deterministically by whichever worker gets it, and the final merge
+// keys on stable ids — so the merged CampaignResult is byte-identical
+// to a single-process run no matter how leases were scheduled, how many
+// workers served, or how often they were preempted.
+//
+// The first Transport is LocalProcessTransport (core/transport.hpp):
+// epa_cli worker processes, pipes for the LEASE/DONE protocol, files for
+// the reports. The interface is deliberately small so a multi-machine
+// transport (ship the plan, collect the reports) slots in behind it.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "core/wire.hpp"
+
+namespace ep::core {
+
+/// Orchestration failed in a way re-leasing cannot fix: a worker died
+/// with a non-preemption status, broke the protocol, or the respawn
+/// budget ran out while leases were still outstanding.
+class OrchestratorError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One unit of handed-out work: the plan's id range [begin, end).
+/// `seq` is the lease's stable position in the partition (0-based, in
+/// ascending id order) — re-leasing preserves it, so reports and
+/// diagnostics name the same lease no matter which worker finished it.
+struct Lease {
+  std::size_t seq = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// What a Transport reports back from the worker fleet.
+struct WorkerEvent {
+  enum class Kind {
+    lease_done,  ///< `worker` finished `lease`; `report` holds its outcomes
+    exited,      ///< `worker` is gone; `preempted` says whether re-leasing
+                 ///< its outstanding work is the right response
+  };
+  Kind kind = Kind::exited;
+  std::size_t worker = 0;
+  Lease lease;         // lease_done: the finished lease
+  ShardReport report;  // lease_done: the lease's (leased, complete) report
+  std::string label;   // lease_done: report source for merge diagnostics
+  bool preempted = false;  // exited: exit 4 or a preemption signal
+  int status = 0;          // exited: exit code, or -signo when killed
+};
+
+/// The orchestrator's view of a worker fleet. Implementations own the
+/// worker lifecycle; the orchestrator only schedules. All calls come
+/// from one thread.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Start one worker; returns its id (never reused). Throws on failure.
+  virtual std::size_t spawn() = 0;
+  /// Hand `lease` to `worker` without blocking. Submitting to a worker
+  /// that already died is not an error here — the death surfaces as an
+  /// `exited` event from wait_any() and the lease is re-leased.
+  virtual void submit(std::size_t worker, const Lease& lease) = 0;
+  /// Block until any worker finishes a lease or exits. Calling with no
+  /// outstanding work or live workers is a caller bug; implementations
+  /// throw rather than hang.
+  virtual WorkerEvent wait_any() = 0;
+  /// Ask `worker` to exit cleanly once idle; its exit still arrives as
+  /// an `exited` event.
+  virtual void shutdown(std::size_t worker) = 0;
+};
+
+struct OrchestratorOptions {
+  /// Target worker count. The orchestrator spawns at most this many at
+  /// once and replaces preempted ones while work remains.
+  int workers = 2;
+  /// Work items per lease. 0 = auto: the plan split into roughly four
+  /// leases per worker, the classic dynamic-scheduling grain — small
+  /// enough to rebalance around stragglers and preemptions, large enough
+  /// that per-lease costs stay marginal.
+  std::size_t lease_items = 0;
+  /// How many replacement workers may be spawned after preemptions
+  /// before the orchestrator gives up. 0 = auto (lease count + twice the
+  /// worker count): a fleet where every worker is preempted once per
+  /// lease still finishes, a fleet that dies faster than it drains does
+  /// not spin forever.
+  std::size_t max_respawns = 0;
+};
+
+struct OrchestratorStats {
+  std::size_t leases_total = 0;      ///< fixed partition size
+  std::size_t leases_granted = 0;    ///< submits, re-grants included
+  std::size_t leases_released = 0;   ///< grants that redid preempted work
+  std::size_t workers_spawned = 0;   ///< initial fleet + replacements
+  std::size_t workers_preempted = 0;
+};
+
+/// Drain `plan` through the transport's workers under dynamic leases and
+/// merge the lease reports into the CampaignResult a single process
+/// would have produced — byte-identical output for any worker count,
+/// lease size, or preemption pattern. Throws OrchestratorError on worker
+/// failure or budget exhaustion, WireError if a worker's report does not
+/// add back up to the plan.
+CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
+                           const OrchestratorOptions& opts = {},
+                           OrchestratorStats* stats = nullptr);
+
+}  // namespace ep::core

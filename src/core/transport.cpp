@@ -1,0 +1,283 @@
+#include "core/transport.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <csignal>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace ep::core {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw OrchestratorError(what + ": " + std::strerror(errno));
+}
+
+void set_cloexec(int fd) {
+  int flags = ::fcntl(fd, F_GETFD);
+  if (flags < 0 || ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) < 0)
+    sys_fail("fcntl(FD_CLOEXEC)");
+}
+
+/// Write all of `text`, ignoring EPIPE: a worker that died mid-write
+/// surfaces as an `exited` event from wait_any(), which is where the
+/// orchestrator handles death — not here.
+void write_line(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EPIPE et al.: the death event carries the real story
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_file_or_throw(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f)
+    throw OrchestratorError("cannot read lease report '" + path +
+                            "': " + std::strerror(errno));
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad)
+    throw OrchestratorError("error while reading lease report '" + path +
+                            "'");
+  return out;
+}
+
+/// SIGTERM-family deaths are preemptions (the cluster took the host
+/// back); anything else — SIGSEGV, SIGABRT — is a worker bug that a
+/// respawn would only repeat.
+bool signal_is_preemption(int signo) {
+  return signo == SIGTERM || signo == SIGKILL || signo == SIGINT ||
+         signo == SIGHUP;
+}
+
+}  // namespace
+
+LocalProcessTransport::LocalProcessTransport(LocalProcessConfig config)
+    : config_(std::move(config)) {
+  // A worker can die between our poll() and our write(); without this
+  // the resulting EPIPE would kill the coordinator instead of surfacing
+  // as an ordinary worker-exit event.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+LocalProcessTransport::~LocalProcessTransport() {
+  for (Proc& p : procs_) {
+    if (!p.alive) continue;
+    if (p.in_fd >= 0) ::close(p.in_fd);
+    ::close(p.out_fd);
+    ::kill(p.pid, SIGTERM);
+    int status = 0;
+    while (::waitpid(p.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    p.alive = false;
+  }
+}
+
+std::string LocalProcessTransport::self_exe(const char* argv0) {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 ? argv0 : "epa_cli";
+}
+
+std::string LocalProcessTransport::lease_path(const Lease& lease) const {
+  return config_.out_dir + "/" + config_.file_prefix + ".lease" +
+         std::to_string(lease.seq) + ".json";
+}
+
+std::size_t LocalProcessTransport::spawn() {
+  int to_child[2];   // coordinator writes, worker reads (stdin)
+  int from_child[2]; // worker writes (stdout), coordinator reads
+  if (::pipe(to_child) < 0) sys_fail("pipe");
+  if (::pipe(from_child) < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    sys_fail("pipe");
+  }
+  // The coordinator-side ends must not leak into *any* worker: a sibling
+  // holding a copy of this worker's stdin write-end would defeat the
+  // EOF-on-shutdown signal.
+  set_cloexec(to_child[1]);
+  set_cloexec(from_child[0]);
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    sys_fail("fork");
+  }
+  if (pid == 0) {
+    // Worker: protocol on stdin/stdout, stderr inherited.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    std::vector<std::string> args = {config_.epa_cli, "worker",
+                                     config_.plan_path, "--jobs",
+                                     std::to_string(config_.jobs)};
+    if (!config_.use_world_cache) args.push_back("--no-world-cache");
+    if (config_.preempt_after > 0) {
+      args.push_back("--preempt-after");
+      args.push_back(std::to_string(config_.preempt_after));
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::fprintf(stderr, "epa: cannot exec worker '%s': %s\n",
+                 config_.epa_cli.c_str(), std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+
+  Proc p;
+  p.pid = pid;
+  p.in_fd = to_child[1];
+  p.out_fd = from_child[0];
+  p.alive = true;
+  procs_.push_back(std::move(p));
+  return procs_.size() - 1;
+}
+
+void LocalProcessTransport::submit(std::size_t worker, const Lease& lease) {
+  if (worker >= procs_.size())
+    throw OrchestratorError("submit: unknown worker " +
+                            std::to_string(worker));
+  Proc& p = procs_[worker];
+  p.has_lease = true;
+  p.lease = lease;
+  p.lease_path = lease_path(lease);
+  if (p.in_fd < 0) return;  // already shut down; death event will follow
+  write_line(p.in_fd, "LEASE " + std::to_string(lease.begin) + " " +
+                          std::to_string(lease.end) + " " + p.lease_path +
+                          "\n");
+}
+
+WorkerEvent LocalProcessTransport::handle_line(std::size_t worker,
+                                               const std::string& line) {
+  Proc& p = procs_[worker];
+  std::size_t begin = 0, end = 0;
+  char trailing = '\0';
+  if (std::sscanf(line.c_str(), "DONE %zu %zu%c", &begin, &end, &trailing) !=
+          2 ||
+      !p.has_lease || begin != p.lease.begin || end != p.lease.end)
+    throw OrchestratorError("worker " + std::to_string(worker) +
+                            ": unexpected protocol line '" + line + "'");
+  WorkerEvent ev;
+  ev.kind = WorkerEvent::Kind::lease_done;
+  ev.worker = worker;
+  ev.lease = p.lease;
+  ev.label = p.lease_path;
+  try {
+    ev.report = shard_report_from_json(read_file_or_throw(p.lease_path));
+  } catch (const WireError& e) {
+    throw OrchestratorError(p.lease_path + ": " + e.what());
+  }
+  p.has_lease = false;
+  return ev;
+}
+
+WorkerEvent LocalProcessTransport::reap(std::size_t worker) {
+  Proc& p = procs_[worker];
+  if (p.in_fd >= 0) ::close(p.in_fd);
+  ::close(p.out_fd);
+  p.in_fd = p.out_fd = -1;
+  int status = 0;
+  while (::waitpid(p.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  p.alive = false;
+  WorkerEvent ev;
+  ev.kind = WorkerEvent::Kind::exited;
+  ev.worker = worker;
+  if (WIFEXITED(status)) {
+    ev.status = WEXITSTATUS(status);
+    ev.preempted = ev.status == 4;
+  } else if (WIFSIGNALED(status)) {
+    ev.status = -WTERMSIG(status);
+    ev.preempted = signal_is_preemption(WTERMSIG(status));
+  }
+  return ev;
+}
+
+WorkerEvent LocalProcessTransport::wait_any() {
+  for (;;) {
+    // Deliver buffered protocol lines before reaping: a worker that
+    // printed DONE and exited must yield lease_done first, or its
+    // finished lease would be pointlessly re-drained.
+    for (std::size_t w = 0; w < procs_.size(); ++w) {
+      Proc& p = procs_[w];
+      if (!p.alive) continue;
+      std::size_t nl = p.buf.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = p.buf.substr(0, nl);
+        p.buf.erase(0, nl + 1);
+        return handle_line(w, line);
+      }
+      if (p.saw_eof) return reap(w);
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owners;
+    for (std::size_t w = 0; w < procs_.size(); ++w) {
+      Proc& p = procs_[w];
+      if (!p.alive || p.saw_eof) continue;
+      fds.push_back({p.out_fd, POLLIN, 0});
+      owners.push_back(w);
+    }
+    if (fds.empty())
+      throw OrchestratorError("wait_any: no live workers to wait on");
+    int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Proc& p = procs_[owners[i]];
+      char buf[4096];
+      ssize_t n = ::read(p.out_fd, buf, sizeof buf);
+      if (n > 0)
+        p.buf.append(buf, static_cast<std::size_t>(n));
+      else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN))
+        p.saw_eof = true;
+    }
+  }
+}
+
+void LocalProcessTransport::shutdown(std::size_t worker) {
+  if (worker >= procs_.size())
+    throw OrchestratorError("shutdown: unknown worker " +
+                            std::to_string(worker));
+  Proc& p = procs_[worker];
+  if (!p.alive || p.in_fd < 0) return;
+  write_line(p.in_fd, "EXIT\n");
+  // Close stdin too: EOF ends the worker loop even if the EXIT line was
+  // lost to a full pipe or a half-dead worker.
+  ::close(p.in_fd);
+  p.in_fd = -1;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,98 @@
+// LocalProcessTransport: the orchestrator's first Transport — epa_cli
+// worker processes on this machine, pipes as the control wire, files as
+// the data wire.
+//
+// Each spawn() forks one `epa_cli worker PLAN` process with its stdin
+// and stdout connected to the coordinator. The protocol is line-based
+// and deliberately shell-debuggable:
+//
+//   coordinator -> worker:   LEASE <begin> <end> <report-path>\n
+//                            EXIT\n            (or just EOF)
+//   worker -> coordinator:   DONE <begin> <end>\n
+//
+// The worker parses the plan and re-freezes the COW prototype once at
+// startup, then drains leases until told to stop; it writes each lease's
+// ShardReport atomically to <report-path> *before* printing DONE, so a
+// DONE line always names a readable, complete report. Worker stderr is
+// inherited (progress and diagnostics pass through); stdout carries
+// protocol lines only.
+//
+// Exit statuses mirror run-shard: 0 clean, 1 failure, 4 preempted
+// (SIGTERM — the worker finishes its in-flight lease, then refuses the
+// next one). wait_any() turns a death into an `exited` event with
+// `preempted` set for exit 4 and the preemption signals, so the
+// orchestrator can tell "re-lease and replace" from "this will only
+// fail again".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "core/orchestrator.hpp"
+
+namespace ep::core {
+
+struct LocalProcessConfig {
+  /// The worker binary — normally the running epa_cli itself
+  /// (self_exe()).
+  std::string epa_cli;
+  /// Serialized plan every worker parses once at startup.
+  std::string plan_path;
+  /// Directory lease report files are written to.
+  std::string out_dir;
+  /// Lease files are named <file_prefix>.lease<seq>.json.
+  std::string file_prefix = "plan";
+  /// --jobs forwarded to each worker.
+  int jobs = 1;
+  /// --no-world-cache forwarded when false.
+  bool use_world_cache = true;
+  /// --preempt-after forwarded when > 0: each worker self-preempts
+  /// (exit 4) when handed its (N+1)th lease — the CI determinism hook
+  /// for the kill-and-re-lease path.
+  long long preempt_after = 0;
+};
+
+class LocalProcessTransport : public Transport {
+ public:
+  explicit LocalProcessTransport(LocalProcessConfig config);
+  /// Kills (SIGTERM) and reaps any worker still alive — orchestrate()
+  /// shuts workers down cleanly on success; this is the error-path net.
+  ~LocalProcessTransport() override;
+
+  LocalProcessTransport(const LocalProcessTransport&) = delete;
+  LocalProcessTransport& operator=(const LocalProcessTransport&) = delete;
+
+  std::size_t spawn() override;
+  void submit(std::size_t worker, const Lease& lease) override;
+  WorkerEvent wait_any() override;
+  void shutdown(std::size_t worker) override;
+
+  /// The absolute path of the running binary (/proc/self/exe), falling
+  /// back to `argv0` where the link is unavailable — how `epa_cli
+  /// orchestrate` names the worker binary without guessing.
+  static std::string self_exe(const char* argv0);
+
+ private:
+  struct Proc {
+    pid_t pid = -1;
+    int in_fd = -1;   // worker stdin (coordinator writes)
+    int out_fd = -1;  // worker stdout (coordinator reads)
+    std::string buf;  // partial protocol line
+    bool alive = false;
+    bool saw_eof = false;
+    bool has_lease = false;
+    Lease lease;
+    std::string lease_path;
+  };
+
+  std::string lease_path(const Lease& lease) const;
+  WorkerEvent handle_line(std::size_t worker, const std::string& line);
+  WorkerEvent reap(std::size_t worker);
+
+  LocalProcessConfig config_;
+  std::vector<Proc> procs_;
+};
+
+}  // namespace ep::core

@@ -241,7 +241,8 @@ std::size_t owned_id_count(std::size_t total_items, std::size_t shard_index,
 
 /// Validate one completed id against the report header and the ids seen
 /// so far (ascending), mirroring the v1 checks plus v2's canonical-order
-/// requirement.
+/// requirement. Ownership is the modulo partition, or the explicit
+/// assigned_ids lease when the report is leased.
 void check_completed_id(const ShardReport& report, long long id,
                         bool require_ascending) {
   if (id < 0 || id >= static_cast<long long>(report.plan_items))
@@ -249,13 +250,19 @@ void check_completed_id(const ShardReport& report, long long id,
                     " out of range (plan has " +
                     std::to_string(report.plan_items) + " items)");
   auto uid = static_cast<std::size_t>(id);
-  if (uid % report.shard_count != report.shard_index)
+  if (report.leased) {
+    if (!std::binary_search(report.assigned_ids.begin(),
+                            report.assigned_ids.end(), uid))
+      throw WireError("work-item id " + std::to_string(id) +
+                      " is not in this report's assigned_ids lease");
+  } else if (uid % report.shard_count != report.shard_index) {
     throw WireError("work-item id " + std::to_string(id) +
                     " belongs to shard " +
                     std::to_string(uid % report.shard_count + 1) + "/" +
                     std::to_string(report.shard_count) + ", not shard " +
                     std::to_string(report.shard_index + 1) + "/" +
                     std::to_string(report.shard_count));
+  }
   if (!report.item_ids.empty()) {
     std::size_t prev = report.item_ids.back();
     if (uid == prev)
@@ -286,6 +293,44 @@ ShardReport parse_shard_header(const JsonValue& doc, int version) {
              " out of range for shard_count " +
              std::to_string(report.shard_count));
   return report;
+}
+
+/// The optional `assigned_ids` lease (schema_version 2 only). Absent =
+/// the modulo partition, byte for byte as before; present = ownership is
+/// exactly this ascending, unique, in-range id list, and the modulo
+/// fields must be the fixed 0/1 so the two styles cannot contradict.
+void parse_assigned_ids(const JsonValue& doc, ShardReport& report) {
+  const JsonValue* lease = doc.find("assigned_ids");
+  if (!lease) return;
+  report.leased = true;
+  if (report.shard_index != 0 || report.shard_count != 1)
+    fail("shard report",
+         "a leased report (assigned_ids) must carry shard_index 0 and "
+         "shard_count 1, not shard " +
+             std::to_string(report.shard_index + 1) + "/" +
+             std::to_string(report.shard_count));
+  const auto& ids =
+      with_ctx("shard report: assigned_ids",
+               [&]() -> decltype(auto) { return lease->items(); });
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    with_ctx("shard report: assigned_ids[" + std::to_string(i) + "]", [&] {
+      long long id = ids[i].as_int();
+      if (id < 0 || id >= static_cast<long long>(report.plan_items))
+        throw WireError("work-item id " + std::to_string(id) +
+                        " out of range (plan has " +
+                        std::to_string(report.plan_items) + " items)");
+      auto uid = static_cast<std::size_t>(id);
+      if (!report.assigned_ids.empty()) {
+        std::size_t prev = report.assigned_ids.back();
+        if (uid == prev)
+          throw WireError("duplicate assigned id " + std::to_string(id));
+        if (uid < prev)
+          throw WireError("assigned_ids out of order (" + std::to_string(id) +
+                          " after " + std::to_string(prev) + ")");
+      }
+      report.assigned_ids.push_back(uid);
+    });
+  }
 }
 
 /// Version 1: one object per outcome, every field on the wire. Duplicate
@@ -516,6 +561,14 @@ std::string ShardReport::to_json() const {
   out += "  \"shard_index\": " + std::to_string(shard_index) + ",\n";
   out += "  \"shard_count\": " + std::to_string(shard_count) + ",\n";
   out += "  \"plan_items\": " + std::to_string(plan_items) + ",\n";
+  if (leased) {
+    // The optional lease: only leased reports carry it, so modulo shard
+    // files keep their pre-lease bytes and round-trip unchanged.
+    out += "  \"assigned_ids\": [";
+    for (std::size_t i = 0; i < assigned_ids.size(); ++i)
+      out += (i ? ", " : "") + std::to_string(assigned_ids[i]);
+    out += "],\n";
+  }
   out += std::string("  \"complete\": ") + (complete ? "true" : "false") +
          ",\n";
   out += "  \"completed_ids\": [";
@@ -562,6 +615,7 @@ ShardReport shard_report_from_json(const std::string& text) {
                              kShardSchemaVersion);
   ShardReport report = parse_shard_header(doc, version);
   if (version >= 2) {
+    parse_assigned_ids(doc, report);
     report.complete = with_ctx("shard report: complete",
                                [&] { return doc.at("complete").as_bool(); });
     parse_shard_outcomes_v2(doc, report);
@@ -572,8 +626,11 @@ ShardReport shard_report_from_json(const std::string& text) {
   // `complete` is derived state: the ids are each owned and unique, so
   // coverage is a count comparison. Version 1 files predate the flag and
   // infer it; a version-2 flag that disagrees is a corrupt file.
-  std::size_t owned = owned_id_count(report.plan_items, report.shard_index,
-                                     report.shard_count);
+  std::size_t owned = report.leased
+                          ? report.assigned_ids.size()
+                          : owned_id_count(report.plan_items,
+                                           report.shard_index,
+                                           report.shard_count);
   bool covered = report.item_ids.size() == owned;
   if (version >= 2 && report.complete != covered)
     fail("shard report",
@@ -589,25 +646,19 @@ ShardReport shard_report_from_json(const std::string& text) {
 
 namespace {
 
-/// The shared drain behind run_shard and resume_shard: execute the owned
-/// ids not already in (done_ids, done_outcomes), optionally flushing a
-/// valid partial report after every checkpoint chunk, and assemble the
-/// combined report ascending by id. Preemption (hooks.interrupted) stops
-/// between chunks and yields complete == false.
+/// The shared drain behind run_shard, run_lease, and resume_shard:
+/// execute the `owned` ids (the modulo partition, or the lease already
+/// recorded in `header`) not already in (done_ids, done_outcomes),
+/// optionally flushing a valid partial report after every checkpoint
+/// chunk, and assemble the combined report ascending by id. Preemption
+/// (hooks.interrupted) stops between chunks and yields complete == false.
 ShardReport drain_shard(const Executor& executor, const InjectionPlan& plan,
-                        std::size_t shard_index, std::size_t shard_count,
+                        const ShardReport& header,
+                        const std::vector<std::size_t>& owned,
                         const std::vector<std::size_t>& done_ids,
                         const std::vector<InjectionOutcome>& done_outcomes,
                         const ExecutorOptions& opts,
                         const ShardDrainHooks& hooks) {
-  ShardReport header;
-  header.scenario_name = plan.scenario_name;
-  header.shard_index = shard_index;
-  header.shard_count = shard_count;
-  header.plan_items = plan.items.size();
-
-  const std::vector<std::size_t> owned =
-      shard_item_ids(plan.items.size(), shard_index, shard_count);
   std::vector<std::size_t> todo;  // owned minus done, ascending
   {
     std::size_t d = 0;
@@ -657,8 +708,33 @@ ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
                       std::size_t shard_index, std::size_t shard_count,
                       const ExecutorOptions& opts,
                       const ShardDrainHooks& hooks) {
-  return drain_shard(executor, plan, shard_index, shard_count, {}, {}, opts,
-                     hooks);
+  ShardReport header;
+  header.scenario_name = plan.scenario_name;
+  header.shard_index = shard_index;
+  header.shard_count = shard_count;
+  header.plan_items = plan.items.size();
+  return drain_shard(executor, plan, header,
+                     shard_item_ids(plan.items.size(), shard_index,
+                                    shard_count),
+                     {}, {}, opts, hooks);
+}
+
+ShardReport run_lease(const Executor& executor, const InjectionPlan& plan,
+                      std::size_t begin, std::size_t end,
+                      const ExecutorOptions& opts) {
+  if (begin > end || end > plan.items.size())
+    throw WireError("lease [" + std::to_string(begin) + ", " +
+                    std::to_string(end) + ") does not fit the plan (" +
+                    std::to_string(plan.items.size()) + " items)");
+  ShardReport header;
+  header.scenario_name = plan.scenario_name;
+  header.plan_items = plan.items.size();
+  header.leased = true;
+  header.assigned_ids.reserve(end - begin);
+  for (std::size_t id = begin; id < end; ++id)
+    header.assigned_ids.push_back(id);
+  return drain_shard(executor, plan, header, header.assigned_ids, {}, {},
+                     opts, {});
 }
 
 ShardReport resume_shard(const Executor& executor, const InjectionPlan& plan,
@@ -686,18 +762,43 @@ ShardReport resume_shard(const Executor& executor, const InjectionPlan& plan,
                     std::to_string(partial.shard_count));
   if (partial.item_ids.size() != partial.outcomes.size())
     throw WireError("resume: item id / outcome count mismatch");
+  if (partial.leased &&
+      (partial.shard_index != 0 || partial.shard_count != 1))
+    throw WireError(
+        "resume: a leased report (assigned_ids) must carry shard_index 0 "
+        "and shard_count 1, not shard " +
+        std::to_string(partial.shard_index + 1) + "/" +
+        std::to_string(partial.shard_count));
+  // `checked` doubles as the drain header once validation passes — one
+  // place to populate, so header and validation can never disagree.
   ShardReport checked;
+  checked.scenario_name = plan.scenario_name;
   checked.shard_index = partial.shard_index;
   checked.shard_count = partial.shard_count;
   checked.plan_items = partial.plan_items;
+  checked.leased = partial.leased;
+  for (std::size_t id : partial.assigned_ids) {
+    if (id >= plan.items.size())
+      throw WireError("resume: assigned id " + std::to_string(id) +
+                      " out of range (plan has " +
+                      std::to_string(plan.items.size()) + " items)");
+    if (!checked.assigned_ids.empty() && id <= checked.assigned_ids.back())
+      throw WireError("resume: assigned_ids must ascend without duplicates");
+    checked.assigned_ids.push_back(id);
+  }
   for (std::size_t id : partial.item_ids) {
     check_completed_id(checked, static_cast<long long>(id),
                        /*require_ascending=*/true);
     checked.item_ids.push_back(id);
   }
-  return drain_shard(executor, plan, partial.shard_index,
-                     partial.shard_count, partial.item_ids, partial.outcomes,
-                     opts, hooks);
+  checked.item_ids.clear();
+  return drain_shard(executor, plan, checked,
+                     partial.leased
+                         ? partial.assigned_ids
+                         : shard_item_ids(plan.items.size(),
+                                          partial.shard_index,
+                                          partial.shard_count),
+                     partial.item_ids, partial.outcomes, opts, hooks);
 }
 
 CampaignResult merge_shard_reports(const InjectionPlan& plan,
@@ -709,31 +810,51 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
                     " shard report(s) but " + std::to_string(labels.size()) +
                     " label(s)");
   const std::size_t n = plan.items.size();
-  const std::size_t shard_count = shards.front().shard_count;
-  // shard_count is untrusted input and must not size an allocation until
-  // it is bounded by something we were actually handed. A complete merge
-  // has exactly one report per shard, so any mismatch is an error anyway
-  // — and with counts equal, a missing shard implies a duplicate one.
-  if (shard_count != shards.size())
-    throw WireError("merge: got " + std::to_string(shards.size()) +
-                    " shard report(s) but shard_count is " +
-                    std::to_string(shard_count) +
-                    "; every shard must be present exactly once");
 
   // Attribute every diagnostic to its source file when the caller named
   // one — "shard 3/7" alone does not say which of seven paths to fix.
   auto who_of = [&](std::size_t si) {
     const ShardReport& s = shards[si];
-    std::string who = "shard " + std::to_string(s.shard_index + 1) + "/" +
-                      std::to_string(s.shard_count);
+    std::string who =
+        s.leased ? "lease report " + std::to_string(si + 1)
+                 : "shard " + std::to_string(s.shard_index + 1) + "/" +
+                       std::to_string(s.shard_count);
     if (si < labels.size() && !labels[si].empty())
       who += " (" + labels[si] + ")";
     return who;
   };
 
+  // A merge is either a modulo shard set or a lease partition; a mixed
+  // set has no single ownership rule to validate against.
+  const bool lease_mode = shards.front().leased;
+  for (std::size_t si = 0; si < shards.size(); ++si)
+    if (shards[si].leased != lease_mode)
+      throw WireError(who_of(si) +
+                      ": cannot mix lease-based (assigned_ids) and modulo "
+                      "shard reports in one merge");
+
+  const std::size_t shard_count = shards.front().shard_count;
+  if (!lease_mode) {
+    // shard_count is untrusted input and must not size an allocation
+    // until it is bounded by something we were actually handed. A
+    // complete merge has exactly one report per shard, so any mismatch is
+    // an error anyway — and with counts equal, a missing shard implies a
+    // duplicate one.
+    if (shard_count != shards.size())
+      throw WireError("merge: got " + std::to_string(shards.size()) +
+                      " shard report(s) but shard_count is " +
+                      std::to_string(shard_count) +
+                      "; every shard must be present exactly once");
+  }
+
   CampaignResult result = result_skeleton(plan);
-  std::vector<bool> shard_seen(shard_count, false);
-  std::vector<std::size_t> seen_by(shard_count, 0);  // report index per shard
+  std::vector<bool> shard_seen(lease_mode ? 0 : shard_count, false);
+  std::vector<std::size_t> seen_by(lease_mode ? 0 : shard_count, 0);
+  // The id -> owning-report map, built once up front: both the
+  // disjointness check and the missing-outcome attribution below resolve
+  // owners through it instead of rescanning the shard list per item.
+  constexpr std::size_t kUnowned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> owner_of(lease_mode ? n : 0, kUnowned);
   std::vector<bool> id_seen(n, false);
 
   for (std::size_t si = 0; si < shards.size(); ++si) {
@@ -747,17 +868,40 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
       throw WireError(who + ": written against a plan with " +
                       std::to_string(s.plan_items) +
                       " work items; this plan has " + std::to_string(n));
-    if (s.shard_count != shard_count)
-      throw WireError(who + ": shard_count " + std::to_string(s.shard_count) +
-                      " disagrees with the first report's " +
-                      std::to_string(shard_count));
-    if (s.shard_index >= shard_count)
-      throw WireError(who + ": shard_index out of range");
-    if (shard_seen[s.shard_index])
-      throw WireError("duplicate report for " + who + " (also " +
-                      who_of(seen_by[s.shard_index]) + ")");
-    shard_seen[s.shard_index] = true;
-    seen_by[s.shard_index] = si;
+    if (lease_mode) {
+      // Any disjoint id-partition covering the plan merges: record this
+      // report's lease in the owner map, rejecting overlap as it appears.
+      for (std::size_t id : s.assigned_ids) {
+        if (id >= n)
+          throw WireError(who + ": assigned id " + std::to_string(id) +
+                          " out of range (plan has " + std::to_string(n) +
+                          " items)");
+        if (owner_of[id] != kUnowned)
+          throw WireError("work item " + std::to_string(id) +
+                          " is leased to both " + who_of(owner_of[id]) +
+                          " and " + who);
+        owner_of[id] = si;
+      }
+      if (s.item_ids.size() != s.assigned_ids.size())
+        throw WireError(who + ": is a partial lease report (" +
+                        std::to_string(s.item_ids.size()) + " of " +
+                        std::to_string(s.assigned_ids.size()) +
+                        " leased ids completed; finish it with run-shard "
+                        "--resume)");
+    } else {
+      if (s.shard_count != shard_count)
+        throw WireError(who + ": shard_count " +
+                        std::to_string(s.shard_count) +
+                        " disagrees with the first report's " +
+                        std::to_string(shard_count));
+      if (s.shard_index >= shard_count)
+        throw WireError(who + ": shard_index out of range");
+      if (shard_seen[s.shard_index])
+        throw WireError("duplicate report for " + who + " (also " +
+                        who_of(seen_by[s.shard_index]) + ")");
+      shard_seen[s.shard_index] = true;
+      seen_by[s.shard_index] = si;
+    }
     if (s.item_ids.size() != s.outcomes.size())
       throw WireError(who + ": item id / outcome count mismatch");
 
@@ -798,16 +942,22 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
     }
   }
 
-  // All shard_count indices are in range and duplicate-free, and exactly
-  // shard_count reports arrived — so every shard is present; only
-  // per-item completeness (an unresumed partial file) can still fail.
+  // Every report's ids are in range and duplicate-free; only coverage can
+  // still fail — a modulo shard that is an unresumed partial file, or a
+  // lease set that does not add back up to the plan. Owners resolve
+  // through the precomputed maps (seen_by / owner_of), never a rescan of
+  // the shard list.
   for (std::size_t id = 0; id < n; ++id)
     if (!id_seen[id]) {
-      std::size_t owner = 0;
-      for (std::size_t si = 0; si < shards.size(); ++si)
-        if (shards[si].shard_index == id % shard_count) owner = si;
+      if (lease_mode) {
+        // A leased id without an outcome was already rejected as a
+        // partial report above, so the gap is in the lease set itself.
+        throw WireError("work item " + std::to_string(id) +
+                        " is not covered by any lease (the lease set does "
+                        "not add back up to the plan)");
+      }
       throw WireError("work item " + std::to_string(id) +
-                      " has no outcome — " + who_of(owner) +
+                      " has no outcome — " + who_of(seen_by[id % shard_count]) +
                       " is a partial report (complete it with run-shard "
                       "--resume)");
     }

@@ -68,7 +68,11 @@ std::vector<std::size_t> shard_item_ids(std::size_t total_items,
                                         std::size_t shard_count);
 
 /// One shard's campaign output: the injection outcomes of the work items
-/// the shard owns, keyed by their stable plan ids. A report may be
+/// the shard owns, keyed by their stable plan ids. Ownership comes in two
+/// flavors: the static modulo partition (`id % shard_count ==
+/// shard_index`, PR 3's `run-shard --shard K/N`) and an explicit
+/// *lease* (`leased == true`): the orchestrator hands a worker an
+/// arbitrary id set, recorded verbatim in `assigned_ids`. A report may be
 /// *partial* (`complete == false`): a preempted `run-shard` flushes the
 /// outcomes it finished, and resume_shard() later drains only the missing
 /// ids — the completed report is byte-identical to an uninterrupted run.
@@ -80,6 +84,14 @@ struct ShardReport {
   /// Total items in the *whole* plan (not this shard) — merge uses it to
   /// reject shard files produced against a different plan.
   std::size_t plan_items = 0;
+  /// Lease-based ownership: when true, this report owns exactly
+  /// `assigned_ids` (ascending, unique, each < plan_items) and the
+  /// modulo partition does not apply — shard_index/shard_count are fixed
+  /// at 0/1 so a lease report cannot masquerade as a modulo shard. The
+  /// field is an *optional* addition to schema_version 2: files without
+  /// it keep the modulo meaning byte for byte.
+  bool leased = false;
+  std::vector<std::size_t> assigned_ids;
   /// True iff item_ids covers every id the shard owns. Derived, never
   /// free-floating: the serializer computes it and the parser rejects a
   /// file whose flag contradicts its completed_ids.
@@ -124,6 +136,16 @@ ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
                       const ExecutorOptions& opts = {},
                       const ShardDrainHooks& hooks = {});
 
+/// Drain one dynamic lease — the id range [begin, end) — and package the
+/// outcomes as a *leased* ShardReport (`assigned_ids` = the range). This
+/// is the persistent-worker drain (core/orchestrator.hpp): one process
+/// parses the plan and re-freezes the prototype once, then serves any
+/// number of leases through this. Throws WireError when the range does
+/// not fit the plan.
+ShardReport run_lease(const Executor& executor, const InjectionPlan& plan,
+                      std::size_t begin, std::size_t end,
+                      const ExecutorOptions& opts = {});
+
 /// Complete a partial report: re-drain only the ids the shard owns but
 /// `partial` lacks, and return the combined report — byte-identical to an
 /// uninterrupted run_shard (outcomes are deterministic per item). Throws
@@ -138,12 +160,15 @@ ShardReport resume_shard(const Executor& executor, const InjectionPlan& plan,
 /// Recombine shard reports into the CampaignResult a single process would
 /// have produced from this plan: outcome with id i lands in slot i, so
 /// the result is bit-identical to a local `--jobs N` drain for any shard
-/// count and any shard file order. Throws WireError unless the shard set
-/// is complete and consistent: all shard_count shards present exactly
-/// once, every report matching this plan's scenario and item count, and
-/// the union of outcome ids covering every work item exactly once — any
-/// mix of v1, v2, and resumed reports merges, but genuinely missing
-/// outcomes (an unresumed partial file) are still rejected.
+/// count and any shard file order. Two partition styles merge: a modulo
+/// shard set (all shard_count shards present exactly once) or a lease
+/// set (every report leased, `assigned_ids` disjoint and together
+/// covering the plan — any disjoint id-partition works; the two styles
+/// never mix in one merge). Throws WireError unless the set is complete
+/// and consistent: every report matching this plan's scenario and item
+/// count, and the union of outcome ids covering every work item exactly
+/// once — any mix of v1, v2, and resumed reports merges, but genuinely
+/// missing outcomes (an unresumed partial file) are still rejected.
 /// `labels`, when given, is parallel to `shards` and names each report's
 /// source (its file path on the CLI) in every diagnostic, so a failing
 /// 7-shard merge is attributable to the offending file.

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Regression for the orphaned-worker bug: shard_local.sh used to exit 1 on
+# the first failed worker without killing or reaping the remaining
+# background run-shard pids, which kept writing into the output directory
+# after the script had already reported failure. The EXIT trap must kill
+# and reap them.
+#
+# Driven with a fake epa_cli: `plan` succeeds instantly, shard 1 fails at
+# once, every other shard records its pid, sleeps far longer than the
+# test, and drops a sentinel file if it is ever allowed to finish.
+#
+# Usage: shard_local_cleanup_test.sh /path/to/shard_local.sh
+set -eu
+
+shard_local=$1
+[ -x "$shard_local" ] || [ -r "$shard_local" ] || {
+  echo "no shard_local.sh at '$shard_local'" >&2
+  exit 2
+}
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/epa-cleanup-test.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT
+
+fake="$tmp/fake_epa_cli"
+cat > "$fake" <<'EOF'
+#!/bin/sh
+case "$1" in
+  plan)
+    # plan SCENARIO --out FILE
+    : > "$4"
+    exit 0 ;;
+  run-shard)
+    shard=
+    out=
+    prev=
+    for a in "$@"; do
+      case "$prev" in
+        --shard) shard=$a ;;
+        --out) out=$a ;;
+      esac
+      prev=$a
+    done
+    case "$shard" in
+      1/*) exit 1 ;;  # the failing worker
+    esac
+    echo $$ > "$out.pid"
+    sleep 120
+    echo late > "$out.late"  # only reachable if nobody killed us
+    exit 0 ;;
+esac
+exit 0
+EOF
+chmod +x "$fake"
+
+rc=0
+bash "$shard_local" -n 3 -b "$fake" -o "$tmp/out" toy >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 from the failed worker, got $rc"; exit 1; }
+
+# The trap must have killed and reaped the surviving workers: their
+# recorded pids are gone and the sentinel never appears.
+for f in "$tmp/out"/*.pid; do
+  [ -e "$f" ] || continue
+  pid=$(cat "$f")
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "orphaned worker $pid still running after shard_local failed"
+    exit 1
+  fi
+done
+if ls "$tmp/out"/*.late >/dev/null 2>&1; then
+  echo "an orphaned worker ran to completion after shard_local failed"
+  exit 1
+fi
+echo CLEANUP_OK

@@ -300,6 +300,244 @@ TEST(Wire, MergeSurvivesTheWireRoundTrip) {
   expect_identical(ex.execute(plan, opts), merged);
 }
 
+// --- lease-based (assigned_ids) reports ---------------------------------------
+
+TEST(WireLease, LeaseReportRoundTripsThroughJson) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  ASSERT_GE(plan.items.size(), 5u);
+  ShardReport report = run_lease(Executor(s), plan, 1, 4);
+  EXPECT_TRUE(report.leased);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.assigned_ids, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(report.item_ids, report.assigned_ids);
+  EXPECT_EQ(report.shard_index, 0u);
+  EXPECT_EQ(report.shard_count, 1u);
+
+  std::string json = report.to_json();
+  EXPECT_TRUE(contains(json, "\"assigned_ids\": [1, 2, 3]"));
+  ShardReport parsed = shard_report_from_json(json);
+  EXPECT_TRUE(parsed.leased);
+  EXPECT_TRUE(parsed.complete);
+  EXPECT_EQ(parsed.assigned_ids, report.assigned_ids);
+  EXPECT_EQ(parsed.item_ids, report.item_ids);
+  EXPECT_EQ(parsed.to_json(), json);  // canonical round trip
+}
+
+TEST(WireLease, ModuloReportsStayByteIdenticalWithoutALease) {
+  // The lease is an *optional* v2 addition: a modulo shard report must
+  // not grow an assigned_ids field, or every pre-lease file and doc
+  // example would stop round-tripping.
+  Scenario s = toy_scenario();
+  std::string json = run_shard(Executor(s), toy_plan(), 0, 2).to_json();
+  EXPECT_FALSE(contains(json, "assigned_ids"));
+  EXPECT_FALSE(shard_report_from_json(json).leased);
+}
+
+TEST(WireLease, MergeAcceptsAnyDisjointLeasePartition) {
+  // Dynamic leases are arbitrary contiguous ranges — nothing modulo
+  // about them. Any disjoint partition covering the plan must merge
+  // byte-identically to the single process, in any arrival order.
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  Executor ex(s);
+  CampaignResult single = ex.execute(plan);
+  const std::size_t n = plan.items.size();
+  ASSERT_GE(n, 8u);
+
+  std::vector<ShardReport> leases;
+  leases.push_back(shard_report_from_json(
+      run_lease(ex, plan, 5, 7).to_json()));  // arrival order != id order
+  leases.push_back(shard_report_from_json(
+      run_lease(ex, plan, 0, 5).to_json()));
+  leases.push_back(shard_report_from_json(
+      run_lease(ex, plan, 7, n).to_json()));
+  CampaignResult merged = merge_shard_reports(plan, leases);
+  expect_identical(single, merged);
+  EXPECT_EQ(render_json(single), render_json(merged));
+}
+
+TEST(WireLease, ResumeCompletesAPartialLeaseReport) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  Executor ex(s);
+  ShardReport full = run_lease(ex, plan, 0, 4);
+  ShardReport partial = full;
+  partial.item_ids.resize(2);
+  partial.outcomes.resize(2);
+  partial.complete = false;
+  std::string json = partial.to_json();
+  EXPECT_TRUE(contains(json, "\"complete\": false"));
+  ShardReport resumed =
+      resume_shard(ex, plan, shard_report_from_json(json));
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.to_json(), full.to_json());
+}
+
+TEST(WireLeaseErrors, RunLeaseRejectsARangeBeyondThePlan) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  Executor ex(s);
+  std::string msg = wire_error_of(
+      [&] { (void)run_lease(ex, plan, 0, plan.items.size() + 1); });
+  EXPECT_TRUE(contains(msg, "does not fit the plan"));
+  msg = wire_error_of([&] { (void)run_lease(ex, plan, 3, 2); });
+  EXPECT_TRUE(contains(msg, "does not fit the plan"));
+}
+
+TEST(WireLeaseErrors, RejectsCompletedIdOutsideTheLease) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  ASSERT_GE(plan.items.size(), 5u);
+  std::string json =
+      replace_all(run_lease(Executor(s), plan, 1, 3).to_json(),
+                  "\"completed_ids\": [1, 2]", "\"completed_ids\": [1, 4]");
+  EXPECT_TRUE(
+      contains(wire_error_of([&] { (void)shard_report_from_json(json); }),
+               "not in this report's assigned_ids lease"));
+}
+
+TEST(WireLeaseErrors, RejectsAssignedIdsOutOfOrderOrDuplicate) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  std::string json = run_lease(Executor(s), plan, 1, 3).to_json();
+  EXPECT_TRUE(contains(
+      wire_error_of([&] {
+        (void)shard_report_from_json(replace_all(
+            json, "\"assigned_ids\": [1, 2]", "\"assigned_ids\": [2, 1]"));
+      }),
+      "assigned_ids out of order"));
+  EXPECT_TRUE(contains(
+      wire_error_of([&] {
+        (void)shard_report_from_json(replace_all(
+            json, "\"assigned_ids\": [1, 2]", "\"assigned_ids\": [1, 1]"));
+      }),
+      "duplicate assigned id 1"));
+  EXPECT_TRUE(contains(
+      wire_error_of([&] {
+        (void)shard_report_from_json(replace_all(
+            json, "\"assigned_ids\": [1, 2]",
+            "\"assigned_ids\": [1, 99999]"));
+      }),
+      "out of range"));
+}
+
+TEST(WireLeaseErrors, RejectsALeaseMasqueradingAsAModuloShard) {
+  // shard_index/shard_count are fixed at 0/1 for leased reports so the
+  // two ownership styles can never contradict inside one file.
+  Scenario s = toy_scenario();
+  std::string json = run_lease(Executor(s), toy_plan(), 1, 3).to_json();
+  EXPECT_TRUE(contains(
+      wire_error_of([&] {
+        (void)shard_report_from_json(replace_all(
+            json, "\"shard_count\": 1", "\"shard_count\": 3"));
+      }),
+      "must carry shard_index 0 and shard_count 1"));
+}
+
+TEST(WireLeaseErrors, ResumeRejectsALeaseWithModuloShardFields) {
+  // The parser enforces leased => shard 0/1 for wire files; resume must
+  // hold in-memory callers to the same invariant, or the resumed report
+  // would serialize into a file its own reader rejects.
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  Executor ex(s);
+  ShardReport bad = run_lease(ex, plan, 0, 2);
+  bad.shard_index = 2;
+  bad.shard_count = 5;
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)resume_shard(ex, plan, bad); }),
+      "must carry shard_index 0 and shard_count 1"));
+}
+
+TEST(WireLeaseErrors, MergeRejectsOverlappingLeases) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  Executor ex(s);
+  std::vector<ShardReport> leases;
+  leases.push_back(run_lease(ex, plan, 0, 5));
+  leases.push_back(run_lease(ex, plan, 4, plan.items.size()));
+  std::string msg = wire_error_of(
+      [&] { (void)merge_shard_reports(plan, leases, {"a.json", "b.json"}); });
+  EXPECT_TRUE(contains(msg, "work item 4 is leased to both"));
+  EXPECT_TRUE(contains(msg, "(a.json)"));
+  EXPECT_TRUE(contains(msg, "(b.json)"));
+}
+
+TEST(WireLeaseErrors, MergeRejectsANonCoveringLeaseSet) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  Executor ex(s);
+  std::vector<ShardReport> leases;
+  leases.push_back(run_lease(ex, plan, 0, 5));
+  leases.push_back(run_lease(ex, plan, 6, plan.items.size()));  // gap: id 5
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan, leases); }),
+      "work item 5 is not covered by any lease"));
+}
+
+TEST(WireLeaseErrors, MergeRejectsMixedLeaseAndModuloReports) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  Executor ex(s);
+  std::vector<ShardReport> mixed;
+  mixed.push_back(run_shard(ex, plan, 0, 2));
+  mixed.push_back(run_lease(ex, plan, 1, 2));
+  EXPECT_TRUE(contains(
+      wire_error_of([&] { (void)merge_shard_reports(plan, mixed); }),
+      "cannot mix lease-based (assigned_ids) and modulo shard reports"));
+}
+
+TEST(WireLeaseErrors, MergeRejectsAPartialLeaseReport) {
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan();
+  Executor ex(s);
+  std::vector<ShardReport> leases;
+  leases.push_back(run_lease(ex, plan, 0, 5));
+  leases.push_back(run_lease(ex, plan, 5, plan.items.size()));
+  leases[1].item_ids.pop_back();
+  leases[1].outcomes.pop_back();
+  std::string msg = wire_error_of([&] {
+    (void)merge_shard_reports(plan, leases, {"a.json", "b.json"});
+  });
+  EXPECT_TRUE(contains(msg, "partial lease report"));
+  EXPECT_TRUE(contains(msg, "(b.json)"));
+  EXPECT_TRUE(contains(msg, "--resume"));
+}
+
+TEST(Wire, MergeScalesToLargeShardCountsWithEmptyTrailingShards) {
+  // Locks the owner-resolution rework: merge with a shard count well
+  // beyond the item count (trailing shards own nothing and arrive as
+  // empty-but-complete reports) must validate per-shard through the
+  // precomputed index, not a per-item rescan of the shard list — and a
+  // partial report in the pile is still attributed to its file.
+  Scenario s = toy_scenario();
+  InjectionPlan plan = toy_plan(/*with_snapshot=*/true);
+  Executor ex(s);
+  CampaignResult single = ex.execute(plan);
+  const std::size_t count = plan.items.size() * 2;
+
+  std::vector<ShardReport> shards;
+  std::vector<std::string> labels;
+  for (std::size_t k = 0; k < count; ++k) {
+    shards.push_back(run_shard(ex, plan, k, count));
+    labels.push_back("s" + std::to_string(k) + ".json");
+  }
+  expect_identical(single, merge_shard_reports(plan, shards, labels));
+
+  // Hollow out the shard owning the last item; the diagnostic must name
+  // that shard's file without scanning shards per missing item.
+  const std::size_t victim_id = plan.items.size() - 1;
+  const std::size_t owner = victim_id % count;
+  shards[owner].item_ids.clear();
+  shards[owner].outcomes.clear();
+  std::string msg = wire_error_of(
+      [&] { (void)merge_shard_reports(plan, shards, labels); });
+  EXPECT_TRUE(contains(msg, "work item " + std::to_string(victim_id) +
+                                " has no outcome"));
+  EXPECT_TRUE(contains(msg, "(s" + std::to_string(owner) + ".json)"));
+}
+
 // --- plan_from_json error paths ---------------------------------------------
 
 TEST(WireErrors, PlanRejectsMalformedJson) {

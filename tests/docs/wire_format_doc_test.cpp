@@ -62,6 +62,19 @@ TEST(WireFormatDoc, ShardReportExampleRoundTripsVerbatim) {
          "the examples' section)";
 }
 
+TEST(WireFormatDoc, LeaseReportExampleRoundTripsVerbatim) {
+  std::string example = example_block(read_doc(), "shard-report-lease");
+  ASSERT_FALSE(example.empty());
+  ShardReport report = shard_report_from_json(example);
+  EXPECT_TRUE(report.leased);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.assigned_ids, report.item_ids);
+  EXPECT_EQ(report.to_json(), example)
+      << "docs/WIRE_FORMAT.md lease-report example is no longer canonical "
+         "serializer output — regenerate it (see the doc's 'Regenerating "
+         "the examples' section)";
+}
+
 TEST(WireFormatDoc, LegacyShardReportExampleReadsAsTheV2Example) {
   // The documented version-1 file must stay parseable, and its canonical
   // re-serialization must be exactly the documented version-2 example —
