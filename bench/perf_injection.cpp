@@ -9,22 +9,29 @@
 // trajectory (and the serial-vs-parallel speedup) is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "apps/lpr.hpp"
 #include "apps/scenarios.hpp"
 #include "apps/turnin.hpp"
+#include "core/arena.hpp"
 #include "core/executor.hpp"
 #include "core/injector.hpp"
 #include "core/planner.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "core/snapshot.hpp"
+#include "core/transport.hpp"
 #include "core/wire.hpp"
 #include "os/world.hpp"
 
@@ -288,70 +295,187 @@ double sharded_sweep_seconds(int shard_count, int* out_runs,
   return best;
 }
 
-/// The orchestrated dimension: the suite drained as `workers` simulated
-/// *persistent* worker processes serving fine-grained dynamic leases
-/// (core/orchestrator.hpp). Each worker pays the per-process tax exactly
-/// once — plan parsed from JSON, prototype re-frozen — then drains many
-/// leases, every lease report passing through the wire format. The
-/// coordinator merges against the plan it already holds in memory (it
-/// planned it), so unlike the static-shard path there is no merge-side
-/// plan re-parse. Serial like sharded_sweep_seconds, so the delta against
-/// the cached serial sweep is the full orchestration tax — and the delta
-/// against the sharded number is what persistence amortizes at equal
-/// process count and finer work granularity.
-double orchestrated_sweep_seconds(int workers, int leases_per_worker,
-                                  int* out_runs,
-                                  std::size_t* out_wire_bytes,
-                                  int* out_leases) {
+struct OrchestratedStats {
+  int runs = 0;
+  std::size_t wire_bytes = 0;
+  int leases = 0;
+};
+
+/// One scenario's campaign through the orchestrated shape: `workers`
+/// simulated *persistent* worker processes serving fine-grained dynamic
+/// leases (core/orchestrator.hpp). Each worker pays the per-process tax
+/// exactly once — plan decoded, prototype re-frozen — then drains many
+/// leases, every lease report crossing the wire; the coordinator merges
+/// against the plan it already holds in memory (it planned it), so
+/// there is no merge-side plan re-parse. With an empty `arena_path` the
+/// data plane is JSON — plan and lease reports as the strings the pipe
+/// transport ships. Otherwise it is the shm arena (core/arena.hpp): the
+/// plan one binary frame workers decode from their own mapping of the
+/// arena file, every lease report a binary frame written into the
+/// lease's own segment and decoded from the coordinator's mapping —
+/// zero copies, no per-lease files.
+double orchestrated_scenario_seconds(const core::Scenario& scenario,
+                                     int workers, int leases_per_worker,
+                                     const std::string& arena_path,
+                                     OrchestratedStats* acc) {
+  const bool shm = !arena_path.empty();
+  auto t0 = std::chrono::steady_clock::now();
+  core::CampaignOptions popts;
+  popts.use_world_cache = false;  // the wire plan carries no snapshot
+  core::InjectionPlan plan = core::Planner(scenario).plan(popts);
+  core::Executor executor(scenario);
+  const std::size_t n = plan.items.size();
+  const std::size_t lease_items = std::max<std::size_t>(
+      1, n / static_cast<std::size_t>(workers * leases_per_worker));
+  const std::size_t lease_count = (n + lease_items - 1) / lease_items;
+
+  std::string plan_json;
+  std::optional<core::ShmArena> coord, worker_side;
+  if (shm) {
+    coord.emplace(core::ShmArena::create(
+        arena_path, core::plan_to_binary(plan), lease_count,
+        core::arena_segment_bytes(lease_items)));
+    // The worker side maps the file itself, like a real worker process.
+    worker_side.emplace(core::ShmArena::open(arena_path));
+  } else {
+    plan_json = plan.to_json();
+  }
+  // One plan decode + one re-freeze per persistent worker, not per
+  // lease.
+  std::vector<core::InjectionPlan> worker_plans;
+  for (int w = 0; w < workers; ++w) {
+    worker_plans.push_back(
+        shm ? core::plan_from_binary(worker_side->plan_data(),
+                                     worker_side->plan_size())
+            : core::plan_from_json(plan_json));
+    core::refreeze_snapshot(worker_plans.back(), scenario);
+  }
+  std::vector<core::ShardReport> leases;
+  std::size_t lease_seq = 0;
+  for (std::size_t begin = 0; begin < n;
+       begin += lease_items, ++lease_seq) {
+    int w = static_cast<int>(lease_seq) % workers;
+    core::ShardReport report =
+        core::run_lease(executor, worker_plans[w], begin,
+                        std::min(begin + lease_items, n));
+    if (shm) {
+      std::string frame = core::shard_report_to_binary(report);
+      std::memcpy(worker_side->segment(lease_seq), frame.data(),
+                  frame.size());
+      acc->wire_bytes += frame.size();
+      // Coordinator side: decode from its own mapping — zero copies.
+      leases.push_back(core::shard_report_from_binary(
+          coord->segment(lease_seq), frame.size()));
+    } else {
+      std::string json = report.to_json();
+      acc->wire_bytes += json.size();
+      leases.push_back(core::shard_report_from_json(json));
+    }
+  }
+  acc->leases += static_cast<int>(lease_seq);
+  auto merged = core::merge_shard_reports(plan, leases);
+  acc->runs += merged.n();
+  benchmark::DoNotOptimize(merged);
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Both orchestrated data planes plus their in-process baseline (one
+/// plain cached campaign per scenario), interleaved at *scenario*
+/// granularity — baseline, json, shm for one scenario, then the next —
+/// with best-of-reps kept per (scenario, leg) and each leg summed at
+/// the end. The overhead ratios are the tracked numbers; millisecond
+/// legs interleaved this tightly see the same machine conditions, so a
+/// cgroup throttle window or a noisy neighbour hits all three legs
+/// alike instead of landing on whichever ran last (best-of then drops
+/// the stall entirely).
+void measure_orchestrated(int workers, int leases_per_worker,
+                          double* baseline_s, double* json_s,
+                          OrchestratedStats* json_stats, double* shm_s,
+                          OrchestratedStats* shm_stats) {
+  // The arena lives on tmpfs when the host has one — a disk-backed
+  // arena measures writeback, not the data plane (real deployments put
+  // the orchestrator's --dir on tmpfs for the same reason).
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = ::access("/dev/shm", W_OK) == 0
+                        ? "/dev/shm"
+                        : std::string(tmp && *tmp ? tmp : "/tmp");
+  std::string arena_path =
+      dir + "/epa_bench_" + std::to_string(::getpid()) + ".arena";
+  auto scenarios = apps::all_scenarios();
+  const std::size_t k = scenarios.size();
+  std::vector<double> base_best(k, 1e300);
+  std::vector<double> json_best(k, 1e300);
+  std::vector<double> shm_best(k, 1e300);
+  core::CampaignOptions base_opts;
+  base_opts.use_world_cache = true;
+  for (int rep = 0; rep < 3; ++rep) {
+    // Stats are deterministic per pass; re-count each rep rather than
+    // triple-accumulate.
+    *json_stats = OrchestratedStats{};
+    *shm_stats = OrchestratedStats{};
+    for (std::size_t i = 0; i < k; ++i) {
+      core::Campaign campaign(scenarios[i]);  // copy outside the clock
+      auto t0 = std::chrono::steady_clock::now();
+      auto r = campaign.execute(base_opts);
+      auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(r);
+      base_best[i] = std::min(
+          base_best[i], std::chrono::duration<double>(t1 - t0).count());
+      json_best[i] = std::min(
+          json_best[i],
+          orchestrated_scenario_seconds(scenarios[i], workers,
+                                        leases_per_worker, "", json_stats));
+      shm_best[i] = std::min(
+          shm_best[i],
+          orchestrated_scenario_seconds(scenarios[i], workers,
+                                        leases_per_worker, arena_path,
+                                        shm_stats));
+    }
+  }
+  *baseline_s = 0;
+  *json_s = 0;
+  *shm_s = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    *baseline_s += base_best[i];
+    *json_s += json_best[i];
+    *shm_s += shm_best[i];
+  }
+  std::remove(arena_path.c_str());
+}
+
+/// Pure codec throughput, no execution: every scenario's full report
+/// encoded to the binary frame and decoded back. The rate is outcomes
+/// per second through one encode+decode round trip.
+double codec_encode_decode_rps() {
+  std::vector<core::ShardReport> reports;
+  std::size_t outcomes = 0;
+  for (auto& scenario : apps::all_scenarios()) {
+    core::CampaignOptions popts;
+    popts.use_world_cache = false;
+    core::InjectionPlan plan = core::Planner(scenario).plan(popts);
+    core::refreeze_snapshot(plan, scenario);
+    core::Executor executor(scenario);
+    reports.push_back(
+        core::run_lease(executor, plan, 0, plan.items.size()));
+    outcomes += plan.items.size();
+  }
+  constexpr int kIters = 50;
   double best = 1e300;
   for (int rep = 0; rep < 3; ++rep) {
-    auto scenarios = apps::all_scenarios();
-    int runs = 0;
-    int leases_total = 0;
-    std::size_t wire_bytes = 0;
     auto t0 = std::chrono::steady_clock::now();
-    for (auto& scenario : scenarios) {
-      core::CampaignOptions popts;
-      popts.use_world_cache = false;  // the plan file carries no snapshot
-      core::InjectionPlan plan = core::Planner(scenario).plan(popts);
-      std::string plan_json = plan.to_json();
-      core::Executor executor(scenario);
-      // One parse + one re-freeze per persistent worker, not per lease.
-      std::vector<core::InjectionPlan> worker_plans;
-      for (int w = 0; w < workers; ++w) {
-        worker_plans.push_back(core::plan_from_json(plan_json));
-        core::refreeze_snapshot(worker_plans.back(), scenario);
+    for (int i = 0; i < kIters; ++i) {
+      for (const core::ShardReport& r : reports) {
+        std::string frame = core::shard_report_to_binary(r);
+        core::ShardReport back = core::shard_report_from_binary(frame);
+        benchmark::DoNotOptimize(back);
       }
-      const std::size_t n = plan.items.size();
-      const std::size_t lease_items = std::max<std::size_t>(
-          1, n / static_cast<std::size_t>(workers * leases_per_worker));
-      std::vector<std::string> lease_jsons;
-      std::size_t lease_seq = 0;
-      for (std::size_t begin = 0; begin < n;
-           begin += lease_items, ++lease_seq) {
-        int w = static_cast<int>(lease_seq) % workers;
-        lease_jsons.push_back(
-            core::run_lease(executor, worker_plans[w], begin,
-                            std::min(begin + lease_items, n))
-                .to_json());
-        wire_bytes += lease_jsons.back().size();
-      }
-      leases_total += static_cast<int>(lease_seq);
-      std::vector<core::ShardReport> leases;
-      for (const auto& json : lease_jsons)
-        leases.push_back(core::shard_report_from_json(json));
-      auto merged = core::merge_shard_reports(plan, leases);
-      runs += merged.n();
-      benchmark::DoNotOptimize(merged);
     }
     auto t1 = std::chrono::steady_clock::now();
-    *out_runs = runs;
-    *out_wire_bytes = wire_bytes;
-    *out_leases = leases_total;
     best = std::min(best,
                     std::chrono::duration<double>(t1 - t0).count());
   }
-  return best;
+  return static_cast<double>(outcomes) * kIters / best;
 }
 
 void write_sweep_json(const char* path) {
@@ -394,16 +518,23 @@ void write_sweep_json(const char* path) {
   // The orchestrated dimension: same process count as the sharded
   // number, but persistent workers amortize the plan parse + re-freeze
   // across ~4 leases each, and the coordinator never re-parses the plan.
+  // Measured over both data planes, interleaved: JSON strings (the pipe
+  // transport's payload) and the zero-copy shm arena — binary frames in
+  // a mmap'd file instead of JSON report files. binary_wire_bytes /
+  // orchestrated_wire_bytes is the codec's size win; the overhead delta
+  // is the whole data plane's win.
   constexpr int kOrchLeasesPerWorker = 4;
-  int orch_runs = 0;
-  int orch_leases = 0;
-  std::size_t orch_wire_bytes = 0;
-  double orch_s = orchestrated_sweep_seconds(
-      kShards, kOrchLeasesPerWorker, &orch_runs, &orch_wire_bytes,
-      &orch_leases);
-  double orch_rps = orch_runs / orch_s;
+  OrchestratedStats orch, shm;
+  double orch_base_s = 0, orch_s = 0, shm_s = 0;
+  measure_orchestrated(kShards, kOrchLeasesPerWorker, &orch_base_s,
+                       &orch_s, &orch, &shm_s, &shm);
+  double orch_rps = orch.runs / orch_s;
   double orch_overhead_pct =
-      (cached_serial_s > 0 ? orch_s / cached_serial_s - 1.0 : 0.0) * 100.0;
+      (orch_base_s > 0 ? orch_s / orch_base_s - 1.0 : 0.0) * 100.0;
+  double shm_rps = shm.runs / shm_s;
+  double shm_overhead_pct =
+      (orch_base_s > 0 ? shm_s / orch_base_s - 1.0 : 0.0) * 100.0;
+  double codec_rps = codec_encode_decode_rps();
 
   // On a machine with fewer cores than kJobs the parallel sweep is pure
   // thread overhead; flag the artifact so a sub-kJobs speedup reads as a
@@ -444,7 +575,11 @@ void write_sweep_json(const char* path) {
                "  \"orchestrated_leases\": %d,\n"
                "  \"orchestrated_serial_runs_per_sec\": %.1f,\n"
                "  \"orchestrated_overhead_pct\": %.1f,\n"
-               "  \"orchestrated_wire_bytes\": %zu\n"
+               "  \"orchestrated_wire_bytes\": %zu,\n"
+               "  \"shm_orchestrated_serial_runs_per_sec\": %.1f,\n"
+               "  \"shm_orchestrated_overhead_pct\": %.1f,\n"
+               "  \"binary_wire_bytes\": %zu,\n"
+               "  \"codec_encode_decode_runs_per_sec\": %.1f\n"
                "}\n",
                suite.size(), runs, hw, core_starved ? "true" : "false",
                kJobs, serial_s, parallel_s, serial_rps, parallel_rps,
@@ -453,8 +588,9 @@ void write_sweep_json(const char* path) {
                cached_parallel_rps / parallel_rps, heavy.name.c_str(),
                heavy_uncached_rps, heavy_cached_rps,
                heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
-               shard_overhead_pct, shard_wire_bytes, kShards, orch_leases,
-               orch_rps, orch_overhead_pct, orch_wire_bytes);
+               shard_overhead_pct, shard_wire_bytes, kShards, orch.leases,
+               orch_rps, orch_overhead_pct, orch.wire_bytes, shm_rps,
+               shm_overhead_pct, shm.wire_bytes, codec_rps);
   std::fclose(f);
   std::printf(
       "\nsweep: %d injection runs across %zu scenarios\n"
@@ -467,7 +603,10 @@ void write_sweep_json(const char* path) {
       "%+.1f%% vs cached serial; %zu report bytes)\n"
       "  orchestrated %dx%-2d : %8.1f runs/sec  (overhead %+.1f%% vs "
       "cached serial; %d leases, %zu report bytes; persistent workers "
-      "parse+refreeze once)\n",
+      "parse+refreeze once)\n"
+      "  shm orchestrated  : %8.1f runs/sec  (overhead %+.1f%% vs cached "
+      "serial; %d leases, %zu binary report bytes in the arena)\n"
+      "  binary codec      : %8.1f outcomes/sec through encode+decode\n",
       runs, suite.size(), serial_rps, kJobs, parallel_rps,
       parallel_rps / serial_rps, cached_serial_rps,
       cached_serial_rps / serial_rps, kJobs, cached_parallel_rps,
@@ -475,7 +614,8 @@ void write_sweep_json(const char* path) {
       heavy_uncached_rps, heavy_cached_rps,
       heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
       shard_overhead_pct, shard_wire_bytes, kShards, kOrchLeasesPerWorker,
-      orch_rps, orch_overhead_pct, orch_leases, orch_wire_bytes);
+      orch_rps, orch_overhead_pct, orch.leases, orch.wire_bytes, shm_rps,
+      shm_overhead_pct, shm.leases, shm.wire_bytes, codec_rps);
   if (core_starved)
     std::printf(
         "  !! core-starved (%u hardware thread%s < %d jobs): the parallel "

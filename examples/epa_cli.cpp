@@ -44,11 +44,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "apps/scenarios.hpp"
+#include "core/arena.hpp"
 #include "core/compare.hpp"
 #include "core/equivalence.hpp"
 #include "core/orchestrator.hpp"
@@ -76,7 +79,7 @@ int usage() {
       "                         [--no-world-cache]\n"
       "  epa_cli sweep [--jobs N] [--seed N] [--merge] [--json]\n"
       "                [--no-world-cache]\n"
-      "  epa_cli plan <scenario> [--out FILE] [--sites a,b,...]\n"
+      "  epa_cli plan <scenario> [--out FILE] [--binary] [--sites a,b,...]\n"
       "                [--coverage F] [--seed N] [--merge]\n"
       "  epa_cli plan --all [--out-dir DIR] [--seed N] [--merge] [--jobs N]\n"
       "  epa_cli run-shard <plan-file> --shard K/N [--out FILE] [--jobs N]\n"
@@ -86,11 +89,13 @@ int usage() {
       "                [--jobs N] [--no-world-cache] [--checkpoint K]\n"
       "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
       "  epa_cli orchestrate <scenario> [--workers N] [--lease K]\n"
-      "                [--jobs N] [--preempt-after N] [--dir DIR]\n"
+      "                [--jobs N] [--preempt-after N] [--checkpoint K]\n"
+      "                [--data-plane json|shm] [--dir DIR]\n"
       "                [--json] [--no-world-cache]\n"
       "  epa_cli orchestrate --all [same flags]\n"
-      "  epa_cli worker <plan-file> [--jobs N] [--no-world-cache]\n"
-      "                [--preempt-after N]   (LEASE/DONE protocol on\n"
+      "  epa_cli worker <plan-file>|--arena FILE [--jobs N]\n"
+      "                [--no-world-cache] [--preempt-after N]\n"
+      "                [--checkpoint K]   (LEASE/DONE protocol on\n"
       "                stdin/stdout; spawned by orchestrate)\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
@@ -227,10 +232,14 @@ void parse_shard_spec(const std::string& spec, std::size_t* index,
   *count = static_cast<std::size_t>(n);
 }
 
-/// Load + validate a plan file, naming the file in any failure.
+/// Load + validate a plan file, naming the file in any failure. The
+/// encoding is sniffed from the magic, so every plan-consuming command
+/// (run-shard, merge, worker) accepts `plan --binary` output unchanged.
 core::InjectionPlan load_plan(const std::string& path) {
   try {
-    return core::plan_from_json(read_file(path));
+    std::string text = read_file(path);
+    return core::looks_like_binary_wire(text) ? core::plan_from_binary(text)
+                                              : core::plan_from_json(text);
   } catch (const core::WireError& e) {
     throw std::runtime_error(path + ": " + e.what());
   }
@@ -401,7 +410,7 @@ int cmd_db(const std::string& filter) {
 }
 
 int cmd_plan(const std::string& name, core::CampaignOptions opts,
-             const std::string& out_path) {
+             const std::string& out_path, bool binary) {
   bool found = false;
   core::Scenario scenario = find_scenario(name, found);
   if (!found) {
@@ -412,12 +421,13 @@ int cmd_plan(const std::string& name, core::CampaignOptions opts,
   // The plan file never carries the world snapshot; don't build one.
   opts.use_world_cache = false;
   core::InjectionPlan plan = core::Planner(scenario).plan(opts);
-  std::string json = plan.to_json();
+  std::string wire = binary ? core::plan_to_binary(plan) : plan.to_json();
   if (out_path.empty()) {
-    std::printf("%s", json.c_str());
+    // fwrite, not printf: the binary encoding contains NUL bytes.
+    std::fwrite(wire.data(), 1, wire.size(), stdout);
     return 0;
   }
-  write_file(out_path, json);
+  write_file(out_path, wire);
   std::printf("%s: %zu interaction points, %zu work items -> %s\n",
               name.c_str(), plan.points.size(), plan.items.size(),
               out_path.c_str());
@@ -568,24 +578,49 @@ int cmd_merge(const std::string& plan_path,
 
 struct WorkerArgs {
   std::string plan_path;
+  std::string arena_path;       // --arena: shm data plane (binary plan +
+                                // per-lease report segments)
   int jobs = 1;
   bool use_world_cache = true;
-  long long preempt_after = 0;  // self-preempt after N leases (CI hook)
+  long long preempt_after = 0;  // self-preempt after N leases, or — with
+                                // --checkpoint — after N flushes (CI hook)
+  std::size_t checkpoint = 0;   // flush partials every K outcomes
 };
 
 /// The persistent worker half of the orchestrator: parse the plan and
 /// re-freeze the COW prototype exactly once, then serve LEASE commands
 /// from stdin until EXIT/EOF (the LocalProcessTransport protocol,
 /// core/transport.hpp). Stdout carries protocol lines only; everything
-/// human-facing goes to stderr. SIGTERM is graceful preemption: the
-/// in-flight lease finishes (its report is already worth keeping), the
-/// next one is refused with exit 4 so the orchestrator re-leases it.
+/// human-facing goes to stderr. SIGTERM is graceful preemption: with
+/// --checkpoint the in-flight lease stops at the next chunk boundary
+/// (partial flushed, no DONE, exit 4); without it the in-flight lease
+/// finishes and the *next* one is refused with exit 4. Either way the
+/// orchestrator re-leases the unfinished range.
+///
+/// With --arena the data plane is the mmap'd arena (core/arena.hpp): the
+/// plan comes out of the arena's binary plan region, a lease's target is
+/// the token `@<seq>` naming its arena segment, reports are encoded with
+/// shard_report_to_binary straight into that segment, and DONE carries
+/// the (offset, length) handoff instead of a file path.
 int cmd_worker(const WorkerArgs& a) {
-  core::InjectionPlan plan = load_plan(a.plan_path);
+  const bool use_arena = !a.arena_path.empty();
+  std::optional<core::ShmArena> arena;
+  core::InjectionPlan plan;
+  if (use_arena) {
+    arena.emplace(core::ShmArena::open(a.arena_path));
+    try {
+      plan = core::plan_from_binary(arena->plan_data(), arena->plan_size());
+    } catch (const core::WireError& e) {
+      throw std::runtime_error(a.arena_path + ": " + e.what());
+    }
+  } else {
+    plan = load_plan(a.plan_path);
+  }
+  const std::string& plan_src = use_arena ? a.arena_path : a.plan_path;
   bool found = false;
   core::Scenario scenario = find_scenario(plan.scenario_name, found);
   if (!found)
-    throw std::runtime_error(a.plan_path + ": plan names unknown scenario '" +
+    throw std::runtime_error(plan_src + ": plan names unknown scenario '" +
                              plan.scenario_name +
                              "' (written by a different scenario set?)");
   if (a.use_world_cache) core::refreeze_snapshot(plan, scenario);
@@ -598,10 +633,11 @@ int cmd_worker(const WorkerArgs& a) {
   // counts these to pin "parse + re-freeze happen once, not per lease".
   std::fprintf(stderr,
                "epa worker: parsed %s (%zu items), prototype %s; serving\n",
-               a.plan_path.c_str(), plan.items.size(),
+               plan_src.c_str(), plan.items.size(),
                plan.snapshot ? "frozen" : "uncached");
 
   long long done = 0;
+  long long flushes = 0;  // cumulative across leases, like `done`
   char line[4096];
   while (std::fgets(line, sizeof line, stdin)) {
     std::string cmd(line);
@@ -617,7 +653,7 @@ int cmd_worker(const WorkerArgs& a) {
     while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == '\r'))
       cmd.pop_back();
     if (cmd == "EXIT") break;
-    // LEASE <begin> <end> <report-path>
+    // LEASE <begin> <end> <report-path | @seq>
     const char* rest = cmd.c_str();
     auto parse_num = [&](std::size_t* out) {
       errno = 0;
@@ -637,24 +673,91 @@ int cmd_worker(const WorkerArgs& a) {
                    cmd.c_str());
       return 1;
     }
-    std::string out_path = rest;
+    std::string target = rest;
+    std::size_t seq = 0;
+    if (use_arena) {
+      errno = 0;
+      char* tok_end = nullptr;
+      unsigned long long v =
+          target[0] == '@' ? std::strtoull(target.c_str() + 1, &tok_end, 10)
+                           : 0;
+      if (target[0] != '@' || errno == ERANGE ||
+          tok_end == target.c_str() + 1 || *tok_end != '\0') {
+        std::fprintf(stderr,
+                     "epa: worker: arena lease target must be @<seq>, "
+                     "got '%s'\n",
+                     target.c_str());
+        return 1;
+      }
+      seq = static_cast<std::size_t>(v);
+    }
     if (g_preempted) {
       std::fprintf(stderr,
                    "epa: worker preempted; lease [%zu, %zu) not drained\n",
                    begin, end);
       return 4;  // the orchestrator re-leases [begin, end)
     }
-    core::ShardReport report = core::run_lease(executor, plan, begin, end,
-                                               opts);
-    // Atomic write *before* DONE: a DONE line always names a readable,
-    // complete report, even if this worker dies right after.
-    write_file_atomic(out_path, report.to_json());
-    std::printf("DONE %zu %zu\n", begin, end);
+
+    // Where (partial and final) reports land for this lease. The arena
+    // flush bounds-checks before touching the segment: a report that
+    // outgrows its segment is a clean worker failure, never a
+    // neighboring lease's bytes overwritten.
+    std::size_t flushed_bytes = 0;
+    auto flush = [&](const core::ShardReport& r) {
+      if (!use_arena) {
+        write_file_atomic(target, r.to_json());
+        return;
+      }
+      std::string bin = core::shard_report_to_binary(r);
+      if (bin.size() > arena->segment_bytes())
+        throw std::runtime_error(
+            "worker: lease " + std::to_string(seq) + " report (" +
+            std::to_string(bin.size()) +
+            " bytes) exceeds the arena segment capacity (" +
+            std::to_string(arena->segment_bytes()) + " bytes)");
+      std::memcpy(arena->segment(seq), bin.data(), bin.size());
+      flushed_bytes = bin.size();
+    };
+
+    core::ShardDrainHooks hooks;
+    if (a.checkpoint > 0) {
+      hooks.checkpoint_every = a.checkpoint;
+      hooks.interrupted = [] { return g_preempted != 0; };
+      hooks.on_checkpoint = [&](const core::ShardReport& r) {
+        flush(r);
+        // CI determinism hook (--checkpoint mode): preempt mid-lease at
+        // the Nth flush, counted across the worker's whole lifetime so
+        // replacements make progress before being preempted themselves.
+        if (a.preempt_after > 0 && ++flushes >= a.preempt_after)
+          (void)std::raise(SIGTERM);
+      };
+    }
+    core::ShardReport report =
+        core::run_lease(executor, plan, begin, end, opts, hooks);
+    if (!report.complete) {
+      // Preempted mid-lease: flush the partial (for post-mortems; the
+      // orchestrator re-drains the whole range) and exit *without* DONE
+      // — a DONE line must always name a complete report.
+      flush(report);
+      std::fprintf(stderr,
+                   "epa: worker preempted mid-lease; partial for "
+                   "[%zu, %zu) flushed, range will be re-leased\n",
+                   begin, end);
+      return 4;
+    }
+    // Flush *before* DONE: a DONE line always names a readable, complete
+    // report, even if this worker dies right after.
+    flush(report);
+    if (use_arena)
+      std::printf("DONE %zu %zu %zu %zu\n", begin, end,
+                  arena->segment_offset(seq), flushed_bytes);
+    else
+      std::printf("DONE %zu %zu\n", begin, end);
     std::fflush(stdout);
     ++done;
-    // CI determinism hook: deliver the preemption signal to ourselves
-    // after N served leases, through the real handler.
-    if (a.preempt_after > 0 && done >= a.preempt_after)
+    // CI determinism hook (lease mode): deliver the preemption signal to
+    // ourselves after N served leases, through the real handler.
+    if (a.checkpoint == 0 && a.preempt_after > 0 && done >= a.preempt_after)
       (void)std::raise(SIGTERM);
   }
   std::fprintf(stderr, "epa worker: served %lld lease(s), exiting\n", done);
@@ -668,9 +771,11 @@ struct OrchestrateArgs {
   long long lease = 0;          // items per lease; 0 = auto
   int jobs = 1;                 // per-worker --jobs
   long long preempt_after = 0;  // forwarded to workers (CI hook)
+  long long checkpoint = 0;     // forwarded to workers: mid-lease partials
+  bool shm = false;             // --data-plane shm: mmap'd arena, no JSON
   bool as_json = false;
   bool use_world_cache = true;
-  std::string dir;  // plan + lease files; empty = fresh temp dir
+  std::string dir;  // plan + lease/arena files; empty = fresh temp dir
 };
 
 int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
@@ -709,25 +814,37 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
     core::CampaignOptions popts;
     popts.use_world_cache = false;  // the plan file carries no snapshot
     core::InjectionPlan plan = core::Planner(scenario).plan(popts);
-    std::string plan_path = dir + "/" + scenario.name + ".plan.json";
-    write_file(plan_path, plan.to_json());
 
     core::LocalProcessConfig cfg;
     cfg.epa_cli = core::LocalProcessTransport::self_exe(argv0);
-    cfg.plan_path = plan_path;
     cfg.out_dir = dir;
     cfg.file_prefix = scenario.name;
     cfg.jobs = a.jobs;
     cfg.use_world_cache = a.use_world_cache;
     cfg.preempt_after = a.preempt_after;
-    core::LocalProcessTransport transport(cfg);
+    cfg.checkpoint = a.checkpoint;
 
     core::OrchestratorOptions oopts;
     oopts.workers = a.workers;
     oopts.lease_items = static_cast<std::size_t>(a.lease);
+
+    std::unique_ptr<core::LocalProcessTransport> transport;
+    if (a.shm) {
+      // The shm data plane writes no plan JSON at all: the binary plan is
+      // frozen into the arena, sized against the exact lease partition
+      // orchestrate() will schedule.
+      transport = std::make_unique<core::ShmLocalTransport>(
+          cfg, plan, core::lease_partition(plan.items.size(), oopts));
+    } else {
+      std::string plan_path = dir + "/" + scenario.name + ".plan.json";
+      write_file(plan_path, plan.to_json());
+      cfg.plan_path = plan_path;
+      transport = std::make_unique<core::LocalProcessTransport>(cfg);
+    }
+
     core::OrchestratorStats stats;
     sweep.results.push_back(
-        core::orchestrate(plan, transport, oopts, &stats));
+        core::orchestrate(plan, *transport, oopts, &stats));
     std::fprintf(stderr,
                  "epa orchestrate: %s: %zu leases across %zu worker(s) "
                  "(%zu re-leased, %zu preempted, %zu spawned)\n",
@@ -735,8 +852,8 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
                  static_cast<std::size_t>(a.workers), stats.leases_released,
                  stats.workers_preempted, stats.workers_spawned);
   }
-  std::fprintf(stderr, "epa orchestrate: plan and lease files in %s\n",
-               dir.c_str());
+  std::fprintf(stderr, "epa orchestrate: plan and %s files in %s\n",
+               a.shm ? "arena" : "lease", dir.c_str());
 
   if (a.all) return print_sweep(sweep, a.as_json);
   const core::CampaignResult& r = sweep.results.front();
@@ -791,12 +908,14 @@ int main(int argc, char** argv) {
     core::CampaignOptions opts;
     core::SweepOptions sweep_opts;
     bool all = false, saw_out_dir = false, saw_jobs = false;
-    bool saw_sites = false, saw_coverage = false;
+    bool saw_sites = false, saw_coverage = false, binary = false;
     std::string scenario_name, out_path, out_dir = ".";
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--all") {
         all = true;
+      } else if (arg == "--binary") {
+        binary = true;
       } else if (arg == "--merge") {
         opts.merge_equivalent_sites = true;
       } else if (arg == "--sites" && i + 1 < argc) {
@@ -833,6 +952,11 @@ int main(int argc, char** argv) {
                    "(use --out-dir with --all)\n");
       return usage();
     }
+    if (all && binary) {
+      std::fprintf(stderr,
+                   "epa: --binary applies to single-scenario plan only\n");
+      return usage();
+    }
     if (all && (saw_sites || saw_coverage)) {
       // Site tags are per-scenario: a typo'd --sites under --all would
       // silently plan zero work items for every scenario.
@@ -850,7 +974,7 @@ int main(int argc, char** argv) {
     sweep_opts.campaign = opts;
     return guarded([&] {
       return all ? cmd_plan_all(sweep_opts, out_dir)
-                 : cmd_plan(scenario_name, opts, out_path);
+                 : cmd_plan(scenario_name, opts, out_path, binary);
     });
   }
   if (cmd == "run-shard") {
@@ -903,6 +1027,11 @@ int main(int argc, char** argv) {
         a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
       } else if (arg == "--preempt-after") {
         a.preempt_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--checkpoint") {
+        a.checkpoint = static_cast<std::size_t>(
+            int_flag(arg, argc, argv, &i, 1, 1LL << 30));
+      } else if (arg == "--arena") {
+        a.arena_path = flag_value(arg, argc, argv, &i);
       } else if (arg == "--no-world-cache") {
         a.use_world_cache = false;
       } else if (!starts_with(arg, "--") && a.plan_path.empty()) {
@@ -912,7 +1041,13 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    if (a.plan_path.empty()) return usage();
+    // Exactly one data plane: a plan file (JSON pipe) or --arena (shm).
+    if (!a.plan_path.empty() && !a.arena_path.empty()) {
+      std::fprintf(stderr,
+                   "epa: worker takes a plan file or --arena, not both\n");
+      return 1;
+    }
+    if (a.plan_path.empty() && a.arena_path.empty()) return usage();
     return guarded([&] { return cmd_worker(a); });
   }
   if (cmd == "orchestrate") {
@@ -929,6 +1064,16 @@ int main(int argc, char** argv) {
         a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
       } else if (arg == "--preempt-after") {
         a.preempt_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--checkpoint") {
+        a.checkpoint = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--data-plane") {
+        std::string v = flag_value(arg, argc, argv, &i);
+        if (v == "shm")
+          a.shm = true;
+        else if (v == "json")
+          a.shm = false;
+        else
+          flag_fail(arg, "value '" + v + "' is not 'json' or 'shm'");
       } else if (arg == "--json") {
         a.as_json = true;
       } else if (arg == "--no-world-cache") {

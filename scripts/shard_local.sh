@@ -2,7 +2,7 @@
 # Fan one scenario's campaign across N worker processes on this machine:
 #
 #   scripts/shard_local.sh [-n SHARDS] [-b EPA_CLI] [-o OUTDIR] [-j] [-O]
-#                          [-c CHECKPOINT] [-P PREEMPT_AFTER] SCENARIO
+#                          [-B] [-c CHECKPOINT] [-P PREEMPT_AFTER] SCENARIO
 #
 #   -n SHARDS       worker process count (default 4)
 #   -b EPA_CLI      path to the epa_cli binary (default ./build/epa_cli)
@@ -11,12 +11,18 @@
 #   -O              drive the campaign through `epa_cli orchestrate`
 #                   (dynamic leases, persistent workers, automatic
 #                   re-lease of preempted work) instead of the static
-#                   K/N run-shard fan-out; -c does not apply
+#                   K/N run-shard fan-out
+#   -B              binary/shm data plane: orchestrate over the mmap'd
+#                   arena (--data-plane shm) — no JSON between the
+#                   processes at all; implies -O
 #   -c CHECKPOINT   flush a resumable partial report every K outcomes; a
 #                   worker that exits 4 (preempted, e.g. SIGTERM) is
 #                   automatically completed with run-shard --resume
+#                   (with -O/-B: workers flush partials mid-lease and
+#                   preemption re-leases the unfinished range)
 #   -P PREEMPT      self-preempt each worker after N checkpoint flushes
-#                   (with -O: after N served leases; testing hook)
+#                   (with -O/-B and no -c: after N served leases;
+#                   testing hook)
 #
 # plan -> N x run-shard (parallel processes) -> merge. The merged report
 # is bit-identical to a single-process `epa_cli run SCENARIO` for any N
@@ -29,21 +35,23 @@ epa_cli=./build/epa_cli
 outdir=
 json_flag=
 orchestrate=
+data_plane=
 checkpoint=
 preempt=
 
 usage() {
-  sed -n '2,23p' "$0" >&2
+  sed -n '2,25p' "$0" >&2
   exit 2
 }
 
-while getopts 'n:b:o:jOc:P:h' opt; do
+while getopts 'n:b:o:jOBc:P:h' opt; do
   case "$opt" in
     n) shards=$OPTARG ;;
     b) epa_cli=$OPTARG ;;
     o) outdir=$OPTARG ;;
     j) json_flag=--json ;;
     O) orchestrate=1 ;;
+    B) orchestrate=1; data_plane=shm ;;
     c) checkpoint=$OPTARG ;;
     P) preempt=$OPTARG ;;
     *) usage ;;
@@ -62,10 +70,6 @@ esac
 case "${preempt:-1}" in
   ''|*[!0-9]*|0) echo "shard_local: -P must be a positive integer" >&2; exit 2 ;;
 esac
-if [ -n "$orchestrate" ] && [ -n "$checkpoint" ]; then
-  echo "shard_local: -c does not apply with -O (leases are re-drained whole)" >&2
-  exit 2
-fi
 if [ -n "$preempt" ] && [ -z "$checkpoint" ] && [ -z "$orchestrate" ]; then
   echo "shard_local: -P needs -c (preemption is delivered at a checkpoint flush)" >&2
   exit 2
@@ -77,12 +81,37 @@ else
   mkdir -p "$outdir"
 fi
 
-# -O: hand the whole pipeline to the orchestrator — dynamic id-range
+# Any exit — success, a failed worker, set -e on a bad merge — must kill
+# and reap whatever background workers are still running: without this, a
+# first-worker failure left the rest writing into $outdir after the
+# script had already reported failure. Reaped pids are cleared from the
+# array so the trap never signals a recycled pid. A failed run must also
+# not strand mmap'd arena files (-B): unlike shard JSON they are
+# per-run scratch, not resumable artifacts, so unlink them on any exit
+# that is not a campaign result (0 clean, 3 findings).
+pids=()
+cleanup() {
+  local rc=$? pid
+  for pid in "${pids[@]}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${pids[@]}"; do
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  done
+  if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
+    rm -f "$outdir"/*.arena
+  fi
+}
+trap cleanup EXIT
+
+# -O/-B: hand the whole pipeline to the orchestrator — dynamic id-range
 # leases over persistent workers, preempted leases re-leased
-# automatically. -n is the worker count; plan and lease files land in
-# OUTDIR like the shard files below would.
+# automatically. -n is the worker count; plan and lease files (or the
+# shm arena, with -B) land in OUTDIR like the shard files below would.
 if [ -n "$orchestrate" ]; then
   orch_flags=()
+  [ -n "$data_plane" ] && orch_flags+=(--data-plane "$data_plane")
+  [ -n "$checkpoint" ] && orch_flags+=(--checkpoint "$checkpoint")
   [ -n "$preempt" ] && orch_flags+=(--preempt-after "$preempt")
   [ -n "$json_flag" ] && orch_flags+=("$json_flag")
   rc=0
@@ -90,30 +119,17 @@ if [ -n "$orchestrate" ]; then
     "${orch_flags[@]}" || rc=$?
   # 3 = candidate vulnerabilities: a finding, not a pipeline failure.
   [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || exit "$rc"
-  echo "lease files in $outdir" >&2
+  if [ -n "$data_plane" ]; then
+    echo "plan+report arena in $outdir" >&2
+  else
+    echo "lease files in $outdir" >&2
+  fi
   exit "$rc"
 fi
 
 worker_flags=()
 [ -n "$checkpoint" ] && worker_flags+=(--checkpoint "$checkpoint")
 [ -n "$preempt" ] && worker_flags+=(--preempt-after "$preempt")
-
-# Any exit — success, a failed worker, set -e on a bad merge — must kill
-# and reap whatever background workers are still running: without this, a
-# first-worker failure left the rest writing into $outdir after the
-# script had already reported failure. Reaped pids are cleared from the
-# array so the trap never signals a recycled pid.
-pids=()
-cleanup() {
-  local pid
-  for pid in "${pids[@]}"; do
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
-  done
-  for pid in "${pids[@]}"; do
-    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
-  done
-}
-trap cleanup EXIT
 
 # Progress goes to stderr: stdout carries only the merged report, so
 # `shard_local.sh -j NAME > report.json` stays clean.

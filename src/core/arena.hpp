@@ -1,0 +1,101 @@
+// The same-host shared-memory data plane (docs/WIRE_FORMAT.md, "Binary
+// encoding"): one mmap'd file shared by the coordinator and its worker
+// processes.
+//
+// Layout: a fixed 64-byte header, the binary-encoded InjectionPlan
+// (frozen once by the coordinator, read-only in spirit thereafter), and
+// `segment_count` fixed-capacity segments — one per lease, indexed by
+// the lease's stable `seq`. A worker drains a lease, encodes the
+// ShardReport with shard_report_to_binary, and memcpy's it into the
+// lease's segment; the DONE message then carries only (offset, length)
+// and the coordinator decodes straight out of its own mapping — no
+// report file, no pipe payload, no JSON parse on the hot path.
+//
+// Re-lease safety: a preempted worker may leave its segment half
+// written. That is fine by construction — the coordinator reads a
+// segment only after a DONE for that lease, the replacement worker
+// overwrites the segment from its start, and the binary codec validates
+// everything it reads. One segment has at most one live writer because
+// the orchestrator re-leases only after the previous holder's exit
+// event.
+//
+// The mapping is MAP_SHARED over a regular file: on one host every
+// mapping of the file observes the same pages, so no msync or fence is
+// needed between a worker's write and the coordinator's read — the DONE
+// line on the pipe is the ordering edge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ep::core {
+
+/// An arena file that cannot be created, mapped, or trusted: I/O
+/// failure, bad magic/version, foreign endianness, or a header whose
+/// regions do not fit the file.
+class ArenaError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ShmArena {
+ public:
+  /// Coordinator side: create (truncating) `path`, size it for the plan
+  /// plus `segment_count` segments of `segment_bytes` each, map it, and
+  /// freeze `plan_binary` into it. Throws ArenaError on any failure.
+  static ShmArena create(const std::string& path,
+                         const std::string& plan_binary,
+                         std::size_t segment_count,
+                         std::size_t segment_bytes);
+  /// Worker side: map an existing arena and validate its header against
+  /// the file's actual size. Throws ArenaError when the file is missing,
+  /// truncated, foreign, or inconsistent.
+  static ShmArena open(const std::string& path);
+
+  ShmArena(ShmArena&& other) noexcept;
+  ShmArena& operator=(ShmArena&& other) noexcept;
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+  ~ShmArena();
+
+  const std::string& path() const { return path_; }
+  const std::uint8_t* data() const { return map_; }
+  std::size_t size() const { return size_; }
+
+  /// The frozen binary-encoded plan region.
+  const std::uint8_t* plan_data() const { return map_ + plan_offset_; }
+  std::size_t plan_size() const { return plan_length_; }
+
+  std::size_t segment_count() const { return segment_count_; }
+  std::size_t segment_bytes() const { return segment_bytes_; }
+  /// Absolute file offset of segment `seq` — the offset a worker's DONE
+  /// handoff names. Throws ArenaError when seq is out of range.
+  std::size_t segment_offset(std::size_t seq) const;
+  /// Writable pointer into segment `seq` (the worker's report target).
+  std::uint8_t* segment(std::size_t seq);
+
+  /// Validate a worker's (offset, length) DONE handoff for lease `seq`:
+  /// the offset must be exactly segment seq's start and the length must
+  /// fit the segment. Throws ArenaError naming what is off — a broken
+  /// worker must not make the coordinator read the wrong lease's bytes.
+  void check_handoff(std::size_t seq, std::size_t offset,
+                     std::size_t length) const;
+
+ private:
+  ShmArena() = default;
+  void close() noexcept;
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint8_t* map_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t plan_offset_ = 0;
+  std::size_t plan_length_ = 0;
+  std::size_t segments_offset_ = 0;
+  std::size_t segment_count_ = 0;
+  std::size_t segment_bytes_ = 0;
+};
+
+}  // namespace ep::core

@@ -18,6 +18,21 @@ std::string describe_exit(const WorkerEvent& ev) {
 
 }  // namespace
 
+std::vector<Lease> lease_partition(std::size_t plan_items,
+                                   const OrchestratorOptions& opts) {
+  if (opts.workers < 1)
+    throw OrchestratorError("orchestrate: workers must be >= 1");
+  const auto workers = static_cast<std::size_t>(opts.workers);
+  std::size_t lease_items = opts.lease_items;
+  if (lease_items == 0)
+    lease_items = std::max<std::size_t>(1, plan_items / (workers * 4));
+  std::vector<Lease> leases;
+  for (std::size_t begin = 0; begin < plan_items; begin += lease_items)
+    leases.push_back(
+        {leases.size(), begin, std::min(begin + lease_items, plan_items)});
+  return leases;
+}
+
 CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
                            const OrchestratorOptions& opts,
                            OrchestratorStats* stats) {
@@ -30,16 +45,12 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
   const std::size_t n = plan.items.size();
   if (n == 0) return result_skeleton(plan);  // nothing to lease out
 
-  // The fixed lease partition: contiguous ranges, ascending. Scheduling
-  // is dynamic; the partition is not, so the merged set is always "every
-  // lease exactly once" regardless of who drained what.
-  std::size_t lease_items = opts.lease_items;
-  if (lease_items == 0)
-    lease_items = std::max<std::size_t>(1, n / (workers * 4));
-  std::deque<Lease> pending;
-  for (std::size_t begin = 0; begin < n; begin += lease_items)
-    pending.push_back(
-        {pending.size(), begin, std::min(begin + lease_items, n)});
+  // The fixed lease partition (lease_partition — shared with transports
+  // that pre-size per-lease resources): contiguous ranges, ascending.
+  // Scheduling is dynamic; the partition is not, so the merged set is
+  // always "every lease exactly once" regardless of who drained what.
+  std::vector<Lease> partition = lease_partition(n, opts);
+  std::deque<Lease> pending(partition.begin(), partition.end());
   st.leases_total = pending.size();
   const std::size_t respawn_budget =
       opts.max_respawns ? opts.max_respawns

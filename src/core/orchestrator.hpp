@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/wire.hpp"
 
@@ -105,6 +106,15 @@ struct OrchestratorOptions {
   /// not spin forever.
   std::size_t max_respawns = 0;
 };
+
+/// The fixed lease partition orchestrate() deals out for a plan of
+/// `plan_items` items under `opts`: contiguous ranges, ascending, with
+/// seq = position. Exposed so transports that pre-allocate per-lease
+/// resources (ShmLocalTransport's arena segments) size them against the
+/// exact same split the orchestrator will schedule. Throws
+/// OrchestratorError when opts.workers < 1.
+std::vector<Lease> lease_partition(std::size_t plan_items,
+                                   const OrchestratorOptions& opts);
 
 struct OrchestratorStats {
   std::size_t leases_total = 0;      ///< fixed partition size

@@ -10,6 +10,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 namespace ep::core {
@@ -99,9 +100,44 @@ std::string LocalProcessTransport::self_exe(const char* argv0) {
   return argv0 ? argv0 : "epa_cli";
 }
 
-std::string LocalProcessTransport::lease_path(const Lease& lease) const {
+std::vector<std::string> LocalProcessTransport::worker_args() const {
+  std::vector<std::string> args = {"worker", config_.plan_path};
+  append_common_args(args);
+  return args;
+}
+
+void LocalProcessTransport::append_common_args(
+    std::vector<std::string>& args) const {
+  args.push_back("--jobs");
+  args.push_back(std::to_string(config_.jobs));
+  if (!config_.use_world_cache) args.push_back("--no-world-cache");
+  if (config_.preempt_after > 0) {
+    args.push_back("--preempt-after");
+    args.push_back(std::to_string(config_.preempt_after));
+  }
+  if (config_.checkpoint > 0) {
+    args.push_back("--checkpoint");
+    args.push_back(std::to_string(config_.checkpoint));
+  }
+}
+
+std::string LocalProcessTransport::lease_token(const Lease& lease) const {
   return config_.out_dir + "/" + config_.file_prefix + ".lease" +
          std::to_string(lease.seq) + ".json";
+}
+
+void LocalProcessTransport::load_report(const Proc& p,
+                                        const std::string& rest,
+                                        WorkerEvent& ev) {
+  if (!rest.empty())
+    throw OrchestratorError("DONE carries unexpected trailing data '" +
+                            rest + "'");
+  ev.label = p.lease_token;
+  try {
+    ev.report = shard_report_from_json(read_file_or_throw(p.lease_token));
+  } catch (const WireError& e) {
+    throw OrchestratorError(p.lease_token + ": " + e.what());
+  }
 }
 
 std::size_t LocalProcessTransport::spawn() {
@@ -119,6 +155,10 @@ std::size_t LocalProcessTransport::spawn() {
   set_cloexec(to_child[1]);
   set_cloexec(from_child[0]);
 
+  // Built before fork: the data plane decides the argv tail.
+  std::vector<std::string> args = {config_.epa_cli};
+  for (std::string& a : worker_args()) args.push_back(std::move(a));
+
   pid_t pid = ::fork();
   if (pid < 0) {
     ::close(to_child[0]);
@@ -133,14 +173,6 @@ std::size_t LocalProcessTransport::spawn() {
     ::dup2(from_child[1], STDOUT_FILENO);
     ::close(to_child[0]);
     ::close(from_child[1]);
-    std::vector<std::string> args = {config_.epa_cli, "worker",
-                                     config_.plan_path, "--jobs",
-                                     std::to_string(config_.jobs)};
-    if (!config_.use_world_cache) args.push_back("--no-world-cache");
-    if (config_.preempt_after > 0) {
-      args.push_back("--preempt-after");
-      args.push_back(std::to_string(config_.preempt_after));
-    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -169,10 +201,10 @@ void LocalProcessTransport::submit(std::size_t worker, const Lease& lease) {
   Proc& p = procs_[worker];
   p.has_lease = true;
   p.lease = lease;
-  p.lease_path = lease_path(lease);
+  p.lease_token = lease_token(lease);
   if (p.in_fd < 0) return;  // already shut down; death event will follow
   write_line(p.in_fd, "LEASE " + std::to_string(lease.begin) + " " +
-                          std::to_string(lease.end) + " " + p.lease_path +
+                          std::to_string(lease.end) + " " + p.lease_token +
                           "\n");
 }
 
@@ -180,8 +212,8 @@ WorkerEvent LocalProcessTransport::handle_line(std::size_t worker,
                                                const std::string& line) {
   Proc& p = procs_[worker];
   std::size_t begin = 0, end = 0;
-  char trailing = '\0';
-  if (std::sscanf(line.c_str(), "DONE %zu %zu%c", &begin, &end, &trailing) !=
+  int consumed = 0;
+  if (std::sscanf(line.c_str(), "DONE %zu %zu%n", &begin, &end, &consumed) !=
           2 ||
       !p.has_lease || begin != p.lease.begin || end != p.lease.end)
     throw OrchestratorError("worker " + std::to_string(worker) +
@@ -190,11 +222,15 @@ WorkerEvent LocalProcessTransport::handle_line(std::size_t worker,
   ev.kind = WorkerEvent::Kind::lease_done;
   ev.worker = worker;
   ev.lease = p.lease;
-  ev.label = p.lease_path;
   try {
-    ev.report = shard_report_from_json(read_file_or_throw(p.lease_path));
-  } catch (const WireError& e) {
-    throw OrchestratorError(p.lease_path + ": " + e.what());
+    // The remainder after "DONE <begin> <end>" belongs to the data
+    // plane: empty for the file plane, the arena handoff for shm.
+    load_report(p, line.substr(static_cast<std::size_t>(consumed)), ev);
+  } catch (const OrchestratorError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw OrchestratorError("worker " + std::to_string(worker) + ": " +
+                            e.what());
   }
   p.has_lease = false;
   return ev;
@@ -278,6 +314,67 @@ void LocalProcessTransport::shutdown(std::size_t worker) {
   // lost to a full pipe or a half-dead worker.
   ::close(p.in_fd);
   p.in_fd = -1;
+}
+
+std::size_t arena_segment_bytes(std::size_t lease_items) {
+  // Base covers the report frame and metadata; the per-item budget is a
+  // hard upper bound on one outcome's columns (ids, exit codes, flags,
+  // and a violated outcome's site/description strings).
+  constexpr std::size_t kBase = 8192;
+  constexpr std::size_t kPerItem = 4096;
+  return kBase + lease_items * kPerItem;
+}
+
+namespace {
+
+std::size_t max_lease_items(const std::vector<Lease>& leases) {
+  std::size_t most = 0;
+  for (const Lease& l : leases) most = std::max(most, l.end - l.begin);
+  return most;
+}
+
+}  // namespace
+
+ShmLocalTransport::ShmLocalTransport(LocalProcessConfig config,
+                                     const InjectionPlan& plan,
+                                     const std::vector<Lease>& leases)
+    : LocalProcessTransport(std::move(config)),
+      arena_(ShmArena::create(
+          this->config().out_dir + "/" + this->config().file_prefix +
+              ".arena",
+          plan_to_binary(plan), leases.size(),
+          arena_segment_bytes(max_lease_items(leases)))) {}
+
+std::vector<std::string> ShmLocalTransport::worker_args() const {
+  std::vector<std::string> args = {"worker", "--arena", arena_.path()};
+  append_common_args(args);
+  return args;
+}
+
+std::string ShmLocalTransport::lease_token(const Lease& lease) const {
+  return "@" + std::to_string(lease.seq);
+}
+
+void ShmLocalTransport::load_report(const Proc& p, const std::string& rest,
+                                    WorkerEvent& ev) {
+  std::size_t offset = 0, length = 0;
+  char trailing = '\0';
+  if (std::sscanf(rest.c_str(), " %zu %zu%c", &offset, &length, &trailing) !=
+      2)
+    throw OrchestratorError("DONE is missing the arena (offset, length) "
+                            "handoff: '" + rest + "'");
+  ev.label = arena_.path() + "#seg" + std::to_string(p.lease.seq);
+  try {
+    arena_.check_handoff(p.lease.seq, offset, length);
+    // Decoding straight from the coordinator's own mapping — the DONE
+    // line on the pipe is the ordering edge, so the worker's writes to
+    // this MAP_SHARED segment are visible here.
+    ev.report = shard_report_from_binary(arena_.data() + offset, length);
+  } catch (const WireError& e) {
+    throw OrchestratorError(ev.label + ": " + e.what());
+  } catch (const ArenaError& e) {
+    throw OrchestratorError(e.what());
+  }
 }
 
 }  // namespace ep::core

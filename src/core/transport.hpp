@@ -30,6 +30,7 @@
 #include <sys/types.h>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/orchestrator.hpp"
 
 namespace ep::core {
@@ -38,22 +39,34 @@ struct LocalProcessConfig {
   /// The worker binary — normally the running epa_cli itself
   /// (self_exe()).
   std::string epa_cli;
-  /// Serialized plan every worker parses once at startup.
+  /// Serialized plan every worker parses once at startup (JSON data
+  /// plane; the shm transport ships the plan inside its arena instead).
   std::string plan_path;
-  /// Directory lease report files are written to.
+  /// Directory lease report files (and the shm transport's arena file)
+  /// are written to.
   std::string out_dir;
-  /// Lease files are named <file_prefix>.lease<seq>.json.
+  /// Lease files are named <file_prefix>.lease<seq>.json; the shm
+  /// transport's arena is <file_prefix>.arena.
   std::string file_prefix = "plan";
   /// --jobs forwarded to each worker.
   int jobs = 1;
   /// --no-world-cache forwarded when false.
   bool use_world_cache = true;
   /// --preempt-after forwarded when > 0: each worker self-preempts
-  /// (exit 4) when handed its (N+1)th lease — the CI determinism hook
-  /// for the kill-and-re-lease path.
+  /// (exit 4) — after serving N leases, or, with `checkpoint` set, after
+  /// N checkpoint flushes (which lands the preemption *mid-lease*). The
+  /// CI determinism hook for the kill-and-re-lease path.
   long long preempt_after = 0;
+  /// --checkpoint forwarded when > 0: workers drain leases in chunks of
+  /// K items and flush a valid partial report after each chunk, so a
+  /// preemption mid-lease leaves a re-leasable partial behind.
+  long long checkpoint = 0;
 };
 
+/// The JSON-pipe data plane. Subclasses swap the data plane (how the
+/// plan reaches workers and how reports come back) by overriding the
+/// three protected hooks; the process plumbing — fork/exec, poll,
+/// line protocol, exit-status classification — is shared.
 class LocalProcessTransport : public Transport {
  public:
   explicit LocalProcessTransport(LocalProcessConfig config);
@@ -74,7 +87,7 @@ class LocalProcessTransport : public Transport {
   /// orchestrate` names the worker binary without guessing.
   static std::string self_exe(const char* argv0);
 
- private:
+ protected:
   struct Proc {
     pid_t pid = -1;
     int in_fd = -1;   // worker stdin (coordinator writes)
@@ -84,15 +97,65 @@ class LocalProcessTransport : public Transport {
     bool saw_eof = false;
     bool has_lease = false;
     Lease lease;
-    std::string lease_path;
+    std::string lease_token;  // what LEASE named as the report target
   };
 
-  std::string lease_path(const Lease& lease) const;
+  /// Worker argv after the binary path. Base: worker <plan> --jobs N
+  /// [...]; the shm transport substitutes --arena for the plan file.
+  virtual std::vector<std::string> worker_args() const;
+  /// The report-target token of a LEASE line: a report file path (base)
+  /// or the shm transport's @<seq> segment reference.
+  virtual std::string lease_token(const Lease& lease) const;
+  /// Turn a DONE line's remainder (everything after "DONE <begin>
+  /// <end>") into ev.report + ev.label. Base: remainder must be empty,
+  /// the report is read from the lease file. Shm: remainder is the
+  /// " <offset> <length>" handoff, decoded from the coordinator's own
+  /// mapping. Throws OrchestratorError/WireError on a broken worker.
+  virtual void load_report(const Proc& p, const std::string& rest,
+                           WorkerEvent& ev);
+  /// Common flags (--jobs, --no-world-cache, --preempt-after,
+  /// --checkpoint) every data plane forwards.
+  void append_common_args(std::vector<std::string>& args) const;
+
+  const LocalProcessConfig& config() const { return config_; }
+
+ private:
   WorkerEvent handle_line(std::size_t worker, const std::string& line);
   WorkerEvent reap(std::size_t worker);
 
   LocalProcessConfig config_;
   std::vector<Proc> procs_;
 };
+
+/// The same-host shared-memory data plane (core/arena.hpp): the binary
+/// plan is frozen into an mmap'd arena once, each lease owns a fixed
+/// arena segment indexed by its seq, workers write binary reports into
+/// their lease's segment directly, and DONE carries only an
+/// (offset, length) handoff — zero parse and zero copy on the
+/// coordinator's hot path, and no JSON anywhere between the processes.
+class ShmLocalTransport : public LocalProcessTransport {
+ public:
+  /// `leases` must be the exact partition orchestrate() will schedule
+  /// (lease_partition()) — segments are indexed by lease seq and sized
+  /// for the largest lease. Creates <out_dir>/<file_prefix>.arena.
+  ShmLocalTransport(LocalProcessConfig config, const InjectionPlan& plan,
+                    const std::vector<Lease>& leases);
+
+  const std::string& arena_path() const { return arena_.path(); }
+
+ protected:
+  std::vector<std::string> worker_args() const override;
+  std::string lease_token(const Lease& lease) const override;
+  void load_report(const Proc& p, const std::string& rest,
+                   WorkerEvent& ev) override;
+
+ private:
+  ShmArena arena_;
+};
+
+/// How large a lease's arena segment is for a lease of `lease_items`
+/// items: a fixed base plus a generous per-item budget. A report that
+/// still does not fit is a clean worker error, not a truncation.
+std::size_t arena_segment_bytes(std::size_t lease_items);
 
 }  // namespace ep::core

@@ -7,6 +7,7 @@
 
 #include "core/catalog.hpp"
 #include "core/snapshot.hpp"
+#include "core/wire_internal.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
 
@@ -25,6 +26,87 @@ std::string json_violation(const Violation& v) {
          ", \"object\": " + json_quote(v.object) +
          ", \"detail\": " + json_quote(v.detail) + "}";
 }
+
+namespace wire_detail {
+
+FaultRef parse_fault(FaultKind kind, const std::string& name) {
+  const FaultCatalog& cat = FaultCatalog::standard();
+  FaultRef r;
+  r.kind = kind;
+  if (kind == FaultKind::indirect) {
+    r.indirect = cat.find_indirect(name);
+    if (!r.indirect)
+      throw WireError("unknown indirect fault '" + name +
+                      "' (plan written by a build with a different fault "
+                      "catalog?)");
+  } else {
+    r.direct = cat.find_direct(name);
+    if (!r.direct)
+      throw WireError("unknown direct fault '" + name +
+                      "' (plan written by a build with a different fault "
+                      "catalog?)");
+  }
+  return r;
+}
+
+std::size_t owned_id_count(std::size_t total_items, std::size_t shard_index,
+                           std::size_t shard_count) {
+  return total_items > shard_index
+             ? (total_items - shard_index - 1) / shard_count + 1
+             : 0;
+}
+
+void check_completed_id(const ShardReport& report, long long id,
+                        bool require_ascending) {
+  if (id < 0 || id >= static_cast<long long>(report.plan_items))
+    throw WireError("work-item id " + std::to_string(id) +
+                    " out of range (plan has " +
+                    std::to_string(report.plan_items) + " items)");
+  auto uid = static_cast<std::size_t>(id);
+  if (report.leased) {
+    if (!std::binary_search(report.assigned_ids.begin(),
+                            report.assigned_ids.end(), uid))
+      throw WireError("work-item id " + std::to_string(id) +
+                      " is not in this report's assigned_ids lease");
+  } else if (uid % report.shard_count != report.shard_index) {
+    throw WireError("work-item id " + std::to_string(id) +
+                    " belongs to shard " +
+                    std::to_string(uid % report.shard_count + 1) + "/" +
+                    std::to_string(report.shard_count) + ", not shard " +
+                    std::to_string(report.shard_index + 1) + "/" +
+                    std::to_string(report.shard_count));
+  }
+  if (!report.item_ids.empty()) {
+    std::size_t prev = report.item_ids.back();
+    if (uid == prev)
+      throw WireError("duplicate outcome for work item " +
+                      std::to_string(id));
+    if (require_ascending && uid < prev)
+      throw WireError("completed_ids out of order (" + std::to_string(id) +
+                      " after " + std::to_string(prev) + ")");
+  }
+}
+
+void validate_complete_flag(ShardReport& report, bool flag_on_wire) {
+  std::size_t owned = report.leased
+                          ? report.assigned_ids.size()
+                          : owned_id_count(report.plan_items,
+                                           report.shard_index,
+                                           report.shard_count);
+  bool covered = report.item_ids.size() == owned;
+  if (flag_on_wire && report.complete != covered)
+    throw WireError(
+        std::string("shard report: ") +
+        (report.complete
+             ? "'complete' is true but completed_ids covers " +
+                   std::to_string(report.item_ids.size()) + " of the " +
+                   std::to_string(owned) + " ids this shard owns"
+             : "'complete' is false but completed_ids covers every id "
+               "this shard owns"));
+  report.complete = covered;
+}
+
+}  // namespace wire_detail
 
 namespace {
 
@@ -157,27 +239,6 @@ Violation parse_violation(const JsonValue& v) {
   return out;
 }
 
-/// Resolve a (kind, name) fault reference against this build's catalog.
-FaultRef parse_fault(FaultKind kind, const std::string& name) {
-  const FaultCatalog& cat = FaultCatalog::standard();
-  FaultRef r;
-  r.kind = kind;
-  if (kind == FaultKind::indirect) {
-    r.indirect = cat.find_indirect(name);
-    if (!r.indirect)
-      throw WireError("unknown indirect fault '" + name +
-                      "' (plan written by a build with a different fault "
-                      "catalog?)");
-  } else {
-    r.direct = cat.find_direct(name);
-    if (!r.direct)
-      throw WireError("unknown direct fault '" + name +
-                      "' (plan written by a build with a different fault "
-                      "catalog?)");
-  }
-  return r;
-}
-
 /// The exploit object, shared by the v1 and v2 encodings.
 std::string json_exploit(const Exploitability& e) {
   return std::string("{\"nonroot_feasible\": ") +
@@ -226,52 +287,6 @@ std::size_t parse_count(const JsonValue& doc, const char* key,
                          [&] { return doc.at(key).as_int(); });
   if (v < 0) fail(what, std::string(key) + " must be >= 0");
   return static_cast<std::size_t>(v);
-}
-
-/// How many of `total_items` ids shard (index, count) owns — arithmetic
-/// only, because `total_items` is untrusted wire input and must never
-/// size an allocation (unlike shard_item_ids, which materializes the
-/// ids).
-std::size_t owned_id_count(std::size_t total_items, std::size_t shard_index,
-                           std::size_t shard_count) {
-  return total_items > shard_index
-             ? (total_items - shard_index - 1) / shard_count + 1
-             : 0;
-}
-
-/// Validate one completed id against the report header and the ids seen
-/// so far (ascending), mirroring the v1 checks plus v2's canonical-order
-/// requirement. Ownership is the modulo partition, or the explicit
-/// assigned_ids lease when the report is leased.
-void check_completed_id(const ShardReport& report, long long id,
-                        bool require_ascending) {
-  if (id < 0 || id >= static_cast<long long>(report.plan_items))
-    throw WireError("work-item id " + std::to_string(id) +
-                    " out of range (plan has " +
-                    std::to_string(report.plan_items) + " items)");
-  auto uid = static_cast<std::size_t>(id);
-  if (report.leased) {
-    if (!std::binary_search(report.assigned_ids.begin(),
-                            report.assigned_ids.end(), uid))
-      throw WireError("work-item id " + std::to_string(id) +
-                      " is not in this report's assigned_ids lease");
-  } else if (uid % report.shard_count != report.shard_index) {
-    throw WireError("work-item id " + std::to_string(id) +
-                    " belongs to shard " +
-                    std::to_string(uid % report.shard_count + 1) + "/" +
-                    std::to_string(report.shard_count) + ", not shard " +
-                    std::to_string(report.shard_index + 1) + "/" +
-                    std::to_string(report.shard_count));
-  }
-  if (!report.item_ids.empty()) {
-    std::size_t prev = report.item_ids.back();
-    if (uid == prev)
-      throw WireError("duplicate outcome for work item " +
-                      std::to_string(id));
-    if (require_ascending && uid < prev)
-      throw WireError("completed_ids out of order (" + std::to_string(id) +
-                      " after " + std::to_string(prev) + ")");
-  }
 }
 
 /// The shared shard-report header fields (both schema versions).
@@ -348,7 +363,8 @@ void parse_shard_outcomes_v1(const JsonValue& doc, ShardReport& report) {
     with_ctx("shard report: outcomes[" + std::to_string(i) + "]", [&] {
       const JsonValue& o = outcomes[i];
       long long id = o.at("id").as_int();
-      check_completed_id(report, id, /*require_ascending=*/false);
+      wire_detail::check_completed_id(report, id,
+                                      /*require_ascending=*/false);
       auto uid = static_cast<std::size_t>(id);
       if (!seen.insert(uid).second)
         throw WireError("duplicate outcome for work item " +
@@ -388,7 +404,8 @@ void parse_shard_outcomes_v2(const JsonValue& doc, ShardReport& report) {
   for (std::size_t i = 0; i < ids.size(); ++i) {
     with_ctx("shard report: completed_ids[" + std::to_string(i) + "]", [&] {
       long long id = ids[i].as_int();
-      check_completed_id(report, id, /*require_ascending=*/true);
+      wire_detail::check_completed_id(report, id,
+                                      /*require_ascending=*/true);
       report.item_ids.push_back(static_cast<std::size_t>(id));
     });
   }
@@ -521,8 +538,9 @@ InjectionPlan plan_from_json(const std::string& text) {
         throw WireError("site '" + site + "' does not match point " +
                         std::to_string(point) + "'s site '" + tag + "'");
       FaultKind kind = fault_kind_from(w.at("kind").as_string());
-      plan.items.push_back({static_cast<std::size_t>(point),
-                            parse_fault(kind, w.at("fault").as_string())});
+      plan.items.push_back(
+          {static_cast<std::size_t>(point),
+           wire_detail::parse_fault(kind, w.at("fault").as_string())});
     });
   }
   return plan;
@@ -626,21 +644,8 @@ ShardReport shard_report_from_json(const std::string& text) {
   // `complete` is derived state: the ids are each owned and unique, so
   // coverage is a count comparison. Version 1 files predate the flag and
   // infer it; a version-2 flag that disagrees is a corrupt file.
-  std::size_t owned = report.leased
-                          ? report.assigned_ids.size()
-                          : owned_id_count(report.plan_items,
-                                           report.shard_index,
-                                           report.shard_count);
-  bool covered = report.item_ids.size() == owned;
-  if (version >= 2 && report.complete != covered)
-    fail("shard report",
-         report.complete
-             ? "'complete' is true but completed_ids covers " +
-                   std::to_string(report.item_ids.size()) + " of the " +
-                   std::to_string(owned) + " ids this shard owns"
-             : "'complete' is false but completed_ids covers every id "
-               "this shard owns");
-  report.complete = covered;
+  wire_detail::validate_complete_flag(report,
+                                      /*flag_on_wire=*/version >= 2);
   return report;
 }
 
@@ -721,7 +726,8 @@ ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
 
 ShardReport run_lease(const Executor& executor, const InjectionPlan& plan,
                       std::size_t begin, std::size_t end,
-                      const ExecutorOptions& opts) {
+                      const ExecutorOptions& opts,
+                      const ShardDrainHooks& hooks) {
   if (begin > end || end > plan.items.size())
     throw WireError("lease [" + std::to_string(begin) + ", " +
                     std::to_string(end) + ") does not fit the plan (" +
@@ -734,7 +740,7 @@ ShardReport run_lease(const Executor& executor, const InjectionPlan& plan,
   for (std::size_t id = begin; id < end; ++id)
     header.assigned_ids.push_back(id);
   return drain_shard(executor, plan, header, header.assigned_ids, {}, {},
-                     opts, {});
+                     opts, hooks);
 }
 
 ShardReport resume_shard(const Executor& executor, const InjectionPlan& plan,
@@ -786,12 +792,44 @@ ShardReport resume_shard(const Executor& executor, const InjectionPlan& plan,
       throw WireError("resume: assigned_ids must ascend without duplicates");
     checked.assigned_ids.push_back(id);
   }
-  for (std::size_t id : partial.item_ids) {
-    check_completed_id(checked, static_cast<long long>(id),
-                       /*require_ascending=*/true);
-    checked.item_ids.push_back(id);
+  if (checked.leased) {
+    // Leased resume: item_ids and assigned_ids both ascend, so lease
+    // membership is one two-pointer walk over the lease — the previous
+    // per-id binary search re-walked the assigned set for every
+    // completed id, which a merge --all resume sweep repeated per file.
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < partial.item_ids.size(); ++i) {
+      std::size_t id = partial.item_ids[i];
+      if (id >= checked.plan_items)
+        throw WireError("work-item id " + std::to_string(id) +
+                        " out of range (plan has " +
+                        std::to_string(checked.plan_items) + " items)");
+      if (i > 0) {
+        std::size_t prev = partial.item_ids[i - 1];
+        if (id == prev)
+          throw WireError("duplicate outcome for work item " +
+                          std::to_string(id));
+        if (id < prev)
+          throw WireError("completed_ids out of order (" +
+                          std::to_string(id) + " after " +
+                          std::to_string(prev) + ")");
+      }
+      while (cursor < checked.assigned_ids.size() &&
+             checked.assigned_ids[cursor] < id)
+        ++cursor;
+      if (cursor >= checked.assigned_ids.size() ||
+          checked.assigned_ids[cursor] != id)
+        throw WireError("work-item id " + std::to_string(id) +
+                        " is not in this report's assigned_ids lease");
+    }
+  } else {
+    for (std::size_t id : partial.item_ids) {
+      wire_detail::check_completed_id(checked, static_cast<long long>(id),
+                                      /*require_ascending=*/true);
+      checked.item_ids.push_back(id);
+    }
+    checked.item_ids.clear();
   }
-  checked.item_ids.clear();
   return drain_shard(executor, plan, checked,
                      partial.leased
                          ? partial.assigned_ids
@@ -848,6 +886,27 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
   }
 
   CampaignResult result = result_skeleton(plan);
+
+  // The plan-redundant outcome fields (site/call/object/fault), resolved
+  // once per merge into an id-indexed table. They used to be re-derived
+  // inside the per-report loop, so an `--all` merge re-resolved point and
+  // fault catalog entries for every report file it read; every report now
+  // indexes the same table.
+  struct Derived {
+    const InteractionPoint* point;
+    const WorkItem* item;
+    const std::string* description;
+  };
+  std::vector<Derived> derived;
+  derived.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    const WorkItem& item = plan.items[id];
+    derived.push_back({&plan.point_of(item), &item,
+                       item.fault.kind == FaultKind::indirect
+                           ? &item.fault.indirect->description
+                           : &item.fault.direct->description});
+  }
+
   std::vector<bool> shard_seen(lease_mode ? 0 : shard_count, false);
   std::vector<std::size_t> seen_by(lease_mode ? 0 : shard_count, 0);
   // The id -> owning-report map, built once up front: both the
@@ -914,8 +973,8 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
       if (id_seen[id])
         throw WireError(who + ": duplicate outcome for work item " +
                         std::to_string(id));
-      const WorkItem& item = plan.items[id];
-      const InteractionPoint& point = plan.point_of(item);
+      const WorkItem& item = *derived[id].item;
+      const InteractionPoint& point = *derived[id].point;
       InjectionOutcome o = s.outcomes[i];
       // Version-1 reports (and in-process ones) carry the plan-keyed
       // fields; hold them to the plan. Version-2 reports do not put them
@@ -934,9 +993,7 @@ CampaignResult merge_shard_reports(const InjectionPlan& plan,
       o.object = point.object;
       o.kind = item.fault.kind;
       o.fault_name = item.fault.name();
-      o.fault_description = item.fault.kind == FaultKind::indirect
-                                ? item.fault.indirect->description
-                                : item.fault.direct->description;
+      o.fault_description = *derived[id].description;
       id_seen[id] = true;
       result.injections[id] = std::move(o);
     }

@@ -34,6 +34,15 @@ namespace ep::core {
 /// versioned separately by kPlanSchemaVersion.
 inline constexpr int kShardSchemaVersion = 2;
 
+/// Version of the binary wire encoding (docs/WIRE_FORMAT.md, "Binary
+/// encoding"): the compact non-JSON framing of the same plan and
+/// shard-report models, used by the same-host shared-memory data plane
+/// (core/arena.hpp) and sized for the remote fleet's network framing.
+/// Versioned independently of the JSON schema versions — the two
+/// encodings carry identical information and decode to identical
+/// in-memory values.
+inline constexpr int kBinaryWireVersion = 1;
+
 /// A plan or shard-report file that cannot be trusted: syntactically
 /// malformed, wrong schema version, wrong kind, missing or inconsistent
 /// fields, or shard sets that do not add back up to the plan.
@@ -114,6 +123,26 @@ struct ShardReport {
 /// that contradicts the ids actually present.
 ShardReport shard_report_from_json(const std::string& text);
 
+/// True when `data` starts with the binary wire magic — how file loaders
+/// (epa_cli's load_plan) dispatch between the JSON and binary decoders
+/// without trying one and falling back.
+bool looks_like_binary_wire(const void* data, std::size_t size);
+bool looks_like_binary_wire(const std::string& text);
+
+/// The binary encodings (docs/WIRE_FORMAT.md, "Binary encoding"): a
+/// sectioned little-framing with explicit endianness, total size, and a
+/// validated section table. Canonical like the JSON side: decode ->
+/// re-encode reproduces the bytes verbatim, and the decoders enforce
+/// every invariant the JSON parsers do (same error messages where the
+/// check is shared). Throws WireError on any malformed, truncated,
+/// foreign-endian, or version-skewed input.
+std::string plan_to_binary(const InjectionPlan& plan);
+InjectionPlan plan_from_binary(const void* data, std::size_t size);
+InjectionPlan plan_from_binary(const std::string& text);
+std::string shard_report_to_binary(const ShardReport& report);
+ShardReport shard_report_from_binary(const void* data, std::size_t size);
+ShardReport shard_report_from_binary(const std::string& text);
+
 /// Progress hooks for a preemptible shard drain. With checkpoint_every ==
 /// 0 the drain is one uninterruptible pass and no intermediate flush
 /// happens; with K > 0 the drain proceeds in ascending chunks of K items,
@@ -141,10 +170,14 @@ ShardReport run_shard(const Executor& executor, const InjectionPlan& plan,
 /// is the persistent-worker drain (core/orchestrator.hpp): one process
 /// parses the plan and re-freezes the prototype once, then serves any
 /// number of leases through this. Throws WireError when the range does
-/// not fit the plan.
+/// not fit the plan. `hooks` makes the drain preemptible mid-lease the
+/// same way run_shard's is: with checkpoint_every > 0 a partial leased
+/// report (complete == false) is flushed after each chunk and the drain
+/// stops between chunks when `interrupted` fires.
 ShardReport run_lease(const Executor& executor, const InjectionPlan& plan,
                       std::size_t begin, std::size_t end,
-                      const ExecutorOptions& opts = {});
+                      const ExecutorOptions& opts = {},
+                      const ShardDrainHooks& hooks = {});
 
 /// Complete a partial report: re-drain only the ids the shard owns but
 /// `partial` lacks, and return the combined report — byte-identical to an

@@ -1,0 +1,41 @@
+// Validation helpers shared by the JSON (wire.cpp) and binary
+// (wire_binary.cpp) codecs. Both decoders must enforce the same
+// invariants with the same diagnostics — a truncated lease is the same
+// bug whichever framing carried it — so the checks live here once
+// instead of drifting apart in two anonymous namespaces.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/catalog.hpp"
+#include "core/wire.hpp"
+
+namespace ep::core::wire_detail {
+
+/// Resolve a (kind, name) fault reference against this build's catalog.
+/// Throws WireError naming the fault when the catalog does not know it.
+FaultRef parse_fault(FaultKind kind, const std::string& name);
+
+/// How many of `total_items` ids shard (index, count) owns — arithmetic
+/// only, because `total_items` is untrusted wire input and must never
+/// size an allocation (unlike shard_item_ids, which materializes the
+/// ids).
+std::size_t owned_id_count(std::size_t total_items, std::size_t shard_index,
+                           std::size_t shard_count);
+
+/// Validate one completed id against the report header and the ids seen
+/// so far (report.item_ids), mirroring the v1 checks plus v2's
+/// canonical-order requirement. Ownership is the modulo partition, or
+/// the explicit assigned_ids lease when the report is leased.
+void check_completed_id(const ShardReport& report, long long id,
+                        bool require_ascending);
+
+/// The shared tail of every shard-report decode: `complete` is derived
+/// state (the ids are each owned and unique, so coverage is a count
+/// comparison). When `flag_on_wire` the file carried the flag and a
+/// disagreement is a corrupt file; otherwise (JSON v1) the flag is
+/// inferred. Sets report.complete either way.
+void validate_complete_flag(ShardReport& report, bool flag_on_wire);
+
+}  // namespace ep::core::wire_detail

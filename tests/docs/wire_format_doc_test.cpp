@@ -24,21 +24,57 @@ std::string read_doc() {
   return buf.str();
 }
 
-/// The fenced ```json block following `<!-- wire-format-example: NAME -->`.
-std::string example_block(const std::string& doc, const std::string& name) {
+/// The fenced block following `<!-- wire-format-example: NAME -->`.
+std::string example_block(const std::string& doc, const std::string& name,
+                          const std::string& fence = "json") {
   std::string marker = "<!-- wire-format-example: " + name + " -->";
   std::size_t at = doc.find(marker);
   EXPECT_NE(at, std::string::npos) << "marker not found: " << marker;
   if (at == std::string::npos) return {};
-  std::size_t open = doc.find("```json\n", at);
-  EXPECT_NE(open, std::string::npos) << "no ```json fence after " << marker;
+  std::string open_fence = "```" + fence + "\n";
+  std::size_t open = doc.find(open_fence, at);
+  EXPECT_NE(open, std::string::npos)
+      << "no ```" << fence << " fence after " << marker;
   if (open == std::string::npos) return {};
-  open += std::string("```json\n").size();
+  open += open_fence.size();
   std::size_t close = doc.find("```", open);
   EXPECT_NE(close, std::string::npos) << "unterminated fence after "
                                       << marker;
   if (close == std::string::npos) return {};
   return doc.substr(open, close - open);
+}
+
+/// Lowercase hex of `bytes`, no separators — the shape `xxd -p` prints.
+std::string hex_of(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+/// A hex block back to raw bytes, ignoring the newlines `xxd -p` wraps at.
+std::string bytes_of_hex(const std::string& block) {
+  std::string hex;
+  for (char c : block)
+    if (c != '\n' && c != '\r') hex.push_back(c);
+  EXPECT_EQ(hex.size() % 2, 0u) << "odd hex digit count in the example";
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string bytes;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    int hi = nibble(hex[i]), lo = nibble(hex[i + 1]);
+    EXPECT_GE(hi, 0) << "non-hex character in the example";
+    EXPECT_GE(lo, 0) << "non-hex character in the example";
+    bytes.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return bytes;
 }
 
 TEST(WireFormatDoc, PlanExampleRoundTripsVerbatim) {
@@ -91,6 +127,36 @@ TEST(WireFormatDoc, LegacyShardReportExampleReadsAsTheV2Example) {
          "into the v2 example";
 }
 
+TEST(WireFormatDoc, BinaryPlanExampleIsVerbatimEncoderOutput) {
+  // The hex block must be exactly what the binary encoder emits for the
+  // documented JSON plan — the two examples describe the same plan in
+  // both encodings, like the v1/v2 shard-report pair.
+  std::string doc = read_doc();
+  std::string json = example_block(doc, "plan");
+  std::string hex = example_block(doc, "plan-binary", "text");
+  ASSERT_FALSE(json.empty());
+  ASSERT_FALSE(hex.empty());
+  std::string wire = plan_to_binary(plan_from_json(json));
+  std::string doc_bytes = bytes_of_hex(hex);
+  EXPECT_EQ(hex_of(doc_bytes), hex_of(wire))
+      << "docs/WIRE_FORMAT.md binary plan example is no longer verbatim "
+         "encoder output — regenerate it (see the doc's 'Regenerating the "
+         "examples' section)";
+}
+
+TEST(WireFormatDoc, BinaryPlanExampleDecodesToTheJsonExample) {
+  std::string doc = read_doc();
+  std::string json = example_block(doc, "plan");
+  std::string bytes = bytes_of_hex(example_block(doc, "plan-binary", "text"));
+  ASSERT_FALSE(json.empty());
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_TRUE(looks_like_binary_wire(bytes));
+  InjectionPlan plan = plan_from_binary(bytes);
+  EXPECT_EQ(plan.to_json(), json)
+      << "the documented binary plan no longer decodes into the documented "
+         "JSON plan";
+}
+
 TEST(WireFormatDoc, DocumentsTheCurrentSchemaVersions) {
   std::string doc = read_doc();
   // The prose must pin the versions the code actually writes: plans and
@@ -104,6 +170,10 @@ TEST(WireFormatDoc, DocumentsTheCurrentSchemaVersions) {
                                 "` (`core::kShardSchemaVersion`)"))
       << "docs/WIRE_FORMAT.md does not document shard schema_version "
       << kShardSchemaVersion;
+  EXPECT_TRUE(contains(doc, "`core::kBinaryWireVersion`, currently `" +
+                                std::to_string(kBinaryWireVersion) + "`"))
+      << "docs/WIRE_FORMAT.md does not document binary wire version "
+      << kBinaryWireVersion;
 }
 
 }  // namespace
