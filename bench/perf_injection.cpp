@@ -9,6 +9,7 @@
 // trajectory (and the serial-vs-parallel speedup) is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -28,11 +29,13 @@
 #include "core/executor.hpp"
 #include "core/injector.hpp"
 #include "core/planner.hpp"
+#include "core/protocol.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "core/snapshot.hpp"
 #include "core/transport.hpp"
 #include "core/wire.hpp"
+#include "net/transport_tcp.hpp"
 #include "os/world.hpp"
 
 namespace {
@@ -301,24 +304,34 @@ struct OrchestratedStats {
   int leases = 0;
 };
 
+enum class DataPlane { json, shm, tcp };
+
 /// One scenario's campaign through the orchestrated shape: `workers`
 /// simulated *persistent* worker processes serving fine-grained dynamic
 /// leases (core/orchestrator.hpp). Each worker pays the per-process tax
 /// exactly once — plan decoded, prototype re-frozen — then drains many
 /// leases, every lease report crossing the wire; the coordinator merges
 /// against the plan it already holds in memory (it planned it), so
-/// there is no merge-side plan re-parse. With an empty `arena_path` the
-/// data plane is JSON — plan and lease reports as the strings the pipe
-/// transport ships. Otherwise it is the shm arena (core/arena.hpp): the
-/// plan one binary frame workers decode from their own mapping of the
-/// arena file, every lease report a binary frame written into the
-/// lease's own segment and decoded from the coordinator's mapping —
-/// zero copies, no per-lease files.
+/// there is no merge-side plan re-parse. Three data planes:
+/// DataPlane::json is the pipe transport's payload — plan and lease
+/// reports as JSON strings. DataPlane::shm is the arena
+/// (core/arena.hpp): the plan one binary frame workers decode from
+/// their own mapping of the arena file, every lease report a binary
+/// frame written into the lease's own segment and decoded from the
+/// coordinator's mapping — zero copies, no per-lease files.
+/// DataPlane::tcp is the socket plane's framing (net/transport_tcp.hpp)
+/// over a socketpair — the same syscalls and copies a loopback
+/// connection pays: the plan pushed to each worker as one
+/// length-prefixed binary frame, each lease answered by a DONE control
+/// frame plus the binary report frame, reassembled through FrameBuffer
+/// on the receiving side.
 double orchestrated_scenario_seconds(const core::Scenario& scenario,
                                      int workers, int leases_per_worker,
+                                     DataPlane plane,
                                      const std::string& arena_path,
                                      OrchestratedStats* acc) {
-  const bool shm = !arena_path.empty();
+  const bool shm = plane == DataPlane::shm;
+  const bool tcp = plane == DataPlane::tcp;
   auto t0 = std::chrono::steady_clock::now();
   core::CampaignOptions popts;
   popts.use_world_cache = false;  // the wire plan carries no snapshot
@@ -331,23 +344,37 @@ double orchestrated_scenario_seconds(const core::Scenario& scenario,
 
   std::string plan_json;
   std::optional<core::ShmArena> coord, worker_side;
+  int sp[2] = {-1, -1};  // [0] coordinator end, [1] worker end
+  net::FrameBuffer coord_fb, worker_fb;
   if (shm) {
     coord.emplace(core::ShmArena::create(
         arena_path, core::plan_to_binary(plan), lease_count,
         core::arena_segment_bytes(lease_items)));
     // The worker side maps the file itself, like a real worker process.
     worker_side.emplace(core::ShmArena::open(arena_path));
+  } else if (tcp) {
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0) return 0.0;
   } else {
     plan_json = plan.to_json();
   }
   // One plan decode + one re-freeze per persistent worker, not per
   // lease.
+  std::string plan_wire = tcp ? core::plan_to_binary(plan) : std::string();
   std::vector<core::InjectionPlan> worker_plans;
   for (int w = 0; w < workers; ++w) {
-    worker_plans.push_back(
-        shm ? core::plan_from_binary(worker_side->plan_data(),
-                                     worker_side->plan_size())
-            : core::plan_from_json(plan_json));
+    if (shm) {
+      worker_plans.push_back(core::plan_from_binary(
+          worker_side->plan_data(), worker_side->plan_size()));
+    } else if (tcp) {
+      // The per-worker plan push: one frame down the socket, reassembled
+      // and decoded on the worker end.
+      net::send_frame(sp[0], plan_wire);
+      std::string payload;
+      net::recv_frame(sp[1], &worker_fb, &payload, 5000);
+      worker_plans.push_back(core::plan_from_binary(payload));
+    } else {
+      worker_plans.push_back(core::plan_from_json(plan_json));
+    }
     core::refreeze_snapshot(worker_plans.back(), scenario);
   }
   std::vector<core::ShardReport> leases;
@@ -366,6 +393,20 @@ double orchestrated_scenario_seconds(const core::Scenario& scenario,
       // Coordinator side: decode from its own mapping — zero copies.
       leases.push_back(core::shard_report_from_binary(
           coord->segment(lease_seq), frame.size()));
+    } else if (tcp) {
+      // Worker end: DONE control frame, then the binary report frame —
+      // the tcp plane's per-lease handoff, end to end.
+      std::string frame = core::shard_report_to_binary(report);
+      net::send_frame(
+          sp[1], core::format_done(begin, std::min(begin + lease_items, n)));
+      net::send_frame(sp[1], frame);
+      std::string line, body;
+      net::recv_frame(sp[0], &coord_fb, &line, 5000);
+      core::ProtocolMsg msg;
+      if (!core::parse_protocol_line(line, &msg)) std::abort();
+      net::recv_frame(sp[0], &coord_fb, &body, 5000);
+      acc->wire_bytes += line.size() + body.size();
+      leases.push_back(core::shard_report_from_binary(body));
     } else {
       std::string json = report.to_json();
       acc->wire_bytes += json.size();
@@ -376,6 +417,10 @@ double orchestrated_scenario_seconds(const core::Scenario& scenario,
   auto merged = core::merge_shard_reports(plan, leases);
   acc->runs += merged.n();
   benchmark::DoNotOptimize(merged);
+  if (tcp) {
+    ::close(sp[0]);
+    ::close(sp[1]);
+  }
   auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }
@@ -392,7 +437,8 @@ double orchestrated_scenario_seconds(const core::Scenario& scenario,
 void measure_orchestrated(int workers, int leases_per_worker,
                           double* baseline_s, double* json_s,
                           OrchestratedStats* json_stats, double* shm_s,
-                          OrchestratedStats* shm_stats) {
+                          OrchestratedStats* shm_stats, double* tcp_s,
+                          OrchestratedStats* tcp_stats) {
   // The arena lives on tmpfs when the host has one — a disk-backed
   // arena measures writeback, not the data plane (real deployments put
   // the orchestrator's --dir on tmpfs for the same reason).
@@ -407,6 +453,7 @@ void measure_orchestrated(int workers, int leases_per_worker,
   std::vector<double> base_best(k, 1e300);
   std::vector<double> json_best(k, 1e300);
   std::vector<double> shm_best(k, 1e300);
+  std::vector<double> tcp_best(k, 1e300);
   core::CampaignOptions base_opts;
   base_opts.use_world_cache = true;
   for (int rep = 0; rep < 3; ++rep) {
@@ -414,6 +461,7 @@ void measure_orchestrated(int workers, int leases_per_worker,
     // triple-accumulate.
     *json_stats = OrchestratedStats{};
     *shm_stats = OrchestratedStats{};
+    *tcp_stats = OrchestratedStats{};
     for (std::size_t i = 0; i < k; ++i) {
       core::Campaign campaign(scenarios[i]);  // copy outside the clock
       auto t0 = std::chrono::steady_clock::now();
@@ -423,23 +471,28 @@ void measure_orchestrated(int workers, int leases_per_worker,
       base_best[i] = std::min(
           base_best[i], std::chrono::duration<double>(t1 - t0).count());
       json_best[i] = std::min(
-          json_best[i],
-          orchestrated_scenario_seconds(scenarios[i], workers,
-                                        leases_per_worker, "", json_stats));
+          json_best[i], orchestrated_scenario_seconds(
+                            scenarios[i], workers, leases_per_worker,
+                            DataPlane::json, "", json_stats));
       shm_best[i] = std::min(
-          shm_best[i],
-          orchestrated_scenario_seconds(scenarios[i], workers,
-                                        leases_per_worker, arena_path,
-                                        shm_stats));
+          shm_best[i], orchestrated_scenario_seconds(
+                           scenarios[i], workers, leases_per_worker,
+                           DataPlane::shm, arena_path, shm_stats));
+      tcp_best[i] = std::min(
+          tcp_best[i], orchestrated_scenario_seconds(
+                           scenarios[i], workers, leases_per_worker,
+                           DataPlane::tcp, "", tcp_stats));
     }
   }
   *baseline_s = 0;
   *json_s = 0;
   *shm_s = 0;
+  *tcp_s = 0;
   for (std::size_t i = 0; i < k; ++i) {
     *baseline_s += base_best[i];
     *json_s += json_best[i];
     *shm_s += shm_best[i];
+    *tcp_s += tcp_best[i];
   }
   std::remove(arena_path.c_str());
 }
@@ -524,16 +577,19 @@ void write_sweep_json(const char* path) {
   // orchestrated_wire_bytes is the codec's size win; the overhead delta
   // is the whole data plane's win.
   constexpr int kOrchLeasesPerWorker = 4;
-  OrchestratedStats orch, shm;
-  double orch_base_s = 0, orch_s = 0, shm_s = 0;
+  OrchestratedStats orch, shm, tcp;
+  double orch_base_s = 0, orch_s = 0, shm_s = 0, tcp_s = 0;
   measure_orchestrated(kShards, kOrchLeasesPerWorker, &orch_base_s,
-                       &orch_s, &orch, &shm_s, &shm);
+                       &orch_s, &orch, &shm_s, &shm, &tcp_s, &tcp);
   double orch_rps = orch.runs / orch_s;
   double orch_overhead_pct =
       (orch_base_s > 0 ? orch_s / orch_base_s - 1.0 : 0.0) * 100.0;
   double shm_rps = shm.runs / shm_s;
   double shm_overhead_pct =
       (orch_base_s > 0 ? shm_s / orch_base_s - 1.0 : 0.0) * 100.0;
+  double tcp_rps = tcp.runs / tcp_s;
+  double tcp_overhead_pct =
+      (orch_base_s > 0 ? tcp_s / orch_base_s - 1.0 : 0.0) * 100.0;
   double codec_rps = codec_encode_decode_rps();
 
   // On a machine with fewer cores than kJobs the parallel sweep is pure
@@ -579,6 +635,9 @@ void write_sweep_json(const char* path) {
                "  \"shm_orchestrated_serial_runs_per_sec\": %.1f,\n"
                "  \"shm_orchestrated_overhead_pct\": %.1f,\n"
                "  \"binary_wire_bytes\": %zu,\n"
+               "  \"tcp_orchestrated_serial_runs_per_sec\": %.1f,\n"
+               "  \"tcp_orchestrated_overhead_pct\": %.1f,\n"
+               "  \"tcp_wire_bytes\": %zu,\n"
                "  \"codec_encode_decode_runs_per_sec\": %.1f\n"
                "}\n",
                suite.size(), runs, hw, core_starved ? "true" : "false",
@@ -590,7 +649,8 @@ void write_sweep_json(const char* path) {
                heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
                shard_overhead_pct, shard_wire_bytes, kShards, orch.leases,
                orch_rps, orch_overhead_pct, orch.wire_bytes, shm_rps,
-               shm_overhead_pct, shm.wire_bytes, codec_rps);
+               shm_overhead_pct, shm.wire_bytes, tcp_rps, tcp_overhead_pct,
+               tcp.wire_bytes, codec_rps);
   std::fclose(f);
   std::printf(
       "\nsweep: %d injection runs across %zu scenarios\n"
@@ -606,6 +666,8 @@ void write_sweep_json(const char* path) {
       "parse+refreeze once)\n"
       "  shm orchestrated  : %8.1f runs/sec  (overhead %+.1f%% vs cached "
       "serial; %d leases, %zu binary report bytes in the arena)\n"
+      "  tcp orchestrated  : %8.1f runs/sec  (overhead %+.1f%% vs cached "
+      "serial; %d leases, %zu framed bytes through the socketpair)\n"
       "  binary codec      : %8.1f outcomes/sec through encode+decode\n",
       runs, suite.size(), serial_rps, kJobs, parallel_rps,
       parallel_rps / serial_rps, cached_serial_rps,
@@ -615,7 +677,8 @@ void write_sweep_json(const char* path) {
       heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
       shard_overhead_pct, shard_wire_bytes, kShards, kOrchLeasesPerWorker,
       orch_rps, orch_overhead_pct, orch.leases, orch.wire_bytes, shm_rps,
-      shm_overhead_pct, shm.leases, shm.wire_bytes, codec_rps);
+      shm_overhead_pct, shm.leases, shm.wire_bytes, tcp_rps,
+      tcp_overhead_pct, tcp.leases, tcp.wire_bytes, codec_rps);
   if (core_starved)
     std::printf(
         "  !! core-starved (%u hardware thread%s < %d jobs): the parallel "

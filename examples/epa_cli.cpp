@@ -30,15 +30,24 @@
 //   epa_cli orchestrate turnin --workers 3    # dynamic leases, persistent
 //   epa_cli orchestrate --all --workers 4     # workers, auto re-lease on
 //                                             # preemption (exit 4)
+//   epa_cli orchestrate turnin --data-plane tcp --listen 7070  # remote
+//   epa_cli worker --connect host:7070        # workers dial in from
+//                                             # any machine
 //
-// `epa_cli worker PLAN` is the orchestrator's worker half: it parses the
-// plan and re-freezes the COW prototype once, then serves LEASE commands
-// from stdin until EXIT/EOF — the per-process costs are paid per worker,
-// not per work slice. Orchestrated output is bit-identical to `run`.
+// `epa_cli worker` is the orchestrator's worker half: it parses the plan
+// and re-freezes the COW prototype once, then serves LEASE commands over
+// its control channel (stdin/stdout lines; tcp frames with --connect)
+// until EXIT/EOF — the per-process costs are paid per worker, not per
+// work slice. Every data plane speaks worker protocol v2
+// (core/protocol.hpp): HELLO handshake, PING heartbeats at checkpoints,
+// STEAL/YIELD work stealing. Orchestrated output is bit-identical to
+// `run`.
+#include <poll.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <csignal>
 #include <cstdio>
@@ -48,6 +57,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/scenarios.hpp"
@@ -56,10 +66,12 @@
 #include "core/equivalence.hpp"
 #include "core/orchestrator.hpp"
 #include "core/planner.hpp"
+#include "core/protocol.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "core/transport.hpp"
 #include "core/wire.hpp"
+#include "net/transport_tcp.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "vulndb/classifier.hpp"
@@ -89,14 +101,17 @@ int usage() {
       "                [--jobs N] [--no-world-cache] [--checkpoint K]\n"
       "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
       "  epa_cli orchestrate <scenario> [--workers N] [--lease K]\n"
+      "                [--data-plane pipe|shm|tcp] [--deadman-ms MS]\n"
       "                [--jobs N] [--preempt-after N] [--checkpoint K]\n"
-      "                [--data-plane json|shm] [--dir DIR]\n"
+      "                [--drain-delay-ms MS] [--dir DIR]\n"
+      "                [--listen PORT] [--port-file FILE]   (tcp)\n"
       "                [--json] [--no-world-cache]\n"
-      "  epa_cli orchestrate --all [same flags]\n"
-      "  epa_cli worker <plan-file>|--arena FILE [--jobs N]\n"
-      "                [--no-world-cache] [--preempt-after N]\n"
-      "                [--checkpoint K]   (LEASE/DONE protocol on\n"
-      "                stdin/stdout; spawned by orchestrate)\n"
+      "  epa_cli orchestrate --all [same flags; pipe/shm only]\n"
+      "  epa_cli worker <plan-file>|--arena FILE|--connect HOST:PORT\n"
+      "                [--jobs N] [--no-world-cache] [--preempt-after N]\n"
+      "                [--checkpoint K] [--drain-delay-ms MS]\n"
+      "                (worker protocol v2 on stdin/stdout, or framed\n"
+      "                over tcp with --connect; spawned by orchestrate)\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
   return 2;
@@ -576,47 +591,218 @@ int cmd_merge(const std::string& plan_path,
 
 // --- orchestrated execution (core/orchestrator.hpp) -------------------------
 
+/// One control channel to the coordinator: protocol lines out, commands
+/// in. The pipe flavor speaks newline-delimited lines on fds 0/1; the
+/// tcp flavor carries the same line bytes as length-prefixed frames.
+/// Raw fds rather than stdio — the STEAL poll between checkpoint chunks
+/// needs a non-blocking read that does not fight a buffered FILE*.
+class WorkerChannel {
+ public:
+  virtual ~WorkerChannel() = default;
+  /// Send one protocol line (no trailing newline). False on a dead peer;
+  /// the read side tells the death story.
+  virtual bool send_line(const std::string& line) = 0;
+  /// Block for the next command. False on EOF (coordinator gone).
+  virtual bool recv_line(std::string* line) = 0;
+  /// Pull one already-arrived command without blocking — how a draining
+  /// worker notices STEAL between chunks.
+  virtual bool poll_line(std::string* line) = 0;
+  /// Ship a completed lease report. The tcp flavor sends it as the
+  /// binary frame right after DONE; the pipe/shm planes already landed
+  /// the report via the lease target, so the base is a no-op.
+  virtual bool send_report(const std::string& wire) {
+    (void)wire;
+    return true;
+  }
+};
+
+/// stdin/stdout, one protocol line per '\n' — what orchestrate's
+/// fork/exec transports (pipe and shm data planes) speak.
+class PipeChannel : public WorkerChannel {
+ public:
+  bool send_line(const std::string& line) override {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      ssize_t n = ::write(1, out.data() + off, out.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  bool recv_line(std::string* line) override {
+    while (!take(line)) {
+      if (eof_) return false;
+      fill(-1);
+    }
+    return true;
+  }
+  bool poll_line(std::string* line) override {
+    if (take(line)) return true;
+    if (!eof_) fill(0);
+    return take(line);
+  }
+
+ private:
+  /// Read whatever poll() reports ready within timeout_ms (-1 blocks).
+  void fill(int timeout_ms) {
+    pollfd p{0, POLLIN, 0};
+    if (::poll(&p, 1, timeout_ms) <= 0) return;  // timeout/EINTR: no data
+    char buf[4096];
+    ssize_t n = ::read(0, buf, sizeof buf);
+    if (n > 0)
+      buf_.append(buf, static_cast<std::size_t>(n));
+    else if (n == 0)
+      eof_ = true;
+  }
+  bool take(std::string* line) {
+    auto nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+      // A command this long is a broken coordinator, not a command.
+      if (buf_.size() > 65536)
+        throw std::runtime_error("worker: command line exceeds 65536 bytes");
+      return false;
+    }
+    line->assign(buf_, 0, nl);
+    while (!line->empty() && line->back() == '\r') line->pop_back();
+    buf_.erase(0, nl + 1);
+    return true;
+  }
+  std::string buf_;
+  bool eof_ = false;
+};
+
+/// A dialed-in tcp worker: the identical protocol lines, framed
+/// (net/transport_tcp.hpp), plus the report frame after each DONE.
+class TcpChannel : public WorkerChannel {
+ public:
+  explicit TcpChannel(int fd) : fd_(fd) {}
+  ~TcpChannel() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool send_line(const std::string& line) override {
+    return net::send_frame(fd_, line);
+  }
+  bool recv_line(std::string* line) override {
+    if (eof_) return false;
+    if (!net::recv_frame(fd_, &frames_, line, -1)) eof_ = true;
+    return !eof_;
+  }
+  bool poll_line(std::string* line) override {
+    if (frames_.pop(line)) return true;
+    if (!eof_) eof_ = !net::pump_nonblocking(fd_, &frames_);
+    return frames_.pop(line);
+  }
+  bool send_report(const std::string& wire) override {
+    return net::send_frame(fd_, wire);
+  }
+
+ private:
+  int fd_;
+  net::FrameBuffer frames_;
+  bool eof_ = false;
+};
+
 struct WorkerArgs {
   std::string plan_path;
-  std::string arena_path;       // --arena: shm data plane (binary plan +
-                                // per-lease report segments)
+  std::string arena_path;        // --arena: shm data plane (binary plan +
+                                 // per-lease report segments)
+  std::string connect_host;      // --connect: tcp data plane
+  int connect_port = 0;
   int jobs = 1;
   bool use_world_cache = true;
-  long long preempt_after = 0;  // self-preempt after N leases, or — with
-                                // --checkpoint — after N flushes (CI hook)
-  std::size_t checkpoint = 0;   // flush partials every K outcomes
+  long long preempt_after = 0;   // self-preempt after N leases, or — with
+                                 // --checkpoint — after N flushes (CI hook)
+  std::size_t checkpoint = 0;    // flush partials every K outcomes
+  long long drain_delay_ms = 0;  // sleep before each chunk (straggler hook)
 };
+
+/// The worker's protocol version for HELLO. EPA_WORKER_PROTOCOL overrides
+/// it — the test hook that manufactures an old fleet so the handshake
+/// rejection path is exercised on every data plane.
+long long worker_protocol_version() {
+  const char* env = std::getenv("EPA_WORKER_PROTOCOL");
+  if (!env || !*env) return core::kWorkerProtocolVersion;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(env, &end, 10);
+  if (errno == ERANGE || end == env || *end != '\0')
+    return core::kWorkerProtocolVersion;
+  return v;
+}
 
 /// The persistent worker half of the orchestrator: parse the plan and
 /// re-freeze the COW prototype exactly once, then serve LEASE commands
-/// from stdin until EXIT/EOF (the LocalProcessTransport protocol,
-/// core/transport.hpp). Stdout carries protocol lines only; everything
-/// human-facing goes to stderr. SIGTERM is graceful preemption: with
-/// --checkpoint the in-flight lease stops at the next chunk boundary
-/// (partial flushed, no DONE, exit 4); without it the in-flight lease
-/// finishes and the *next* one is refused with exit 4. Either way the
-/// orchestrator re-leases the unfinished range.
+/// until EXIT/EOF. The first line out is always `HELLO <version>` — a
+/// coordinator speaking a different protocol rejects the worker before
+/// any lease is granted. Protocol lines only on the control channel;
+/// everything human-facing goes to stderr. SIGTERM is graceful
+/// preemption: with --checkpoint the in-flight lease stops at the next
+/// chunk boundary (partial flushed, no DONE, exit 4); without it the
+/// in-flight lease finishes and the *next* one is refused with exit 4.
+/// Either way the orchestrator re-leases the unfinished range.
+///
+/// With --checkpoint the worker also sends a PING heartbeat after every
+/// chunk (feeding the coordinator's deadman) and polls for STEAL between
+/// chunks: a stolen lease is answered with `YIELD <mid> <end>` — the
+/// worker keeps the drained prefix [begin, mid) and the coordinator
+/// re-leases the tail to an idle worker.
 ///
 /// With --arena the data plane is the mmap'd arena (core/arena.hpp): the
 /// plan comes out of the arena's binary plan region, a lease's target is
 /// the token `@<seq>` naming its arena segment, reports are encoded with
 /// shard_report_to_binary straight into that segment, and DONE carries
 /// the (offset, length) handoff instead of a file path.
+///
+/// With --connect the whole exchange rides one tcp socket: HELLO up,
+/// the binary plan down as the first frame, then the same protocol
+/// lines framed, with each DONE followed by the lease's binary report
+/// frame. The worker announces its exit with `BYE <status>` so the
+/// coordinator can tell a clean exit from a lost host.
 int cmd_worker(const WorkerArgs& a) {
   const bool use_arena = !a.arena_path.empty();
+  const bool use_tcp = !a.connect_host.empty();
   std::optional<core::ShmArena> arena;
   core::InjectionPlan plan;
-  if (use_arena) {
+  std::unique_ptr<WorkerChannel> chan;
+  std::string plan_src;
+  if (use_tcp) {
+    chan = std::make_unique<TcpChannel>(
+        net::tcp_connect(a.connect_host, a.connect_port));
+    // HELLO before anything else — the coordinator checks the version
+    // before it ships the plan.
+    chan->send_line(core::format_hello(worker_protocol_version()));
+    plan_src = a.connect_host + ":" + std::to_string(a.connect_port);
+    std::string frame;
+    if (!chan->recv_line(&frame))
+      throw std::runtime_error(
+          plan_src + ": coordinator closed the connection before sending "
+                     "a plan (handshake rejected?)");
+    try {
+      plan = core::plan_from_binary(frame);
+    } catch (const core::WireError& e) {
+      throw std::runtime_error(plan_src + ": " + e.what());
+    }
+  } else if (use_arena) {
+    chan = std::make_unique<PipeChannel>();
+    chan->send_line(core::format_hello(worker_protocol_version()));
     arena.emplace(core::ShmArena::open(a.arena_path));
     try {
       plan = core::plan_from_binary(arena->plan_data(), arena->plan_size());
     } catch (const core::WireError& e) {
       throw std::runtime_error(a.arena_path + ": " + e.what());
     }
+    plan_src = a.arena_path;
   } else {
+    chan = std::make_unique<PipeChannel>();
+    chan->send_line(core::format_hello(worker_protocol_version()));
     plan = load_plan(a.plan_path);
+    plan_src = a.plan_path;
   }
-  const std::string& plan_src = use_arena ? a.arena_path : a.plan_path;
   bool found = false;
   core::Scenario scenario = find_scenario(plan.scenario_name, found);
   if (!found)
@@ -638,131 +824,171 @@ int cmd_worker(const WorkerArgs& a) {
 
   long long done = 0;
   long long flushes = 0;  // cumulative across leases, like `done`
-  char line[4096];
-  while (std::fgets(line, sizeof line, stdin)) {
-    std::string cmd(line);
-    // A fill without a newline is a truncated command (an over-long
-    // report path, say): parsing the fragment would drain the lease and
-    // write the report to the wrong, truncated path. Fail fast instead.
-    if (!cmd.empty() && cmd.back() != '\n' && cmd.size() + 1 >= sizeof line) {
-      std::fprintf(stderr,
-                   "epa: worker: command line exceeds %zu bytes\n",
-                   sizeof line - 1);
-      return 1;
-    }
-    while (!cmd.empty() && (cmd.back() == '\n' || cmd.back() == '\r'))
-      cmd.pop_back();
-    if (cmd == "EXIT") break;
-    // LEASE <begin> <end> <report-path | @seq>
-    const char* rest = cmd.c_str();
-    auto parse_num = [&](std::size_t* out) {
-      errno = 0;
-      char* end = nullptr;
-      unsigned long long v = std::strtoull(rest, &end, 10);
-      if (errno == ERANGE || end == rest || *end != ' ') return false;
-      *out = static_cast<std::size_t>(v);
-      rest = end + 1;
-      return true;
-    };
-    std::size_t begin = 0, end = 0;
-    bool ok = std::strncmp(rest, "LEASE ", 6) == 0;
-    if (ok) rest += 6;
-    ok = ok && parse_num(&begin) && parse_num(&end) && *rest != '\0';
-    if (!ok) {
-      std::fprintf(stderr, "epa: worker: malformed command '%s'\n",
-                   cmd.c_str());
-      return 1;
-    }
-    std::string target = rest;
-    std::size_t seq = 0;
-    if (use_arena) {
-      errno = 0;
-      char* tok_end = nullptr;
-      unsigned long long v =
-          target[0] == '@' ? std::strtoull(target.c_str() + 1, &tok_end, 10)
-                           : 0;
-      if (target[0] != '@' || errno == ERANGE ||
-          tok_end == target.c_str() + 1 || *tok_end != '\0') {
-        std::fprintf(stderr,
-                     "epa: worker: arena lease target must be @<seq>, "
-                     "got '%s'\n",
-                     target.c_str());
+  auto serve = [&]() -> int {
+    std::string cmd;
+    while (chan->recv_line(&cmd)) {
+      core::ProtocolMsg msg;
+      if (!core::parse_protocol_line(cmd, &msg)) {
+        std::fprintf(stderr, "epa: worker: malformed command '%s'\n",
+                     cmd.c_str());
         return 1;
       }
-      seq = static_cast<std::size_t>(v);
-    }
-    if (g_preempted) {
-      std::fprintf(stderr,
-                   "epa: worker preempted; lease [%zu, %zu) not drained\n",
-                   begin, end);
-      return 4;  // the orchestrator re-leases [begin, end)
-    }
-
-    // Where (partial and final) reports land for this lease. The arena
-    // flush bounds-checks before touching the segment: a report that
-    // outgrows its segment is a clean worker failure, never a
-    // neighboring lease's bytes overwritten.
-    std::size_t flushed_bytes = 0;
-    auto flush = [&](const core::ShardReport& r) {
-      if (!use_arena) {
-        write_file_atomic(target, r.to_json());
-        return;
+      if (msg.type == core::ProtocolMsg::Type::exit_cmd) break;
+      if (msg.type == core::ProtocolMsg::Type::steal) continue;  // the
+      // benign race: the lease it wanted stolen finished before the
+      // STEAL arrived; there is nothing left to yield.
+      if (msg.type != core::ProtocolMsg::Type::lease) {
+        std::fprintf(stderr, "epa: worker: unexpected command '%s'\n",
+                     cmd.c_str());
+        return 1;
       }
-      std::string bin = core::shard_report_to_binary(r);
-      if (bin.size() > arena->segment_bytes())
-        throw std::runtime_error(
-            "worker: lease " + std::to_string(seq) + " report (" +
-            std::to_string(bin.size()) +
-            " bytes) exceeds the arena segment capacity (" +
-            std::to_string(arena->segment_bytes()) + " bytes)");
-      std::memcpy(arena->segment(seq), bin.data(), bin.size());
-      flushed_bytes = bin.size();
-    };
+      std::size_t begin = msg.begin, end = msg.end;
+      std::string target = msg.target;
+      std::size_t seq = 0;
+      if (use_arena) {
+        errno = 0;
+        char* tok_end = nullptr;
+        unsigned long long v =
+            !target.empty() && target[0] == '@'
+                ? std::strtoull(target.c_str() + 1, &tok_end, 10)
+                : 0;
+        if (target.empty() || target[0] != '@' || errno == ERANGE ||
+            tok_end == target.c_str() + 1 || *tok_end != '\0') {
+          std::fprintf(stderr,
+                       "epa: worker: arena lease target must be @<seq>, "
+                       "got '%s'\n",
+                       target.c_str());
+          return 1;
+        }
+        seq = static_cast<std::size_t>(v);
+      }
+      if (g_preempted) {
+        std::fprintf(stderr,
+                     "epa: worker preempted; lease [%zu, %zu) not drained\n",
+                     begin, end);
+        return 4;  // the orchestrator re-leases [begin, end)
+      }
 
-    core::ShardDrainHooks hooks;
-    if (a.checkpoint > 0) {
-      hooks.checkpoint_every = a.checkpoint;
-      hooks.interrupted = [] { return g_preempted != 0; };
-      hooks.on_checkpoint = [&](const core::ShardReport& r) {
-        flush(r);
-        // CI determinism hook (--checkpoint mode): preempt mid-lease at
-        // the Nth flush, counted across the worker's whole lifetime so
-        // replacements make progress before being preempted themselves.
-        if (a.preempt_after > 0 && ++flushes >= a.preempt_after)
-          (void)std::raise(SIGTERM);
+      // Where (partial and final) reports land for this lease. The tcp
+      // plane ships the report as a frame after DONE instead, so its
+      // flush is a no-op. The arena flush bounds-checks before touching
+      // the segment: a report that outgrows its segment is a clean
+      // worker failure, never a neighboring lease's bytes overwritten.
+      std::size_t flushed_bytes = 0;
+      auto flush = [&](const core::ShardReport& r) {
+        if (use_tcp) return;
+        if (!use_arena) {
+          write_file_atomic(target, r.to_json());
+          return;
+        }
+        std::string bin = core::shard_report_to_binary(r);
+        if (bin.size() > arena->segment_bytes())
+          throw std::runtime_error(
+              "worker: lease " + std::to_string(seq) + " report (" +
+              std::to_string(bin.size()) +
+              " bytes) exceeds the arena segment capacity (" +
+              std::to_string(arena->segment_bytes()) + " bytes)");
+        std::memcpy(arena->segment(seq), bin.data(), bin.size());
+        flushed_bytes = bin.size();
       };
-    }
-    core::ShardReport report =
-        core::run_lease(executor, plan, begin, end, opts, hooks);
-    if (!report.complete) {
-      // Preempted mid-lease: flush the partial (for post-mortems; the
-      // orchestrator re-drains the whole range) and exit *without* DONE
-      // — a DONE line must always name a complete report.
+
+      bool steal_requested = false;
+      std::size_t chunks = 0;
+      core::ShardDrainHooks hooks;
+      if (a.checkpoint > 0) {
+        hooks.checkpoint_every = a.checkpoint;
+        hooks.interrupted = [&] {
+          // The straggler hook: slow every chunk down so CI can force a
+          // lease split deterministically.
+          if (a.drain_delay_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(a.drain_delay_ms));
+          if (g_preempted) return true;
+          std::string in;
+          while (chan->poll_line(&in)) {
+            core::ProtocolMsg m;
+            if (core::parse_protocol_line(in, &m) &&
+                m.type == core::ProtocolMsg::Type::steal)
+              steal_requested = true;
+          }
+          // Honor a STEAL only once a chunk has landed — the yielded
+          // split point must sit strictly inside the lease.
+          return steal_requested && chunks > 0;
+        };
+        hooks.on_checkpoint = [&](const core::ShardReport& r) {
+          ++chunks;
+          flush(r);
+          // Heartbeat at every checkpoint: the coordinator's deadman
+          // only trusts a worker it has heard from recently.
+          chan->send_line(core::format_ping());
+          // CI determinism hook (--checkpoint mode): preempt mid-lease
+          // at the Nth flush, counted across the worker's whole lifetime
+          // so replacements make progress before being preempted too.
+          if (a.preempt_after > 0 && ++flushes >= a.preempt_after)
+            (void)std::raise(SIGTERM);
+        };
+      }
+      core::ShardReport report =
+          core::run_lease(executor, plan, begin, end, opts, hooks);
+      if (!report.complete && g_preempted) {
+        // Preempted mid-lease: flush the partial (for post-mortems; the
+        // orchestrator re-drains the whole range) and exit *without*
+        // DONE — a DONE line must always name a complete report.
+        flush(report);
+        std::fprintf(stderr,
+                     "epa: worker preempted mid-lease; partial for "
+                     "[%zu, %zu) flushed, range will be re-leased\n",
+                     begin, end);
+        return 4;
+      }
+      if (!report.complete) {
+        // Stopped for a STEAL: keep the drained prefix [begin, mid) and
+        // surrender [mid, end). Shrinking assigned_ids to exactly the
+        // drained ids makes the prefix a *complete* report for the kept
+        // half — the DONE below names the shrunk lease.
+        std::size_t mid = begin + report.item_ids.size();
+        report.assigned_ids = report.item_ids;
+        report.complete = true;
+        chan->send_line(core::format_yield(mid, end));
+        std::fprintf(stderr,
+                     "epa worker: yielded [%zu, %zu) of lease [%zu, %zu)\n",
+                     mid, end, begin, end);
+        end = mid;
+      }
+      // Flush *before* DONE: a DONE line always names a readable,
+      // complete report, even if this worker dies right after.
       flush(report);
-      std::fprintf(stderr,
-                   "epa: worker preempted mid-lease; partial for "
-                   "[%zu, %zu) flushed, range will be re-leased\n",
-                   begin, end);
-      return 4;
+      if (use_arena)
+        chan->send_line(core::format_done(begin, end,
+                                          arena->segment_offset(seq),
+                                          flushed_bytes));
+      else
+        chan->send_line(core::format_done(begin, end));
+      if (use_tcp) chan->send_report(core::shard_report_to_binary(report));
+      ++done;
+      // CI determinism hook (lease mode): deliver the preemption signal
+      // to ourselves after N served leases, through the real handler.
+      if (a.checkpoint == 0 && a.preempt_after > 0 && done >= a.preempt_after)
+        (void)std::raise(SIGTERM);
     }
-    // Flush *before* DONE: a DONE line always names a readable, complete
-    // report, even if this worker dies right after.
-    flush(report);
-    if (use_arena)
-      std::printf("DONE %zu %zu %zu %zu\n", begin, end,
-                  arena->segment_offset(seq), flushed_bytes);
-    else
-      std::printf("DONE %zu %zu\n", begin, end);
-    std::fflush(stdout);
-    ++done;
-    // CI determinism hook (lease mode): deliver the preemption signal to
-    // ourselves after N served leases, through the real handler.
-    if (a.checkpoint == 0 && a.preempt_after > 0 && done >= a.preempt_after)
-      (void)std::raise(SIGTERM);
+    return 0;
+  };
+
+  int rc = 0;
+  try {
+    rc = serve();
+  } catch (...) {
+    // A tcp coordinator cannot see an exit status — announce the death
+    // so it is classified `died`, not a lost host to re-lease around.
+    if (use_tcp) chan->send_line(core::format_bye(1));
+    throw;
   }
+  if (use_tcp) chan->send_line(core::format_bye(rc));
   std::fprintf(stderr, "epa worker: served %lld lease(s), exiting\n", done);
-  return 0;
+  return rc;
 }
+
+enum class DataPlane { pipe, shm, tcp };
 
 struct OrchestrateArgs {
   std::string scenario;
@@ -772,25 +998,32 @@ struct OrchestrateArgs {
   int jobs = 1;                 // per-worker --jobs
   long long preempt_after = 0;  // forwarded to workers (CI hook)
   long long checkpoint = 0;     // forwarded to workers: mid-lease partials
-  bool shm = false;             // --data-plane shm: mmap'd arena, no JSON
+  long long drain_delay_ms = 0;  // forwarded: straggler hook (CI)
+  DataPlane plane = DataPlane::pipe;
+  long long deadman_ms = 0;     // silence budget; 0 = no deadman
+  int listen_port = 0;          // tcp: port to bind (0 = ephemeral)
+  std::string port_file;        // tcp: where to publish the bound port
   bool as_json = false;
   bool use_world_cache = true;
   std::string dir;  // plan + lease/arena files; empty = fresh temp dir
 };
 
 int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
+  const bool tcp = a.plane == DataPlane::tcp;
   std::string dir = a.dir;
-  if (dir.empty()) {
-    const char* tmp = std::getenv("TMPDIR");
-    std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") +
-                       "/epa-orch.XXXXXX";
-    if (!::mkdtemp(tmpl.data()))
-      throw std::runtime_error(std::string("cannot create temp dir: ") +
-                               std::strerror(errno));
-    dir = tmpl;
-  } else if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
-    throw std::runtime_error("cannot create '" + dir +
-                             "': " + std::strerror(errno));
+  if (!tcp) {  // the tcp plane moves no files; nothing to create
+    if (dir.empty()) {
+      const char* tmp = std::getenv("TMPDIR");
+      std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") +
+                         "/epa-orch.XXXXXX";
+      if (!::mkdtemp(tmpl.data()))
+        throw std::runtime_error(std::string("cannot create temp dir: ") +
+                                 std::strerror(errno));
+      dir = tmpl;
+    } else if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      throw std::runtime_error("cannot create '" + dir +
+                               "': " + std::strerror(errno));
+    }
   }
 
   std::vector<core::Scenario> scenarios;
@@ -815,31 +1048,46 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
     popts.use_world_cache = false;  // the plan file carries no snapshot
     core::InjectionPlan plan = core::Planner(scenario).plan(popts);
 
-    core::LocalProcessConfig cfg;
-    cfg.epa_cli = core::LocalProcessTransport::self_exe(argv0);
-    cfg.out_dir = dir;
-    cfg.file_prefix = scenario.name;
-    cfg.jobs = a.jobs;
-    cfg.use_world_cache = a.use_world_cache;
-    cfg.preempt_after = a.preempt_after;
-    cfg.checkpoint = a.checkpoint;
-
     core::OrchestratorOptions oopts;
     oopts.workers = a.workers;
     oopts.lease_items = static_cast<std::size_t>(a.lease);
+    oopts.deadman_ms = a.deadman_ms;
 
-    std::unique_ptr<core::LocalProcessTransport> transport;
-    if (a.shm) {
-      // The shm data plane writes no plan JSON at all: the binary plan is
-      // frozen into the arena, sized against the exact lease partition
-      // orchestrate() will schedule.
-      transport = std::make_unique<core::ShmLocalTransport>(
-          cfg, plan, core::lease_partition(plan.items.size(), oopts));
+    std::unique_ptr<core::Transport> transport;
+    if (tcp) {
+      net::TcpTransportConfig tcfg;
+      tcfg.listen_port = a.listen_port;
+      tcfg.port_file = a.port_file;
+      tcfg.workers = a.workers;
+      auto t = std::make_unique<net::TcpTransport>(tcfg, plan);
+      std::fprintf(stderr,
+                   "epa orchestrate: listening on port %d; waiting for "
+                   "%d worker(s) (epa_cli worker --connect HOST:%d)\n",
+                   t->port(), a.workers, t->port());
+      transport = std::move(t);
     } else {
-      std::string plan_path = dir + "/" + scenario.name + ".plan.json";
-      write_file(plan_path, plan.to_json());
-      cfg.plan_path = plan_path;
-      transport = std::make_unique<core::LocalProcessTransport>(cfg);
+      core::LocalProcessConfig cfg;
+      cfg.epa_cli = core::LocalProcessTransport::self_exe(argv0);
+      cfg.out_dir = dir;
+      cfg.file_prefix = scenario.name;
+      cfg.jobs = a.jobs;
+      cfg.use_world_cache = a.use_world_cache;
+      cfg.preempt_after = a.preempt_after;
+      cfg.checkpoint = a.checkpoint;
+      cfg.drain_delay_ms = a.drain_delay_ms;
+      if (a.plane == DataPlane::shm) {
+        // The shm data plane writes no plan JSON at all: the binary plan
+        // is frozen into the arena, sized against the exact lease
+        // partition orchestrate() will schedule (plus the reserve for
+        // stolen-tail leases).
+        transport = std::make_unique<core::ShmLocalTransport>(
+            cfg, plan, core::lease_partition(plan.items.size(), oopts));
+      } else {
+        std::string plan_path = dir + "/" + scenario.name + ".plan.json";
+        write_file(plan_path, plan.to_json());
+        cfg.plan_path = plan_path;
+        transport = std::make_unique<core::LocalProcessTransport>(cfg);
+      }
     }
 
     core::OrchestratorStats stats;
@@ -847,13 +1095,16 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
         core::orchestrate(plan, *transport, oopts, &stats));
     std::fprintf(stderr,
                  "epa orchestrate: %s: %zu leases across %zu worker(s) "
-                 "(%zu re-leased, %zu preempted, %zu spawned)\n",
+                 "(%zu re-leased, %zu preempted, %zu spawned, %zu split, "
+                 "%zu deadman)\n",
                  scenario.name.c_str(), stats.leases_total,
                  static_cast<std::size_t>(a.workers), stats.leases_released,
-                 stats.workers_preempted, stats.workers_spawned);
+                 stats.workers_preempted, stats.workers_spawned,
+                 stats.leases_split, stats.deadman_expiries);
   }
-  std::fprintf(stderr, "epa orchestrate: plan and %s files in %s\n",
-               a.shm ? "arena" : "lease", dir.c_str());
+  if (!tcp)
+    std::fprintf(stderr, "epa orchestrate: plan and %s files in %s\n",
+                 a.plane == DataPlane::shm ? "arena" : "lease", dir.c_str());
 
   if (a.all) return print_sweep(sweep, a.as_json);
   const core::CampaignResult& r = sweep.results.front();
@@ -1030,8 +1281,27 @@ int main(int argc, char** argv) {
       } else if (arg == "--checkpoint") {
         a.checkpoint = static_cast<std::size_t>(
             int_flag(arg, argc, argv, &i, 1, 1LL << 30));
+      } else if (arg == "--drain-delay-ms") {
+        a.drain_delay_ms = int_flag(arg, argc, argv, &i, 1, 1LL << 20);
       } else if (arg == "--arena") {
         a.arena_path = flag_value(arg, argc, argv, &i);
+      } else if (arg == "--connect") {
+        // HOST:PORT, split on the *last* colon; the port goes through
+        // the same strict strtoll validation as every numeric flag.
+        std::string v = flag_value(arg, argc, argv, &i);
+        auto colon = v.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == v.size())
+          flag_fail(arg, "value '" + v + "' is not HOST:PORT");
+        errno = 0;
+        char* end = nullptr;
+        long long port = std::strtoll(v.c_str() + colon + 1, &end, 10);
+        if (errno == ERANGE || end == v.c_str() + colon + 1 ||
+            *end != '\0' || port < 1 || port > 65535)
+          flag_fail(arg, "port '" + v.substr(colon + 1) +
+                             "' is not in [1, 65535]");
+        a.connect_host = v.substr(0, colon);
+        a.connect_port = static_cast<int>(port);
       } else if (arg == "--no-world-cache") {
         a.use_world_cache = false;
       } else if (!starts_with(arg, "--") && a.plan_path.empty()) {
@@ -1041,17 +1311,31 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    // Exactly one data plane: a plan file (JSON pipe) or --arena (shm).
-    if (!a.plan_path.empty() && !a.arena_path.empty()) {
+    // Exactly one data plane: a plan file (pipe), --arena (shm), or
+    // --connect (tcp).
+    int planes = (!a.plan_path.empty() ? 1 : 0) +
+                 (!a.arena_path.empty() ? 1 : 0) +
+                 (!a.connect_host.empty() ? 1 : 0);
+    if (planes > 1) {
       std::fprintf(stderr,
-                   "epa: worker takes a plan file or --arena, not both\n");
+                   "epa: worker takes exactly one of a plan file, --arena, "
+                   "or --connect\n");
       return 1;
     }
-    if (a.plan_path.empty() && a.arena_path.empty()) return usage();
+    if (planes == 0) return usage();
+    if (a.drain_delay_ms > 0 && a.checkpoint == 0) {
+      std::fprintf(stderr,
+                   "epa: --drain-delay-ms needs --checkpoint (the delay is "
+                   "applied per checkpoint chunk)\n");
+      return 1;
+    }
     return guarded([&] { return cmd_worker(a); });
   }
   if (cmd == "orchestrate") {
     OrchestrateArgs a;
+    bool saw_jobs = false, saw_preempt = false, saw_checkpoint = false;
+    bool saw_drain = false, saw_no_cache = false, saw_dir = false;
+    bool saw_listen = false, saw_port_file = false;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--all") {
@@ -1062,24 +1346,46 @@ int main(int argc, char** argv) {
         a.lease = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
       } else if (arg == "--jobs") {
         a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
+        saw_jobs = true;
       } else if (arg == "--preempt-after") {
         a.preempt_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+        saw_preempt = true;
       } else if (arg == "--checkpoint") {
         a.checkpoint = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+        saw_checkpoint = true;
+      } else if (arg == "--drain-delay-ms") {
+        a.drain_delay_ms = int_flag(arg, argc, argv, &i, 1, 1LL << 20);
+        saw_drain = true;
+      } else if (arg == "--deadman-ms") {
+        a.deadman_ms = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--listen") {
+        a.listen_port =
+            static_cast<int>(int_flag(arg, argc, argv, &i, 0, 65535));
+        saw_listen = true;
+      } else if (arg == "--port-file") {
+        a.port_file = flag_value(arg, argc, argv, &i);
+        saw_port_file = true;
       } else if (arg == "--data-plane") {
+        // `json` is the documented alias of `pipe` — the data plane was
+        // named after its encoding before tcp made that ambiguous.
         std::string v = flag_value(arg, argc, argv, &i);
-        if (v == "shm")
-          a.shm = true;
-        else if (v == "json")
-          a.shm = false;
+        if (v == "pipe" || v == "json")
+          a.plane = DataPlane::pipe;
+        else if (v == "shm")
+          a.plane = DataPlane::shm;
+        else if (v == "tcp")
+          a.plane = DataPlane::tcp;
         else
-          flag_fail(arg, "value '" + v + "' is not 'json' or 'shm'");
+          flag_fail(arg,
+                    "value '" + v + "' is not 'pipe', 'shm', or 'tcp'");
       } else if (arg == "--json") {
         a.as_json = true;
       } else if (arg == "--no-world-cache") {
         a.use_world_cache = false;
+        saw_no_cache = true;
       } else if (arg == "--dir") {
         a.dir = flag_value(arg, argc, argv, &i);
+        saw_dir = true;
       } else if (!starts_with(arg, "--") && a.scenario.empty()) {
         a.scenario = arg;
       } else {
@@ -1089,6 +1395,51 @@ int main(int argc, char** argv) {
     }
     // Exactly one of --all / <scenario>, like `plan`.
     if (a.all ? !a.scenario.empty() : a.scenario.empty()) return usage();
+    if (a.plane == DataPlane::tcp) {
+      // tcp workers are started by the operator, not forked by
+      // orchestrate — worker-side flags have nowhere to be forwarded.
+      if (a.all) {
+        std::fprintf(stderr,
+                     "epa: --all needs the pipe or shm data plane (a tcp "
+                     "fleet parses one plan at connect time)\n");
+        return 1;
+      }
+      const char* worker_flag =
+          saw_jobs ? "--jobs"
+          : saw_preempt ? "--preempt-after"
+          : saw_checkpoint ? "--checkpoint"
+          : saw_drain ? "--drain-delay-ms"
+          : saw_no_cache ? "--no-world-cache"
+          : saw_dir ? "--dir"
+                    : nullptr;
+      if (worker_flag) {
+        std::fprintf(stderr,
+                     "epa: %s is worker-side; pass it to `epa_cli worker "
+                     "--connect` (tcp workers are not spawned by "
+                     "orchestrate)\n",
+                     worker_flag);
+        return 1;
+      }
+    } else {
+      if (saw_listen || saw_port_file) {
+        std::fprintf(stderr, "epa: %s needs --data-plane tcp\n",
+                     saw_listen ? "--listen" : "--port-file");
+        return 1;
+      }
+      if (a.deadman_ms > 0 && a.checkpoint == 0) {
+        std::fprintf(stderr,
+                     "epa: --deadman-ms needs --checkpoint on the pipe/shm "
+                     "data planes (heartbeats are sent at checkpoint "
+                     "flushes)\n");
+        return 1;
+      }
+      if (a.drain_delay_ms > 0 && a.checkpoint == 0) {
+        std::fprintf(stderr,
+                     "epa: --drain-delay-ms needs --checkpoint (the delay "
+                     "is applied per checkpoint chunk)\n");
+        return 1;
+      }
+    }
     return guarded([&] { return cmd_orchestrate(a, argv[0]); });
   }
   if (cmd == "merge") {

@@ -2,7 +2,8 @@
 # Fan one scenario's campaign across N worker processes on this machine:
 #
 #   scripts/shard_local.sh [-n SHARDS] [-b EPA_CLI] [-o OUTDIR] [-j] [-O]
-#                          [-B] [-c CHECKPOINT] [-P PREEMPT_AFTER] SCENARIO
+#                          [-D PLANE] [-B] [-c CHECKPOINT] [-P PREEMPT]
+#                          SCENARIO
 #
 #   -n SHARDS       worker process count (default 4)
 #   -b EPA_CLI      path to the epa_cli binary (default ./build/epa_cli)
@@ -12,16 +13,21 @@
 #                   (dynamic leases, persistent workers, automatic
 #                   re-lease of preempted work) instead of the static
 #                   K/N run-shard fan-out
-#   -B              binary/shm data plane: orchestrate over the mmap'd
-#                   arena (--data-plane shm) — no JSON between the
-#                   processes at all; implies -O
+#   -D PLANE        orchestrate data plane: pipe, shm, or tcp (implies
+#                   -O). tcp runs the coordinator with --listen 0 and
+#                   dials the workers into the published port over
+#                   localhost — the remote fan-out, end to end, on one
+#                   machine
+#   -B              alias of -D shm, kept from before the data planes
+#                   were an enum: orchestrate over the mmap'd arena —
+#                   no JSON between the processes at all
 #   -c CHECKPOINT   flush a resumable partial report every K outcomes; a
 #                   worker that exits 4 (preempted, e.g. SIGTERM) is
 #                   automatically completed with run-shard --resume
-#                   (with -O/-B: workers flush partials mid-lease and
+#                   (with -O/-D: workers flush partials mid-lease and
 #                   preemption re-leases the unfinished range)
 #   -P PREEMPT      self-preempt each worker after N checkpoint flushes
-#                   (with -O/-B and no -c: after N served leases;
+#                   (with -O/-D and no -c: after N served leases;
 #                   testing hook)
 #
 # plan -> N x run-shard (parallel processes) -> merge. The merged report
@@ -44,13 +50,14 @@ usage() {
   exit 2
 }
 
-while getopts 'n:b:o:jOBc:P:h' opt; do
+while getopts 'n:b:o:jOD:Bc:P:h' opt; do
   case "$opt" in
     n) shards=$OPTARG ;;
     b) epa_cli=$OPTARG ;;
     o) outdir=$OPTARG ;;
     j) json_flag=--json ;;
     O) orchestrate=1 ;;
+    D) orchestrate=1; data_plane=$OPTARG ;;
     B) orchestrate=1; data_plane=shm ;;
     c) checkpoint=$OPTARG ;;
     P) preempt=$OPTARG ;;
@@ -60,6 +67,11 @@ done
 shift $((OPTIND - 1))
 [ $# -eq 1 ] || usage
 scenario=$1
+
+case "${data_plane:-pipe}" in
+  pipe|json|shm|tcp) ;;
+  *) echo "shard_local: -D must be pipe, shm, or tcp" >&2; exit 2 ;;
+esac
 
 case "$shards" in
   ''|*[!0-9]*|0) echo "shard_local: -n must be a positive integer" >&2; exit 2 ;;
@@ -99,10 +111,53 @@ cleanup() {
     [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
   done
   if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
-    rm -f "$outdir"/*.arena
+    rm -f "$outdir"/*.arena "$outdir"/*.port
   fi
 }
 trap cleanup EXIT
+
+# -D tcp: the remote fan-out on one machine. The coordinator binds an
+# ephemeral port and publishes it; the workers dial in over localhost and
+# hold sockets, not pipes — but they are background children of this
+# script all the same, so they go into the same pids array the EXIT trap
+# kills and reaps on every failure path. With -P a spare worker is
+# pre-started: it parks in the accept backlog until a self-preempted
+# worker needs replacing, and the coordinator adopts it instantly.
+if [ "$data_plane" = tcp ]; then
+  portfile="$outdir/$scenario.port"
+  rm -f "$portfile"
+  "$epa_cli" orchestrate "$scenario" --workers "$shards" \
+    --data-plane tcp --listen 0 --port-file "$portfile" \
+    ${json_flag:+"$json_flag"} &
+  coord=$!
+  pids+=("$coord")
+  for _ in $(seq 1 100); do
+    [ -s "$portfile" ] && break
+    kill -0 "$coord" 2>/dev/null || break
+    sleep 0.1
+  done
+  if ! [ -s "$portfile" ]; then
+    echo "shard_local: coordinator never published a port" >&2
+    exit 1
+  fi
+  port=$(cat "$portfile")
+  worker_flags=()
+  [ -n "$checkpoint" ] && worker_flags+=(--checkpoint "$checkpoint")
+  [ -n "$preempt" ] && worker_flags+=(--preempt-after "$preempt")
+  spares=0
+  [ -n "$preempt" ] && spares=1
+  for _ in $(seq 1 $((shards + spares))); do
+    "$epa_cli" worker --connect "127.0.0.1:$port" "${worker_flags[@]}" >&2 &
+    pids+=($!)
+  done
+  rc=0
+  wait "$coord" || rc=$?
+  pids[0]=  # reaped: the trap must not kill a recycled pid
+  # 3 = candidate vulnerabilities: a finding, not a pipeline failure.
+  [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || exit "$rc"
+  echo "tcp coordinator port file in $outdir" >&2
+  exit "$rc"
+fi
 
 # -O/-B: hand the whole pipeline to the orchestrator — dynamic id-range
 # leases over persistent workers, preempted leases re-leased

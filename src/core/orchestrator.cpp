@@ -1,6 +1,7 @@
 #include "core/orchestrator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <utility>
@@ -11,9 +12,16 @@ namespace ep::core {
 namespace {
 
 std::string describe_exit(const WorkerEvent& ev) {
+  if (ev.status == -1) return "connection lost";
   return ev.status < 0
              ? "killed by signal " + std::to_string(-ev.status)
              : "exit status " + std::to_string(ev.status);
+}
+
+long long steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -45,13 +53,19 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
   const std::size_t n = plan.items.size();
   if (n == 0) return result_skeleton(plan);  // nothing to lease out
 
+  std::function<long long()> now =
+      opts.now_ms ? opts.now_ms : std::function<long long()>(steady_now_ms);
+
   // The fixed lease partition (lease_partition — shared with transports
   // that pre-size per-lease resources): contiguous ranges, ascending.
-  // Scheduling is dynamic; the partition is not, so the merged set is
-  // always "every lease exactly once" regardless of who drained what.
+  // Scheduling is dynamic; the partition mutates only through work
+  // stealing, which carves a tail off one lease into a fresh one — the
+  // set stays a disjoint cover of [0, n), so the merged output is the
+  // single-process bytes regardless of who drained what.
   std::vector<Lease> partition = lease_partition(n, opts);
   std::deque<Lease> pending(partition.begin(), partition.end());
   st.leases_total = pending.size();
+  std::size_t next_seq = partition.size();  // stolen leases get fresh seqs
   const std::size_t respawn_budget =
       opts.max_respawns ? opts.max_respawns
                         : st.leases_total + 2 * workers;
@@ -59,27 +73,118 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
   struct Slot {
     bool live = false;
     bool busy = false;
-    Lease lease;  // valid while busy
+    bool steal_pending = false;  // STEAL sent, YIELD (or DONE) awaited
+    Lease lease;                 // valid while busy
+    long long last_heard = 0;    // grant or any event; the deadman input
   };
   std::map<std::size_t, Slot> slots;
   std::size_t live = 0;
-  auto spawn_one = [&] {
-    std::size_t w = transport.spawn();
-    if (!slots.emplace(w, Slot{true, false, {}}).second)
+  auto spawn_one = [&]() -> bool {
+    std::optional<std::size_t> w = transport.spawn();
+    if (!w) return false;
+    if (!slots.emplace(*w, Slot{true, false, false, {}, now()}).second)
       throw OrchestratorError("orchestrate: transport reused worker id " +
-                              std::to_string(w));
+                              std::to_string(*w));
     ++st.workers_spawned;
     ++live;
+    return true;
   };
-  for (std::size_t i = 0; i < std::min(workers, pending.size()); ++i)
-    spawn_one();
+  // Spawn against the item count, not the lease count: a one-lease plan
+  // still wants idle workers around, because work stealing can split
+  // that lease across them.
+  for (std::size_t i = 0; i < std::min(workers, n); ++i)
+    if (!spawn_one()) break;
+  if (live == 0)
+    throw OrchestratorError(
+        "orchestrate: transport produced no workers (is the fleet "
+        "connected?)");
 
-  std::vector<ShardReport> reports(st.leases_total);
-  std::vector<std::string> labels(st.leases_total);
-  std::size_t completed = 0;
+  std::vector<ShardReport> reports;
+  std::vector<std::string> labels;
   std::size_t respawns_used = 0;
 
-  while (completed < st.leases_total) {
+  auto busy_count = [&] {
+    std::size_t c = 0;
+    for (auto& [w, slot] : slots)
+      if (slot.live && slot.busy) ++c;
+    return c;
+  };
+
+  // Refill the fleet while there is more work than live workers can
+  // hold, within the respawn budget. Budget exhausted (or no worker
+  // available) with none left is fatal; with some left, the fleet just
+  // runs smaller.
+  auto refill = [&] {
+    const std::size_t remaining = pending.size() + busy_count();
+    while (live < std::min(workers, remaining)) {
+      if (respawns_used >= respawn_budget) {
+        if (live == 0)
+          throw OrchestratorError(
+              "orchestrate: worker respawn budget (" +
+              std::to_string(respawn_budget) + ") exhausted with " +
+              std::to_string(remaining) +
+              " lease(s) outstanding — workers are being preempted "
+              "faster than they drain");
+        break;
+      }
+      if (!spawn_one()) {
+        if (live == 0)
+          throw OrchestratorError(
+              "orchestrate: every worker is gone and the transport has "
+              "no replacement, with " + std::to_string(remaining) +
+              " lease(s) outstanding");
+        break;
+      }
+      ++respawns_used;
+    }
+  };
+
+  // A busy worker heard from too long ago is dead to us: kill it through
+  // the transport (no further events), take its lease back, and let
+  // refill() replace it. Returns true when anyone expired.
+  auto reap_expired = [&]() -> bool {
+    if (opts.deadman_ms <= 0) return false;
+    bool any = false;
+    const long long t = now();
+    for (auto& [w, slot] : slots) {
+      if (!slot.live || !slot.busy) continue;
+      if (t - slot.last_heard < opts.deadman_ms) continue;
+      transport.kill(w);
+      slot.live = false;
+      --live;
+      pending.push_front(slot.lease);
+      slot.busy = false;
+      slot.steal_pending = false;
+      ++st.leases_released;
+      ++st.workers_preempted;
+      ++st.deadman_expiries;
+      any = true;
+    }
+    return any;
+  };
+
+  // How long wait_any may block: until the earliest possible deadman
+  // expiry among busy workers (so silence is noticed on time), forever
+  // when the deadman is off.
+  auto poll_timeout = [&]() -> long {
+    if (opts.deadman_ms <= 0) return -1;
+    long long earliest = -1;
+    const long long t = now();
+    for (auto& [w, slot] : slots) {
+      if (!slot.live || !slot.busy) continue;
+      long long left = slot.last_heard + opts.deadman_ms - t;
+      if (left < 1) left = 1;
+      if (earliest < 0 || left < earliest) earliest = left;
+    }
+    return static_cast<long>(earliest);
+  };
+
+  while (!pending.empty() || busy_count() > 0) {
+    if (reap_expired()) {
+      refill();
+      continue;
+    }
+
     // Keep every idle live worker fed before blocking for events.
     for (auto& [w, slot] : slots) {
       if (pending.empty()) break;
@@ -87,19 +192,69 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
       slot.busy = true;
       slot.lease = pending.front();
       pending.pop_front();
+      slot.last_heard = now();
       ++st.leases_granted;
       transport.submit(w, slot.lease);
     }
 
-    WorkerEvent ev = transport.wait_any();
+    // Work stealing: nothing left to grant but idle workers exist, so
+    // ask stragglers to yield the undrained tails of their leases — one
+    // outstanding STEAL per busy worker, at most one per idle worker,
+    // bounded by the split budget transports pre-allocated for.
+    if (pending.empty()) {
+      std::size_t idle = 0, outstanding = 0;
+      for (auto& [w, slot] : slots) {
+        if (!slot.live) continue;
+        if (!slot.busy) ++idle;
+        else if (slot.steal_pending) ++outstanding;
+      }
+      const std::size_t splits_used = next_seq - partition.size();
+      for (auto& [w, slot] : slots) {
+        if (idle <= outstanding) break;
+        if (splits_used + outstanding >= kMaxLeaseSplits) break;
+        if (!slot.live || !slot.busy || slot.steal_pending) continue;
+        if (slot.lease.end - slot.lease.begin < 2) continue;
+        transport.steal(w);
+        slot.steal_pending = true;
+        ++outstanding;
+      }
+    }
+
+    std::optional<WorkerEvent> maybe = transport.wait_any(poll_timeout());
+    if (!maybe) continue;  // timed out: the top of the loop reaps
+    WorkerEvent ev = std::move(*maybe);
     auto it = slots.find(ev.worker);
     if (it == slots.end() || !it->second.live)
       throw OrchestratorError("orchestrate: event from unknown worker " +
                               std::to_string(ev.worker));
     Slot& slot = it->second;
+    slot.last_heard = now();
+
+    if (ev.kind == WorkerEvent::Kind::heartbeat) continue;
+
+    if (ev.kind == WorkerEvent::Kind::lease_yielded) {
+      if (!slot.busy || !slot.steal_pending ||
+          slot.lease.seq != ev.lease.seq ||
+          ev.yield_mid <= slot.lease.begin ||
+          ev.yield_mid >= slot.lease.end)
+        throw OrchestratorError(
+            "orchestrate: worker " + std::to_string(ev.worker) +
+            " yielded a range it was not asked to steal from");
+      // The straggler keeps [begin, mid); the tail becomes a brand-new
+      // lease at the front of the queue, which the feeding pass above
+      // hands to an idle worker next iteration.
+      Lease stolen{next_seq++, ev.yield_mid, slot.lease.end};
+      slot.lease.end = ev.yield_mid;
+      slot.steal_pending = false;
+      pending.push_front(stolen);
+      ++st.leases_split;
+      continue;
+    }
 
     if (ev.kind == WorkerEvent::Kind::lease_done) {
-      if (!slot.busy || slot.lease.seq != ev.lease.seq)
+      if (!slot.busy || slot.lease.seq != ev.lease.seq ||
+          slot.lease.begin != ev.lease.begin ||
+          slot.lease.end != ev.lease.end)
         throw OrchestratorError(
             "orchestrate: worker " + std::to_string(ev.worker) +
             " reported a lease it was not granted");
@@ -118,10 +273,10 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
             std::to_string(ev.lease.begin) + ", " +
             std::to_string(ev.lease.end) + ")" +
             (ev.label.empty() ? "" : " (" + ev.label + ")"));
-      reports[ev.lease.seq] = std::move(ev.report);
-      labels[ev.lease.seq] = ev.label;
+      reports.push_back(std::move(ev.report));
+      labels.push_back(std::move(ev.label));
       slot.busy = false;
-      ++completed;
+      slot.steal_pending = false;
       continue;
     }
 
@@ -129,46 +284,49 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
     // of the queue — finish what was started before opening new ranges.
     slot.live = false;
     --live;
+    slot.steal_pending = false;
     if (slot.busy) {
       pending.push_front(slot.lease);
       slot.busy = false;
       ++st.leases_released;
     }
-    if (!ev.preempted)
+    if (ev.kind == WorkerEvent::Kind::died)
       throw OrchestratorError("orchestrate: worker " +
                               std::to_string(ev.worker) + " failed (" +
                               describe_exit(ev) +
                               "); a deterministic failure would only "
                               "repeat, not re-leasing");
+    if (ev.kind == WorkerEvent::Kind::exited)
+      throw OrchestratorError(
+          "orchestrate: worker " + std::to_string(ev.worker) +
+          " exited cleanly with work outstanding — protocol violation");
     ++st.workers_preempted;
-
-    // Refill the fleet while there is more work than live workers can
-    // hold, within the respawn budget. Budget exhausted with no workers
-    // left is fatal; with some left, the fleet just runs smaller.
-    const std::size_t remaining = st.leases_total - completed;
-    while (live < std::min(workers, remaining)) {
-      if (respawns_used >= respawn_budget) {
-        if (live == 0)
-          throw OrchestratorError(
-              "orchestrate: worker respawn budget (" +
-              std::to_string(respawn_budget) + ") exhausted with " +
-              std::to_string(remaining) +
-              " lease(s) outstanding — workers are being preempted "
-              "faster than they drain");
-        break;
-      }
-      ++respawns_used;
-      spawn_one();
-    }
+    refill();
   }
 
   // All leases collected: release the fleet and reap every exit. A
-  // worker may exit 4 here (preempted while idle) — harmless now.
+  // worker may exit 4 here (preempted while idle) — harmless now. With
+  // the deadman on, a worker that neither exits nor heartbeats within
+  // the window is killed rather than waited on forever.
   for (auto& [w, slot] : slots)
     if (slot.live) transport.shutdown(w);
   while (live > 0) {
-    WorkerEvent ev = transport.wait_any();
-    if (ev.kind != WorkerEvent::Kind::exited)
+    std::optional<WorkerEvent> maybe = transport.wait_any(
+        opts.deadman_ms > 0 ? static_cast<long>(opts.deadman_ms) : -1);
+    if (!maybe) {
+      for (auto& [w, slot] : slots)
+        if (slot.live) {
+          transport.kill(w);
+          slot.live = false;
+          --live;
+          ++st.deadman_expiries;
+        }
+      break;
+    }
+    const WorkerEvent& ev = *maybe;
+    if (ev.kind == WorkerEvent::Kind::heartbeat) continue;
+    if (ev.kind == WorkerEvent::Kind::lease_done ||
+        ev.kind == WorkerEvent::Kind::lease_yielded)
       throw OrchestratorError(
           "orchestrate: worker " + std::to_string(ev.worker) +
           " reported a lease after every lease was collected");

@@ -12,21 +12,37 @@
 // (BENCH_perf_injection.json's shard_wire_overhead_pct) are paid once,
 // not once per work slice.
 //
-// The orchestrator talks to workers through the Transport interface and
-// is itself single-threaded and deterministic in its *output*: leases
-// are fixed by (plan size, lease_items), every lease is drained
-// deterministically by whichever worker gets it, and the final merge
-// keys on stable ids — so the merged CampaignResult is byte-identical
-// to a single-process run no matter how leases were scheduled, how many
-// workers served, or how often they were preempted.
+// Liveness is event-driven, not exit-driven: with a remote transport a
+// dead host never delivers an exit status, so workers heartbeat (PING at
+// every checkpoint flush) and the orchestrator runs a deadman timer — a
+// busy worker silent for longer than `deadman_ms` is killed through the
+// transport, its lease re-leased, and a replacement spawned within the
+// respawn budget. The clock is injectable, so the deadman path is unit-
+// tested without waiting on wall time.
 //
-// The first Transport is LocalProcessTransport (core/transport.hpp):
-// epa_cli worker processes, pipes for the LEASE/DONE protocol, files for
-// the reports. The interface is deliberately small so a multi-machine
-// transport (ship the plan, collect the reports) slots in behind it.
+// When the only remaining work is a straggler's large in-flight lease,
+// the orchestrator steals from it: the worker yields the undrained tail
+// at its next checkpoint boundary (YIELD), the tail becomes a fresh
+// lease granted to an idle worker, and `merge` — which accepts any
+// disjoint covering partition — still reproduces the single-process
+// bytes exactly.
+//
+// The orchestrator talks to workers through the Transport interface and
+// is itself single-threaded and deterministic in its *output*: every
+// lease is drained deterministically by whichever worker gets it and the
+// final merge keys on stable ids — so the merged CampaignResult is
+// byte-identical to a single-process run no matter how leases were
+// scheduled, split, or re-leased.
+//
+// Transports: LocalProcessTransport (pipes + report files),
+// ShmLocalTransport (mmap'd arena), TcpTransport (net/transport_tcp.hpp,
+// remote workers over sockets). All three speak the same versioned line
+// protocol (core/protocol.hpp).
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,16 +52,18 @@
 namespace ep::core {
 
 /// Orchestration failed in a way re-leasing cannot fix: a worker died
-/// with a non-preemption status, broke the protocol, or the respawn
-/// budget ran out while leases were still outstanding.
+/// with a non-preemption status, broke the protocol, spoke the wrong
+/// protocol version, or the respawn budget ran out while leases were
+/// still outstanding.
 class OrchestratorError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
 
 /// One unit of handed-out work: the plan's id range [begin, end).
-/// `seq` is the lease's stable position in the partition (0-based, in
-/// ascending id order) — re-leasing preserves it, so reports and
+/// `seq` is the lease's stable identity: partition leases take their
+/// position (0-based, ascending id order) and stolen tails take fresh
+/// seqs past the partition — re-leasing preserves seq, so reports and
 /// diagnostics name the same lease no matter which worker finished it.
 struct Lease {
   std::size_t seq = 0;
@@ -53,20 +71,27 @@ struct Lease {
   std::size_t end = 0;
 };
 
-/// What a Transport reports back from the worker fleet.
+/// What a Transport reports back from the worker fleet. The kind says
+/// exactly what the orchestrator should do next; transports own the
+/// classification (exit statuses, signals, BYE frames, dropped sockets).
 struct WorkerEvent {
   enum class Kind {
-    lease_done,  ///< `worker` finished `lease`; `report` holds its outcomes
-    exited,      ///< `worker` is gone; `preempted` says whether re-leasing
-                 ///< its outstanding work is the right response
+    lease_done,     ///< finished `lease`; `report` holds its outcomes
+    lease_yielded,  ///< answered STEAL: keeps [lease.begin, yield_mid),
+                    ///< surrendered [yield_mid, lease.end) for re-grant
+    heartbeat,      ///< PING (or HELLO): liveness only, no work attached
+    preempted,      ///< worker gone; re-lease + respawn is the answer
+    died,           ///< worker gone; retrying will only fail again
+    exited,         ///< worker gone cleanly (status 0) after EXIT
   };
-  Kind kind = Kind::exited;
+  Kind kind = Kind::died;
   std::size_t worker = 0;
-  Lease lease;         // lease_done: the finished lease
-  ShardReport report;  // lease_done: the lease's (leased, complete) report
-  std::string label;   // lease_done: report source for merge diagnostics
-  bool preempted = false;  // exited: exit 4 or a preemption signal
-  int status = 0;          // exited: exit code, or -signo when killed
+  Lease lease;              // lease_done / lease_yielded
+  ShardReport report;       // lease_done: the (leased, complete) report
+  std::string label;        // lease_done: report source for diagnostics
+  std::size_t yield_mid = 0;  // lease_yielded: the split point
+  int status = 0;           // preempted/died/exited: exit code, -signo
+                            // when killed, -1 for a dropped connection
 };
 
 /// The orchestrator's view of a worker fleet. Implementations own the
@@ -75,20 +100,37 @@ struct WorkerEvent {
 class Transport {
  public:
   virtual ~Transport() = default;
-  /// Start one worker; returns its id (never reused). Throws on failure.
-  virtual std::size_t spawn() = 0;
+  /// Start (or adopt) one worker; returns its id (never reused), or
+  /// nullopt when no worker is available right now — a tcp coordinator
+  /// with nothing in its accept queue. Throws on hard failure.
+  virtual std::optional<std::size_t> spawn() = 0;
   /// Hand `lease` to `worker` without blocking. Submitting to a worker
-  /// that already died is not an error here — the death surfaces as an
-  /// `exited` event from wait_any() and the lease is re-leased.
+  /// that already died is not an error here — the death surfaces as a
+  /// preempted/died event from wait_any() and the lease is re-leased.
   virtual void submit(std::size_t worker, const Lease& lease) = 0;
-  /// Block until any worker finishes a lease or exits. Calling with no
-  /// outstanding work or live workers is a caller bug; implementations
-  /// throw rather than hang.
-  virtual WorkerEvent wait_any() = 0;
+  /// Ask `worker` to yield the undrained tail of its in-flight lease at
+  /// its next checkpoint boundary. Best-effort: a worker that finishes
+  /// first just sends its DONE and the steal is moot. Default: no-op.
+  virtual void steal(std::size_t worker) { (void)worker; }
+  /// Block until any worker produces an event, or `timeout_ms`
+  /// milliseconds pass (nullopt — the deadman's polling edge).
+  /// timeout_ms < 0 blocks indefinitely. Calling with no live workers is
+  /// a caller bug; implementations throw rather than hang.
+  virtual std::optional<WorkerEvent> wait_any(long timeout_ms) = 0;
   /// Ask `worker` to exit cleanly once idle; its exit still arrives as
-  /// an `exited` event.
+  /// an exited/preempted event.
   virtual void shutdown(std::size_t worker) = 0;
+  /// Forcibly terminate `worker` right now — kill + reap a local
+  /// process, drop a socket. No further events arrive for it; the
+  /// caller updates its own bookkeeping. The deadman's hammer.
+  virtual void kill(std::size_t worker) = 0;
 };
+
+/// Ceiling on work-stealing splits per campaign. A constant (not an
+/// option) because transports that pre-allocate per-lease resources
+/// (ShmLocalTransport's arena segments) must reserve room for stolen
+/// leases before orchestrate() decides to create any.
+inline constexpr std::size_t kMaxLeaseSplits = 8;
 
 struct OrchestratorOptions {
   /// Target worker count. The orchestrator spawns at most this many at
@@ -105,14 +147,24 @@ struct OrchestratorOptions {
   /// lease still finishes, a fleet that dies faster than it drains does
   /// not spin forever.
   std::size_t max_respawns = 0;
+  /// Deadman timeout: a *busy* worker heard from (grant, PING, YIELD)
+  /// more than this many milliseconds ago is killed and its lease
+  /// re-leased. 0 = off. Workers heartbeat at checkpoint flushes, so a
+  /// useful deadman needs checkpointing enabled and a timeout
+  /// comfortably above the slowest checkpoint interval. Idle workers
+  /// are exempt — they hold no work worth recovering.
+  long long deadman_ms = 0;
+  /// The deadman's clock, milliseconds, monotonic. Unset = steady_clock.
+  /// Injectable so unit tests drive expiry without waiting.
+  std::function<long long()> now_ms;
 };
 
 /// The fixed lease partition orchestrate() deals out for a plan of
 /// `plan_items` items under `opts`: contiguous ranges, ascending, with
 /// seq = position. Exposed so transports that pre-allocate per-lease
 /// resources (ShmLocalTransport's arena segments) size them against the
-/// exact same split the orchestrator will schedule. Throws
-/// OrchestratorError when opts.workers < 1.
+/// exact same split the orchestrator will schedule (plus kMaxLeaseSplits
+/// stolen-lease slots). Throws OrchestratorError when opts.workers < 1.
 std::vector<Lease> lease_partition(std::size_t plan_items,
                                    const OrchestratorOptions& opts);
 
@@ -120,16 +172,18 @@ struct OrchestratorStats {
   std::size_t leases_total = 0;      ///< fixed partition size
   std::size_t leases_granted = 0;    ///< submits, re-grants included
   std::size_t leases_released = 0;   ///< grants that redid preempted work
+  std::size_t leases_split = 0;      ///< stolen tails granted as leases
   std::size_t workers_spawned = 0;   ///< initial fleet + replacements
   std::size_t workers_preempted = 0;
+  std::size_t deadman_expiries = 0;  ///< silent workers the deadman shot
 };
 
 /// Drain `plan` through the transport's workers under dynamic leases and
 /// merge the lease reports into the CampaignResult a single process
 /// would have produced — byte-identical output for any worker count,
-/// lease size, or preemption pattern. Throws OrchestratorError on worker
-/// failure or budget exhaustion, WireError if a worker's report does not
-/// add back up to the plan.
+/// lease size, preemption pattern, or steal schedule. Throws
+/// OrchestratorError on worker failure or budget exhaustion, WireError
+/// if a worker's report does not add back up to the plan.
 CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
                            const OrchestratorOptions& opts = {},
                            OrchestratorStats* stats = nullptr);

@@ -28,8 +28,8 @@ void set_cloexec(int fd) {
 }
 
 /// Write all of `text`, ignoring EPIPE: a worker that died mid-write
-/// surfaces as an `exited` event from wait_any(), which is where the
-/// orchestrator handles death — not here.
+/// surfaces as a preempted/died event from wait_any(), which is where
+/// the orchestrator handles death — not here.
 void write_line(int fd, const std::string& text) {
   std::size_t off = 0;
   while (off < text.size()) {
@@ -73,7 +73,7 @@ LocalProcessTransport::LocalProcessTransport(LocalProcessConfig config)
     : config_(std::move(config)) {
   // A worker can die between our poll() and our write(); without this
   // the resulting EPIPE would kill the coordinator instead of surfacing
-  // as an ordinary worker-exit event.
+  // as an ordinary worker-death event.
   std::signal(SIGPIPE, SIG_IGN);
 }
 
@@ -81,7 +81,7 @@ LocalProcessTransport::~LocalProcessTransport() {
   for (Proc& p : procs_) {
     if (!p.alive) continue;
     if (p.in_fd >= 0) ::close(p.in_fd);
-    ::close(p.out_fd);
+    if (p.out_fd >= 0) ::close(p.out_fd);
     ::kill(p.pid, SIGTERM);
     int status = 0;
     while (::waitpid(p.pid, &status, 0) < 0 && errno == EINTR) {
@@ -119,6 +119,10 @@ void LocalProcessTransport::append_common_args(
     args.push_back("--checkpoint");
     args.push_back(std::to_string(config_.checkpoint));
   }
+  if (config_.drain_delay_ms > 0) {
+    args.push_back("--drain-delay-ms");
+    args.push_back(std::to_string(config_.drain_delay_ms));
+  }
 }
 
 std::string LocalProcessTransport::lease_token(const Lease& lease) const {
@@ -127,11 +131,11 @@ std::string LocalProcessTransport::lease_token(const Lease& lease) const {
 }
 
 void LocalProcessTransport::load_report(const Proc& p,
-                                        const std::string& rest,
+                                        const ProtocolMsg& done,
                                         WorkerEvent& ev) {
-  if (!rest.empty())
-    throw OrchestratorError("DONE carries unexpected trailing data '" +
-                            rest + "'");
+  if (done.has_handoff)
+    throw OrchestratorError(
+        "DONE carries an arena handoff on the file data plane");
   ev.label = p.lease_token;
   try {
     ev.report = shard_report_from_json(read_file_or_throw(p.lease_token));
@@ -140,7 +144,7 @@ void LocalProcessTransport::load_report(const Proc& p,
   }
 }
 
-std::size_t LocalProcessTransport::spawn() {
+std::optional<std::size_t> LocalProcessTransport::spawn() {
   int to_child[2];   // coordinator writes, worker reads (stdin)
   int from_child[2]; // worker writes (stdout), coordinator reads
   if (::pipe(to_child) < 0) sys_fail("pipe");
@@ -203,37 +207,96 @@ void LocalProcessTransport::submit(std::size_t worker, const Lease& lease) {
   p.lease = lease;
   p.lease_token = lease_token(lease);
   if (p.in_fd < 0) return;  // already shut down; death event will follow
-  write_line(p.in_fd, "LEASE " + std::to_string(lease.begin) + " " +
-                          std::to_string(lease.end) + " " + p.lease_token +
-                          "\n");
+  write_line(p.in_fd,
+             format_lease(lease.begin, lease.end, p.lease_token) + "\n");
+}
+
+void LocalProcessTransport::steal(std::size_t worker) {
+  if (worker >= procs_.size())
+    throw OrchestratorError("steal: unknown worker " +
+                            std::to_string(worker));
+  Proc& p = procs_[worker];
+  if (!p.alive || p.in_fd < 0) return;  // death event will follow anyway
+  write_line(p.in_fd, format_steal() + "\n");
 }
 
 WorkerEvent LocalProcessTransport::handle_line(std::size_t worker,
                                                const std::string& line) {
   Proc& p = procs_[worker];
-  std::size_t begin = 0, end = 0;
-  int consumed = 0;
-  if (std::sscanf(line.c_str(), "DONE %zu %zu%n", &begin, &end, &consumed) !=
-          2 ||
-      !p.has_lease || begin != p.lease.begin || end != p.lease.end)
+  ProtocolMsg msg;
+  if (!parse_protocol_line(line, &msg))
     throw OrchestratorError("worker " + std::to_string(worker) +
                             ": unexpected protocol line '" + line + "'");
+
   WorkerEvent ev;
-  ev.kind = WorkerEvent::Kind::lease_done;
   ev.worker = worker;
-  ev.lease = p.lease;
-  try {
-    // The remainder after "DONE <begin> <end>" belongs to the data
-    // plane: empty for the file plane, the arena handoff for shm.
-    load_report(p, line.substr(static_cast<std::size_t>(consumed)), ev);
-  } catch (const OrchestratorError&) {
-    throw;
-  } catch (const std::exception& e) {
-    throw OrchestratorError("worker " + std::to_string(worker) + ": " +
-                            e.what());
+
+  if (msg.type == ProtocolMsg::Type::hello) {
+    if (p.said_hello)
+      throw OrchestratorError("worker " + std::to_string(worker) +
+                              " sent HELLO twice");
+    if (msg.version != kWorkerProtocolVersion)
+      throw OrchestratorError(
+          "worker " + std::to_string(worker) +
+          " speaks worker protocol version " +
+          std::to_string(msg.version) +
+          "; this coordinator speaks version " +
+          std::to_string(kWorkerProtocolVersion) +
+          " — upgrade so both ends match");
+    p.said_hello = true;
+    ev.kind = WorkerEvent::Kind::heartbeat;
+    return ev;
   }
-  p.has_lease = false;
-  return ev;
+  if (!p.said_hello)
+    throw OrchestratorError(
+        "worker " + std::to_string(worker) +
+        " did not open with HELLO " +
+        std::to_string(kWorkerProtocolVersion) +
+        " (a pre-handshake fleet?); first line was '" + line + "'");
+
+  switch (msg.type) {
+    case ProtocolMsg::Type::ping:
+      ev.kind = WorkerEvent::Kind::heartbeat;
+      return ev;
+    case ProtocolMsg::Type::yield: {
+      // YIELD <mid> <end>: the worker keeps [begin, mid) of its lease
+      // and surrenders [mid, end). Shrink our record so the upcoming
+      // DONE <begin> <mid> matches it.
+      if (!p.has_lease || msg.begin <= p.lease.begin ||
+          msg.begin >= p.lease.end || msg.end != p.lease.end)
+        throw OrchestratorError("worker " + std::to_string(worker) +
+                                ": unexpected yield '" + line + "'");
+      ev.kind = WorkerEvent::Kind::lease_yielded;
+      ev.lease = p.lease;
+      ev.yield_mid = msg.begin;
+      p.lease.end = msg.begin;
+      return ev;
+    }
+    case ProtocolMsg::Type::done: {
+      if (!p.has_lease || msg.begin != p.lease.begin ||
+          msg.end != p.lease.end)
+        throw OrchestratorError("worker " + std::to_string(worker) +
+                                ": unexpected protocol line '" + line +
+                                "'");
+      ev.kind = WorkerEvent::Kind::lease_done;
+      ev.lease = p.lease;
+      try {
+        load_report(p, msg, ev);
+      } catch (const OrchestratorError&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw OrchestratorError("worker " + std::to_string(worker) + ": " +
+                                e.what());
+      }
+      p.has_lease = false;
+      return ev;
+    }
+    default:
+      // BYE belongs to the tcp transport; LEASE/STEAL/EXIT are
+      // coordinator-to-worker only.
+      throw OrchestratorError("worker " + std::to_string(worker) +
+                              ": unexpected protocol line '" + line + "'");
+  }
 }
 
 WorkerEvent LocalProcessTransport::reap(std::size_t worker) {
@@ -246,19 +309,25 @@ WorkerEvent LocalProcessTransport::reap(std::size_t worker) {
   }
   p.alive = false;
   WorkerEvent ev;
-  ev.kind = WorkerEvent::Kind::exited;
   ev.worker = worker;
   if (WIFEXITED(status)) {
     ev.status = WEXITSTATUS(status);
-    ev.preempted = ev.status == 4;
+    ev.kind = ev.status == 0   ? WorkerEvent::Kind::exited
+              : ev.status == 4 ? WorkerEvent::Kind::preempted
+                               : WorkerEvent::Kind::died;
   } else if (WIFSIGNALED(status)) {
     ev.status = -WTERMSIG(status);
-    ev.preempted = signal_is_preemption(WTERMSIG(status));
+    ev.kind = signal_is_preemption(WTERMSIG(status))
+                  ? WorkerEvent::Kind::preempted
+                  : WorkerEvent::Kind::died;
+  } else {
+    ev.kind = WorkerEvent::Kind::died;
   }
   return ev;
 }
 
-WorkerEvent LocalProcessTransport::wait_any() {
+std::optional<WorkerEvent> LocalProcessTransport::wait_any(
+    long timeout_ms) {
   for (;;) {
     // Deliver buffered protocol lines before reaping: a worker that
     // printed DONE and exited must yield lease_done first, or its
@@ -285,11 +354,13 @@ WorkerEvent LocalProcessTransport::wait_any() {
     }
     if (fds.empty())
       throw OrchestratorError("wait_any: no live workers to wait on");
-    int ready = ::poll(fds.data(), fds.size(), -1);
+    int ready = ::poll(fds.data(), fds.size(),
+                       timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms));
     if (ready < 0) {
       if (errno == EINTR) continue;
       sys_fail("poll");
     }
+    if (ready == 0) return std::nullopt;  // the deadman's polling edge
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       Proc& p = procs_[owners[i]];
@@ -309,11 +380,31 @@ void LocalProcessTransport::shutdown(std::size_t worker) {
                             std::to_string(worker));
   Proc& p = procs_[worker];
   if (!p.alive || p.in_fd < 0) return;
-  write_line(p.in_fd, "EXIT\n");
+  write_line(p.in_fd, format_exit() + "\n");
   // Close stdin too: EOF ends the worker loop even if the EXIT line was
   // lost to a full pipe or a half-dead worker.
   ::close(p.in_fd);
   p.in_fd = -1;
+}
+
+void LocalProcessTransport::kill(std::size_t worker) {
+  if (worker >= procs_.size())
+    throw OrchestratorError("kill: unknown worker " +
+                            std::to_string(worker));
+  Proc& p = procs_[worker];
+  if (!p.alive) return;
+  if (p.in_fd >= 0) ::close(p.in_fd);
+  if (p.out_fd >= 0) ::close(p.out_fd);
+  p.in_fd = p.out_fd = -1;
+  // SIGKILL, not SIGTERM: the deadman fires for workers that are wedged
+  // (stopped, swallowing signals, spinning) — the polite signal already
+  // had its chance via the heartbeat window.
+  ::kill(p.pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(p.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  p.alive = false;
+  p.buf.clear();
 }
 
 std::size_t arena_segment_bytes(std::size_t lease_items) {
@@ -339,10 +430,14 @@ ShmLocalTransport::ShmLocalTransport(LocalProcessConfig config,
                                      const InjectionPlan& plan,
                                      const std::vector<Lease>& leases)
     : LocalProcessTransport(std::move(config)),
+      // kMaxLeaseSplits extra segments: stolen-tail leases take fresh
+      // seqs past the partition, and each needs a segment home. A stolen
+      // tail is a sub-range of some partition lease, so the per-segment
+      // size bound already covers it.
       arena_(ShmArena::create(
           this->config().out_dir + "/" + this->config().file_prefix +
               ".arena",
-          plan_to_binary(plan), leases.size(),
+          plan_to_binary(plan), leases.size() + kMaxLeaseSplits,
           arena_segment_bytes(max_lease_items(leases)))) {}
 
 std::vector<std::string> ShmLocalTransport::worker_args() const {
@@ -355,21 +450,19 @@ std::string ShmLocalTransport::lease_token(const Lease& lease) const {
   return "@" + std::to_string(lease.seq);
 }
 
-void ShmLocalTransport::load_report(const Proc& p, const std::string& rest,
+void ShmLocalTransport::load_report(const Proc& p, const ProtocolMsg& done,
                                     WorkerEvent& ev) {
-  std::size_t offset = 0, length = 0;
-  char trailing = '\0';
-  if (std::sscanf(rest.c_str(), " %zu %zu%c", &offset, &length, &trailing) !=
-      2)
-    throw OrchestratorError("DONE is missing the arena (offset, length) "
-                            "handoff: '" + rest + "'");
+  if (!done.has_handoff)
+    throw OrchestratorError(
+        "DONE is missing the arena (offset, length) handoff");
   ev.label = arena_.path() + "#seg" + std::to_string(p.lease.seq);
   try {
-    arena_.check_handoff(p.lease.seq, offset, length);
+    arena_.check_handoff(p.lease.seq, done.offset, done.length);
     // Decoding straight from the coordinator's own mapping — the DONE
     // line on the pipe is the ordering edge, so the worker's writes to
     // this MAP_SHARED segment are visible here.
-    ev.report = shard_report_from_binary(arena_.data() + offset, length);
+    ev.report = shard_report_from_binary(arena_.data() + done.offset,
+                                         done.length);
   } catch (const WireError& e) {
     throw OrchestratorError(ev.label + ": " + e.what());
   } catch (const ArenaError& e) {

@@ -3,35 +3,35 @@
 // the data wire.
 //
 // Each spawn() forks one `epa_cli worker PLAN` process with its stdin
-// and stdout connected to the coordinator. The protocol is line-based
-// and deliberately shell-debuggable:
-//
-//   coordinator -> worker:   LEASE <begin> <end> <report-path>\n
-//                            EXIT\n            (or just EOF)
-//   worker -> coordinator:   DONE <begin> <end>\n
+// and stdout connected to the coordinator. The control protocol is the
+// versioned line grammar in core/protocol.hpp (HELLO handshake, LEASE
+// grants, PING heartbeats, STEAL/YIELD work stealing, DONE results) —
+// deliberately shell-debuggable, and byte-identical to what the tcp
+// transport frames over sockets.
 //
 // The worker parses the plan and re-freezes the COW prototype once at
 // startup, then drains leases until told to stop; it writes each lease's
-// ShardReport atomically to <report-path> *before* printing DONE, so a
-// DONE line always names a readable, complete report. Worker stderr is
-// inherited (progress and diagnostics pass through); stdout carries
-// protocol lines only.
+// ShardReport atomically to the LEASE-named target *before* printing
+// DONE, so a DONE line always names a readable, complete report. Worker
+// stderr is inherited (progress and diagnostics pass through); stdout
+// carries protocol lines only, starting with `HELLO 2`.
 //
 // Exit statuses mirror run-shard: 0 clean, 1 failure, 4 preempted
 // (SIGTERM — the worker finishes its in-flight lease, then refuses the
-// next one). wait_any() turns a death into an `exited` event with
-// `preempted` set for exit 4 and the preemption signals, so the
-// orchestrator can tell "re-lease and replace" from "this will only
-// fail again".
+// next one). wait_any() classifies a death into a typed event: exit 0 is
+// `exited`, exit 4 and the preemption signals are `preempted` (re-lease
+// and replace), anything else is `died` (would only fail again).
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <sys/types.h>
 #include <vector>
 
 #include "core/arena.hpp"
 #include "core/orchestrator.hpp"
+#include "core/protocol.hpp"
 
 namespace ep::core {
 
@@ -58,15 +58,21 @@ struct LocalProcessConfig {
   /// CI determinism hook for the kill-and-re-lease path.
   long long preempt_after = 0;
   /// --checkpoint forwarded when > 0: workers drain leases in chunks of
-  /// K items and flush a valid partial report after each chunk, so a
-  /// preemption mid-lease leaves a re-leasable partial behind.
+  /// K items, flush a valid partial report after each chunk (so a
+  /// preemption mid-lease leaves a re-leasable partial behind), send a
+  /// PING heartbeat, and poll for STEAL — checkpointing is what makes
+  /// the deadman and work stealing live.
   long long checkpoint = 0;
+  /// --drain-delay-ms forwarded when > 0: each worker sleeps this long
+  /// before every checkpoint chunk. A testing hook that manufactures
+  /// deterministic stragglers for the work-stealing path.
+  long long drain_delay_ms = 0;
 };
 
 /// The JSON-pipe data plane. Subclasses swap the data plane (how the
 /// plan reaches workers and how reports come back) by overriding the
-/// three protected hooks; the process plumbing — fork/exec, poll,
-/// line protocol, exit-status classification — is shared.
+/// protected hooks; the process plumbing — fork/exec, poll, protocol
+/// dispatch, exit-status classification — is shared.
 class LocalProcessTransport : public Transport {
  public:
   explicit LocalProcessTransport(LocalProcessConfig config);
@@ -77,10 +83,14 @@ class LocalProcessTransport : public Transport {
   LocalProcessTransport(const LocalProcessTransport&) = delete;
   LocalProcessTransport& operator=(const LocalProcessTransport&) = delete;
 
-  std::size_t spawn() override;
+  std::optional<std::size_t> spawn() override;
   void submit(std::size_t worker, const Lease& lease) override;
-  WorkerEvent wait_any() override;
+  void steal(std::size_t worker) override;
+  std::optional<WorkerEvent> wait_any(long timeout_ms) override;
   void shutdown(std::size_t worker) override;
+  /// SIGKILL + reap, immediately — the deadman's path for a worker that
+  /// is wedged (stopped, not exited) and will never answer SIGTERM.
+  void kill(std::size_t worker) override;
 
   /// The absolute path of the running binary (/proc/self/exe), falling
   /// back to `argv0` where the link is unavailable — how `epa_cli
@@ -95,8 +105,9 @@ class LocalProcessTransport : public Transport {
     std::string buf;  // partial protocol line
     bool alive = false;
     bool saw_eof = false;
+    bool said_hello = false;  // HELLO handshake completed
     bool has_lease = false;
-    Lease lease;
+    Lease lease;  // shrinks in place when the worker YIELDs a tail
     std::string lease_token;  // what LEASE named as the report target
   };
 
@@ -106,15 +117,14 @@ class LocalProcessTransport : public Transport {
   /// The report-target token of a LEASE line: a report file path (base)
   /// or the shm transport's @<seq> segment reference.
   virtual std::string lease_token(const Lease& lease) const;
-  /// Turn a DONE line's remainder (everything after "DONE <begin>
-  /// <end>") into ev.report + ev.label. Base: remainder must be empty,
-  /// the report is read from the lease file. Shm: remainder is the
-  /// " <offset> <length>" handoff, decoded from the coordinator's own
+  /// Turn a parsed DONE message into ev.report + ev.label. Base: no
+  /// handoff allowed, the report is read from the lease file. Shm: the
+  /// (offset, length) handoff is decoded from the coordinator's own
   /// mapping. Throws OrchestratorError/WireError on a broken worker.
-  virtual void load_report(const Proc& p, const std::string& rest,
+  virtual void load_report(const Proc& p, const ProtocolMsg& done,
                            WorkerEvent& ev);
   /// Common flags (--jobs, --no-world-cache, --preempt-after,
-  /// --checkpoint) every data plane forwards.
+  /// --checkpoint, --drain-delay-ms) every data plane forwards.
   void append_common_args(std::vector<std::string>& args) const;
 
   const LocalProcessConfig& config() const { return config_; }
@@ -137,7 +147,9 @@ class ShmLocalTransport : public LocalProcessTransport {
  public:
   /// `leases` must be the exact partition orchestrate() will schedule
   /// (lease_partition()) — segments are indexed by lease seq and sized
-  /// for the largest lease. Creates <out_dir>/<file_prefix>.arena.
+  /// for the largest lease. kMaxLeaseSplits extra segments are reserved
+  /// past the partition so stolen-tail leases (fresh seqs) have arena
+  /// homes too. Creates <out_dir>/<file_prefix>.arena.
   ShmLocalTransport(LocalProcessConfig config, const InjectionPlan& plan,
                     const std::vector<Lease>& leases);
 
@@ -146,7 +158,7 @@ class ShmLocalTransport : public LocalProcessTransport {
  protected:
   std::vector<std::string> worker_args() const override;
   std::string lease_token(const Lease& lease) const override;
-  void load_report(const Proc& p, const std::string& rest,
+  void load_report(const Proc& p, const ProtocolMsg& done,
                    WorkerEvent& ev) override;
 
  private:

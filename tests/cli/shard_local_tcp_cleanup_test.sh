@@ -1,0 +1,72 @@
+#!/bin/sh
+# The -D tcp flavor of the orphaned-worker regression: socket-holding
+# workers are background children like the pipe workers, so a coordinator
+# that dies mid-campaign must not leave them running, and the published
+# port file is per-run scratch that must be unlinked on any exit that is
+# not a campaign result.
+#
+# Driven with a fake epa_cli: `orchestrate` publishes a port file, lingers
+# long enough for the workers to be started, then fails; `worker` records
+# its pid, sleeps far longer than the test, and drops a sentinel file if
+# it is ever allowed to finish.
+#
+# Usage: shard_local_tcp_cleanup_test.sh /path/to/shard_local.sh
+set -eu
+
+shard_local=$1
+[ -x "$shard_local" ] || [ -r "$shard_local" ] || {
+  echo "no shard_local.sh at '$shard_local'" >&2
+  exit 2
+}
+
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/epa-tcp-cleanup-test.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT
+
+fake="$tmp/fake_epa_cli"
+cat > "$fake" <<'EOF'
+#!/bin/sh
+case "$1" in
+  orchestrate)
+    portfile=
+    prev=
+    for a in "$@"; do
+      [ "$prev" = --port-file ] && portfile=$a
+      prev=$a
+    done
+    echo 12345 > "$portfile"
+    sleep 1
+    exit 1 ;;  # the coordinator dies mid-campaign
+  worker)
+    echo $$ > "$FAKE_DIR/worker.$$.pid"
+    sleep 120
+    echo late > "$FAKE_DIR/worker.$$.late"  # only if nobody killed us
+    exit 0 ;;
+esac
+exit 0
+EOF
+chmod +x "$fake"
+
+rc=0
+FAKE_DIR="$tmp/out" bash "$shard_local" -n 2 -b "$fake" -o "$tmp/out" \
+  -D tcp toy >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 from the dead coordinator, got $rc"; exit 1; }
+
+# The EXIT trap must have killed and reaped the socket workers: their
+# recorded pids are gone and the sentinel never appears.
+for f in "$tmp/out"/worker.*.pid; do
+  [ -e "$f" ] || continue
+  pid=$(cat "$f")
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "orphaned tcp worker $pid still running after shard_local failed"
+    exit 1
+  fi
+done
+if ls "$tmp/out"/worker.*.late >/dev/null 2>&1; then
+  echo "an orphaned tcp worker ran to completion after shard_local failed"
+  exit 1
+fi
+if ls "$tmp/out"/*.port >/dev/null 2>&1; then
+  echo "the port file survived a failed run"
+  exit 1
+fi
+echo TCP_CLEANUP_OK

@@ -40,7 +40,7 @@ class FakeTransport : public Transport {
   std::vector<Behavior> script;  // indexed by spawn order; default beyond
   int jobs = 1;
 
-  std::size_t spawn() override {
+  std::optional<std::size_t> spawn() override {
     workers_.push_back({behavior_at(workers_.size()), 0, true});
     return workers_.size() - 1;
   }
@@ -53,7 +53,14 @@ class FakeTransport : public Transport {
     queue_.push_back({worker, {}, true});
   }
 
-  WorkerEvent wait_any() override {
+  void kill(std::size_t worker) override {
+    workers_[worker].alive = false;
+    for (auto it = queue_.begin(); it != queue_.end();)
+      it = it->worker == worker ? queue_.erase(it) : it + 1;
+  }
+
+  std::optional<WorkerEvent> wait_any(long timeout_ms) override {
+    (void)timeout_ms;  // everything here is instantaneous
     if (queue_.empty())
       throw std::logic_error("wait_any with nothing outstanding");
     Pending p = queue_.front();
@@ -65,22 +72,19 @@ class FakeTransport : public Transport {
       w.alive = false;
       ev.kind = WorkerEvent::Kind::exited;
       ev.status = 0;
-      ev.preempted = false;
       return ev;
     }
     if (w.behavior.fail_status != 0) {
       w.alive = false;
-      ev.kind = WorkerEvent::Kind::exited;
+      ev.kind = WorkerEvent::Kind::died;
       ev.status = w.behavior.fail_status;
-      ev.preempted = false;
       return ev;
     }
     if (w.behavior.preempt_after >= 0 &&
         w.served >= w.behavior.preempt_after) {
       w.alive = false;
-      ev.kind = WorkerEvent::Kind::exited;
+      ev.kind = WorkerEvent::Kind::preempted;
       ev.status = 4;
-      ev.preempted = true;
       return ev;
     }
     ExecutorOptions opts;

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/planner.hpp"
+#include "core/protocol.hpp"
 #include "core/wire.hpp"
 #include "util/strings.hpp"
 
@@ -157,6 +158,49 @@ TEST(WireFormatDoc, BinaryPlanExampleDecodesToTheJsonExample) {
          "JSON plan";
 }
 
+TEST(WireFormatDoc, WorkerProtocolTranscriptIsCanonical) {
+  // Every transcript line must be a real protocol production: it parses
+  // with the one shared parser and re-formats to the documented bytes,
+  // and the opening HELLO must advertise this build's protocol version.
+  std::string block = example_block(read_doc(), "worker-protocol", "text");
+  ASSERT_FALSE(block.empty());
+  std::size_t lines = 0;
+  bool saw_hello = false;
+  std::istringstream in(block);
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    ASSERT_GE(line.size(), 3u) << "transcript line too short: " << line;
+    std::string dir = line.substr(0, 3);
+    ASSERT_TRUE(dir == "W: " || dir == "C: ")
+        << "transcript line must open with 'W: ' or 'C: ': " << line;
+    std::string wire_line = line.substr(3);
+    ProtocolMsg msg;
+    EXPECT_TRUE(parse_protocol_line(wire_line, &msg))
+        << "documented transcript line does not parse: " << wire_line;
+    EXPECT_EQ(format_protocol_msg(msg), wire_line)
+        << "documented transcript line is not canonical formatter output";
+    bool from_worker = msg.type == ProtocolMsg::Type::hello ||
+                       msg.type == ProtocolMsg::Type::ping ||
+                       msg.type == ProtocolMsg::Type::yield ||
+                       msg.type == ProtocolMsg::Type::done ||
+                       msg.type == ProtocolMsg::Type::bye;
+    EXPECT_EQ(dir, from_worker ? "W: " : "C: ")
+        << "transcript line attributed to the wrong side: " << line;
+    if (lines == 0) {
+      EXPECT_EQ(msg.type, ProtocolMsg::Type::hello)
+          << "the transcript must open with the HELLO handshake";
+    }
+    if (msg.type == ProtocolMsg::Type::hello) {
+      saw_hello = true;
+      EXPECT_EQ(msg.version, kWorkerProtocolVersion)
+          << "the documented HELLO does not carry kWorkerProtocolVersion";
+    }
+    ++lines;
+  }
+  EXPECT_TRUE(saw_hello);
+  EXPECT_GE(lines, 10u) << "the transcript lost productions";
+}
+
 TEST(WireFormatDoc, DocumentsTheCurrentSchemaVersions) {
   std::string doc = read_doc();
   // The prose must pin the versions the code actually writes: plans and
@@ -174,6 +218,10 @@ TEST(WireFormatDoc, DocumentsTheCurrentSchemaVersions) {
                                 std::to_string(kBinaryWireVersion) + "`"))
       << "docs/WIRE_FORMAT.md does not document binary wire version "
       << kBinaryWireVersion;
+  EXPECT_TRUE(contains(doc, "`core::kWorkerProtocolVersion`, currently `" +
+                                std::to_string(kWorkerProtocolVersion) + "`"))
+      << "docs/WIRE_FORMAT.md does not document worker protocol version "
+      << kWorkerProtocolVersion;
 }
 
 }  // namespace
