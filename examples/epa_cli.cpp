@@ -60,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/redzone_demo.hpp"
 #include "apps/scenarios.hpp"
 #include "core/arena.hpp"
 #include "core/compare.hpp"
@@ -88,27 +89,29 @@ int usage() {
       "  epa_cli trace <scenario>\n"
       "  epa_cli run <scenario> [--sites a,b,...] [--coverage F]\n"
       "                         [--seed N] [--merge] [--json] [--jobs N]\n"
-      "                         [--no-world-cache]\n"
+      "                         [--no-world-cache] [--no-redzone]\n"
       "  epa_cli sweep [--jobs N] [--seed N] [--merge] [--json]\n"
-      "                [--no-world-cache]\n"
+      "                [--no-world-cache] [--no-redzone]\n"
       "  epa_cli plan <scenario> [--out FILE] [--binary] [--sites a,b,...]\n"
       "                [--coverage F] [--seed N] [--merge]\n"
       "  epa_cli plan --all [--out-dir DIR] [--seed N] [--merge] [--jobs N]\n"
       "  epa_cli run-shard <plan-file> --shard K/N [--out FILE] [--jobs N]\n"
-      "                [--no-world-cache] [--checkpoint K]\n"
+      "                [--no-world-cache] [--no-redzone] [--checkpoint K]\n"
       "                [--preempt-after N]\n"
       "  epa_cli run-shard <plan-file> --resume <shard-file> [--out FILE]\n"
-      "                [--jobs N] [--no-world-cache] [--checkpoint K]\n"
+      "                [--jobs N] [--no-world-cache] [--no-redzone]\n"
+      "                [--checkpoint K]\n"
       "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
       "  epa_cli orchestrate <scenario> [--workers N] [--lease K]\n"
       "                [--data-plane pipe|shm|tcp] [--deadman-ms MS]\n"
       "                [--jobs N] [--preempt-after N] [--checkpoint K]\n"
       "                [--drain-delay-ms MS] [--dir DIR]\n"
       "                [--listen PORT] [--port-file FILE]   (tcp)\n"
-      "                [--json] [--no-world-cache]\n"
+      "                [--json] [--no-world-cache] [--no-redzone]\n"
       "  epa_cli orchestrate --all [same flags; pipe/shm only]\n"
       "  epa_cli worker <plan-file>|--arena FILE|--connect HOST:PORT\n"
-      "                [--jobs N] [--no-world-cache] [--preempt-after N]\n"
+      "                [--jobs N] [--no-world-cache] [--no-redzone]\n"
+      "                [--preempt-after N]\n"
       "                [--checkpoint K] [--drain-delay-ms MS]\n"
       "                (worker protocol v2 on stdin/stdout, or framed\n"
       "                over tcp with --connect; spawned by orchestrate)\n"
@@ -274,6 +277,13 @@ core::Scenario find_scenario(const std::string& name, bool& found) {
       found = true;
       return s;
     }
+  }
+  // The redzone oracle's demo scenario resolves by name but stays out of
+  // all_scenarios(): the 21-scenario seed suite is a pinned negative
+  // control, while this one exists to fire (see apps/redzone_demo.hpp).
+  if (name == "redzone-demo") {
+    found = true;
+    return apps::redzone_demo_scenario();
   }
   found = false;
   return {};
@@ -484,6 +494,7 @@ struct RunShardArgs {
   std::string out_path;      // --out FILE
   int jobs = 1;
   bool use_world_cache = true;
+  bool use_redzone = true;        // --no-redzone: disable the memory oracle
   std::size_t checkpoint = 0;     // --checkpoint K: flush every K outcomes
   long long preempt_after = 0;    // --preempt-after N: self-SIGTERM (CI)
 };
@@ -529,6 +540,7 @@ int cmd_run_shard(RunShardArgs a) {
   core::ExecutorOptions opts;
   opts.jobs = a.jobs;
   opts.use_world_cache = a.use_world_cache;
+  opts.use_redzone = a.use_redzone;
 
   long long flushes = 0;
   core::ShardDrainHooks hooks;
@@ -715,6 +727,7 @@ struct WorkerArgs {
   int connect_port = 0;
   int jobs = 1;
   bool use_world_cache = true;
+  bool use_redzone = true;       // --no-redzone: disable the memory oracle
   long long preempt_after = 0;   // self-preempt after N leases, or — with
                                  // --checkpoint — after N flushes (CI hook)
   std::size_t checkpoint = 0;    // flush partials every K outcomes
@@ -814,6 +827,7 @@ int cmd_worker(const WorkerArgs& a) {
   core::ExecutorOptions opts;
   opts.jobs = a.jobs;
   opts.use_world_cache = a.use_world_cache;
+  opts.use_redzone = a.use_redzone;
   std::signal(SIGTERM, on_sigterm);
   // One line per process by design: the ctest worker-protocol check
   // counts these to pin "parse + re-freeze happen once, not per lease".
@@ -1005,6 +1019,7 @@ struct OrchestrateArgs {
   std::string port_file;        // tcp: where to publish the bound port
   bool as_json = false;
   bool use_world_cache = true;
+  bool use_redzone = true;  // --no-redzone forwarded to workers
   std::string dir;  // plan + lease/arena files; empty = fresh temp dir
 };
 
@@ -1046,6 +1061,7 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
     // the merge; only workers pay a plan parse (once per process).
     core::CampaignOptions popts;
     popts.use_world_cache = false;  // the plan file carries no snapshot
+    popts.use_redzone = a.use_redzone;
     core::InjectionPlan plan = core::Planner(scenario).plan(popts);
 
     core::OrchestratorOptions oopts;
@@ -1072,6 +1088,7 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
       cfg.file_prefix = scenario.name;
       cfg.jobs = a.jobs;
       cfg.use_world_cache = a.use_world_cache;
+      cfg.use_redzone = a.use_redzone;
       cfg.preempt_after = a.preempt_after;
       cfg.checkpoint = a.checkpoint;
       cfg.drain_delay_ms = a.drain_delay_ms;
@@ -1148,6 +1165,8 @@ int main(int argc, char** argv) {
         opts.campaign.seed = uint64_flag(arg, argc, argv, &i);
       } else if (arg == "--no-world-cache") {
         opts.campaign.use_world_cache = false;
+      } else if (arg == "--no-redzone") {
+        opts.campaign.use_redzone = false;
       } else {
         std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
         return usage();
@@ -1247,6 +1266,8 @@ int main(int argc, char** argv) {
         a.preempt_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
       } else if (arg == "--no-world-cache") {
         a.use_world_cache = false;
+      } else if (arg == "--no-redzone") {
+        a.use_redzone = false;
       } else if (!starts_with(arg, "--") && a.plan_path.empty()) {
         a.plan_path = arg;
       } else {
@@ -1304,6 +1325,8 @@ int main(int argc, char** argv) {
         a.connect_port = static_cast<int>(port);
       } else if (arg == "--no-world-cache") {
         a.use_world_cache = false;
+      } else if (arg == "--no-redzone") {
+        a.use_redzone = false;
       } else if (!starts_with(arg, "--") && a.plan_path.empty()) {
         a.plan_path = arg;
       } else {
@@ -1335,7 +1358,7 @@ int main(int argc, char** argv) {
     OrchestrateArgs a;
     bool saw_jobs = false, saw_preempt = false, saw_checkpoint = false;
     bool saw_drain = false, saw_no_cache = false, saw_dir = false;
-    bool saw_listen = false, saw_port_file = false;
+    bool saw_listen = false, saw_port_file = false, saw_no_redzone = false;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--all") {
@@ -1383,6 +1406,9 @@ int main(int argc, char** argv) {
       } else if (arg == "--no-world-cache") {
         a.use_world_cache = false;
         saw_no_cache = true;
+      } else if (arg == "--no-redzone") {
+        a.use_redzone = false;
+        saw_no_redzone = true;
       } else if (arg == "--dir") {
         a.dir = flag_value(arg, argc, argv, &i);
         saw_dir = true;
@@ -1410,6 +1436,7 @@ int main(int argc, char** argv) {
           : saw_checkpoint ? "--checkpoint"
           : saw_drain ? "--drain-delay-ms"
           : saw_no_cache ? "--no-world-cache"
+          : saw_no_redzone ? "--no-redzone"
           : saw_dir ? "--dir"
                     : nullptr;
       if (worker_flag) {
@@ -1491,6 +1518,8 @@ int main(int argc, char** argv) {
       opts.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
     } else if (arg == "--no-world-cache") {
       opts.use_world_cache = false;
+    } else if (arg == "--no-redzone") {
+      opts.use_redzone = false;
     } else {
       std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
       return usage();

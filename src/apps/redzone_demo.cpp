@@ -1,0 +1,64 @@
+#include "apps/redzone_demo.hpp"
+
+#include "apps/fixed_buffer.hpp"
+#include "os/world.hpp"
+
+namespace ep::apps {
+
+using os::Site;
+
+namespace {
+
+const Site kGetBanner{"banner.c", 12, kBannerGetEnv};
+const Site kCopy{"banner.c", 14, kBannerCopy};
+const Site kSay{"banner.c", 16, "banner-status"};
+
+}  // namespace
+
+int banner_main(os::Kernel& k, os::Pid pid) {
+  // The banner text is taken from the environment as-is — the assumption
+  // under test is that nobody hands the login banner a novel.
+  std::string text = k.getenv(kGetBanner, pid, "BANNER").value_or("welcome");
+  FixedBuffer line(k, pid, kCopy, kBannerCapacity);
+  line.copy_wild(text);
+  k.output(kSay, pid, "banner: " + line.str());
+  return 0;
+}
+
+core::Scenario redzone_demo_scenario() {
+  core::Scenario s;
+  s.name = "redzone-demo";
+  s.description =
+      "banner printer wild-copying an environment string into a fixed "
+      "buffer (redzone oracle demo)";
+  s.trace_unit_filter = "banner.c";
+  s.snapshot_safe = true;
+  s.build = [] {
+    auto w = std::make_unique<core::TargetWorld>();
+    os::Kernel& k = w->kernel;
+    os::world::standard_unix(k);
+    k.add_user(1000, "alice", 1000);
+    k.add_user(666, "mallory", 666);
+    k.register_image("banner", banner_main);
+    os::world::put_program(k, "/usr/bin/banner", "banner", os::kRootUid,
+                           os::kRootGid, 0755 | os::kSetUidBit);
+    return w;
+  };
+  s.run = [](core::TargetWorld& w) {
+    auto r = w.kernel.spawn("/usr/bin/banner", {"banner"}, 1000, 1000,
+                            {{"BANNER", "greetings"}}, "/home");
+    return r.ok() ? r.value() : 255;
+  };
+  s.policy.secret_files = {"/etc/shadow"};
+  s.hints.attacker_uid = 666;
+  s.hints.attacker_gid = 666;
+  // One point, one fault: the plan is exactly the change-length item, so
+  // the scenario's exit code under `epa_cli run` is a stable regression
+  // signal (exit 3: the wild copy is exploitable by the invoking user).
+  core::SiteSpec getenv_spec;
+  getenv_spec.faults = {"change-length"};
+  s.sites[kBannerGetEnv] = getenv_spec;
+  return s;
+}
+
+}  // namespace ep::apps

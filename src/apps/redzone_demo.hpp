@@ -1,0 +1,33 @@
+// `redzone-demo`: the regression vehicle for the redzone memory oracle.
+//
+// A banner printer that copies the invoker-supplied $BANNER into a
+// fixed 16-byte buffer with a *wild* copy (apps/fixed_buffer.hpp:
+// copy_wild) — the memcpy-with-a-wrong-length idiom that neither checks
+// nor crashes, it just runs silently past the end. The benign value
+// fits; the change-length perturbation (Table 5, user input / file
+// name) hands the program a kilobytes-long value whose tail lands in
+// the buffer's poisoned redzone, and the oracle reports
+// redzone-corruption at the copy site when the buffer's guard is
+// validated.
+//
+// Deliberately NOT part of apps::all_scenarios(): the 21-scenario seed
+// suite is a pinned negative control (every seed scenario must run
+// clean under the oracle), while this scenario exists to fire. epa_cli
+// resolves it by name, and CI's redzone smoke leg drives it across the
+// pipe/shm data planes.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "os/kernel.hpp"
+
+namespace ep::apps {
+
+int banner_main(os::Kernel& k, os::Pid pid);
+
+inline constexpr const char* kBannerGetEnv = "banner-getenv-banner";
+inline constexpr const char* kBannerCopy = "banner-copy-line";
+inline constexpr std::size_t kBannerCapacity = 16;
+
+core::Scenario redzone_demo_scenario();
+
+}  // namespace ep::apps

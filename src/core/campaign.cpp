@@ -55,6 +55,7 @@ CampaignResult Campaign::execute(const CampaignOptions& opts) {
   ExecutorOptions eopts;
   eopts.jobs = opts.jobs;
   eopts.use_world_cache = opts.use_world_cache;
+  eopts.use_redzone = opts.use_redzone;
   return Executor(scenario_).execute(plan, eopts);
 }
 

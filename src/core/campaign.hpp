@@ -149,6 +149,10 @@ struct CampaignOptions {
   /// --no-world-cache escape hatch). Either setting yields the identical
   /// CampaignResult; this only trades build time for clone time.
   bool use_world_cache = true;
+  /// Validate redzone poison on syscalls and at run teardown (see
+  /// os/redzone.hpp; the CLI's --no-redzone escape hatch). With no
+  /// corruption, either setting yields the identical CampaignResult.
+  bool use_redzone = true;
 };
 
 class Campaign {

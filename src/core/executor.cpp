@@ -224,10 +224,12 @@ Executor::Executor(const Scenario& scenario) : scenario_(scenario) {
 
 InjectionOutcome Executor::run_item(const InjectionPlan& plan,
                                     const WorkItem& item,
-                                    bool use_world_cache) const {
+                                    const ExecutorOptions& opts) const {
   const InteractionPoint& point = plan.point_of(item);
-  const WorldSnapshot* snap = use_world_cache ? plan.snapshot.get() : nullptr;
+  const WorldSnapshot* snap =
+      opts.use_world_cache ? plan.snapshot.get() : nullptr;
   auto world = snap ? snap->instantiate() : scenario_.build();
+  world->kernel.set_redzone_audit(opts.use_redzone);
   auto injector = std::make_shared<Injector>(*world, point.site, item.fault,
                                              scenario_.hints);
   auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
@@ -244,6 +246,10 @@ InjectionOutcome Executor::run_item(const InjectionPlan& plan,
                               ? item.fault.indirect->description
                               : item.fault.direct->description;
   out.exit_code = scenario_.run(*world);
+  // Teardown redzone sweep, while this run's oracle is still installed —
+  // corruption that never crossed another syscall surfaces here, into the
+  // same violation list. A no-op when the audit is off.
+  world->validate_redzones();
   out.fired = injector->fired();
   out.violations = oracle->violations();
   out.violated = !out.violations.empty();
@@ -279,8 +285,7 @@ CampaignResult Executor::execute(const InjectionPlan& plan,
                                  const ExecutorOptions& opts) const {
   CampaignResult result = result_skeleton(plan);
   parallel_for(plan.items.size(), opts.jobs, [&](std::size_t i) {
-    result.injections[i] = run_item(plan, plan.items[i],
-                                    opts.use_world_cache);
+    result.injections[i] = run_item(plan, plan.items[i], opts);
   });
   return result;
 }
@@ -307,8 +312,7 @@ std::vector<InjectionOutcome> Executor::execute_subset_checkpointed(
     const std::size_t n = std::min(chunk, total - off);
     std::vector<InjectionOutcome> part(n);
     parallel_for(n, opts.jobs, [&](std::size_t i) {
-      part[i] = run_item(plan, plan.items.at(item_ids[off + i]),
-                         opts.use_world_cache);
+      part[i] = run_item(plan, plan.items.at(item_ids[off + i]), opts);
     });
     for (auto& o : part) outcomes.push_back(std::move(o));
     if (on_checkpoint && outcomes.size() < total) on_checkpoint(outcomes);

@@ -29,6 +29,10 @@ struct ExecutorOptions {
   /// scenario.build(). No effect on plans without a snapshot (scenario
   /// not snapshot-safe, or planned with caching off).
   bool use_world_cache = true;
+  /// Validate redzone poison during each run and in the end-of-run sweep
+  /// (see os/redzone.hpp). `epa_cli --no-redzone` is the escape hatch;
+  /// with no corruption the results are byte-identical either way.
+  bool use_redzone = true;
 };
 
 /// Section 4.1's assumption analysis for one violating outcome, judged
@@ -96,10 +100,12 @@ class Executor {
 
   /// One rebuild-and-rerun cycle (steps 4-8) for a single work item.
   /// Thread-safe: touches only the fresh world it builds or clones. The
-  /// scheduler's shared pool calls this directly.
+  /// scheduler's shared pool calls this directly. `opts.jobs` is ignored
+  /// (a single item has no inner parallelism).
   [[nodiscard]] InjectionOutcome run_item(const InjectionPlan& plan,
                                           const WorkItem& item,
-                                          bool use_world_cache = true) const;
+                                          const ExecutorOptions& opts = {})
+      const;
 
  private:
   const Scenario& scenario_;

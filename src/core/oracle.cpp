@@ -13,6 +13,7 @@ std::string_view to_string(Policy p) {
     case Policy::memory_safety: return "memory-safety";
     case Policy::trust: return "trust";
     case Policy::authorization: return "authorization";
+    case Policy::redzone_corruption: return "redzone-corruption";
   }
   return "?";
 }
@@ -53,6 +54,17 @@ void SecurityOracle::report(Policy policy, const os::SyscallCtx& ctx,
 }
 
 void SecurityOracle::after(os::Kernel& k, os::SyscallCtx& ctx, Err result) {
+  // Redzone corruption is handled before the process guard below: the
+  // teardown sweep reports with no process (pid -1), and corruption is
+  // environment-state damage, so it is recorded whether or not the
+  // faulting process is privileged. ctx.path carries the corrupted
+  // object's identity (report()'s dedup key).
+  if (ctx.call == "app_fault" && ctx.aux == "redzone_corruption") {
+    ++redzones_;
+    report(Policy::redzone_corruption, ctx,
+           "memory corrupted past the end of a guarded region: " + ctx.data);
+    return;
+  }
   if (ctx.pid < 0 || !k.has_proc(ctx.pid)) return;
   const os::Process& p = k.proc(ctx.pid);
 

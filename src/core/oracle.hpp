@@ -24,6 +24,14 @@
 //                         protocol order, socket exclusivity, a live
 //                         trusted authority's confirmation) did not
 //                         support it.
+//   P7 redzone          — a token-poisoned guard region past a buffer
+//                         (fixed app buffer, Vfs content, registry value)
+//                         was overwritten: silent memory corruption that
+//                         never self-reported (see os/redzone.hpp and
+//                         docs/ORACLES.md). Reported for *any* process —
+//                         corruption is environment-state damage, so the
+//                         privilege gap that scopes P1–P6 does not apply,
+//                         and teardown sweeps carry no process at all.
 #pragma once
 
 #include <set>
@@ -42,6 +50,9 @@ enum class Policy {
   memory_safety,
   trust,
   authorization,
+  // Appended in PR 8; the binary wire codec encodes policies by ordinal,
+  // so new values must go at the end (see core/wire_binary.cpp).
+  redzone_corruption,
 };
 
 std::string_view to_string(Policy p);
@@ -80,6 +91,7 @@ class SecurityOracle : public os::Interposer {
   [[nodiscard]] bool violated() const { return !violations_.empty(); }
   [[nodiscard]] int crash_count() const { return crashes_; }
   [[nodiscard]] int overflow_count() const { return overflows_; }
+  [[nodiscard]] int redzone_count() const { return redzones_; }
 
  private:
   [[nodiscard]] bool watched(const os::Process& p) const;
@@ -103,6 +115,7 @@ class SecurityOracle : public os::Interposer {
   bool auth_confirmed_ = false;
   int crashes_ = 0;
   int overflows_ = 0;
+  int redzones_ = 0;
 };
 
 }  // namespace ep::core

@@ -150,12 +150,18 @@ InjectionPlan Planner::plan(const CampaignOptions& opts) const {
   // ---- Step 3: discover interaction points with a clean trace run --------
   {
     auto world = scenario_.build();
+    world->kernel.set_redzone_audit(opts.use_redzone);
     auto recorder =
         std::make_shared<TraceRecorder>(scenario_.trace_unit_filter);
     auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
     world->kernel.add_interposer(recorder);
     world->kernel.add_interposer(oracle);
     (void)scenario_.run(*world);
+    // A benign run must leave every redzone intact; a corruption here is
+    // a scenario bug and lands loudly in benign_violations. The recorder
+    // ignores app_fault reports, so the sweep never mints interaction
+    // points and the plan bytes stay identical with the audit on or off.
+    world->validate_redzones();
     plan.points = recorder->points();
     plan.benign_violations = oracle->violations();
   }

@@ -23,9 +23,11 @@ namespace ep::core {
 
 /// Version of the plan/shard-report wire format (docs/WIRE_FORMAT.md).
 /// Bumped whenever a serialized field changes meaning, is removed, or a
-/// new required field appears; readers reject any other version rather
-/// than guess.
-inline constexpr int kPlanSchemaVersion = 1;
+/// new required field appears; readers reject unknown versions rather
+/// than guess. Version 2 admits the `redzone-corruption` violation policy
+/// (a version-1 reader would choke on the new name); the reader accepts 1
+/// and 2 — the body layout is unchanged.
+inline constexpr int kPlanSchemaVersion = 2;
 
 /// One (interaction point, fault) pair: exactly one rebuild-and-rerun
 /// cycle of procedure steps 4-8.

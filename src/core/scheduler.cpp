@@ -71,12 +71,15 @@ SweepResult MultiCampaign::run(const SweepOptions& opts) const {
     for (std::size_t ii = 0; ii < plans[si].items.size(); ++ii)
       queue.push_back({si, ii});
   }
+  ExecutorOptions eopts;
+  eopts.use_world_cache = opts.campaign.use_world_cache;
+  eopts.use_redzone = opts.campaign.use_redzone;
   parallel_for(queue.size(), opts.jobs, [&](std::size_t q) {
     const Slot& s = queue[q];
     sweep.results[s.scenario].injections[s.item] =
         executors[s.scenario].run_item(plans[s.scenario],
                                        plans[s.scenario].items[s.item],
-                                       opts.campaign.use_world_cache);
+                                       eopts);
   });
   return sweep;
 }

@@ -49,6 +49,19 @@ struct TargetWorld {
   /// the network/registry of the world they are running in — never the
   /// prototype a clone was made from.
   void wire() { kernel.attach_substrates(&network, &registry); }
+
+ public:
+  /// End-of-run redzone sweep across every substrate that carries guard
+  /// regions: the kernel (live app-buffer guards, then VFS inodes) and
+  /// the registry (key values). Lives here because reg depends on os,
+  /// not the other way around — the kernel cannot drive the registry's
+  /// sweep itself. Reports flow through the kernel's hook chain, so run
+  /// it while the run's oracle is still installed (the executor does).
+  /// No-op when the kernel's redzone audit is off.
+  void validate_redzones() {
+    kernel.validate_redzones();
+    registry.validate_redzones(kernel);
+  }
 };
 
 }  // namespace ep::core

@@ -111,6 +111,7 @@ void LocalProcessTransport::append_common_args(
   args.push_back("--jobs");
   args.push_back(std::to_string(config_.jobs));
   if (!config_.use_world_cache) args.push_back("--no-world-cache");
+  if (!config_.use_redzone) args.push_back("--no-redzone");
   if (config_.preempt_after > 0) {
     args.push_back("--preempt-after");
     args.push_back(std::to_string(config_.preempt_after));

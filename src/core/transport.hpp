@@ -52,6 +52,9 @@ struct LocalProcessConfig {
   int jobs = 1;
   /// --no-world-cache forwarded when false.
   bool use_world_cache = true;
+  /// --no-redzone forwarded when false (the redzone memory oracle is on
+  /// by default; see os/redzone.hpp).
+  bool use_redzone = true;
   /// --preempt-after forwarded when > 0: each worker self-preempts
   /// (exit 4) — after serving N leases, or, with `checkpoint` set, after
   /// N checkpoint flushes (which lands the preemption *mid-lease*). The
@@ -123,8 +126,9 @@ class LocalProcessTransport : public Transport {
   /// mapping. Throws OrchestratorError/WireError on a broken worker.
   virtual void load_report(const Proc& p, const ProtocolMsg& done,
                            WorkerEvent& ev);
-  /// Common flags (--jobs, --no-world-cache, --preempt-after,
-  /// --checkpoint, --drain-delay-ms) every data plane forwards.
+  /// Common flags (--jobs, --no-world-cache, --no-redzone,
+  /// --preempt-after, --checkpoint, --drain-delay-ms) every data plane
+  /// forwards.
   void append_common_args(std::vector<std::string>& args) const;
 
   const LocalProcessConfig& config() const { return config_; }

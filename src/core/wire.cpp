@@ -140,7 +140,7 @@ JsonValue parse_document(const std::string& text, const char* what) {
 /// schema_version + kind so a plan handed to merge (or vice versa) fails
 /// with "kind 'injection-plan' where 'shard-report' was expected", not a
 /// missing-field puzzle. Each kind carries its own supported version
-/// range (plans: exactly kPlanSchemaVersion; shard reports: 1 through
+/// range (plans: 1 through kPlanSchemaVersion; shard reports: 1 through
 /// kShardSchemaVersion); the accepted version is returned so the caller
 /// can pick the matching body parser.
 int check_header(const JsonValue& doc, const char* expected_kind,
@@ -201,7 +201,8 @@ InputSemantic semantic_from(const std::string& s) {
 Policy policy_from(const std::string& s) {
   for (Policy p : {Policy::integrity, Policy::confidentiality,
                    Policy::untrusted_exec, Policy::memory_safety,
-                   Policy::trust, Policy::authorization})
+                   Policy::trust, Policy::authorization,
+                   Policy::redzone_corruption})
     if (to_string(p) == s) return p;
   throw WireError("unknown policy '" + s + "'");
 }
@@ -469,8 +470,9 @@ void parse_shard_outcomes_v2(const JsonValue& doc, ShardReport& report) {
 
 InjectionPlan plan_from_json(const std::string& text) {
   JsonValue doc = parse_document(text, "plan");
-  check_header(doc, "injection-plan", "plan", kPlanSchemaVersion,
-               kPlanSchemaVersion);
+  // Version 1 files (pre-redzone) are identical in layout; the bump only
+  // admits the policy name a v1 reader would reject.
+  check_header(doc, "injection-plan", "plan", 1, kPlanSchemaVersion);
 
   InjectionPlan plan;
   plan.scenario_name =

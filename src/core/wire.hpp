@@ -29,10 +29,12 @@ namespace ep::core {
 /// Version of the shard-report wire format. Version 2 is the compact
 /// columnar encoding (one array per run-dependent field instead of one
 /// object per outcome) with the `complete`/`completed_ids` partial-report
-/// notion; the serializer always writes version 2, and the reader still
-/// accepts version 1 files (the row-oriented PR 3 format). Plans are
-/// versioned separately by kPlanSchemaVersion.
-inline constexpr int kShardSchemaVersion = 2;
+/// notion; version 3 admits the `redzone-corruption` violation policy
+/// with the same columnar layout. The serializer always writes the
+/// current version, and the reader still accepts versions 1 (the
+/// row-oriented PR 3 format) and 2. Plans are versioned separately by
+/// kPlanSchemaVersion.
+inline constexpr int kShardSchemaVersion = 3;
 
 /// Version of the binary wire encoding (docs/WIRE_FORMAT.md, "Binary
 /// encoding"): the compact non-JSON framing of the same plan and
@@ -40,8 +42,9 @@ inline constexpr int kShardSchemaVersion = 2;
 /// (core/arena.hpp) and sized for the remote fleet's network framing.
 /// Versioned independently of the JSON schema versions — the two
 /// encodings carry identical information and decode to identical
-/// in-memory values.
-inline constexpr int kBinaryWireVersion = 1;
+/// in-memory values. Version 2 appends the `redzone-corruption` policy
+/// ordinal; the layout is unchanged and version-1 frames stay decodable.
+inline constexpr int kBinaryWireVersion = 2;
 
 /// A plan or shard-report file that cannot be trusted: syntactically
 /// malformed, wrong schema version, wrong kind, missing or inconsistent

@@ -89,7 +89,9 @@ constexpr InputSemantic kSemantics[] = {
     InputSemantic::dns_reply,      InputSemantic::ipc_message};
 constexpr Policy kPolicies[] = {Policy::integrity, Policy::confidentiality,
                                 Policy::untrusted_exec, Policy::memory_safety,
-                                Policy::trust, Policy::authorization};
+                                Policy::trust, Policy::authorization,
+                                // Appended in wire version 2.
+                                Policy::redzone_corruption};
 
 template <typename E, std::size_t N>
 std::uint8_t ordinal_of(const E (&table)[N], E v, const char* what) {
@@ -278,9 +280,11 @@ Header decode_header(const std::uint8_t* p, std::size_t size,
     fail(what, "corrupt byte-order tag");
   }
   std::uint16_t version = rd16(8);
-  if (version != kBinaryWireVersion)
+  // Version 2 only appended a policy ordinal; version-1 frames decode
+  // with the same layout, so accept the whole range.
+  if (version < 1 || version > kBinaryWireVersion)
     fail(what, "unsupported binary wire version " + std::to_string(version) +
-                   " (this build reads " +
+                   " (this build reads versions 1 through " +
                    std::to_string(kBinaryWireVersion) + ")");
   std::uint16_t kind = rd16(10);
   if (kind != kKindPlan && kind != kKindShardReport)

@@ -27,9 +27,10 @@ class Kernel;
 /// both the oracle (security violation?) and the Fuzz baseline (crash?)
 /// can observe them.
 enum class AppFault {
-  buffer_overflow,  // unchecked copy exceeded a fixed buffer
-  crash,            // unhandled condition, simulated SIGSEGV
-  assertion,        // internal consistency check failed
+  buffer_overflow,     // unchecked copy exceeded a fixed buffer
+  crash,               // unhandled condition, simulated SIGSEGV
+  assertion,           // internal consistency check failed
+  redzone_corruption,  // poisoned guard region past a buffer was overwritten
 };
 
 struct SyscallCtx {

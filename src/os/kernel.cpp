@@ -258,6 +258,7 @@ SysResult<std::string> Kernel::read(const Site& site, Pid pid, Fd fd,
     dispatch_after(ctx, ctx.forced_error);
     return ctx.forced_error;
   }
+  check_inode_redzone(site, pid, of.ino);
 
   // Fetched only after the hooks ran: a perturber may have rewritten the
   // node, and under copy-on-write a reference taken earlier could still
@@ -299,6 +300,7 @@ SysResult<std::string> Kernel::read_line(const Site& site, Pid pid, Fd fd) {
     dispatch_after(ctx, ctx.forced_error);
     return ctx.forced_error;
   }
+  check_inode_redzone(site, pid, of.ino);
 
   // Re-fetched after the hooks: see read() — a stale reference would miss
   // a content perturbation under copy-on-write.
@@ -346,6 +348,7 @@ SysResult<std::size_t> Kernel::write(const Site& site, Pid pid, Fd fd,
     dispatch_after(ctx, ctx.forced_error);
     return ctx.forced_error;
   }
+  check_inode_redzone(site, pid, of.ino);
 
   Inode& node = vfs_.mutate(of.ino);
   if (of.flags.has(OpenFlag::append)) of.offset = node.content.size();
@@ -849,10 +852,81 @@ void Kernel::app_fault(const Site& site, Pid pid, AppFault kind,
     case AppFault::buffer_overflow: ctx.aux = "buffer_overflow"; break;
     case AppFault::crash: ctx.aux = "crash"; break;
     case AppFault::assertion: ctx.aux = "assertion"; break;
+    case AppFault::redzone_corruption: ctx.aux = "redzone_corruption"; break;
   }
   ctx.data = detail;
   dispatch_before(ctx);
   dispatch_after(ctx, Err::ok);
+}
+
+// --- redzone memory oracle --------------------------------------------------
+
+void Kernel::register_redzone_guard(const Site& site, Pid pid,
+                                    std::string label,
+                                    const std::string* zone) {
+  run_.redzone_guards.push_back({site, pid, std::move(label), zone});
+}
+
+void Kernel::unregister_redzone_guard(const std::string* zone) {
+  auto& guards = run_.redzone_guards;
+  for (auto it = guards.begin(); it != guards.end(); ++it) {
+    if (it->zone != zone) continue;
+    if (!redzone::intact(*zone))
+      report_redzone_corruption(it->site, it->pid, it->label, *zone);
+    guards.erase(it);
+    return;
+  }
+}
+
+void Kernel::report_redzone_corruption(const Site& site, Pid pid,
+                                       const std::string& object,
+                                       std::string_view zone) {
+  if (!redzone_audit_) return;
+  // One violation per corrupted region per run, no matter how many
+  // syscalls touch it afterwards — keeps reports (and the wire bytes
+  // downstream) independent of how often a region happens to be re-read.
+  if (!run_.redzone_reported.insert(object).second) return;
+  std::size_t n = redzone::clobbered_prefix(zone);
+  std::string detail =
+      n > 0 ? std::to_string(n) + " byte(s) of poison overwritten past " +
+                  object
+            : "guard region damaged past " + object;
+  SyscallCtx ctx;
+  ctx.site = site;
+  ctx.pid = pid;
+  ctx.call = "app_fault";
+  ctx.aux = "redzone_corruption";
+  ctx.path = object;  // the oracle's per-object dedup key
+  ctx.data = detail;
+  dispatch_before(ctx);
+  dispatch_after(ctx, Err::ok);
+}
+
+void Kernel::check_inode_redzone(const Site& site, Pid pid, Ino ino) {
+  if (!redzone_audit_ || !vfs_.exists(ino)) return;
+  const Inode& node = vfs_.inode(ino);
+  if (redzone::intact(node.redzone)) return;
+  report_redzone_corruption(site, pid, vfs_.canonical_path(ino),
+                            node.redzone);
+}
+
+void Kernel::validate_redzones() {
+  if (!redzone_audit_) return;
+  const Site sweep{"kernel", 0, "redzone-teardown"};
+  // Still-live app guards first, in registration order. Buffers normally
+  // validate themselves at destruction (unregister); this catches ones
+  // still alive when the run is torn down.
+  for (const auto& g : run_.redzone_guards)
+    if (g.zone && !redzone::intact(*g.zone))
+      report_redzone_corruption(g.site, g.pid, g.label, *g.zone);
+  // Then every inode, sorted by ino — a deterministic order regardless of
+  // hash-map iteration, clone history, jobs count, or data plane.
+  for (Ino ino : vfs_.all_inos_sorted()) {
+    const Inode& node = vfs_.inode(ino);
+    if (!redzone::intact(node.redzone))
+      report_redzone_corruption(sweep, -1, vfs_.canonical_path(ino),
+                                node.redzone);
+  }
 }
 
 void Kernel::privileged_action(const Site& site, Pid pid,

@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -171,6 +172,40 @@ class Kernel {
   void privileged_action(const Site& site, Pid pid, const std::string& what,
                          bool believes_authorized);
 
+  // --- redzone memory oracle (see os/redzone.hpp, docs/ORACLES.md) -----
+  /// Master switch (`epa_cli --no-redzone` turns it off). A plain value
+  /// member, so snapshots copy it; the executor (re)sets it per run.
+  void set_redzone_audit(bool on) { redzone_audit_ = on; }
+  [[nodiscard]] bool redzone_audit() const { return redzone_audit_; }
+
+  /// Track a live app-side guard region (apps/fixed_buffer.hpp registers
+  /// in its constructor). `zone` must stay valid until the matching
+  /// unregister. Guards are per-run state: they live in RunOnlyState and
+  /// never survive a world snapshot.
+  void register_redzone_guard(const Site& site, Pid pid, std::string label,
+                              const std::string* zone);
+  /// Validate and drop a guard (buffer destruction — the app-buffer
+  /// equivalent of the teardown sweep). Reports redzone_corruption at the
+  /// buffer's registration site if the poison was overwritten.
+  void unregister_redzone_guard(const std::string* zone);
+
+  /// Deterministic end-of-run sweep: every still-registered guard in
+  /// registration order, then every VFS inode redzone in ino order.
+  /// Registry value redzones are swept by reg::Registry::
+  /// validate_redzones(), driven alongside this from
+  /// core::TargetWorld::validate_redzones().
+  void validate_redzones();
+
+  /// Route a corrupted-guard finding through the hook chain as an
+  /// app_fault with `aux = "redzone_corruption"` and the corrupted
+  /// object's identity in ctx.path (the oracle's dedup key needs the
+  /// object; plain app_fault() leaves path empty). Public so sibling
+  /// substrates (registry) report through the same seam. Reported once
+  /// per object per run; no-op while the audit is off.
+  void report_redzone_corruption(const Site& site, Pid pid,
+                                 const std::string& object,
+                                 std::string_view zone);
+
   // --- hook chain ------------------------------------------------------
   void add_interposer(std::shared_ptr<Interposer> hook);
   void clear_interposers();
@@ -206,6 +241,9 @@ class Kernel {
   /// Fill ctx.canonical/object/object_untrusted from a resolved inode.
   void describe_object(SyscallCtx& ctx, Ino ino) const;
   [[nodiscard]] bool ancestor_untrusted(Ino ino) const;
+  /// Inline guard check on a file syscall path: report if this inode's
+  /// redzone is no longer intact.
+  void check_inode_redzone(const Site& site, Pid pid, Ino ino);
 
   /// Per-run, never-snapshot state: the interposer chain and the
   /// substrate back-pointers. Its copy constructor is a deliberate no-op
@@ -215,6 +253,20 @@ class Kernel {
     std::vector<std::shared_ptr<Interposer>> hooks;
     net::Network* net = nullptr;
     reg::Registry* reg = nullptr;
+
+    /// Live app-buffer guards, in registration order (the teardown
+    /// sweep's iteration order). Per-run like the hook chain: a snapshot
+    /// must not inherit pointers into another run's stack frames.
+    struct RedzoneGuard {
+      Site site;
+      Pid pid = -1;
+      std::string label;
+      const std::string* zone = nullptr;
+    };
+    std::vector<RedzoneGuard> redzone_guards;
+    /// Objects already reported corrupted this run — one violation per
+    /// region no matter how many syscalls touch it afterwards.
+    std::set<std::string> redzone_reported;
 
     RunOnlyState() = default;
     RunOnlyState(const RunOnlyState& /*other*/) {}
@@ -229,6 +281,7 @@ class Kernel {
   Pid next_pid_ = 1;
   std::string console_;
   int exec_depth_ = 0;
+  bool redzone_audit_ = true;
 };
 
 }  // namespace ep::os

@@ -33,6 +33,20 @@ Inode& Vfs::mutate(Ino ino) {
   return *slot;
 }
 
+void Vfs::wild_write(Ino ino, std::size_t overflow, char fill) {
+  Inode& node = mutate(ino);
+  std::size_t n = std::min(overflow, node.redzone.size());
+  for (std::size_t i = 0; i < n; ++i) node.redzone[i] = fill;
+}
+
+std::vector<Ino> Vfs::all_inos_sorted() const {
+  std::vector<Ino> inos;
+  inos.reserve(inodes_.size());
+  for (const auto& [ino, node] : inodes_) inos.push_back(ino);
+  std::sort(inos.begin(), inos.end());
+  return inos;
+}
+
 bool Vfs::permits(const Inode& node, Uid uid, Gid gid, Perm perm) {
   unsigned shift = 0;
   if (node.uid == uid) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "os/path.hpp"
+#include "os/redzone.hpp"
 #include "os/types.hpp"
 #include "util/result.hpp"
 
@@ -55,6 +56,12 @@ struct Inode {
   /// Entity-trustability attribute (Table 6): perturbations may mark an
   /// entity as originating from an untrusted subject.
   bool trusted = true;
+  /// Poisoned guard region conceptually adjacent to `content`. Legitimate
+  /// writes replace content wholesale and never touch it; the Kernel
+  /// checks it on read/write and at run teardown (see os/redzone.hpp).
+  /// Copied verbatim by mutate()'s unsharing copy, so poison — and any
+  /// corruption — survives COW cloning.
+  std::string redzone = redzone::poison();
 
   [[nodiscard]] bool is_dir() const { return type == FileType::directory; }
   [[nodiscard]] bool is_symlink() const { return type == FileType::symlink; }
@@ -163,6 +170,18 @@ class Vfs {
   /// subtree). The experimenter's hand: perturbers use this to replace
   /// objects regardless of type; the detached subtree stays allocated.
   void detach(Ino dir, const std::string& name);
+
+  /// Simulate a write that runs `overflow` bytes past the end of the
+  /// node's content: silently clobbers the leading min(overflow,
+  /// redzone::kSize) bytes of the node's guard region with `fill`.
+  /// Goes through mutate(), so the corruption stays private to this Vfs
+  /// copy. This is the injection half of the redzone oracle — nothing
+  /// reports here; detection happens in the Kernel's checks.
+  void wild_write(Ino ino, std::size_t overflow, char fill = '!');
+
+  /// Inos of all live inodes, sorted — the deterministic iteration order
+  /// for the Kernel's teardown redzone sweep.
+  [[nodiscard]] std::vector<Ino> all_inos_sorted() const;
 
   [[nodiscard]] SysResult<StatInfo> stat_inode(Ino ino) const;
 

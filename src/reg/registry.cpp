@@ -1,5 +1,7 @@
 #include "reg/registry.hpp"
 
+#include <algorithm>
+
 namespace ep::reg {
 
 using os::SyscallCtx;
@@ -30,6 +32,8 @@ SysResult<std::string> Registry::read_value(os::Kernel& k,
   if (it == keys_.end()) {
     e = Err::noent;
   } else {
+    if (!os::redzone::intact(it->second.redzone))
+      k.report_redzone_corruption(site, pid, path, it->second.redzone);
     ctx.data = it->second.value;
     ctx.object_untrusted = !it->second.trusted;
   }
@@ -58,6 +62,8 @@ SysStatus Registry::write_value(os::Kernel& k, const os::Site& site,
   if (it == keys_.end()) {
     e = Err::noent;
   } else {
+    if (!os::redzone::intact(it->second.redzone))
+      k.report_redzone_corruption(site, pid, path, it->second.redzone);
     const os::Process& p = k.proc(pid);
     if (!it->second.acl.everyone_write && p.euid != os::kRootUid &&
         p.euid != it->second.acl.owner) {
@@ -99,6 +105,23 @@ void Registry::set_trusted(const std::string& path, bool trusted) {
 }
 
 void Registry::remove_key(const std::string& path) { keys_.erase(path); }
+
+void Registry::wild_write(const std::string& path, std::size_t overflow,
+                          char fill) {
+  auto it = keys_.find(path);
+  if (it == keys_.end()) return;
+  std::string& zone = it->second.redzone;
+  std::size_t n = std::min(overflow, zone.size());
+  for (std::size_t i = 0; i < n; ++i) zone[i] = fill;
+}
+
+void Registry::validate_redzones(os::Kernel& k) const {
+  if (!k.redzone_audit()) return;
+  const os::Site sweep{"registry", 0, "redzone-teardown"};
+  for (const auto& [path, key] : keys_)
+    if (!os::redzone::intact(key.redzone))
+      k.report_redzone_corruption(sweep, -1, path, key.redzone);
+}
 
 std::vector<Key> Registry::unprotected_keys() const {
   std::vector<Key> out;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "os/kernel.hpp"
+#include "os/redzone.hpp"
 #include "util/result.hpp"
 
 namespace ep::reg {
@@ -34,6 +35,10 @@ struct Key {
   /// work" — and the key cannot be perturb-tested yet.
   std::string used_by_module;
   bool trusted = true;
+  /// Poisoned guard region conceptually adjacent to `value`; legitimate
+  /// value writes replace the value wholesale and never touch it (see
+  /// os/redzone.hpp). Value-copied with the Registry on world clone.
+  std::string redzone = os::redzone::poison();
 };
 
 class Registry {
@@ -60,6 +65,18 @@ class Registry {
   void set_everyone_write(const std::string& path, bool everyone_write);
   void set_trusted(const std::string& path, bool trusted);
   void remove_key(const std::string& path);
+  /// Simulate a write running `overflow` bytes past the end of the key's
+  /// value: silently clobbers the leading bytes of its guard region. The
+  /// injection half of the redzone oracle (no report here; detection is
+  /// in read_value/write_value and validate_redzones).
+  void wild_write(const std::string& path, std::size_t overflow,
+                  char fill = '!');
+
+  /// Teardown sweep over every key's guard region, in key-path order
+  /// (deterministic: keys_ is a sorted map). Reports through the kernel's
+  /// hook chain; driven from core::TargetWorld::validate_redzones()
+  /// alongside os::Kernel::validate_redzones().
+  void validate_redzones(os::Kernel& k) const;
 
   // --- the static-analysis scan from Section 4.2 ---------------------------
   /// Keys whose ACL lets everyone write.

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.hpp"
+#include "os/redzone.hpp"
 #include "os/world.hpp"
 
 namespace ep::core {
@@ -320,6 +321,45 @@ TEST_F(OracleTest, SendDisclosureCounts) {
 TEST_F(OracleTest, PolicyNamesPrintable) {
   EXPECT_EQ(to_string(Policy::integrity), "integrity");
   EXPECT_EQ(to_string(Policy::authorization), "authorization");
+  EXPECT_EQ(to_string(Policy::redzone_corruption), "redzone-corruption");
+}
+
+TEST_F(OracleTest, RedzoneReportFiresForUnprivilegedProcess) {
+  // Memory corruption is a violation regardless of privilege — the
+  // redzone branch runs before the watched()/pid gates.
+  auto oracle = attach();
+  std::string zone = os::redzone::poison();
+  zone[0] = '!';
+  k.report_redzone_corruption(kS, plain, "buffer at " + kS.str(), zone);
+  ASSERT_TRUE(oracle->violated());
+  EXPECT_EQ(oracle->violations()[0].policy, Policy::redzone_corruption);
+  EXPECT_EQ(oracle->redzone_count(), 1);
+}
+
+TEST_F(OracleTest, RedzoneTeardownReportAcceptsNoProcess) {
+  // The end-of-run sweep reports with pid -1 (no live process); the
+  // oracle must not drop it on the has_proc guard.
+  auto oracle = attach();
+  std::string zone = os::redzone::poison();
+  zone[0] = '!';
+  k.report_redzone_corruption({"kernel", 0, "redzone-teardown"}, -1,
+                              "/etc/passwd", zone);
+  ASSERT_TRUE(oracle->violated());
+  EXPECT_EQ(oracle->violations()[0].policy, Policy::redzone_corruption);
+  EXPECT_EQ(oracle->violations()[0].object, "/etc/passwd");
+}
+
+TEST_F(OracleTest, RedzoneReportsDeduplicatePerObject) {
+  auto oracle = attach();
+  std::string zone = os::redzone::poison();
+  zone[0] = '!';
+  k.report_redzone_corruption(kS, plain, "same-object", zone);
+  k.report_redzone_corruption(kS, plain, "same-object", zone);
+  k.report_redzone_corruption(kS, plain, "other-object", zone);
+  EXPECT_EQ(oracle->redzone_count(), 2);
+  ASSERT_EQ(oracle->violations().size(), 2u);
+  EXPECT_EQ(oracle->violations()[0].object, "same-object");
+  EXPECT_EQ(oracle->violations()[1].object, "other-object");
 }
 
 }  // namespace

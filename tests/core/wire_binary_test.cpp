@@ -216,7 +216,7 @@ TEST(WireBinaryErrors, UnsupportedVersion) {
   wr16(&bin, 8, 99);
   std::string msg = wire_error_of([&] { (void)plan_from_binary(bin); });
   EXPECT_TRUE(contains(msg, "unsupported binary wire version 99"));
-  EXPECT_TRUE(contains(msg, "this build reads 1"));
+  EXPECT_TRUE(contains(msg, "this build reads versions 1 through 2"));
 }
 
 TEST(WireBinaryErrors, KindIsCheckedBeforePayload) {

@@ -60,7 +60,7 @@ void expect_plans_equal(const InjectionPlan& a, const InjectionPlan& b) {
 TEST(Wire, PlanRoundTripsThroughJson) {
   InjectionPlan plan = toy_plan();
   std::string json = plan.to_json();
-  EXPECT_TRUE(contains(json, "\"schema_version\": 1"));
+  EXPECT_TRUE(contains(json, "\"schema_version\": 2"));
   EXPECT_TRUE(contains(json, "\"kind\": \"injection-plan\""));
 
   InjectionPlan parsed = plan_from_json(json);
@@ -129,7 +129,7 @@ TEST(Wire, ShardReportRoundTripsThroughJson) {
   EXPECT_TRUE(report.complete);
 
   std::string json = report.to_json();
-  EXPECT_TRUE(contains(json, "\"schema_version\": 2"));
+  EXPECT_TRUE(contains(json, "\"schema_version\": 3"));
   EXPECT_TRUE(contains(json, "\"complete\": true"));
   EXPECT_TRUE(contains(json, "\"completed_ids\": ["));
   // The compact columnar promise: plan-derivable strings stay off the
@@ -209,11 +209,11 @@ TEST(Wire, ShardReportReadsVersion1Files) {
   EXPECT_EQ(r.outcomes[0].exit_code, 1);
   EXPECT_FALSE(r.complete);  // shard 2/2 of 4 items owns ids 1 and 3
 
-  // Re-serializing a v1 read emits the canonical v2 encoding.
-  std::string v2 = r.to_json();
-  EXPECT_TRUE(contains(v2, "\"schema_version\": 2"));
-  EXPECT_TRUE(contains(v2, "\"completed_ids\": [1]"));
-  EXPECT_EQ(shard_report_from_json(v2).to_json(), v2);
+  // Re-serializing a v1 read emits the current canonical encoding.
+  std::string v3 = r.to_json();
+  EXPECT_TRUE(contains(v3, "\"schema_version\": 3"));
+  EXPECT_TRUE(contains(v3, "\"completed_ids\": [1]"));
+  EXPECT_EQ(shard_report_from_json(v3).to_json(), v3);
 }
 
 TEST(Wire, Version1OutcomesAreSortedById) {
@@ -562,7 +562,7 @@ TEST(WireErrors, PlanRejectsFutureSchemaVersion) {
                          "\"injection-plan\"}");
   });
   EXPECT_TRUE(contains(msg, "unsupported schema_version 99"));
-  EXPECT_TRUE(contains(msg, "version 1"));
+  EXPECT_TRUE(contains(msg, "versions 1 through 2"));
 }
 
 TEST(WireErrors, PlanRejectsForeignKind) {

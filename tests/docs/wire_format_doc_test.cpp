@@ -112,6 +112,25 @@ TEST(WireFormatDoc, LeaseReportExampleRoundTripsVerbatim) {
          "the examples' section)";
 }
 
+TEST(WireFormatDoc, RedzoneReportExampleRoundTripsVerbatim) {
+  // The documented redzone-corruption report is real serializer output,
+  // and its one outcome carries the new policy — the doc cannot drift
+  // from what the redzone memory oracle actually emits.
+  std::string example = example_block(read_doc(), "shard-report-redzone");
+  ASSERT_FALSE(example.empty());
+  ShardReport report = shard_report_from_json(example);
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  ASSERT_FALSE(report.outcomes[0].violations.empty());
+  EXPECT_EQ(
+      std::string(to_string(report.outcomes[0].violations[0].policy)),
+      "redzone-corruption");
+  EXPECT_EQ(report.to_json(), example)
+      << "docs/WIRE_FORMAT.md redzone example is no longer canonical "
+         "serializer output — regenerate it (see the doc's 'Regenerating "
+         "the examples' section)";
+}
+
 TEST(WireFormatDoc, LegacyShardReportExampleReadsAsTheV2Example) {
   // The documented version-1 file must stay parseable, and its canonical
   // re-serialization must be exactly the documented version-2 example —

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/scenarios.hpp"
+#include "core/oracle.hpp"
 #include "core/report.hpp"
 
 namespace ep {
@@ -131,6 +132,36 @@ TEST_P(EveryScenario, MergedCampaignNeverLosesViolations) {
   EXPECT_EQ(merged.violation_count(), full.violation_count());
   EXPECT_DOUBLE_EQ(merged.interaction_coverage(),
                    full.interaction_coverage());
+}
+
+TEST_P(EveryScenario, RedzoneOracleRaisesNoFalsePositives) {
+  // Negative control for the memory oracle: none of the packaged
+  // scenarios corrupts a guard region, neither benignly nor under any
+  // injected fault, so the redzone policy must never appear.
+  Campaign c(scenario_by_name(GetParam()));
+  auto r = c.execute();  // use_redzone defaults to true
+  for (const auto& v : r.benign_violations)
+    EXPECT_NE(v.policy, core::Policy::redzone_corruption) << v.detail;
+  for (const auto& i : r.injections)
+    for (const auto& v : i.violations)
+      EXPECT_NE(v.policy, core::Policy::redzone_corruption)
+          << i.site.tag << "/" << i.fault_name << ": " << v.detail;
+}
+
+TEST_P(EveryScenario, RedzoneAuditIsByteInvisibleWhenNothingFires) {
+  // The oracle must be a pure observer: with no corruption, turning the
+  // audit off (and changing the worker count) leaves the rendered report
+  // byte-identical. This is the determinism contract --no-redzone rides
+  // on — reports differ only when a guard actually breaks.
+  core::CampaignOptions audit_on;
+  audit_on.jobs = 1;
+  core::CampaignOptions audit_off;
+  audit_off.use_redzone = false;
+  audit_off.jobs = 4;
+  auto r_on = Campaign(scenario_by_name(GetParam())).execute(audit_on);
+  auto r_off = Campaign(scenario_by_name(GetParam())).execute(audit_off);
+  EXPECT_EQ(core::render_json(r_on), core::render_json(r_off));
+  EXPECT_EQ(core::render_report(r_on), core::render_report(r_off));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, EveryScenario,
