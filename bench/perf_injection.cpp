@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "apps/families.hpp"
 #include "apps/lpr.hpp"
 #include "apps/scenarios.hpp"
 #include "apps/turnin.hpp"
@@ -37,6 +38,7 @@
 #include "core/wire.hpp"
 #include "net/transport_tcp.hpp"
 #include "os/world.hpp"
+#include "vulndb/coverage.hpp"
 
 namespace {
 
@@ -592,6 +594,31 @@ void write_sweep_json(const char* path) {
       (orch_base_s > 0 ? tcp_s / orch_base_s - 1.0 : 0.0) * 100.0;
   double codec_rps = codec_encode_decode_rps();
 
+  // The declarative layer at scale: every packaged family expanded
+  // (spec compiled per member, cached worlds) and drained serially, plus
+  // the adequacy of what the generated suite actually fired — the
+  // fraction of the 20 EAI cause/attribute classes with >= 1 violation.
+  core::MultiCampaign family_suite;
+  for (const auto& fam : apps::scenario_families())
+    for (auto& s : apps::family_scenarios(fam)) family_suite.add(std::move(s));
+  std::size_t family_count = family_suite.size();
+  core::SweepOptions family_opts;
+  family_opts.campaign.use_world_cache = true;
+  double family_best = 1e300;
+  int family_runs = 0;
+  vulndb::VulnCoverage family_cov;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    core::SweepResult r = family_suite.run(family_opts);
+    auto t1 = std::chrono::steady_clock::now();
+    family_runs = r.total_injections();
+    family_cov = vulndb::vulnerability_coverage(r.results);
+    family_best =
+        std::min(family_best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  double family_rps = family_runs / family_best;
+  double vuln_coverage_pct = 100.0 * family_cov.fraction();
+
   // On a machine with fewer cores than kJobs the parallel sweep is pure
   // thread overhead; flag the artifact so a sub-kJobs speedup reads as a
   // hardware limit, not an engine regression.
@@ -638,7 +665,10 @@ void write_sweep_json(const char* path) {
                "  \"tcp_orchestrated_serial_runs_per_sec\": %.1f,\n"
                "  \"tcp_orchestrated_overhead_pct\": %.1f,\n"
                "  \"tcp_wire_bytes\": %zu,\n"
-               "  \"codec_encode_decode_runs_per_sec\": %.1f\n"
+               "  \"codec_encode_decode_runs_per_sec\": %.1f,\n"
+               "  \"family_generated_count\": %zu,\n"
+               "  \"family_generated_serial_runs_per_sec\": %.1f,\n"
+               "  \"vuln_coverage_pct\": %.1f\n"
                "}\n",
                suite.size(), runs, hw, core_starved ? "true" : "false",
                kJobs, serial_s, parallel_s, serial_rps, parallel_rps,
@@ -650,7 +680,8 @@ void write_sweep_json(const char* path) {
                shard_overhead_pct, shard_wire_bytes, kShards, orch.leases,
                orch_rps, orch_overhead_pct, orch.wire_bytes, shm_rps,
                shm_overhead_pct, shm.wire_bytes, tcp_rps, tcp_overhead_pct,
-               tcp.wire_bytes, codec_rps);
+               tcp.wire_bytes, codec_rps, family_count, family_rps,
+               vuln_coverage_pct);
   std::fclose(f);
   std::printf(
       "\nsweep: %d injection runs across %zu scenarios\n"
@@ -668,7 +699,9 @@ void write_sweep_json(const char* path) {
       "serial; %d leases, %zu binary report bytes in the arena)\n"
       "  tcp orchestrated  : %8.1f runs/sec  (overhead %+.1f%% vs cached "
       "serial; %d leases, %zu framed bytes through the socketpair)\n"
-      "  binary codec      : %8.1f outcomes/sec through encode+decode\n",
+      "  binary codec      : %8.1f outcomes/sec through encode+decode\n"
+      "  family generated  : %8.1f runs/sec over %zu spec-compiled "
+      "scenarios (%d runs; %.1f%% of the 20 EAI classes fired)\n",
       runs, suite.size(), serial_rps, kJobs, parallel_rps,
       parallel_rps / serial_rps, cached_serial_rps,
       cached_serial_rps / serial_rps, kJobs, cached_parallel_rps,
@@ -678,7 +711,8 @@ void write_sweep_json(const char* path) {
       shard_overhead_pct, shard_wire_bytes, kShards, kOrchLeasesPerWorker,
       orch_rps, orch_overhead_pct, orch.leases, orch.wire_bytes, shm_rps,
       shm_overhead_pct, shm.leases, shm.wire_bytes, tcp_rps,
-      tcp_overhead_pct, tcp.leases, tcp.wire_bytes, codec_rps);
+      tcp_overhead_pct, tcp.leases, tcp.wire_bytes, codec_rps, family_rps,
+      family_count, family_runs, vuln_coverage_pct);
   if (core_starved)
     std::printf(
         "  !! core-starved (%u hardware thread%s < %d jobs): the parallel "

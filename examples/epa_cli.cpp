@@ -60,8 +60,10 @@
 #include <thread>
 #include <vector>
 
+#include "apps/families.hpp"
 #include "apps/redzone_demo.hpp"
 #include "apps/scenarios.hpp"
+#include "apps/spec_env.hpp"
 #include "core/arena.hpp"
 #include "core/compare.hpp"
 #include "core/equivalence.hpp"
@@ -70,12 +72,14 @@
 #include "core/protocol.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/transport.hpp"
 #include "core/wire.hpp"
 #include "net/transport_tcp.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "vulndb/classifier.hpp"
+#include "vulndb/coverage.hpp"
 
 using namespace ep;
 
@@ -86,23 +90,30 @@ int usage() {
       "epa - environment perturbation analysis (prototype tool)\n\n"
       "usage:\n"
       "  epa_cli list\n"
+      "  epa_cli scenarios [--family F] [--spec NAME] [--json]\n"
+      "                (inventory; --family expands one family, --spec\n"
+      "                emits a scenario's declarative spec JSON)\n"
       "  epa_cli trace <scenario>\n"
-      "  epa_cli run <scenario> [--sites a,b,...] [--coverage F]\n"
+      "  epa_cli run <scenario>|--scenario-file FILE\n"
+      "                         [--sites a,b,...] [--coverage F]\n"
       "                         [--seed N] [--merge] [--json] [--jobs N]\n"
       "                         [--no-world-cache] [--no-redzone]\n"
-      "  epa_cli sweep [--jobs N] [--seed N] [--merge] [--json]\n"
+      "  epa_cli sweep [--family F|--scenario-file FILE] [--jobs N]\n"
+      "                [--seed N] [--merge] [--json]\n"
       "                [--no-world-cache] [--no-redzone]\n"
-      "  epa_cli plan <scenario> [--out FILE] [--binary] [--sites a,b,...]\n"
+      "  epa_cli plan <scenario>|--scenario-file FILE\n"
+      "                [--out FILE] [--binary] [--sites a,b,...]\n"
       "                [--coverage F] [--seed N] [--merge]\n"
       "  epa_cli plan --all [--out-dir DIR] [--seed N] [--merge] [--jobs N]\n"
       "  epa_cli run-shard <plan-file> --shard K/N [--out FILE] [--jobs N]\n"
       "                [--no-world-cache] [--no-redzone] [--checkpoint K]\n"
-      "                [--preempt-after N]\n"
+      "                [--preempt-after N] [--scenario-file FILE]\n"
       "  epa_cli run-shard <plan-file> --resume <shard-file> [--out FILE]\n"
       "                [--jobs N] [--no-world-cache] [--no-redzone]\n"
       "                [--checkpoint K]\n"
       "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
-      "  epa_cli orchestrate <scenario> [--workers N] [--lease K]\n"
+      "  epa_cli orchestrate <scenario>|--scenario-file FILE\n"
+      "                [--workers N] [--lease K]\n"
       "                [--data-plane pipe|shm|tcp] [--deadman-ms MS]\n"
       "                [--jobs N] [--preempt-after N] [--checkpoint K]\n"
       "                [--drain-delay-ms MS] [--dir DIR]\n"
@@ -111,7 +122,7 @@ int usage() {
       "  epa_cli orchestrate --all [same flags; pipe/shm only]\n"
       "  epa_cli worker <plan-file>|--arena FILE|--connect HOST:PORT\n"
       "                [--jobs N] [--no-world-cache] [--no-redzone]\n"
-      "                [--preempt-after N]\n"
+      "                [--preempt-after N] [--scenario-file FILE]\n"
       "                [--checkpoint K] [--drain-delay-ms MS]\n"
       "                (worker protocol v2 on stdin/stdout, or framed\n"
       "                over tcp with --connect; spawned by orchestrate)\n"
@@ -271,22 +282,60 @@ core::ShardReport load_shard_report(const std::string& path) {
   }
 }
 
+/// Name resolution covers the packaged suite, the unlisted redzone-demo,
+/// and every generated family member (apps::resolve_scenario).
 core::Scenario find_scenario(const std::string& name, bool& found) {
-  for (auto& s : apps::all_scenarios()) {
-    if (s.name == name) {
-      found = true;
-      return s;
-    }
+  auto s = apps::resolve_scenario(name);
+  found = s.has_value();
+  return found ? std::move(*s) : core::Scenario{};
+}
+
+/// The unknown-scenario exit path: name what was asked for, then the
+/// full inventory — packaged names, redzone-demo, family patterns — so
+/// a typo'd generated name is diagnosable without a second command.
+int unknown_scenario(const std::string& name) {
+  std::fprintf(stderr, "epa: unknown scenario '%s'\nepa: %s\n", name.c_str(),
+               apps::scenario_names_hint().c_str());
+  return 1;
+}
+
+/// Compile a declarative spec file (docs/SCENARIO_AUTHORING.md) against
+/// the standard image/handler environment. Parse and validation failures
+/// name the file; the spec reader adds line/column for syntax errors.
+core::Scenario scenario_from_file(const std::string& path) {
+  try {
+    core::ScenarioSpec spec = core::spec_from_json(read_file(path));
+    return core::compile_spec(spec, apps::spec_environment());
+  } catch (const core::WireError& e) {
+    throw std::runtime_error(path + ": " + e.what());
   }
-  // The redzone oracle's demo scenario resolves by name but stays out of
-  // all_scenarios(): the 21-scenario seed suite is a pinned negative
-  // control, while this one exists to fire (see apps/redzone_demo.hpp).
-  if (name == "redzone-demo") {
-    found = true;
-    return apps::redzone_demo_scenario();
+}
+
+/// The scenario a plan drains against (run-shard, worker): the spec file
+/// when given — its name must match the plan's, or the report ids would
+/// silently describe a different world — otherwise the plan's scenario
+/// name through the name registry.
+core::Scenario plan_scenario(const core::InjectionPlan& plan,
+                             const std::string& plan_src,
+                             const std::string& scenario_file) {
+  if (!scenario_file.empty()) {
+    core::Scenario s = scenario_from_file(scenario_file);
+    if (s.name != plan.scenario_name)
+      throw std::runtime_error(scenario_file + ": spec names scenario '" +
+                               s.name + "' but " + plan_src +
+                               " was planned for '" + plan.scenario_name +
+                               "'");
+    return s;
   }
-  found = false;
-  return {};
+  bool found = false;
+  core::Scenario s = find_scenario(plan.scenario_name, found);
+  if (!found)
+    throw std::runtime_error(
+        plan_src + ": plan names unknown scenario '" + plan.scenario_name +
+        "' (written by a different scenario set? pass its spec with "
+        "--scenario-file); " +
+        apps::scenario_names_hint());
+  return s;
 }
 
 int cmd_list() {
@@ -297,14 +346,99 @@ int cmd_list() {
   return 0;
 }
 
+/// The full name inventory: packaged scenarios, the name-reachable but
+/// unlisted redzone-demo, and the generated families. With --family F the
+/// listing expands to F's members — every name `run`, `plan`, `sweep`,
+/// and `orchestrate` will accept.
+int cmd_scenarios(const std::string& family_name,
+                  const std::string& spec_name, bool as_json) {
+  if (!spec_name.empty()) {
+    // Canonical serializer output — exactly what --scenario-file parses
+    // back, so this doubles as the authoring template.
+    auto spec = apps::resolve_spec(spec_name);
+    if (!spec) return unknown_scenario(spec_name);
+    std::string json = core::spec_to_json(*spec);
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return 0;
+  }
+  if (!family_name.empty()) {
+    const core::ScenarioFamily* fam = apps::find_family(family_name);
+    if (!fam) {
+      std::fprintf(stderr, "epa: unknown family '%s'\nepa: %s\n",
+                   family_name.c_str(),
+                   apps::scenario_names_hint().c_str());
+      return 1;
+    }
+    auto specs = core::expand_family(*fam);
+    if (as_json) {
+      std::printf("{\n\"family\": %s,\n\"members\": [\n",
+                  json_quote(fam->name).c_str());
+      for (std::size_t i = 0; i < specs.size(); ++i)
+        std::printf("%s%s\n", json_quote(specs[i].name).c_str(),
+                    i + 1 < specs.size() ? "," : "");
+      std::printf("]\n}\n");
+    } else {
+      for (const auto& spec : specs) std::printf("%s\n", spec.name.c_str());
+      std::printf("%zu members of family %s\n", specs.size(),
+                  fam->name.c_str());
+    }
+    return 0;
+  }
+
+  const std::string demo_note =
+      "name-reachable but unlisted: resolves on every command, excluded "
+      "from the packaged sweep (pinned negative control)";
+  if (as_json) {
+    std::printf("{\n\"scenarios\": [\n");
+    for (const auto& s : apps::all_scenarios())
+      std::printf("{\"name\": %s, \"kind\": \"packaged\", "
+                  "\"description\": %s},\n",
+                  json_quote(s.name).c_str(),
+                  json_quote(s.description).c_str());
+    std::printf("{\"name\": \"redzone-demo\", \"kind\": \"unlisted\", "
+                "\"description\": %s}\n",
+                json_quote(demo_note).c_str());
+    std::printf("],\n\"families\": [\n");
+    const auto& fams = apps::scenario_families();
+    for (std::size_t i = 0; i < fams.size(); ++i) {
+      std::printf("{\"name\": %s, \"members\": %zu, \"axes\": [",
+                  json_quote(fams[i].name).c_str(),
+                  core::family_size(fams[i]));
+      for (std::size_t j = 0; j < fams[i].axes.size(); ++j)
+        std::printf("%s%s", json_quote(fams[i].axes[j].name).c_str(),
+                    j + 1 < fams[i].axes.size() ? ", " : "");
+      std::printf("], \"description\": %s}%s\n",
+                  json_quote(fams[i].description).c_str(),
+                  i + 1 < fams.size() ? "," : "");
+    }
+    std::printf("]\n}\n");
+    return 0;
+  }
+
+  TextTable t({"scenario", "kind", "description"});
+  for (const auto& s : apps::all_scenarios())
+    t.add_row({s.name, "packaged", s.description});
+  t.add_row({"redzone-demo", "unlisted", demo_note});
+  std::printf("%s\n", t.render().c_str());
+  TextTable ft({"family", "members", "axes", "description"});
+  for (const auto& f : apps::scenario_families()) {
+    std::string axes;
+    for (const auto& a : f.axes) {
+      if (!axes.empty()) axes += " x ";
+      axes += a.name + "(" + std::to_string(a.values.size()) + ")";
+    }
+    ft.add_row({f.name, std::to_string(core::family_size(f)), axes,
+                f.description});
+  }
+  std::printf("%s", ft.render().c_str());
+  std::printf("expand a family with: epa_cli scenarios --family <name>\n");
+  return 0;
+}
+
 int cmd_trace(const std::string& name) {
   bool found = false;
   core::Scenario scenario = find_scenario(name, found);
-  if (!found) {
-    std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
-                 name.c_str());
-    return 1;
-  }
+  if (!found) return unknown_scenario(name);
   core::Campaign campaign(std::move(scenario));
   core::CampaignOptions opts;
   opts.only_sites = {"--none--"};  // discovery only
@@ -323,14 +457,15 @@ int cmd_trace(const std::string& name) {
   return 0;
 }
 
-int cmd_run(const std::string& name, const core::CampaignOptions& opts,
-            bool as_json) {
-  bool found = false;
-  core::Scenario scenario = find_scenario(name, found);
-  if (!found) {
-    std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
-                 name.c_str());
-    return 1;
+int cmd_run(const std::string& name, const std::string& scenario_file,
+            const core::CampaignOptions& opts, bool as_json) {
+  core::Scenario scenario;
+  if (!scenario_file.empty()) {
+    scenario = scenario_from_file(scenario_file);
+  } else {
+    bool found = false;
+    scenario = find_scenario(name, found);
+    if (!found) return unknown_scenario(name);
   }
   core::Campaign campaign(std::move(scenario));
   auto r = campaign.execute(opts);
@@ -345,10 +480,8 @@ int cmd_compare(const std::string& before_name,
   bool found_b = false, found_a = false;
   core::Scenario before_s = find_scenario(before_name, found_b);
   core::Scenario after_s = find_scenario(after_name, found_a);
-  if (!found_b || !found_a) {
-    std::fprintf(stderr, "epa: unknown scenario (try: epa_cli list)\n");
-    return 1;
-  }
+  if (!found_b || !found_a)
+    return unknown_scenario(found_b ? after_name : before_name);
   auto before = core::Campaign(std::move(before_s)).execute();
   auto after = core::Campaign(std::move(after_s)).execute();
   auto c = core::compare(before, after);
@@ -358,7 +491,11 @@ int cmd_compare(const std::string& before_name,
 
 /// Render a whole-suite result (sweep or orchestrate --all) and return
 /// the run/sweep exit contract: 0 clean, 3 candidate vulnerabilities.
-int print_sweep(const core::SweepResult& sweep, bool as_json) {
+/// `with_coverage` appends the vulnerability-coverage adequacy figures
+/// (vulndb/coverage.hpp) to the totals — generated-suite sweeps only,
+/// so the packaged sweep's bytes stay the pinned control.
+int print_sweep(const core::SweepResult& sweep, bool as_json,
+                bool with_coverage = false) {
   if (as_json) {
     std::printf("{\n\"scenarios\": [\n");
     for (std::size_t i = 0; i < sweep.results.size(); ++i)
@@ -367,10 +504,17 @@ int print_sweep(const core::SweepResult& sweep, bool as_json) {
     std::printf(
         "],\n\"totals\": {\"points\": %d, \"injections\": %d, "
         "\"violations\": %d, \"exploitable\": %d, "
-        "\"mean_vulnerability_score\": %.6f}\n}\n",
+        "\"mean_vulnerability_score\": %.6f",
         sweep.total_points(), sweep.total_injections(),
         sweep.total_violations(), sweep.total_exploitable(),
         sweep.mean_vulnerability_score());
+    if (with_coverage) {
+      vulndb::VulnCoverage cov = vulndb::vulnerability_coverage(sweep.results);
+      std::printf(", \"vuln_classes_fired\": %zu, "
+                  "\"vuln_classes_total\": %d, \"vuln_coverage_pct\": %.1f",
+                  cov.fired.size(), cov.total(), 100.0 * cov.fraction());
+    }
+    std::printf("}\n}\n");
   } else {
     TextTable t({"scenario", "points", "injections", "violations", "rho",
                  "region", "exploitable"});
@@ -387,14 +531,42 @@ int print_sweep(const core::SweepResult& sweep, bool as_json) {
                 t.render().c_str(), static_cast<int>(sweep.results.size()),
                 sweep.total_injections(), sweep.total_violations(),
                 sweep.total_exploitable(), sweep.mean_vulnerability_score());
+    if (with_coverage) {
+      vulndb::VulnCoverage cov = vulndb::vulnerability_coverage(sweep.results);
+      std::printf("vulnerability coverage: %zu of %d EAI classes fired "
+                  "(%.1f%%)\n",
+                  cov.fired.size(), cov.total(), 100.0 * cov.fraction());
+      for (const auto& c : cov.silent)
+        std::printf("  silent %s\n", c.c_str());
+    }
   }
   return sweep.total_exploitable() == 0 ? 0 : 3;
 }
 
-int cmd_sweep(const core::SweepOptions& opts, bool as_json) {
+int cmd_sweep(const core::SweepOptions& opts, bool as_json,
+              const std::string& family_name,
+              const std::string& scenario_file) {
   core::MultiCampaign suite;
-  for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
-  return print_sweep(suite.run(opts), as_json);
+  bool generated = false;
+  if (!family_name.empty()) {
+    const core::ScenarioFamily* fam = apps::find_family(family_name);
+    if (!fam) {
+      std::fprintf(stderr, "epa: unknown family '%s'\nepa: %s\n",
+                   family_name.c_str(),
+                   apps::scenario_names_hint().c_str());
+      return 1;
+    }
+    for (auto& s : apps::family_scenarios(*fam)) suite.add(std::move(s));
+    generated = true;
+  } else if (!scenario_file.empty()) {
+    suite.add(scenario_from_file(scenario_file));
+    generated = true;
+  } else {
+    for (auto& s : apps::all_scenarios()) suite.add(std::move(s));
+  }
+  // Generated suites carry the adequacy report; the packaged sweep's
+  // output is a byte-pinned regression control and stays untouched.
+  return print_sweep(suite.run(opts), as_json, generated);
 }
 
 int cmd_db(const std::string& filter) {
@@ -434,14 +606,16 @@ int cmd_db(const std::string& filter) {
   return 0;
 }
 
-int cmd_plan(const std::string& name, core::CampaignOptions opts,
-             const std::string& out_path, bool binary) {
-  bool found = false;
-  core::Scenario scenario = find_scenario(name, found);
-  if (!found) {
-    std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
-                 name.c_str());
-    return 1;
+int cmd_plan(const std::string& name, const std::string& scenario_file,
+             core::CampaignOptions opts, const std::string& out_path,
+             bool binary) {
+  core::Scenario scenario;
+  if (!scenario_file.empty()) {
+    scenario = scenario_from_file(scenario_file);
+  } else {
+    bool found = false;
+    scenario = find_scenario(name, found);
+    if (!found) return unknown_scenario(name);
   }
   // The plan file never carries the world snapshot; don't build one.
   opts.use_world_cache = false;
@@ -454,7 +628,7 @@ int cmd_plan(const std::string& name, core::CampaignOptions opts,
   }
   write_file(out_path, wire);
   std::printf("%s: %zu interaction points, %zu work items -> %s\n",
-              name.c_str(), plan.points.size(), plan.items.size(),
+              scenario.name.c_str(), plan.points.size(), plan.items.size(),
               out_path.c_str());
   return 0;
 }
@@ -489,9 +663,10 @@ extern "C" void on_sigterm(int) { g_preempted = 1; }
 
 struct RunShardArgs {
   std::string plan_path;
-  std::string shard_spec;    // --shard K/N
-  std::string resume_path;   // --resume FILE
-  std::string out_path;      // --out FILE
+  std::string shard_spec;     // --shard K/N
+  std::string resume_path;    // --resume FILE
+  std::string out_path;       // --out FILE
+  std::string scenario_file;  // --scenario-file: spec instead of the name
   int jobs = 1;
   bool use_world_cache = true;
   bool use_redzone = true;        // --no-redzone: disable the memory oracle
@@ -526,12 +701,8 @@ int cmd_run_shard(RunShardArgs a) {
     parse_shard_spec(a.shard_spec, &shard_index, &shard_count);
   }
 
-  bool found = false;
-  core::Scenario scenario = find_scenario(plan.scenario_name, found);
-  if (!found)
-    throw std::runtime_error(a.plan_path + ": plan names unknown scenario '" +
-                             plan.scenario_name +
-                             "' (written by a different scenario set?)");
+  core::Scenario scenario =
+      plan_scenario(plan, a.plan_path, a.scenario_file);
   // The wire never carries the snapshot; re-freeze a local prototype so
   // the shard drains through the same COW clone path as a local run.
   if (a.use_world_cache) core::refreeze_snapshot(plan, scenario);
@@ -724,6 +895,8 @@ struct WorkerArgs {
   std::string arena_path;        // --arena: shm data plane (binary plan +
                                  // per-lease report segments)
   std::string connect_host;      // --connect: tcp data plane
+  std::string scenario_file;     // --scenario-file: spec instead of the
+                                 // plan's scenario name
   int connect_port = 0;
   int jobs = 1;
   bool use_world_cache = true;
@@ -816,12 +989,7 @@ int cmd_worker(const WorkerArgs& a) {
     plan = load_plan(a.plan_path);
     plan_src = a.plan_path;
   }
-  bool found = false;
-  core::Scenario scenario = find_scenario(plan.scenario_name, found);
-  if (!found)
-    throw std::runtime_error(plan_src + ": plan names unknown scenario '" +
-                             plan.scenario_name +
-                             "' (written by a different scenario set?)");
+  core::Scenario scenario = plan_scenario(plan, plan_src, a.scenario_file);
   if (a.use_world_cache) core::refreeze_snapshot(plan, scenario);
   core::Executor executor(scenario);
   core::ExecutorOptions opts;
@@ -1006,6 +1174,7 @@ enum class DataPlane { pipe, shm, tcp };
 
 struct OrchestrateArgs {
   std::string scenario;
+  std::string scenario_file;  // --scenario-file: spec instead of a name
   bool all = false;
   int workers = 2;
   long long lease = 0;          // items per lease; 0 = auto
@@ -1044,14 +1213,12 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
   std::vector<core::Scenario> scenarios;
   if (a.all) {
     scenarios = apps::all_scenarios();
+  } else if (!a.scenario_file.empty()) {
+    scenarios.push_back(scenario_from_file(a.scenario_file));
   } else {
     bool found = false;
     core::Scenario s = find_scenario(a.scenario, found);
-    if (!found) {
-      std::fprintf(stderr, "epa: unknown scenario '%s' (try: epa_cli list)\n",
-                   a.scenario.c_str());
-      return 1;
-    }
+    if (!found) return unknown_scenario(a.scenario);
     scenarios.push_back(std::move(s));
   }
 
@@ -1086,6 +1253,9 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
       cfg.epa_cli = core::LocalProcessTransport::self_exe(argv0);
       cfg.out_dir = dir;
       cfg.file_prefix = scenario.name;
+      // A spec file is forwarded so workers compile the same spec the
+      // coordinator planned, even when its name is not in the registry.
+      cfg.scenario_file = a.scenario_file;
       cfg.jobs = a.jobs;
       cfg.use_world_cache = a.use_world_cache;
       cfg.use_redzone = a.use_redzone;
@@ -1122,6 +1292,13 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
   if (!tcp)
     std::fprintf(stderr, "epa orchestrate: plan and %s files in %s\n",
                  a.plane == DataPlane::shm ? "arena" : "lease", dir.c_str());
+  // The adequacy summary rides stderr: stdout stays byte-identical to a
+  // single-process run/sweep on every data plane.
+  vulndb::VulnCoverage cov = vulndb::vulnerability_coverage(sweep.results);
+  std::fprintf(stderr,
+               "epa orchestrate: vulnerability coverage %zu/%d EAI "
+               "classes (%.1f%%)\n",
+               cov.fired.size(), cov.total(), 100.0 * cov.fraction());
 
   if (a.all) return print_sweep(sweep, a.as_json);
   const core::CampaignResult& r = sweep.results.front();
@@ -1149,10 +1326,33 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
   if (cmd == "list") return cmd_list();
+  if (cmd == "scenarios") {
+    std::string family, spec_name;
+    bool as_json = false;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--json") {
+        as_json = true;
+      } else if (arg == "--family") {
+        family = flag_value(arg, argc, argv, &i);
+      } else if (arg == "--spec") {
+        spec_name = flag_value(arg, argc, argv, &i);
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    if (!family.empty() && !spec_name.empty()) {
+      std::fprintf(stderr, "epa: --family and --spec are exclusive\n");
+      return 1;
+    }
+    return guarded([&] { return cmd_scenarios(family, spec_name, as_json); });
+  }
   if (cmd == "db") return cmd_db(argc >= 3 ? argv[2] : "");
   if (cmd == "sweep") {
     core::SweepOptions opts;
     bool as_json = false;
+    std::string family, scenario_file;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--json") {
@@ -1163,6 +1363,10 @@ int main(int argc, char** argv) {
         opts.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
       } else if (arg == "--seed") {
         opts.campaign.seed = uint64_flag(arg, argc, argv, &i);
+      } else if (arg == "--family") {
+        family = flag_value(arg, argc, argv, &i);
+      } else if (arg == "--scenario-file") {
+        scenario_file = flag_value(arg, argc, argv, &i);
       } else if (arg == "--no-world-cache") {
         opts.campaign.use_world_cache = false;
       } else if (arg == "--no-redzone") {
@@ -1172,14 +1376,21 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    return cmd_sweep(opts, as_json);
+    if (!family.empty() && !scenario_file.empty()) {
+      std::fprintf(stderr,
+                   "epa: --family and --scenario-file are exclusive\n");
+      return 1;
+    }
+    return guarded([&] {
+      return cmd_sweep(opts, as_json, family, scenario_file);
+    });
   }
   if (cmd == "plan") {
     core::CampaignOptions opts;
     core::SweepOptions sweep_opts;
     bool all = false, saw_out_dir = false, saw_jobs = false;
     bool saw_sites = false, saw_coverage = false, binary = false;
-    std::string scenario_name, out_path, out_dir = ".";
+    std::string scenario_name, scenario_file, out_path, out_dir = ".";
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "--all") {
@@ -1206,6 +1417,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--out-dir" && i + 1 < argc) {
         out_dir = argv[++i];
         saw_out_dir = true;
+      } else if (arg == "--scenario-file") {
+        scenario_file = flag_value(arg, argc, argv, &i);
       } else if (!starts_with(arg, "--") && scenario_name.empty()) {
         scenario_name = arg;
       } else {
@@ -1213,9 +1426,13 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    // Exactly one of --all / <scenario> must be given, and flags must
-    // match the mode — a silently ignored flag hides a typo'd command.
-    if (all ? !scenario_name.empty() : scenario_name.empty()) return usage();
+    // Exactly one of --all / <scenario> / --scenario-file must be given,
+    // and flags must match the mode — a silently ignored flag hides a
+    // typo'd command.
+    if ((all ? 1 : 0) + (scenario_name.empty() ? 0 : 1) +
+            (scenario_file.empty() ? 0 : 1) !=
+        1)
+      return usage();
     if (all && !out_path.empty()) {
       std::fprintf(stderr,
                    "epa: --out applies to single-scenario plan only "
@@ -1244,7 +1461,8 @@ int main(int argc, char** argv) {
     sweep_opts.campaign = opts;
     return guarded([&] {
       return all ? cmd_plan_all(sweep_opts, out_dir)
-                 : cmd_plan(scenario_name, opts, out_path, binary);
+                 : cmd_plan(scenario_name, scenario_file, opts, out_path,
+                            binary);
     });
   }
   if (cmd == "run-shard") {
@@ -1257,6 +1475,8 @@ int main(int argc, char** argv) {
         a.resume_path = argv[++i];
       } else if (arg == "--out" && i + 1 < argc) {
         a.out_path = argv[++i];
+      } else if (arg == "--scenario-file") {
+        a.scenario_file = flag_value(arg, argc, argv, &i);
       } else if (arg == "--jobs") {
         a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
       } else if (arg == "--checkpoint") {
@@ -1306,6 +1526,8 @@ int main(int argc, char** argv) {
         a.drain_delay_ms = int_flag(arg, argc, argv, &i, 1, 1LL << 20);
       } else if (arg == "--arena") {
         a.arena_path = flag_value(arg, argc, argv, &i);
+      } else if (arg == "--scenario-file") {
+        a.scenario_file = flag_value(arg, argc, argv, &i);
       } else if (arg == "--connect") {
         // HOST:PORT, split on the *last* colon; the port goes through
         // the same strict strtoll validation as every numeric flag.
@@ -1412,6 +1634,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--dir") {
         a.dir = flag_value(arg, argc, argv, &i);
         saw_dir = true;
+      } else if (arg == "--scenario-file") {
+        a.scenario_file = flag_value(arg, argc, argv, &i);
       } else if (!starts_with(arg, "--") && a.scenario.empty()) {
         a.scenario = arg;
       } else {
@@ -1419,8 +1643,11 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    // Exactly one of --all / <scenario>, like `plan`.
-    if (a.all ? !a.scenario.empty() : a.scenario.empty()) return usage();
+    // Exactly one of --all / <scenario> / --scenario-file, like `plan`.
+    if ((a.all ? 1 : 0) + (a.scenario.empty() ? 0 : 1) +
+            (a.scenario_file.empty() ? 0 : 1) !=
+        1)
+      return usage();
     if (a.plane == DataPlane::tcp) {
       // tcp workers are started by the operator, not forked by
       // orchestrate — worker-side flags have nowhere to be forwarded.
@@ -1490,18 +1717,20 @@ int main(int argc, char** argv) {
     if (plan_path.empty() || shard_paths.empty()) return usage();
     return guarded([&] { return cmd_merge(plan_path, shard_paths, as_json); });
   }
-  if (argc < 3) return usage();
-  std::string scenario = argv[2];
-  if (cmd == "trace") return cmd_trace(scenario);
+  if (cmd == "trace") {
+    if (argc < 3) return usage();
+    return cmd_trace(argv[2]);
+  }
   if (cmd == "compare") {
     if (argc < 4) return usage();
-    return cmd_compare(scenario, argv[3]);
+    return cmd_compare(argv[2], argv[3]);
   }
   if (cmd != "run") return usage();
 
   core::CampaignOptions opts;
   bool as_json = false;
-  for (int i = 3; i < argc; ++i) {
+  std::string scenario, scenario_file;
+  for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--merge") {
       opts.merge_equivalent_sites = true;
@@ -1516,14 +1745,21 @@ int main(int argc, char** argv) {
       opts.seed = uint64_flag(arg, argc, argv, &i);
     } else if (arg == "--jobs") {
       opts.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
+    } else if (arg == "--scenario-file") {
+      scenario_file = flag_value(arg, argc, argv, &i);
     } else if (arg == "--no-world-cache") {
       opts.use_world_cache = false;
     } else if (arg == "--no-redzone") {
       opts.use_redzone = false;
+    } else if (!starts_with(arg, "--") && scenario.empty()) {
+      scenario = arg;
     } else {
       std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
       return usage();
     }
   }
-  return cmd_run(scenario, opts, as_json);
+  // Exactly one of <scenario> / --scenario-file.
+  if (scenario.empty() == scenario_file.empty()) return usage();
+  return guarded([&] { return cmd_run(scenario, scenario_file, opts,
+                                      as_json); });
 }

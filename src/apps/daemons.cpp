@@ -2,6 +2,7 @@
 
 #include "apps/fixed_buffer.hpp"
 #include "apps/payloads.hpp"
+#include "apps/spec_env.hpp"
 #include "os/world.hpp"
 #include "util/strings.hpp"
 
@@ -301,215 +302,190 @@ int rshd_impl(os::Kernel& k, os::Pid pid, net::Network& net) {
   return 0;
 }
 
-// ---- shared world pieces -----------------------------------------------------
+}  // namespace
 
-void daemon_network(net::Network& net) {
-  net::ServiceDef auth;
+// ---- exported images and handlers ------------------------------------------
+// The images reach the network through the kernel they are handed, so
+// they always talk to the world they run in (clone-safe; see
+// Kernel::attach_substrates).
+
+int logind_image(os::Kernel& k, os::Pid pid) {
+  return logind_impl(k, pid, *k.network(), /*hardened=*/false);
+}
+
+int logind_hardened_image(os::Kernel& k, os::Pid pid) {
+  return logind_impl(k, pid, *k.network(), /*hardened=*/true);
+}
+
+int netcpd_image(os::Kernel& k, os::Pid pid) {
+  return netcpd_impl(k, pid, *k.network());
+}
+
+int cronhelpd_image(os::Kernel& k, os::Pid pid) {
+  return cronhelpd_impl(k, pid, *k.network());
+}
+
+int rshd_image(os::Kernel& k, os::Pid pid) {
+  return rshd_impl(k, pid, *k.network());
+}
+
+int benign_cmd_image(os::Kernel& k, os::Pid pid) {
+  k.output(Site{"bin.c", 1, "bin-run"}, pid,
+           k.proc(pid).args.empty() ? "ran" : k.proc(pid).args[0] + " ran");
+  return 0;
+}
+
+net::Message authsvc_handler(const net::Message& m) {
+  net::Message r;
+  r.type = m.payload == "alice:sesame" ? "AUTH_OK" : "AUTH_FAIL";
+  return r;
+}
+
+net::Message keymaster_handler(const net::Message&) {
+  net::Message r;
+  r.type = "AUTH_OK";
+  r.payload = "signkey-123";
+  return r;
+}
+
+// ---- declarative specs -----------------------------------------------------
+
+namespace {
+
+namespace sb = core::spec_builders;
+
+/// The auth service plus the scripted HELLO/AUTH/BYE login conversation
+/// the logind variants share.
+void add_login_conversation(core::ScenarioSpec& s) {
+  core::SpecService auth;
   auth.name = "authsvc";
   auth.kind = net::ChannelKind::network;
-  auth.handler = [](const net::Message& m) {
-    net::Message r;
-    r.type = m.payload == "alice:sesame" ? "AUTH_OK" : "AUTH_FAIL";
-    return r;
-  };
-  net.define_service(auth);
+  auth.handler = "authsvc";
+  s.network.services.push_back(auth);
 
-  net::PeerScript script;
+  core::SpecClientScript script;
   script.peer = "client-host";
   script.kind = net::ChannelKind::network;
-  script.expected_protocol = {"HELLO", "AUTH", "BYE"};
+  script.protocol = {"HELLO", "AUTH", "BYE"};
   script.inbound = {
       {"client-host", "HELLO", "client1", true},
       {"client-host", "AUTH", "alice:sesame", true},
       {"client-host", "BYE", "", true},
   };
-  net.set_client_script(script);
+  s.network.client = script;
 }
 
-core::Scenario logind_scenario_impl(bool hardened) {
-  core::Scenario s;
+}  // namespace
+
+core::ScenarioSpec logind_spec(bool hardened) {
+  core::ScenarioSpec s;
   s.name = hardened ? "logind-hardened" : "logind";
   s.description =
       "privileged login daemon: message authenticity, protocol order, "
       "socket sharing, auth-service availability and trustability";
   s.trace_unit_filter = "logind.c";
-  // All daemon builds are deterministic with stateless service handlers:
-  // snapshot-safe (see core/snapshot.hpp).
-  s.snapshot_safe = true;
-  s.build = [hardened] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(1000, "alice", 1000);
-    k.add_user(666, "mallory", 666);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    daemon_network(w->network);
-    // The image reaches the network through the kernel it is handed, so
-    // it always talks to the world it runs in (clone-safe; see
-    // Kernel::attach_substrates).
-    k.register_image("logind", [hardened](os::Kernel& kk, os::Pid p) {
-      return logind_impl(kk, p, *kk.network(), hardened);
-    });
-    register_payload_images(k);
-    os::world::put_program(k, "/usr/sbin/logind", "logind", os::kRootUid,
-                           os::kRootGid, 0755);
-    return w;
-  };
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/sbin/logind", {"logind"}, os::kRootUid,
-                            os::kRootGid);
-    return r.ok() ? r.value() : 255;
-  };
+  sb::add_alice(s);
+  s.images = {hardened ? "logind-hardened" : "logind"};
+  sb::add_payload_images(s);
+  sb::add_attacker(s, /*with_evil=*/false);
+  add_login_conversation(s);
+  s.world.push_back(sb::program_op("/usr/sbin/logind", "logind"));
+  s.run.push_back(
+      {"/usr/sbin/logind", {"logind"}, os::kRootUid, os::kRootGid, {}, "/"});
   s.policy.watch_all = true;
   s.policy.require_auth_confirmation = true;
   s.policy.secret_files = {"/etc/shadow"};
   return s;
 }
 
-}  // namespace
-
-core::Scenario logind_scenario() { return logind_scenario_impl(false); }
-core::Scenario logind_hardened_scenario() {
-  return logind_scenario_impl(true);
-}
-
-core::Scenario netcpd_scenario() {
-  core::Scenario s;
+core::ScenarioSpec netcpd_spec() {
+  core::ScenarioSpec s;
   s.name = "netcpd";
   s.description =
       "network file server: unchecked request parsing, blind DNS trust, "
       "symlinkable served files";
   s.trace_unit_filter = "netcpd.c";
-  s.snapshot_safe = true;
-  s.build = [] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(666, "mallory", 666);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    os::world::mkdirs(k, "/srv/pub", os::kRootUid, os::kRootGid, 0755);
-    os::world::put_file(k, "/srv/pub/readme.txt",
-                        "public documentation text\n", os::kRootUid,
-                        os::kRootGid, 0644);
-    w->network.add_host("fileserver.corp", "10.0.0.7");
-    net::PeerScript script;
-    script.peer = "10.0.0.5";
-    script.expected_protocol = {"REQ"};
-    script.inbound = {{"10.0.0.5", "REQ", "fileserver.corp:readme.txt", true}};
-    w->network.set_client_script(script);
-    w->kernel.register_image("netcpd", [](os::Kernel& kk, os::Pid p) {
-      return netcpd_impl(kk, p, *kk.network());
-    });
-    os::world::put_program(k, "/usr/sbin/netcpd", "netcpd", os::kRootUid,
-                           os::kRootGid, 0755);
-    return w;
-  };
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/sbin/netcpd", {"netcpd"}, os::kRootUid,
-                            os::kRootGid);
-    return r.ok() ? r.value() : 255;
-  };
+  s.images = {"netcpd"};
+  sb::add_attacker(s, /*with_evil=*/false);
+  s.world.push_back(sb::dir_op("/srv/pub"));
+  s.world.push_back(
+      sb::file_op("/srv/pub/readme.txt", "public documentation text\n"));
+  s.network.hosts.push_back({"fileserver.corp", "10.0.0.7"});
+  core::SpecClientScript script;
+  script.peer = "10.0.0.5";
+  script.kind = net::ChannelKind::network;
+  script.protocol = {"REQ"};
+  script.inbound = {{"10.0.0.5", "REQ", "fileserver.corp:readme.txt", true}};
+  s.network.client = script;
+  s.world.push_back(sb::program_op("/usr/sbin/netcpd", "netcpd"));
+  s.run.push_back(
+      {"/usr/sbin/netcpd", {"netcpd"}, os::kRootUid, os::kRootGid, {}, "/"});
   s.policy.watch_all = true;
   s.policy.secret_files = {"/etc/shadow"};
   core::SiteSpec dns_spec;
   dns_spec.faults = {"dns-change-length", "dns-bad-format"};
-  s.sites[kNetcpdDns] = dns_spec;
+  s.sites.emplace_back(kNetcpdDns, dns_spec);
   return s;
 }
 
-core::Scenario cronhelpd_scenario() {
-  core::Scenario s;
+core::ScenarioSpec cronhelpd_spec() {
+  core::ScenarioSpec s;
   s.name = "cronhelpd";
   s.description =
       "privileged scheduler fed over local IPC, signing key fetched from a "
       "helper process (Table 6 process-entity faults)";
   s.trace_unit_filter = "cronhelpd.c";
-  s.snapshot_safe = true;
-  s.build = [] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(666, "mallory", 666);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    net::ServiceDef keymaster;
-    keymaster.name = "keymaster";
-    keymaster.kind = net::ChannelKind::ipc;
-    keymaster.handler = [](const net::Message&) {
-      net::Message r;
-      r.type = "AUTH_OK";
-      r.payload = "signkey-123";
-      return r;
-    };
-    w->network.define_service(keymaster);
-    net::PeerScript script;
-    script.peer = "cronclient";
-    script.kind = net::ChannelKind::ipc;
-    script.expected_protocol = {"JOB"};
-    script.inbound = {{"cronclient", "JOB", "job=cleanup", true}};
-    w->network.set_client_script(script);
-    w->kernel.register_image("cronhelpd", [](os::Kernel& kk, os::Pid p) {
-      return cronhelpd_impl(kk, p, *kk.network());
-    });
-    os::world::put_program(k, "/usr/sbin/cronhelpd", "cronhelpd",
-                           os::kRootUid, os::kRootGid, 0755);
-    return w;
-  };
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/sbin/cronhelpd", {"cronhelpd"},
-                            os::kRootUid, os::kRootGid);
-    return r.ok() ? r.value() : 255;
-  };
+  s.images = {"cronhelpd"};
+  sb::add_attacker(s, /*with_evil=*/false);
+  core::SpecService keymaster;
+  keymaster.name = "keymaster";
+  keymaster.kind = net::ChannelKind::ipc;
+  keymaster.handler = "keymaster";
+  s.network.services.push_back(keymaster);
+  core::SpecClientScript script;
+  script.peer = "cronclient";
+  script.kind = net::ChannelKind::ipc;
+  script.protocol = {"JOB"};
+  script.inbound = {{"cronclient", "JOB", "job=cleanup", true}};
+  s.network.client = script;
+  s.world.push_back(sb::program_op("/usr/sbin/cronhelpd", "cronhelpd"));
+  s.run.push_back({"/usr/sbin/cronhelpd",
+                   {"cronhelpd"},
+                   os::kRootUid,
+                   os::kRootGid,
+                   {},
+                   "/"});
   s.policy.watch_all = true;
   s.policy.require_auth_confirmation = true;
   return s;
 }
 
-core::Scenario rshd_scenario() {
-  core::Scenario s;
+core::ScenarioSpec rshd_spec() {
+  core::ScenarioSpec s;
   s.name = "rshd";
   s.description =
       "remote-shell daemon with hostname authentication: unchecked "
       "hostname/resolver buffers, validate-first-execute-all dispatch";
   s.trace_unit_filter = "rshd.c";
-  s.snapshot_safe = true;
-  s.build = [] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(666, "mallory", 666);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    register_payload_images(k);
-    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
-    k.register_image("benign-cmd", [](os::Kernel& kk, os::Pid p) {
-      kk.output(Site{"bin.c", 1, "bin-run"}, p,
-                kk.proc(p).args.empty() ? "ran" : kk.proc(p).args[0] + " ran");
-      return 0;
-    });
-    os::world::put_program(k, "/bin/ls", "benign-cmd");
-    os::world::put_program(k, "/bin/who", "benign-cmd");
-    os::world::put_program(k, "/bin/uptime", "benign-cmd");
-    os::world::put_file(k, "/etc/hosts.equiv",
-                        "trusted.corp\npartner.corp\n", os::kRootUid,
-                        os::kRootGid, 0644);
-    w->network.add_host("trusted.corp", "10.0.0.21");
-    net::PeerScript script;
-    script.peer = "trusted.corp";
-    script.expected_protocol = {"HOST", "CMD"};
-    script.inbound = {{"trusted.corp", "HOST", "trusted.corp", true},
-                      {"trusted.corp", "CMD", "ls", true}};
-    w->network.set_client_script(script);
-    k.register_image("rshd", [](os::Kernel& kk, os::Pid p) {
-      return rshd_impl(kk, p, *kk.network());
-    });
-    os::world::put_program(k, "/usr/sbin/rshd", "rshd", os::kRootUid,
-                           os::kRootGid, 0755);
-    return w;
-  };
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/sbin/rshd", {"rshd"}, os::kRootUid,
-                            os::kRootGid);
-    return r.ok() ? r.value() : 255;
-  };
+  s.images = {"rshd", "benign-cmd"};
+  sb::add_payload_images(s);
+  sb::add_attacker(s, /*with_evil=*/true);
+  s.world.push_back(sb::program_op("/bin/ls", "benign-cmd"));
+  s.world.push_back(sb::program_op("/bin/who", "benign-cmd"));
+  s.world.push_back(sb::program_op("/bin/uptime", "benign-cmd"));
+  s.world.push_back(
+      sb::file_op("/etc/hosts.equiv", "trusted.corp\npartner.corp\n"));
+  s.network.hosts.push_back({"trusted.corp", "10.0.0.21"});
+  core::SpecClientScript script;
+  script.peer = "trusted.corp";
+  script.kind = net::ChannelKind::network;
+  script.protocol = {"HOST", "CMD"};
+  script.inbound = {{"trusted.corp", "HOST", "trusted.corp", true},
+                    {"trusted.corp", "CMD", "ls", true}};
+  s.network.client = script;
+  s.world.push_back(sb::program_op("/usr/sbin/rshd", "rshd"));
+  s.run.push_back(
+      {"/usr/sbin/rshd", {"rshd"}, os::kRootUid, os::kRootGid, {}, "/"});
   s.policy.watch_all = true;
   s.policy.secret_files = {"/etc/shadow"};
 
@@ -518,16 +494,36 @@ core::Scenario rshd_scenario() {
   // default packet inference would miss).
   core::SiteSpec host_spec;
   host_spec.semantic = core::InputSemantic::host_name;
-  s.sites[kRshdRecvHost] = host_spec;
+  s.sites.emplace_back(kRshdRecvHost, host_spec);
   core::SiteSpec cmd_spec;
   cmd_spec.semantic = core::InputSemantic::command;
-  s.sites[kRshdRecvCmd] = cmd_spec;
+  s.sites.emplace_back(kRshdRecvCmd, cmd_spec);
   core::SiteSpec dns_spec;
   dns_spec.kind = core::ObjectKind::net_service;
   dns_spec.semantic = core::InputSemantic::ip_address;
   dns_spec.faults = {"ip-change-length", "ip-bad-format"};
-  s.sites[kRshdDns] = dns_spec;
+  s.sites.emplace_back(kRshdDns, dns_spec);
   return s;
+}
+
+core::Scenario logind_scenario() {
+  return core::compile_spec(logind_spec(false), spec_environment());
+}
+
+core::Scenario logind_hardened_scenario() {
+  return core::compile_spec(logind_spec(true), spec_environment());
+}
+
+core::Scenario netcpd_scenario() {
+  return core::compile_spec(netcpd_spec(), spec_environment());
+}
+
+core::Scenario cronhelpd_scenario() {
+  return core::compile_spec(cronhelpd_spec(), spec_environment());
+}
+
+core::Scenario rshd_scenario() {
+  return core::compile_spec(rshd_spec(), spec_environment());
 }
 
 }  // namespace ep::apps

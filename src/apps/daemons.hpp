@@ -18,13 +18,15 @@
 #pragma once
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
+#include "net/network.hpp"
 #include "os/kernel.hpp"
 
 namespace ep::apps {
 
-// The daemon bodies are registered as images by their scenarios (they
-// need the scenario's Network), so only the site tags and scenario
-// factories are public.
+// The daemon images reach the network through the kernel they are
+// handed (clone-safe), so they can be registered in the shared spec
+// environment alongside the site tags and scenario factories.
 
 inline constexpr const char* kLogindAccept = "logind-accept";
 inline constexpr const char* kLogindRecv = "logind-recv";
@@ -43,6 +45,25 @@ inline constexpr const char* kRshdRecvCmd = "rshd-recv-command";
 inline constexpr const char* kRshdDns = "rshd-resolve-host";
 inline constexpr const char* kRshdEquiv = "rshd-read-hosts-equiv";
 inline constexpr const char* kRshdExec = "rshd-exec-command";
+
+// Daemon app images (spec-environment entries).
+int logind_image(os::Kernel& k, os::Pid pid);
+int logind_hardened_image(os::Kernel& k, os::Pid pid);
+int netcpd_image(os::Kernel& k, os::Pid pid);
+int cronhelpd_image(os::Kernel& k, os::Pid pid);
+int rshd_image(os::Kernel& k, os::Pid pid);
+int benign_cmd_image(os::Kernel& k, os::Pid pid);
+
+// Service handlers referenced by name from specs.
+net::Message authsvc_handler(const net::Message& m);
+net::Message keymaster_handler(const net::Message& m);
+
+// Declarative specs; the scenario factories compile them against the
+// standard environment.
+core::ScenarioSpec logind_spec(bool hardened);
+core::ScenarioSpec netcpd_spec();
+core::ScenarioSpec cronhelpd_spec();
+core::ScenarioSpec rshd_spec();
 
 core::Scenario logind_scenario();
 core::Scenario logind_hardened_scenario();

@@ -1,7 +1,6 @@
 #include "apps/journald.hpp"
 
-#include "apps/payloads.hpp"
-#include "os/world.hpp"
+#include "apps/spec_env.hpp"
 #include "util/strings.hpp"
 
 namespace ep::apps {
@@ -47,39 +46,36 @@ int journald_main(os::Kernel& k, os::Pid pid) {
   return 0;
 }
 
-core::Scenario journald_scenario() {
-  core::Scenario s;
+core::ScenarioSpec journald_spec() {
+  namespace sb = core::spec_builders;
+  core::ScenarioSpec s;
   s.name = "journald";
   s.description =
       "privileged logger honoring the invoker-supplied creation mask "
       "(Table 5: permission mask)";
   s.trace_unit_filter = "journald.c";
-  s.snapshot_safe = true;
-  s.build = [] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(1000, "alice", 1000);
-    k.add_user(666, "mallory", 666);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    os::world::mkdirs(k, "/var/log", os::kRootUid, os::kRootGid, 0755);
-    register_payload_images(k);
-    k.register_image("journald", journald_main);
-    os::world::put_program(k, "/usr/sbin/journald", "journald", os::kRootUid,
-                           os::kRootGid, 0755 | os::kSetUidBit);
-    return w;
-  };
-  s.run = [](core::TargetWorld& w) {
-    // The invoker's environment carries a sane mask in the benign world.
-    auto r = w.kernel.spawn("/usr/sbin/journald", {"journald"}, 1000, 1000,
-                            {{"UMASK", "022"}}, "/home");
-    return r.ok() ? r.value() : 255;
-  };
+  sb::add_alice(s);
+  s.images = {"journald"};
+  sb::add_payload_images(s);
+  sb::add_attacker(s, /*with_evil=*/false);
+  s.world.push_back(sb::dir_op("/var/log"));
+  s.world.push_back(sb::program_op("/usr/sbin/journald", "journald",
+                                   os::kRootUid, os::kRootGid,
+                                   0755 | os::kSetUidBit));
+  // The invoker's environment carries a sane mask in the benign world.
+  s.run.push_back({"/usr/sbin/journald",
+                   {"journald"},
+                   1000,
+                   1000,
+                   {{"UMASK", "022"}},
+                   "/home"});
   s.policy.write_sanction_roots = {"/var/log"};
   s.policy.secret_files = {"/etc/shadow"};
-  s.hints.attacker_uid = 666;
-  s.hints.attacker_gid = 666;
   return s;
+}
+
+core::Scenario journald_scenario() {
+  return core::compile_spec(journald_spec(), spec_environment());
 }
 
 }  // namespace ep::apps

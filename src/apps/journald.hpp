@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
 #include "os/kernel.hpp"
 
 namespace ep::apps {
@@ -17,6 +18,8 @@ int journald_main(os::Kernel& k, os::Pid pid);
 inline constexpr const char* kJournaldGetMask = "journald-getenv-umask";
 inline constexpr const char* kJournaldCreate = "journald-create-journal";
 inline constexpr const char* kJournaldPath = "/var/log/journal.log";
+
+core::ScenarioSpec journald_spec();
 
 core::Scenario journald_scenario();
 

@@ -1,7 +1,6 @@
 #include "apps/lpr.hpp"
 
-#include "apps/payloads.hpp"
-#include "os/world.hpp"
+#include "apps/spec_env.hpp"
 
 namespace ep::apps {
 
@@ -37,37 +36,22 @@ int lpr_main(os::Kernel& k, os::Pid pid) {
   return 0;
 }
 
-core::Scenario lpr_scenario() {
-  core::Scenario s;
+core::ScenarioSpec lpr_spec() {
+  namespace sb = core::spec_builders;
+  core::ScenarioSpec s;
   s.name = "lpr";
   s.description =
       "BSD lpr spool-file creation (Section 3.4): perturb the temp file's "
       "attributes at the create interaction point";
   s.trace_unit_filter = "lpr.c";
-  // build() is deterministic and self-contained: one frozen prototype
-  // world may be cloned per run (see core/snapshot.hpp).
-  s.snapshot_safe = true;
-
-  s.build = [] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(1000, "alice", 1000);
-    k.add_user(666, "mallory", 666);
-    os::world::mkdirs(k, "/var/spool/lpd", os::kRootUid, os::kRootGid, 0755);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
-    k.register_image("lpr", lpr_main);
-    register_payload_images(k);
-    os::world::put_program(k, "/usr/bin/lpr", "lpr", os::kRootUid,
-                           os::kRootGid, 0755 | os::kSetUidBit);
-    return w;
-  };
-
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/bin/lpr", {"lpr", "report.txt"}, 1000, 1000);
-    return r.ok() ? r.value() : 255;
-  };
+  sb::add_alice(s);
+  s.images = {"lpr"};
+  sb::add_payload_images(s);
+  s.world.push_back(sb::dir_op("/var/spool/lpd"));
+  sb::add_attacker(s, /*with_evil=*/true);
+  s.world.push_back(sb::program_op("/usr/bin/lpr", "lpr", os::kRootUid,
+                                   os::kRootGid, 0755 | os::kSetUidBit));
+  s.run.push_back({"/usr/bin/lpr", {"lpr", "report.txt"}, 1000, 1000, {}, "/"});
 
   s.policy.write_sanction_roots = {"/var/spool/lpd"};
   s.policy.secret_files = {"/etc/shadow"};
@@ -82,11 +66,12 @@ core::Scenario lpr_scenario() {
        "this is supposed to be the first time the file is encountered"},
       {"working-directory", "lpr names the spool file absolutely"},
   };
-  s.sites[kLprCreateTag] = create_spec;
-
-  s.hints.attacker_uid = 666;
-  s.hints.attacker_gid = 666;
+  s.sites.emplace_back(kLprCreateTag, create_spec);
   return s;
+}
+
+core::Scenario lpr_scenario() {
+  return core::compile_spec(lpr_spec(), spec_environment());
 }
 
 }  // namespace ep::apps

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
 #include "os/kernel.hpp"
 
 namespace ep::apps {
@@ -30,6 +31,9 @@ inline constexpr const char* kLprSpoolFile = "/var/spool/lpd/tfA123";
 /// perturbations at the create interaction point, with content/name
 /// invariance and working-directory marked not-applicable exactly as the
 /// paper argues.
+/// The declarative spec lpr_scenario() compiles.
+core::ScenarioSpec lpr_spec();
+
 core::Scenario lpr_scenario();
 
 }  // namespace ep::apps

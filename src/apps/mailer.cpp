@@ -1,9 +1,7 @@
 #include "apps/mailer.hpp"
 
 #include "apps/fixed_buffer.hpp"
-#include "apps/payloads.hpp"
-#include "os/world.hpp"
-#include "util/strings.hpp"
+#include "apps/spec_env.hpp"
 
 namespace ep::apps {
 
@@ -53,50 +51,34 @@ int mailer_main(os::Kernel& k, os::Pid pid) {
   return 0;
 }
 
-core::Scenario mailer_scenario() {
-  core::Scenario s;
+core::ScenarioSpec mailer_spec() {
+  namespace sb = core::spec_builders;
+  core::ScenarioSpec s;
   s.name = "mailer";
   s.description =
       "sloppy set-uid mail utility: unchecked argv copy, concatenated "
       "spool path, unsanitized $PATH exec";
   s.trace_unit_filter = "mailer.c";
-  s.snapshot_safe = true;
-
-  s.build = [] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(1000, "alice", 1000);
-    k.add_user(1001, "bob", 1001);
-    k.add_user(666, "mallory", 666);
-    // The mailbox does not exist yet: delivery creates it fresh in the
-    // sanctioned spool. (Pre-existing-mailbox handling is exactly what the
-    // existence/ownership perturbations probe.)
-    os::world::mkdirs(k, "/var/spool/mail", os::kRootUid, os::kRootGid, 0755);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
-    // The PATH attack needs the payload to answer to the searched name.
-    os::world::put_program(k, "/tmp/attacker/sendmail", "evil", 666, 666,
-                           0755);
-    register_payload_images(k);
-    k.register_image("mailer", mailer_main);
-    os::world::put_program(k, "/bin/sendmail", "sendmail", os::kRootUid,
-                           os::kRootGid, 0755);
-    os::world::put_program(k, "/usr/bin/mailer", "mailer", os::kRootUid,
-                           os::kRootGid, 0755 | os::kSetUidBit);
-    return w;
-  };
-
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/bin/mailer", {"mailer", "bob"}, 1000, 1000,
-                            {}, "/home");
-    return r.ok() ? r.value() : 255;
-  };
+  sb::add_alice(s);
+  s.users.push_back({1001, "bob", 1001});
+  s.images = {"mailer"};
+  sb::add_payload_images(s);
+  // The mailbox does not exist yet: delivery creates it fresh in the
+  // sanctioned spool. (Pre-existing-mailbox handling is exactly what the
+  // existence/ownership perturbations probe.)
+  s.world.push_back(sb::dir_op("/var/spool/mail"));
+  sb::add_attacker(s, /*with_evil=*/true);
+  // The PATH attack needs the payload to answer to the searched name.
+  s.world.push_back(
+      sb::program_op("/tmp/attacker/sendmail", "evil", 666, 666, 0755));
+  s.world.push_back(sb::program_op("/bin/sendmail", "sendmail"));
+  s.world.push_back(sb::program_op("/usr/bin/mailer", "mailer", os::kRootUid,
+                                   os::kRootGid, 0755 | os::kSetUidBit));
+  s.run.push_back(
+      {"/usr/bin/mailer", {"mailer", "bob"}, 1000, 1000, {}, "/home"});
 
   s.policy.write_sanction_roots = {"/var/spool/mail"};
   s.policy.secret_files = {"/etc/shadow"};
-  s.hints.attacker_uid = 666;
-  s.hints.attacker_gid = 666;
 
   // arg-recipient / getenv / exec get catalog defaults (the point of this
   // scenario); the spool-file site mirrors lpr's applicability argument.
@@ -105,13 +87,17 @@ core::Scenario mailer_scenario() {
                        "symbolic-link"};
   spool_spec.not_applicable = {
       {"working-directory", "spool path is absolute"}};
-  s.sites[kMailerCreateSpool] = spool_spec;
+  s.sites.emplace_back(kMailerCreateSpool, spool_spec);
 
   core::SiteSpec exec_spec;
   exec_spec.faults = {"file-existence", "file-ownership", "file-permission",
                       "symbolic-link", "content-invariance"};
-  s.sites[kMailerExec] = exec_spec;
+  s.sites.emplace_back(kMailerExec, exec_spec);
   return s;
+}
+
+core::Scenario mailer_scenario() {
+  return core::compile_spec(mailer_spec(), spec_environment());
 }
 
 }  // namespace ep::apps

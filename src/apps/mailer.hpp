@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
 #include "os/kernel.hpp"
 
 namespace ep::apps {
@@ -21,6 +22,8 @@ inline constexpr const char* kMailerArgRecipient = "arg-recipient";
 inline constexpr const char* kMailerGetenvPath = "mailer-getenv-path";
 inline constexpr const char* kMailerCreateSpool = "create-spoolfile";
 inline constexpr const char* kMailerExec = "exec-sendmail";
+
+core::ScenarioSpec mailer_spec();
 
 core::Scenario mailer_scenario();
 

@@ -1,7 +1,7 @@
 #include "apps/redzone_demo.hpp"
 
 #include "apps/fixed_buffer.hpp"
-#include "os/world.hpp"
+#include "apps/spec_env.hpp"
 
 namespace ep::apps {
 
@@ -25,40 +25,39 @@ int banner_main(os::Kernel& k, os::Pid pid) {
   return 0;
 }
 
-core::Scenario redzone_demo_scenario() {
-  core::Scenario s;
+core::ScenarioSpec redzone_demo_spec() {
+  namespace sb = core::spec_builders;
+  core::ScenarioSpec s;
   s.name = "redzone-demo";
   s.description =
       "banner printer wild-copying an environment string into a fixed "
       "buffer (redzone oracle demo)";
   s.trace_unit_filter = "banner.c";
-  s.snapshot_safe = true;
-  s.build = [] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(1000, "alice", 1000);
-    k.add_user(666, "mallory", 666);
-    k.register_image("banner", banner_main);
-    os::world::put_program(k, "/usr/bin/banner", "banner", os::kRootUid,
-                           os::kRootGid, 0755 | os::kSetUidBit);
-    return w;
-  };
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/bin/banner", {"banner"}, 1000, 1000,
-                            {{"BANNER", "greetings"}}, "/home");
-    return r.ok() ? r.value() : 255;
-  };
+  sb::add_alice(s);
+  // Mallory exists but has no staging directory: the demo perturbs only
+  // the environment string.
+  s.users.push_back({666, "mallory", 666});
+  s.images = {"banner"};
+  s.world.push_back(sb::program_op("/usr/bin/banner", "banner", os::kRootUid,
+                                   os::kRootGid, 0755 | os::kSetUidBit));
+  s.run.push_back({"/usr/bin/banner",
+                   {"banner"},
+                   1000,
+                   1000,
+                   {{"BANNER", "greetings"}},
+                   "/home"});
   s.policy.secret_files = {"/etc/shadow"};
-  s.hints.attacker_uid = 666;
-  s.hints.attacker_gid = 666;
   // One point, one fault: the plan is exactly the change-length item, so
   // the scenario's exit code under `epa_cli run` is a stable regression
   // signal (exit 3: the wild copy is exploitable by the invoking user).
   core::SiteSpec getenv_spec;
   getenv_spec.faults = {"change-length"};
-  s.sites[kBannerGetEnv] = getenv_spec;
+  s.sites.emplace_back(kBannerGetEnv, getenv_spec);
   return s;
+}
+
+core::Scenario redzone_demo_scenario() {
+  return core::compile_spec(redzone_demo_spec(), spec_environment());
 }
 
 }  // namespace ep::apps

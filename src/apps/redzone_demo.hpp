@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
 #include "os/kernel.hpp"
 
 namespace ep::apps {
@@ -27,6 +28,8 @@ int banner_main(os::Kernel& k, os::Pid pid);
 inline constexpr const char* kBannerGetEnv = "banner-getenv-banner";
 inline constexpr const char* kBannerCopy = "banner-copy-line";
 inline constexpr std::size_t kBannerCapacity = 16;
+
+core::ScenarioSpec redzone_demo_spec();
 
 core::Scenario redzone_demo_scenario();
 

@@ -1,5 +1,6 @@
 #include "apps/registry_modules.hpp"
 
+#include "apps/spec_env.hpp"
 #include "apps/fixed_buffer.hpp"
 #include "apps/payloads.hpp"
 #include "os/world.hpp"
@@ -223,149 +224,146 @@ std::vector<NtModuleInfo> nt_modules() {
   };
 }
 
-std::unique_ptr<core::TargetWorld> nt_registry_world() {
-  auto w = std::make_unique<core::TargetWorld>();
-  os::Kernel& k = w->kernel;
-  k.add_user(os::kRootUid, "SYSTEM", os::kRootGid);
-  k.add_user(kAdmin, "administrator", kAdmin);
-  k.add_user(kMallory, "mallory", kMallory);
-
-  os::world::mkdirs(k, "/winnt/system32/config");
-  os::world::put_file(k, kNtSam,
-                      "SAM-REGISTRY-HIVE administrator:0x1f4:"
-                      "SECRET-NT-PASSWORD-HASHES\n",
-                      os::kRootUid, os::kRootGid, 0600);
-  os::world::put_file(k, kNtCritical,
-                      "[boot]\nshell=explorer.exe\nsecure=yes\n",
-                      os::kRootUid, os::kRootGid, 0644);
-  os::world::mkdirs(k, "/winnt/fonts");
-  os::world::put_file(k, "/winnt/fonts/stale.fon", "old font data",
-                      kAdmin, kAdmin, 0664);
-  os::world::mkdirs(k, "/winnt/help");
-  os::world::put_file(k, "/winnt/help/index.hlp",
-                      "help topics: printing, networking\n", os::kRootUid,
-                      os::kRootGid, 0644);
-  os::world::put_file(k, "/winnt/wall.bmp", "BMPDATA", os::kRootUid,
-                      os::kRootGid, 0644);
-  os::world::mkdirs(k, "/winnt/logs");
-  os::world::put_file(k, "/winnt/logs/update.log", "log start\n",
-                      os::kRootUid, os::kRootGid, 0666);
-  os::world::mkdirs(k, "/winnt/spool", os::kRootUid, os::kRootGid, 0777);
-  os::world::mkdirs(k, "/winnt/temp", os::kRootUid, os::kRootGid, 0777);
-  os::world::put_file(k, "/winnt/temp/scratch1.tmp", "x", kAdmin, kAdmin,
-                      0666);
-  os::world::put_file(k, "/winnt/temp/scratch2.tmp", "y", kAdmin, kAdmin,
-                      0666);
-  os::world::mkdirs(k, "/winnt/profiles/default");
-  os::world::put_file(k, "/winnt/profiles/default/ntuser.ini",
-                      "wallpaper=wall.bmp\nlogonscript=/winnt/system32/"
-                      "logon.cmd\n",
-                      os::kRootUid, os::kRootGid, 0644);
-
-  // Attacker staging (any user can reach /tmp).
-  os::world::mkdirs(k, "/tmp/attacker", kMallory, kMallory, 0755);
-  register_payload_images(k);
-  os::world::put_program(k, "/tmp/attacker/evil", "evil", kMallory, kMallory,
-                         0755);
-  os::world::mkdirs(k, "/tmp/attacker/profile", kMallory, kMallory, 0755);
-  os::world::put_file(k, "/tmp/attacker/profile/ntuser.ini",
-                      "logonscript=/tmp/attacker/evil\n", kMallory, kMallory,
-                      0644);
-
-  // Benign system binaries the modules act on.
-  k.register_image("benign-cmd", [](os::Kernel& kk, os::Pid p) {
-    kk.output(Site{"benign.c", 1, "benign-run"}, p, "benign helper ran");
-    return 0;
-  });
-  os::world::put_program(k, "/winnt/system32/logon.cmd", "benign-cmd");
-  os::world::put_program(k, "/winnt/system32/ssmarquee.scr", "benign-cmd");
-  os::world::put_program(k, "/winnt/system32/drwtsn32.exe", "benign-cmd");
-
-  // Module services: installed set-uid SYSTEM, invoked by the admin. The
-  // image looks the registry up through its own kernel (clone-safe; see
-  // Kernel::attach_substrates).
-  auto install = [&](const char* name, int (*fn)(os::Kernel&, os::Pid,
-                                                 reg::Registry&)) {
-    k.register_image(name, [fn](os::Kernel& kk, os::Pid p) {
+std::vector<std::pair<std::string, os::AppImage>> nt_module_images() {
+  using ModuleFn = int (*)(os::Kernel&, os::Pid, reg::Registry&);
+  // The image looks the registry up through its own kernel (clone-safe;
+  // see Kernel::attach_substrates).
+  static constexpr std::pair<const char*, ModuleFn> kMods[] = {
+      {"fontcleanup", fontcleanup_main},
+      {"logonprofile", logonprofile_main},
+      {"screensaver", screensaver_main},
+      {"helpviewer", helpviewer_main},
+      {"wallpaper", wallpaper_main},
+      {"updater", updater_main},
+      {"spooler", spooler_main},
+      {"aedebug", aedebug_main},
+      {"tempclean", tempclean_main},
+  };
+  std::vector<std::pair<std::string, os::AppImage>> out;
+  for (const auto& [name, fn] : kMods)
+    out.emplace_back(name, [fn](os::Kernel& kk, os::Pid p) {
       return fn(kk, p, *kk.registry());
     });
-    os::world::put_program(k, std::string("/winnt/system32/") + name + ".exe",
-                           name, os::kRootUid, os::kRootGid,
-                           0755 | os::kSetUidBit);
-  };
-  install("fontcleanup", fontcleanup_main);
-  install("logonprofile", logonprofile_main);
-  install("screensaver", screensaver_main);
-  install("helpviewer", helpviewer_main);
-  install("wallpaper", wallpaper_main);
-  install("updater", updater_main);
-  install("spooler", spooler_main);
-  install("aedebug", aedebug_main);
-  install("tempclean", tempclean_main);
-
-  // The registry: 9 everyone-write keys with known modules, 20 without,
-  // 15 properly protected. 29 unprotected total — the scan result the
-  // paper reports.
-  auto unprotected = [&](const char* path, std::string value,
-                         const char* module) {
-    reg::Key key;
-    key.path = path;
-    key.value = std::move(value);
-    key.acl.owner = kAdmin;
-    key.acl.everyone_write = true;
-    key.used_by_module = module;
-    w->registry.define_key(key);
-  };
-  unprotected(kKeyFontCleanup, "/winnt/fonts/stale.fon", "fontcleanup");
-  unprotected(kKeyLogonProfile, "/winnt/profiles/default", "logonprofile");
-  unprotected(kKeyScreensaver, "/winnt/system32/ssmarquee.scr",
-              "screensaver");
-  unprotected(kKeyHelpViewer, "/winnt/help/index.hlp", "helpviewer");
-  unprotected(kKeyWallpaper, "/winnt/wall.bmp", "wallpaper");
-  unprotected(kKeyUpdateLog, "/winnt/logs/update.log", "updater");
-  unprotected(kKeySpoolDir, "/winnt/spool", "spooler");
-  unprotected(kKeyAeDebug, "/winnt/system32/drwtsn32.exe", "aedebug");
-  unprotected(kKeyTempClean, "/winnt/temp", "tempclean");
-  for (int i = 1; i <= 20; ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "HKLM/Software/Unknown%02d", i);
-    unprotected(buf, "opaque-value-" + std::to_string(i), "");
-  }
-  for (int i = 1; i <= 15; ++i) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "HKLM/Secure/Protected%02d", i);
-    reg::Key key;
-    key.path = buf;
-    key.value = "locked-down";
-    key.acl.owner = kAdmin;
-    key.acl.everyone_write = false;
-    w->registry.define_key(key);
-  }
-  return w;
+  return out;
 }
 
-core::Scenario nt_module_scenario(const std::string& module) {
-  core::Scenario s;
+int nt_benign_cmd_image(os::Kernel& k, os::Pid pid) {
+  k.output(Site{"benign.c", 1, "benign-run"}, pid, "benign helper ran");
+  return 0;
+}
+
+core::ScenarioSpec nt_module_spec(const std::string& module) {
+  namespace sb = core::spec_builders;
+  core::ScenarioSpec s;
   s.name = "nt-" + module;
   for (const auto& m : nt_modules())
     if (m.module == module) s.description = m.what;
   s.trace_unit_filter = module + ".c";
-  s.snapshot_safe = true;
-  s.build = [] { return nt_registry_world(); };
-  s.run = [module](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/winnt/system32/" + module + ".exe", {module},
-                            kAdmin, kAdmin);
-    return r.ok() ? r.value() : 255;
-  };
+  s.standard_unix = false;  // NT-flavored tree, no /etc skeleton
+  s.users.push_back({os::kRootUid, "SYSTEM", os::kRootGid});
+  s.users.push_back({kAdmin, "administrator", kAdmin});
+  for (const auto& m : nt_modules()) s.images.push_back(m.module);
+  s.images.emplace_back("nt-benign-cmd");
+  sb::add_payload_images(s);
+
+  s.world.push_back(sb::dir_op("/winnt/system32/config"));
+  s.world.push_back(sb::file_op(kNtSam,
+                                "SAM-REGISTRY-HIVE administrator:0x1f4:"
+                                "SECRET-NT-PASSWORD-HASHES\n",
+                                os::kRootUid, os::kRootGid, 0600));
+  s.world.push_back(
+      sb::file_op(kNtCritical, "[boot]\nshell=explorer.exe\nsecure=yes\n"));
+  s.world.push_back(sb::dir_op("/winnt/fonts"));
+  s.world.push_back(sb::file_op("/winnt/fonts/stale.fon", "old font data",
+                                kAdmin, kAdmin, 0664));
+  s.world.push_back(sb::dir_op("/winnt/help"));
+  s.world.push_back(sb::file_op("/winnt/help/index.hlp",
+                                "help topics: printing, networking\n"));
+  s.world.push_back(sb::file_op("/winnt/wall.bmp", "BMPDATA"));
+  s.world.push_back(sb::dir_op("/winnt/logs"));
+  s.world.push_back(sb::file_op("/winnt/logs/update.log", "log start\n",
+                                os::kRootUid, os::kRootGid, 0666));
+  s.world.push_back(
+      sb::dir_op("/winnt/spool", os::kRootUid, os::kRootGid, 0777));
+  s.world.push_back(
+      sb::dir_op("/winnt/temp", os::kRootUid, os::kRootGid, 0777));
+  s.world.push_back(
+      sb::file_op("/winnt/temp/scratch1.tmp", "x", kAdmin, kAdmin, 0666));
+  s.world.push_back(
+      sb::file_op("/winnt/temp/scratch2.tmp", "y", kAdmin, kAdmin, 0666));
+  s.world.push_back(sb::dir_op("/winnt/profiles/default"));
+  s.world.push_back(sb::file_op("/winnt/profiles/default/ntuser.ini",
+                                "wallpaper=wall.bmp\nlogonscript=/winnt/"
+                                "system32/logon.cmd\n"));
+
+  // Attacker staging (any user can reach /tmp).
+  sb::add_attacker(s, /*with_evil=*/true);
+  s.world.push_back(
+      sb::dir_op("/tmp/attacker/profile", kMallory, kMallory, 0755));
+  s.world.push_back(sb::file_op("/tmp/attacker/profile/ntuser.ini",
+                                "logonscript=/tmp/attacker/evil\n", kMallory,
+                                kMallory, 0644));
+
+  // Benign system binaries the modules act on, then the module services
+  // themselves, installed set-uid SYSTEM.
+  s.world.push_back(sb::program_op("/winnt/system32/logon.cmd", "benign-cmd"));
+  s.world.push_back(
+      sb::program_op("/winnt/system32/ssmarquee.scr", "benign-cmd"));
+  s.world.push_back(
+      sb::program_op("/winnt/system32/drwtsn32.exe", "benign-cmd"));
+  for (const auto& m : nt_modules())
+    s.world.push_back(sb::program_op("/winnt/system32/" + m.module + ".exe",
+                                     m.module, os::kRootUid, os::kRootGid,
+                                     0755 | os::kSetUidBit));
+
+  // The registry: 9 everyone-write keys with known modules, 20 without,
+  // 15 properly protected. 29 unprotected total — the scan result the
+  // paper reports.
+  for (const auto& m : nt_modules()) {
+    core::SpecRegistryKey key;
+    key.path = m.key;
+    key.owner = kAdmin;
+    key.everyone_write = true;
+    key.used_by_module = m.module;
+    if (m.module == "fontcleanup") key.value = "/winnt/fonts/stale.fon";
+    if (m.module == "logonprofile") key.value = "/winnt/profiles/default";
+    if (m.module == "screensaver")
+      key.value = "/winnt/system32/ssmarquee.scr";
+    if (m.module == "helpviewer") key.value = "/winnt/help/index.hlp";
+    if (m.module == "wallpaper") key.value = "/winnt/wall.bmp";
+    if (m.module == "updater") key.value = "/winnt/logs/update.log";
+    if (m.module == "spooler") key.value = "/winnt/spool";
+    if (m.module == "aedebug") key.value = "/winnt/system32/drwtsn32.exe";
+    if (m.module == "tempclean") key.value = "/winnt/temp";
+    s.registry.push_back(std::move(key));
+  }
+  for (int i = 1; i <= 20; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "HKLM/Software/Unknown%02d", i);
+    core::SpecRegistryKey key;
+    key.path = buf;
+    key.value = "opaque-value-" + std::to_string(i);
+    key.owner = kAdmin;
+    key.everyone_write = true;
+    s.registry.push_back(std::move(key));
+  }
+  for (int i = 1; i <= 15; ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "HKLM/Secure/Protected%02d", i);
+    core::SpecRegistryKey key;
+    key.path = buf;
+    key.value = "locked-down";
+    key.owner = kAdmin;
+    s.registry.push_back(std::move(key));
+  }
+
+  s.run.push_back({"/winnt/system32/" + module + ".exe", {module}, kAdmin,
+                   kAdmin, {}, "/"});
   s.policy.write_sanction_roots = {"/winnt/spool", "/winnt/logs",
                                    "/winnt/temp"};
   s.policy.secret_files = {kNtSam};
-  s.hints.attacker_uid = kMallory;
-  s.hints.attacker_gid = kMallory;
-  s.hints.attacker_dir = "/tmp/attacker";
   s.hints.symlink_victim = kNtCritical;
   s.hints.secret_victim = kNtSam;
-  s.hints.evil_program = "/tmp/attacker/evil";
   s.hints.dir_victim = "/winnt/system32";
 
   // Key-value tampering payloads: where an attacker would point each key.
@@ -382,6 +380,15 @@ core::Scenario nt_module_scenario(const std::string& module) {
   s.hints.content_payloads["open-profile-ini"] =
       "logonscript=/tmp/attacker/evil\n";
   return s;
+}
+
+core::Scenario nt_module_scenario(const std::string& module) {
+  return core::compile_spec(nt_module_spec(module), spec_environment());
+}
+
+std::unique_ptr<core::TargetWorld> nt_registry_world() {
+  // Every module spec describes the same world; compile any one of them.
+  return nt_module_scenario("fontcleanup").build();
 }
 
 std::vector<core::Scenario> nt_module_scenarios() {

@@ -16,9 +16,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
+#include "os/kernel.hpp"
 
 namespace ep::apps {
 
@@ -36,6 +39,18 @@ struct NtModuleInfo {
 
 /// Static cross-reference of the 9 testable unprotected keys.
 std::vector<NtModuleInfo> nt_modules();
+
+/// The nine module images, in nt_modules() order (spec-environment
+/// entries; each reads the registry through its own kernel).
+std::vector<std::pair<std::string, os::AppImage>> nt_module_images();
+
+/// The NT flavor of the benign helper binary (distinct output site from
+/// rshd's benign-cmd; same kernel name).
+int nt_benign_cmd_image(os::Kernel& k, os::Pid pid);
+
+/// The declarative spec for one module's scenario (all nine share the
+/// same world; run recipe, trace filter and hints differ).
+core::ScenarioSpec nt_module_spec(const std::string& module);
 
 /// A perturbation campaign scenario for one module (by module name).
 core::Scenario nt_module_scenario(const std::string& module);

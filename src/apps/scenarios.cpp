@@ -1,5 +1,8 @@
 #include "apps/scenarios.hpp"
 
+#include "apps/families.hpp"
+#include "apps/redzone_demo.hpp"
+
 namespace ep::apps {
 
 std::vector<core::Scenario> all_scenarios() {
@@ -17,6 +20,57 @@ std::vector<core::Scenario> all_scenarios() {
   out.push_back(vault_scenario());
   out.push_back(vault_fixed_scenario());
   for (auto& s : nt_module_scenarios()) out.push_back(std::move(s));
+  return out;
+}
+
+std::optional<core::Scenario> resolve_scenario(const std::string& name) {
+  for (auto& s : all_scenarios()) {
+    if (s.name == name) return std::move(s);
+  }
+  // Reachable by name though absent from the packaged sweep: the redzone
+  // oracle demo.
+  if (name == "redzone-demo") return redzone_demo_scenario();
+  return find_generated_scenario(name);
+}
+
+std::optional<core::ScenarioSpec> resolve_spec(const std::string& name) {
+  std::vector<core::ScenarioSpec> packaged;
+  packaged.push_back(lpr_spec());
+  packaged.push_back(turnin_spec(/*hardened=*/false));
+  packaged.push_back(turnin_spec(/*hardened=*/true));
+  packaged.push_back(mailer_spec());
+  packaged.push_back(logind_spec(/*hardened=*/false));
+  packaged.push_back(logind_spec(/*hardened=*/true));
+  packaged.push_back(netcpd_spec());
+  packaged.push_back(cronhelpd_spec());
+  packaged.push_back(rshd_spec());
+  packaged.push_back(journald_spec());
+  packaged.push_back(vault_spec(/*fixed=*/false));
+  packaged.push_back(vault_spec(/*fixed=*/true));
+  for (const auto& m : nt_modules())
+    packaged.push_back(nt_module_spec(m.module));
+  packaged.push_back(redzone_demo_spec());
+  for (auto& s : packaged) {
+    if (s.name == name) return std::move(s);
+  }
+  for (const auto& f : scenario_families()) {
+    if (name.rfind(f.name + "-", 0) != 0) continue;
+    for (auto& spec : core::expand_family(f)) {
+      if (spec.name == name) return std::move(spec);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string scenario_names_hint() {
+  std::string out = "scenarios:";
+  for (const auto& s : all_scenarios()) out += " " + s.name;
+  out += " redzone-demo; families:";
+  for (const auto& f : scenario_families()) {
+    out += " " + f.name + "-* (" + std::to_string(core::family_size(f)) +
+           " members)";
+  }
+  out += "; see: epa_cli scenarios";
   return out;
 }
 

@@ -2,6 +2,8 @@
 // integration tests.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "apps/daemons.hpp"
@@ -17,5 +19,20 @@ namespace ep::apps {
 /// Every scenario in the suite (lpr, turnin, turnin-hardened, mailer,
 /// logind, logind-hardened, netcpd, cronhelpd, and the 9 NT modules).
 std::vector<core::Scenario> all_scenarios();
+
+/// Resolve any scenario name reachable from the command line: the
+/// packaged suite, then the unlisted "redzone-demo" demo, then the
+/// generated family members ("fam-spool-d2-open-setuid-tight", ...).
+std::optional<core::Scenario> resolve_scenario(const std::string& name);
+
+/// The declarative spec behind any resolvable name — what `epa_cli
+/// scenarios --spec NAME` serializes and `--scenario-file` consumes.
+/// Every scenario in the tool is spec-backed, so this covers the same
+/// names as resolve_scenario().
+std::optional<core::ScenarioSpec> resolve_spec(const std::string& name);
+
+/// One-line inventory for unknown-scenario errors: every packaged name,
+/// redzone-demo, and each family as a "<family>-* (N members)" pattern.
+std::string scenario_names_hint();
 
 }  // namespace ep::apps

@@ -1,0 +1,60 @@
+#include "apps/spec_env.hpp"
+
+#include "apps/daemons.hpp"
+#include "apps/families.hpp"
+#include "apps/journald.hpp"
+#include "apps/lpr.hpp"
+#include "apps/mailer.hpp"
+#include "apps/payloads.hpp"
+#include "apps/redzone_demo.hpp"
+#include "apps/registry_modules.hpp"
+#include "apps/turnin.hpp"
+#include "apps/vault.hpp"
+
+namespace ep::apps {
+
+const core::SpecEnvironment& spec_environment() {
+  static const core::SpecEnvironment env = [] {
+    core::SpecEnvironment e;
+    auto img = [&e](const std::string& name, const std::string& kernel_name,
+                    os::AppImage image) {
+      e.images[name] = {kernel_name, std::move(image)};
+    };
+    // Payloads (registered by almost every scenario).
+    img("tar", "tar", tar_main);
+    img("sendmail", "sendmail", sendmail_main);
+    img("evil", "evil", evil_main);
+    // Packaged applications.
+    img("lpr", "lpr", lpr_main);
+    img("turnin", "turnin", turnin_main);
+    img("turnin-hardened", "turnin-hardened", turnin_hardened_main);
+    img("mailer", "mailer", mailer_main);
+    img("vault", "vault", vault_main);
+    img("vault-fixed", "vault-fixed", vault_fixed_main);
+    img("journald", "journald", journald_main);
+    img("banner", "banner", banner_main);
+    // Daemons. Both logind variants run under the kernel name "logind" —
+    // which code /usr/sbin/logind executes is the scenario's choice, not
+    // the program path's.
+    img("logind", "logind", logind_image);
+    img("logind-hardened", "logind", logind_hardened_image);
+    img("netcpd", "netcpd", netcpd_image);
+    img("cronhelpd", "cronhelpd", cronhelpd_image);
+    img("rshd", "rshd", rshd_image);
+    img("benign-cmd", "benign-cmd", benign_cmd_image);
+    // The NT registry case study: nine modules plus its own benign
+    // helper (same kernel name as rshd's, different output site).
+    img("nt-benign-cmd", "benign-cmd", nt_benign_cmd_image);
+    for (const auto& [name, image] : nt_module_images())
+      img(name, name, image);
+    // Generated families.
+    register_family_environment(e);
+    // Service handlers (stateless pure functions; clone-safe).
+    e.handlers["authsvc"] = authsvc_handler;
+    e.handlers["keymaster"] = keymaster_handler;
+    return e;
+  }();
+  return env;
+}
+
+}  // namespace ep::apps

@@ -1,0 +1,14 @@
+// The standard spec-compilation environment: maps the image and service-
+// handler names scenario specs reference to the code that implements
+// them. One shared environment covers every packaged scenario, the
+// redzone demo, and the generated families, so a spec serialized from
+// any of them recompiles identically in any process (workers included).
+#pragma once
+
+#include "core/scenario_spec.hpp"
+
+namespace ep::apps {
+
+const core::SpecEnvironment& spec_environment();
+
+}  // namespace ep::apps

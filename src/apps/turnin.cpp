@@ -1,8 +1,7 @@
 #include "apps/turnin.hpp"
 
 #include "apps/fixed_buffer.hpp"
-#include "apps/payloads.hpp"
-#include "os/world.hpp"
+#include "apps/spec_env.hpp"
 #include "util/strings.hpp"
 
 namespace ep::apps {
@@ -265,76 +264,71 @@ int turnin_hardened_main(os::Kernel& k, os::Pid pid) {
 
 namespace {
 
-core::Scenario turnin_scenario_impl(bool hardened) {
-  core::Scenario s;
+core::ScenarioSpec turnin_spec_impl(bool hardened) {
+  namespace sb = core::spec_builders;
+  core::ScenarioSpec s;
   s.name = hardened ? "turnin-hardened" : "turnin";
   s.description =
       "Purdue turnin (Section 4.1): 8 interaction points, 41 perturbations";
   s.trace_unit_filter = "turnin.c";
-  s.snapshot_safe = true;
+  s.users.push_back({200, "ta", 200});
+  sb::add_alice(s);
+  // Both variant images are registered; which one /usr/bin/turnin runs is
+  // the spec's choice.
+  s.images = {"turnin", "turnin-hardened"};
+  sb::add_payload_images(s);
 
-  s.build = [hardened] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(200, "ta", 200);
-    k.add_user(1000, "alice", 1000);
-    k.add_user(666, "mallory", 666);
+  s.world.push_back(sb::file_op(
+      kTurninConfigPath, "cs390:/home/ta/submit\ncs240:/home/ta/submit\n"));
 
-    os::world::put_file(k, kTurninConfigPath,
-                        "cs390:/home/ta/submit\ncs240:/home/ta/submit\n",
-                        os::kRootUid, os::kRootGid, 0644);
+  s.world.push_back(sb::dir_op("/home/ta", 200, 200, 0755));
+  s.world.push_back(sb::dir_op("/home/ta/submit", 200, 200, 0755));
+  s.world.push_back(sb::file_op("/home/ta/submit/Projlist",
+                                "proj1\nproj2\nproj3\n", 200, 200, 0644));
+  s.world.push_back(
+      sb::file_op("/home/ta/.login", "# ta login script\n", 200, 200, 0644));
 
-    os::world::mkdirs(k, "/home/ta", 200, 200, 0755);
-    os::world::mkdirs(k, "/home/ta/submit", 200, 200, 0755);
-    os::world::put_file(k, "/home/ta/submit/Projlist",
-                        "proj1\nproj2\nproj3\n", 200, 200, 0644);
-    os::world::put_file(k, "/home/ta/.login", "# ta login script\n", 200, 200,
-                        0644);
+  s.world.push_back(sb::dir_op("/home/alice", 1000, 1000, 0755));
+  s.world.push_back(sb::file_op("/home/alice/hw1.c",
+                                "int main() { return 42; }\n", 1000, 1000,
+                                0644));
+  s.world.push_back(
+      sb::file_op("/home/alice/.login",
+                  "PATH=/home/alice/bin:$PATH  # student login file\n", 1000,
+                  1000, 0644));
 
-    os::world::mkdirs(k, "/home/alice", 1000, 1000, 0755);
-    os::world::put_file(k, "/home/alice/hw1.c",
-                        "int main() { return 42; }\n", 1000, 1000, 0644);
-    os::world::put_file(k, "/home/alice/.login",
-                        "PATH=/home/alice/bin:$PATH  # student login file\n",
-                        1000, 1000, 0644);
+  // The attacker's staging area (exists in the benign world; scenario
+  // hints point perturbations at it).
+  sb::add_attacker(s, /*with_evil=*/true);
+  s.world.push_back(sb::file_op("/tmp/attacker/evil-turnin.cf",
+                                "cs390:/tmp/attacker\n", 666, 666, 0644));
+  s.world.push_back(
+      sb::file_op("/tmp/attacker/Projlist", "proj1\n", 666, 666, 0644));
 
-    // The attacker's staging area (exists in the benign world; scenario
-    // hints point perturbations at it).
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
-    os::world::put_file(k, "/tmp/attacker/evil-turnin.cf",
-                        "cs390:/tmp/attacker\n", 666, 666, 0644);
-    os::world::put_file(k, "/tmp/attacker/Projlist", "proj1\n", 666, 666,
-                        0644);
+  s.world.push_back(sb::program_op("/bin/tar", "tar"));
+  s.world.push_back(sb::program_op("/usr/bin/turnin",
+                                   hardened ? "turnin-hardened" : "turnin",
+                                   os::kRootUid, os::kRootGid,
+                                   0755 | os::kSetUidBit));
 
-    register_payload_images(k);
-    k.register_image("turnin", turnin_main);
-    k.register_image("turnin-hardened", turnin_hardened_main);
-    os::world::put_program(k, "/bin/tar", "tar", os::kRootUid, os::kRootGid,
-                           0755);
-    os::world::put_program(k, "/usr/bin/turnin",
-                           hardened ? "turnin-hardened" : "turnin",
-                           os::kRootUid, os::kRootGid, 0755 | os::kSetUidBit);
-    return w;
-  };
-
-  s.run = [](core::TargetWorld& w) {
-    // The test case: a student lists the projects, then submits one file.
-    (void)w.kernel.spawn("/usr/bin/turnin", {"turnin", "-c", "cs390", "-l"},
-                         1000, 1000, {}, "/home/alice");
-    auto r = w.kernel.spawn(
-        "/usr/bin/turnin",
-        {"turnin", "-c", "cs390", "-p", "proj1", "hw1.c"}, 1000, 1000, {},
-        "/home/alice");
-    return r.ok() ? r.value() : 255;
-  };
+  // The test case: a student lists the projects, then submits one file.
+  // Only the last step's exit code is the scenario's.
+  s.run.push_back({"/usr/bin/turnin",
+                   {"turnin", "-c", "cs390", "-l"},
+                   1000,
+                   1000,
+                   {},
+                   "/home/alice"});
+  s.run.push_back({"/usr/bin/turnin",
+                   {"turnin", "-c", "cs390", "-p", "proj1", "hw1.c"},
+                   1000,
+                   1000,
+                   {},
+                   "/home/alice"});
 
   s.policy.write_sanction_roots = {kTurninSubmitDir};
   s.policy.secret_files = {"/etc/shadow"};
 
-  s.hints.attacker_uid = 666;
-  s.hints.attacker_gid = 666;
   s.hints.content_payloads[kTurninOpenConfig] = "cs390:/tmp/attacker\n";
   s.hints.link_victims[kTurninOpenConfig] = "/tmp/attacker/evil-turnin.cf";
 
@@ -347,51 +341,71 @@ core::Scenario turnin_scenario_impl(bool hardened) {
     return spec;
   };
 
-  s.sites[kTurninOpenConfig] = fs_basic(
-      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
-       "content-invariance"},
-      {{"name-invariance", "covered by file-existence for a fixed path"},
-       {"working-directory", "config path is absolute"}});
-  s.sites[kTurninOpenProjlist] = fs_basic(
-      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
-       "content-invariance", "name-invariance"},
-      {{"working-directory", "Projlist path is absolute"}});
-  s.sites[kTurninGetenvPath] = fs_basic(
-      {"path-change-length", "path-rearrange-order", "path-insert-untrusted",
-       "path-use-incorrect", "path-use-recursive"});
-  s.sites[kTurninArgCourse] = fs_basic(
-      {"change-length", "use-relative-path", "use-absolute-path",
-       "insert-dotdot", "insert-slash"});
-  s.sites[kTurninArgFile] = fs_basic(
-      {"change-length", "use-relative-path", "use-absolute-path",
-       "insert-dotdot", "insert-slash"});
-  s.sites[kTurninOpenSource] = fs_basic(
-      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
-       "content-invariance"},
-      {{"name-invariance", "equivalent to file-existence here"},
-       {"working-directory",
-        "source resolution is the invoker's own responsibility"}});
-  s.sites[kTurninCreateDest] = fs_basic(
-      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
-       "working-directory"},
-      {{"content-invariance",
-        "this is supposed to be the first time the file is encountered"},
-       {"name-invariance",
-        "this is supposed to be the first time the file is encountered"}});
-  s.sites[kTurninExecTar] = fs_basic(
-      {"file-existence", "file-ownership", "file-permission", "symbolic-link",
-       "content-invariance"},
-      {{"name-invariance", "binary is pinned by descriptor after the check"},
-       {"working-directory", "binary path is absolute"}});
+  s.sites.emplace_back(
+      kTurninOpenConfig,
+      fs_basic(
+          {"file-existence", "file-ownership", "file-permission",
+           "symbolic-link", "content-invariance"},
+          {{"name-invariance", "covered by file-existence for a fixed path"},
+           {"working-directory", "config path is absolute"}}));
+  s.sites.emplace_back(
+      kTurninOpenProjlist,
+      fs_basic({"file-existence", "file-ownership", "file-permission",
+                "symbolic-link", "content-invariance", "name-invariance"},
+               {{"working-directory", "Projlist path is absolute"}}));
+  s.sites.emplace_back(
+      kTurninGetenvPath,
+      fs_basic({"path-change-length", "path-rearrange-order",
+                "path-insert-untrusted", "path-use-incorrect",
+                "path-use-recursive"}));
+  s.sites.emplace_back(
+      kTurninArgCourse,
+      fs_basic({"change-length", "use-relative-path", "use-absolute-path",
+                "insert-dotdot", "insert-slash"}));
+  s.sites.emplace_back(
+      kTurninArgFile,
+      fs_basic({"change-length", "use-relative-path", "use-absolute-path",
+                "insert-dotdot", "insert-slash"}));
+  s.sites.emplace_back(
+      kTurninOpenSource,
+      fs_basic({"file-existence", "file-ownership", "file-permission",
+                "symbolic-link", "content-invariance"},
+               {{"name-invariance", "equivalent to file-existence here"},
+                {"working-directory",
+                 "source resolution is the invoker's own responsibility"}}));
+  s.sites.emplace_back(
+      kTurninCreateDest,
+      fs_basic(
+          {"file-existence", "file-ownership", "file-permission",
+           "symbolic-link", "working-directory"},
+          {{"content-invariance",
+            "this is supposed to be the first time the file is encountered"},
+           {"name-invariance",
+            "this is supposed to be the first time the file is "
+            "encountered"}}));
+  s.sites.emplace_back(
+      kTurninExecTar,
+      fs_basic(
+          {"file-existence", "file-ownership", "file-permission",
+           "symbolic-link", "content-invariance"},
+          {{"name-invariance",
+            "binary is pinned by descriptor after the check"},
+           {"working-directory", "binary path is absolute"}}));
   return s;
 }
 
 }  // namespace
 
-core::Scenario turnin_scenario() { return turnin_scenario_impl(false); }
+core::ScenarioSpec turnin_spec(bool hardened) {
+  return turnin_spec_impl(hardened);
+}
+
+core::Scenario turnin_scenario() {
+  return core::compile_spec(turnin_spec_impl(false), spec_environment());
+}
 
 core::Scenario turnin_hardened_scenario() {
-  return turnin_scenario_impl(true);
+  return core::compile_spec(turnin_spec_impl(true), spec_environment());
 }
 
 }  // namespace ep::apps

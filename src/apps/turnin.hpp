@@ -20,6 +20,7 @@
 #pragma once
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
 #include "os/kernel.hpp"
 
 namespace ep::apps {
@@ -39,6 +40,10 @@ inline constexpr const char* kTurninExecTar = "exec-tar";
 
 inline constexpr const char* kTurninConfigPath = "/usr/local/lib/turnin.cf";
 inline constexpr const char* kTurninSubmitDir = "/home/ta/submit";
+
+/// The declarative spec both variants compile (same world and fault
+/// plan; the program op picks the binary).
+core::ScenarioSpec turnin_spec(bool hardened);
 
 /// The full Section 4.1 scenario (vulnerable turnin).
 core::Scenario turnin_scenario();

@@ -1,7 +1,6 @@
 #include "apps/vault.hpp"
 
-#include "apps/payloads.hpp"
-#include "os/world.hpp"
+#include "apps/spec_env.hpp"
 
 namespace ep::apps {
 
@@ -56,41 +55,30 @@ int vault_impl(os::Kernel& k, os::Pid pid, bool fixed) {
   return 0;
 }
 
-core::Scenario vault_scenario_impl(bool fixed) {
-  core::Scenario s;
+core::ScenarioSpec vault_spec_impl(bool fixed) {
+  namespace sb = core::spec_builders;
+  core::ScenarioSpec s;
   s.name = fixed ? "vault-fixed" : "vault";
   s.description =
       "set-uid ledger writer with an access()/open() TOCTTOU window";
   s.trace_unit_filter = "vault.c";
-  s.snapshot_safe = true;
-  s.build = [fixed] {
-    auto w = std::make_unique<core::TargetWorld>();
-    os::Kernel& k = w->kernel;
-    os::world::standard_unix(k);
-    k.add_user(1000, "alice", 1000);
-    k.add_user(666, "mallory", 666);
-    os::world::mkdirs(k, "/tmp/attacker", 666, 666, 0755);
-    os::world::put_program(k, "/tmp/attacker/evil", "evil", 666, 666, 0755);
-    // The ledger lives in world-writable /tmp — the precondition for the
-    // race (Bishop-Dilger's "environmental condition").
-    os::world::put_file(k, "/tmp/ledger", "ledger start\n", 1000, 1000,
-                        0644);
-    register_payload_images(k);
-    k.register_image("vault", vault_main);
-    k.register_image("vault-fixed", vault_fixed_main);
-    os::world::put_program(k, "/usr/bin/vault",
-                           fixed ? "vault-fixed" : "vault", os::kRootUid,
-                           os::kRootGid, 0755 | os::kSetUidBit);
-    return w;
-  };
-  s.run = [](core::TargetWorld& w) {
-    auto r = w.kernel.spawn("/usr/bin/vault", {"vault", "/tmp/ledger"},
-                            1000, 1000, {}, "/tmp");
-    return r.ok() ? r.value() : 255;
-  };
+  sb::add_alice(s);
+  // Both variant images are registered; which one /usr/bin/vault runs is
+  // the spec's choice.
+  s.images = {"vault", "vault-fixed"};
+  sb::add_payload_images(s);
+  sb::add_attacker(s, /*with_evil=*/true);
+  // The ledger lives in world-writable /tmp — the precondition for the
+  // race (Bishop-Dilger's "environmental condition").
+  s.world.push_back(
+      sb::file_op("/tmp/ledger", "ledger start\n", 1000, 1000, 0644));
+  s.world.push_back(sb::program_op("/usr/bin/vault",
+                                   fixed ? "vault-fixed" : "vault",
+                                   os::kRootUid, os::kRootGid,
+                                   0755 | os::kSetUidBit));
+  s.run.push_back(
+      {"/usr/bin/vault", {"vault", "/tmp/ledger"}, 1000, 1000, {}, "/tmp"});
   s.policy.secret_files = {"/etc/shadow"};
-  s.hints.attacker_uid = 666;
-  s.hints.attacker_gid = 666;
   return s;
 }
 
@@ -104,7 +92,14 @@ int vault_fixed_main(os::Kernel& k, os::Pid pid) {
   return vault_impl(k, pid, /*fixed=*/true);
 }
 
-core::Scenario vault_scenario() { return vault_scenario_impl(false); }
-core::Scenario vault_fixed_scenario() { return vault_scenario_impl(true); }
+core::ScenarioSpec vault_spec(bool fixed) { return vault_spec_impl(fixed); }
+
+core::Scenario vault_scenario() {
+  return core::compile_spec(vault_spec_impl(false), spec_environment());
+}
+
+core::Scenario vault_fixed_scenario() {
+  return core::compile_spec(vault_spec_impl(true), spec_environment());
+}
 
 }  // namespace ep::apps

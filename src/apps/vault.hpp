@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/campaign.hpp"
+#include "core/scenario_spec.hpp"
 #include "os/kernel.hpp"
 
 namespace ep::apps {
@@ -27,6 +28,8 @@ int vault_fixed_main(os::Kernel& k, os::Pid pid);
 
 inline constexpr const char* kVaultCheck = "vault-access-check";
 inline constexpr const char* kVaultUse = "vault-open-use";
+
+core::ScenarioSpec vault_spec(bool fixed);
 
 core::Scenario vault_scenario();
 core::Scenario vault_fixed_scenario();

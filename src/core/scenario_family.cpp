@@ -1,0 +1,97 @@
+#include "core/scenario_family.hpp"
+
+#include <set>
+
+#include "core/wire.hpp"
+
+namespace ep::core {
+namespace {
+
+bool name_safe(const std::string& value) {
+  if (value.empty()) return false;
+  for (char c : value) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+              c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void validate(const ScenarioFamily& family) {
+  auto bad = [&family](const std::string& msg) -> WireError {
+    return WireError("scenario family '" + family.name + "': " + msg);
+  };
+  if (!name_safe(family.name)) throw bad("family name is not name-safe");
+  if (family.axes.empty()) throw bad("family has no axes");
+  if (!family.materialize) throw bad("family has no materialize function");
+  std::set<std::string> names;
+  for (const FamilyAxis& axis : family.axes) {
+    if (axis.name.empty()) throw bad("axis with empty name");
+    if (!names.insert(axis.name).second)
+      throw bad("duplicate axis \"" + axis.name + "\"");
+    if (axis.values.empty())
+      throw bad("axis \"" + axis.name + "\" has no values");
+    std::set<std::string> values;
+    for (const std::string& v : axis.values) {
+      if (!name_safe(v))
+        throw bad("axis \"" + axis.name + "\" value \"" + v +
+                  "\" is not name-safe (lowercase alphanumerics, '.', '_', "
+                  "'-')");
+      if (!values.insert(v).second)
+        throw bad("axis \"" + axis.name + "\" repeats value \"" + v + "\"");
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t family_size(const ScenarioFamily& family) {
+  std::size_t n = family.axes.empty() ? 0 : 1;
+  for (const FamilyAxis& axis : family.axes) n *= axis.values.size();
+  return n;
+}
+
+std::string family_member_name(const ScenarioFamily& family,
+                               const FamilyPoint& point) {
+  std::string name = family.name;
+  for (const FamilyAxis& axis : family.axes) {
+    auto it = point.find(axis.name);
+    name += "-";
+    name += it == point.end() ? "?" : it->second;
+  }
+  return name;
+}
+
+std::vector<FamilyPoint> family_grid(const ScenarioFamily& family) {
+  validate(family);
+  // Odometer walk: the last axis varies fastest, so the order (and with
+  // it every generated name and suite position) is a pure function of
+  // the family definition.
+  std::vector<FamilyPoint> grid;
+  std::vector<std::size_t> idx(family.axes.size(), 0);
+  for (;;) {
+    FamilyPoint point;
+    for (std::size_t a = 0; a < family.axes.size(); ++a)
+      point[family.axes[a].name] = family.axes[a].values[idx[a]];
+    grid.push_back(std::move(point));
+    std::size_t a = family.axes.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < family.axes[a].values.size()) break;
+      idx[a] = 0;
+      if (a == 0) return grid;
+    }
+  }
+}
+
+std::vector<ScenarioSpec> expand_family(const ScenarioFamily& family) {
+  std::vector<ScenarioSpec> specs;
+  for (const FamilyPoint& point : family_grid(family)) {
+    ScenarioSpec spec = family.materialize(point);
+    spec.name = family_member_name(family, point);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace ep::core

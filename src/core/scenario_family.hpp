@@ -1,0 +1,67 @@
+// Scenario families: one template times a parameter grid.
+//
+// A ScenarioFamily pairs a set of named axes (each a list of value
+// strings) with a materialize() function that turns one grid point into a
+// ScenarioSpec. expand_family() walks the full cartesian product in a
+// fixed order and stamps each spec with a stable generated name —
+// "<family>-<v1>-<v2>-..." — so a generated scenario can be named on any
+// epa_cli command line, re-derived in any worker process, and produce
+// byte-identical results on every plane (the same determinism contract
+// the packaged scenarios honor).
+//
+// This is the workload multiplier the scaling layers were starved for:
+// instead of 21 hand-written worlds, a few family templates expand into
+// hundreds of generated, snapshot-safe scenarios that vary exactly the
+// environment dimensions — path depths, buffer guards, privilege,
+// peer scripts, registry chains — the paper's method perturbs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scenario_spec.hpp"
+
+namespace ep::core {
+
+/// One grid dimension: a name and the values it ranges over. Values must
+/// be non-empty and name-safe (lowercase alphanumerics, '.', '_', '-')
+/// because they become part of generated scenario names.
+struct FamilyAxis {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// One grid point: axis name -> chosen value.
+using FamilyPoint = std::map<std::string, std::string>;
+
+struct ScenarioFamily {
+  std::string name;
+  std::string description;
+  std::vector<FamilyAxis> axes;
+  /// Materialize the spec for one grid point. The returned spec's name is
+  /// overwritten with the generated member name; everything else —
+  /// including determinism — is the template's responsibility.
+  std::function<ScenarioSpec(const FamilyPoint&)> materialize;
+};
+
+/// Number of grid points (product of axis sizes; 0 when any axis is
+/// empty).
+std::size_t family_size(const ScenarioFamily& family);
+
+/// The stable name of one member: family name + "-" + the point's values
+/// in axis order.
+std::string family_member_name(const ScenarioFamily& family,
+                               const FamilyPoint& point);
+
+/// Every grid point, in deterministic order: the last axis varies
+/// fastest, like an odometer. Throws WireError on a malformed family
+/// (duplicate or empty axis names, empty or name-unsafe values).
+std::vector<FamilyPoint> family_grid(const ScenarioFamily& family);
+
+/// Materialize every member, names stamped. Order matches family_grid().
+std::vector<ScenarioSpec> expand_family(const ScenarioFamily& family);
+
+}  // namespace ep::core

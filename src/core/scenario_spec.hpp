@@ -1,0 +1,202 @@
+// Declarative scenario specs: the benign world as data.
+//
+// A ScenarioSpec describes everything a Scenario's imperative build()
+// closure used to construct — users, filesystem layout (with ownership
+// and modes), registered program images, network peers and daemons,
+// registry keys, the run recipe, the oracle policy, perturbation hints,
+// and per-site fault applicability — as plain data. A spec is compiled
+// into a runnable core::Scenario against a SpecEnvironment that maps
+// image and service-handler names to code.
+//
+// Why data instead of closures: specs serialize (versioned JSON behind
+// the same wire seam as plans and shard reports), diff, and — the point —
+// *generate*. core/scenario_family.hpp expands one family template times
+// a parameter grid into hundreds of specs, each of which compiles to a
+// deterministic, snapshot-safe world no human had to hand-write.
+//
+// Determinism contract: compiling the same spec twice yields build()
+// closures that construct byte-identical worlds. World ops are replayed
+// in spec order (VFS inode numbering depends on creation order); users,
+// images, network state and registry keys are order-independent state.
+// Compiled scenarios are always snapshot_safe — a spec cannot express a
+// build that consults ambient state.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "net/network.hpp"
+#include "os/types.hpp"
+
+namespace ep::core {
+
+/// Version stamped into every serialized spec ("schema_version"). Bump on
+/// breaking encoding changes; the reader rejects versions it postdates.
+inline constexpr int kSpecSchemaVersion = 1;
+
+struct SpecUser {
+  os::Uid uid = 0;
+  std::string name;
+  os::Gid gid = 0;
+};
+
+/// One filesystem-building step. Ops replay in list order at build time —
+/// the order is load-bearing (inode numbering, hence wire-level
+/// byte-identity of results, follows creation order).
+struct WorldOp {
+  enum class Kind { dir, file, program, symlink };
+  Kind kind = Kind::dir;
+  std::string path;
+  std::string content;  // file: initial bytes
+  std::string image;    // program: kernel image name to execute
+  std::string target;   // symlink: link target
+  os::Uid uid = os::kRootUid;
+  os::Gid gid = os::kRootGid;
+  unsigned mode = 0755;  // ignored for symlinks
+};
+
+struct SpecHost {
+  std::string name;
+  std::string ip;
+};
+
+/// An out-of-process service; `handler` names a pure reply function in
+/// the SpecEnvironment's handler registry.
+struct SpecService {
+  std::string name;
+  net::ChannelKind kind = net::ChannelKind::network;
+  bool available = true;
+  bool trusted = true;
+  std::string handler;
+};
+
+/// The scripted benign client conversation. Inbound messages are always
+/// authentic — a spec describes the *benign* world; spoofing is the
+/// injector's job.
+struct SpecClientScript {
+  std::string peer = "client";
+  net::ChannelKind kind = net::ChannelKind::network;
+  std::vector<std::string> protocol;  // expected step sequence
+  std::vector<net::Message> inbound;
+};
+
+struct SpecNetwork {
+  std::vector<SpecHost> hosts;
+  std::vector<SpecService> services;
+  std::optional<SpecClientScript> client;
+
+  [[nodiscard]] bool empty() const {
+    return hosts.empty() && services.empty() && !client.has_value();
+  }
+};
+
+struct SpecRegistryKey {
+  std::string path;
+  std::string value;
+  os::Uid owner = os::kRootUid;
+  bool everyone_read = true;
+  bool everyone_write = false;
+  std::string used_by_module;
+  bool trusted = true;
+};
+
+/// One spawn in the run recipe. The recipe runs in order; the scenario's
+/// exit code is the last step's (255 when the last spawn itself fails),
+/// matching the hand-written scenarios this layer replaced.
+struct RunStep {
+  std::string program;
+  std::vector<std::string> args;
+  os::Uid uid = 0;
+  os::Gid gid = 0;
+  std::map<std::string, std::string> env;
+  std::string cwd = "/";
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  std::string trace_unit_filter;
+  bool standard_unix = true;
+  std::vector<SpecUser> users;
+  /// SpecEnvironment image-registry names to register before world ops
+  /// run (program ops reference the images' *kernel* names).
+  std::vector<std::string> images;
+  std::vector<WorldOp> world;
+  SpecNetwork network;
+  std::vector<SpecRegistryKey> registry;
+  std::vector<RunStep> run;
+  PolicySpec policy;
+  ScenarioHints hints;
+  /// Site overrides in authoring order (compiled into Scenario::sites).
+  std::vector<std::pair<std::string, SiteSpec>> sites;
+};
+
+// --- codec ----------------------------------------------------------------
+// Canonical JSON: spec_from_json(spec_to_json(s)) re-serializes to the
+// same bytes (the docs-freshness tests depend on it). The reader is
+// strict — unknown keys, wrong types, bad enum strings and future schema
+// versions all fail with a WireError whose message names the offending
+// field (or the line/column, for syntax errors).
+
+std::string spec_to_json(const ScenarioSpec& spec);
+ScenarioSpec spec_from_json(const std::string& text);
+
+// --- compilation ----------------------------------------------------------
+
+/// A named program image: `kernel_name` is the name program ops and
+/// Kernel::register_image use; two registry entries may share code but
+/// differ in kernel name (or vice versa — e.g. hardened variants).
+struct SpecImage {
+  std::string kernel_name;
+  os::AppImage image;
+};
+
+/// The code side of compilation: what image and handler names mean.
+/// apps::spec_environment() provides the standard one.
+struct SpecEnvironment {
+  std::map<std::string, SpecImage> images;
+  std::map<std::string, std::function<net::Message(const net::Message&)>>
+      handlers;
+};
+
+/// Compile a spec into a runnable Scenario. Validates every image,
+/// handler and fault name up front (WireError on the first problem);
+/// the returned Scenario owns a copy of the spec and is snapshot-safe.
+Scenario compile_spec(const ScenarioSpec& spec, const SpecEnvironment& env);
+
+// --- shared world builders -------------------------------------------------
+// The helpers the hand-written scenarios used to duplicate: append
+// canonical world fragments to a spec under construction. All of them
+// append at the current end of the relevant list, so callers control the
+// (load-bearing) VFS op order by call order.
+namespace spec_builders {
+
+WorldOp dir_op(const std::string& path, os::Uid uid = os::kRootUid,
+               os::Gid gid = os::kRootGid, unsigned mode = 0755);
+WorldOp file_op(const std::string& path, const std::string& content,
+                os::Uid uid = os::kRootUid, os::Gid gid = os::kRootGid,
+                unsigned mode = 0644);
+WorldOp program_op(const std::string& path, const std::string& image,
+                   os::Uid uid = os::kRootUid, os::Gid gid = os::kRootGid,
+                   unsigned mode = 0755);
+WorldOp symlink_op(const std::string& path, const std::string& target,
+                   os::Uid uid = os::kRootUid, os::Gid gid = os::kRootGid);
+
+/// The standard unprivileged victim account (alice, uid 1000).
+void add_alice(ScenarioSpec& spec);
+
+/// The standard attacker: mallory (uid 666) plus the /tmp/attacker
+/// staging directory, optionally stocked with the `evil` payload program.
+/// Also points the spec's hints at the staged attacker.
+void add_attacker(ScenarioSpec& spec, bool with_evil);
+
+/// The three payload images every interactive scenario registers.
+void add_payload_images(ScenarioSpec& spec);
+
+}  // namespace spec_builders
+
+}  // namespace ep::core

@@ -124,6 +124,10 @@ void LocalProcessTransport::append_common_args(
     args.push_back("--drain-delay-ms");
     args.push_back(std::to_string(config_.drain_delay_ms));
   }
+  if (!config_.scenario_file.empty()) {
+    args.push_back("--scenario-file");
+    args.push_back(config_.scenario_file);
+  }
 }
 
 std::string LocalProcessTransport::lease_token(const Lease& lease) const {

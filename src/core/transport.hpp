@@ -70,6 +70,10 @@ struct LocalProcessConfig {
   /// before every checkpoint chunk. A testing hook that manufactures
   /// deterministic stragglers for the work-stealing path.
   long long drain_delay_ms = 0;
+  /// --scenario-file forwarded when set: workers compile the declarative
+  /// spec instead of resolving the plan's scenario name through the
+  /// registry — how an orchestrated run drives a spec-file-only scenario.
+  std::string scenario_file;
 };
 
 /// The JSON-pipe data plane. Subclasses swap the data plane (how the

@@ -1,0 +1,54 @@
+// Vulnerability-coverage adequacy: which EAI classes did a campaign fire?
+//
+// The EAI study (vulndb/classifier.hpp) classifies real vulnerabilities
+// along two axes: the indirect cause categories of Table 2 (user input,
+// environment variable, ...) and the direct environment attributes of
+// Table 6 (file existence, protocol, ...). A perturbation campaign is
+// *adequate* against that universe to the extent its observed violations
+// actually exercised those classes — a campaign that only ever fires
+// file-system faults says nothing about a daemon's protocol handling, no
+// matter how many injections it ran. This is the "vulnerability coverage
+// as an adequacy criterion" idea applied to the engine's own output:
+// every violated injection outcome is mapped back through the fault
+// catalog to its cause category or environment attribute, and the report
+// is the fired fraction of the 20-class universe.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace ep::vulndb {
+
+/// The adequacy report for one campaign (or a whole sweep's worth).
+struct VulnCoverage {
+  /// Class labels whose faults produced at least one violation, sorted.
+  std::vector<std::string> fired;
+  /// Universe classes no violation touched, sorted.
+  std::vector<std::string> silent;
+
+  [[nodiscard]] int total() const {
+    return static_cast<int>(fired.size() + silent.size());
+  }
+  [[nodiscard]] double fraction() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(fired.size()) / total();
+  }
+};
+
+/// The fixed 20-class universe, sorted: every Table 2 cause category
+/// ("cause: user input", ...) and every Table 6 environment attribute
+/// ("attribute: file existence", ...).
+std::vector<std::string> coverage_universe();
+
+/// Map one (fault kind, fault name) pair to its class label via the
+/// standard catalog; empty when the name is unknown.
+std::string coverage_class(core::FaultKind kind,
+                           const std::string& fault_name);
+
+/// Coverage over every violated injection outcome in `results`.
+VulnCoverage vulnerability_coverage(
+    const std::vector<core::CampaignResult>& results);
+
+}  // namespace ep::vulndb

@@ -1,0 +1,91 @@
+// Docs-freshness guard for the scenario-spec format: the complete
+// example in docs/SCENARIO_AUTHORING.md is real serializer output for a
+// real packaged family member, and both docs pin the schema version the
+// code actually writes. Any spec-format change that forgets the docs
+// fails CI here, exactly like wire_format_doc_test.cpp for plans.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/scenarios.hpp"
+#include "apps/spec_env.hpp"
+#include "core/scenario_spec.hpp"
+#include "core/wire.hpp"
+#include "util/strings.hpp"
+
+namespace ep::core {
+namespace {
+
+std::string read_doc(const std::string& rel) {
+  std::ifstream in(std::string(EP_SOURCE_DIR) + "/" + rel);
+  EXPECT_TRUE(in.good()) << rel << " is missing";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The fenced json block following `<!-- scenario-spec-example: NAME -->`.
+std::string example_block(const std::string& doc, const std::string& name) {
+  std::string marker = "<!-- scenario-spec-example: " + name + " -->";
+  std::size_t at = doc.find(marker);
+  EXPECT_NE(at, std::string::npos) << "marker not found: " << marker;
+  if (at == std::string::npos) return {};
+  std::size_t open = doc.find("```json\n", at);
+  EXPECT_NE(open, std::string::npos) << "no ```json fence after " << marker;
+  if (open == std::string::npos) return {};
+  open += std::string("```json\n").size();
+  std::size_t close = doc.find("```", open);
+  EXPECT_NE(close, std::string::npos) << "unterminated fence after "
+                                      << marker;
+  if (close == std::string::npos) return {};
+  return doc.substr(open, close - open);
+}
+
+TEST(ScenarioSpecDoc, ExampleRoundTripsVerbatim) {
+  std::string example =
+      example_block(read_doc("docs/SCENARIO_AUTHORING.md"), "family-member");
+  ASSERT_FALSE(example.empty());
+  ScenarioSpec spec = spec_from_json(example);
+  EXPECT_EQ(spec_to_json(spec), example)
+      << "docs/SCENARIO_AUTHORING.md spec example is no longer canonical "
+         "serializer output — regenerate it with `epa_cli scenarios --spec "
+      << spec.name << "`";
+}
+
+TEST(ScenarioSpecDoc, ExampleIsTheRealFamilyMember) {
+  std::string example =
+      example_block(read_doc("docs/SCENARIO_AUTHORING.md"), "family-member");
+  ASSERT_FALSE(example.empty());
+  ScenarioSpec spec = spec_from_json(example);
+  auto packaged = apps::resolve_spec(spec.name);
+  ASSERT_TRUE(packaged.has_value())
+      << "the documented spec's name no longer resolves: " << spec.name;
+  EXPECT_EQ(spec_to_json(*packaged), example)
+      << "the documented spec drifted from the generated family member";
+}
+
+TEST(ScenarioSpecDoc, ExampleCompilesSnapshotSafe) {
+  std::string example =
+      example_block(read_doc("docs/SCENARIO_AUTHORING.md"), "family-member");
+  ASSERT_FALSE(example.empty());
+  Scenario scenario =
+      compile_spec(spec_from_json(example), apps::spec_environment());
+  EXPECT_TRUE(scenario.snapshot_safe);
+  EXPECT_FALSE(scenario.name.empty());
+}
+
+TEST(ScenarioSpecDoc, DocumentsTheCurrentSchemaVersion) {
+  std::string pin = "currently `" + std::to_string(kSpecSchemaVersion) +
+                    "` (`core::kSpecSchemaVersion`)";
+  EXPECT_TRUE(contains(read_doc("docs/SCENARIO_AUTHORING.md"), pin))
+      << "docs/SCENARIO_AUTHORING.md does not document spec schema_version "
+      << kSpecSchemaVersion;
+  EXPECT_TRUE(contains(read_doc("docs/WIRE_FORMAT.md"), pin))
+      << "docs/WIRE_FORMAT.md does not document spec schema_version "
+      << kSpecSchemaVersion;
+}
+
+}  // namespace
+}  // namespace ep::core

@@ -1,0 +1,100 @@
+// The generated-family acceptance criteria: every family member is
+// snapshot-safe (cloned prototype runs reproduce rebuild-per-run runs at
+// any job count), and a whole generated family drained through the wire
+// as plan -> run-shard -> merge is byte-identical to the single-process
+// parallel run. Families must earn the same determinism contract the
+// packaged 21 already hold.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/families.hpp"
+#include "apps/scenarios.hpp"
+#include "core/campaign_fixtures.hpp"
+#include "core/report.hpp"
+#include "core/scheduler.hpp"
+#include "core/wire.hpp"
+
+namespace ep::core {
+namespace {
+
+TEST(FamilyDeterminism, EveryMemberCachedRunsReproduceFreshBuilds) {
+  for (const auto& family : apps::scenario_families()) {
+    for (auto& scenario : apps::family_scenarios(family)) {
+      SCOPED_TRACE(scenario.name);
+      ASSERT_TRUE(scenario.snapshot_safe)
+          << "every compiled spec must opt into world caching";
+
+      CampaignOptions uncached;
+      uncached.seed = 7;
+      uncached.use_world_cache = false;
+      CampaignResult reference =
+          Campaign(*apps::resolve_scenario(scenario.name)).execute(uncached);
+
+      for (int jobs : {1, 4}) {
+        CampaignOptions cached;
+        cached.seed = 7;
+        cached.jobs = jobs;
+        cached.use_world_cache = true;
+        CampaignResult r =
+            Campaign(*apps::resolve_scenario(scenario.name)).execute(cached);
+        expect_identical(reference, r);
+      }
+    }
+  }
+}
+
+TEST(FamilyDeterminism, ShardedFamilyMatchesSingleProcess) {
+  const ScenarioFamily* family = apps::find_family("fam-relay");
+  ASSERT_NE(family, nullptr);
+  for (auto& scenario : apps::family_scenarios(*family)) {
+    SCOPED_TRACE(scenario.name);
+    Planner planner(scenario);
+    InjectionPlan plan = planner.plan();
+    Executor ex(scenario);
+    ExecutorOptions opts;
+    opts.jobs = 4;
+    CampaignResult single = ex.execute(plan, opts);
+    std::string single_report = render_report(single);
+    std::string single_json = render_json(single);
+
+    InjectionPlan wire_plan = plan_from_json(plan.to_json());
+    refreeze_snapshot(wire_plan, scenario);
+
+    for (std::size_t n : {2u, 5u}) {
+      SCOPED_TRACE("shards=" + std::to_string(n));
+      std::vector<ShardReport> shards;
+      for (std::size_t k = 0; k < n; ++k) {
+        ExecutorOptions shard_opts;
+        shard_opts.jobs = 2;
+        shards.push_back(shard_report_from_json(
+            run_shard(ex, wire_plan, k, n, shard_opts).to_json()));
+      }
+      CampaignResult merged = merge_shard_reports(wire_plan, shards);
+      expect_identical(single, merged);
+      EXPECT_EQ(single_report, render_report(merged));
+      EXPECT_EQ(single_json, render_json(merged));
+    }
+  }
+}
+
+TEST(FamilyDeterminism, FamilySweepIsStableAcrossJobCounts) {
+  SweepResult serial, parallel;
+  for (int jobs : {1, 4}) {
+    MultiCampaign suite;
+    const ScenarioFamily* family = apps::find_family("fam-spool");
+    ASSERT_NE(family, nullptr);
+    for (auto& s : apps::family_scenarios(*family)) suite.add(std::move(s));
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.campaign.seed = 7;
+    (jobs == 1 ? serial : parallel) = suite.run(opts);
+  }
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i)
+    expect_identical(serial.results[i], parallel.results[i]);
+}
+
+}  // namespace
+}  // namespace ep::core
