@@ -33,6 +33,7 @@
 #include "core/protocol.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
+#include "core/search.hpp"
 #include "core/snapshot.hpp"
 #include "core/transport.hpp"
 #include "core/wire.hpp"
@@ -235,13 +236,15 @@ double sweep_seconds(const core::MultiCampaign& suite, int jobs,
 
 /// Executor-drain rate for one scenario (plan prepared once): isolates
 /// the per-run world cost, which is what the snapshot layer amortizes.
-double drain_rps(const core::Scenario& scenario, bool use_world_cache) {
+double drain_rps(const core::Scenario& scenario, bool use_world_cache,
+                 bool pool_worlds = true) {
   core::CampaignOptions popts;
   popts.use_world_cache = use_world_cache;
   auto plan = core::Planner(scenario).plan(popts);
   core::Executor executor(scenario);
   core::ExecutorOptions opts;
   opts.use_world_cache = use_world_cache;
+  opts.pool_worlds = pool_worlds;
   double best = 1e300;
   for (int rep = 0; rep < 3; ++rep) {
     auto t0 = std::chrono::steady_clock::now();
@@ -558,6 +561,9 @@ void write_sweep_json(const char* path) {
   core::Scenario heavy = apps::nt_module_scenarios().front();
   double heavy_uncached_rps = drain_rps(heavy, false);
   double heavy_cached_rps = drain_rps(heavy, true);
+  // Same cached drain with the per-worker TargetWorld arena disabled —
+  // the pre-pool engine, so the pair isolates the allocation-reuse win.
+  double heavy_pool_off_rps = drain_rps(heavy, true, false);
 
   // The distribution tax: same suite, drained as 3 serial shard
   // pipelines with every byte passing through the wire format.
@@ -619,6 +625,57 @@ void write_sweep_json(const char* path) {
   double family_rps = family_runs / family_best;
   double vuln_coverage_pct = 100.0 * family_cov.fraction();
 
+  // Search adequacy on one family (fam-relay): the coverage-guided
+  // scheduler gets a quarter of the exhaustive run count and must still
+  // fire >= 90% of the EAI classes the exhaustive drain fires. One
+  // scorer is shared across the members (the CLI's --family path), so
+  // later members spend their slices on what the family has not shown.
+  const core::ScenarioFamily* relay = apps::find_family("fam-relay");
+  std::vector<core::Scenario> relay_members = apps::family_scenarios(*relay);
+  std::size_t exhaustive_items = 0;
+  std::vector<core::CampaignResult> exhaustive_results;
+  for (const auto& member : relay_members) {
+    core::CampaignOptions popts;
+    popts.use_world_cache = true;
+    core::InjectionPlan plan = core::Planner(member).plan(popts);
+    exhaustive_items += plan.items.size();
+    core::Executor executor(member);
+    exhaustive_results.push_back(executor.execute(plan, {}));
+  }
+  vulndb::VulnCoverage exhaustive_cov =
+      vulndb::vulnerability_coverage(exhaustive_results);
+  std::size_t search_budget = exhaustive_items / 4;
+  core::NoveltyScorer search_scorer;
+  std::size_t member_budget = search_budget / relay_members.size();
+  std::size_t budget_rem = search_budget % relay_members.size();
+  for (std::size_t i = 0; i < relay_members.size(); ++i) {
+    core::CampaignOptions popts;
+    popts.use_world_cache = true;
+    core::InjectionPlan plan = core::Planner(relay_members[i]).plan(popts);
+    core::SearchOptions sopts;
+    sopts.seed = 7;
+    sopts.budget = member_budget + (i == 0 ? budget_rem : 0);
+    sopts.batch = 16;
+    sopts.classify = [](core::FaultKind kind, const std::string& name) {
+      return vulndb::coverage_class(kind, name);
+    };
+    core::SearchWorkSource source(std::move(plan), sopts, &search_scorer);
+    core::Executor executor(relay_members[i]);
+    auto rr = core::run_search(executor, source);
+    benchmark::DoNotOptimize(rr);
+  }
+  std::size_t refired = 0;
+  for (const std::string& c : exhaustive_cov.fired)
+    if (search_scorer.fired_classes().count(c)) ++refired;
+  double search_budget_pct =
+      exhaustive_items == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(search_budget) / exhaustive_items;
+  double search_coverage_ratio =
+      exhaustive_cov.fired.empty()
+          ? 1.0
+          : static_cast<double>(refired) / exhaustive_cov.fired.size();
+
   // On a machine with fewer cores than kJobs the parallel sweep is pure
   // thread overhead; flag the artifact so a sub-kJobs speedup reads as a
   // hardware limit, not an engine regression.
@@ -650,6 +707,8 @@ void write_sweep_json(const char* path) {
                "  \"build_heavy_uncached_runs_per_sec\": %.1f,\n"
                "  \"build_heavy_cached_runs_per_sec\": %.1f,\n"
                "  \"build_heavy_cache_speedup\": %.2f,\n"
+               "  \"build_heavy_pool_off_runs_per_sec\": %.1f,\n"
+               "  \"build_heavy_pool_speedup\": %.2f,\n"
                "  \"shards\": %d,\n"
                "  \"sharded_serial_runs_per_sec\": %.1f,\n"
                "  \"shard_wire_overhead_pct\": %.1f,\n"
@@ -668,7 +727,12 @@ void write_sweep_json(const char* path) {
                "  \"codec_encode_decode_runs_per_sec\": %.1f,\n"
                "  \"family_generated_count\": %zu,\n"
                "  \"family_generated_serial_runs_per_sec\": %.1f,\n"
-               "  \"vuln_coverage_pct\": %.1f\n"
+               "  \"vuln_coverage_pct\": %.1f,\n"
+               "  \"search_family\": \"%s\",\n"
+               "  \"search_exhaustive_items\": %zu,\n"
+               "  \"search_budget\": %zu,\n"
+               "  \"search_budget_pct\": %.1f,\n"
+               "  \"search_coverage_ratio\": %.3f\n"
                "}\n",
                suite.size(), runs, hw, core_starved ? "true" : "false",
                kJobs, serial_s, parallel_s, serial_rps, parallel_rps,
@@ -676,12 +740,14 @@ void write_sweep_json(const char* path) {
                cached_parallel_rps, cached_serial_rps / serial_rps,
                cached_parallel_rps / parallel_rps, heavy.name.c_str(),
                heavy_uncached_rps, heavy_cached_rps,
-               heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
+               heavy_cached_rps / heavy_uncached_rps, heavy_pool_off_rps,
+               heavy_cached_rps / heavy_pool_off_rps, kShards, sharded_rps,
                shard_overhead_pct, shard_wire_bytes, kShards, orch.leases,
                orch_rps, orch_overhead_pct, orch.wire_bytes, shm_rps,
                shm_overhead_pct, shm.wire_bytes, tcp_rps, tcp_overhead_pct,
                tcp.wire_bytes, codec_rps, family_count, family_rps,
-               vuln_coverage_pct);
+               vuln_coverage_pct, relay->name.c_str(), exhaustive_items,
+               search_budget, search_budget_pct, search_coverage_ratio);
   std::fclose(f);
   std::printf(
       "\nsweep: %d injection runs across %zu scenarios\n"
@@ -690,6 +756,8 @@ void write_sweep_json(const char* path) {
       "  cached serial     : %8.1f runs/sec  (%.2fx vs serial)\n"
       "  cached jobs=%d     : %8.1f runs/sec  (%.2fx vs jobs=%d)\n"
       "  build-heavy %-6s: %8.1f -> %8.1f runs/sec  (%.2fx cached)\n"
+      "  world pool off    : %8.1f runs/sec  (pool is %.2fx on the cached "
+      "drain)\n"
       "  sharded %dx serial : %8.1f runs/sec  (wire+merge overhead "
       "%+.1f%% vs cached serial; %zu report bytes)\n"
       "  orchestrated %dx%-2d : %8.1f runs/sec  (overhead %+.1f%% vs "
@@ -701,18 +769,23 @@ void write_sweep_json(const char* path) {
       "serial; %d leases, %zu framed bytes through the socketpair)\n"
       "  binary codec      : %8.1f outcomes/sec through encode+decode\n"
       "  family generated  : %8.1f runs/sec over %zu spec-compiled "
-      "scenarios (%d runs; %.1f%% of the 20 EAI classes fired)\n",
+      "scenarios (%d runs; %.1f%% of the 20 EAI classes fired)\n"
+      "  search %-10s : %zu of %zu exhaustive runs (%.1f%% budget) "
+      "re-fired %.0f%% of the exhaustive EAI classes\n",
       runs, suite.size(), serial_rps, kJobs, parallel_rps,
       parallel_rps / serial_rps, cached_serial_rps,
       cached_serial_rps / serial_rps, kJobs, cached_parallel_rps,
       cached_parallel_rps / parallel_rps, kJobs, heavy.name.c_str(),
       heavy_uncached_rps, heavy_cached_rps,
-      heavy_cached_rps / heavy_uncached_rps, kShards, sharded_rps,
+      heavy_cached_rps / heavy_uncached_rps, heavy_pool_off_rps,
+      heavy_cached_rps / heavy_pool_off_rps, kShards, sharded_rps,
       shard_overhead_pct, shard_wire_bytes, kShards, kOrchLeasesPerWorker,
       orch_rps, orch_overhead_pct, orch.leases, orch.wire_bytes, shm_rps,
       shm_overhead_pct, shm.leases, shm.wire_bytes, tcp_rps,
       tcp_overhead_pct, tcp.leases, tcp.wire_bytes, codec_rps, family_rps,
-      family_count, family_runs, vuln_coverage_pct);
+      family_count, family_runs, vuln_coverage_pct, relay->name.c_str(),
+      search_budget, exhaustive_items, search_budget_pct,
+      100.0 * search_coverage_ratio);
   if (core_starved)
     std::printf(
         "  !! core-starved (%u hardware thread%s < %d jobs): the parallel "

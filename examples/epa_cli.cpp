@@ -34,14 +34,21 @@
 //   epa_cli worker --connect host:7070        # workers dial in from
 //                                             # any machine
 //
+// Coverage-guided search (docs/SEARCH.md, core/search.hpp):
+//
+//   epa_cli search turnin --budget 40 --seed 7      # novelty-driven, local
+//   epa_cli search --family fam-relay --budget 120  # cumulative family search
+//   epa_cli search turnin --budget 40 --workers 3   # orchestrated fleet
+//   epa_cli search turnin --budget 40 --state s.json --resume
+//
 // `epa_cli worker` is the orchestrator's worker half: it parses the plan
 // and re-freezes the COW prototype once, then serves LEASE commands over
 // its control channel (stdin/stdout lines; tcp frames with --connect)
 // until EXIT/EOF — the per-process costs are paid per worker, not per
-// work slice. Every data plane speaks worker protocol v2
+// work slice. Every data plane speaks worker protocol v3
 // (core/protocol.hpp): HELLO handshake, PING heartbeats at checkpoints,
-// STEAL/YIELD work stealing. Orchestrated output is bit-identical to
-// `run`.
+// STEAL/YIELD work stealing, FEEDBACK item appends for search.
+// Orchestrated output is bit-identical to `run`.
 #include <poll.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -73,6 +80,7 @@
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "core/scenario_spec.hpp"
+#include "core/search.hpp"
 #include "core/transport.hpp"
 #include "core/wire.hpp"
 #include "net/transport_tcp.hpp"
@@ -113,18 +121,26 @@ int usage() {
       "                [--checkpoint K]\n"
       "  epa_cli merge <plan-file> <shard-file>... [--json]\n"
       "  epa_cli orchestrate <scenario>|--scenario-file FILE\n"
-      "                [--workers N] [--lease K]\n"
+      "                [--workers N] [--lease auto|K]\n"
       "                [--data-plane pipe|shm|tcp] [--deadman-ms MS]\n"
       "                [--jobs N] [--preempt-after N] [--checkpoint K]\n"
       "                [--drain-delay-ms MS] [--dir DIR]\n"
       "                [--listen PORT] [--port-file FILE]   (tcp)\n"
       "                [--json] [--no-world-cache] [--no-redzone]\n"
       "  epa_cli orchestrate --all [same flags; pipe/shm only]\n"
+      "  epa_cli search <scenario>|--family F|--scenario-file FILE\n"
+      "                --budget N [--seed S] [--batch K] [--jobs N]\n"
+      "                [--workers N] [--lease auto|K]\n"
+      "                [--data-plane pipe|shm|tcp] [--listen PORT]\n"
+      "                [--port-file FILE] [--state FILE] [--resume]\n"
+      "                [--stop-after W] [--json] [--no-world-cache]\n"
+      "                [--no-redzone]\n"
+      "                (coverage-guided novelty search; docs/SEARCH.md)\n"
       "  epa_cli worker <plan-file>|--arena FILE|--connect HOST:PORT\n"
       "                [--jobs N] [--no-world-cache] [--no-redzone]\n"
       "                [--preempt-after N] [--scenario-file FILE]\n"
       "                [--checkpoint K] [--drain-delay-ms MS]\n"
-      "                (worker protocol v2 on stdin/stdout, or framed\n"
+      "                (worker protocol v3 on stdin/stdout, or framed\n"
       "                over tcp with --connect; spawned by orchestrate)\n"
       "  epa_cli compare <before-scenario> <after-scenario>\n"
       "  epa_cli db [indirect|direct|other|excluded]\n");
@@ -411,6 +427,14 @@ int cmd_scenarios(const std::string& family_name,
                   json_quote(fams[i].description).c_str(),
                   i + 1 < fams.size() ? "," : "");
     }
+    // The EAI coverage universe (vulndb/coverage.hpp): external tooling
+    // computes adequacy against these class names without re-implementing
+    // the fault-to-class mapping.
+    auto universe = vulndb::coverage_universe();
+    std::printf("],\n\"coverage_universe\": [\n");
+    for (std::size_t i = 0; i < universe.size(); ++i)
+      std::printf("%s%s\n", json_quote(universe[i]).c_str(),
+                  i + 1 < universe.size() ? "," : "");
     std::printf("]\n}\n");
     return 0;
   }
@@ -1019,6 +1043,41 @@ int cmd_worker(const WorkerArgs& a) {
       if (msg.type == core::ProtocolMsg::Type::steal) continue;  // the
       // benign race: the lease it wanted stolen finished before the
       // STEAL arrived; there is nothing left to yield.
+      if (msg.type == core::ProtocolMsg::Type::feedback) {
+        // The search plane's item append (protocol v3): the coordinator
+        // generated items past the range this worker's plan copy carries.
+        // The append must be gap-free — begin names exactly the current
+        // item count, or a lost FEEDBACK would silently shift every later
+        // id — and the spec's length must match the announced range.
+        if (msg.begin != plan.items.size()) {
+          std::fprintf(stderr,
+                       "epa: worker: FEEDBACK begins at %zu but the plan "
+                       "holds %zu items (lost feedback?)\n",
+                       msg.begin, plan.items.size());
+          return 1;
+        }
+        std::vector<core::WorkItem> appended;
+        try {
+          appended =
+              core::parse_feedback_spec(msg.target, plan.points.size());
+        } catch (const core::WireError& e) {
+          std::fprintf(stderr, "epa: worker: %s\n", e.what());
+          return 1;
+        }
+        if (msg.end != msg.begin + appended.size()) {
+          std::fprintf(stderr,
+                       "epa: worker: FEEDBACK range [%zu, %zu) but the "
+                       "spec carries %zu item(s)\n",
+                       msg.begin, msg.end, appended.size());
+          return 1;
+        }
+        for (auto& item : appended) plan.items.push_back(std::move(item));
+        // A search plan can start empty (every item arrives as
+        // feedback); the prototype freeze was a no-op then, so pay it on
+        // the first append instead.
+        if (a.use_world_cache) core::refreeze_snapshot(plan, scenario);
+        continue;
+      }
       if (msg.type != core::ProtocolMsg::Type::lease) {
         std::fprintf(stderr, "epa: worker: unexpected command '%s'\n",
                      cmd.c_str());
@@ -1172,12 +1231,55 @@ int cmd_worker(const WorkerArgs& a) {
 
 enum class DataPlane { pipe, shm, tcp };
 
+/// `--lease auto` (the default): size leases from the measured per-item
+/// cost. Planning runs the scenario once (the trace run), so the
+/// planning wall time is a live sample of roughly one build plus one
+/// run on this machine. Targeting ~250ms of drain per lease gives
+/// build-heavy scenarios smaller initial leases — rebalancing around
+/// stragglers and preemptions happens at lease grain, so an expensive
+/// lease is a long time to be stuck — while the classic
+/// items/(workers*4) grain stays the ceiling, so cheap scenarios keep
+/// marginal per-lease costs. Lease sizing never changes merged output
+/// (outcomes land by stable id); only scheduling granularity moves.
+std::size_t auto_lease_items(std::size_t plan_items, int workers,
+                             double plan_ms) {
+  const std::size_t grain = std::max<std::size_t>(
+      1, plan_items / (static_cast<std::size_t>(workers) * 4));
+  const double per_item_ms = plan_ms / 2.0;  // trace ~ build + one run
+  if (per_item_ms <= 0.0) return grain;
+  const double by_cost = 250.0 / per_item_ms;
+  if (by_cost >= static_cast<double>(grain)) return grain;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(by_cost));
+}
+
+/// Parse a `--lease` value: `auto` (measured sizing) or an explicit
+/// item count — the same strict validation every numeric flag gets.
+void parse_lease_flag(const std::string& flag, int argc, char** argv,
+                      int* i, long long* lease, bool* lease_auto) {
+  std::string v = flag_value(flag, argc, argv, i);
+  if (v == "auto") {
+    *lease_auto = true;
+    return;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long k = std::strtoll(v.c_str(), &end, 10);
+  if (errno == ERANGE || end == v.c_str() || *end != '\0')
+    flag_fail(flag, "value '" + v + "' is not an integer or 'auto'");
+  if (k < 1 || k > (1LL << 30))
+    flag_fail(flag, "value " + v + " out of range [1, " +
+                        std::to_string(1LL << 30) + "]");
+  *lease = k;
+  *lease_auto = false;
+}
+
 struct OrchestrateArgs {
   std::string scenario;
   std::string scenario_file;  // --scenario-file: spec instead of a name
   bool all = false;
   int workers = 2;
-  long long lease = 0;          // items per lease; 0 = auto
+  long long lease = 0;          // items per lease (explicit --lease K)
+  bool lease_auto = true;       // --lease auto: measured sizing (default)
   int jobs = 1;                 // per-worker --jobs
   long long preempt_after = 0;  // forwarded to workers (CI hook)
   long long checkpoint = 0;     // forwarded to workers: mid-lease partials
@@ -1229,11 +1331,24 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
     core::CampaignOptions popts;
     popts.use_world_cache = false;  // the plan file carries no snapshot
     popts.use_redzone = a.use_redzone;
+    const auto plan_t0 = std::chrono::steady_clock::now();
     core::InjectionPlan plan = core::Planner(scenario).plan(popts);
+    const double plan_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - plan_t0)
+            .count();
 
     core::OrchestratorOptions oopts;
     oopts.workers = a.workers;
-    oopts.lease_items = static_cast<std::size_t>(a.lease);
+    oopts.lease_items =
+        a.lease_auto
+            ? auto_lease_items(plan.items.size(), a.workers, plan_ms)
+            : static_cast<std::size_t>(a.lease);
+    if (a.lease_auto)
+      std::fprintf(stderr,
+                   "epa orchestrate: %s: auto lease grain %zu item(s) "
+                   "(planning took %.0f ms)\n",
+                   scenario.name.c_str(), oopts.lease_items, plan_ms);
     oopts.deadman_ms = a.deadman_ms;
 
     std::unique_ptr<core::Transport> transport;
@@ -1299,8 +1414,248 @@ int cmd_orchestrate(const OrchestrateArgs& a, const char* argv0) {
                "epa orchestrate: vulnerability coverage %zu/%d EAI "
                "classes (%.1f%%)\n",
                cov.fired.size(), cov.total(), 100.0 * cov.fraction());
+  // One line per fired class: the search smoke leg diffs these against a
+  // coverage-guided search's to prove the search lost no class.
+  for (const auto& c : cov.fired)
+    std::fprintf(stderr, "epa orchestrate: fired %s\n", c.c_str());
 
   if (a.all) return print_sweep(sweep, a.as_json);
+  const core::CampaignResult& r = sweep.results.front();
+  std::printf("%s", (a.as_json ? core::render_json(r)
+                               : core::render_report(r))
+                        .c_str());
+  return r.exploitable().empty() ? 0 : 3;  // same contract as `run`
+}
+
+// --- coverage-guided search (core/search.hpp, docs/SEARCH.md) ---------------
+
+struct SearchArgs {
+  std::string scenario;
+  std::string scenario_file;  // --scenario-file: spec instead of a name
+  std::string family;         // --family F: cumulative sequential search
+  std::uint64_t seed = 1;
+  long long budget = 0;       // required: total injection runs
+  long long batch = 16;       // wave size cap
+  int jobs = 1;
+  int workers = 0;            // 0 = in-process drain; > 0 = orchestrated
+  DataPlane plane = DataPlane::pipe;
+  long long lease = 0;
+  bool lease_auto = true;
+  int listen_port = 0;        // tcp
+  std::string port_file;      // tcp
+  std::string state_path;     // --state FILE: checkpoint at wave barriers
+  bool resume = false;        // --resume: replay --state when it exists
+  long long stop_after = 0;   // stop after W wave barriers, exit 4
+  bool as_json = false;
+  bool use_world_cache = true;
+  bool use_redzone = true;
+  std::string dir;
+};
+
+/// The search drive: one SearchWorkSource per scenario, drained either
+/// in-process (run_search) or across a worker fleet (orchestrate_source
+/// — the workers learn generated items via protocol FEEDBACK). A family
+/// search runs its members sequentially through ONE shared NoveltyScorer
+/// with the budget split evenly (remainder to the first member), so a
+/// class fired by member one stops paying rent in member two. Exit
+/// contract: 0/3 like `run`, 4 when --stop-after ended the search early
+/// (checkpoint flushed; finish with --resume).
+int cmd_search(const SearchArgs& a, const char* argv0) {
+  std::vector<core::Scenario> scenarios;
+  if (!a.family.empty()) {
+    const core::ScenarioFamily* fam = apps::find_family(a.family);
+    if (!fam) {
+      std::fprintf(stderr, "epa: unknown family '%s'\nepa: %s\n",
+                   a.family.c_str(), apps::scenario_names_hint().c_str());
+      return 1;
+    }
+    scenarios = apps::family_scenarios(*fam);
+  } else if (!a.scenario_file.empty()) {
+    scenarios.push_back(scenario_from_file(a.scenario_file));
+  } else {
+    bool found = false;
+    core::Scenario s = find_scenario(a.scenario, found);
+    if (!found) return unknown_scenario(a.scenario);
+    scenarios.push_back(std::move(s));
+  }
+
+  const bool orchestrated = a.workers > 0;
+  const bool tcp = a.plane == DataPlane::tcp;
+  std::string dir = a.dir;
+  if (orchestrated && !tcp) {
+    if (dir.empty()) {
+      const char* tmp = std::getenv("TMPDIR");
+      std::string tmpl = std::string(tmp && *tmp ? tmp : "/tmp") +
+                         "/epa-search.XXXXXX";
+      if (!::mkdtemp(tmpl.data()))
+        throw std::runtime_error(std::string("cannot create temp dir: ") +
+                                 std::strerror(errno));
+      dir = tmpl;
+    } else if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      throw std::runtime_error("cannot create '" + dir +
+                               "': " + std::strerror(errno));
+    }
+  }
+
+  core::NoveltyScorer scorer;  // shared across family members
+  core::SweepResult sweep;
+  std::size_t exhaustive_items = 0;
+  std::size_t generated_items = 0;
+  for (std::size_t m = 0; m < scenarios.size(); ++m) {
+    const core::Scenario& scenario = scenarios[m];
+    const std::size_t budget = static_cast<std::size_t>(a.budget);
+    const std::size_t member_budget =
+        budget / scenarios.size() +
+        (m == 0 ? budget % scenarios.size() : 0);
+
+    // The exhaustive plan is the candidate frontier; its planning wall
+    // time doubles as the per-item cost sample for --lease auto.
+    core::CampaignOptions popts;
+    popts.use_world_cache = orchestrated ? false : a.use_world_cache;
+    popts.use_redzone = a.use_redzone;
+    const auto plan_t0 = std::chrono::steady_clock::now();
+    core::InjectionPlan base = core::Planner(scenario).plan(popts);
+    const double plan_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - plan_t0)
+            .count();
+    exhaustive_items += base.items.size();
+
+    core::SearchOptions sopts;
+    sopts.seed = a.seed;
+    sopts.budget = member_budget;
+    sopts.batch = static_cast<std::size_t>(a.batch);
+    sopts.classify = [](core::FaultKind kind, const std::string& name) {
+      return vulndb::coverage_class(kind, name);
+    };
+    core::SearchWorkSource source(std::move(base), sopts, &scorer);
+
+    // Resume replays the checkpointed waves *before* the checkpoint hook
+    // is installed, so replay never re-writes the state file. A missing
+    // state file is a fresh start — a search killed before its first
+    // wave barrier left nothing behind, by design.
+    if (a.resume) {
+      struct stat st{};
+      if (::stat(a.state_path.c_str(), &st) == 0)
+        source.resume(core::search_state_from_json(read_file(a.state_path)));
+    }
+    if (!a.state_path.empty())
+      source.set_checkpoint([&](const core::SearchState& s) {
+        write_file_atomic(a.state_path, core::search_state_to_json(s));
+      });
+
+    core::CampaignResult result;
+    if (!orchestrated) {
+      core::Executor executor(scenario);
+      core::ExecutorOptions eopts;
+      eopts.jobs = a.jobs;
+      eopts.use_world_cache = a.use_world_cache;
+      eopts.use_redzone = a.use_redzone;
+      core::SearchRunResult run = core::run_search(
+          executor, source, eopts, static_cast<std::size_t>(a.stop_after));
+      if (run.stopped) {
+        std::fprintf(stderr,
+                     "epa search: stopped after %zu wave(s); state "
+                     "checkpointed to %s (finish with --resume)\n",
+                     run.waves, a.state_path.c_str());
+        return 4;
+      }
+      result = std::move(run.result);
+    } else {
+      core::OrchestratorOptions oopts;
+      oopts.workers = a.workers;
+      // Waves are at most `batch` items, so the auto grain sizes leases
+      // against the wave, not the (unbounded) generated stream.
+      oopts.lease_items =
+          a.lease_auto
+              ? auto_lease_items(sopts.batch, a.workers, plan_ms)
+              : static_cast<std::size_t>(a.lease);
+
+      const std::size_t known = source.plan().items.size();
+      std::unique_ptr<core::Transport> transport;
+      if (tcp) {
+        net::TcpTransportConfig tcfg;
+        tcfg.listen_port = a.listen_port;
+        tcfg.port_file = a.port_file;
+        tcfg.workers = a.workers;
+        auto t = std::make_unique<net::TcpTransport>(tcfg, source.plan());
+        std::fprintf(stderr,
+                     "epa search: listening on port %d; waiting for "
+                     "%d worker(s) (epa_cli worker --connect HOST:%d)\n",
+                     t->port(), a.workers, t->port());
+        transport = std::move(t);
+      } else {
+        core::LocalProcessConfig cfg;
+        cfg.epa_cli = core::LocalProcessTransport::self_exe(argv0);
+        cfg.out_dir = dir;
+        cfg.file_prefix = scenario.name;
+        cfg.scenario_file = a.scenario_file;
+        cfg.jobs = a.jobs;
+        cfg.use_world_cache = a.use_world_cache;
+        cfg.use_redzone = a.use_redzone;
+        if (a.plane == DataPlane::shm) {
+          // The arena needs a segment per lease seq up front, but search
+          // leases are cut per wave as items are generated. Bound the seq
+          // space instead of enumerating it: every lease covers at least
+          // one item and the stream is capped at the budget, so budget
+          // leases (the ctor adds the stolen-tail reserve) of the grain's
+          // span each cover the worst case.
+          const std::size_t max_lease = std::max<std::size_t>(
+              1, std::min(oopts.lease_items,
+                          std::min(sopts.batch,
+                                   std::max<std::size_t>(member_budget, 1))));
+          std::vector<core::Lease> synth;
+          for (std::size_t s = 0; s < std::max<std::size_t>(member_budget, 1);
+               ++s)
+            synth.push_back({s, 0, max_lease});
+          transport = std::make_unique<core::ShmLocalTransport>(
+              cfg, source.plan(), synth);
+        } else {
+          std::string plan_path = dir + "/" + scenario.name + ".plan.json";
+          write_file(plan_path, source.plan().to_json());
+          cfg.plan_path = plan_path;
+          transport = std::make_unique<core::LocalProcessTransport>(cfg);
+        }
+      }
+
+      core::OrchestratorStats stats;
+      result = core::orchestrate_source(source, *transport, oopts, &stats,
+                                        known);
+      std::fprintf(stderr,
+                   "epa search: %s: %zu leases across %zu worker(s) "
+                   "(%zu re-leased, %zu preempted, %zu spawned, %zu split)\n",
+                   scenario.name.c_str(), stats.leases_total,
+                   static_cast<std::size_t>(a.workers),
+                   stats.leases_released, stats.workers_preempted,
+                   stats.workers_spawned, stats.leases_split);
+    }
+    generated_items += source.plan().items.size();
+    std::fprintf(stderr,
+                 "epa search: %s: %zu item(s) in %zu wave(s), budget %zu\n",
+                 scenario.name.c_str(), source.plan().items.size(),
+                 source.waves_generated(), member_budget);
+    sweep.results.push_back(std::move(result));
+  }
+
+  // The adequacy lines ride stderr (stdout is the report, byte-compared
+  // across planes and worker counts by the determinism tests). The fired
+  // classes are listed one per line so adequacy tooling — and the CI
+  // superset check against an exhaustive drain — can consume them
+  // without parsing the report.
+  vulndb::VulnCoverage cov = vulndb::vulnerability_coverage(sweep.results);
+  std::fprintf(stderr,
+               "epa search: %zu of %zu exhaustive item(s) spent (%.1f%%), "
+               "vulnerability coverage %zu/%d EAI classes (%.1f%%)\n",
+               generated_items, exhaustive_items,
+               exhaustive_items == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(generated_items) /
+                         static_cast<double>(exhaustive_items),
+               cov.fired.size(), cov.total(), 100.0 * cov.fraction());
+  for (const auto& c : cov.fired)
+    std::fprintf(stderr, "epa search: fired %s\n", c.c_str());
+
+  if (scenarios.size() > 1) return print_sweep(sweep, a.as_json, true);
   const core::CampaignResult& r = sweep.results.front();
   std::printf("%s", (a.as_json ? core::render_json(r)
                                : core::render_report(r))
@@ -1588,7 +1943,7 @@ int main(int argc, char** argv) {
       } else if (arg == "--workers") {
         a.workers = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 1024));
       } else if (arg == "--lease") {
-        a.lease = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+        parse_lease_flag(arg, argc, argv, &i, &a.lease, &a.lease_auto);
       } else if (arg == "--jobs") {
         a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
         saw_jobs = true;
@@ -1695,6 +2050,121 @@ int main(int argc, char** argv) {
       }
     }
     return guarded([&] { return cmd_orchestrate(a, argv[0]); });
+  }
+  if (cmd == "search") {
+    SearchArgs a;
+    bool saw_budget = false, saw_listen = false, saw_port_file = false;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--budget") {
+        a.budget = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+        saw_budget = true;
+      } else if (arg == "--seed") {
+        a.seed = uint64_flag(arg, argc, argv, &i);
+      } else if (arg == "--batch") {
+        a.batch = int_flag(arg, argc, argv, &i, 1, 1LL << 20);
+      } else if (arg == "--jobs") {
+        a.jobs = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 4096));
+      } else if (arg == "--workers") {
+        a.workers = static_cast<int>(int_flag(arg, argc, argv, &i, 1, 1024));
+      } else if (arg == "--lease") {
+        parse_lease_flag(arg, argc, argv, &i, &a.lease, &a.lease_auto);
+      } else if (arg == "--data-plane") {
+        std::string v = flag_value(arg, argc, argv, &i);
+        if (v == "pipe" || v == "json")
+          a.plane = DataPlane::pipe;
+        else if (v == "shm")
+          a.plane = DataPlane::shm;
+        else if (v == "tcp")
+          a.plane = DataPlane::tcp;
+        else
+          flag_fail(arg,
+                    "value '" + v + "' is not 'pipe', 'shm', or 'tcp'");
+      } else if (arg == "--listen") {
+        a.listen_port =
+            static_cast<int>(int_flag(arg, argc, argv, &i, 0, 65535));
+        saw_listen = true;
+      } else if (arg == "--port-file") {
+        a.port_file = flag_value(arg, argc, argv, &i);
+        saw_port_file = true;
+      } else if (arg == "--state") {
+        a.state_path = flag_value(arg, argc, argv, &i);
+      } else if (arg == "--resume") {
+        a.resume = true;
+      } else if (arg == "--stop-after") {
+        a.stop_after = int_flag(arg, argc, argv, &i, 1, 1LL << 30);
+      } else if (arg == "--family") {
+        a.family = flag_value(arg, argc, argv, &i);
+      } else if (arg == "--scenario-file") {
+        a.scenario_file = flag_value(arg, argc, argv, &i);
+      } else if (arg == "--json") {
+        a.as_json = true;
+      } else if (arg == "--no-world-cache") {
+        a.use_world_cache = false;
+      } else if (arg == "--no-redzone") {
+        a.use_redzone = false;
+      } else if (arg == "--dir") {
+        a.dir = flag_value(arg, argc, argv, &i);
+      } else if (!starts_with(arg, "--") && a.scenario.empty()) {
+        a.scenario = arg;
+      } else {
+        std::fprintf(stderr, "epa: unknown option '%s'\n", arg.c_str());
+        return usage();
+      }
+    }
+    // Exactly one of <scenario> / --scenario-file / --family.
+    if ((a.scenario.empty() ? 0 : 1) + (a.scenario_file.empty() ? 0 : 1) +
+            (a.family.empty() ? 0 : 1) !=
+        1)
+      return usage();
+    if (!saw_budget) {
+      std::fprintf(stderr,
+                   "epa: search needs --budget N (the total number of "
+                   "injection runs to spend)\n");
+      return 1;
+    }
+    if (a.resume && a.state_path.empty()) {
+      std::fprintf(stderr, "epa: --resume needs --state FILE\n");
+      return 1;
+    }
+    if (!a.family.empty() && (!a.state_path.empty() || a.stop_after > 0)) {
+      // A family search interleaves members through one scorer; a
+      // checkpoint of member N alone could not reproduce that state.
+      std::fprintf(stderr,
+                   "epa: %s works on a single scenario, not --family\n",
+                   a.state_path.empty() ? "--stop-after" : "--state");
+      return 1;
+    }
+    if (a.stop_after > 0 && a.workers > 0) {
+      std::fprintf(stderr,
+                   "epa: --stop-after drives the in-process drain; drop "
+                   "--workers (orchestrated searches checkpoint at every "
+                   "wave barrier anyway)\n");
+      return 1;
+    }
+    if (a.stop_after > 0 && a.state_path.empty()) {
+      std::fprintf(stderr,
+                   "epa: --stop-after needs --state FILE (stopping without "
+                   "a checkpoint would just discard the waves)\n");
+      return 1;
+    }
+    if (a.plane == DataPlane::tcp) {
+      if (a.workers == 0) {
+        std::fprintf(stderr, "epa: --data-plane tcp needs --workers N\n");
+        return 1;
+      }
+      if (!a.family.empty()) {
+        std::fprintf(stderr,
+                     "epa: --family needs the pipe or shm data plane (a tcp "
+                     "fleet parses one plan at connect time)\n");
+        return 1;
+      }
+    } else if (saw_listen || saw_port_file) {
+      std::fprintf(stderr, "epa: %s needs --data-plane tcp\n",
+                   saw_listen ? "--listen" : "--port-file");
+      return 1;
+    }
+    return guarded([&] { return cmd_search(a, argv[0]); });
   }
   if (cmd == "merge") {
     std::string plan_path;

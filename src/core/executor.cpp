@@ -10,6 +10,7 @@
 #include "core/injector.hpp"
 #include "core/oracle.hpp"
 #include "os/path.hpp"
+#include "util/rng.hpp"
 
 namespace ep::core {
 
@@ -228,10 +229,30 @@ InjectionOutcome Executor::run_item(const InjectionPlan& plan,
   const InteractionPoint& point = plan.point_of(item);
   const WorldSnapshot* snap =
       opts.use_world_cache ? plan.snapshot.get() : nullptr;
-  auto world = snap ? snap->instantiate() : scenario_.build();
+  // Per-worker clone arena: one TargetWorld-sized allocation reused for
+  // every cached-path run this thread drains. thread_local keeps the
+  // thread-confinement rule — no two runs ever share the storage — and
+  // the fresh-build path is untouched (build() sizes vary by scenario).
+  thread_local WorldArena arena;
+  TargetWorld* world = nullptr;
+  std::unique_ptr<TargetWorld> owned;
+  if (snap && opts.pool_worlds) {
+    world = &arena.instantiate(*snap);
+  } else {
+    owned = snap ? snap->instantiate() : scenario_.build();
+    world = owned.get();
+  }
   world->kernel.set_redzone_audit(opts.use_redzone);
+  // The perturbation parameter (search-generated items): a nonzero param
+  // deterministically mutates the hints this run injects with — the
+  // outcome stays a pure function of (point, fault, param).
+  ScenarioHints hints = scenario_.hints;
+  if (item.param != 0) {
+    Rng prng(item.param);
+    hints.long_length = std::size_t(16) << prng.below(10);
+  }
   auto injector = std::make_shared<Injector>(*world, point.site, item.fault,
-                                             scenario_.hints);
+                                             hints);
   auto oracle = std::make_shared<SecurityOracle>(scenario_.policy);
   world->kernel.add_interposer(injector);
   world->kernel.add_interposer(oracle);

@@ -44,31 +44,51 @@ std::vector<Lease> lease_partition(std::size_t plan_items,
 CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
                            const OrchestratorOptions& opts,
                            OrchestratorStats* stats) {
+  // The exhaustive path as one client of the WorkSource seam: a single
+  // wave covering the whole fixed plan, partitioned exactly like
+  // lease_partition(). known_items = the full plan, so FEEDBACK is never
+  // sent and the scheduling (and merged bytes) are the pre-seam ones.
+  PlanWorkSource source(plan);
+  return orchestrate_source(source, transport, opts, stats,
+                            plan.items.size());
+}
+
+CampaignResult orchestrate_source(WorkSource& source, Transport& transport,
+                                  const OrchestratorOptions& opts,
+                                  OrchestratorStats* stats,
+                                  std::size_t known_items) {
   OrchestratorStats local_stats;
   OrchestratorStats& st = stats ? *stats : local_stats;
   st = {};
   if (opts.workers < 1)
     throw OrchestratorError("orchestrate: workers must be >= 1");
   const auto workers = static_cast<std::size_t>(opts.workers);
-  const std::size_t n = plan.items.size();
-  if (n == 0) return result_skeleton(plan);  // nothing to lease out
 
   std::function<long long()> now =
       opts.now_ms ? opts.now_ms : std::function<long long()>(steady_now_ms);
 
-  // The fixed lease partition (lease_partition — shared with transports
-  // that pre-size per-lease resources): contiguous ranges, ascending.
-  // Scheduling is dynamic; the partition mutates only through work
-  // stealing, which carves a tail off one lease into a fresh one — the
-  // set stays a disjoint cover of [0, n), so the merged output is the
-  // single-process bytes regardless of who drained what.
-  std::vector<Lease> partition = lease_partition(n, opts);
-  std::deque<Lease> pending(partition.begin(), partition.end());
-  st.leases_total = pending.size();
-  std::size_t next_seq = partition.size();  // stolen leases get fresh seqs
-  const std::size_t respawn_budget =
-      opts.max_respawns ? opts.max_respawns
-                        : st.leases_total + 2 * workers;
+  // Checkpoint-replayed reports (search --resume): waves already drained
+  // in a previous run, owed to the final merge but never re-executed.
+  std::vector<ShardReport> reports;
+  std::vector<std::string> labels;
+  for (ShardReport& r : source.take_replayed_reports()) {
+    reports.push_back(std::move(r));
+    labels.emplace_back("resumed checkpoint");
+  }
+
+  std::pair<std::size_t, std::size_t> wave = source.next_wave();
+  if (wave.first == wave.second && reports.empty())
+    return result_skeleton(source.plan());  // nothing to lease out
+
+  // Leases across all waves share one seq space: each wave's partition
+  // takes the next positions in grant order and stolen tails take fresh
+  // seqs, so a seq names the same id range for the whole campaign. The
+  // split budget (kMaxLeaseSplits) is likewise campaign-global — it is
+  // what transports pre-allocated for.
+  std::deque<Lease> pending;
+  std::size_t next_seq = 0;
+  std::size_t splits_used = 0;
+  std::size_t respawns_used = 0;
 
   struct Slot {
     bool live = false;
@@ -76,32 +96,23 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
     bool steal_pending = false;  // STEAL sent, YIELD (or DONE) awaited
     Lease lease;                 // valid while busy
     long long last_heard = 0;    // grant or any event; the deadman input
+    std::size_t known = 0;       // plan items this worker has been shipped
   };
   std::map<std::size_t, Slot> slots;
   std::size_t live = 0;
   auto spawn_one = [&]() -> bool {
     std::optional<std::size_t> w = transport.spawn();
     if (!w) return false;
-    if (!slots.emplace(*w, Slot{true, false, false, {}, now()}).second)
+    // A fresh worker (re)reads the plan the transport serialized at
+    // construction — known_items items — no matter which wave it joins.
+    if (!slots.emplace(*w, Slot{true, false, false, {}, now(), known_items})
+             .second)
       throw OrchestratorError("orchestrate: transport reused worker id " +
                               std::to_string(*w));
     ++st.workers_spawned;
     ++live;
     return true;
   };
-  // Spawn against the item count, not the lease count: a one-lease plan
-  // still wants idle workers around, because work stealing can split
-  // that lease across them.
-  for (std::size_t i = 0; i < std::min(workers, n); ++i)
-    if (!spawn_one()) break;
-  if (live == 0)
-    throw OrchestratorError(
-        "orchestrate: transport produced no workers (is the fleet "
-        "connected?)");
-
-  std::vector<ShardReport> reports;
-  std::vector<std::string> labels;
-  std::size_t respawns_used = 0;
 
   auto busy_count = [&] {
     std::size_t c = 0;
@@ -113,9 +124,12 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
   // Refill the fleet while there is more work than live workers can
   // hold, within the respawn budget. Budget exhausted (or no worker
   // available) with none left is fatal; with some left, the fleet just
-  // runs smaller.
+  // runs smaller. The auto budget tracks leases dealt so far, which for
+  // the single-wave exhaustive path is the classic partition size.
   auto refill = [&] {
     const std::size_t remaining = pending.size() + busy_count();
+    const std::size_t respawn_budget =
+        opts.max_respawns ? opts.max_respawns : st.leases_total + 2 * workers;
     while (live < std::min(workers, remaining)) {
       if (respawns_used >= respawn_budget) {
         if (live == 0)
@@ -138,6 +152,8 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
       ++respawns_used;
     }
   };
+
+  bool fleet_spawned = false;
 
   // A busy worker heard from too long ago is dead to us: kill it through
   // the transport (no further events), take its lease back, and let
@@ -179,129 +195,180 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
     return static_cast<long>(earliest);
   };
 
-  while (!pending.empty() || busy_count() > 0) {
-    if (reap_expired()) {
+  while (wave.first != wave.second) {
+    // Partition this wave into leases with lease_partition()'s grain
+    // rule applied to the wave size — identical ranges (and seqs) to
+    // the classic partition for the single full-plan wave. pending is
+    // empty here: the previous wave's barrier collected every lease.
+    {
+      const std::size_t wave_items = wave.second - wave.first;
+      std::size_t lease_items = opts.lease_items;
+      if (lease_items == 0)
+        lease_items = std::max<std::size_t>(1, wave_items / (workers * 4));
+      for (std::size_t b = wave.first; b < wave.second; b += lease_items) {
+        pending.push_back(
+            {next_seq++, b, std::min(b + lease_items, wave.second)});
+        ++st.leases_total;
+      }
+    }
+
+    if (!fleet_spawned) {
+      // Spawn against the item count, not the lease count: a one-lease
+      // wave still wants idle workers around, because work stealing can
+      // split that lease across them.
+      const std::size_t first_wave_items = wave.second - wave.first;
+      for (std::size_t i = 0; i < std::min(workers, first_wave_items); ++i)
+        if (!spawn_one()) break;
+      if (live == 0)
+        throw OrchestratorError(
+            "orchestrate: transport produced no workers (is the fleet "
+            "connected?)");
+      fleet_spawned = true;
+    } else {
       refill();
-      continue;
     }
 
-    // Keep every idle live worker fed before blocking for events.
-    for (auto& [w, slot] : slots) {
-      if (pending.empty()) break;
-      if (!slot.live || slot.busy) continue;
-      slot.busy = true;
-      slot.lease = pending.front();
-      pending.pop_front();
+    while (!pending.empty() || busy_count() > 0) {
+      if (reap_expired()) {
+        refill();
+        continue;
+      }
+
+      // Keep every idle live worker fed before blocking for events.
+      for (auto& [w, slot] : slots) {
+        if (pending.empty()) break;
+        if (!slot.live || slot.busy) continue;
+        slot.busy = true;
+        slot.lease = pending.front();
+        pending.pop_front();
+        slot.last_heard = now();
+        ++st.leases_granted;
+        // Ship any plan items this worker has never seen before granting a
+        // lease that reaches into them. Never fires on the exhaustive path
+        // (known == the whole plan).
+        if (slot.known < slot.lease.end) {
+          transport.feedback(w, source.plan(), slot.known,
+                             source.plan().items.size());
+          slot.known = source.plan().items.size();
+        }
+        transport.submit(w, slot.lease);
+      }
+
+      // Work stealing: nothing left to grant but idle workers exist, so
+      // ask stragglers to yield the undrained tails of their leases — one
+      // outstanding STEAL per busy worker, at most one per idle worker,
+      // bounded by the split budget transports pre-allocated for.
+      if (pending.empty()) {
+        std::size_t idle = 0, outstanding = 0;
+        for (auto& [w, slot] : slots) {
+          if (!slot.live) continue;
+          if (!slot.busy) ++idle;
+          else if (slot.steal_pending) ++outstanding;
+        }
+        for (auto& [w, slot] : slots) {
+          if (idle <= outstanding) break;
+          if (splits_used + outstanding >= kMaxLeaseSplits) break;
+          if (!slot.live || !slot.busy || slot.steal_pending) continue;
+          if (slot.lease.end - slot.lease.begin < 2) continue;
+          transport.steal(w);
+          slot.steal_pending = true;
+          ++outstanding;
+        }
+      }
+
+      std::optional<WorkerEvent> maybe = transport.wait_any(poll_timeout());
+      if (!maybe) continue;  // timed out: the top of the loop reaps
+      WorkerEvent ev = std::move(*maybe);
+      auto it = slots.find(ev.worker);
+      if (it == slots.end() || !it->second.live)
+        throw OrchestratorError("orchestrate: event from unknown worker " +
+                                std::to_string(ev.worker));
+      Slot& slot = it->second;
       slot.last_heard = now();
-      ++st.leases_granted;
-      transport.submit(w, slot.lease);
-    }
 
-    // Work stealing: nothing left to grant but idle workers exist, so
-    // ask stragglers to yield the undrained tails of their leases — one
-    // outstanding STEAL per busy worker, at most one per idle worker,
-    // bounded by the split budget transports pre-allocated for.
-    if (pending.empty()) {
-      std::size_t idle = 0, outstanding = 0;
-      for (auto& [w, slot] : slots) {
-        if (!slot.live) continue;
-        if (!slot.busy) ++idle;
-        else if (slot.steal_pending) ++outstanding;
+      if (ev.kind == WorkerEvent::Kind::heartbeat) continue;
+
+      if (ev.kind == WorkerEvent::Kind::lease_yielded) {
+        if (!slot.busy || !slot.steal_pending ||
+            slot.lease.seq != ev.lease.seq ||
+            ev.yield_mid <= slot.lease.begin ||
+            ev.yield_mid >= slot.lease.end)
+          throw OrchestratorError(
+              "orchestrate: worker " + std::to_string(ev.worker) +
+              " yielded a range it was not asked to steal from");
+        // The straggler keeps [begin, mid); the tail becomes a brand-new
+        // lease at the front of the queue, which the feeding pass above
+        // hands to an idle worker next iteration.
+        Lease stolen{next_seq++, ev.yield_mid, slot.lease.end};
+        slot.lease.end = ev.yield_mid;
+        slot.steal_pending = false;
+        pending.push_front(stolen);
+        ++splits_used;
+        ++st.leases_split;
+        continue;
       }
-      const std::size_t splits_used = next_seq - partition.size();
-      for (auto& [w, slot] : slots) {
-        if (idle <= outstanding) break;
-        if (splits_used + outstanding >= kMaxLeaseSplits) break;
-        if (!slot.live || !slot.busy || slot.steal_pending) continue;
-        if (slot.lease.end - slot.lease.begin < 2) continue;
-        transport.steal(w);
-        slot.steal_pending = true;
-        ++outstanding;
+
+      if (ev.kind == WorkerEvent::Kind::lease_done) {
+        if (!slot.busy || slot.lease.seq != ev.lease.seq ||
+            slot.lease.begin != ev.lease.begin ||
+            slot.lease.end != ev.lease.end)
+          throw OrchestratorError(
+              "orchestrate: worker " + std::to_string(ev.worker) +
+              " reported a lease it was not granted");
+        // Light shape check here; the merge re-validates everything. A
+        // report that is not the lease it claims means a broken worker,
+        // and failing now names it.
+        const ShardReport& r = ev.report;
+        if (!r.leased || !r.complete ||
+            r.assigned_ids.size() != ev.lease.end - ev.lease.begin ||
+            (!r.assigned_ids.empty() &&
+             (r.assigned_ids.front() != ev.lease.begin ||
+              r.assigned_ids.back() + 1 != ev.lease.end)))
+          throw OrchestratorError(
+              "orchestrate: worker " + std::to_string(ev.worker) +
+              "'s report does not match lease [" +
+              std::to_string(ev.lease.begin) + ", " +
+              std::to_string(ev.lease.end) + ")" +
+              (ev.label.empty() ? "" : " (" + ev.label + ")"));
+        // Feedback: the source scores this wave's outcomes before it
+        // generates the next wave (a no-op for the exhaustive path).
+        source.absorb(ev.report);
+        reports.push_back(std::move(ev.report));
+        labels.push_back(std::move(ev.label));
+        slot.busy = false;
+        slot.steal_pending = false;
+        continue;
       }
-    }
 
-    std::optional<WorkerEvent> maybe = transport.wait_any(poll_timeout());
-    if (!maybe) continue;  // timed out: the top of the loop reaps
-    WorkerEvent ev = std::move(*maybe);
-    auto it = slots.find(ev.worker);
-    if (it == slots.end() || !it->second.live)
-      throw OrchestratorError("orchestrate: event from unknown worker " +
-                              std::to_string(ev.worker));
-    Slot& slot = it->second;
-    slot.last_heard = now();
-
-    if (ev.kind == WorkerEvent::Kind::heartbeat) continue;
-
-    if (ev.kind == WorkerEvent::Kind::lease_yielded) {
-      if (!slot.busy || !slot.steal_pending ||
-          slot.lease.seq != ev.lease.seq ||
-          ev.yield_mid <= slot.lease.begin ||
-          ev.yield_mid >= slot.lease.end)
-        throw OrchestratorError(
-            "orchestrate: worker " + std::to_string(ev.worker) +
-            " yielded a range it was not asked to steal from");
-      // The straggler keeps [begin, mid); the tail becomes a brand-new
-      // lease at the front of the queue, which the feeding pass above
-      // hands to an idle worker next iteration.
-      Lease stolen{next_seq++, ev.yield_mid, slot.lease.end};
-      slot.lease.end = ev.yield_mid;
+      // Worker gone. Its unfinished lease (if any) goes back to the front
+      // of the queue — finish what was started before opening new ranges.
+      slot.live = false;
+      --live;
       slot.steal_pending = false;
-      pending.push_front(stolen);
-      ++st.leases_split;
-      continue;
-    }
-
-    if (ev.kind == WorkerEvent::Kind::lease_done) {
-      if (!slot.busy || slot.lease.seq != ev.lease.seq ||
-          slot.lease.begin != ev.lease.begin ||
-          slot.lease.end != ev.lease.end)
+      if (slot.busy) {
+        pending.push_front(slot.lease);
+        slot.busy = false;
+        ++st.leases_released;
+      }
+      if (ev.kind == WorkerEvent::Kind::died)
+        throw OrchestratorError("orchestrate: worker " +
+                                std::to_string(ev.worker) + " failed (" +
+                                describe_exit(ev) +
+                                "); a deterministic failure would only "
+                                "repeat, not re-leasing");
+      if (ev.kind == WorkerEvent::Kind::exited)
         throw OrchestratorError(
             "orchestrate: worker " + std::to_string(ev.worker) +
-            " reported a lease it was not granted");
-      // Light shape check here; the merge re-validates everything. A
-      // report that is not the lease it claims means a broken worker,
-      // and failing now names it.
-      const ShardReport& r = ev.report;
-      if (!r.leased || !r.complete ||
-          r.assigned_ids.size() != ev.lease.end - ev.lease.begin ||
-          (!r.assigned_ids.empty() &&
-           (r.assigned_ids.front() != ev.lease.begin ||
-            r.assigned_ids.back() + 1 != ev.lease.end)))
-        throw OrchestratorError(
-            "orchestrate: worker " + std::to_string(ev.worker) +
-            "'s report does not match lease [" +
-            std::to_string(ev.lease.begin) + ", " +
-            std::to_string(ev.lease.end) + ")" +
-            (ev.label.empty() ? "" : " (" + ev.label + ")"));
-      reports.push_back(std::move(ev.report));
-      labels.push_back(std::move(ev.label));
-      slot.busy = false;
-      slot.steal_pending = false;
-      continue;
+            " exited cleanly with work outstanding — protocol violation");
+      ++st.workers_preempted;
+      refill();
     }
 
-    // Worker gone. Its unfinished lease (if any) goes back to the front
-    // of the queue — finish what was started before opening new ranges.
-    slot.live = false;
-    --live;
-    slot.steal_pending = false;
-    if (slot.busy) {
-      pending.push_front(slot.lease);
-      slot.busy = false;
-      ++st.leases_released;
-    }
-    if (ev.kind == WorkerEvent::Kind::died)
-      throw OrchestratorError("orchestrate: worker " +
-                              std::to_string(ev.worker) + " failed (" +
-                              describe_exit(ev) +
-                              "); a deterministic failure would only "
-                              "repeat, not re-leasing");
-    if (ev.kind == WorkerEvent::Kind::exited)
-      throw OrchestratorError(
-          "orchestrate: worker " + std::to_string(ev.worker) +
-          " exited cleanly with work outstanding — protocol violation");
-    ++st.workers_preempted;
-    refill();
+    // Wave barrier: every lease of this wave is collected and absorbed;
+    // only now may the source decide the next wave, so generation sees
+    // a deterministic (stable-id-ordered) view of all prior outcomes
+    // regardless of lease scheduling.
+    wave = source.next_wave();
   }
 
   // All leases collected: release the fleet and reap every exit. A
@@ -337,7 +404,14 @@ CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
     }
   }
 
-  return merge_shard_reports(plan, reports, labels);
+  // Reports from earlier waves (and resumed checkpoints) were written
+  // against a shorter plan; the drain grew it. Their leases and
+  // outcomes are unchanged — rebase the plan_items header on the final
+  // size so the merge's consistency checks see one plan. A no-op for
+  // the exhaustive path (every report already carries the full size).
+  const std::size_t n = source.plan().items.size();
+  for (ShardReport& r : reports) r.plan_items = n;
+  return merge_shard_reports(source.plan(), reports, labels);
 }
 
 }  // namespace ep::core

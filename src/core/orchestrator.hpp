@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "core/wire.hpp"
+#include "core/work_source.hpp"
 
 namespace ep::core {
 
@@ -112,6 +113,22 @@ class Transport {
   /// its next checkpoint boundary. Best-effort: a worker that finishes
   /// first just sends its DONE and the steal is moot. Default: no-op.
   virtual void steal(std::size_t worker) { (void)worker; }
+  /// Ship search-generated work items plan.items[begin, end) to `worker`
+  /// before a lease over them is submitted (the FEEDBACK protocol line):
+  /// a growing-plan source appends items the worker's serialized plan
+  /// copy predates, and the worker appends them to its local plan by the
+  /// same stable ids. Only search drains call this; transports that
+  /// predate the search plane inherit the throwing default.
+  virtual void feedback(std::size_t worker, const InjectionPlan& plan,
+                        std::size_t begin, std::size_t end) {
+    (void)worker;
+    (void)plan;
+    (void)begin;
+    (void)end;
+    throw OrchestratorError(
+        "orchestrate: this transport does not support search feedback "
+        "(FEEDBACK is worker protocol v3)");
+  }
   /// Block until any worker produces an event, or `timeout_ms`
   /// milliseconds pass (nullopt — the deadman's polling edge).
   /// timeout_ms < 0 blocks indefinitely. Calling with no live workers is
@@ -187,5 +204,23 @@ struct OrchestratorStats {
 CampaignResult orchestrate(const InjectionPlan& plan, Transport& transport,
                            const OrchestratorOptions& opts = {},
                            OrchestratorStats* stats = nullptr);
+
+/// The generalized drain behind orchestrate(): lease out a WorkSource's
+/// item stream wave by wave. Each wave is partitioned into leases with
+/// the same grain rule as lease_partition() (applied to the wave size),
+/// drained by the persistent fleet, and absorbed back into the source
+/// before the next wave is generated — the feedback loop that drives
+/// coverage-guided search. Workers that predate appended items get them
+/// via Transport::feedback before their lease is submitted;
+/// `known_items` says how many plan items the workers' serialized plan
+/// copies already carry (orchestrate() passes the full plan size, so
+/// the exhaustive path never sends FEEDBACK and stays byte-identical).
+/// The final result merges every wave's lease reports — plus any
+/// checkpoint-replayed reports the source carries — exactly like
+/// orchestrate() merges its single wave.
+CampaignResult orchestrate_source(WorkSource& source, Transport& transport,
+                                  const OrchestratorOptions& opts,
+                                  OrchestratorStats* stats,
+                                  std::size_t known_items);
 
 }  // namespace ep::core

@@ -78,7 +78,12 @@ std::string InjectionPlan::to_json() const {
            ", \"site\": " + json_quote(p.site.tag) +
            ", \"kind\": " +
            json_quote(std::string(to_string(w.fault.kind))) +
-           ", \"fault\": " + json_quote(w.fault.name()) + "}";
+           ", \"fault\": " + json_quote(w.fault.name());
+    // Only search-generated items carry a nonzero perturbation
+    // parameter; exhaustive plans stay byte-identical to pre-param
+    // builds by omitting the field when it is zero.
+    if (w.param != 0) out += ", \"param\": " + std::to_string(w.param);
+    out += "}";
     out += i + 1 < items.size() ? ",\n" : "\n";
   }
   out += "  ]\n}\n";

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -30,10 +31,15 @@ namespace ep::core {
 inline constexpr int kPlanSchemaVersion = 2;
 
 /// One (interaction point, fault) pair: exactly one rebuild-and-rerun
-/// cycle of procedure steps 4-8.
+/// cycle of procedure steps 4-8. `param` is the perturbation parameter:
+/// 0 means the scenario's stock hints (every exhaustive-plan item), any
+/// other value seeds a deterministic hint mutation before the run (the
+/// search layer's third mutation axis — see core/search.hpp). The
+/// outcome of an item is a pure function of (point, fault, param).
 struct WorkItem {
   std::size_t point_index = 0;  // into InjectionPlan::points
   FaultRef fault;
+  std::uint64_t param = 0;
 };
 
 /// The planner's output: everything an executor needs to run the campaign,

@@ -110,6 +110,11 @@ bool parse_protocol_line(const std::string& line, ProtocolMsg* out) {
     if (!sc.space() || !sc.size(&msg.begin) || !sc.space() ||
         !sc.size(&msg.end) || !sc.space() || !sc.token_to_end(&msg.target))
       return false;
+  } else if (sc.literal("FEEDBACK")) {
+    msg.type = ProtocolMsg::Type::feedback;
+    if (!sc.space() || !sc.size(&msg.begin) || !sc.space() ||
+        !sc.size(&msg.end) || !sc.space() || !sc.token_to_end(&msg.target))
+      return false;
   } else if (sc.literal("STEAL")) {
     msg.type = ProtocolMsg::Type::steal;
     if (!sc.at_end()) return false;
@@ -153,6 +158,12 @@ std::string format_lease(std::size_t begin, std::size_t end,
          " " + target;
 }
 
+std::string format_feedback(std::size_t begin, std::size_t end,
+                            const std::string& spec) {
+  return "FEEDBACK " + std::to_string(begin) + " " + std::to_string(end) +
+         " " + spec;
+}
+
 std::string format_steal() { return "STEAL"; }
 
 std::string format_exit() { return "EXIT"; }
@@ -173,6 +184,8 @@ std::string format_protocol_msg(const ProtocolMsg& msg) {
       return format_bye(msg.status);
     case ProtocolMsg::Type::lease:
       return format_lease(msg.begin, msg.end, msg.target);
+    case ProtocolMsg::Type::feedback:
+      return format_feedback(msg.begin, msg.end, msg.target);
     case ProtocolMsg::Type::steal:
       return format_steal();
     case ProtocolMsg::Type::exit_cmd:

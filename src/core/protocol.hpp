@@ -10,7 +10,8 @@
 // terminated line; over tcp the same line rides as one length-prefixed
 // frame — the bytes between the delimiters are identical.
 //
-// Version 2 grammar (version 1 had no HELLO/PING/STEAL/YIELD/BYE):
+// Version 3 grammar (version 1 had no HELLO/PING/STEAL/YIELD/BYE;
+// version 3 adds FEEDBACK, the search-plane item append):
 //
 //   worker -> coordinator
 //     HELLO <version>                 first message a worker ever sends
@@ -26,6 +27,12 @@
 //     LEASE <begin> <end> <target>    target: report path, @<seq> arena
 //                                     segment, or `-` (report returns as
 //                                     a tcp frame)
+//     FEEDBACK <begin> <end> <spec>   append search-generated work items
+//                                     [begin, end) to the worker's plan
+//                                     before their lease arrives; <spec>
+//                                     is one space-free token of comma-
+//                                     separated point:kind:fault:param
+//                                     entries (kind is `i` or `d`)
 //     STEAL                           yield the undrained tail of the
 //                                     current lease at the next checkpoint
 //     EXIT                            finish up and exit 0
@@ -43,7 +50,7 @@ namespace ep::core {
 /// The control-protocol version this build speaks. Bumped whenever the
 /// grammar above changes incompatibly; the HELLO handshake enforces
 /// agreement before any lease is granted.
-inline constexpr long long kWorkerProtocolVersion = 2;
+inline constexpr long long kWorkerProtocolVersion = 3;
 
 /// One parsed protocol message, either direction.
 struct ProtocolMsg {
@@ -54,14 +61,15 @@ struct ProtocolMsg {
     done,   ///< begin, end [+ offset/length when has_handoff]
     bye,    ///< status
     lease,  ///< begin, end, target
+    feedback,  ///< begin, end, target = the item spec token
     steal,
     exit_cmd,
   };
   Type type = Type::ping;
   long long version = 0;        // hello
-  std::size_t begin = 0;        // lease, done; yield's split point
-  std::size_t end = 0;          // lease, done, yield
-  std::string target;           // lease
+  std::size_t begin = 0;        // lease, done, feedback; yield's split point
+  std::size_t end = 0;          // lease, done, yield, feedback
+  std::string target;           // lease; feedback's item spec
   bool has_handoff = false;     // done: shm (offset, length) present
   std::size_t offset = 0;       // done, shm handoff
   std::size_t length = 0;       // done, shm handoff
@@ -85,6 +93,8 @@ std::string format_done(std::size_t begin, std::size_t end,
 std::string format_bye(int status);
 std::string format_lease(std::size_t begin, std::size_t end,
                          const std::string& target);
+std::string format_feedback(std::size_t begin, std::size_t end,
+                            const std::string& spec);
 std::string format_steal();
 std::string format_exit();
 

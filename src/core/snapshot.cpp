@@ -1,5 +1,6 @@
 #include "core/snapshot.hpp"
 
+#include <new>
 #include <stdexcept>
 
 namespace ep::core {
@@ -13,6 +14,27 @@ std::shared_ptr<const WorldSnapshot> WorldSnapshot::freeze(
         "per-run and are not cloned — freeze the world before arming it");
   return std::shared_ptr<const WorldSnapshot>(
       new WorldSnapshot(std::move(prototype)));
+}
+
+WorldArena::~WorldArena() {
+  reset();
+  ::operator delete(storage_, std::align_val_t(alignof(TargetWorld)));
+}
+
+TargetWorld& WorldArena::instantiate(const WorldSnapshot& snapshot) {
+  reset();
+  if (!storage_)
+    storage_ = ::operator new(sizeof(TargetWorld),
+                              std::align_val_t(alignof(TargetWorld)));
+  world_ = snapshot.prototype().clone_into(storage_);
+  return *world_;
+}
+
+void WorldArena::reset() {
+  if (world_) {
+    world_->~TargetWorld();
+    world_ = nullptr;
+  }
 }
 
 }  // namespace ep::core

@@ -56,4 +56,36 @@ class WorldSnapshot {
   std::unique_ptr<const TargetWorld> prototype_;
 };
 
+/// A per-worker clone arena: one TargetWorld-sized allocation, reused
+/// for every run the worker drains. instantiate() destroys the previous
+/// occupant and placement-clones the prototype into the same storage —
+/// the executor hot loop pays the clone's member copies but not a heap
+/// allocation per run. A clone is storage-location-independent (the
+/// kernel is re-wired to the new storage's own substrates), so arena
+/// clones are observably identical to heap clones; the executor's
+/// bit-identical output contract holds with pooling on or off.
+///
+/// Not thread-safe: one arena per worker thread (the executor keeps one
+/// in thread_local storage). The arena owns the occupant's lifetime —
+/// destruction runs the world's destructor in place.
+class WorldArena {
+ public:
+  WorldArena() = default;
+  WorldArena(const WorldArena&) = delete;
+  WorldArena& operator=(const WorldArena&) = delete;
+  ~WorldArena();
+
+  /// Clone `snapshot`'s prototype into the arena's storage, replacing
+  /// (destroying) whatever run's world occupied it before. The returned
+  /// reference stays valid until the next instantiate()/reset().
+  TargetWorld& instantiate(const WorldSnapshot& snapshot);
+
+  /// Destroy the occupant (if any), keeping the storage for reuse.
+  void reset();
+
+ private:
+  void* storage_ = nullptr;
+  TargetWorld* world_ = nullptr;
+};
+
 }  // namespace ep::core

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <new>
 
 #include "net/network.hpp"
 #include "os/kernel.hpp"
@@ -35,6 +36,17 @@ struct TargetWorld {
   /// which enforces this.
   [[nodiscard]] std::unique_ptr<TargetWorld> clone() const {
     return std::unique_ptr<TargetWorld>(new TargetWorld(*this));
+  }
+
+  /// clone() into caller-provided storage (placement new): the
+  /// WorldArena's per-worker reuse path, which keeps the executor hot
+  /// loop from paying one heap allocation per run. `storage` must be
+  /// sizeof(TargetWorld) bytes with alignof(TargetWorld) alignment, and
+  /// the caller owns calling the destructor. The clone is observably
+  /// identical to clone() — wire() re-points the kernel at the new
+  /// storage's own substrates.
+  TargetWorld* clone_into(void* storage) const {
+    return new (storage) TargetWorld(*this);
   }
 
  private:

@@ -216,6 +216,19 @@ void LocalProcessTransport::submit(std::size_t worker, const Lease& lease) {
              format_lease(lease.begin, lease.end, p.lease_token) + "\n");
 }
 
+void LocalProcessTransport::feedback(std::size_t worker,
+                                     const InjectionPlan& plan,
+                                     std::size_t begin, std::size_t end) {
+  if (worker >= procs_.size())
+    throw OrchestratorError("feedback: unknown worker " +
+                            std::to_string(worker));
+  Proc& p = procs_[worker];
+  if (!p.alive || p.in_fd < 0) return;  // death event will follow anyway
+  write_line(p.in_fd,
+             format_feedback(begin, end, feedback_spec(plan, begin, end)) +
+                 "\n");
+}
+
 void LocalProcessTransport::steal(std::size_t worker) {
   if (worker >= procs_.size())
     throw OrchestratorError("steal: unknown worker " +

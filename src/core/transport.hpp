@@ -14,7 +14,7 @@
 // ShardReport atomically to the LEASE-named target *before* printing
 // DONE, so a DONE line always names a readable, complete report. Worker
 // stderr is inherited (progress and diagnostics pass through); stdout
-// carries protocol lines only, starting with `HELLO 2`.
+// carries protocol lines only, starting with `HELLO 3`.
 //
 // Exit statuses mirror run-shard: 0 clean, 1 failure, 4 preempted
 // (SIGTERM — the worker finishes its in-flight lease, then refuses the
@@ -93,6 +93,12 @@ class LocalProcessTransport : public Transport {
   std::optional<std::size_t> spawn() override;
   void submit(std::size_t worker, const Lease& lease) override;
   void steal(std::size_t worker) override;
+  /// FEEDBACK line down the worker's stdin — the search plane's item
+  /// append. Shared by the pipe and shm data planes (both drive workers
+  /// over stdin); the item spec rides as one token (wire.hpp's
+  /// feedback_spec()).
+  void feedback(std::size_t worker, const InjectionPlan& plan,
+                std::size_t begin, std::size_t end) override;
   std::optional<WorkerEvent> wait_any(long timeout_ms) override;
   void shutdown(std::size_t worker) override;
   /// SIGKILL + reap, immediately — the deadman's path for a worker that

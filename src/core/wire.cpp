@@ -417,15 +417,59 @@ void parse_shard_outcomes_v2(const JsonValue& doc, ShardReport& report) {
   if (!cols.is_object())
     fail("shard report",
          "outcomes must be an object of column arrays (schema_version 2)");
+  report.outcomes = wire_detail::outcomes_from_columns(
+      cols, report.item_ids.size(), "shard report");
+}
+
+}  // namespace
+
+namespace wire_detail {
+
+std::string outcome_columns_json(const std::vector<InjectionOutcome>& outcomes,
+                                 const std::string& indent) {
+  std::string out;
+  const std::size_t n = outcomes.size();
+  auto col = [&](const char* name, auto cell, bool last = false) {
+    out += indent + "\"" + std::string(name) + "\": [";
+    for (std::size_t i = 0; i < n; ++i)
+      out += (i ? ", " : "") + cell(outcomes[i]);
+    out += last ? "]\n" : "],\n";
+  };
+  col("fired", [](const InjectionOutcome& o) {
+    return std::string(o.fired ? "true" : "false");
+  });
+  col("crashed", [](const InjectionOutcome& o) {
+    return std::string(o.crashed ? "true" : "false");
+  });
+  col("overflows",
+      [](const InjectionOutcome& o) { return std::to_string(o.overflows); });
+  col("exit_code",
+      [](const InjectionOutcome& o) { return std::to_string(o.exit_code); });
+  col("violations", [](const InjectionOutcome& o) {
+    std::string cell = "[";
+    for (std::size_t v = 0; v < o.violations.size(); ++v)
+      cell += std::string(v ? ", " : "") + json_violation(o.violations[v]);
+    return cell + "]";
+  });
+  col("exploit",
+      [](const InjectionOutcome& o) {
+        return o.violated ? json_exploit(o.exploit) : std::string("null");
+      },
+      /*last=*/true);
+  return out;
+}
+
+std::vector<InjectionOutcome> outcomes_from_columns(const JsonValue& cols,
+                                                    std::size_t n,
+                                                    const std::string& ctx) {
   auto column = [&](const char* name) -> const std::vector<JsonValue>& {
     const auto& items =
-        with_ctx("shard report: outcomes." + std::string(name),
+        with_ctx(ctx + ": outcomes." + std::string(name),
                  [&]() -> decltype(auto) { return cols.at(name).items(); });
-    if (items.size() != report.item_ids.size())
-      fail("shard report",
-           "outcomes." + std::string(name) + " has " +
-               std::to_string(items.size()) + " entries for " +
-               std::to_string(report.item_ids.size()) + " completed ids");
+    if (items.size() != n)
+      fail(ctx, "outcomes." + std::string(name) + " has " +
+                    std::to_string(items.size()) + " entries for " +
+                    std::to_string(n) + " completed ids");
     return items;
   };
   const auto& fired = column("fired");
@@ -435,8 +479,10 @@ void parse_shard_outcomes_v2(const JsonValue& doc, ShardReport& report) {
   const auto& violations = column("violations");
   const auto& exploit = column("exploit");
 
-  for (std::size_t i = 0; i < report.item_ids.size(); ++i) {
-    std::string where = "shard report: outcomes[" + std::to_string(i) + "]";
+  std::vector<InjectionOutcome> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string where = ctx + ": outcomes[" + std::to_string(i) + "]";
     with_ctx(where, [&] {
       InjectionOutcome o;
       o.fired = fired[i].as_bool();
@@ -461,12 +507,13 @@ void parse_shard_outcomes_v2(const JsonValue& doc, ShardReport& report) {
         o.exploit.actor = e.at("actor").as_string();
         o.exploit.note = e.at("note").as_string();
       }
-      report.outcomes.push_back(std::move(o));
+      out.push_back(std::move(o));
     });
   }
+  return out;
 }
 
-}  // namespace
+}  // namespace wire_detail
 
 InjectionPlan plan_from_json(const std::string& text) {
   JsonValue doc = parse_document(text, "plan");
@@ -540,9 +587,19 @@ InjectionPlan plan_from_json(const std::string& text) {
         throw WireError("site '" + site + "' does not match point " +
                         std::to_string(point) + "'s site '" + tag + "'");
       FaultKind kind = fault_kind_from(w.at("kind").as_string());
-      plan.items.push_back(
-          {static_cast<std::size_t>(point),
-           wire_detail::parse_fault(kind, w.at("fault").as_string())});
+      WorkItem item{static_cast<std::size_t>(point),
+                    wire_detail::parse_fault(kind, w.at("fault").as_string())};
+      // Optional perturbation parameter (search-generated items only);
+      // absent means 0, and the serializer omits 0, so exhaustive plans
+      // round-trip byte-identically.
+      if (const JsonValue* param = w.find("param")) {
+        long long v = param->as_int();
+        if (v <= 0)
+          throw WireError("param " + std::to_string(v) +
+                          " must be a positive integer when present");
+        item.param = static_cast<std::uint64_t>(v);
+      }
+      plan.items.push_back(item);
     });
   }
   return plan;
@@ -566,6 +623,99 @@ std::vector<std::size_t> shard_item_ids(std::size_t total_items,
   for (std::size_t i = shard_index; i < total_items; i += shard_count)
     ids.push_back(i);
   return ids;
+}
+
+std::string feedback_spec(const InjectionPlan& plan, std::size_t begin,
+                          std::size_t end) {
+  if (begin >= end || end > plan.items.size())
+    throw WireError("feedback range [" + std::to_string(begin) + ", " +
+                    std::to_string(end) + ") does not fit the plan (" +
+                    std::to_string(plan.items.size()) + " items)");
+  std::string out;
+  for (std::size_t i = begin; i < end; ++i) {
+    const WorkItem& w = plan.items[i];
+    if (i != begin) out += ',';
+    out += std::to_string(w.point_index);
+    out += w.fault.kind == FaultKind::indirect ? ":i:" : ":d:";
+    out += w.fault.name();
+    out += ':';
+    out += std::to_string(w.param);
+  }
+  return out;
+}
+
+namespace {
+
+/// Strict non-negative decimal for feedback-spec fields: digits only, no
+/// sign, no prefix, capped at long long max so every value survives a
+/// JSON round trip (plan params serialize through as_int()).
+unsigned long long parse_spec_number(const std::string& field,
+                                     const char* what) {
+  if (field.empty())
+    throw WireError(std::string("feedback spec: empty ") + what + " field");
+  unsigned long long v = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9')
+      throw WireError(std::string("feedback spec: ") + what + " '" + field +
+                      "' is not a plain decimal number");
+    unsigned long long digit = static_cast<unsigned long long>(c - '0');
+    if (v > (static_cast<unsigned long long>(LLONG_MAX) - digit) / 10)
+      throw WireError(std::string("feedback spec: ") + what + " '" + field +
+                      "' does not fit a 64-bit signed integer");
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<WorkItem> parse_feedback_spec(const std::string& spec,
+                                          std::size_t point_count) {
+  if (spec.empty()) throw WireError("feedback spec is empty");
+  std::vector<WorkItem> items;
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t comma = spec.find(',', pos);
+    std::string entry = comma == std::string::npos
+                            ? spec.substr(pos)
+                            : spec.substr(pos, comma - pos);
+    // point:kind:fault:param — exactly four ':'-separated fields.
+    std::vector<std::string> fields;
+    std::size_t fpos = 0;
+    for (;;) {
+      std::size_t colon = entry.find(':', fpos);
+      if (colon == std::string::npos) {
+        fields.push_back(entry.substr(fpos));
+        break;
+      }
+      fields.push_back(entry.substr(fpos, colon - fpos));
+      fpos = colon + 1;
+    }
+    if (fields.size() != 4)
+      throw WireError("feedback spec entry '" + entry +
+                      "' is not point:kind:fault:param");
+    WorkItem item;
+    unsigned long long point = parse_spec_number(fields[0], "point");
+    if (point >= point_count)
+      throw WireError("feedback spec: point index " + fields[0] +
+                      " out of range (plan has " +
+                      std::to_string(point_count) + " points)");
+    item.point_index = static_cast<std::size_t>(point);
+    FaultKind kind;
+    if (fields[1] == "i")
+      kind = FaultKind::indirect;
+    else if (fields[1] == "d")
+      kind = FaultKind::direct;
+    else
+      throw WireError("feedback spec: fault kind '" + fields[1] +
+                      "' is neither 'i' nor 'd'");
+    item.fault = wire_detail::parse_fault(kind, fields[2]);
+    item.param = parse_spec_number(fields[3], "param");
+    items.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return items;
 }
 
 std::string ShardReport::to_json() const {
@@ -596,35 +746,8 @@ std::string ShardReport::to_json() const {
     out += (i ? ", " : "") + std::to_string(item_ids[i]);
   out += "],\n";
 
-  const std::size_t n = outcomes.size();
-  auto col = [&](const char* name, auto cell, bool last = false) {
-    out += "    \"" + std::string(name) + "\": [";
-    for (std::size_t i = 0; i < n; ++i)
-      out += (i ? ", " : "") + cell(outcomes[i]);
-    out += last ? "]\n" : "],\n";
-  };
   out += "  \"outcomes\": {\n";
-  col("fired", [](const InjectionOutcome& o) {
-    return std::string(o.fired ? "true" : "false");
-  });
-  col("crashed", [](const InjectionOutcome& o) {
-    return std::string(o.crashed ? "true" : "false");
-  });
-  col("overflows",
-      [](const InjectionOutcome& o) { return std::to_string(o.overflows); });
-  col("exit_code",
-      [](const InjectionOutcome& o) { return std::to_string(o.exit_code); });
-  col("violations", [](const InjectionOutcome& o) {
-    std::string cell = "[";
-    for (std::size_t v = 0; v < o.violations.size(); ++v)
-      cell += std::string(v ? ", " : "") + json_violation(o.violations[v]);
-    return cell + "]";
-  });
-  col("exploit",
-      [](const InjectionOutcome& o) {
-        return o.violated ? json_exploit(o.exploit) : std::string("null");
-      },
-      /*last=*/true);
+  out += wire_detail::outcome_columns_json(outcomes, "    ");
   out += "  }\n}\n";
   return out;
 }

@@ -72,6 +72,24 @@ InjectionPlan plan_from_json(const std::string& text);
 /// plan is empty, or a snapshot is already attached.
 void refreeze_snapshot(InjectionPlan& plan, const Scenario& scenario);
 
+/// The FEEDBACK payload (core/protocol.hpp): plan.items[begin, end)
+/// encoded as one space-free token of comma-separated
+/// `point:kind:fault:param` entries (kind is `i` or `d`, param plain
+/// decimal — 0 for stock hints). The coordinator ships this to workers
+/// whose serialized plan copy predates search-appended items; the worker
+/// appends the parsed items under the same stable ids. Throws WireError
+/// when the range is empty or does not fit the plan.
+std::string feedback_spec(const InjectionPlan& plan, std::size_t begin,
+                          std::size_t end);
+
+/// The inverse: decode a FEEDBACK spec token back into work items,
+/// re-resolving faults against this build's catalog. `point_count` is
+/// the receiving plan's point count — entries referencing points past it
+/// are rejected (a worker can only execute items whose interaction point
+/// it already has). Throws WireError on any malformed entry.
+std::vector<WorkItem> parse_feedback_spec(const std::string& spec,
+                                          std::size_t point_count);
+
 /// The stable work-item ids shard `shard_index` (0-based) owns out of
 /// `shard_count`: { id | id % shard_count == shard_index }, ascending.
 /// Uneven divisions simply give the low-index shards one extra item.

@@ -55,6 +55,11 @@ constexpr std::uint32_t kPlanPoints = 2;
 constexpr std::uint32_t kPlanBenign = 3;
 constexpr std::uint32_t kPlanPerturbed = 4;
 constexpr std::uint32_t kPlanItems = 5;
+// Optional: one u64 perturbation parameter per item. Written only when
+// some item carries a nonzero param (search-generated plans), so
+// exhaustive plans keep their pre-param bytes — and old readers, which
+// skip unknown tags, stay compatible with param-free plans.
+constexpr std::uint32_t kPlanParams = 6;
 
 // Shard-report section tags.
 constexpr std::uint32_t kRepMeta = 1;
@@ -418,12 +423,20 @@ std::string plan_to_binary(const InjectionPlan& plan) {
 
   Writer items;
   items.u32(static_cast<std::uint32_t>(plan.items.size()));
+  bool any_param = false;
   for (const WorkItem& w : plan.items) {
     items.u32(static_cast<std::uint32_t>(w.point_index));
     items.u8(ordinal_of(kFaultKinds, w.fault.kind, "fault kind"));
     items.str(w.fault.name());
+    if (w.param != 0) any_param = true;
   }
   sections.emplace_back(kPlanItems, std::move(items.out));
+
+  if (any_param) {
+    Writer params;
+    for (const WorkItem& w : plan.items) params.u64(w.param);
+    sections.emplace_back(kPlanParams, std::move(params.out));
+  }
 
   return assemble(kKindPlan, sections);
 }
@@ -489,6 +502,29 @@ InjectionPlan plan_from_binary(const void* data, std::size_t size) {
     }
   }
   items.finish();
+
+  // The optional params column: absent means every param is 0 (the
+  // serializer omits an all-zero column), present means exactly one u64
+  // per item — and at least one nonzero, or decode -> re-encode would
+  // drop the section and break canonicality.
+  if (const Section* params_section = find_section(h, kPlanParams)) {
+    if (params_section->length != plan.items.size() * 8)
+      fail("plan", "params section has " +
+                       std::to_string(params_section->length / 8) +
+                       " entries for " + std::to_string(plan.items.size()) +
+                       " items");
+    Cursor params(p + params_section->offset,
+                  static_cast<std::size_t>(params_section->length),
+                  "plan: section 'params'");
+    bool any_param = false;
+    for (WorkItem& w : plan.items) {
+      w.param = params.num<std::uint64_t>();
+      if (w.param != 0) any_param = true;
+    }
+    params.finish();
+    if (!any_param)
+      fail("plan", "params section present but every param is 0");
+  }
   return plan;
 }
 

@@ -10,6 +10,7 @@
 
 #include "core/catalog.hpp"
 #include "core/wire.hpp"
+#include "util/json.hpp"
 
 namespace ep::core::wire_detail {
 
@@ -37,5 +38,21 @@ void check_completed_id(const ShardReport& report, long long id,
 /// disagreement is a corrupt file; otherwise (JSON v1) the flag is
 /// inferred. Sets report.complete either way.
 void validate_complete_flag(ShardReport& report, bool flag_on_wire);
+
+/// The columnar run-dependent outcome encoding (schema_version 2's
+/// `outcomes` object body), shared by ShardReport::to_json and the
+/// search-state document: one `indent`-prefixed `"name": [...]` line per
+/// column, comma-separated, trailing newline after the last.
+std::string outcome_columns_json(const std::vector<InjectionOutcome>& outcomes,
+                                 const std::string& indent);
+
+/// The inverse: decode an `outcomes` column object into `n` outcomes.
+/// `ctx` names the enclosing document ("shard report", "search state")
+/// in every diagnostic. Throws WireError on missing columns, length
+/// mismatches, or a null/object exploit cell disagreeing with the
+/// violations column.
+std::vector<InjectionOutcome> outcomes_from_columns(const JsonValue& cols,
+                                                    std::size_t n,
+                                                    const std::string& ctx);
 
 }  // namespace ep::core::wire_detail

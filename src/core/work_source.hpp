@@ -1,0 +1,78 @@
+// The work-distribution seam: where executors and orchestrators get
+// their work items from.
+//
+// Every layer before this PR assumed a finite, fully-materialized
+// InjectionPlan. A WorkSource generalizes that to a *growing* plan
+// drained in waves: next_wave() appends the next batch of items (none =
+// exhausted), the drain executes them, and absorb() routes the finished
+// outcomes back — which is what lets a feedback-driven generator (the
+// novelty search in core/search.hpp) decide the next wave from the
+// results of the last one. The exhaustive path is one client of the
+// seam: PlanWorkSource emits its whole fixed plan as a single wave and
+// ignores feedback, so orchestrate()/execute() through it stay
+// byte-identical to the pre-seam code paths.
+//
+// Determinism contract: a source must generate waves as a pure function
+// of (its seed/configuration, the absorbed outcomes in stable-id
+// order). Outcomes are themselves pure functions of the item, so the
+// full item stream — and therefore the merged report — is identical for
+// any worker count or data plane.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/wire.hpp"
+
+namespace ep::core {
+
+class WorkSource {
+ public:
+  virtual ~WorkSource() = default;
+
+  /// The materialized-so-far plan. Items only ever *append* (stable ids
+  /// stay stable); references into `plan().items` may be invalidated by
+  /// next_wave(), indexes never are.
+  [[nodiscard]] virtual const InjectionPlan& plan() const = 0;
+
+  /// Append the next wave of work items to the plan and return their id
+  /// range [begin, end). begin == end means the source is exhausted and
+  /// the drain should finish up. Called between wave barriers only — a
+  /// feedback-driven source sees every prior wave's outcomes absorbed
+  /// before it generates the next.
+  virtual std::pair<std::size_t, std::size_t> next_wave() = 0;
+
+  /// Route one collected lease report's outcomes back into the source.
+  /// Called as reports land (any order within a wave); a source that
+  /// scores feedback buffers them and processes in stable-id order at
+  /// the wave barrier, keeping generation deterministic.
+  virtual void absorb(const ShardReport& report) { (void)report; }
+
+  /// Leased reports replayed from a checkpoint (search --resume):
+  /// already-complete waves whose outcomes the final merge still needs.
+  /// Consumed once, before the first wave is drained.
+  virtual std::vector<ShardReport> take_replayed_reports() { return {}; }
+};
+
+/// Today's exhaustive path as a WorkSource: the whole fixed plan in one
+/// wave, feedback ignored. The pinned control — everything that drains
+/// through this is byte-identical to draining the plan directly.
+class PlanWorkSource : public WorkSource {
+ public:
+  explicit PlanWorkSource(const InjectionPlan& plan) : plan_(plan) {}
+
+  [[nodiscard]] const InjectionPlan& plan() const override { return plan_; }
+
+  std::pair<std::size_t, std::size_t> next_wave() override {
+    if (emitted_) return {plan_.items.size(), plan_.items.size()};
+    emitted_ = true;
+    return {0, plan_.items.size()};
+  }
+
+ private:
+  const InjectionPlan& plan_;
+  bool emitted_ = false;
+};
+
+}  // namespace ep::core

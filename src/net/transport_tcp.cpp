@@ -288,6 +288,18 @@ void TcpTransport::submit(std::size_t worker, const core::Lease& lease) {
   send_frame(c.fd, core::format_lease(lease.begin, lease.end, "-"));
 }
 
+void TcpTransport::feedback(std::size_t worker,
+                            const core::InjectionPlan& plan,
+                            std::size_t begin, std::size_t end) {
+  if (worker >= conns_.size())
+    throw OrchestratorError("feedback: unknown worker " +
+                            std::to_string(worker));
+  Conn& c = conns_[worker];
+  if (!c.alive) return;  // death event will follow anyway
+  send_frame(c.fd, core::format_feedback(
+                       begin, end, core::feedback_spec(plan, begin, end)));
+}
+
 void TcpTransport::steal(std::size_t worker) {
   if (worker >= conns_.size())
     throw OrchestratorError("steal: unknown worker " +

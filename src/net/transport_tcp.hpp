@@ -109,6 +109,10 @@ class TcpTransport : public core::Transport {
   std::optional<std::size_t> spawn() override;
   void submit(std::size_t worker, const core::Lease& lease) override;
   void steal(std::size_t worker) override;
+  /// FEEDBACK as a control frame — same line bytes the pipe transport
+  /// writes, framed like every other control message.
+  void feedback(std::size_t worker, const core::InjectionPlan& plan,
+                std::size_t begin, std::size_t end) override;
   std::optional<core::WorkerEvent> wait_any(long timeout_ms) override;
   void shutdown(std::size_t worker) override;
   void kill(std::size_t worker) override;

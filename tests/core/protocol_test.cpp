@@ -30,6 +30,7 @@ TEST(Protocol, FormattersRoundTripThroughTheParser) {
       format_lease(9, 11, "-"),
       format_steal(),
       format_exit(),
+      format_feedback(9, 11, "0:i:close-fails:0,1:d:short-read:7"),
   };
   for (const std::string& line : lines) {
     SCOPED_TRACE(line);
@@ -41,9 +42,9 @@ TEST(Protocol, FormattersRoundTripThroughTheParser) {
 
 TEST(Protocol, ParsesEveryFieldOfEveryProduction) {
   ProtocolMsg m;
-  ASSERT_TRUE(parse_protocol_line("HELLO 2", &m));
+  ASSERT_TRUE(parse_protocol_line("HELLO 3", &m));
   EXPECT_EQ(m.type, Type::hello);
-  EXPECT_EQ(m.version, 2);
+  EXPECT_EQ(m.version, 3);
 
   ASSERT_TRUE(parse_protocol_line("PING", &m));
   EXPECT_EQ(m.type, Type::ping);
@@ -77,6 +78,12 @@ TEST(Protocol, ParsesEveryFieldOfEveryProduction) {
 
   ASSERT_TRUE(parse_protocol_line("STEAL", &m));
   EXPECT_EQ(m.type, Type::steal);
+
+  ASSERT_TRUE(parse_protocol_line("FEEDBACK 4 6 0:i:close-fails:0,2:d:short-read:7", &m));
+  EXPECT_EQ(m.type, Type::feedback);
+  EXPECT_EQ(m.begin, 4u);
+  EXPECT_EQ(m.end, 6u);
+  EXPECT_EQ(m.target, "0:i:close-fails:0,2:d:short-read:7");
 
   ASSERT_TRUE(parse_protocol_line("EXIT", &m));
   EXPECT_EQ(m.type, Type::exit_cmd);
@@ -113,6 +120,9 @@ TEST(Protocol, RejectsMalformedLines) {
       "LEASE x 4 t",
       "STEAL now",
       "EXIT 0",
+      "FEEDBACK 4 6",      // missing item spec
+      "FEEDBACK 4 6 a:i:f:0 b:i:f:0",  // spec is one token
+      "FEEDBACK x 6 0:i:f:0",
       "lease 0 4 t",       // keywords are case-sensitive
       "DONE 0 99999999999999999999",  // overflow is a reject, not UB
   };
@@ -123,10 +133,11 @@ TEST(Protocol, RejectsMalformedLines) {
   }
 }
 
-TEST(Protocol, VersionConstantIsTwo) {
+TEST(Protocol, VersionConstantIsThree) {
   // Bumping the protocol version must be a conscious act: this pins the
   // constant the HELLO handshake (and docs/WIRE_FORMAT.md) advertise.
-  EXPECT_EQ(kWorkerProtocolVersion, 2);
+  // v3 added FEEDBACK (the search plane's item append).
+  EXPECT_EQ(kWorkerProtocolVersion, 3);
 }
 
 }  // namespace
